@@ -1,0 +1,174 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (printed first, in the paper's row/series format),
+   then times the machinery behind each experiment with Bechamel — one
+   Test.make per table/figure plus microbenchmarks of the core pipeline
+   stages.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Liquid_prog
+open Liquid_scalarize
+open Liquid_pipeline
+open Liquid_harness
+open Liquid_workloads
+module Hwmodel = Liquid_hwmodel.Hwmodel
+
+let find name = match Workload.find name with Some w -> w | None -> assert false
+
+(* --- Part 1: regenerate the evaluation --- *)
+
+let print_reports () =
+  Format.printf "==============================================================@.";
+  Format.printf " Liquid SIMD: reproduction of the paper's evaluation (HPCA'07)@.";
+  Format.printf "==============================================================@.@.";
+  Format.printf "%a@.@." Experiments.pp_table2 (Experiments.table2 ());
+  Format.printf "%a@.@." Experiments.pp_table5 (Experiments.table5 ());
+  Format.printf "%a@.@." Experiments.pp_table6 (Experiments.table6 ());
+  Format.printf "%a@.@." Experiments.pp_figure6 (Experiments.figure6 ());
+  Format.printf "%a@.@." Experiments.pp_code_size (Experiments.code_size ());
+  Format.printf "%a@.@." Experiments.pp_ucode_cache (Experiments.ucode_cache ());
+  Format.printf "%a@.@." Experiments.pp_latency (Experiments.latency_ablation ());
+  Format.printf "%a@.@." Experiments.pp_overhead
+    (Experiments.overhead_convergence ());
+  Format.printf "%a@.@."
+    (Experiments.pp_sweep
+       ~title:"Ablation: microcode cache capacity (8 hot loops round-robin)"
+       ~value_label:"Entries")
+    (Experiments.ucode_entries_ablation ());
+  Format.printf "%a@.@."
+    (Experiments.pp_sweep
+       ~title:"Ablation: microcode buffer capacity (101.tomcatv, largest loop 63 uops)"
+       ~value_label:"Capacity")
+    (Experiments.buffer_ablation ());
+  Format.printf "%a@.@."
+    (Experiments.pp_sweep
+       ~title:"Ablation: vector memory bus width (FIR, 16 lanes)"
+       ~value_label:"Bus bytes")
+    (Experiments.bus_ablation ());
+  Format.printf "%a@.@." Experiments.pp_kind
+    (Experiments.translator_kind_ablation ())
+
+(* --- Part 2: Bechamel timings, one per experiment --- *)
+
+(* Table 2: the analytic synthesis model across widths. *)
+let bench_table2 =
+  Test.make ~name:"table2_synthesis"
+    (Staged.stage (fun () ->
+         List.map
+           (fun lanes ->
+             Hwmodel.estimate { Hwmodel.default_params with Hwmodel.lanes })
+           [ 2; 4; 8; 16 ]))
+
+(* Table 5: scalarizing every benchmark and sizing its outlined loops. *)
+let bench_table5 =
+  Test.make ~name:"table5_outlined_sizes"
+    (Staged.stage (fun () ->
+         List.map
+           (fun (w : Workload.t) -> Codegen.outlined_sizes w.Workload.program)
+           (Workload.all ())))
+
+(* Table 6: a full simulation of the shortest-gap benchmark with region
+   call tracking. *)
+let bench_table6 =
+  let w = find "MPEG2 Dec." in
+  Test.make ~name:"table6_call_distances"
+    (Staged.stage (fun () ->
+         Experiments.region_first_gap (Runner.run w (Runner.Liquid 8)).Runner.run))
+
+(* Figure 6: the headline measurement — baseline vs translated runs of
+   the best-case benchmark. *)
+let bench_figure6 =
+  let w = find "FIR" in
+  Test.make ~name:"figure6_speedup"
+    (Staged.stage (fun () ->
+         let base = (Runner.run w Runner.Baseline).Runner.run in
+         let simd = (Runner.run w (Runner.Liquid 8)).Runner.run in
+         Runner.speedup ~baseline:base simd))
+
+(* Section 5 code size: encoding both binary flavours of every benchmark. *)
+let bench_code_size =
+  Test.make ~name:"sec5_code_size"
+    (Staged.stage (fun () -> Experiments.code_size ()))
+
+(* Section 5 microcode cache: a many-loop benchmark exercising
+   install/evict. *)
+let bench_ucode_cache =
+  let w = find "104.hydro2d" in
+  Test.make ~name:"sec5_ucode_cache"
+    (Staged.stage (fun () ->
+         (Runner.run w (Runner.Liquid 16)).Runner.run.Cpu.ucode_max_occupancy))
+
+(* Section 5 translation latency: offline translation of the FFT regions. *)
+let bench_translation =
+  let w = find "FFT" in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  Test.make ~name:"sec5_translation_latency"
+    (Staged.stage (fun () -> Offline.translate_all ~image ~lanes:8 ()))
+
+(* Microbenchmarks of the individual pipeline stages. *)
+
+let bench_scalarize_fft =
+  let stage =
+    Kernels.fft_stage ~name:"bfft" ~count:128 ~block:8 ~re:"re" ~im:"im"
+      ~wr:"wr" ~wi:"wi"
+  in
+  Test.make ~name:"core_scalarize_fft"
+    (Staged.stage (fun () -> Scalarize.scalarize stage))
+
+let bench_encode =
+  let w = find "171.swim" in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  Test.make ~name:"core_encode_binary"
+    (Staged.stage (fun () -> Encode.encode image.Image.code))
+
+let bench_simulate_scalar =
+  let w = find "GSM Dec." in
+  let image = Image.of_program (Codegen.baseline w.Workload.program) in
+  Test.make ~name:"core_simulate_scalar"
+    (Staged.stage (fun () -> Cpu.run ~config:Cpu.scalar_config image))
+
+let bench_hwmodel =
+  Test.make ~name:"core_hwmodel_estimate"
+    (Staged.stage (fun () -> Hwmodel.estimate Hwmodel.default_params))
+
+let tests =
+  [
+    bench_table2;
+    bench_table5;
+    bench_table6;
+    bench_figure6;
+    bench_code_size;
+    bench_ucode_cache;
+    bench_translation;
+    bench_scalarize_fft;
+    bench_encode;
+    bench_simulate_scalar;
+    bench_hwmodel;
+  ]
+
+let run_benchmarks () =
+  Format.printf "==============================================================@.";
+  Format.printf " Bechamel timings (wall-clock per invocation)@.";
+  Format.printf "==============================================================@.";
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) () in
+  let instances = Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "  %-28s %12.0f ns/run@." name est
+          | Some _ | None -> Format.printf "  %-28s (no estimate)@." name)
+        analysis)
+    tests
+
+let () =
+  print_reports ();
+  run_benchmarks ()

@@ -1,0 +1,441 @@
+(* Command-line driver: list workloads, disassemble binaries, run a
+   benchmark under a chosen machine, inspect translated microcode, and
+   regenerate the paper's tables and figures. *)
+
+open Cmdliner
+open Liquid_prog
+open Liquid_pipeline
+open Liquid_harness
+open Liquid_workloads
+
+let workload_conv =
+  let parse s =
+    match Workload.find s with
+    | Some w -> Ok w
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown workload %S; try one of: %s" s
+                (String.concat ", " (Workload.names ()))))
+  in
+  Arg.conv (parse, fun ppf (w : Workload.t) -> Format.pp_print_string ppf w.name)
+
+let variant_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "baseline" ] -> Ok Runner.Baseline
+    | [ "liquid"; "scalar" ] -> Ok Runner.Liquid_scalar
+    | [ "liquid"; w ] -> (
+        match int_of_string_opt w with
+        | Some w -> Ok (Runner.Liquid w)
+        | None -> Error (`Msg "bad width"))
+    | [ "oracle"; w ] | [ "liquid-oracle"; w ] -> (
+        match int_of_string_opt w with
+        | Some w -> Ok (Runner.Liquid_oracle w)
+        | None -> Error (`Msg "bad width"))
+    | [ "native"; w ] -> (
+        match int_of_string_opt w with
+        | Some w -> Ok (Runner.Native w)
+        | None -> Error (`Msg "bad width"))
+    | _ ->
+        Error
+          (`Msg
+             "expected baseline, liquid:scalar, liquid:<width> or \
+              native:<width>")
+  in
+  Arg.conv
+    (parse, fun ppf v -> Format.pp_print_string ppf (Runner.variant_name v))
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some workload_conv) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Benchmark name (see $(b,list)).")
+
+let variant_arg =
+  Arg.(
+    value
+    & opt variant_conv (Runner.Liquid 8)
+    & info [ "m"; "machine" ] ~docv:"VARIANT"
+        ~doc:
+          "Machine/binary flavour: $(b,baseline), $(b,liquid:scalar), \
+           $(b,liquid:WIDTH) or $(b,native:WIDTH).")
+
+(* --- list --- *)
+
+let list_cmd =
+  let doc = "List the available benchmarks" in
+  let run () =
+    List.iter
+      (fun (w : Workload.t) ->
+        Format.printf "%-12s  %-10s  %s@." w.name
+          (Workload.suite_name w.suite)
+          w.description)
+      (Workload.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- disasm --- *)
+
+let disasm_cmd =
+  let doc = "Print a benchmark's program listing for a binary flavour" in
+  let binary_arg =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:
+            "Encode to the 32-bit binary format and disassemble it back              (annotated with recovered labels and symbols).")
+  in
+  let run w variant binary =
+    match Runner.program_of w variant with
+    | program ->
+        if binary then print_string (Disasm.of_image (Image.of_program program))
+        else print_string (Parse.emit program)
+    | exception Liquid_scalarize.Codegen.Unsupported_width m ->
+        Format.printf "cannot generate this binary: %s@." m;
+        exit 1
+  in
+  Cmd.v (Cmd.info "disasm" ~doc)
+    Term.(const run $ workload_arg $ variant_arg $ binary_arg)
+
+(* --- exec: assemble a source file and run it --- *)
+
+let machine_config = function
+  | Runner.Baseline | Runner.Liquid_scalar -> Cpu.scalar_config
+  | Runner.Liquid w -> Cpu.liquid_config ~lanes:w
+  | Runner.Liquid_oracle w ->
+      { (Cpu.liquid_config ~lanes:w) with Cpu.oracle_translation = true }
+  | Runner.Native w -> Cpu.native_config ~lanes:w
+
+let pp_trace_event ppf = function
+  | Cpu.T_insn { pc; insn } ->
+      Format.fprintf ppf "@%-5d %a" pc Liquid_visa.Minsn.pp_exec insn
+  | Cpu.T_uop { entry; index; uop } ->
+      Format.fprintf ppf "u%d/%-4d %a" entry index Liquid_translate.Ucode.pp_uop
+        uop
+  | Cpu.T_region { label; event } ->
+      Format.fprintf ppf ">> %s: %s" label
+        (match event with
+        | `Scalar_call -> "called (scalar)"
+        | `Ucode_call -> "called (microcode)"
+        | `Translated w -> Printf.sprintf "translated at %d lanes" w
+        | `Aborted a -> "aborted: " ^ Liquid_translate.Abort.to_string a)
+
+let exec_cmd =
+  let doc = "Assemble a .s source file and simulate it" in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Assembly source file.")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "trace" ] ~docv:"N"
+          ~doc:"Print the first $(docv) execution/region trace events.")
+  in
+  let run file variant trace_n =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Parse.program ~name:(Filename.basename file) source with
+    | exception Parse.Parse_error { line; message } ->
+        Format.printf "%s:%d: %s@." file line message;
+        exit 1
+    | program -> (
+        match Program.validate program with
+        | Error m ->
+            Format.printf "%s: %s@." file m;
+            exit 1
+        | Ok () ->
+            let remaining = ref trace_n in
+            let on_trace =
+              if trace_n = 0 then None
+              else
+                Some
+                  (fun ev ->
+                    if !remaining > 0 then begin
+                      decr remaining;
+                      Format.printf "%a@." pp_trace_event ev
+                    end)
+            in
+            let config = { (machine_config variant) with Cpu.on_trace } in
+            let run = Cpu.run ~config (Image.of_program program) in
+            Format.printf "%a@." Liquid_machine.Stats.pp run.Cpu.stats;
+            List.iter
+              (fun (r : Cpu.region_report) ->
+                Format.printf "  region %-20s calls=%-3d ucode=%d@." r.Cpu.label
+                  (List.length r.Cpu.calls) r.Cpu.ucode_served)
+              run.Cpu.regions)
+  in
+  Cmd.v (Cmd.info "exec" ~doc)
+    Term.(const run $ file_arg $ variant_arg $ trace_arg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let doc = "Simulate a benchmark and print statistics" in
+  let run w variant =
+    match Runner.run w variant with
+    | { Runner.run; _ } ->
+        Format.printf "%s on %s:@.%a@." w.Workload.name
+          (Runner.variant_name variant)
+          Liquid_machine.Stats.pp run.Cpu.stats;
+        List.iter
+          (fun (r : Cpu.region_report) ->
+            Format.printf "  region %-20s calls=%-3d ucode=%-3d %s@."
+              r.Cpu.label (List.length r.Cpu.calls) r.Cpu.ucode_served
+              (match r.Cpu.outcome with
+              | Cpu.R_untried -> "never translated"
+              | Cpu.R_installed { width; uops } ->
+                  Printf.sprintf "translated (%d-wide, %d uops)" width uops
+              | Cpu.R_failed a ->
+                  "aborted: " ^ Liquid_translate.Abort.to_string a))
+          run.Cpu.regions
+    | exception Liquid_scalarize.Codegen.Unsupported_width m ->
+        Format.printf "cannot generate this binary: %s@." m;
+        exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ workload_arg $ variant_arg)
+
+(* --- translate: show the microcode produced for each region --- *)
+
+let translate_cmd =
+  let doc = "Show the SIMD microcode the translator produces for a benchmark" in
+  let width_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "w"; "width" ] ~docv:"LANES" ~doc:"Accelerator lane count.")
+  in
+  let run (w : Workload.t) lanes =
+    let program = Liquid_scalarize.Codegen.liquid w.Workload.program in
+    let image = Image.of_program program in
+    let mem = Liquid_machine.Memory.create () in
+    Image.load_memory image mem;
+    (* Drive each region once through the architectural interpreter and
+       feed the retirement stream to a fresh translator session. *)
+    List.iter
+      (fun (entry, label) ->
+        let ctx = Sem.create_ctx mem in
+        let tr =
+          Liquid_translate.Translator.create
+            (Liquid_translate.Translator.default_config ~lanes)
+        in
+        let pc = ref entry in
+        let running = ref true in
+        let steps = ref 0 in
+        while !running && !steps < 2_000_000 do
+          incr steps;
+          let insn =
+            match image.Image.code.(!pc) with
+            | Liquid_visa.Minsn.S i -> i
+            | Liquid_visa.Minsn.V _ -> failwith "vector insn in liquid binary"
+          in
+          let outcome, eff = Sem.step_scalar ctx ~pc:!pc insn in
+          Liquid_translate.Translator.feed tr
+            (Liquid_translate.Event.make ~pc:!pc ?value:eff.Sem.value insn);
+          match outcome with
+          | Sem.Next -> incr pc
+          | Sem.Jump t -> pc := t
+          | Sem.Return | Sem.Stop -> running := false
+          | Sem.Call _ -> failwith "call inside region"
+        done;
+        Format.printf "=== %s ===@." label;
+        match Liquid_translate.Translator.finish tr with
+        | Liquid_translate.Translator.Translated u ->
+            Format.printf "%a@." Liquid_translate.Ucode.pp u
+        | Liquid_translate.Translator.Aborted reason ->
+            Format.printf "aborted: %a@." Liquid_translate.Abort.pp reason)
+      image.Image.region_entries
+  in
+  Cmd.v (Cmd.info "translate" ~doc) Term.(const run $ workload_arg $ width_arg)
+
+(* --- report: the paper's tables and figures --- *)
+
+let report_cmd =
+  let doc = "Regenerate the paper's tables and figures" in
+  let which_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WHICH"
+          ~doc:
+            "One of table2, table5, table6, figure6, codesize, ucode, \
+             latency, overhead, translator, ablations; omit for all.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:
+            "Also write machine-readable CSVs (table5/table6/figure6) into              $(docv).")
+  in
+  let run which csv_dir =
+    let all = which = None in
+    let want w = all || which = Some w in
+    let write_csv name contents =
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+          let path = Filename.concat dir name in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc contents);
+          Format.printf "wrote %s@." path
+    in
+    if want "table2" then
+      Format.printf "%a@.@." Experiments.pp_table2 (Experiments.table2 ());
+    if want "table5" then begin
+      let rows = Experiments.table5 () in
+      Format.printf "%a@.@." Experiments.pp_table5 rows;
+      write_csv "table5.csv" (Experiments.csv_table5 rows)
+    end;
+    if want "table6" then begin
+      let rows = Experiments.table6 () in
+      Format.printf "%a@.@." Experiments.pp_table6 rows;
+      write_csv "table6.csv" (Experiments.csv_table6 rows)
+    end;
+    if want "figure6" then begin
+      let rows = Experiments.figure6 () in
+      Format.printf "%a@.@." Experiments.pp_figure6 rows;
+      write_csv "figure6.csv" (Experiments.csv_figure6 rows)
+    end;
+    if want "codesize" then
+      Format.printf "%a@.@." Experiments.pp_code_size (Experiments.code_size ());
+    if want "ucode" then
+      Format.printf "%a@.@." Experiments.pp_ucode_cache
+        (Experiments.ucode_cache ());
+    if want "latency" then
+      Format.printf "%a@.@." Experiments.pp_latency
+        (Experiments.latency_ablation ());
+    if want "overhead" then
+      Format.printf "%a@.@." Experiments.pp_overhead
+        (Experiments.overhead_convergence ());
+    if want "translator" then
+      Format.printf "%a@.@." Experiments.pp_kind
+        (Experiments.translator_kind_ablation ());
+    if want "ablations" then begin
+      Format.printf "%a@.@."
+        (Experiments.pp_sweep
+           ~title:
+             "Microcode cache capacity (8 hot loops round-robin, 8 lanes)"
+           ~value_label:"Entries")
+        (Experiments.ucode_entries_ablation ());
+      Format.printf "%a@.@."
+        (Experiments.pp_sweep
+           ~title:
+             "Microcode buffer capacity (101.tomcatv, largest loop 63 uops)"
+           ~value_label:"Capacity")
+        (Experiments.buffer_ablation ());
+      Format.printf "%a@.@."
+        (Experiments.pp_sweep
+           ~title:"Vector memory bus width (FIR, 16 lanes)"
+           ~value_label:"Bus bytes")
+        (Experiments.bus_ablation ());
+      Format.printf "%a@.@."
+        (Experiments.pp_sweep
+           ~title:
+             "Context-switch interval in cycles (FFT, 8 lanes; 0 = never)"
+           ~value_label:"Interval")
+        (Experiments.interrupt_ablation ())
+    end
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ which_arg $ csv_arg)
+
+(* --- encode: binary footprint breakdown --- *)
+
+let encode_cmd =
+  let doc = "Show the encoded binary footprint of a benchmark" in
+  let run (w : Workload.t) variant =
+    match Runner.program_of w variant with
+    | exception Liquid_scalarize.Codegen.Unsupported_width m ->
+        Format.printf "cannot generate this binary: %s@." m;
+        exit 1
+    | program ->
+        let image = Image.of_program program in
+        let enc = Encode.encode image.Image.code in
+        let words = 4 * Array.length enc.Encode.words in
+        let pool = 4 * Array.length enc.Encode.pool in
+        Format.printf
+          "%s (%s)@.  instructions: %6d (%d bytes)@.  literal pool: %6d            entries (%d bytes)@.  data segment: %6d bytes@.  total:                   %6d bytes@."
+          w.Workload.name
+          (Runner.variant_name variant)
+          (Array.length enc.Encode.words)
+          words
+          (Array.length enc.Encode.pool)
+          pool image.Image.data_bytes
+          (words + pool + image.Image.data_bytes)
+  in
+  Cmd.v (Cmd.info "encode" ~doc) Term.(const run $ workload_arg $ variant_arg)
+
+(* --- summary: one-line dashboard per benchmark --- *)
+
+let summary_cmd =
+  let doc = "Run every benchmark at one width and summarize" in
+  let width_arg =
+    Arg.(value & opt int 8 & info [ "w"; "width" ] ~docv:"LANES" ~doc:"Lane count.")
+  in
+  let run lanes =
+    Format.printf "%-12s %9s %9s %8s %6s %7s@." "benchmark" "baseline"
+      "liquid" "speedup" "ucode%" "aborts";
+    List.iter
+      (fun (w : Workload.t) ->
+        let base = (Runner.run w Runner.Baseline).Runner.run in
+        let { Runner.run = lrun; _ } = Runner.run w (Runner.Liquid lanes) in
+        let stats = lrun.Cpu.stats in
+        Format.printf "%-12s %9d %9d %7.2fx %5.0f%% %7d@." w.Workload.name
+          base.Cpu.stats.Liquid_machine.Stats.cycles
+          stats.Liquid_machine.Stats.cycles
+          (Runner.speedup ~baseline:base lrun)
+          (100.0
+          *. float_of_int stats.Liquid_machine.Stats.ucode_hits
+          /. float_of_int (max 1 stats.Liquid_machine.Stats.region_calls))
+          stats.Liquid_machine.Stats.translations_aborted)
+      (Workload.all ())
+  in
+  Cmd.v (Cmd.info "summary" ~doc) Term.(const run $ width_arg)
+
+(* --- hwmodel --- *)
+
+let hwmodel_cmd =
+  let doc = "Estimate translator area/delay for a configuration" in
+  let lanes_arg =
+    Arg.(value & opt int 8 & info [ "w"; "width" ] ~docv:"LANES" ~doc:"Lane count.")
+  in
+  let regs_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "r"; "registers" ] ~docv:"N" ~doc:"Architectural registers.")
+  in
+  let buffer_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "b"; "buffer" ] ~docv:"N" ~doc:"Microcode buffer entries.")
+  in
+  let run lanes registers buffer_entries =
+    let module H = Liquid_hwmodel.Hwmodel in
+    let rep = H.estimate { H.lanes; registers; buffer_entries } in
+    Format.printf "%a@." H.pp_report rep;
+    Format.printf
+      "  decoder %d | legality %d | register state %d (%.0f%%) | opcode gen        %d | buffer %d cells@."
+      rep.H.decoder_cells rep.H.legality_cells rep.H.regstate_cells
+      (100.0 *. float_of_int rep.H.regstate_cells /. float_of_int rep.H.total_cells)
+      rep.H.opgen_cells rep.H.buffer_cells
+  in
+  Cmd.v (Cmd.info "hwmodel" ~doc) Term.(const run $ lanes_arg $ regs_arg $ buffer_arg)
+
+let main =
+  let doc = "Liquid SIMD: dynamic mapping of scalarized loops onto SIMD accelerators" in
+  Cmd.group (Cmd.info "liquid_cli" ~doc)
+    [
+      list_cmd;
+      disasm_cmd;
+      run_cmd;
+      exec_cmd;
+      translate_cmd;
+      report_cmd;
+      encode_cmd;
+      summary_cmd;
+      hwmodel_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Build Codegen Cond Data Esize Format Image Liquid_isa Liquid_machine Liquid_pipeline Liquid_prog Liquid_scalarize List Printf Vloop

@@ -1,0 +1,1 @@
+examples/saturation.mli:

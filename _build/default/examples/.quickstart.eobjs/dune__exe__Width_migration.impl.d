@@ -1,0 +1,1 @@
+examples/width_migration.ml: Codegen Cpu Format Image Liquid_isa Liquid_machine Liquid_pipeline Liquid_prog Liquid_scalarize Liquid_workloads List Printf Sem Vloop

@@ -1,0 +1,94 @@
+(* Extension walkthrough: interleaved memory accesses.
+
+   The paper lists interleaved accesses (Neon's VLD2/VST2) as one of two
+   instruction classes its scalar schema cannot express (§3.3). This
+   library implements them as an extension: a scaled induction variable
+   (lsl + optional phase add) feeding an element-indexed access, which
+   the translator recognizes and maps onto strided vector memory
+   instructions. The demo splits an interleaved I/Q stream, computes the
+   power envelope, and re-interleaves conjugates.
+
+   Run with: dune exec examples/deinterleave.exe *)
+
+open Liquid_isa
+open Liquid_prog
+open Liquid_scalarize
+open Liquid_pipeline
+open Liquid_translate
+module Kernels = Liquid_workloads.Kernels
+module Memory = Liquid_machine.Memory
+
+let count = 64
+
+let power_loop =
+  let open Build in
+  {
+    Vloop.name = "pw";
+    count;
+    body =
+      [
+        vld2 ~phase:0 (v 1) "iq";
+        vld2 ~phase:1 (v 2) "iq";
+        vmul (v 3) (v 1) (vr (v 1));
+        vmul (v 4) (v 2) (vr (v 2));
+        vadd (v 3) (v 3) (vr (v 4));
+        vst (v 3) "power";
+        (* conjugate back into an interleaved stream *)
+        vst2 ~phase:0 (v 1) "conj";
+        vmul (v 2) (v 2) (vi (-1));
+        vst2 ~phase:1 (v 2) "conj";
+      ];
+    reductions = [];
+  }
+
+let program =
+  {
+    Vloop.name = "deinterleave";
+    sections =
+      Kernels.counted ~reg:(Reg.make 15) ~label:"frame" ~count:4
+        [ Vloop.Loop power_loop ];
+    data =
+      [
+        Kernels.warray "iq" (2 * count) (fun i ->
+            if i mod 2 = 0 then (i / 2) - 30 else 15 - (i / 2));
+        Kernels.wzeros "power" count;
+        Kernels.wzeros "conj" (2 * count);
+      ];
+  }
+
+let () =
+  let out = Scalarize.scalarize power_loop in
+  Format.printf "== Scalar schema: scaled induction variable ==@.";
+  List.iter
+    (function
+      | Program.Label l -> Format.printf "%s:@." l
+      | Program.I insn -> Format.printf "    %a@." Liquid_visa.Minsn.pp_asm insn)
+    out.Scalarize.region_items;
+
+  let image = Image.of_program (Codegen.liquid program) in
+  Format.printf "@.== Recovered microcode (8-wide): vlds/vsts ==@.";
+  List.iter
+    (fun (_, _, result) ->
+      match result with
+      | Translator.Translated u -> Format.printf "%a@." Ucode.pp u
+      | Translator.Aborted reason -> Format.printf "aborted: %a@." Abort.pp reason)
+    (Offline.translate_all ~image ~lanes:8 ());
+
+  let run = Cpu.run ~config:(Cpu.liquid_config ~lanes:8) image in
+  let read name n =
+    let addr = Image.array_addr image name in
+    Array.init n (fun i ->
+        Memory.read run.Cpu.memory ~addr:(addr + (4 * i)) ~bytes:4 ~signed:true)
+  in
+  let power = read "power" count and conj = read "conj" (2 * count) in
+  let re k = k - 30 and im k = 15 - k in
+  Array.iteri
+    (fun k p -> assert (p = (re k * re k) + (im k * im k)))
+    power;
+  Array.iteri
+    (fun i c -> assert (c = if i mod 2 = 0 then re (i / 2) else -im (i / 2)))
+    conj;
+  Format.printf
+    "@.Power envelope and conjugate stream verified; %d vector instructions \
+     executed.@."
+    run.Cpu.stats.Liquid_machine.Stats.vector_insns

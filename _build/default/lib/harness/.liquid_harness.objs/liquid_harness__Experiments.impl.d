@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Buffer Codegen Cpu Encode Float Format Image Liquid_hwmodel Liquid_machine Liquid_pipeline Liquid_prog Liquid_scalarize Liquid_workloads List Printf Runner Workload

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Cpu Format Liquid_hwmodel Liquid_pipeline Liquid_workloads Workload

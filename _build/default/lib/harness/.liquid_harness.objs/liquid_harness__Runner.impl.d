@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Codegen Cpu Image Liquid_machine Liquid_pipeline Liquid_prog Liquid_scalarize Liquid_workloads Printf Program Workload

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Cpu Liquid_pipeline Liquid_prog Liquid_workloads Program Workload

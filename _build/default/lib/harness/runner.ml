@@ -1,0 +1,49 @@
+open Liquid_prog
+open Liquid_pipeline
+open Liquid_scalarize
+open Liquid_workloads
+
+type variant =
+  | Baseline
+  | Liquid_scalar
+  | Liquid of int
+  | Liquid_oracle of int
+  | Native of int
+
+type result = { variant : variant; program : Program.t; run : Cpu.run }
+
+let variant_name = function
+  | Baseline -> "baseline"
+  | Liquid_scalar -> "liquid/scalar"
+  | Liquid w -> Printf.sprintf "liquid/%d-wide" w
+  | Liquid_oracle w -> Printf.sprintf "liquid-oracle/%d-wide" w
+  | Native w -> Printf.sprintf "native/%d-wide" w
+
+let program_of (w : Workload.t) = function
+  | Baseline -> Codegen.baseline w.program
+  | Liquid_scalar | Liquid _ | Liquid_oracle _ -> Codegen.liquid w.program
+  | Native width -> Codegen.native ~width w.program
+
+let config_of ?(translation_cpi = 1) = function
+  | Baseline | Liquid_scalar -> Cpu.scalar_config
+  | Liquid lanes ->
+      {
+        (Cpu.liquid_config ~lanes) with
+        Cpu.translator =
+          Some { Cpu.cycles_per_insn = translation_cpi; Cpu.kind = Cpu.Hardware };
+      }
+  | Liquid_oracle lanes ->
+      { (Cpu.liquid_config ~lanes) with Cpu.oracle_translation = true }
+  | Native lanes -> Cpu.native_config ~lanes
+
+let run ?translation_cpi ?fuel (w : Workload.t) variant =
+  let program = program_of w variant in
+  let config = config_of ?translation_cpi variant in
+  let config =
+    match fuel with None -> config | Some fuel -> { config with Cpu.fuel }
+  in
+  { variant; program; run = Cpu.run ~config (Image.of_program program) }
+
+let speedup ~(baseline : Cpu.run) (run : Cpu.run) =
+  float_of_int baseline.Cpu.stats.Liquid_machine.Stats.cycles
+  /. float_of_int run.Cpu.stats.Liquid_machine.Stats.cycles

@@ -1,0 +1,26 @@
+(** Running one benchmark under one machine/binary configuration. *)
+
+open Liquid_prog
+open Liquid_pipeline
+open Liquid_workloads
+
+type variant =
+  | Baseline  (** scalar binary (inline loops) on the plain core *)
+  | Liquid_scalar  (** Liquid binary on a core with no accelerator *)
+  | Liquid of int  (** Liquid binary, accelerator + translator at width *)
+  | Liquid_oracle of int
+      (** Liquid binary with microcode available from the first call —
+          the paper's "built-in ISA support" comparison point (§5) *)
+  | Native of int  (** native SIMD binary on a matching accelerator *)
+
+type result = { variant : variant; program : Program.t; run : Cpu.run }
+
+val variant_name : variant -> string
+
+val program_of : Workload.t -> variant -> Program.t
+(** Raises {!Liquid_scalarize.Codegen.Unsupported_width} when a native
+    binary cannot be generated at the requested width. *)
+
+val run : ?translation_cpi:int -> ?fuel:int -> Workload.t -> variant -> result
+val speedup : baseline:Cpu.run -> Cpu.run -> float
+(** [baseline.cycles / run.cycles]. *)

@@ -1,0 +1,77 @@
+type params = { lanes : int; registers : int; buffer_entries : int }
+
+let default_params = { lanes = 8; registers = 16; buffer_entries = 64 }
+
+type report = {
+  params : params;
+  decoder_cells : int;
+  legality_cells : int;
+  regstate_cells : int;
+  opgen_cells : int;
+  buffer_cells : int;
+  total_cells : int;
+  crit_path_gates : int;
+  crit_path_ns : float;
+  freq_mhz : float;
+  area_mm2 : float;
+}
+
+(* Calibration constants (see the interface): chosen so that the default
+   8-wide / 16-register / 64-entry configuration totals exactly the
+   174,117 cells, 16 gates and 1.51 ns of the paper's Table 2, with the
+   register state at 55% of the area. *)
+
+let decoder_cells_const = 3_009
+let legality_cells_const = 300
+let regstate_base_per_reg = 2_465 (* class, size and addressing state *)
+let regstate_per_reg_per_lane = 440 (* previous-value storage + muxes *)
+let opgen_cells_const = 9_000
+let buffer_storage_per_entry = 540 (* 32 bits of microcode storage *)
+let buffer_align_per_entry = 492 (* alignment / collapse network *)
+let gate_delay_ns = 1.51 /. 16.0
+let cell_area_mm2 = 1.1e-6
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let estimate params =
+  if params.lanes < 2 || params.registers < 1 || params.buffer_entries < 1 then
+    invalid_arg "Hwmodel.estimate: bad parameters";
+  let decoder_cells = decoder_cells_const in
+  let legality_cells = legality_cells_const in
+  let regstate_cells =
+    params.registers
+    * (regstate_base_per_reg + (regstate_per_reg_per_lane * params.lanes))
+  in
+  let opgen_cells = opgen_cells_const in
+  let buffer_cells =
+    params.buffer_entries * (buffer_storage_per_entry + buffer_align_per_entry)
+  in
+  let total_cells =
+    decoder_cells + legality_cells + regstate_cells + opgen_cells + buffer_cells
+  in
+  (* 5 gates of partial decode plus the register-state previous-value
+     read/conditional-write path, whose mux tree deepens with log2 of
+     the lane count. *)
+  let crit_path_gates = 5 + 8 + log2_ceil params.lanes in
+  let crit_path_ns = float_of_int crit_path_gates *. gate_delay_ns in
+  {
+    params;
+    decoder_cells;
+    legality_cells;
+    regstate_cells;
+    opgen_cells;
+    buffer_cells;
+    total_cells;
+    crit_path_gates;
+    crit_path_ns;
+    freq_mhz = 1000.0 /. crit_path_ns;
+    area_mm2 = float_of_int total_cells *. cell_area_mm2;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d-wide Translator | %d gates | %.2f ns (%.0f MHz) | %d cells | %.3f mm^2"
+    r.params.lanes r.crit_path_gates r.crit_path_ns r.freq_mhz r.total_cells
+    r.area_mm2

@@ -1,0 +1,53 @@
+(** Analytic area/delay model of the dynamic translation hardware.
+
+    The paper synthesized its translator in a 90 nm IBM standard-cell
+    process (Table 2: 16-gate critical path, 1.51 ns, 174,117 cells,
+    under 0.2 mm² for the 8-wide configuration) and describes how each
+    block scales (§4.1):
+
+    - the {e partial decoder} is a few thousand cells, 5 of the 16
+      critical-path gates, and does not scale with width;
+    - the {e legality checks} are a few hundred cells, off the critical
+      path;
+    - the {e register state} is 55% of the area, 11 of 16 critical-path
+      gates (previous-value read/conditional write), and grows linearly
+      with both the architectural register count and the vector length;
+    - the {e opcode generation logic} is about 9,000 cells;
+    - the {e microcode buffer} stores 64 x 32-bit instructions (256
+      bytes), a little more than half of its cells, the rest being the
+      alignment network that collapses invalidated instructions.
+
+    This module reproduces that accounting: the constants are calibrated
+    so the default configuration (8 lanes, 16 registers, 64-entry
+    buffer) lands exactly on the published totals, and the documented
+    scaling laws extrapolate other configurations. The buffer cell count
+    is derived as the residual of the published total, since the
+    component figures quoted in the paper's prose slightly overlap. *)
+
+type params = {
+  lanes : int;  (** accelerator vector width *)
+  registers : int;  (** architectural integer registers *)
+  buffer_entries : int;  (** microcode buffer capacity (instructions) *)
+}
+
+val default_params : params
+(** 8 lanes, 16 registers, 64 entries — the paper's configuration. *)
+
+type report = {
+  params : params;
+  decoder_cells : int;
+  legality_cells : int;
+  regstate_cells : int;
+  opgen_cells : int;
+  buffer_cells : int;
+  total_cells : int;
+  crit_path_gates : int;
+  crit_path_ns : float;
+  freq_mhz : float;
+  area_mm2 : float;
+}
+
+val estimate : params -> report
+
+val pp_report : Format.formatter -> report -> unit
+(** One row in the format of the paper's Table 2. *)

@@ -1,0 +1,1 @@
+lib/isa/esize.mli: Format

@@ -1,0 +1,1 @@
+lib/isa/insn.ml: Cond Esize Format Int Opcode Reg

@@ -1,0 +1,44 @@
+type t = Al | Eq | Ne | Gt | Ge | Lt | Le
+
+let holds t (f : Flags.t) =
+  match t with
+  | Al -> true
+  | Eq -> f.eq
+  | Ne -> not f.eq
+  | Gt -> (not f.lt) && not f.eq
+  | Ge -> not f.lt
+  | Lt -> f.lt
+  | Le -> f.lt || f.eq
+
+let all = [ Al; Eq; Ne; Gt; Ge; Lt; Le ]
+let equal (a : t) b = a = b
+
+let suffix = function
+  | Al -> ""
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Lt -> "lt"
+  | Le -> "le"
+
+let pp ppf t = Format.pp_print_string ppf (match t with Al -> "al" | _ -> suffix t)
+
+let to_int = function
+  | Al -> 0
+  | Eq -> 1
+  | Ne -> 2
+  | Gt -> 3
+  | Ge -> 4
+  | Lt -> 5
+  | Le -> 6
+
+let of_int = function
+  | 0 -> Some Al
+  | 1 -> Some Eq
+  | 2 -> Some Ne
+  | 3 -> Some Gt
+  | 4 -> Some Ge
+  | 5 -> Some Lt
+  | 6 -> Some Le
+  | _ -> None

@@ -1,0 +1,13 @@
+(** Condition codes for predicated execution and branches. *)
+
+type t = Al | Eq | Ne | Gt | Ge | Lt | Le
+
+val holds : t -> Flags.t -> bool
+val all : t list
+val equal : t -> t -> bool
+val suffix : t -> string
+(** Assembly suffix: [""] for {!Al}, ["eq"], ["ne"], ... *)
+
+val pp : Format.formatter -> t -> unit
+val to_int : t -> int
+val of_int : int -> t option

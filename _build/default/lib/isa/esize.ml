@@ -1,0 +1,23 @@
+type t = Byte | Half | Word
+
+let bytes = function Byte -> 1 | Half -> 2 | Word -> 4
+let shift = function Byte -> 0 | Half -> 1 | Word -> 2
+let bits t = 8 * bytes t
+let min_signed t = -(1 lsl (bits t - 1))
+let max_signed t = (1 lsl (bits t - 1)) - 1
+let max_unsigned t = (1 lsl bits t) - 1
+
+let truncate t v =
+  let b = bits t in
+  let sh = Sys.int_size - b in
+  (v lsl sh) asr sh
+
+let truncate_unsigned t v = v land max_unsigned t
+let of_shift = function 0 -> Some Byte | 1 -> Some Half | 2 -> Some Word | _ -> None
+let all = [ Byte; Half; Word ]
+let equal (a : t) b = a = b
+let suffix = function Byte -> "b" | Half -> "h" | Word -> ""
+
+let pp ppf t =
+  Format.pp_print_string ppf
+    (match t with Byte -> "byte" | Half -> "half" | Word -> "word")

@@ -1,0 +1,30 @@
+(** Element sizes for memory accesses and vector lanes. *)
+
+type t = Byte | Half | Word
+
+val bytes : t -> int
+(** 1, 2 or 4. *)
+
+val shift : t -> int
+(** log2 of {!bytes}: the scaling shift used in indexed addressing. *)
+
+val bits : t -> int
+
+val min_signed : t -> int
+val max_signed : t -> int
+val max_unsigned : t -> int
+
+val truncate : t -> int -> int
+(** Keep the low [bits t] bits, sign-extended (two's complement wrap). *)
+
+val truncate_unsigned : t -> int -> int
+(** Keep the low [bits t] bits, zero-extended. *)
+
+val of_shift : int -> t option
+(** Inverse of {!shift}. *)
+
+val all : t list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val suffix : t -> string
+(** Assembly mnemonic suffix: ["b"], ["h"], [""]. *)

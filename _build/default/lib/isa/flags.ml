@@ -1,0 +1,8 @@
+type t = { lt : bool; eq : bool }
+
+let initial = { lt = false; eq = false }
+let of_compare a b = { lt = a < b; eq = a = b }
+let equal (a : t) b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "{lt=%b; eq=%b}" t.lt t.eq

@@ -1,0 +1,13 @@
+(** Processor condition flags, set by compare instructions.
+
+    We keep the signed comparison outcome directly rather than N/Z/C/V
+    bits; the modeled ISA only exposes signed conditions. *)
+
+type t = { lt : bool; eq : bool }
+
+val initial : t
+val of_compare : int -> int -> t
+(** [of_compare a b] captures the signed relation of [a] to [b]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,161 @@
+type operand = Imm of int | Reg of Reg.t
+
+type 'sym base = Sym of 'sym | Breg of Reg.t
+
+type ('sym, 'lab) t =
+  | Mov of { cond : Cond.t; dst : Reg.t; src : operand }
+  | Dp of {
+      cond : Cond.t;
+      op : Opcode.t;
+      dst : Reg.t;
+      src1 : Reg.t;
+      src2 : operand;
+    }
+  | Ld of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Reg.t;
+      base : 'sym base;
+      index : operand;
+      shift : int;
+    }
+  | St of {
+      esize : Esize.t;
+      src : Reg.t;
+      base : 'sym base;
+      index : operand;
+      shift : int;
+    }
+  | Cmp of { src1 : Reg.t; src2 : operand }
+  | B of { cond : Cond.t; target : 'lab }
+  | Bl of { target : 'lab; region : bool }
+  | Ret
+  | Halt
+
+type asm = (string, string) t
+type exec = (int, int) t
+
+let map_base f = function Sym s -> Sym (f s) | Breg r -> Breg r
+
+let map ~sym ~lab = function
+  | Mov m -> Mov m
+  | Dp d -> Dp d
+  | Ld l -> Ld { l with base = map_base sym l.base }
+  | St s -> St { s with base = map_base sym s.base }
+  | Cmp c -> Cmp c
+  | B b -> B { cond = b.cond; target = lab b.target }
+  | Bl b -> Bl { target = lab b.target; region = b.region }
+  | Ret -> Ret
+  | Halt -> Halt
+
+let operand_uses = function Imm _ -> [] | Reg r -> [ r ]
+let base_uses = function Sym _ -> [] | Breg r -> [ r ]
+
+let defs = function
+  | Mov { dst; _ } | Dp { dst; _ } | Ld { dst; _ } -> [ dst ]
+  | St _ | Cmp _ | B _ | Ret | Halt -> []
+  | Bl _ -> [ Reg.lr ]
+
+let uses = function
+  | Mov { src; cond; dst; _ } ->
+      (* A predicated move reads its destination (the old value survives
+         when the condition fails). *)
+      operand_uses src @ (if cond = Cond.Al then [] else [ dst ])
+  | Dp { src1; src2; cond; dst; _ } ->
+      (src1 :: operand_uses src2) @ (if cond = Cond.Al then [] else [ dst ])
+  | Ld { base; index; _ } -> base_uses base @ operand_uses index
+  | St { src; base; index; _ } -> (src :: base_uses base) @ operand_uses index
+  | Cmp { src1; src2 } -> src1 :: operand_uses src2
+  | B _ | Halt -> []
+  | Bl _ -> []
+  | Ret -> [ Reg.lr ]
+
+let is_branch = function B _ | Bl _ | Ret -> true | _ -> false
+
+let equal_operand a b =
+  match (a, b) with
+  | Imm x, Imm y -> x = y
+  | Reg x, Reg y -> Reg.equal x y
+  | Imm _, Reg _ | Reg _, Imm _ -> false
+
+let equal_base eq_sym a b =
+  match (a, b) with
+  | Sym x, Sym y -> eq_sym x y
+  | Breg x, Breg y -> Reg.equal x y
+  | Sym _, Breg _ | Breg _, Sym _ -> false
+
+let equal eq_sym eq_lab a b =
+  match (a, b) with
+  | Mov x, Mov y ->
+      Cond.equal x.cond y.cond && Reg.equal x.dst y.dst
+      && equal_operand x.src y.src
+  | Dp x, Dp y ->
+      Cond.equal x.cond y.cond && Opcode.equal x.op y.op
+      && Reg.equal x.dst y.dst && Reg.equal x.src1 y.src1
+      && equal_operand x.src2 y.src2
+  | Ld x, Ld y ->
+      Esize.equal x.esize y.esize && x.signed = y.signed
+      && Reg.equal x.dst y.dst
+      && equal_base eq_sym x.base y.base
+      && equal_operand x.index y.index
+      && x.shift = y.shift
+  | St x, St y ->
+      Esize.equal x.esize y.esize && Reg.equal x.src y.src
+      && equal_base eq_sym x.base y.base
+      && equal_operand x.index y.index
+      && x.shift = y.shift
+  | Cmp x, Cmp y -> Reg.equal x.src1 y.src1 && equal_operand x.src2 y.src2
+  | B x, B y -> Cond.equal x.cond y.cond && eq_lab x.target y.target
+  | Bl x, Bl y -> eq_lab x.target y.target && x.region = y.region
+  | Ret, Ret | Halt, Halt -> true
+  | ( ( Mov _ | Dp _ | Ld _ | St _ | Cmp _ | B _ | Bl _ | Ret | Halt ),
+      ( Mov _ | Dp _ | Ld _ | St _ | Cmp _ | B _ | Bl _ | Ret | Halt ) ) ->
+      false
+
+let equal_exec a b = equal Int.equal Int.equal a b
+
+let pp_operand ppf = function
+  | Imm i -> Format.fprintf ppf "#%d" i
+  | Reg r -> Reg.pp ppf r
+
+let pp_base pp_sym ppf = function
+  | Sym s -> pp_sym ppf s
+  | Breg r -> Reg.pp ppf r
+
+let pp_index ppf (index, shift) =
+  match (index, shift) with
+  | Imm 0, 0 -> ()
+  | _, 0 -> Format.fprintf ppf " + %a" pp_operand index
+  | _, s -> Format.fprintf ppf " + %a lsl %d" pp_operand index s
+
+let pp ~pp_sym ~pp_lab ppf = function
+  | Mov { cond; dst; src } ->
+      Format.fprintf ppf "mov%s %a, %a" (Cond.suffix cond) Reg.pp dst
+        pp_operand src
+  | Dp { cond; op; dst; src1; src2 } ->
+      Format.fprintf ppf "%s%s %a, %a, %a" (Opcode.mnemonic op)
+        (Cond.suffix cond) Reg.pp dst Reg.pp src1 pp_operand src2
+  | Ld { esize; signed; dst; base; index; shift } ->
+      Format.fprintf ppf "ld%s%s %a, [%a%a]" (Esize.suffix esize)
+        (if signed && esize <> Esize.Word then "s" else "")
+        Reg.pp dst (pp_base pp_sym) base pp_index (index, shift)
+  | St { esize; src; base; index; shift } ->
+      Format.fprintf ppf "st%s [%a%a], %a" (Esize.suffix esize)
+        (pp_base pp_sym) base pp_index (index, shift) Reg.pp src
+  | Cmp { src1; src2 } ->
+      Format.fprintf ppf "cmp %a, %a" Reg.pp src1 pp_operand src2
+  | B { cond; target } ->
+      Format.fprintf ppf "b%s %a"
+        (match cond with Cond.Al -> "" | c -> Cond.suffix c)
+        pp_lab target
+  | Bl { target; region } ->
+      Format.fprintf ppf "bl%s %a" (if region then ".region" else "") pp_lab
+        target
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let pp_string ppf s = Format.pp_print_string ppf s
+let pp_addr ppf a = Format.fprintf ppf "0x%x" a
+let pp_idx ppf i = Format.fprintf ppf "@%d" i
+let pp_asm ppf i = pp ~pp_sym:pp_string ~pp_lab:pp_string ppf i
+let pp_exec ppf i = pp ~pp_sym:pp_addr ~pp_lab:pp_idx ppf i

@@ -1,0 +1,85 @@
+type t =
+  | Add
+  | Sub
+  | Rsb
+  | Mul
+  | And
+  | Orr
+  | Eor
+  | Bic
+  | Lsl
+  | Lsr
+  | Asr
+  | Smin
+  | Smax
+
+let eval t a b =
+  match t with
+  | Add -> Word.add a b
+  | Sub -> Word.sub a b
+  | Rsb -> Word.rsb a b
+  | Mul -> Word.mul a b
+  | And -> Word.logand a b
+  | Orr -> Word.logor a b
+  | Eor -> Word.logxor a b
+  | Bic -> Word.bic a b
+  | Lsl -> Word.shl a b
+  | Lsr -> Word.shr a b
+  | Asr -> Word.sar a b
+  | Smin -> Word.smin a b
+  | Smax -> Word.smax a b
+
+let commutative = function
+  | Add | Mul | And | Orr | Eor | Smin | Smax -> true
+  | Sub | Rsb | Bic | Lsl | Lsr | Asr -> false
+
+let all = [ Add; Sub; Rsb; Mul; And; Orr; Eor; Bic; Lsl; Lsr; Asr; Smin; Smax ]
+let equal (a : t) b = a = b
+
+let mnemonic = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Rsb -> "rsb"
+  | Mul -> "mul"
+  | And -> "and"
+  | Orr -> "orr"
+  | Eor -> "eor"
+  | Bic -> "bic"
+  | Lsl -> "lsl"
+  | Lsr -> "lsr"
+  | Asr -> "asr"
+  | Smin -> "smin"
+  | Smax -> "smax"
+
+let pp ppf t = Format.pp_print_string ppf (mnemonic t)
+
+let to_int = function
+  | Add -> 0
+  | Sub -> 1
+  | Rsb -> 2
+  | Mul -> 3
+  | And -> 4
+  | Orr -> 5
+  | Eor -> 6
+  | Bic -> 7
+  | Lsl -> 8
+  | Lsr -> 9
+  | Asr -> 10
+  | Smin -> 11
+  | Smax -> 12
+
+let of_int = function
+  | 0 -> Some Add
+  | 1 -> Some Sub
+  | 2 -> Some Rsb
+  | 3 -> Some Mul
+  | 4 -> Some And
+  | 5 -> Some Orr
+  | 6 -> Some Eor
+  | 7 -> Some Bic
+  | 8 -> Some Lsl
+  | 9 -> Some Lsr
+  | 10 -> Some Asr
+  | 11 -> Some Smin
+  | 12 -> Some Smax
+  | _ -> None

@@ -1,0 +1,32 @@
+(** Data-processing opcodes of the baseline scalar ISA.
+
+    The set mirrors the ARM integer ALU plus [Smin]/[Smax], which the
+    paper's Table 1 uses directly for reductions (category 4). There are
+    deliberately no saturating opcodes: saturation is expressed as a
+    compare/predicated-move idiom, exactly as in the paper (section 3.2). *)
+
+type t =
+  | Add
+  | Sub
+  | Rsb  (** reverse subtract: [dst = src2 - src1] *)
+  | Mul
+  | And
+  | Orr
+  | Eor
+  | Bic
+  | Lsl
+  | Lsr
+  | Asr
+  | Smin
+  | Smax
+
+val eval : t -> int -> int -> int
+(** Apply the operation to two 32-bit words (see {!Word}). *)
+
+val commutative : t -> bool
+val all : t list
+val equal : t -> t -> bool
+val mnemonic : t -> string
+val pp : Format.formatter -> t -> unit
+val to_int : t -> int
+val of_int : int -> t option

@@ -1,0 +1,16 @@
+type t = int
+
+let count = 16
+
+let make i =
+  if i < 0 || i >= count then
+    invalid_arg (Printf.sprintf "Reg.make: r%d out of range" i)
+  else i
+
+let index t = t
+let lr = 14
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let name t = Printf.sprintf "r%d" t
+let pp ppf t = Format.pp_print_string ppf (name t)
+let all = List.init count (fun i -> i)

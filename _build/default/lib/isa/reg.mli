@@ -1,0 +1,25 @@
+(** Scalar architectural registers r0..r15.
+
+    Register conventions used by generated code:
+    - r0 is the induction variable inside outlined loops (by convention of
+      the code generator, not the ISA);
+    - r14 is the link register written by branch-and-link;
+    - the remaining registers are general purpose. *)
+
+type t
+
+val count : int
+(** 16, as in the ARM architecture the paper targets. *)
+
+val make : int -> t
+(** [make i] is register [ri]. Raises [Invalid_argument] outside 0..15. *)
+
+val index : t -> int
+val lr : t
+(** The link register, r14. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val name : t -> string
+val all : t list

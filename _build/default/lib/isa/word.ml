@@ -1,0 +1,33 @@
+type t = int
+
+let of_int v =
+  let sh = Sys.int_size - 32 in
+  (v lsl sh) asr sh
+
+let to_unsigned v = v land 0xFFFFFFFF
+let add a b = of_int (a + b)
+let sub a b = of_int (a - b)
+let rsb a b = of_int (b - a)
+let mul a b = of_int (a * b)
+let logand a b = of_int (a land b)
+let logor a b = of_int (a lor b)
+let logxor a b = of_int (a lxor b)
+let bic a b = of_int (a land lnot b)
+let shl a n = of_int (a lsl (n land 31))
+let shr a n = of_int (to_unsigned a lsr (n land 31))
+let sar a n = of_int (a asr (n land 31))
+let smin a b = if a <= b then a else b
+let smax a b = if a >= b then a else b
+
+let clamp esize ~signed v =
+  if signed then
+    let lo = Esize.min_signed esize and hi = Esize.max_signed esize in
+    if v < lo then lo else if v > hi then hi else v
+  else
+    let hi = Esize.max_unsigned esize in
+    if v < 0 then 0 else if v > hi then hi else v
+
+let sat_add esize ~signed a b = clamp esize ~signed (a + b)
+let sat_sub esize ~signed a b = clamp esize ~signed (a - b)
+let equal (a : t) b = a = b
+let pp ppf v = Format.fprintf ppf "%d" v

@@ -1,0 +1,41 @@
+type entry = { mutable tag : int; mutable counter : int; mutable valid : bool }
+
+type t = {
+  entries : entry array;
+  mutable lookups : int;
+  mutable mispredicts : int;
+}
+
+let create ?(entries = 128) () =
+  if entries <= 0 then invalid_arg "Branch_pred.create: entries must be > 0";
+  {
+    entries =
+      Array.init entries (fun _ -> { tag = 0; counter = 0; valid = false });
+    lookups = 0;
+    mispredicts = 0;
+  }
+
+let predict_and_update t ~pc ~taken =
+  t.lookups <- t.lookups + 1;
+  let slot = t.entries.(pc mod Array.length t.entries) in
+  let predicted =
+    if slot.valid && slot.tag = pc then slot.counter >= 2 else false
+  in
+  if slot.valid && slot.tag = pc then
+    slot.counter <-
+      (if taken then min 3 (slot.counter + 1) else max 0 (slot.counter - 1))
+  else begin
+    slot.valid <- true;
+    slot.tag <- pc;
+    slot.counter <- (if taken then 2 else 1)
+  end;
+  let correct = predicted = taken in
+  if not correct then t.mispredicts <- t.mispredicts + 1;
+  correct
+
+let lookups t = t.lookups
+let mispredicts t = t.mispredicts
+
+let reset_stats t =
+  t.lookups <- 0;
+  t.mispredicts <- 0

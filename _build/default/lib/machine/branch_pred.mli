@@ -1,0 +1,21 @@
+(** Branch direction predictor.
+
+    Models a small branch target buffer with per-entry 2-bit saturating
+    counters, backed by a static not-taken policy for branches that miss
+    in the BTB. This matches the simple front end of an in-order embedded
+    core: hot loop back-edges predict taken after the first encounter,
+    and the final loop exit mispredicts once. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** [entries] is the BTB capacity (default 128, direct-mapped by PC). *)
+
+val predict_and_update : t -> pc:int -> taken:bool -> bool
+(** [predict_and_update t ~pc ~taken] returns [true] when the prediction
+    for the branch at [pc] matched the actual [taken] outcome, then trains
+    the predictor with that outcome. *)
+
+val lookups : t -> int
+val mispredicts : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,96 @@
+type config = { size_bytes : int; line_bytes : int; assoc : int }
+
+let arm926_config = { size_bytes = 16 * 1024; line_bytes = 32; assoc = 64 }
+
+type way = { mutable tag : int; mutable valid : bool; mutable age : int }
+
+type t = {
+  cfg : config;
+  sets : way array array;
+  line_shift : int;
+  set_shift : int;
+  n_sets : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type outcome = Hit | Miss
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create cfg =
+  if not (is_pow2 cfg.line_bytes) then
+    invalid_arg "Cache.create: line size must be a power of two";
+  let n_sets = cfg.size_bytes / (cfg.line_bytes * cfg.assoc) in
+  if n_sets < 1 then invalid_arg "Cache.create: capacity below one set";
+  if not (is_pow2 n_sets) then
+    invalid_arg "Cache.create: set count must be a power of two";
+  let sets =
+    Array.init n_sets (fun _ ->
+        Array.init cfg.assoc (fun _ -> { tag = 0; valid = false; age = 0 }))
+  in
+  {
+    cfg;
+    sets;
+    line_shift = log2 cfg.line_bytes;
+    set_shift = log2 n_sets;
+    n_sets;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let config t = t.cfg
+
+let access t addr =
+  let line = addr lsr t.line_shift in
+  let set = t.sets.(line land (t.n_sets - 1)) in
+  let tag = line lsr t.set_shift in
+  t.clock <- t.clock + 1;
+  let found = ref None in
+  Array.iter
+    (fun w -> if w.valid && w.tag = tag && !found = None then found := Some w)
+    set;
+  match !found with
+  | Some w ->
+      w.age <- t.clock;
+      t.hits <- t.hits + 1;
+      Hit
+  | None ->
+      let victim = ref set.(0) in
+      Array.iter
+        (fun w ->
+          let v = !victim in
+          if (not w.valid) && v.valid then victim := w
+          else if w.valid = v.valid && w.age < v.age then victim := w)
+        set;
+      let v = !victim in
+      v.valid <- true;
+      v.tag <- tag;
+      v.age <- t.clock;
+      t.misses <- t.misses + 1;
+      Miss
+
+let line_bytes t = t.cfg.line_bytes
+
+let lines_spanned t ~addr ~bytes =
+  if bytes <= 0 then 0
+  else
+    let first = addr lsr t.line_shift in
+    let last = (addr + bytes - 1) lsr t.line_shift in
+    last - first + 1
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let flush t =
+  Array.iter (fun set -> Array.iter (fun w -> w.valid <- false) set) t.sets

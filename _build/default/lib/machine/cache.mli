@@ -1,0 +1,41 @@
+(** Set-associative cache model with true-LRU replacement.
+
+    This is a timing/behaviour model only: it tracks which lines are
+    resident, not their contents (data always comes from {!Memory}). The
+    default geometry matches the ARM-926EJ-S used in the paper's
+    evaluation: 16 KiB, 64-way, 32-byte lines. *)
+
+type config = {
+  size_bytes : int;  (** total capacity *)
+  line_bytes : int;  (** line size; must be a power of two *)
+  assoc : int;  (** ways per set *)
+}
+
+val arm926_config : config
+(** 16 KiB / 64-way / 32-byte lines, as in the ARM-926EJ-S. *)
+
+type t
+
+val create : config -> t
+
+val config : t -> config
+
+type outcome = Hit | Miss
+
+val access : t -> int -> outcome
+(** [access c addr] touches the line containing [addr], allocating it
+    (and evicting the LRU way) on a miss. Both reads and writes allocate,
+    modeling a write-allocate cache. *)
+
+val line_bytes : t -> int
+
+val lines_spanned : t -> addr:int -> bytes:int -> int
+(** Number of distinct cache lines covered by the byte range. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val reset_stats : t -> unit
+
+val flush : t -> unit
+(** Invalidate every line (e.g., on context switch in ablations). *)

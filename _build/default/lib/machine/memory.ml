@@ -1,0 +1,102 @@
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+let addr_mask = 0xFFFFFFFF
+
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let copy m =
+  let pages = Hashtbl.create (Hashtbl.length m.pages) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace pages k (Bytes.copy v)) m.pages;
+  { pages }
+
+let page_of m idx =
+  match Hashtbl.find_opt m.pages idx with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.replace m.pages idx p;
+      p
+
+let read_byte m addr =
+  let addr = addr land addr_mask in
+  match Hashtbl.find_opt m.pages (addr lsr page_bits) with
+  | None -> 0
+  | Some p -> Char.code (Bytes.unsafe_get p (addr land page_mask))
+
+let write_byte m addr v =
+  let addr = addr land addr_mask in
+  let p = page_of m (addr lsr page_bits) in
+  Bytes.unsafe_set p (addr land page_mask) (Char.unsafe_chr (v land 0xFF))
+
+let sign_extend ~bits v =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift
+
+let read m ~addr ~bytes ~signed =
+  let raw =
+    match bytes with
+    | 1 -> read_byte m addr
+    | 2 -> read_byte m addr lor (read_byte m (addr + 1) lsl 8)
+    | 4 ->
+        read_byte m addr
+        lor (read_byte m (addr + 1) lsl 8)
+        lor (read_byte m (addr + 2) lsl 16)
+        lor (read_byte m (addr + 3) lsl 24)
+    | n -> invalid_arg (Printf.sprintf "Memory.read: bad size %d" n)
+  in
+  if signed || bytes = 4 then sign_extend ~bits:(bytes * 8) raw else raw
+
+let write m ~addr ~bytes v =
+  match bytes with
+  | 1 -> write_byte m addr v
+  | 2 ->
+      write_byte m addr v;
+      write_byte m (addr + 1) (v asr 8)
+  | 4 ->
+      write_byte m addr v;
+      write_byte m (addr + 1) (v asr 8);
+      write_byte m (addr + 2) (v asr 16);
+      write_byte m (addr + 3) (v asr 24)
+  | n -> invalid_arg (Printf.sprintf "Memory.write: bad size %d" n)
+
+let blit_bytes m ~addr src =
+  Bytes.iteri (fun i c -> write_byte m (addr + i) (Char.code c)) src
+
+let touched_pages m = Hashtbl.length m.pages
+
+let zero_page = Bytes.make page_size '\000'
+
+let equal a b =
+  let check pages_a pages_b =
+    Hashtbl.fold
+      (fun idx pa acc ->
+        acc
+        &&
+        match Hashtbl.find_opt pages_b idx with
+        | Some pb -> Bytes.equal pa pb
+        | None -> Bytes.equal pa zero_page)
+      pages_a true
+  in
+  check a.pages b.pages && check b.pages a.pages
+
+let diff a b =
+  let out = ref [] and count = ref 0 in
+  let page_indices = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace page_indices k ()) a.pages;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace page_indices k ()) b.pages;
+  Hashtbl.iter
+    (fun idx () ->
+      if !count < 32 then
+        for off = 0 to page_size - 1 do
+          let addr = (idx lsl page_bits) lor off in
+          let va = read_byte a addr and vb = read_byte b addr in
+          if va <> vb && !count < 32 then begin
+            out := (addr, va, vb) :: !out;
+            incr count
+          end
+        done)
+    page_indices;
+  List.rev !out

@@ -1,0 +1,45 @@
+(** Byte-addressable sparse memory.
+
+    The memory is organized as 4 KiB pages allocated on first touch, so
+    programs may use widely separated address ranges (code, data, stack)
+    without reserving the whole address space. All multi-byte accesses are
+    little-endian. Addresses are plain OCaml [int]s interpreted as unsigned
+    32-bit values; accesses wrap within the 32-bit space. *)
+
+type t
+
+val create : unit -> t
+(** A fresh memory whose every byte reads as zero. *)
+
+val copy : t -> t
+(** Deep copy; the two memories evolve independently afterwards. *)
+
+val read_byte : t -> int -> int
+(** [read_byte m addr] is the unsigned byte at [addr]. *)
+
+val write_byte : t -> int -> int -> unit
+(** [write_byte m addr v] stores the low 8 bits of [v] at [addr]. *)
+
+val read : t -> addr:int -> bytes:int -> signed:bool -> int
+(** [read m ~addr ~bytes ~signed] reads a little-endian value of 1, 2 or
+    4 bytes. When [signed], the result is sign-extended to OCaml's [int]
+    range; otherwise it is zero-extended (a 4-byte read is always returned
+    as a signed 32-bit value since that is the machine's word domain). *)
+
+val write : t -> addr:int -> bytes:int -> int -> unit
+(** [write m ~addr ~bytes v] stores the low [bytes * 8] bits of [v]
+    little-endian at [addr]. [bytes] must be 1, 2 or 4. *)
+
+val blit_bytes : t -> addr:int -> Bytes.t -> unit
+(** Bulk-initialize memory starting at [addr]. *)
+
+val touched_pages : t -> int
+(** Number of 4 KiB pages allocated so far (footprint metric). *)
+
+val equal : t -> t -> bool
+(** Structural equality over all touched bytes; a page absent from one
+    memory equals an all-zero page in the other. *)
+
+val diff : t -> t -> (int * int * int) list
+(** [diff a b] lists up to 32 differing locations as
+    [(addr, byte_in_a, byte_in_b)], for test diagnostics. *)

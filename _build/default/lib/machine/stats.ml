@@ -1,0 +1,97 @@
+type t = {
+  mutable cycles : int;
+  mutable scalar_insns : int;
+  mutable vector_insns : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable branch_mispredicts : int;
+  mutable icache_hits : int;
+  mutable icache_misses : int;
+  mutable dcache_hits : int;
+  mutable dcache_misses : int;
+  mutable region_calls : int;
+  mutable ucode_hits : int;
+  mutable ucode_installs : int;
+  mutable ucode_evictions : int;
+  mutable translations_started : int;
+  mutable translations_aborted : int;
+  mutable translation_busy_cycles : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    scalar_insns = 0;
+    vector_insns = 0;
+    loads = 0;
+    stores = 0;
+    branches = 0;
+    branch_mispredicts = 0;
+    icache_hits = 0;
+    icache_misses = 0;
+    dcache_hits = 0;
+    dcache_misses = 0;
+    region_calls = 0;
+    ucode_hits = 0;
+    ucode_installs = 0;
+    ucode_evictions = 0;
+    translations_started = 0;
+    translations_aborted = 0;
+    translation_busy_cycles = 0;
+  }
+
+let reset t =
+  t.cycles <- 0;
+  t.scalar_insns <- 0;
+  t.vector_insns <- 0;
+  t.loads <- 0;
+  t.stores <- 0;
+  t.branches <- 0;
+  t.branch_mispredicts <- 0;
+  t.icache_hits <- 0;
+  t.icache_misses <- 0;
+  t.dcache_hits <- 0;
+  t.dcache_misses <- 0;
+  t.region_calls <- 0;
+  t.ucode_hits <- 0;
+  t.ucode_installs <- 0;
+  t.ucode_evictions <- 0;
+  t.translations_started <- 0;
+  t.translations_aborted <- 0;
+  t.translation_busy_cycles <- 0
+
+let add acc x =
+  acc.cycles <- acc.cycles + x.cycles;
+  acc.scalar_insns <- acc.scalar_insns + x.scalar_insns;
+  acc.vector_insns <- acc.vector_insns + x.vector_insns;
+  acc.loads <- acc.loads + x.loads;
+  acc.stores <- acc.stores + x.stores;
+  acc.branches <- acc.branches + x.branches;
+  acc.branch_mispredicts <- acc.branch_mispredicts + x.branch_mispredicts;
+  acc.icache_hits <- acc.icache_hits + x.icache_hits;
+  acc.icache_misses <- acc.icache_misses + x.icache_misses;
+  acc.dcache_hits <- acc.dcache_hits + x.dcache_hits;
+  acc.dcache_misses <- acc.dcache_misses + x.dcache_misses;
+  acc.region_calls <- acc.region_calls + x.region_calls;
+  acc.ucode_hits <- acc.ucode_hits + x.ucode_hits;
+  acc.ucode_installs <- acc.ucode_installs + x.ucode_installs;
+  acc.ucode_evictions <- acc.ucode_evictions + x.ucode_evictions;
+  acc.translations_started <- acc.translations_started + x.translations_started;
+  acc.translations_aborted <- acc.translations_aborted + x.translations_aborted;
+  acc.translation_busy_cycles <-
+    acc.translation_busy_cycles + x.translation_busy_cycles
+
+let total_insns t = t.scalar_insns + t.vector_insns
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cycles: %d@ scalar insns: %d@ vector insns: %d@ loads/stores: %d/%d@ \
+     branches: %d (mispred %d)@ icache: %d hit / %d miss@ dcache: %d hit / %d \
+     miss@ region calls: %d (ucode hits %d, installs %d, evictions %d)@ \
+     translations: %d started / %d aborted (busy %d cycles)@]"
+    t.cycles t.scalar_insns t.vector_insns t.loads t.stores t.branches
+    t.branch_mispredicts t.icache_hits t.icache_misses t.dcache_hits
+    t.dcache_misses t.region_calls t.ucode_hits t.ucode_installs
+    t.ucode_evictions t.translations_started t.translations_aborted
+    t.translation_busy_cycles

@@ -1,0 +1,31 @@
+(** Mutable counters collected during a simulation run. *)
+
+type t = {
+  mutable cycles : int;  (** total elapsed cycles *)
+  mutable scalar_insns : int;  (** retired baseline-ISA instructions *)
+  mutable vector_insns : int;  (** retired SIMD instructions *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable branch_mispredicts : int;
+  mutable icache_hits : int;
+  mutable icache_misses : int;
+  mutable dcache_hits : int;
+  mutable dcache_misses : int;
+  mutable region_calls : int;  (** calls of outlined (translatable) regions *)
+  mutable ucode_hits : int;  (** region calls served from the microcode cache *)
+  mutable ucode_installs : int;
+  mutable ucode_evictions : int;
+  mutable translations_started : int;
+  mutable translations_aborted : int;
+  mutable translation_busy_cycles : int;
+      (** cycles during which the translator was occupied *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc] field-wise. *)
+
+val total_insns : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/pipeline/cpu.mli: Abort Cache Image Liquid_machine Liquid_prog Liquid_translate Liquid_visa Memory Stats Ucode

@@ -1,0 +1,1 @@
+lib/pipeline/offline.ml: Array Event Image Liquid_machine Liquid_prog Liquid_translate Liquid_visa List Minsn Sem Translator

@@ -1,0 +1,1 @@
+lib/pipeline/offline.mli: Image Liquid_prog Liquid_translate Translator

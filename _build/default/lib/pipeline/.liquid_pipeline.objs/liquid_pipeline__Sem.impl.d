@@ -1,0 +1,1 @@
+lib/pipeline/sem.ml: Array Cond Esize Flags Format Insn Liquid_isa Liquid_machine Liquid_visa Opcode Perm Reg Vinsn Vreg Width Word

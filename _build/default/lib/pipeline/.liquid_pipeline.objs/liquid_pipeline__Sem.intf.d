@@ -1,0 +1,1 @@
+lib/pipeline/sem.mli: Flags Insn Liquid_isa Liquid_machine Liquid_visa Vinsn

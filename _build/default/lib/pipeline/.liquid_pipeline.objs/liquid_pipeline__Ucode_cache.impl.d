@@ -1,0 +1,1 @@
+lib/pipeline/ucode_cache.ml: Array Liquid_translate Ucode

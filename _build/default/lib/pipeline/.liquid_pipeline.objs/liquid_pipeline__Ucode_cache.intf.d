@@ -1,0 +1,1 @@
+lib/pipeline/ucode_cache.mli: Liquid_translate Ucode

@@ -1,0 +1,548 @@
+open Liquid_isa
+open Liquid_visa
+open Liquid_machine
+open Liquid_prog
+open Liquid_translate
+
+type trace_event =
+  | T_insn of { pc : int; insn : Minsn.exec }
+  | T_uop of { entry : int; index : int; uop : Ucode.uop }
+  | T_region of {
+      label : string;
+      event :
+        [ `Scalar_call | `Ucode_call | `Translated of int | `Aborted of Abort.t ];
+    }
+
+type translation_kind =
+  | Hardware
+      (** post-retirement hardware: translation proceeds in parallel with
+          execution; only the microcode-ready time is delayed *)
+  | Software
+      (** a JIT routine on the main core: the same work stalls the
+          processor at region end (paper §2's software alternative) *)
+
+type translation = { cycles_per_insn : int; kind : translation_kind }
+
+type config = {
+  accel_lanes : int option;
+  translator : translation option;
+  icache : Cache.config option;
+  dcache : Cache.config option;
+  mem_latency : int;
+  mul_extra : int;
+  mispredict_penalty : int;
+  vec_bus_bytes : int;
+  oracle_translation : bool;
+  interrupt_interval : int option;
+  on_trace : (trace_event -> unit) option;
+  ucode_entries : int;
+  max_uops : int;
+  fuel : int;
+}
+
+let scalar_config =
+  {
+    accel_lanes = None;
+    translator = None;
+    icache = Some Cache.arm926_config;
+    dcache = Some Cache.arm926_config;
+    mem_latency = 30;
+    mul_extra = 1;
+    mispredict_penalty = 3;
+    vec_bus_bytes = 16;
+    oracle_translation = false;
+    interrupt_interval = None;
+    on_trace = None;
+    ucode_entries = 8;
+    max_uops = 64;
+    fuel = 200_000_000;
+  }
+
+let native_config ~lanes = { scalar_config with accel_lanes = Some lanes }
+
+let liquid_config ~lanes =
+  {
+    scalar_config with
+    accel_lanes = Some lanes;
+    translator = Some { cycles_per_insn = 1; kind = Hardware };
+  }
+
+type region_outcome =
+  | R_untried
+  | R_installed of { width : int; uops : int }
+  | R_failed of Abort.t
+
+type region_report = {
+  label : string;
+  entry : int;
+  calls : (int * int) list;
+  ucode_served : int;
+  outcome : region_outcome;
+}
+
+type run = {
+  stats : Stats.t;
+  memory : Memory.t;
+  regs : int array;
+  regions : region_report list;
+  ucode_max_occupancy : int;
+}
+
+exception Execution_error of string
+
+type racc = {
+  r_label : string;
+  mutable calls_rev : (int * int) list;
+  mutable served : int;
+  mutable outcome : region_outcome;
+}
+
+type session = {
+  tr : Translator.t;
+  s_entry : int;
+  s_start_cycle : int;
+  s_start_depth : int;
+}
+
+type state = {
+  cfg : config;
+  image : Image.t;
+  ctx : Sem.ctx;
+  stats : Stats.t;
+  icache : Cache.t option;
+  dcache : Cache.t option;
+  bpred : Branch_pred.t;
+  ucache : Ucode_cache.t;
+  oracle : (int, Ucode.t) Hashtbl.t;
+      (* oracle-translation mode: microcode served as if the binary
+         carried native SIMD instructions, bypassing the cache *)
+  regions : (int, racc) Hashtbl.t;
+  mutable pc : int;
+  mutable depth : int;
+  mutable session : session option;
+  mutable open_regions : (racc * int * int) list;
+      (* scalar-mode region calls awaiting their return:
+         (accumulator, start cycle, depth inside the region) *)
+  mutable last_load_dst : Reg.t option;
+  mutable last_interrupt_epoch : int;
+  mutable retired : int;
+  mutable halted : bool;
+}
+
+let charge st c = st.stats.Stats.cycles <- st.stats.Stats.cycles + c
+
+let trace st ev =
+  match st.cfg.on_trace with None -> () | Some f -> f ev
+
+let charge_icache st addr =
+  match st.icache with
+  | None -> ()
+  | Some c -> (
+      match Cache.access c addr with
+      | Cache.Hit -> st.stats.Stats.icache_hits <- st.stats.Stats.icache_hits + 1
+      | Cache.Miss ->
+          st.stats.Stats.icache_misses <- st.stats.Stats.icache_misses + 1;
+          charge st st.cfg.mem_latency)
+
+let charge_dcache st (a : Sem.access) =
+  (if a.write then st.stats.Stats.stores <- st.stats.Stats.stores + 1
+   else st.stats.Stats.loads <- st.stats.Stats.loads + 1);
+  match st.dcache with
+  | None -> ()
+  | Some c ->
+      let lines = Cache.lines_spanned c ~addr:a.addr ~bytes:a.bytes in
+      let line_bytes = Cache.line_bytes c in
+      for i = 0 to lines - 1 do
+        match Cache.access c (a.addr + (i * line_bytes)) with
+        | Cache.Hit -> st.stats.Stats.dcache_hits <- st.stats.Stats.dcache_hits + 1
+        | Cache.Miss ->
+            st.stats.Stats.dcache_misses <- st.stats.Stats.dcache_misses + 1;
+            charge st st.cfg.mem_latency
+      done
+
+(* A vector memory access moves [lanes * element] bytes over the memory
+   bus; beyond the first bus beat, each extra beat costs a cycle. This is
+   what makes wide vectors saturate (the paper's diminishing returns from
+   8 to 16 lanes on memory-bound loops). *)
+let charge_vector_mem st (v : Vinsn.exec) =
+  let extra esize =
+    let bytes = st.ctx.Sem.lanes * Esize.bytes esize in
+    max 0 ((bytes + st.cfg.vec_bus_bytes - 1) / st.cfg.vec_bus_bytes - 1)
+  in
+  match v with
+  | Vinsn.Vld { esize; _ } | Vinsn.Vst { esize; _ } -> charge st (extra esize)
+  | Vinsn.Vlds { esize; stride; _ } | Vinsn.Vsts { esize; stride; _ } ->
+      (* A strided access touches [stride] times the data of a unit
+         access. *)
+      charge st (stride * (extra esize + 1))
+  | Vinsn.Vgather { esize; _ } ->
+      (* One bus beat per lane: gathers do not coalesce. *)
+      charge st (st.ctx.Sem.lanes * (Esize.bytes esize + st.cfg.vec_bus_bytes - 1)
+                 / st.cfg.vec_bus_bytes)
+  | Vinsn.Vdp _ | Vinsn.Vsat _ | Vinsn.Vperm _ | Vinsn.Vred _ -> ()
+
+let fuel_check st =
+  st.retired <- st.retired + 1;
+  if st.retired > st.cfg.fuel then
+    raise (Execution_error "instruction budget exhausted")
+
+let load_use_stall st insn =
+  (match st.last_load_dst with
+  | Some r when List.exists (Reg.equal r) (Insn.uses insn) -> charge st 1
+  | Some _ | None -> ());
+  st.last_load_dst <- None
+
+let region_acc st entry =
+  match Hashtbl.find_opt st.regions entry with
+  | Some r -> r
+  | None ->
+      let label =
+        match List.assoc_opt entry st.image.Image.region_entries with
+        | Some l -> l
+        | None -> Printf.sprintf "@%d" entry
+      in
+      let r = { r_label = label; calls_rev = []; served = 0; outcome = R_untried } in
+      Hashtbl.replace st.regions entry r;
+      r
+
+let close_session st s =
+  st.session <- None;
+  let acc = region_acc st s.s_entry in
+  (* Translation work is proportional to the static instructions mapped
+     (the first iteration); later iterations stream past at retirement
+     rate. The microcode becomes visible once that work completes, no
+     earlier than the region's end. *)
+  let work = Translator.static_insns s.tr in
+  let cpi, kind =
+    match st.cfg.translator with
+    | Some t -> (t.cycles_per_insn, t.kind)
+    | None -> (1, Hardware)
+  in
+  st.stats.Stats.translation_busy_cycles <-
+    st.stats.Stats.translation_busy_cycles + (work * cpi);
+  (* A software translator runs on the core itself: the region's caller
+     stalls while the JIT routine executes. *)
+  (match kind with Software -> charge st (work * cpi) | Hardware -> ());
+  match Translator.finish s.tr with
+  | Translator.Translated u ->
+      trace st
+        (T_region { label = acc.r_label; event = `Translated u.Ucode.width });
+      let ready = max st.stats.Stats.cycles (s.s_start_cycle + (work * cpi)) in
+      let evicted = ref false in
+      Ucode_cache.install st.ucache ~key:s.s_entry ~ready u ~evicted;
+      st.stats.Stats.ucode_installs <- st.stats.Stats.ucode_installs + 1;
+      if !evicted then
+        st.stats.Stats.ucode_evictions <- st.stats.Stats.ucode_evictions + 1;
+      acc.outcome <-
+        R_installed { width = u.Ucode.width; uops = Array.length u.Ucode.uops }
+  | Translator.Aborted reason ->
+      trace st (T_region { label = acc.r_label; event = `Aborted reason });
+      st.stats.Stats.translations_aborted <-
+        st.stats.Stats.translations_aborted + 1;
+      acc.outcome <-
+        (if Abort.permanent reason then R_failed reason else R_untried)
+
+(* Feed only the session that was live before the current instruction:
+   the region branch-and-link that just opened a session is not part of
+   the region's own retirement stream. *)
+let feed_session session pc insn (eff : Sem.effect) =
+  match session with
+  | None -> ()
+  | Some s -> Translator.feed s.tr (Event.make ~pc ?value:eff.Sem.value insn)
+
+(* Execute translated microcode in place of the outlined function. *)
+let run_ucode st ~entry (u : Ucode.t) =
+  let saved_lanes = st.ctx.Sem.lanes in
+  st.ctx.Sem.lanes <- u.Ucode.width;
+  let n = Array.length u.Ucode.uops in
+  let ui = ref 0 in
+  let running = ref true in
+  while !running do
+    if !ui < 0 || !ui >= n then raise (Execution_error "microcode index");
+    trace st (T_uop { entry; index = !ui; uop = u.Ucode.uops.(!ui) });
+    (match u.Ucode.uops.(!ui) with
+    | Ucode.US i ->
+        fuel_check st;
+        st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
+        charge st 1;
+        (match i with
+        | Insn.Dp { op = Opcode.Mul; _ } -> charge st st.cfg.mul_extra
+        | _ -> ());
+        let outcome, eff = Sem.step_scalar st.ctx ~pc:(-1) i in
+        (match outcome with
+        | Sem.Next -> ()
+        | Sem.Jump _ | Sem.Call _ | Sem.Return | Sem.Stop ->
+            raise (Execution_error "control flow in scalar microcode"));
+        List.iter (charge_dcache st) eff.Sem.accesses;
+        incr ui
+    | Ucode.UV v ->
+        fuel_check st;
+        st.stats.Stats.vector_insns <- st.stats.Stats.vector_insns + 1;
+        charge st 1;
+        (match v with
+        | Vinsn.Vdp { op = Opcode.Mul; _ } -> charge st st.cfg.mul_extra
+        | Vinsn.Vred _ -> charge st 1
+        | _ -> ());
+        charge_vector_mem st v;
+        let eff = Sem.step_vector st.ctx v in
+        List.iter (charge_dcache st) eff.Sem.accesses;
+        incr ui
+    | Ucode.UB { cond; target } ->
+        fuel_check st;
+        st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
+        st.stats.Stats.branches <- st.stats.Stats.branches + 1;
+        charge st 1;
+        let taken = Cond.holds cond st.ctx.Sem.flags in
+        let key = 0x40000000 + (entry * st.cfg.max_uops) + !ui in
+        if not (Branch_pred.predict_and_update st.bpred ~pc:key ~taken) then begin
+          st.stats.Stats.branch_mispredicts <-
+            st.stats.Stats.branch_mispredicts + 1;
+          charge st st.cfg.mispredict_penalty
+        end;
+        if taken then ui := target else incr ui
+    | Ucode.URet ->
+        fuel_check st;
+        st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
+        charge st 1;
+        running := false)
+  done;
+  st.ctx.Sem.lanes <- saved_lanes
+
+(* Handle a region-marked branch-and-link. Returns [true] when the call
+   was served from the microcode cache (and [st.pc] already advanced). *)
+let region_call st ~pc ~target =
+  let acc = region_acc st target in
+  let now = st.stats.Stats.cycles in
+  st.stats.Stats.region_calls <- st.stats.Stats.region_calls + 1;
+  match Hashtbl.find_opt st.oracle target with
+  | Some u ->
+      acc.served <- acc.served + 1;
+      st.stats.Stats.ucode_hits <- st.stats.Stats.ucode_hits + 1;
+      trace st (T_region { label = acc.r_label; event = `Ucode_call });
+      run_ucode st ~entry:target u;
+      acc.calls_rev <- (now, st.stats.Stats.cycles) :: acc.calls_rev;
+      st.pc <- pc + 1;
+      true
+  | None -> (
+  match (st.cfg.accel_lanes, st.cfg.translator) with
+  | Some _, Some _ when st.session = None -> (
+      match Ucode_cache.lookup st.ucache ~key:target ~now with
+      | Some u ->
+          acc.served <- acc.served + 1;
+          st.stats.Stats.ucode_hits <- st.stats.Stats.ucode_hits + 1;
+          trace st (T_region { label = acc.r_label; event = `Ucode_call });
+          run_ucode st ~entry:target u;
+          acc.calls_rev <- (now, st.stats.Stats.cycles) :: acc.calls_rev;
+          st.pc <- pc + 1;
+          true
+      | None ->
+          (if not (Ucode_cache.pending st.ucache ~key:target ~now) then
+             match acc.outcome with
+             | R_failed _ -> ()
+             | R_untried | R_installed _ ->
+                 (* [R_installed] with a cache miss means the entry was
+                    evicted: translate again on this execution. *)
+                 st.stats.Stats.translations_started <-
+                   st.stats.Stats.translations_started + 1;
+                 st.session <-
+                   Some
+                     {
+                       tr =
+                         Translator.create
+                           {
+                             Translator.lanes =
+                               (match st.cfg.accel_lanes with
+                               | Some l -> l
+                               | None -> assert false);
+                             max_uops = st.cfg.max_uops;
+                           };
+                       s_entry = target;
+                       s_start_cycle = now;
+                       s_start_depth = st.depth + 1;
+                     });
+          false)
+  | _ -> false)
+
+(* Asynchronous interrupts (context switches): the paper's hardware
+   aborts any in-flight translation session when one arrives (§4.1);
+   the abort is not permanent, so a later execution of the region
+   retries. We model an interrupt every [interrupt_interval] cycles. *)
+let interrupt_check st =
+  match st.cfg.interrupt_interval with
+  | None -> ()
+  | Some period ->
+      let now = st.stats.Stats.cycles in
+      if now / period > st.last_interrupt_epoch then begin
+        st.last_interrupt_epoch <- now / period;
+        match st.session with
+        | Some s ->
+            Translator.abort_external s.tr;
+            st.stats.Stats.translations_aborted <-
+              st.stats.Stats.translations_aborted + 1;
+            st.session <- None
+        | None -> ()
+      end
+
+let step st =
+  if st.pc < 0 || st.pc >= Array.length st.image.Image.code then
+    raise (Execution_error (Printf.sprintf "wild pc %d" st.pc));
+  interrupt_check st;
+  let pc = st.pc in
+  let pre_session = st.session in
+  charge_icache st (Image.addr_of_index st.image pc);
+  match st.image.Image.code.(pc) with
+  | Minsn.S (Insn.Bl { target; region = true } as insn)
+    when region_call st ~pc ~target ->
+      (* Served from the microcode cache; account for the branch itself
+         and notify any outer translator session (which aborts, as a
+         call inside a region is untranslatable). *)
+      fuel_check st;
+      trace st (T_insn { pc; insn = Minsn.S insn });
+      st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
+      charge st 1;
+      feed_session pre_session pc insn Sem.no_effect
+  | Minsn.S insn -> (
+      fuel_check st;
+      trace st (T_insn { pc; insn = Minsn.S insn });
+      st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
+      charge st 1;
+      load_use_stall st insn;
+      (match insn with
+      | Insn.Dp { op = Opcode.Mul; _ } -> charge st st.cfg.mul_extra
+      | _ -> ());
+      let outcome, eff = Sem.step_scalar st.ctx ~pc insn in
+      List.iter (charge_dcache st) eff.Sem.accesses;
+      (match insn with
+      | Insn.Ld { dst; _ } -> st.last_load_dst <- Some dst
+      | _ -> ());
+      feed_session pre_session pc insn eff;
+      match outcome with
+      | Sem.Next -> st.pc <- pc + 1
+      | Sem.Jump target ->
+          st.stats.Stats.branches <- st.stats.Stats.branches + 1;
+          let taken = eff.Sem.taken = Some true in
+          if not (Branch_pred.predict_and_update st.bpred ~pc ~taken) then begin
+            st.stats.Stats.branch_mispredicts <-
+              st.stats.Stats.branch_mispredicts + 1;
+            charge st st.cfg.mispredict_penalty
+          end;
+          st.pc <- target
+      | Sem.Call { target; region } ->
+          st.depth <- st.depth + 1;
+          if region then begin
+            trace st
+              (T_region
+                 { label = (region_acc st target).r_label; event = `Scalar_call });
+            st.open_regions <-
+              (region_acc st target, st.stats.Stats.cycles, st.depth)
+              :: st.open_regions
+          end;
+          st.pc <- target
+      | Sem.Return ->
+          st.depth <- st.depth - 1;
+          (match st.session with
+          | Some s when st.depth < s.s_start_depth -> close_session st s
+          | Some _ | None -> ());
+          let rec pop = function
+            | (acc, start, d) :: rest when d > st.depth ->
+                acc.calls_rev <- (start, st.stats.Stats.cycles) :: acc.calls_rev;
+                pop rest
+            | remaining -> st.open_regions <- remaining
+          in
+          pop st.open_regions;
+          st.pc <- st.ctx.Sem.regs.(Reg.index Reg.lr)
+      | Sem.Stop -> st.halted <- true)
+  | Minsn.V v -> (
+      match st.cfg.accel_lanes with
+      | None -> raise (Sem.Sigill "vector instruction without SIMD accelerator")
+      | Some _ ->
+          fuel_check st;
+          trace st (T_insn { pc; insn = Minsn.V v });
+          st.stats.Stats.vector_insns <- st.stats.Stats.vector_insns + 1;
+          charge st 1;
+          (match v with
+          | Vinsn.Vdp { op = Opcode.Mul; _ } -> charge st st.cfg.mul_extra
+          | Vinsn.Vred _ -> charge st 1
+          | _ -> ());
+          charge_vector_mem st v;
+          let eff = Sem.step_vector st.ctx v in
+          List.iter (charge_dcache st) eff.Sem.accesses;
+          st.pc <- pc + 1)
+
+let run ?(config = scalar_config) image =
+  let mem = Memory.create () in
+  Image.load_memory image mem;
+  let ctx = Sem.create_ctx mem in
+  (match config.accel_lanes with
+  | Some l -> ctx.Sem.lanes <- l
+  | None -> ());
+  let st =
+    {
+      cfg = config;
+      image;
+      ctx;
+      stats = Stats.create ();
+      icache = Option.map Cache.create config.icache;
+      dcache = Option.map Cache.create config.dcache;
+      bpred = Branch_pred.create ();
+      ucache = Ucode_cache.create ~entries:config.ucode_entries;
+      oracle = Hashtbl.create 8;
+      regions = Hashtbl.create 8;
+      pc = image.Image.entry;
+      depth = 0;
+      session = None;
+      open_regions = [];
+      last_load_dst = None;
+      last_interrupt_epoch = 0;
+      retired = 0;
+      halted = false;
+    }
+  in
+  (* Oracle mode (the paper's "built-in ISA support" configuration):
+     every outlined function's microcode is available from its first
+     call, as if the binary carried native SIMD instructions. *)
+  (if config.oracle_translation then
+     match (config.accel_lanes, config.translator) with
+     | Some lanes, Some _ ->
+         List.iter
+           (fun (entry, label) ->
+             match
+               Offline.translate_region ~max_uops:config.max_uops ~image
+                 ~lanes ~entry ()
+             with
+             | Translator.Translated u ->
+                 Hashtbl.replace st.oracle entry u;
+                 (region_acc st entry).outcome <-
+                   R_installed
+                     { width = u.Ucode.width; uops = Array.length u.Ucode.uops }
+             | Translator.Aborted reason ->
+                 ignore label;
+                 (region_acc st entry).outcome <-
+                   (if Abort.permanent reason then R_failed reason
+                    else R_untried))
+           image.Image.region_entries
+     | _, _ -> ());
+  while not st.halted do
+    step st
+  done;
+  let regions =
+    Hashtbl.fold
+      (fun entry (r : racc) acc ->
+        {
+          label = r.r_label;
+          entry;
+          calls = List.rev r.calls_rev;
+          ucode_served = r.served;
+          outcome = r.outcome;
+        }
+        :: acc)
+      st.regions []
+    |> List.sort (fun a b -> compare a.entry b.entry)
+  in
+  {
+    stats = st.stats;
+    memory = mem;
+    regs = Array.copy ctx.Sem.regs;
+    regions;
+    ucode_max_occupancy = Ucode_cache.max_occupancy st.ucache;
+  }

@@ -1,0 +1,118 @@
+(** The simulated processor: an in-order five-stage core in the spirit of
+    the ARM-926EJ-S used in the paper's evaluation, optionally extended
+    with a parameterized SIMD accelerator, the post-retirement dynamic
+    translator, and the microcode cache (Figure 1).
+
+    Timing model (approximate, first-order):
+    - one cycle per retired instruction;
+    - extra latency for multiplies;
+    - instruction and data cache misses stall for the memory latency;
+    - a load immediately consumed by the next instruction stalls one
+      cycle (load-use);
+    - conditional branches consult a BTB + 2-bit-counter predictor; a
+      mispredict costs a pipeline refill;
+    - vector memory operations charge the data cache once per line
+      spanned;
+    - microcode executes out of the microcode cache and therefore skips
+      instruction-cache accesses.
+
+    Region calls (the unique branch-and-link) consult the microcode
+    cache. On a ready hit, the front end substitutes the SIMD microcode
+    for the outlined function. On a miss the region runs in scalar form
+    while (at most one at a time, and only if the region is not already
+    known untranslatable) a translator session consumes the retirement
+    stream; the resulting microcode becomes visible [cycles_per_insn *
+    observed_instructions] cycles after the region started, modeling
+    translation latency (§5's sensitivity study). *)
+
+open Liquid_machine
+open Liquid_prog
+open Liquid_translate
+
+type translation_kind =
+  | Hardware
+      (** post-retirement hardware: translation proceeds in parallel with
+          execution; only the microcode-ready time is delayed *)
+  | Software
+      (** a JIT routine on the main core: the same work additionally
+          stalls the processor (the paper's §2 software alternative) *)
+
+type translation = { cycles_per_insn : int; kind : translation_kind }
+
+(** Observation points for debugging and tooling: every retired
+    instruction (image stream and microcode), plus region-level events
+    (scalar vs microcode calls, translation outcomes). *)
+type trace_event =
+  | T_insn of { pc : int; insn : Liquid_visa.Minsn.exec }
+  | T_uop of { entry : int; index : int; uop : Ucode.uop }
+  | T_region of {
+      label : string;
+      event :
+        [ `Scalar_call | `Ucode_call | `Translated of int | `Aborted of Abort.t ];
+    }
+
+type config = {
+  accel_lanes : int option;
+  translator : translation option;
+  icache : Cache.config option;
+  dcache : Cache.config option;
+  mem_latency : int;
+  mul_extra : int;
+  mispredict_penalty : int;
+  vec_bus_bytes : int;
+      (** memory-bus width: a vector load/store costs one cycle per bus
+          beat beyond the first *)
+  oracle_translation : bool;
+      (** pre-translate every region before execution, modeling a binary
+          with built-in ISA support for SIMD (the paper's overhead
+          baseline in Figure 6's callout) *)
+  interrupt_interval : int option;
+      (** deliver an asynchronous interrupt (context switch) every N
+          cycles; an in-flight translation session is externally aborted
+          (paper §4.1) and retried on a later region execution *)
+  on_trace : (trace_event -> unit) option;
+      (** observer invoked at every retirement and region event *)
+  ucode_entries : int;
+  max_uops : int;
+  fuel : int;  (** retired-instruction budget before {!Execution_error} *)
+}
+
+val scalar_config : config
+(** Baseline ARM-926EJ-S: no SIMD accelerator, no translator. *)
+
+val native_config : lanes:int -> config
+(** Accelerator present, binaries carry native SIMD instructions. *)
+
+val liquid_config : lanes:int -> config
+(** Accelerator plus hardware translator (1 cycle/instruction). *)
+
+type region_outcome =
+  | R_untried
+  | R_installed of { width : int; uops : int }
+  | R_failed of Abort.t
+
+type region_report = {
+  label : string;
+  entry : int;
+  calls : (int * int) list;
+      (** (start, end) cycles of each call, chronological; the gap the
+          translator has between executions is
+          [start of call k+1 - end of call k] *)
+  ucode_served : int;  (** calls substituted from the microcode cache *)
+  outcome : region_outcome;
+}
+
+type run = {
+  stats : Stats.t;
+  memory : Memory.t;
+  regs : int array;
+  regions : region_report list;
+  ucode_max_occupancy : int;
+}
+
+exception Execution_error of string
+
+val run : ?config:config -> Image.t -> run
+(** Execute the image from its entry point until [halt].
+    Raises {!Execution_error} on runaway execution or a wild PC, and
+    {!Sem.Sigill} when the binary needs hardware this machine lacks. *)

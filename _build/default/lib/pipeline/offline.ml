@@ -1,0 +1,42 @@
+open Liquid_visa
+open Liquid_prog
+open Liquid_translate
+module Memory = Liquid_machine.Memory
+
+let step_budget = 5_000_000
+
+let translate_region ?(max_uops = 64) ~image ~lanes ~entry () =
+  let mem = Memory.create () in
+  Image.load_memory image mem;
+  let ctx = Sem.create_ctx mem in
+  let tr = Translator.create { Translator.lanes; max_uops } in
+  let pc = ref entry in
+  let running = ref true in
+  let steps = ref 0 in
+  while !running do
+    incr steps;
+    if !steps > step_budget then
+      invalid_arg "Offline.translate_region: region does not terminate";
+    if !pc < 0 || !pc >= Array.length image.Image.code then
+      invalid_arg "Offline.translate_region: wild pc";
+    let insn =
+      match image.Image.code.(!pc) with
+      | Minsn.S i -> i
+      | Minsn.V _ ->
+          invalid_arg "Offline.translate_region: vector instruction in region"
+    in
+    let outcome, eff = Sem.step_scalar ctx ~pc:!pc insn in
+    Translator.feed tr (Event.make ~pc:!pc ?value:eff.Sem.value insn);
+    match outcome with
+    | Sem.Next -> incr pc
+    | Sem.Jump t -> pc := t
+    | Sem.Return | Sem.Stop -> running := false
+    | Sem.Call _ -> running := false
+  done;
+  Translator.finish tr
+
+let translate_all ?max_uops ~image ~lanes () =
+  List.map
+    (fun (entry, label) ->
+      (entry, label, translate_region ?max_uops ~image ~lanes ~entry ()))
+    image.Image.region_entries

@@ -1,0 +1,24 @@
+(** Standalone region translation: drive one outlined function through
+    the architectural interpreter against the image's initial memory and
+    feed its retirement stream to a fresh translator session.
+
+    Used by the oracle-translation mode (the paper's "built-in ISA
+    support" simulator configuration, §5), by the CLI's [translate]
+    command, and by tests that want microcode without a full program
+    run. The result depends only on the program's static data (offset,
+    mask and constant arrays), so translating against initial memory is
+    equivalent to translating during a real first execution. *)
+
+open Liquid_prog
+open Liquid_translate
+
+val translate_region :
+  ?max_uops:int -> image:Image.t -> lanes:int -> entry:int -> unit ->
+  Translator.result
+(** Raises [Invalid_argument] if the region never returns within a
+    generous instruction budget or contains vector instructions. *)
+
+val translate_all :
+  ?max_uops:int -> image:Image.t -> lanes:int -> unit ->
+  (int * string * Translator.result) list
+(** Translate every region entry of the image. *)

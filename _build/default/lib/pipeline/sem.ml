@@ -1,0 +1,217 @@
+open Liquid_isa
+open Liquid_visa
+module Memory = Liquid_machine.Memory
+
+exception Sigill of string
+
+type ctx = {
+  regs : int array;
+  mutable flags : Flags.t;
+  vregs : int array array;
+  mutable lanes : int;
+  mem : Memory.t;
+}
+
+let max_lanes = Width.lanes Width.max
+
+let create_ctx mem =
+  {
+    regs = Array.make Reg.count 0;
+    flags = Flags.initial;
+    vregs = Array.init Vreg.count (fun _ -> Array.make max_lanes 0);
+    lanes = max_lanes;
+    mem;
+  }
+
+type outcome =
+  | Next
+  | Jump of int
+  | Call of { target : int; region : bool }
+  | Return
+  | Stop
+
+type access = { addr : int; bytes : int; write : bool }
+
+type effect = { value : int option; accesses : access list; taken : bool option }
+
+let no_effect = { value = None; accesses = []; taken = None }
+
+let operand_value ctx = function
+  | Insn.Imm v -> v
+  | Insn.Reg r -> ctx.regs.(Reg.index r)
+
+let base_value = function
+  | Insn.Sym addr -> fun _ctx -> addr
+  | Insn.Breg r -> fun ctx -> ctx.regs.(Reg.index r)
+
+let mem_addr ctx ~base ~index ~shift =
+  Word.add (base_value base ctx) (Word.shl (operand_value ctx index) shift)
+
+let step_scalar ctx ~pc insn =
+  match insn with
+  | Insn.Mov { cond; dst; src } ->
+      if Cond.holds cond ctx.flags then begin
+        let v = Word.of_int (operand_value ctx src) in
+        ctx.regs.(Reg.index dst) <- v;
+        (Next, { no_effect with value = Some v })
+      end
+      else (Next, no_effect)
+  | Insn.Dp { cond; op; dst; src1; src2 } ->
+      if Cond.holds cond ctx.flags then begin
+        let v =
+          Opcode.eval op ctx.regs.(Reg.index src1) (operand_value ctx src2)
+        in
+        ctx.regs.(Reg.index dst) <- v;
+        (Next, { no_effect with value = Some v })
+      end
+      else (Next, no_effect)
+  | Insn.Ld { esize; signed; dst; base; index; shift } ->
+      let addr = mem_addr ctx ~base ~index ~shift in
+      let bytes = Esize.bytes esize in
+      let v = Memory.read ctx.mem ~addr ~bytes ~signed in
+      ctx.regs.(Reg.index dst) <- v;
+      ( Next,
+        { value = Some v; accesses = [ { addr; bytes; write = false } ]; taken = None } )
+  | Insn.St { esize; src; base; index; shift } ->
+      let addr = mem_addr ctx ~base ~index ~shift in
+      let bytes = Esize.bytes esize in
+      Memory.write ctx.mem ~addr ~bytes ctx.regs.(Reg.index src);
+      ( Next,
+        { value = None; accesses = [ { addr; bytes; write = true } ]; taken = None } )
+  | Insn.Cmp { src1; src2 } ->
+      ctx.flags <-
+        Flags.of_compare ctx.regs.(Reg.index src1) (operand_value ctx src2);
+      (Next, no_effect)
+  | Insn.B { cond; target } ->
+      if Cond.holds cond ctx.flags then
+        (Jump target, { no_effect with taken = Some true })
+      else (Next, { no_effect with taken = Some false })
+  | Insn.Bl { target; region } ->
+      ctx.regs.(Reg.index Reg.lr) <- pc + 1;
+      (Call { target; region }, { no_effect with value = Some (pc + 1) })
+  | Insn.Ret -> (Return, no_effect)
+  | Insn.Halt -> (Stop, no_effect)
+
+let vsrc_lane ctx vsrc lane =
+  match vsrc with
+  | Vinsn.VR r -> ctx.vregs.(Vreg.index r).(lane)
+  | Vinsn.VImm v -> v
+  | Vinsn.VConst a ->
+      if Array.length a <> ctx.lanes then
+        raise (Sigill "constant vector width mismatch");
+      a.(lane)
+
+let step_vector ctx vinsn =
+  let w = ctx.lanes in
+  match vinsn with
+  | Vinsn.Vld { esize; signed; dst; base; index } ->
+      let bytes = Esize.bytes esize in
+      let first = ctx.regs.(Reg.index index) in
+      let start = Word.add (base_value base ctx) (Word.mul first bytes) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      for i = 0 to w - 1 do
+        d.(i) <- Memory.read ctx.mem ~addr:(start + (i * bytes)) ~bytes ~signed
+      done;
+      {
+        value = None;
+        accesses = [ { addr = start; bytes = w * bytes; write = false } ];
+        taken = None;
+      }
+  | Vinsn.Vst { esize; src; base; index } ->
+      let bytes = Esize.bytes esize in
+      let first = ctx.regs.(Reg.index index) in
+      let start = Word.add (base_value base ctx) (Word.mul first bytes) in
+      let s = ctx.vregs.(Vreg.index src) in
+      for i = 0 to w - 1 do
+        Memory.write ctx.mem ~addr:(start + (i * bytes)) ~bytes s.(i)
+      done;
+      {
+        value = None;
+        accesses = [ { addr = start; bytes = w * bytes; write = true } ];
+        taken = None;
+      }
+  | Vinsn.Vlds { esize; signed; dst; base; index; stride; phase } ->
+      let bytes = Esize.bytes esize in
+      let first = ctx.regs.(Reg.index index) in
+      let base_addr = base_value base ctx in
+      let d = ctx.vregs.(Vreg.index dst) in
+      for i = 0 to w - 1 do
+        let elem = (stride * (first + i)) + phase in
+        d.(i) <- Memory.read ctx.mem ~addr:(base_addr + (elem * bytes)) ~bytes ~signed
+      done;
+      let start = base_addr + (((stride * first) + phase) * bytes) in
+      {
+        value = None;
+        accesses =
+          [ { addr = start; bytes = ((stride * (w - 1)) + 1) * bytes; write = false } ];
+        taken = None;
+      }
+  | Vinsn.Vsts { esize; src; base; index; stride; phase } ->
+      let bytes = Esize.bytes esize in
+      let first = ctx.regs.(Reg.index index) in
+      let base_addr = base_value base ctx in
+      let s = ctx.vregs.(Vreg.index src) in
+      for i = 0 to w - 1 do
+        let elem = (stride * (first + i)) + phase in
+        Memory.write ctx.mem ~addr:(base_addr + (elem * bytes)) ~bytes s.(i)
+      done;
+      let start = base_addr + (((stride * first) + phase) * bytes) in
+      {
+        value = None;
+        accesses =
+          [ { addr = start; bytes = ((stride * (w - 1)) + 1) * bytes; write = true } ];
+        taken = None;
+      }
+  | Vinsn.Vgather { esize; signed; dst; base; index_v } ->
+      let bytes = Esize.bytes esize in
+      let base_addr = base_value base ctx in
+      let idx = ctx.vregs.(Vreg.index index_v) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      let tmp =
+        Array.init w (fun i ->
+            Memory.read ctx.mem ~addr:(base_addr + (idx.(i) * bytes)) ~bytes ~signed)
+      in
+      Array.blit tmp 0 d 0 w;
+      (* Conservative access accounting: one element-sized touch per
+         lane, summarized as a single span for the cache model. *)
+      {
+        value = None;
+        accesses =
+          Array.to_list
+            (Array.init w (fun i ->
+                 { addr = base_addr + (idx.(i) * bytes); bytes; write = false }));
+        taken = None;
+      }
+  | Vinsn.Vdp { op; dst; src1; src2 } ->
+      let a = ctx.vregs.(Vreg.index src1) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      let tmp = Array.init w (fun i -> Opcode.eval op a.(i) (vsrc_lane ctx src2 i)) in
+      Array.blit tmp 0 d 0 w;
+      no_effect
+  | Vinsn.Vsat { op; esize; signed; dst; src1; src2 } ->
+      let a = ctx.vregs.(Vreg.index src1) in
+      let b = ctx.vregs.(Vreg.index src2) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      let f = match op with `Add -> Word.sat_add | `Sub -> Word.sat_sub in
+      let tmp = Array.init w (fun i -> f esize ~signed a.(i) b.(i)) in
+      Array.blit tmp 0 d 0 w;
+      no_effect
+  | Vinsn.Vperm { pattern; dst; src } ->
+      if not (Perm.supported pattern ~lanes:w) then
+        raise
+          (Sigill
+             (Format.asprintf "permutation %a unsupported at %d lanes" Perm.pp
+                pattern w));
+      let s = Array.sub ctx.vregs.(Vreg.index src) 0 w in
+      let permuted = Perm.apply pattern s in
+      Array.blit permuted 0 ctx.vregs.(Vreg.index dst) 0 w;
+      no_effect
+  | Vinsn.Vred { op; acc; src } ->
+      let s = ctx.vregs.(Vreg.index src) in
+      let folded = ref s.(0) in
+      for i = 1 to w - 1 do
+        folded := Opcode.eval op !folded s.(i)
+      done;
+      let v = Opcode.eval op ctx.regs.(Reg.index acc) !folded in
+      ctx.regs.(Reg.index acc) <- v;
+      { no_effect with value = Some v }

@@ -1,0 +1,50 @@
+(** Architectural semantics: the effect of one instruction on registers,
+    flags and memory. Timing is layered on top by {!Cpu}; this module is
+    purely functional behaviour plus the side effects on the shared
+    context. *)
+
+open Liquid_isa
+open Liquid_visa
+
+exception Sigill of string
+(** Raised when an instruction cannot execute on this machine: a vector
+    instruction without (or incompatible with) the configured SIMD
+    accelerator — the binary-compatibility failure Liquid SIMD exists to
+    avoid. *)
+
+type ctx = {
+  regs : int array;  (** 16 scalar registers *)
+  mutable flags : Flags.t;
+  vregs : int array array;  (** 16 vector registers x maximum lanes *)
+  mutable lanes : int;  (** active vector width for vector instructions *)
+  mem : Liquid_machine.Memory.t;
+}
+
+val create_ctx : Liquid_machine.Memory.t -> ctx
+
+type outcome =
+  | Next
+  | Jump of int
+  | Call of { target : int; region : bool }
+  | Return
+  | Stop
+
+type access = { addr : int; bytes : int; write : bool }
+
+type effect = {
+  value : int option;  (** value written to the destination register *)
+  accesses : access list;
+  taken : bool option;  (** for conditional branches *)
+}
+
+val no_effect : effect
+
+val step_scalar : ctx -> pc:int -> Insn.exec -> outcome * effect
+(** Executes one scalar instruction. [Bl] writes the link register with
+    [pc + 1]. [Ret] reports {!Return}; the caller reads the link
+    register. *)
+
+val step_vector : ctx -> Vinsn.exec -> effect
+(** Executes one vector instruction at the context's active lane count.
+    Raises {!Sigill} on a permutation unsupported at that width or a
+    constant vector of mismatched length. *)

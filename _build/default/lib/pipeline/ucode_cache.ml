@@ -1,0 +1,81 @@
+open Liquid_translate
+
+type entry = {
+  key : int;
+  ucode : Ucode.t;
+  ready : int;
+  mutable last_used : int;
+}
+
+type t = {
+  slots : entry option array;
+  mutable clock : int;
+  mutable installs : int;
+  mutable evictions : int;
+  mutable max_occupancy : int;
+}
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Ucode_cache.create";
+  {
+    slots = Array.make entries None;
+    clock = 0;
+    installs = 0;
+    evictions = 0;
+    max_occupancy = 0;
+  }
+
+let find t key =
+  let found = ref None in
+  Array.iteri
+    (fun i -> function
+      | Some e when e.key = key -> found := Some (i, e)
+      | Some _ | None -> ())
+    t.slots;
+  !found
+
+let lookup t ~key ~now =
+  t.clock <- t.clock + 1;
+  match find t key with
+  | Some (_, e) when e.ready <= now ->
+      e.last_used <- t.clock;
+      Some e.ucode
+  | Some _ | None -> None
+
+let pending t ~key ~now =
+  match find t key with Some (_, e) -> e.ready > now | None -> false
+
+let occupancy t =
+  Array.fold_left (fun n -> function Some _ -> n + 1 | None -> n) 0 t.slots
+
+let install t ~key ~ready ucode ~evicted =
+  t.clock <- t.clock + 1;
+  t.installs <- t.installs + 1;
+  let entry = Some { key; ucode; ready; last_used = t.clock } in
+  (match find t key with
+  | Some (i, _) -> t.slots.(i) <- entry
+  | None -> (
+      let free = ref None in
+      Array.iteri
+        (fun i -> function None -> if !free = None then free := Some i | Some _ -> ())
+        t.slots;
+      match !free with
+      | Some i -> t.slots.(i) <- entry
+      | None ->
+          let victim = ref 0 in
+          Array.iteri
+            (fun i -> function
+              | Some e -> (
+                  match t.slots.(!victim) with
+                  | Some v -> if e.last_used < v.last_used then victim := i
+                  | None -> ())
+              | None -> ())
+            t.slots;
+          t.evictions <- t.evictions + 1;
+          evicted := true;
+          t.slots.(!victim) <- entry));
+  t.max_occupancy <- max t.max_occupancy (occupancy t)
+
+let installs t = t.installs
+let evictions t = t.evictions
+let max_occupancy t = t.max_occupancy

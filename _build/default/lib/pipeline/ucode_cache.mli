@@ -1,0 +1,30 @@
+(** The microcode cache (paper §2, Figure 1; sized in §5).
+
+    Stores recently translated SIMD sequences, keyed by the outlined
+    function's entry (instruction index of the region label). The paper's
+    sizing study settles on 8 entries of 64 instructions — a 2 KB SRAM.
+    Replacement is LRU. An entry becomes visible only once the translator
+    has finished producing it ([ready] cycle), which models translation
+    latency: a region re-entered before its microcode is ready still runs
+    in scalar form. *)
+
+open Liquid_translate
+
+type t
+
+val create : entries:int -> t
+
+val lookup : t -> key:int -> now:int -> Ucode.t option
+(** [None] when absent or not yet ready. A ready hit refreshes LRU. *)
+
+val pending : t -> key:int -> now:int -> bool
+(** True when an entry exists but is still being produced. *)
+
+val install : t -> key:int -> ready:int -> Ucode.t -> evicted:bool ref -> unit
+(** Insert, evicting the LRU entry when full (sets [evicted]). *)
+
+val installs : t -> int
+val evictions : t -> int
+val occupancy : t -> int
+val max_occupancy : t -> int
+(** High-water mark of live entries — the paper's working-set measure. *)

@@ -1,0 +1,1 @@
+lib/prog/data.ml: Array Esize Format Liquid_isa Liquid_visa

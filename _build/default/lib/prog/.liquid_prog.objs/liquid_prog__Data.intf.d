@@ -1,0 +1,1 @@
+lib/prog/data.mli: Esize Format Liquid_isa

@@ -1,0 +1,1 @@
+lib/prog/disasm.ml: Array Buffer Encode Format Image Insn Liquid_isa Liquid_visa List Minsn Printf Vinsn

@@ -1,0 +1,1 @@
+lib/prog/disasm.mli: Encode Image

@@ -1,0 +1,1 @@
+lib/prog/encode.ml: Array Cond Esize Format Hashtbl Image Insn Liquid_isa Liquid_visa List Minsn Opcode Perm Reg Sys Vinsn Vreg

@@ -1,0 +1,1 @@
+lib/prog/encode.mli: Image Liquid_visa Minsn

@@ -1,0 +1,1 @@
+lib/prog/image.ml: Array Data Esize Format Insn Liquid_isa Liquid_machine Liquid_visa List Minsn Option Program

@@ -1,0 +1,1 @@
+lib/prog/image.mli: Data Format Liquid_machine Liquid_visa Minsn Program

@@ -1,0 +1,1 @@
+lib/prog/parse.ml: Array Buffer Cond Data Esize Format Insn Liquid_isa Liquid_visa List Minsn Opcode Perm Printf Program Reg String Vinsn Vreg

@@ -1,0 +1,1 @@
+lib/prog/parse.mli: Program

@@ -1,0 +1,1 @@
+lib/prog/program.ml: Data Format Insn Liquid_isa Liquid_visa List Minsn Printf

@@ -1,0 +1,1 @@
+lib/prog/program.mli: Data Format Liquid_visa Minsn

@@ -1,0 +1,16 @@
+open Liquid_isa
+
+type t = { name : string; esize : Esize.t; values : int array }
+
+let make ~name ~esize values =
+  { name; esize; values = Array.map (Esize.truncate esize) values }
+
+let zeros ~name ~esize n = { name; esize; values = Array.make n 0 }
+let byte_size t = Array.length t.values * Esize.bytes t.esize
+
+let alignment t =
+  Liquid_visa.Width.lanes Liquid_visa.Width.max * Esize.bytes t.esize
+
+let pp ppf t =
+  Format.fprintf ppf "%s: .%a[%d]" t.name Esize.pp t.esize
+    (Array.length t.values)

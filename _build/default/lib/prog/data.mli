@@ -1,0 +1,18 @@
+(** Static data arrays of a program.
+
+    Every array is aligned at layout time to
+    [max_width * element_bytes] — the paper's alignment rule (§3.1): data
+    is aligned for the {e maximum} vectorizable width so that one binary
+    can be retargeted to any narrower accelerator. *)
+
+open Liquid_isa
+
+type t = { name : string; esize : Esize.t; values : int array }
+
+val make : name:string -> esize:Esize.t -> int array -> t
+(** Values are truncated (two's complement) to the element size. *)
+
+val zeros : name:string -> esize:Esize.t -> int -> t
+val byte_size : t -> int
+val alignment : t -> int
+val pp : Format.formatter -> t -> unit

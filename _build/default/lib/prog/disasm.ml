@@ -1,0 +1,58 @@
+open Liquid_isa
+open Liquid_visa
+
+let base_annotation (image : Image.t option) addr =
+  match image with
+  | None -> None
+  | Some img -> (
+      match Image.array_at img addr with
+      | Some (name, _) ->
+          let off = addr - Image.array_addr img name in
+          Some (if off = 0 then name else Printf.sprintf "%s+%d" name off)
+      | None -> None)
+
+let label_annotation (image : Image.t option) target =
+  match image with
+  | None -> None
+  | Some img ->
+      List.find_map
+        (fun (l, idx) -> if idx = target then Some l else None)
+        img.Image.labels
+
+let insn_annotations image (mi : Minsn.exec) =
+  let of_base = function
+    | Insn.Sym addr -> base_annotation image addr
+    | Insn.Breg _ -> None
+  in
+  match mi with
+  | Minsn.S (Insn.Ld { base; _ })
+  | Minsn.S (Insn.St { base; _ })
+  | Minsn.V (Vinsn.Vld { base; _ })
+  | Minsn.V (Vinsn.Vst { base; _ })
+  | Minsn.V (Vinsn.Vlds { base; _ })
+  | Minsn.V (Vinsn.Vsts { base; _ })
+  | Minsn.V (Vinsn.Vgather { base; _ }) ->
+      of_base base
+  | Minsn.S (Insn.B { target; _ }) | Minsn.S (Insn.Bl { target; _ }) ->
+      label_annotation image target
+  | Minsn.S (Insn.Mov _ | Insn.Dp _ | Insn.Cmp _ | Insn.Ret | Insn.Halt)
+  | Minsn.V (Vinsn.Vdp _ | Vinsn.Vsat _ | Vinsn.Vperm _ | Vinsn.Vred _) ->
+      None
+
+let listing ?image (enc : Encode.encoded) =
+  let insns = Encode.decode enc in
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun idx mi ->
+      (match label_annotation image idx with
+      | Some l -> Buffer.add_string buf (l ^ ":\n")
+      | None -> ());
+      let text = Format.asprintf "%a" Minsn.pp_exec mi in
+      (match insn_annotations image mi with
+      | Some note ->
+          Buffer.add_string buf (Printf.sprintf "%5d:  %-40s ; %s\n" idx text note)
+      | None -> Buffer.add_string buf (Printf.sprintf "%5d:  %s\n" idx text)))
+    insns;
+  Buffer.contents buf
+
+let of_image (img : Image.t) = listing ~image:img (Encode.encode img.Image.code)

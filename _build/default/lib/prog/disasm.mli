@@ -1,0 +1,15 @@
+(** Disassembler: annotated listings from encoded binaries.
+
+    Decodes a binary back to instructions and renders them with
+    recovered branch-target labels and symbolic data-array names, so a
+    listing of [Encode.encode image.code] reads like the original
+    assembly rather than raw addresses. *)
+
+val listing : ?image:Image.t -> Encode.encoded -> string
+(** One line per instruction, [<index>: <instruction>]. When [image] is
+    given, its label table annotates branch targets and its data arrays
+    replace absolute addresses with [name+offset] comments. *)
+
+val of_image : Image.t -> string
+(** Encode the image and disassemble it back — the round-trip listing
+    used by the CLI's [disasm --binary]. *)

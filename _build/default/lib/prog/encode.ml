@@ -1,0 +1,493 @@
+open Liquid_isa
+open Liquid_visa
+
+exception Encode_error of string
+
+type encoded = { words : int array; pool : int array }
+
+let fail fmt = Format.kasprintf (fun s -> raise (Encode_error s)) fmt
+
+(* --- bit packing helpers --- *)
+
+let put word v ~at ~width =
+  if v < 0 || v >= 1 lsl width then fail "field overflow: %d in %d bits" v width;
+  word lor (v lsl at)
+
+let put_signed word v ~at ~width =
+  let lo = -(1 lsl (width - 1)) and hi = (1 lsl (width - 1)) - 1 in
+  if v < lo || v > hi then fail "signed field overflow: %d in %d bits" v width;
+  word lor ((v land ((1 lsl width) - 1)) lsl at)
+
+let get word ~at ~width = (word lsr at) land ((1 lsl width) - 1)
+
+let get_signed word ~at ~width =
+  let raw = get word ~at ~width in
+  let sh = Sys.int_size - width in
+  (raw lsl sh) asr sh
+
+(* --- literal pool --- *)
+
+type pool_builder = {
+  mutable items : int list;  (** reversed *)
+  mutable len : int;
+  scalar_index : (int, int) Hashtbl.t;
+  vector_index : (int list, int) Hashtbl.t;
+}
+
+let pool_create () =
+  {
+    items = [];
+    len = 0;
+    scalar_index = Hashtbl.create 32;
+    vector_index = Hashtbl.create 8;
+  }
+
+let pool_scalar pb v =
+  match Hashtbl.find_opt pb.scalar_index v with
+  | Some i -> i
+  | None ->
+      let i = pb.len in
+      pb.items <- v :: pb.items;
+      pb.len <- pb.len + 1;
+      Hashtbl.replace pb.scalar_index v i;
+      i
+
+let pool_vector pb vs =
+  let key = Array.to_list vs in
+  match Hashtbl.find_opt pb.vector_index key with
+  | Some i -> i
+  | None ->
+      let i = pb.len in
+      pb.items <- Array.length vs :: pb.items;
+      Array.iter (fun v -> pb.items <- v :: pb.items) vs;
+      pb.len <- pb.len + 1 + Array.length vs;
+      Hashtbl.replace pb.vector_index key i;
+      i
+
+let pool_finish pb = Array.of_list (List.rev pb.items)
+
+(* --- field encodings shared between formats --- *)
+
+let fits_signed v width =
+  v >= -(1 lsl (width - 1)) && v <= (1 lsl (width - 1)) - 1
+
+(* An "immf" field of [width] bits at [at]: top bit selects inline
+   (0, signed [width-1] bits) or pool reference (1, unsigned index). *)
+let put_immf word pb v ~at ~width =
+  if fits_signed v (width - 1) then put_signed word v ~at ~width:(width - 1)
+  else
+    let idx = pool_scalar pb v in
+    if idx >= 1 lsl (width - 1) then fail "literal pool overflow (%d)" idx;
+    put (put word 1 ~at:(at + width - 1) ~width:1) idx ~at ~width:(width - 1)
+
+let get_immf word pool ~at ~width =
+  if get word ~at:(at + width - 1) ~width:1 = 0 then
+    get_signed word ~at ~width:(width - 1)
+  else
+    let idx = get word ~at ~width:(width - 1) in
+    if idx >= Array.length pool then fail "pool index out of range";
+    pool.(idx)
+
+let esize_code = function Esize.Byte -> 0 | Esize.Half -> 1 | Esize.Word -> 2
+
+let esize_of_code = function
+  | 0 -> Esize.Byte
+  | 1 -> Esize.Half
+  | 2 -> Esize.Word
+  | c -> fail "bad esize code %d" c
+
+(* --- per-instruction encoding --- *)
+
+let major = function
+  | Minsn.S (Insn.Mov _) -> 0
+  | S (Dp _) -> 1
+  | S (Ld _) -> 2
+  | S (St _) -> 3
+  | S (Cmp _) -> 4
+  | S (B _) -> 5
+  | S (Bl _) -> 6
+  | S Ret -> 7
+  | S Halt -> 8
+  | V (Vld _) -> 16
+  | V (Vst _) -> 17
+  | V (Vdp _) -> 18
+  | V (Vsat _) -> 19
+  | V (Vperm _) -> 20
+  | V (Vred _) -> 21
+  | V (Vlds _) -> 22
+  | V (Vsts _) -> 23
+  | V (Vgather _) -> 24
+
+let encode_mem_fields word pb ~base ~index ~shift =
+  let word =
+    match base with
+    | Insn.Breg r ->
+        put (put word 1 ~at:19 ~width:1) (Reg.index r) ~at:11 ~width:8
+    | Insn.Sym addr ->
+        let idx = pool_scalar pb addr in
+        if idx >= 256 then fail "too many data symbols for 8-bit pool field";
+        put word idx ~at:11 ~width:8
+  in
+  let word =
+    match index with
+    | Insn.Reg r ->
+        put (put word 1 ~at:10 ~width:1) (Reg.index r) ~at:2 ~width:8
+    | Insn.Imm v -> put_immf word pb v ~at:2 ~width:8
+  in
+  put word shift ~at:0 ~width:2
+
+let encode_one pb (mi : Minsn.exec) =
+  let w = put 0 (major mi) ~at:27 ~width:5 in
+  match mi with
+  | S (Mov { cond; dst; src }) -> (
+      let w = put w (Cond.to_int cond) ~at:24 ~width:3 in
+      let w = put w (Reg.index dst) ~at:20 ~width:4 in
+      match src with
+      | Reg r -> put (put w 1 ~at:19 ~width:1) (Reg.index r) ~at:15 ~width:4
+      | Imm v -> put_immf w pb v ~at:0 ~width:15)
+  | S (Dp { cond; op; dst; src1; src2 }) -> (
+      let w = put w (Cond.to_int cond) ~at:24 ~width:3 in
+      let w = put w (Opcode.to_int op) ~at:20 ~width:4 in
+      let w = put w (Reg.index dst) ~at:16 ~width:4 in
+      let w = put w (Reg.index src1) ~at:12 ~width:4 in
+      match src2 with
+      | Reg r -> put (put w 1 ~at:11 ~width:1) (Reg.index r) ~at:7 ~width:4
+      | Imm v -> put_immf w pb v ~at:0 ~width:11)
+  | S (Ld { esize; signed; dst; base; index; shift }) ->
+      let w = put w (esize_code esize) ~at:25 ~width:2 in
+      let w = put w (if signed then 1 else 0) ~at:24 ~width:1 in
+      let w = put w (Reg.index dst) ~at:20 ~width:4 in
+      encode_mem_fields w pb ~base ~index ~shift
+  | S (St { esize; src; base; index; shift }) ->
+      let w = put w (esize_code esize) ~at:25 ~width:2 in
+      let w = put w (Reg.index src) ~at:20 ~width:4 in
+      encode_mem_fields w pb ~base ~index ~shift
+  | S (Cmp { src1; src2 }) -> (
+      let w = put w (Reg.index src1) ~at:20 ~width:4 in
+      match src2 with
+      | Reg r -> put (put w 1 ~at:19 ~width:1) (Reg.index r) ~at:15 ~width:4
+      | Imm v -> put_immf w pb v ~at:0 ~width:15)
+  | S (B { cond; target }) ->
+      let w = put w (Cond.to_int cond) ~at:24 ~width:3 in
+      if target < 0 || target >= 1 lsl 24 then fail "branch target out of range";
+      put w target ~at:0 ~width:24
+  | S (Bl { target; region }) ->
+      let w = put w (if region then 1 else 0) ~at:26 ~width:1 in
+      if target < 0 || target >= 1 lsl 24 then fail "branch target out of range";
+      put w target ~at:0 ~width:24
+  | S Ret | S Halt -> w
+  | V (Vld { esize; signed; dst; base; index }) ->
+      let w = put w (esize_code esize) ~at:25 ~width:2 in
+      let w = put w (if signed then 1 else 0) ~at:24 ~width:1 in
+      let w = put w (Vreg.index dst) ~at:20 ~width:4 in
+      let w =
+        match base with
+        | Insn.Breg r ->
+            put (put w 1 ~at:19 ~width:1) (Reg.index r) ~at:11 ~width:8
+        | Insn.Sym addr ->
+            let idx = pool_scalar pb addr in
+            if idx >= 256 then fail "too many data symbols";
+            put w idx ~at:11 ~width:8
+      in
+      put w (Reg.index index) ~at:7 ~width:4
+  | V (Vst { esize; src; base; index }) ->
+      let w = put w (esize_code esize) ~at:25 ~width:2 in
+      let w = put w (Vreg.index src) ~at:20 ~width:4 in
+      let w =
+        match base with
+        | Insn.Breg r ->
+            put (put w 1 ~at:19 ~width:1) (Reg.index r) ~at:11 ~width:8
+        | Insn.Sym addr ->
+            let idx = pool_scalar pb addr in
+            if idx >= 256 then fail "too many data symbols";
+            put w idx ~at:11 ~width:8
+      in
+      put w (Reg.index index) ~at:7 ~width:4
+  | V (Vdp { op; dst; src1; src2 }) -> (
+      let w = put w (Opcode.to_int op) ~at:23 ~width:4 in
+      let w = put w (Vreg.index dst) ~at:19 ~width:4 in
+      let w = put w (Vreg.index src1) ~at:15 ~width:4 in
+      match src2 with
+      | VR r -> put (put w 0 ~at:13 ~width:2) (Vreg.index r) ~at:9 ~width:4
+      | VImm v -> put_immf (put w 1 ~at:13 ~width:2) pb v ~at:0 ~width:13
+      | VConst vs ->
+          let idx = pool_vector pb vs in
+          if idx >= 1 lsl 13 then fail "literal pool overflow";
+          put (put w 2 ~at:13 ~width:2) idx ~at:0 ~width:13)
+  | V (Vsat { op; esize; signed; dst; src1; src2 }) ->
+      let w = put w (match op with `Add -> 0 | `Sub -> 1) ~at:26 ~width:1 in
+      let w = put w (esize_code esize) ~at:24 ~width:2 in
+      let w = put w (if signed then 1 else 0) ~at:23 ~width:1 in
+      let w = put w (Vreg.index dst) ~at:19 ~width:4 in
+      let w = put w (Vreg.index src1) ~at:15 ~width:4 in
+      put w (Vreg.index src2) ~at:11 ~width:4
+  | V (Vperm { pattern; dst; src }) ->
+      let kind, block, by =
+        match pattern with
+        | Perm.Reverse b -> (0, b, 0)
+        | Perm.Halfswap b -> (1, b, 0)
+        | Perm.Rotate { block; by } -> (2, block, by)
+      in
+      let w = put w kind ~at:25 ~width:2 in
+      let w = put w block ~at:20 ~width:5 in
+      let w = put w by ~at:15 ~width:5 in
+      let w = put w (Vreg.index dst) ~at:11 ~width:4 in
+      put w (Vreg.index src) ~at:7 ~width:4
+  | V (Vred { op; acc; src }) ->
+      let w = put w (Opcode.to_int op) ~at:23 ~width:4 in
+      let w = put w (Reg.index acc) ~at:19 ~width:4 in
+      put w (Vreg.index src) ~at:15 ~width:4
+  | V (Vlds { esize; signed; dst; base; index; stride; phase }) ->
+      let w = put w (esize_code esize) ~at:25 ~width:2 in
+      let w = put w (if signed then 1 else 0) ~at:24 ~width:1 in
+      let w = put w (Vreg.index dst) ~at:20 ~width:4 in
+      let w =
+        match base with
+        | Insn.Breg r ->
+            put (put w 1 ~at:19 ~width:1) (Reg.index r) ~at:11 ~width:8
+        | Insn.Sym addr ->
+            let idx = pool_scalar pb addr in
+            if idx >= 256 then fail "too many data symbols";
+            put w idx ~at:11 ~width:8
+      in
+      let w = put w (Reg.index index) ~at:7 ~width:4 in
+      if stride <> 2 && stride <> 4 then fail "bad stride %d" stride;
+      if phase < 0 || phase >= stride then fail "bad phase %d" phase;
+      let w = put w (if stride = 2 then 0 else 1) ~at:6 ~width:1 in
+      put w phase ~at:4 ~width:2
+  | V (Vsts { esize; src; base; index; stride; phase }) ->
+      let w = put w (esize_code esize) ~at:25 ~width:2 in
+      let w = put w (Vreg.index src) ~at:20 ~width:4 in
+      let w =
+        match base with
+        | Insn.Breg r ->
+            put (put w 1 ~at:19 ~width:1) (Reg.index r) ~at:11 ~width:8
+        | Insn.Sym addr ->
+            let idx = pool_scalar pb addr in
+            if idx >= 256 then fail "too many data symbols";
+            put w idx ~at:11 ~width:8
+      in
+      let w = put w (Reg.index index) ~at:7 ~width:4 in
+      if stride <> 2 && stride <> 4 then fail "bad stride %d" stride;
+      if phase < 0 || phase >= stride then fail "bad phase %d" phase;
+      let w = put w (if stride = 2 then 0 else 1) ~at:6 ~width:1 in
+      put w phase ~at:4 ~width:2
+  | V (Vgather { esize; signed; dst; base; index_v }) ->
+      let w = put w (esize_code esize) ~at:25 ~width:2 in
+      let w = put w (if signed then 1 else 0) ~at:24 ~width:1 in
+      let w = put w (Vreg.index dst) ~at:20 ~width:4 in
+      let w =
+        match base with
+        | Insn.Breg r ->
+            put (put w 1 ~at:19 ~width:1) (Reg.index r) ~at:11 ~width:8
+        | Insn.Sym addr ->
+            let idx = pool_scalar pb addr in
+            if idx >= 256 then fail "too many data symbols";
+            put w idx ~at:11 ~width:8
+      in
+      put w (Vreg.index index_v) ~at:7 ~width:4
+
+let encode insns =
+  let pb = pool_create () in
+  let words = Array.map (encode_one pb) insns in
+  { words; pool = pool_finish pb }
+
+(* --- decoding --- *)
+
+let decode_opcode w ~at =
+  match Opcode.of_int (get w ~at ~width:4) with
+  | Some op -> op
+  | None -> fail "bad opcode field"
+
+let decode_cond w ~at =
+  match Cond.of_int (get w ~at ~width:3) with
+  | Some c -> c
+  | None -> fail "bad condition field"
+
+let decode_mem_fields w pool =
+  let base =
+    if get w ~at:19 ~width:1 = 1 then
+      Insn.Breg (Reg.make (get w ~at:11 ~width:4))
+    else
+      let idx = get w ~at:11 ~width:8 in
+      if idx >= Array.length pool then fail "pool index out of range";
+      Insn.Sym pool.(idx)
+  in
+  let index =
+    if get w ~at:10 ~width:1 = 1 then
+      Insn.Reg (Reg.make (get w ~at:2 ~width:4))
+    else Insn.Imm (get_immf w pool ~at:2 ~width:8)
+  in
+  (base, index, get w ~at:0 ~width:2)
+
+let decode_vbase w pool =
+  if get w ~at:19 ~width:1 = 1 then Insn.Breg (Reg.make (get w ~at:11 ~width:4))
+  else
+    let idx = get w ~at:11 ~width:8 in
+    if idx >= Array.length pool then fail "pool index out of range";
+    Insn.Sym pool.(idx)
+
+let decode_one pool w : Minsn.exec =
+  match get w ~at:27 ~width:5 with
+  | 0 ->
+      let cond = decode_cond w ~at:24 in
+      let dst = Reg.make (get w ~at:20 ~width:4) in
+      let src =
+        if get w ~at:19 ~width:1 = 1 then
+          Insn.Reg (Reg.make (get w ~at:15 ~width:4))
+        else Insn.Imm (get_immf w pool ~at:0 ~width:15)
+      in
+      S (Mov { cond; dst; src })
+  | 1 ->
+      let cond = decode_cond w ~at:24 in
+      let op = decode_opcode w ~at:20 in
+      let dst = Reg.make (get w ~at:16 ~width:4) in
+      let src1 = Reg.make (get w ~at:12 ~width:4) in
+      let src2 =
+        if get w ~at:11 ~width:1 = 1 then
+          Insn.Reg (Reg.make (get w ~at:7 ~width:4))
+        else Insn.Imm (get_immf w pool ~at:0 ~width:11)
+      in
+      S (Dp { cond; op; dst; src1; src2 })
+  | 2 ->
+      let esize = esize_of_code (get w ~at:25 ~width:2) in
+      let signed = get w ~at:24 ~width:1 = 1 in
+      let dst = Reg.make (get w ~at:20 ~width:4) in
+      let base, index, shift = decode_mem_fields w pool in
+      S (Ld { esize; signed; dst; base; index; shift })
+  | 3 ->
+      let esize = esize_of_code (get w ~at:25 ~width:2) in
+      let src = Reg.make (get w ~at:20 ~width:4) in
+      let base, index, shift = decode_mem_fields w pool in
+      S (St { esize; src; base; index; shift })
+  | 4 ->
+      let src1 = Reg.make (get w ~at:20 ~width:4) in
+      let src2 =
+        if get w ~at:19 ~width:1 = 1 then
+          Insn.Reg (Reg.make (get w ~at:15 ~width:4))
+        else Insn.Imm (get_immf w pool ~at:0 ~width:15)
+      in
+      S (Cmp { src1; src2 })
+  | 5 ->
+      S (B { cond = decode_cond w ~at:24; target = get w ~at:0 ~width:24 })
+  | 6 ->
+      S
+        (Bl
+           {
+             region = get w ~at:26 ~width:1 = 1;
+             target = get w ~at:0 ~width:24;
+           })
+  | 7 -> S Ret
+  | 8 -> S Halt
+  | 16 ->
+      V
+        (Vld
+           {
+             esize = esize_of_code (get w ~at:25 ~width:2);
+             signed = get w ~at:24 ~width:1 = 1;
+             dst = Vreg.make (get w ~at:20 ~width:4);
+             base = decode_vbase w pool;
+             index = Reg.make (get w ~at:7 ~width:4);
+           })
+  | 17 ->
+      V
+        (Vst
+           {
+             esize = esize_of_code (get w ~at:25 ~width:2);
+             src = Vreg.make (get w ~at:20 ~width:4);
+             base = decode_vbase w pool;
+             index = Reg.make (get w ~at:7 ~width:4);
+           })
+  | 18 ->
+      let op = decode_opcode w ~at:23 in
+      let dst = Vreg.make (get w ~at:19 ~width:4) in
+      let src1 = Vreg.make (get w ~at:15 ~width:4) in
+      let src2 =
+        match get w ~at:13 ~width:2 with
+        | 0 -> Vinsn.VR (Vreg.make (get w ~at:9 ~width:4))
+        | 1 -> Vinsn.VImm (get_immf w pool ~at:0 ~width:13)
+        | 2 ->
+            let idx = get w ~at:0 ~width:13 in
+            if idx >= Array.length pool then fail "pool index out of range";
+            let len = pool.(idx) in
+            if idx + len >= Array.length pool then fail "pool vector truncated";
+            Vinsn.VConst (Array.init len (fun i -> pool.(idx + 1 + i)))
+        | k -> fail "bad vdp source kind %d" k
+      in
+      V (Vdp { op; dst; src1; src2 })
+  | 19 ->
+      V
+        (Vsat
+           {
+             op = (if get w ~at:26 ~width:1 = 0 then `Add else `Sub);
+             esize = esize_of_code (get w ~at:24 ~width:2);
+             signed = get w ~at:23 ~width:1 = 1;
+             dst = Vreg.make (get w ~at:19 ~width:4);
+             src1 = Vreg.make (get w ~at:15 ~width:4);
+             src2 = Vreg.make (get w ~at:11 ~width:4);
+           })
+  | 20 ->
+      let block = get w ~at:20 ~width:5 in
+      let by = get w ~at:15 ~width:5 in
+      let pattern =
+        match get w ~at:25 ~width:2 with
+        | 0 -> Perm.Reverse block
+        | 1 -> Perm.Halfswap block
+        | 2 -> Perm.Rotate { block; by }
+        | k -> fail "bad permutation kind %d" k
+      in
+      V
+        (Vperm
+           {
+             pattern;
+             dst = Vreg.make (get w ~at:11 ~width:4);
+             src = Vreg.make (get w ~at:7 ~width:4);
+           })
+  | 21 ->
+      V
+        (Vred
+           {
+             op = decode_opcode w ~at:23;
+             acc = Reg.make (get w ~at:19 ~width:4);
+             src = Vreg.make (get w ~at:15 ~width:4);
+           })
+  | 22 ->
+      V
+        (Vlds
+           {
+             esize = esize_of_code (get w ~at:25 ~width:2);
+             signed = get w ~at:24 ~width:1 = 1;
+             dst = Vreg.make (get w ~at:20 ~width:4);
+             base = decode_vbase w pool;
+             index = Reg.make (get w ~at:7 ~width:4);
+             stride = (if get w ~at:6 ~width:1 = 0 then 2 else 4);
+             phase = get w ~at:4 ~width:2;
+           })
+  | 23 ->
+      V
+        (Vsts
+           {
+             esize = esize_of_code (get w ~at:25 ~width:2);
+             src = Vreg.make (get w ~at:20 ~width:4);
+             base = decode_vbase w pool;
+             index = Reg.make (get w ~at:7 ~width:4);
+             stride = (if get w ~at:6 ~width:1 = 0 then 2 else 4);
+             phase = get w ~at:4 ~width:2;
+           })
+  | 24 ->
+      V
+        (Vgather
+           {
+             esize = esize_of_code (get w ~at:25 ~width:2);
+             signed = get w ~at:24 ~width:1 = 1;
+             dst = Vreg.make (get w ~at:20 ~width:4);
+             base = decode_vbase w pool;
+             index_v = Vreg.make (get w ~at:7 ~width:4);
+           })
+  | m -> fail "bad major opcode %d" m
+
+let decode { words; pool } = Array.map (decode_one pool) words
+
+let size_bytes (img : Image.t) =
+  let { words; pool } = encode img.code in
+  (4 * Array.length words) + (4 * Array.length pool) + img.data_bytes

@@ -1,0 +1,31 @@
+(** Fixed-width binary encoding of executable images.
+
+    Each instruction occupies one 32-bit word. Values that do not fit
+    their inline field (large immediates, absolute data addresses,
+    per-lane constant vectors) are placed in a shared literal pool and
+    referenced by index, in the spirit of ARM literal pools. The encoding
+    exists to (a) demonstrate the virtualized representation fits a real
+    fixed-width ISA, (b) support the paper's code-size-overhead
+    measurement, and (c) give the decoder/round-trip tests a ground
+    truth. *)
+
+open Liquid_visa
+
+exception Encode_error of string
+
+type encoded = {
+  words : int array;  (** one 32-bit word per instruction *)
+  pool : int array;  (** shared literal pool *)
+}
+
+val encode : Minsn.exec array -> encoded
+(** Raises {!Encode_error} if a field exceeds its range (e.g., more than
+    256 distinct data symbols, or a branch target beyond 2^24). *)
+
+val decode : encoded -> Minsn.exec array
+(** Inverse of {!encode}. Raises {!Encode_error} on malformed words. *)
+
+val size_bytes : Image.t -> int
+(** Total binary footprint: instruction words + literal pool + data
+    segment. This is the metric used for the paper's §5 code-size
+    comparison. *)

@@ -1,0 +1,481 @@
+open Liquid_isa
+open Liquid_visa
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* --- lexical helpers --- *)
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let trim = String.trim
+
+let split_commas s =
+  String.split_on_char ',' s |> List.map trim |> List.filter (fun x -> x <> "")
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun x -> x <> "")
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let drop n s = String.sub s n (String.length s - n)
+
+let int_of line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "expected an integer, got %S" s
+
+(* --- operand parsing --- *)
+
+let reg_of line s =
+  if starts_with "r" s then
+    match int_of_string_opt (drop 1 s) with
+    | Some n when n >= 0 && n < Reg.count -> Reg.make n
+    | Some _ | None -> fail line "bad register %S" s
+  else fail line "expected a register, got %S" s
+
+let vreg_of line s =
+  if starts_with "v" s then
+    match int_of_string_opt (drop 1 s) with
+    | Some n when n >= 0 && n < Vreg.count -> Vreg.make n
+    | Some _ | None -> fail line "bad vector register %S" s
+  else fail line "expected a vector register, got %S" s
+
+let is_reg s =
+  starts_with "r" s && int_of_string_opt (drop 1 s) <> None
+
+let operand_of line s =
+  if starts_with "#" s then Insn.Imm (int_of line (drop 1 s))
+  else if is_reg s then Insn.Reg (reg_of line s)
+  else fail line "expected #imm or register, got %S" s
+
+(* "[base + index lsl k]" -> base, index operand, shift *)
+let mem_of line s =
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    fail line "expected a memory operand, got %S" s;
+  let inner = trim (String.sub s 1 (n - 2)) in
+  let base_str, rest =
+    match String.index_opt inner '+' with
+    | Some i -> (trim (String.sub inner 0 i), trim (drop (i + 1) inner))
+    | None -> (inner, "")
+  in
+  let base =
+    if is_reg base_str then Insn.Breg (reg_of line base_str)
+    else if base_str = "" then fail line "empty base in %S" s
+    else Insn.Sym base_str
+  in
+  let index, shift =
+    if rest = "" then (Insn.Imm 0, 0)
+    else
+      match split_ws rest with
+      | [ idx ] -> (operand_of line idx, 0)
+      | [ idx; "lsl"; k ] -> (operand_of line idx, int_of line k)
+      | _ -> fail line "bad index expression %S" rest
+  in
+  (base, index, shift)
+
+let vconst_of line s =
+  (* "#[1 2 3]" *)
+  let n = String.length s in
+  if n < 3 || s.[1] <> '[' || s.[n - 1] <> ']' then
+    fail line "bad constant vector %S" s;
+  let inner = String.sub s 2 (n - 3) in
+  Vinsn.VConst (Array.of_list (List.map (int_of line) (split_ws inner)))
+
+let vsrc_of line s =
+  if starts_with "#[" s then vconst_of line s
+  else if starts_with "#" s then Vinsn.VImm (int_of line (drop 1 s))
+  else Vinsn.VR (vreg_of line s)
+
+(* --- mnemonic tables --- *)
+
+let conds =
+  [ ("eq", Cond.Eq); ("ne", Cond.Ne); ("gt", Cond.Gt); ("ge", Cond.Ge);
+    ("lt", Cond.Lt); ("le", Cond.Le) ]
+
+let cond_of_suffix line = function
+  | "" -> Cond.Al
+  | s -> (
+      match List.assoc_opt s conds with
+      | Some c -> c
+      | None -> fail line "bad condition suffix %S" s)
+
+let dp_mnemonics = List.map (fun op -> (Opcode.mnemonic op, op)) Opcode.all
+
+(* "ldb", "ldhs", "ld" ... -> esize, signed *)
+let load_suffix line s =
+  match s with
+  | "" -> (Esize.Word, true)
+  | "b" -> (Esize.Byte, false)
+  | "bs" -> (Esize.Byte, true)
+  | "h" -> (Esize.Half, false)
+  | "hs" -> (Esize.Half, true)
+  | _ -> fail line "bad load suffix %S" s
+
+let store_suffix line = function
+  | "" -> Esize.Word
+  | "b" -> Esize.Byte
+  | "h" -> Esize.Half
+  | s -> fail line "bad store suffix %S" s
+
+let perm_of line s =
+  match String.split_on_char '.' s with
+  | [ "reverse"; b ] -> Perm.Reverse (int_of line b)
+  | [ "bfly"; b ] -> Perm.Halfswap (int_of line b)
+  | [ "rot"; b; k ] -> Perm.Rotate { block = int_of line b; by = int_of line k }
+  | _ -> fail line "unknown permutation %S" s
+
+(* --- instruction parsing --- *)
+
+let scalar line mnemonic (ops : string list) : Insn.asm option =
+  let dp2 op cond = function
+    | [ d; s1; s2 ] ->
+        Some
+          (Insn.Dp
+             {
+               cond;
+               op;
+               dst = reg_of line d;
+               src1 = reg_of line s1;
+               src2 = operand_of line s2;
+             })
+    | _ -> fail line "expected 3 operands for %s" mnemonic
+  in
+  match mnemonic with
+  | "ret" -> Some Insn.Ret
+  | "halt" -> Some Insn.Halt
+  | "cmp" -> (
+      match ops with
+      | [ s1; s2 ] ->
+          Some (Insn.Cmp { src1 = reg_of line s1; src2 = operand_of line s2 })
+      | _ -> fail line "cmp takes 2 operands")
+  | "bl.region" | "bl" -> (
+      match ops with
+      | [ target ] ->
+          Some (Insn.Bl { target; region = mnemonic = "bl.region" })
+      | _ -> fail line "bl takes a label")
+  | m when starts_with "ld" m -> (
+      let esize, signed = load_suffix line (drop 2 m) in
+      match ops with
+      | [ d; mem ] ->
+          let base, index, shift = mem_of line mem in
+          Some (Insn.Ld { esize; signed; dst = reg_of line d; base; index; shift })
+      | _ -> fail line "load takes dst, [mem]")
+  | m when starts_with "st" m -> (
+      let esize = store_suffix line (drop 2 m) in
+      match ops with
+      | [ mem; s ] ->
+          let base, index, shift = mem_of line mem in
+          Some (Insn.St { esize; src = reg_of line s; base; index; shift })
+      | _ -> fail line "store takes [mem], src")
+  | m when starts_with "mov" m -> (
+      let cond = cond_of_suffix line (drop 3 m) in
+      match ops with
+      | [ d; s ] ->
+          Some (Insn.Mov { cond; dst = reg_of line d; src = operand_of line s })
+      | _ -> fail line "mov takes 2 operands")
+  | m when m = "b" || List.mem_assoc (drop 1 m) conds -> (
+      (* branches: b, beq, bne, bgt, bge, blt, ble *)
+      if m <> "b" && not (starts_with "b" m) then None
+      else
+        match ops with
+        | [ target ] ->
+            Some (Insn.B { cond = cond_of_suffix line (drop 1 m); target })
+        | _ -> fail line "branch takes a label")
+  | m -> (
+      (* data-processing with optional condition suffix, longest first *)
+      let candidates =
+        List.filter (fun (name, _) -> starts_with name m) dp_mnemonics
+        |> List.sort (fun (a, _) (b, _) ->
+               compare (String.length b) (String.length a))
+      in
+      match
+        List.find_map
+          (fun (name, op) ->
+            let rest = drop (String.length name) m in
+            if rest = "" || List.mem_assoc rest conds then Some (op, rest)
+            else None)
+          candidates
+      with
+      | Some (op, suffix) -> dp2 op (cond_of_suffix line suffix) ops
+      | None -> None)
+
+let vector line mnemonic (ops : string list) : Vinsn.asm option =
+  let vindex line = function
+    | Insn.Reg r, 0 -> r
+    | _ -> fail line "vector memory index must be an unscaled register"
+  in
+  let strided_suffix line m prefix =
+    (* "<prefix><esize-suffix>.<stride>.<phase>" *)
+    match String.split_on_char '.' (drop (String.length prefix) m) with
+    | [ sfx; stride; phase ] ->
+        let esize, signed = load_suffix line sfx in
+        (esize, signed, int_of line stride, int_of line phase)
+    | _ -> fail line "bad strided mnemonic %S" m
+  in
+  match mnemonic with
+  | m when starts_with "vtbl" m -> (
+      let esize, signed = load_suffix line (drop 4 m) in
+      match ops with
+      | [ d; mem ] -> (
+          (* "[table + vN]": a memory operand whose index is a vector
+             register. *)
+          let n = String.length mem in
+          if n < 2 || mem.[0] <> '[' || mem.[n - 1] <> ']' then
+            fail line "vtbl takes dst, [table + vindex]"
+          else
+            let inner = trim (String.sub mem 1 (n - 2)) in
+            match String.index_opt inner '+' with
+            | Some i ->
+                let table = trim (String.sub inner 0 i) in
+                let idx = trim (drop (i + 1) inner) in
+                Some
+                  (Vinsn.Vgather
+                     {
+                       esize;
+                       signed;
+                       dst = vreg_of line d;
+                       base = Insn.Sym table;
+                       index_v = vreg_of line idx;
+                     })
+            | None -> fail line "vtbl needs a vector index")
+      | _ -> fail line "vtbl takes dst, [table + vindex]")
+  | m when starts_with "vlds" m -> (
+      let esize, signed, stride, phase = strided_suffix line m "vlds" in
+      match ops with
+      | [ d; mem ] ->
+          let base, index, shift = mem_of line mem in
+          Some
+            (Vinsn.Vlds
+               {
+                 esize;
+                 signed;
+                 dst = vreg_of line d;
+                 base;
+                 index = vindex line (index, shift);
+                 stride;
+                 phase;
+               })
+      | _ -> fail line "vlds takes dst, [mem]")
+  | m when starts_with "vsts" m -> (
+      let esize, _, stride, phase = strided_suffix line m "vsts" in
+      match ops with
+      | [ mem; src ] ->
+          let base, index, shift = mem_of line mem in
+          Some
+            (Vinsn.Vsts
+               {
+                 esize;
+                 src = vreg_of line src;
+                 base;
+                 index = vindex line (index, shift);
+                 stride;
+                 phase;
+               })
+      | _ -> fail line "vsts takes [mem], src")
+  | m when starts_with "vld" m -> (
+      let esize, signed = load_suffix line (drop 3 m) in
+      match ops with
+      | [ d; mem ] ->
+          let base, index, shift = mem_of line mem in
+          Some
+            (Vinsn.Vld
+               { esize; signed; dst = vreg_of line d; base; index = vindex line (index, shift) })
+      | _ -> fail line "vld takes dst, [mem]")
+  | m when starts_with "vst" m -> (
+      let esize = store_suffix line (drop 3 m) in
+      match ops with
+      | [ mem; s ] ->
+          let base, index, shift = mem_of line mem in
+          Some
+            (Vinsn.Vst
+               { esize; src = vreg_of line s; base; index = vindex line (index, shift) })
+      | _ -> fail line "vst takes [mem], src")
+  | m when starts_with "vperm." m -> (
+      match ops with
+      | [ d; s ] ->
+          Some
+            (Vinsn.Vperm
+               { pattern = perm_of line (drop 6 m); dst = vreg_of line d; src = vreg_of line s })
+      | _ -> fail line "vperm takes 2 operands")
+  | m when starts_with "vred." m -> (
+      match (List.assoc_opt (drop 5 m) dp_mnemonics, ops) with
+      | Some op, [ acc; s ] ->
+          Some (Vinsn.Vred { op; acc = reg_of line acc; src = vreg_of line s })
+      | None, _ -> fail line "unknown reduction %S" m
+      | _, _ -> fail line "vred takes acc, src")
+  | m when starts_with "vq" m -> (
+      let rest = drop 2 m in
+      let op, rest =
+        if starts_with "add" rest then (`Add, drop 3 rest)
+        else if starts_with "sub" rest then (`Sub, drop 3 rest)
+        else fail line "unknown saturating op %S" m
+      in
+      let signed, rest =
+        if starts_with "s" rest then (true, drop 1 rest)
+        else if starts_with "u" rest then (false, drop 1 rest)
+        else fail line "saturating op needs s/u: %S" m
+      in
+      let esize =
+        match rest with
+        | "" -> Esize.Word
+        | "b" -> Esize.Byte
+        | "h" -> Esize.Half
+        | _ -> fail line "bad saturating suffix %S" m
+      in
+      match ops with
+      | [ d; s1; s2 ] ->
+          Some
+            (Vinsn.Vsat
+               {
+                 op;
+                 esize;
+                 signed;
+                 dst = vreg_of line d;
+                 src1 = vreg_of line s1;
+                 src2 = vreg_of line s2;
+               })
+      | _ -> fail line "saturating op takes 3 operands")
+  | m when starts_with "v" m -> (
+      match (List.assoc_opt (drop 1 m) dp_mnemonics, ops) with
+      | Some op, [ d; s1; s2 ] ->
+          Some
+            (Vinsn.Vdp
+               {
+                 op;
+                 dst = vreg_of line d;
+                 src1 = vreg_of line s1;
+                 src2 = vsrc_of line s2;
+               })
+      | None, _ -> None
+      | _, _ -> fail line "vector op takes 3 operands")
+  | _ -> None
+
+let insn_of_line lineno text : Minsn.asm =
+  let mnemonic, rest =
+    match String.index_opt text ' ' with
+    | Some i -> (String.sub text 0 i, trim (drop (i + 1) text))
+    | None -> (text, "")
+  in
+  let ops = split_commas rest in
+  if starts_with "v" mnemonic && mnemonic <> "" then
+    match vector lineno mnemonic ops with
+    | Some vi -> Minsn.V vi
+    | None -> fail lineno "unknown vector mnemonic %S" mnemonic
+  else
+    match scalar lineno mnemonic ops with
+    | Some i -> Minsn.S i
+    | None -> fail lineno "unknown mnemonic %S" mnemonic
+
+(* --- data parsing --- *)
+
+let data_of_line lineno name directive : Data.t =
+  match split_ws directive with
+  | [] -> fail lineno "empty data directive"
+  | kind :: values -> (
+      let parse_kind base =
+        if kind = "." ^ base then Some `Values
+        else if starts_with ("." ^ base ^ "[") kind then begin
+          let open_b = String.length base + 2 in
+          let close = String.length kind - 1 in
+          if kind.[close] <> ']' then fail lineno "bad size in %S" kind
+          else Some (`Zeros (int_of lineno (String.sub kind open_b (close - open_b))))
+        end
+        else None
+      in
+      let esize_of = function
+        | "word" -> Esize.Word
+        | "half" -> Esize.Half
+        | "byte" -> Esize.Byte
+        | s -> fail lineno "unknown data kind %S" s
+      in
+      match
+        List.find_map
+          (fun base ->
+            match parse_kind base with
+            | Some shape -> Some (esize_of base, shape)
+            | None -> None)
+          [ "word"; "half"; "byte" ]
+      with
+      | Some (esize, `Values) ->
+          Data.make ~name ~esize (Array.of_list (List.map (int_of lineno) values))
+      | Some (esize, `Zeros n) ->
+          if values <> [] then fail lineno "sized array takes no values";
+          Data.zeros ~name ~esize n
+      | None -> fail lineno "unknown data directive %S" kind)
+
+(* --- program parsing --- *)
+
+type section = Text | DataSec
+
+let program ?(name = "asm") source =
+  let text = ref [] and data = ref [] in
+  let section = ref Text in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let linestr = trim (strip_comment raw) in
+      if linestr <> "" then
+        if linestr = ".text" then section := Text
+        else if linestr = ".data" then section := DataSec
+        else
+          match String.index_opt linestr ':' with
+          | Some ci -> (
+              let label = trim (String.sub linestr 0 ci) in
+              let rest = trim (drop (ci + 1) linestr) in
+              if label = "" then fail lineno "empty label"
+              else
+                match !section with
+                | Text ->
+                    if rest <> "" then
+                      fail lineno "labels must be on their own line";
+                    text := Program.Label label :: !text
+                | DataSec -> data := data_of_line lineno label rest :: !data)
+          | None -> (
+              match !section with
+              | Text -> text := Program.I (insn_of_line lineno linestr) :: !text
+              | DataSec -> fail lineno "expected a data definition"))
+    (String.split_on_char '\n' source);
+  Program.make ~name ~text:(List.rev !text) ~data:(List.rev !data)
+
+(* --- emission --- *)
+
+let emit (p : Program.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "; program %s\n.text\n" p.Program.name);
+  List.iter
+    (function
+      | Program.Label l -> Buffer.add_string buf (l ^ ":\n")
+      | Program.I insn ->
+          Buffer.add_string buf (Format.asprintf "    %a\n" Minsn.pp_asm insn))
+    p.Program.text;
+  if p.Program.data <> [] then Buffer.add_string buf ".data\n";
+  List.iter
+    (fun (d : Data.t) ->
+      let kind =
+        match d.Data.esize with
+        | Esize.Word -> "word"
+        | Esize.Half -> "half"
+        | Esize.Byte -> "byte"
+      in
+      if Array.for_all (fun v -> v = 0) d.Data.values then
+        Buffer.add_string buf
+          (Printf.sprintf "%s: .%s[%d]\n" d.Data.name kind
+             (Array.length d.Data.values))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "%s: .%s %s\n" d.Data.name kind
+             (String.concat " "
+                (List.map string_of_int (Array.to_list d.Data.values)))))
+    p.Program.data;
+  Buffer.contents buf

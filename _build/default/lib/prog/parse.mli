@@ -1,0 +1,37 @@
+(** Assembly source: a textual front end for programs.
+
+    The syntax is the one {!Liquid_isa.Insn.pp_asm} and
+    {!Liquid_visa.Vinsn.pp_asm} print, plus section directives and data
+    initializers:
+
+    {v
+    ; comments run to end of line
+    .text
+    main:
+        mov r1, #0
+    loop:
+        ld r2, [xs + r1 lsl 2]
+        add r3, r3, r2
+        add r1, r1, #1
+        cmp r1, #4
+        blt loop
+        st [sum], r3
+        halt
+    .data
+    xs: .word 10 20 30 40
+    sum: .word[1]          ; zero-initialized
+    v}
+
+    {!emit} prints a program in exactly this syntax, so
+    [parse (emit p) = p] for every well-formed program. *)
+
+exception Parse_error of { line : int; message : string }
+
+val program : ?name:string -> string -> Program.t
+(** Parse assembly source. Raises {!Parse_error} with a 1-based line
+    number on malformed input. The result is not validated beyond
+    syntax; run {!Program.validate} (or {!Image.of_program}) next. *)
+
+val emit : Program.t -> string
+(** Print a program as parseable assembly source (unlike {!Program.pp},
+    data arrays are emitted with their full contents). *)

@@ -1,0 +1,86 @@
+open Liquid_isa
+open Liquid_visa
+
+type item = Label of string | I of Minsn.asm
+
+type t = { name : string; text : item list; data : Data.t list }
+
+let make ~name ~text ~data = { name; text; data }
+
+let insns t =
+  List.filter_map (function Label _ -> None | I i -> Some i) t.text
+
+let labels t =
+  List.filter_map (function Label l -> Some l | I _ -> None) t.text
+
+let scalar_only t = not (List.exists Minsn.is_vector (insns t))
+
+let find_data t name = List.find_opt (fun (d : Data.t) -> d.name = name) t.data
+
+let append_data t extra =
+  List.iter
+    (fun (d : Data.t) ->
+      if find_data t d.name <> None then
+        invalid_arg
+          (Printf.sprintf "Program.append_data: duplicate array %s" d.name))
+    extra;
+  { t with data = t.data @ extra }
+
+let rec find_dup seen = function
+  | [] -> None
+  | x :: rest -> if List.mem x seen then Some x else find_dup (x :: seen) rest
+
+let insn_symbols (i : Minsn.asm) =
+  let of_base = function Insn.Sym s -> [ s ] | Insn.Breg _ -> [] in
+  match i with
+  | S (Ld { base; _ }) | S (St { base; _ }) -> of_base base
+  | V (Vld { base; _ })
+  | V (Vst { base; _ })
+  | V (Vlds { base; _ })
+  | V (Vsts { base; _ })
+  | V (Vgather { base; _ }) ->
+      of_base base
+  | S (Mov _ | Dp _ | Cmp _ | B _ | Bl _ | Ret | Halt)
+  | V (Vdp _ | Vsat _ | Vperm _ | Vred _) ->
+      []
+
+let insn_targets (i : Minsn.asm) =
+  match i with
+  | S (B { target; _ }) | S (Bl { target; _ }) -> [ target ]
+  | S (Mov _ | Dp _ | Ld _ | St _ | Cmp _ | Ret | Halt) | V _ -> []
+
+let validate t =
+  let labels = labels t in
+  let data_names = List.map (fun (d : Data.t) -> d.name) t.data in
+  let insns = insns t in
+  match find_dup [] labels with
+  | Some l -> Error (Printf.sprintf "duplicate label %s" l)
+  | None -> (
+      match find_dup [] data_names with
+      | Some d -> Error (Printf.sprintf "duplicate data array %s" d)
+      | None -> (
+          let missing_sym =
+            List.concat_map insn_symbols insns
+            |> List.find_opt (fun s -> not (List.mem s data_names))
+          in
+          match missing_sym with
+          | Some s -> Error (Printf.sprintf "undefined data symbol %s" s)
+          | None -> (
+              let missing_lab =
+                List.concat_map insn_targets insns
+                |> List.find_opt (fun l -> not (List.mem l labels))
+              in
+              match missing_lab with
+              | Some l -> Error (Printf.sprintf "undefined label %s" l)
+              | None -> Ok ())))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>; program %s@ .text@ " t.name;
+  List.iter
+    (function
+      | Label l -> Format.fprintf ppf "%s:@ " l
+      | I i -> Format.fprintf ppf "  %a@ " Minsn.pp_asm i)
+    t.text;
+  Format.fprintf ppf ".data@ ";
+  List.iter (fun d -> Format.fprintf ppf "  %a@ " Data.pp d) t.data;
+  Format.fprintf ppf "@]"

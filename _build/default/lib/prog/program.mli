@@ -1,0 +1,28 @@
+(** Assembly-level programs: a text section of labeled mixed instructions
+    plus static data arrays. *)
+
+open Liquid_visa
+
+type item = Label of string | I of Minsn.asm
+
+type t = { name : string; text : item list; data : Data.t list }
+
+val make : name:string -> text:item list -> data:Data.t list -> t
+
+val insns : t -> Minsn.asm list
+val labels : t -> string list
+val scalar_only : t -> bool
+(** True when no vector instruction appears — i.e., the program can run
+    on a machine without a SIMD accelerator. *)
+
+val find_data : t -> string -> Data.t option
+val append_data : t -> Data.t list -> t
+(** Add arrays; raises [Invalid_argument] on duplicate names. *)
+
+val validate : t -> (unit, string) result
+(** Check label/symbol integrity: no duplicate labels or data names, all
+    branch targets defined, all data symbols defined, register/field
+    ranges respected. *)
+
+val pp : Format.formatter -> t -> unit
+(** Full listing: text section with labels, then data section. *)

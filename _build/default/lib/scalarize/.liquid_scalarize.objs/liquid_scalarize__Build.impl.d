@@ -1,0 +1,1 @@
+lib/scalarize/build.ml: Array Cond Esize Insn Liquid_isa Liquid_prog Liquid_visa List Minsn Opcode Perm Program Reg Vinsn Vreg

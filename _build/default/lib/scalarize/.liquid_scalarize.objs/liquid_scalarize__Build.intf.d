@@ -1,0 +1,1 @@
+lib/scalarize/build.mli: Cond Esize Insn Liquid_isa Liquid_prog Liquid_visa Opcode Program Reg Vinsn Vreg

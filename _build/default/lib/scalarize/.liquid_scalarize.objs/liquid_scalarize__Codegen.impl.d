@@ -1,0 +1,1 @@
+lib/scalarize/codegen.ml: Build Data Hashtbl Liquid_prog List Native_gen Printf Program Scalarize Vloop

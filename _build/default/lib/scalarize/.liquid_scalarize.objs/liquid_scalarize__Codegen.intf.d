@@ -1,0 +1,1 @@
+lib/scalarize/codegen.mli: Liquid_prog Program Vloop

@@ -1,0 +1,1 @@
+lib/scalarize/native_gen.ml: Array Build Cond Data Esize Format Insn Liquid_isa Liquid_prog Liquid_visa List Minsn Perm Printf Program Vinsn Vloop Vreg

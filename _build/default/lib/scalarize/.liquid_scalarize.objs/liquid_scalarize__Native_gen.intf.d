@@ -1,0 +1,1 @@
+lib/scalarize/native_gen.mli: Data Liquid_prog Program Vloop

@@ -1,0 +1,1 @@
+lib/scalarize/scalarize.ml: Array Build Cond Data Esize Format Hashtbl Insn Liquid_isa Liquid_prog Liquid_visa List Minsn Opcode Perm Printf Program Reg String Vinsn Vloop Vreg

@@ -1,0 +1,1 @@
+lib/scalarize/scalarize.mli: Data Esize Liquid_isa Liquid_prog Liquid_visa Opcode Perm Program Reg Vinsn Vloop Vreg

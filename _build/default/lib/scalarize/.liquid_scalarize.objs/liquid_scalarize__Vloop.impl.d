@@ -1,0 +1,1 @@
+lib/scalarize/vloop.ml: Array Format Insn Liquid_isa Liquid_prog Liquid_visa List Option Perm Printf Reg Result Vinsn Vreg

@@ -1,0 +1,1 @@
+lib/scalarize/vloop.mli: Format Liquid_isa Liquid_prog Liquid_visa Reg Vinsn

@@ -1,0 +1,89 @@
+(** Concise constructors for hand-writing programs against the IR.
+
+    Scalar helpers build {!Liquid_prog.Program.item}s for glue code;
+    vector helpers build {!Liquid_visa.Vinsn.asm}s for loop bodies. *)
+
+open Liquid_isa
+open Liquid_visa
+open Liquid_prog
+
+val r : int -> Reg.t
+val v : int -> Vreg.t
+
+(** {1 Scalar glue} *)
+
+val label : string -> Program.item
+val mov : Reg.t -> int -> Program.item
+val movr : Reg.t -> Reg.t -> Program.item
+val movc : Cond.t -> Reg.t -> int -> Program.item
+val dp : Opcode.t -> Reg.t -> Reg.t -> Insn.operand -> Program.item
+val addi : Reg.t -> Reg.t -> int -> Program.item
+val subi : Reg.t -> Reg.t -> int -> Program.item
+
+val ld : ?esize:Esize.t -> ?signed:bool -> Reg.t -> string -> Insn.operand -> Program.item
+(** Element-indexed load: the index operand is scaled by the element
+    size automatically. *)
+
+val st : ?esize:Esize.t -> Reg.t -> string -> Insn.operand -> Program.item
+val cmp : Reg.t -> Insn.operand -> Program.item
+val b : ?cond:Cond.t -> string -> Program.item
+val bl : string -> Program.item
+val bl_region : string -> Program.item
+val ret : Program.item
+val halt : Program.item
+
+val ri : Reg.t -> Insn.operand
+val i : int -> Insn.operand
+
+val counted_loop :
+  name:string -> count:int -> ind:Reg.t -> Program.item list -> Program.item list
+(** [counted_loop ~name ~count ~ind body] wraps [body] in
+    [mov ind,#0; L: body; add ind,ind,#1; cmp ind,#count; blt L]. *)
+
+(** {1 Vector loop bodies} *)
+
+val vld : ?esize:Esize.t -> ?signed:bool -> Vreg.t -> string -> Vinsn.asm
+val vst : ?esize:Esize.t -> Vreg.t -> string -> Vinsn.asm
+val vdp : Opcode.t -> Vreg.t -> Vreg.t -> Vinsn.vsrc -> Vinsn.asm
+val vadd : Vreg.t -> Vreg.t -> Vinsn.vsrc -> Vinsn.asm
+val vsub : Vreg.t -> Vreg.t -> Vinsn.vsrc -> Vinsn.asm
+val vmul : Vreg.t -> Vreg.t -> Vinsn.vsrc -> Vinsn.asm
+val vand : Vreg.t -> Vreg.t -> Vinsn.vsrc -> Vinsn.asm
+val vorr : Vreg.t -> Vreg.t -> Vinsn.vsrc -> Vinsn.asm
+val veor : Vreg.t -> Vreg.t -> Vinsn.vsrc -> Vinsn.asm
+val vmin : Vreg.t -> Vreg.t -> Vinsn.vsrc -> Vinsn.asm
+val vmax : Vreg.t -> Vreg.t -> Vinsn.vsrc -> Vinsn.asm
+val vshr : Vreg.t -> Vreg.t -> Vinsn.vsrc -> Vinsn.asm
+val vshl : Vreg.t -> Vreg.t -> Vinsn.vsrc -> Vinsn.asm
+
+val vqadd : ?esize:Esize.t -> ?signed:bool -> Vreg.t -> Vreg.t -> Vreg.t -> Vinsn.asm
+val vqsub : ?esize:Esize.t -> ?signed:bool -> Vreg.t -> Vreg.t -> Vreg.t -> Vinsn.asm
+val vlds :
+  ?esize:Esize.t -> ?signed:bool -> stride:int -> phase:int -> Vreg.t -> string -> Vinsn.asm
+(** {e Extension}: de-interleaving load — lane [i] reads element
+    [stride * (ind + i) + phase]. *)
+
+val vsts :
+  ?esize:Esize.t -> stride:int -> phase:int -> Vreg.t -> string -> Vinsn.asm
+
+val vld2 : ?esize:Esize.t -> ?signed:bool -> phase:int -> Vreg.t -> string -> Vinsn.asm
+val vst2 : ?esize:Esize.t -> phase:int -> Vreg.t -> string -> Vinsn.asm
+
+val vtbl : ?esize:Esize.t -> ?signed:bool -> Vreg.t -> string -> Vreg.t -> Vinsn.asm
+(** {e Extension} ([VTBL]): [vtbl dst table idx] — lane [i] of [dst]
+    reads element [idx.(i)] of [table]. *)
+
+val vbfly : int -> Vreg.t -> Vreg.t -> Vinsn.asm
+(** [vbfly b dst src]: half-swap butterfly over blocks of [b]. *)
+
+val vrev : int -> Vreg.t -> Vreg.t -> Vinsn.asm
+val vrot : block:int -> by:int -> Vreg.t -> Vreg.t -> Vinsn.asm
+val vred : Opcode.t -> Reg.t -> Vreg.t -> Vinsn.asm
+
+val vr : Vreg.t -> Vinsn.vsrc
+val vi : int -> Vinsn.vsrc
+val vc : int array -> Vinsn.vsrc
+val vmask : int list -> Vinsn.vsrc
+(** Lane-mask constant: one entry per lane of the pattern, [0] clears the
+    lane, non-zero keeps it (encoded as all-ones words for use with
+    [vand]). *)

@@ -1,0 +1,102 @@
+open Liquid_prog
+
+exception Unsupported_width of string
+
+let validate (p : Vloop.program) =
+  match Vloop.validate_program p with
+  | Ok () -> ()
+  | Error m -> raise (Scalarize.Error m)
+
+let dedup_data data =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (d : Data.t) ->
+      if Hashtbl.mem seen d.name then false
+      else begin
+        Hashtbl.replace seen d.name ();
+        true
+      end)
+    data
+
+let scalarized_outputs (p : Vloop.program) =
+  List.map
+    (function
+      | Vloop.Code items -> `Code items
+      | Vloop.Loop l -> `Loop (Scalarize.scalarize l))
+    p.sections
+
+let liquid (p : Vloop.program) =
+  validate p;
+  let outputs = scalarized_outputs p in
+  let main =
+    List.concat_map
+      (function
+        | `Code items -> items
+        | `Loop (o : Scalarize.output) -> o.call_items)
+      outputs
+  in
+  let regions =
+    List.concat_map
+      (function `Code _ -> [] | `Loop (o : Scalarize.output) -> o.region_items)
+      outputs
+  in
+  let generated =
+    List.concat_map
+      (function `Code _ -> [] | `Loop (o : Scalarize.output) -> o.data)
+      outputs
+  in
+  Program.make ~name:(p.name ^ ".liquid")
+    ~text:((Program.Label "main" :: main) @ [ Build.halt ] @ regions)
+    ~data:(dedup_data (p.data @ generated))
+
+let baseline (p : Vloop.program) =
+  validate p;
+  let outputs = scalarized_outputs p in
+  let main =
+    List.concat_map
+      (function
+        | `Code items -> items
+        | `Loop (o : Scalarize.output) -> o.inline_items)
+      outputs
+  in
+  let generated =
+    List.concat_map
+      (function `Code _ -> [] | `Loop (o : Scalarize.output) -> o.data)
+      outputs
+  in
+  Program.make ~name:(p.name ^ ".scalar")
+    ~text:((Program.Label "main" :: main) @ [ Build.halt ])
+    ~data:(dedup_data (p.data @ generated))
+
+let native ~width (p : Vloop.program) =
+  validate p;
+  let data = ref [] in
+  let main =
+    try
+      List.concat_map
+        (function
+          | Vloop.Code items -> items
+          | Vloop.Loop l -> Native_gen.loop_items ~width ~data l)
+        p.sections
+    with Native_gen.Unsupported_width m -> raise (Unsupported_width m)
+  in
+  Program.make
+    ~name:(Printf.sprintf "%s.native%d" p.name width)
+    ~text:((Program.Label "main" :: main) @ [ Build.halt ])
+    ~data:(dedup_data (p.data @ List.rev !data))
+
+let outlined_sizes (p : Vloop.program) =
+  List.concat_map
+    (function
+      | Vloop.Code _ -> []
+      | Vloop.Loop l -> (Scalarize.scalarize l).static_sizes)
+    p.sections
+
+let region_labels (p : Vloop.program) =
+  List.concat_map
+    (function
+      | Vloop.Code _ -> []
+      | Vloop.Loop l ->
+          List.map (fun (s : Scalarize.segment) -> s.label)
+            (Scalarize.scalarize l).segments)
+    p.sections

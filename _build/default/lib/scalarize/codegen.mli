@@ -1,0 +1,25 @@
+(** Whole-program code generation: the three binary flavours the paper's
+    evaluation compares, produced from one IR program. *)
+
+open Liquid_prog
+
+exception Unsupported_width of string
+(** Re-raised from {!Native_gen}: this loop cannot be expressed natively
+    at the requested width (the forward-migration failure mode). *)
+
+val liquid : Vloop.program -> Program.t
+(** The Liquid SIMD binary: scalarized loops outlined behind region
+    branch-and-links. Runs unmodified on any machine — scalar-only,
+    translator-less, or any accelerator width. *)
+
+val baseline : Vloop.program -> Program.t
+(** The no-SIMD reference binary: the same scalarized loops, inline. *)
+
+val native : width:int -> Vloop.program -> Program.t
+(** A conventional SIMD binary for one specific accelerator width. *)
+
+val outlined_sizes : Vloop.program -> (string * int) list
+(** Static scalar instruction count of every outlined function the
+    Liquid binary contains (paper Table 5). *)
+
+val region_labels : Vloop.program -> string list

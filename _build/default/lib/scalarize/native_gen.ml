@@ -1,0 +1,73 @@
+open Liquid_isa
+open Liquid_visa
+open Liquid_prog
+
+exception Unsupported_width of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported_width s)) fmt
+
+let tile values width =
+  let b = Array.length values in
+  Array.init width (fun i -> values.(i mod b))
+
+let temp_vreg = Vreg.make 13
+
+let lower_vinsn ~width ~data ~loop ~count ~counter vi =
+  match vi with
+  | Vinsn.Vdp ({ src2 = VConst a; _ } as d) ->
+      let b = Array.length a in
+      if width mod b = 0 then [ Program.I (Minsn.V (Vinsn.Vdp { d with src2 = VConst (tile a width) })) ]
+      else begin
+        (* The constant's period exceeds the hardware width: keep it in
+           memory and reload the relevant window each iteration. *)
+        incr counter;
+        let name = Printf.sprintf "vcnst_%s_%d" loop !counter in
+        let full = Array.init count (fun e -> a.(e mod b)) in
+        data := Data.make ~name ~esize:Esize.Word full :: !data;
+        [
+          Program.I
+            (Minsn.V
+               (Vinsn.Vld
+                  {
+                    esize = Esize.Word;
+                    signed = true;
+                    dst = temp_vreg;
+                    base = Insn.Sym name;
+                    index = Vloop.induction;
+                  }));
+          Program.I (Minsn.V (Vinsn.Vdp { d with src2 = VR temp_vreg }));
+        ]
+      end
+  | Vinsn.Vperm { pattern; _ } ->
+      if not (Perm.supported pattern ~lanes:width) then
+        unsupported "permutation %a cannot execute on a %d-wide accelerator"
+          Perm.pp pattern width;
+      [ Program.I (Minsn.V vi) ]
+  | Vinsn.Vld _ | Vinsn.Vst _ | Vinsn.Vlds _ | Vinsn.Vsts _ | Vinsn.Vgather _
+  | Vinsn.Vdp _ | Vinsn.Vsat _ | Vinsn.Vred _ ->
+      [ Program.I (Minsn.V vi) ]
+
+let loop_items ~width ~data (loop : Vloop.t) =
+  (match Vloop.validate loop with
+  | Ok () -> ()
+  | Error m -> raise (Unsupported_width m));
+  if width < 2 || loop.Vloop.count mod width <> 0 then
+    unsupported "%s: count %d not a multiple of width %d" loop.Vloop.name
+      loop.Vloop.count width;
+  let counter = ref 0 in
+  let body =
+    List.concat_map
+      (lower_vinsn ~width ~data ~loop:loop.Vloop.name ~count:loop.Vloop.count
+         ~counter)
+      loop.Vloop.body
+  in
+  let open Build in
+  let top = Printf.sprintf "%s_ntop" loop.Vloop.name in
+  List.map (fun (acc, init) -> mov acc init) loop.Vloop.reductions
+  @ [ mov Vloop.induction 0; label top ]
+  @ body
+  @ [
+      addi Vloop.induction Vloop.induction width;
+      cmp Vloop.induction (i loop.Vloop.count);
+      b ~cond:Cond.Lt top;
+    ]

@@ -1,0 +1,14 @@
+(** Native SIMD code generation: the conventional, ISA-extension route
+    the paper contrasts with Liquid SIMD. Each accelerator width gets its
+    own binary; a width the loop's permutations or constants cannot be
+    expressed at raises {!Unsupported_width} — precisely the forward
+    migration problem delayed binding avoids. *)
+
+open Liquid_prog
+
+exception Unsupported_width of string
+
+val loop_items : width:int -> data:Data.t list ref -> Vloop.t -> Program.item list
+(** Inline native-SIMD realization of the loop at the given lane count.
+    Generated constant arrays (for constant vectors whose period exceeds
+    the width) are appended to [data]. *)

@@ -1,0 +1,506 @@
+open Liquid_isa
+open Liquid_visa
+open Liquid_prog
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type fitem =
+  | FLoad of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      sym : string;
+      perm : Perm.t option;
+    }
+  | FStore of {
+      esize : Esize.t;
+      src : Vreg.t;
+      sym : string;
+      perm : Perm.t option;
+    }
+  | FLoadS of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      sym : string;
+      stride : int;
+      phase : int;
+    }
+  | FStoreS of {
+      esize : Esize.t;
+      src : Vreg.t;
+      sym : string;
+      stride : int;
+      phase : int;
+    }
+  | FGather of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      sym : string;
+      index_v : Vreg.t;
+    }
+  | FDp of { op : Opcode.t; dst : Vreg.t; src1 : Vreg.t; src2 : Vinsn.vsrc }
+  | FSat of {
+      op : [ `Add | `Sub ];
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      src1 : Vreg.t;
+      src2 : Vreg.t;
+    }
+  | FRed of { op : Opcode.t; acc : Reg.t; src : Vreg.t }
+
+type segment = {
+  label : string;
+  items : fitem list;
+  red_inits : (Reg.t * int) list;
+}
+
+type output = {
+  segments : segment list;
+  call_items : Program.item list;
+  region_items : Program.item list;
+  inline_items : Program.item list;
+  data : Data.t list;
+  static_sizes : (string * int) list;
+}
+
+let estimated_cost = function
+  | FLoad { perm = None; _ } | FStore { perm = None; _ } -> 1
+  | FLoad { perm = Some _; _ } | FStore { perm = Some _; _ } -> 3
+  | FLoadS { phase; _ } | FStoreS { phase; _ } -> if phase = 0 then 2 else 3
+  | FGather _ -> 1
+  | FDp { src2 = VConst _; _ } -> 2
+  | FDp _ | FRed _ -> 1
+  | FSat { signed; _ } -> if signed then 5 else 3
+
+(* --- generated-array bookkeeping, shared by every loop of a program --- *)
+
+type arrays = {
+  mutable data : Data.t list;  (* reversed *)
+  offsets : (string, unit) Hashtbl.t;
+  consts : (int list * int, string) Hashtbl.t;
+  mutable const_counter : int;
+  mutable tmp_counter : int;
+}
+
+let arrays_create () =
+  {
+    data = [];
+    offsets = Hashtbl.create 8;
+    consts = Hashtbl.create 8;
+    const_counter = 0;
+    tmp_counter = 0;
+  }
+
+let sanitize s =
+  String.map (function '.' -> '_' | c -> c) s
+
+let offsets_sym arrays pattern ~count =
+  let name = Format.asprintf "off_%s_%d" (sanitize (Format.asprintf "%a" Perm.pp pattern)) count in
+  if not (Hashtbl.mem arrays.offsets name) then begin
+    let base = Perm.offsets pattern in
+    let period = Array.length base in
+    let values = Array.init count (fun e -> base.(e mod period)) in
+    arrays.data <- Data.make ~name ~esize:Esize.Word values :: arrays.data;
+    Hashtbl.replace arrays.offsets name ()
+  end;
+  name
+
+let const_sym arrays values ~loop ~count =
+  let key = (Array.to_list values, count) in
+  match Hashtbl.find_opt arrays.consts key with
+  | Some name -> name
+  | None ->
+      arrays.const_counter <- arrays.const_counter + 1;
+      let name = Printf.sprintf "cnst_%s_%d" loop arrays.const_counter in
+      let period = Array.length values in
+      let tiled = Array.init count (fun e -> values.(e mod period)) in
+      arrays.data <- Data.make ~name ~esize:Esize.Word tiled :: arrays.data;
+      Hashtbl.replace arrays.consts key name;
+      name
+
+let tmp_sym arrays ~loop ~count =
+  arrays.tmp_counter <- arrays.tmp_counter + 1;
+  let name = Printf.sprintf "%s_tmp%d" loop arrays.tmp_counter in
+  arrays.data <- Data.zeros ~name ~esize:Esize.Word count :: arrays.data;
+  name
+
+(* --- segmentation: fusion and fission --- *)
+
+type seg_state = {
+  loop_name : string;
+  count : int;
+  max_scalar : int;
+  arrays : arrays;
+  mutable segs : fitem list list;  (* reversed, each reversed *)
+  mutable cur : fitem list;  (* reversed *)
+  mutable cur_cost : int;
+  mutable avail : int list;  (* vreg indices with a live definition *)
+  spilled : (int, string) Hashtbl.t;
+      (* vreg index -> temporary array holding its last spilled value;
+         consulted lazily when a later segment needs the register *)
+  (* Aliasing hazards within the current segment. A permuted access
+     reads or writes other iterations' element slots, so its scalar
+     (per-iteration) and vector (per-block) memory orders differ; such
+     an access must not share a segment with any other access to the
+     same array (fission restores whole-phase ordering, which both
+     forms agree on). *)
+  seg_stores : (string, unit) Hashtbl.t;
+  seg_loads : (string, unit) Hashtbl.t;
+  seg_perm_loads : (string, unit) Hashtbl.t;
+  seg_perm_stores : (string, unit) Hashtbl.t;
+}
+
+let vidx = Vreg.index
+let available st r = List.mem (vidx r) st.avail
+
+let define st r =
+  if not (available st r) then st.avail <- vidx r :: st.avail
+
+let used_later r rest =
+  List.exists (fun vi -> List.exists (Vreg.equal r) (Vinsn.uses_vector vi)) rest
+
+let push st fi =
+  (match fi with
+  | FLoad { perm = None; sym; _ } -> Hashtbl.replace st.seg_loads sym ()
+  | FLoad { perm = Some _; sym; _ } -> Hashtbl.replace st.seg_perm_loads sym ()
+  | FStore { perm = None; sym; _ } -> Hashtbl.replace st.seg_stores sym ()
+  | FStore { perm = Some _; sym; _ } -> Hashtbl.replace st.seg_perm_stores sym ()
+  | FLoadS { sym; _ } | FGather { sym; _ } -> Hashtbl.replace st.seg_loads sym ()
+  | FStoreS { sym; _ } -> Hashtbl.replace st.seg_stores sym ()
+  | FDp _ | FSat _ | FRed _ -> ());
+  st.cur <- fi :: st.cur;
+  st.cur_cost <- st.cur_cost + estimated_cost fi
+
+(* Make a source register live in the current segment, reloading it from
+   its spill temporary when an earlier fission pushed it to memory. *)
+let ensure_available st r what =
+  if not (available st r) then
+    match Hashtbl.find_opt st.spilled (vidx r) with
+    | Some sym ->
+        push st
+          (FLoad { esize = Esize.Word; signed = true; dst = r; sym; perm = None });
+        define st r
+    | None ->
+        error "%s: %s uses undefined vector register %a" st.loop_name what
+          Vreg.pp r
+
+(* Spill every live register still needed by [remaining] to temporary
+   arrays and close the current segment. Reloads happen lazily through
+   {!ensure_available}. *)
+let split st ~remaining =
+  List.iter
+    (fun i ->
+      if used_later (Vreg.make i) remaining then begin
+        let sym = tmp_sym st.arrays ~loop:st.loop_name ~count:st.count in
+        push st
+          (FStore { esize = Esize.Word; src = Vreg.make i; sym; perm = None });
+        Hashtbl.replace st.spilled i sym
+      end)
+    (List.sort_uniq compare st.avail);
+  st.segs <- st.cur :: st.segs;
+  st.cur <- [];
+  st.cur_cost <- 0;
+  st.avail <- [];
+  Hashtbl.reset st.seg_stores;
+  Hashtbl.reset st.seg_loads;
+  Hashtbl.reset st.seg_perm_loads;
+  Hashtbl.reset st.seg_perm_stores
+
+(* Lower a non-permutation instruction to its fused form; pure — no
+   register-state updates. *)
+let lower_plain st vi =
+  match vi with
+  | Vinsn.Vld { esize; signed; dst; base = Insn.Sym sym; index = _ } ->
+      FLoad { esize; signed; dst; sym; perm = None }
+  | Vinsn.Vld { base = Insn.Breg _; _ } ->
+      error "%s: register-based vector load address" st.loop_name
+  | Vinsn.Vst { esize; src; base = Insn.Sym sym; index = _ } ->
+      FStore { esize; src; sym; perm = None }
+  | Vinsn.Vst { base = Insn.Breg _; _ } ->
+      error "%s: register-based vector store address" st.loop_name
+  | Vinsn.Vlds { esize; signed; dst; base = Insn.Sym sym; index = _; stride; phase }
+    ->
+      FLoadS { esize; signed; dst; sym; stride; phase }
+  | Vinsn.Vsts { esize; src; base = Insn.Sym sym; index = _; stride; phase } ->
+      FStoreS { esize; src; sym; stride; phase }
+  | Vinsn.Vlds { base = Insn.Breg _; _ } | Vinsn.Vsts { base = Insn.Breg _; _ } ->
+      error "%s: register-based strided access address" st.loop_name
+  | Vinsn.Vgather { esize; signed; dst; base = Insn.Sym sym; index_v } ->
+      FGather { esize; signed; dst; sym; index_v }
+  | Vinsn.Vgather { base = Insn.Breg _; _ } ->
+      error "%s: register-based gather address" st.loop_name
+  | Vinsn.Vdp { op; dst; src1; src2 } -> FDp { op; dst; src1; src2 }
+  | Vinsn.Vsat { op; esize; signed; dst; src1; src2 } ->
+      FSat { op; esize; signed; dst; src1; src2 }
+  | Vinsn.Vred { op; acc; src } -> FRed { op; acc; src }
+  | Vinsn.Vperm _ -> assert false
+
+let fitem_sources = function
+  | FLoad _ | FLoadS _ -> []
+  | FGather { index_v; _ } -> [ index_v ]
+  | FStore { src; _ } | FStoreS { src; _ } -> [ src ]
+  | FDp { src1; src2; _ } -> (
+      src1 :: (match src2 with VR r -> [ r ] | VImm _ | VConst _ -> []))
+  | FSat { src1; src2; _ } -> [ src1; src2 ]
+  | FRed { src; _ } -> [ src ]
+
+let fitem_def = function
+  | FLoad { dst; _ } | FLoadS { dst; _ } | FGather { dst; _ } | FDp { dst; _ }
+  | FSat { dst; _ } ->
+      Some dst
+  | FStore _ | FStoreS _ | FRed _ -> None
+
+(* Would pushing this item violate the aliasing discipline of the
+   current segment? *)
+let hazard st fi =
+  match fi with
+  | FLoad { perm = None; sym; _ } | FLoadS { sym; _ } | FGather { sym; _ } ->
+      Hashtbl.mem st.seg_perm_stores sym
+  | FStore { perm = None; sym; _ } | FStoreS { sym; _ } ->
+      Hashtbl.mem st.seg_perm_loads sym || Hashtbl.mem st.seg_perm_stores sym
+  | FLoad { perm = Some _; sym; _ } ->
+      Hashtbl.mem st.seg_stores sym || Hashtbl.mem st.seg_perm_stores sym
+  | FStore { perm = Some _; sym; _ } ->
+      Hashtbl.mem st.seg_stores sym || Hashtbl.mem st.seg_loads sym
+      || Hashtbl.mem st.seg_perm_loads sym
+      || Hashtbl.mem st.seg_perm_stores sym
+  | FDp _ | FSat _ | FRed _ -> false
+
+let rec go st remaining =
+  match remaining with
+  | [] -> st.segs <- st.cur :: st.segs
+  | Vinsn.Vperm { pattern; dst; src } :: rest -> (
+      (* If the source lives in a spill temporary, this reload becomes
+         the load the permutation fuses with. *)
+      ensure_available st src "permutation";
+      match (st.cur, rest) with
+      (* Fuse with the load that produced the source — unless the
+         segment already stores to that array (the permuted read would
+         then observe a different memory order than the vector form). *)
+      | FLoad fl :: cur_rest, _
+        when fl.perm = None && Vreg.equal fl.dst src
+             && (Vreg.equal dst src || not (used_later src rest))
+             && not (hazard st (FLoad { fl with perm = Some pattern })) ->
+          st.cur <- FLoad { fl with dst; perm = Some pattern } :: cur_rest;
+          st.cur_cost <- st.cur_cost + 2;
+          Hashtbl.replace st.seg_perm_loads fl.sym ();
+          define st dst;
+          go st rest
+      (* Fuse with the store that consumes the result, splitting first
+         if the segment already touches the target array. *)
+      | _, Vinsn.Vst { esize; src = st_src; base = Insn.Sym sym; index = _ } :: rest'
+        when Vreg.equal st_src dst && not (used_later dst rest') ->
+          let fused = FStore { esize; src; sym; perm = Some pattern } in
+          if hazard st fused then begin
+            split st ~remaining;
+            ensure_available st src "permutation"
+          end;
+          push st fused;
+          go st rest'
+      (* Otherwise: fission, folding the permutation into the reload of
+         its source from the spill temporary. *)
+      | _, _ ->
+          split st ~remaining;
+          let src_sym =
+            match Hashtbl.find_opt st.spilled (vidx src) with
+            | Some sym -> sym
+            | None ->
+                error "%s: permutation source vanished across fission"
+                  st.loop_name
+          in
+          push st
+            (FLoad
+               {
+                 esize = Esize.Word;
+                 signed = true;
+                 dst;
+                 sym = src_sym;
+                 perm = Some pattern;
+               });
+          define st dst;
+          go st rest)
+  | vi :: rest ->
+      let fi = lower_plain st vi in
+      if
+        st.cur <> []
+        && (st.cur_cost + estimated_cost fi > st.max_scalar || hazard st fi)
+      then split st ~remaining;
+      List.iter (fun r -> ensure_available st r "operation") (fitem_sources fi);
+      push st fi;
+      (match fitem_def fi with Some d -> define st d | None -> ());
+      go st rest
+
+let max_scalar_default = 56
+
+let segment_items ?(max_scalar = max_scalar_default) (loop : Vloop.t) arrays =
+  (match Vloop.validate loop with Ok () -> () | Error m -> raise (Error m));
+  let st =
+    {
+      loop_name = loop.Vloop.name;
+      count = loop.Vloop.count;
+      max_scalar;
+      arrays;
+      segs = [];
+      cur = [];
+      cur_cost = 0;
+      avail = [];
+      spilled = Hashtbl.create 8;
+      seg_stores = Hashtbl.create 8;
+      seg_loads = Hashtbl.create 8;
+      seg_perm_loads = Hashtbl.create 8;
+      seg_perm_stores = Hashtbl.create 8;
+    }
+  in
+  go st loop.Vloop.body;
+  List.rev_map List.rev st.segs |> List.filter (fun items -> items <> [])
+
+(* --- emission --- *)
+
+let ind = Vloop.induction
+let tmp = Vloop.scratch
+let sreg r = Reg.make (Vreg.index r)
+
+let emit_fitem arrays ~loop ~count fi =
+  let open Build in
+  match fi with
+  | FLoad { esize; signed; dst; sym; perm = None } ->
+      [ ld ~esize ~signed (sreg dst) sym (ri ind) ]
+  | FLoad { esize; signed; dst; sym; perm = Some p } ->
+      let off = offsets_sym arrays p ~count in
+      [
+        ld tmp off (ri ind);
+        dp Opcode.Add tmp ind (ri tmp);
+        ld ~esize ~signed (sreg dst) sym (ri tmp);
+      ]
+  | FStore { esize; src; sym; perm = None } ->
+      [ st ~esize (sreg src) sym (ri ind) ]
+  | FStore { esize; src; sym; perm = Some p } ->
+      let off = offsets_sym arrays (Perm.inverse p) ~count in
+      [
+        ld tmp off (ri ind);
+        dp Opcode.Add tmp ind (ri tmp);
+        st ~esize (sreg src) sym (ri tmp);
+      ]
+  | FLoadS { esize; signed; dst; sym; stride; phase } ->
+      let shift_amt = if stride = 2 then 1 else 2 in
+      [ dp Opcode.Lsl tmp ind (i shift_amt) ]
+      @ (if phase = 0 then [] else [ dp Opcode.Add tmp tmp (i phase) ])
+      @ [ ld ~esize ~signed (sreg dst) sym (ri tmp) ]
+  | FStoreS { esize; src; sym; stride; phase } ->
+      let shift_amt = if stride = 2 then 1 else 2 in
+      [ dp Opcode.Lsl tmp ind (i shift_amt) ]
+      @ (if phase = 0 then [] else [ dp Opcode.Add tmp tmp (i phase) ])
+      @ [ st ~esize (sreg src) sym (ri tmp) ]
+  | FGather { esize; signed; dst; sym; index_v } ->
+      [ ld ~esize ~signed (sreg dst) sym (ri (sreg index_v)) ]
+  | FDp { op; dst; src1; src2 = VR r } -> [ dp op (sreg dst) (sreg src1) (ri (sreg r)) ]
+  | FDp { op; dst; src1; src2 = VImm k } -> [ dp op (sreg dst) (sreg src1) (i k) ]
+  | FDp { op; dst; src1; src2 = VConst a } ->
+      let sym = const_sym arrays a ~loop ~count in
+      [ ld tmp sym (ri ind); dp op (sreg dst) (sreg src1) (ri tmp) ]
+  | FSat { op; esize; signed; dst; src1; src2 } ->
+      let base_op = match op with `Add -> Opcode.Add | `Sub -> Opcode.Sub in
+      let d = sreg dst in
+      let base = [ dp base_op d (sreg src1) (ri (sreg src2)) ] in
+      let clamp_hi b = [ cmp d (i b); movc Cond.Gt d b ] in
+      let clamp_lo b = [ cmp d (i b); movc Cond.Lt d b ] in
+      base
+      @
+      if signed then
+        clamp_hi (Esize.max_signed esize) @ clamp_lo (Esize.min_signed esize)
+      else (
+        match op with
+        | `Add -> clamp_hi (Esize.max_unsigned esize)
+        | `Sub -> clamp_lo 0)
+  | FRed { op; acc; src } -> [ dp op acc acc (ri (sreg src)) ]
+
+let emit_loop_shell ~top_label ~count ~red_inits body =
+  let open Build in
+  List.map (fun (acc, init) -> mov acc init) red_inits
+  @ [ mov ind 0; label top_label ]
+  @ body
+  @ [ addi ind ind 1; cmp ind (i count); b ~cond:Cond.Lt top_label ]
+
+let scalarize ?max_scalar (loop : Vloop.t) =
+  let arrays = arrays_create () in
+  let seg_items = segment_items ?max_scalar loop arrays in
+  (* Each accumulator is initialized in the first segment that reduces
+     into it; re-initializing in a later segment would reset it. *)
+  let assigned = Hashtbl.create 4 in
+  let find_red_segment items =
+    List.filter
+      (fun (acc, _) ->
+        (not (Hashtbl.mem assigned (Reg.index acc)))
+        && List.exists
+             (function FRed { acc = a; _ } -> Reg.equal a acc | _ -> false)
+             items
+        &&
+        (Hashtbl.replace assigned (Reg.index acc) ();
+         true))
+      loop.Vloop.reductions
+  in
+  let segments =
+    List.mapi
+      (fun k items ->
+        {
+          label = Printf.sprintf "region_%s_%d" loop.Vloop.name k;
+          items;
+          red_inits = find_red_segment items;
+        })
+      seg_items
+  in
+  let count = loop.Vloop.count in
+  let region_items =
+    List.concat_map
+      (fun seg ->
+        let body =
+          List.concat_map (emit_fitem arrays ~loop:loop.Vloop.name ~count) seg.items
+        in
+        (Build.label seg.label
+        :: emit_loop_shell ~top_label:(seg.label ^ "_top") ~count
+             ~red_inits:seg.red_inits body)
+        @ [ Build.ret ])
+      segments
+  in
+  let inline_items =
+    List.concat_map
+      (fun seg ->
+        let body =
+          List.concat_map (emit_fitem arrays ~loop:loop.Vloop.name ~count) seg.items
+        in
+        emit_loop_shell
+          ~top_label:(seg.label ^ "_inl")
+          ~count ~red_inits:seg.red_inits body)
+      segments
+  in
+  let call_items = List.map (fun seg -> Build.bl_region seg.label) segments in
+  let static_sizes =
+    (* Instructions per outlined function: everything between its entry
+       label and its return, inclusive (paper Table 5). *)
+    let entry_labels = List.map (fun seg -> seg.label) segments in
+    let rec count_regions acc current current_label = function
+      | [] -> List.rev acc
+      | Program.Label l :: rest when List.mem l entry_labels ->
+          count_regions acc 0 (Some l) rest
+      | Program.Label _ :: rest -> count_regions acc current current_label rest
+      | Program.I (Minsn.S Insn.Ret) :: rest -> (
+          match current_label with
+          | Some l -> count_regions ((l, current + 1) :: acc) 0 None rest
+          | None -> count_regions acc 0 None rest)
+      | Program.I _ :: rest -> count_regions acc (current + 1) current_label rest
+    in
+    count_regions [] 0 None region_items
+  in
+  {
+    segments;
+    call_items;
+    region_items;
+    inline_items;
+    data = List.rev arrays.data;
+    static_sizes;
+  }

@@ -1,0 +1,113 @@
+(** SIMD-to-scalar conversion: the offline half of Liquid SIMD (paper §3).
+
+    A vector loop is lowered to one or more scalar loops that process one
+    element per iteration, following Table 1:
+
+    - data-parallel operations map to their scalar opcode (category 1-2);
+    - non-splattable constant vectors become read-only arrays indexed by
+      the induction variable (category 3);
+    - reductions become loop-carried scalar updates (category 4);
+    - memory accesses use the induction variable with element-size
+      scaling (categories 5-6);
+    - permutations are folded into loads or stores through read-only
+      offset arrays added to the induction variable (categories 7-8);
+    - saturating operations, which have no scalar opcode, expand to the
+      compare/predicated-move idiom of §3.2.
+
+    A permutation that is neither adjacent to the load producing its
+    source nor to the store consuming its result forces {e loop fission}
+    (§3.4): the loop is split, live vector values travel through
+    compiler-allocated temporary arrays, and the permutation folds into
+    the reload. Loops whose scalar form would overflow the microcode
+    buffer are split the same way (§5, "large loops ... broken up").
+
+    The same segment list is emitted twice: outlined behind region
+    branch-and-links for the Liquid binary, and inline for the baseline
+    scalar binary. *)
+
+open Liquid_isa
+open Liquid_visa
+open Liquid_prog
+
+exception Error of string
+
+(** A lowered loop-body item after permutation fusion. *)
+type fitem =
+  | FLoad of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      sym : string;
+      perm : Perm.t option;
+    }
+  | FStore of {
+      esize : Esize.t;
+      src : Vreg.t;
+      sym : string;
+      perm : Perm.t option;
+          (** the pattern applied to the value before it lands in
+              memory; realized with offsets of the {e inverse} pattern *)
+    }
+  | FLoadS of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      sym : string;
+      stride : int;
+      phase : int;
+    }
+      (** {e Extension}: de-interleaving load (stride 2 or 4); realized
+          as a scaled induction variable ([lsl] + optional phase add)
+          feeding an element-indexed load. *)
+  | FStoreS of {
+      esize : Esize.t;
+      src : Vreg.t;
+      sym : string;
+      stride : int;
+      phase : int;
+    }  (** Interleaving store, same addressing. *)
+  | FGather of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      sym : string;
+      index_v : Vreg.t;
+    }
+      (** {e Extension} ([VTBL]): a table lookup indexed by another
+          vector register's lane values; one scalar load per element. *)
+  | FDp of { op : Opcode.t; dst : Vreg.t; src1 : Vreg.t; src2 : Vinsn.vsrc }
+  | FSat of {
+      op : [ `Add | `Sub ];
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      src1 : Vreg.t;
+      src2 : Vreg.t;
+    }
+  | FRed of { op : Opcode.t; acc : Reg.t; src : Vreg.t }
+
+type segment = {
+  label : string;  (** region entry label, [region_<loop>_<k>] *)
+  items : fitem list;
+  red_inits : (Reg.t * int) list;
+}
+
+type output = {
+  segments : segment list;
+  call_items : Program.item list;
+      (** one region branch-and-link per segment, in order *)
+  region_items : Program.item list;  (** the outlined functions *)
+  inline_items : Program.item list;  (** baseline inline form *)
+  data : Data.t list;  (** generated offset/constant/temporary arrays *)
+  static_sizes : (string * int) list;
+      (** scalar instructions per outlined function (paper Table 5) *)
+}
+
+val scalarize : ?max_scalar:int -> Vloop.t -> output
+(** [max_scalar] bounds the scalar instruction count of one outlined
+    function (default 56, leaving slack under the 64-entry microcode
+    buffer). Raises {!Error} on IR that violates the conventions of
+    {!Vloop.validate} or uses an undefined vector register. *)
+
+val estimated_cost : fitem -> int
+(** Scalar instructions the item expands to. *)

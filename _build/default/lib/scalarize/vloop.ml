@@ -1,0 +1,193 @@
+open Liquid_isa
+open Liquid_visa
+
+type t = {
+  name : string;
+  count : int;
+  body : Vinsn.asm list;
+  reductions : (Reg.t * int) list;
+}
+
+type section = Code of Liquid_prog.Program.item list | Loop of t
+
+type program = {
+  name : string;
+  sections : section list;
+  data : Liquid_prog.Data.t list;
+}
+
+let induction = Reg.make 0
+let scratch = Reg.make 13
+
+let loops p =
+  List.filter_map (function Loop l -> Some l | Code _ -> None) p.sections
+
+let ( let* ) r f = Result.bind r f
+
+let check cond msg = if cond then Ok () else Error msg
+
+let body_vreg_ok r =
+  let i = Vreg.index r in
+  i >= 1 && i <= 11
+
+let check_vinsn name (vi : Vinsn.asm) =
+  let vregs = Vinsn.defs_vector vi @ Vinsn.uses_vector vi in
+  let* () =
+    check
+      (List.for_all body_vreg_ok vregs)
+      (Printf.sprintf "%s: body vector registers must be v1..v11" name)
+  in
+  match vi with
+  | Vinsn.Vld { index; _ } | Vinsn.Vst { index; _ } ->
+      check
+        (Reg.equal index induction)
+        (Printf.sprintf "%s: memory index must be the induction register" name)
+  | Vinsn.Vlds { index; stride; phase; _ } | Vinsn.Vsts { index; stride; phase; _ }
+    ->
+      let* () =
+        check
+          (Reg.equal index induction)
+          (Printf.sprintf "%s: memory index must be the induction register" name)
+      in
+      check
+        ((stride = 2 || stride = 4) && phase >= 0 && phase < stride)
+        (Printf.sprintf "%s: bad stride/phase" name)
+  | Vinsn.Vgather { index_v; _ } ->
+      check (body_vreg_ok index_v)
+        (Printf.sprintf "%s: gather index register out of range" name)
+  | Vinsn.Vperm { pattern; _ } ->
+      let* () =
+        check (Perm.well_formed pattern)
+          (Printf.sprintf "%s: malformed permutation" name)
+      in
+      check
+        (Perm.period pattern <= 16)
+        (Printf.sprintf "%s: permutation wider than the maximum width" name)
+  | Vinsn.Vdp { src2 = VConst a; _ } ->
+      check
+        (Array.length a > 0 && 16 mod Array.length a = 0)
+        (Printf.sprintf "%s: constant vector length must divide 16" name)
+  | Vinsn.Vdp _ | Vinsn.Vsat _ | Vinsn.Vred _ -> Ok ()
+
+(* Cross-iteration aliasing rules for the extension accesses, which read
+   or write outside their own iteration's element slot: a gather must
+   not read an array the loop stores to, and strided accesses to an
+   array must all share one stride, acting on pairwise-distinct phases
+   unless they are all loads. (Permuted accesses are handled by the
+   scalarizer's segment-splitting instead.) *)
+let check_aliasing t =
+  let sym_of = function Insn.Sym s -> Some s | Insn.Breg _ -> None in
+  let accesses =
+    List.filter_map
+      (fun vi ->
+        match vi with
+        | Vinsn.Vld { base; _ } -> Option.map (fun s -> (s, `Load)) (sym_of base)
+        | Vinsn.Vst { base; _ } -> Option.map (fun s -> (s, `Store)) (sym_of base)
+        | Vinsn.Vlds { base; stride; phase; _ } ->
+            Option.map (fun s -> (s, `Strided (stride, phase, `Load))) (sym_of base)
+        | Vinsn.Vsts { base; stride; phase; _ } ->
+            Option.map (fun s -> (s, `Strided (stride, phase, `Store))) (sym_of base)
+        | Vinsn.Vgather { base; _ } ->
+            Option.map (fun s -> (s, `Gather)) (sym_of base)
+        | Vinsn.Vdp _ | Vinsn.Vsat _ | Vinsn.Vperm _ | Vinsn.Vred _ -> None)
+      t.body
+  in
+  let syms = List.sort_uniq compare (List.map fst accesses) in
+  List.fold_left
+    (fun acc sym ->
+      let* () = acc in
+      let here = List.filter_map (fun (s, k) -> if s = sym then Some k else None) accesses in
+      let stores = List.exists (function `Store | `Strided (_, _, `Store) -> true | _ -> false) here in
+      let gathers = List.exists (function `Gather -> true | _ -> false) here in
+      let strided = List.filter_map (function `Strided (st, ph, d) -> Some (st, ph, d) | _ -> None) here in
+      let plain = List.exists (function `Load | `Store -> true | _ -> false) here in
+      let* () =
+        check
+          (not (gathers && stores))
+          (t.name ^ ": gather from an array the loop stores to (" ^ sym ^ ")")
+      in
+      match strided with
+      | [] -> Ok ()
+      | (st0, _, _) :: _ ->
+          let* () =
+            check (not plain)
+              (t.name ^ ": strided and element accesses mix on " ^ sym)
+          in
+          let* () =
+            check
+              (List.for_all (fun (st, _, _) -> st = st0) strided)
+              (t.name ^ ": conflicting strides on " ^ sym)
+          in
+          let all_loads = List.for_all (fun (_, _, d) -> d = `Load) strided in
+          let phases = List.map (fun (_, ph, _) -> ph) strided in
+          check
+            (all_loads || List.length (List.sort_uniq compare phases) = List.length phases)
+            (t.name ^ ": strided writes share a phase on " ^ sym))
+    (Ok ()) syms
+
+let validate t =
+  (* Loops are compiled to the maximum vectorizable length (16), except
+     that loops over inherently shorter vectors (e.g. 8-element media
+     blocks) may be a multiple of 8 — they then translate at effective
+     width 8 even on wider hardware, which is the paper's MPEG2
+     behaviour. Permutation periods must divide the trip count. *)
+  let* () =
+    check
+      (t.count > 0 && t.count mod 8 = 0)
+      (t.name ^ ": count must be a positive multiple of 8")
+  in
+  let* () =
+    List.fold_left
+      (fun acc vi ->
+        let* () = acc in
+        match vi with
+        | Vinsn.Vperm { pattern; _ } ->
+            check
+              (t.count mod Perm.period pattern = 0)
+              (t.name ^ ": count not aligned to a permutation period")
+        | _ -> Ok ())
+      (Ok ()) t.body
+  in
+  let* () =
+    List.fold_left
+      (fun acc vi ->
+        let* () = acc in
+        check_vinsn t.name vi)
+      (Ok ()) t.body
+  in
+  let body_scalar_images =
+    List.concat_map (fun vi -> Vinsn.defs_vector vi @ Vinsn.uses_vector vi) t.body
+    |> List.map Vreg.index
+  in
+  let* () = check_aliasing t in
+  List.fold_left
+    (fun acc (r, _) ->
+      let* () = acc in
+      let i = Reg.index r in
+      let* () =
+        check
+          (i >= 1 && i <= 11)
+          (t.name ^ ": reduction accumulator must be r1..r11")
+      in
+      check
+        (not (List.mem i body_scalar_images))
+        (t.name ^ ": reduction accumulator aliases a body vector register")
+    )
+    (Ok ()) t.reductions
+
+let validate_program p =
+  List.fold_left
+    (fun acc -> function
+      | Code _ -> acc
+      | Loop l ->
+          let* () = acc in
+          validate l)
+    (Ok ()) p.sections
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "@[<v>vloop %s (count %d)@ " t.name t.count;
+  List.iter
+    (fun (r, v) -> Format.fprintf ppf "  acc %a = %d@ " Reg.pp r v)
+    t.reductions;
+  List.iter (fun vi -> Format.fprintf ppf "  %a@ " Vinsn.pp_asm vi) t.body;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,56 @@
+(** The vector-loop intermediate representation.
+
+    A workload is written once, against this IR, as scalar glue code
+    interleaved with counted vector loops. The code generators then
+    produce the three binary flavours the paper compares:
+    - the {e baseline} scalar binary (inline scalarized loops, no
+      outlining) — the paper's no-SIMD reference;
+    - the {e Liquid} binary (scalarized loops outlined behind the
+      region branch-and-link) — one binary for every accelerator;
+    - a {e native} binary per accelerator width — the conventional,
+      ISA-extension approach.
+
+    Conventions: the loop induction variable is r0 / element index; body
+    instructions use vector registers v1..v12; scalar reduction
+    accumulators use scalar registers disjoint from the body's vector
+    register numbers (the scalar representation maps v{_i} to r{_i}). *)
+
+open Liquid_isa
+open Liquid_visa
+
+type t = {
+  name : string;  (** unique within the program; used to derive labels *)
+  count : int;  (** elements processed; must be a multiple of 16 *)
+  body : Vinsn.asm list;  (** straight-line; memory indexed by r0 *)
+  reductions : (Reg.t * int) list;
+      (** accumulator registers and their initial values *)
+}
+
+type section = Code of Liquid_prog.Program.item list | Loop of t
+
+type program = {
+  name : string;
+  sections : section list;
+  data : Liquid_prog.Data.t list;
+}
+
+val induction : Reg.t
+(** r0. *)
+
+val scratch : Reg.t
+(** r13, reserved for the scalarizer's offset/constant temporaries. *)
+
+val loops : program -> t list
+
+val validate : t -> (unit, string) result
+(** Register-convention and alignment checks: count is a positive
+    multiple of 8 (16 for full-width loops; 8-element media loops
+    translate at effective width 8) and of every permutation period;
+    vector registers are within v1..v11; memory indices are the
+    induction register; strides are 2 or 4 with in-range phases;
+    reduction accumulators avoid r0, r12, r13, r14, r15 and do not
+    alias body vector registers; permutation patterns are well-formed
+    and no wider than 16. *)
+
+val validate_program : program -> (unit, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/translate/abort.ml: Format

@@ -1,0 +1,1 @@
+lib/translate/abort.mli: Format

@@ -1,0 +1,1 @@
+lib/translate/event.ml: Format Insn Liquid_isa

@@ -1,0 +1,1 @@
+lib/translate/event.mli: Format Insn Liquid_isa

@@ -1,0 +1,1 @@
+lib/translate/translator.ml: Abort Array Cond Esize Event Hashtbl Insn Liquid_isa Liquid_visa List Opcode Option Perm Reg Ucode Vec Vinsn Vreg

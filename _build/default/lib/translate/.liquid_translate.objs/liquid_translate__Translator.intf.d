@@ -1,0 +1,1 @@
+lib/translate/translator.mli: Abort Event Ucode

@@ -1,0 +1,1 @@
+lib/translate/ucode.mli: Cond Format Insn Liquid_isa Liquid_visa Vinsn

@@ -1,0 +1,1 @@
+lib/translate/vec.mli:

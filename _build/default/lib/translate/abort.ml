@@ -1,0 +1,34 @@
+type t =
+  | Illegal_insn of string
+  | Unknown_permutation
+  | Non_periodic_offsets
+  | Unrepresentable_value
+  | Buffer_overflow
+  | No_loop
+  | No_induction
+  | Bad_trip_count
+  | Inconsistent_iteration of string
+  | Dangling_address_combine
+  | External_abort
+
+let permanent = function
+  | External_abort -> false
+  | Illegal_insn _ | Unknown_permutation | Non_periodic_offsets
+  | Unrepresentable_value | Buffer_overflow | No_loop | No_induction
+  | Bad_trip_count | Inconsistent_iteration _ | Dangling_address_combine ->
+      true
+
+let to_string = function
+  | Illegal_insn s -> "illegal instruction: " ^ s
+  | Unknown_permutation -> "unknown permutation"
+  | Non_periodic_offsets -> "non-periodic offsets"
+  | Unrepresentable_value -> "unrepresentable value"
+  | Buffer_overflow -> "microcode buffer overflow"
+  | No_loop -> "no loop back-edge"
+  | No_induction -> "no induction variable"
+  | Bad_trip_count -> "bad trip count"
+  | Inconsistent_iteration s -> "inconsistent iteration: " ^ s
+  | Dangling_address_combine -> "dangling address combine"
+  | External_abort -> "external abort"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

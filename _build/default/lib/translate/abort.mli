@@ -1,0 +1,32 @@
+(** Reasons the dynamic translator abandons a region.
+
+    An abort is never an error of the system: the region's scalar code is
+    always valid, so the pipeline simply keeps executing the virtualized
+    representation natively (paper §2). [permanent] distinguishes aborts
+    worth retrying (asynchronous events) from aborts that will recur. *)
+
+type t =
+  | Illegal_insn of string
+      (** an instruction with no Table 3 rule, or one used in a position
+          the scalar schema forbids *)
+  | Unknown_permutation
+      (** offset pattern missed in the permutation CAM *)
+  | Non_periodic_offsets
+      (** offsets/constants are not periodic in the translation width *)
+  | Unrepresentable_value
+      (** an offset too large for the register-state value fields *)
+  | Buffer_overflow  (** more microcode than the buffer can hold *)
+  | No_loop  (** region returned before a loop back-edge was seen *)
+  | No_induction  (** no confirmed induction variable *)
+  | Bad_trip_count
+      (** trip count unknown at translation time, below the minimum lane
+          count, or not divisible by any supported width *)
+  | Inconsistent_iteration of string
+      (** a later iteration's instruction stream diverged from the first *)
+  | Dangling_address_combine
+      (** an induction+offset combine whose result never reached memory *)
+  | External_abort  (** context switch or interrupt (paper §4.1) *)
+
+val permanent : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

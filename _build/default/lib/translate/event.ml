@@ -1,0 +1,12 @@
+open Liquid_isa
+
+type t = { pc : int; insn : Insn.exec; value : int option }
+
+let make ~pc ?value insn = { pc; insn; value }
+
+let pp ppf t =
+  Format.fprintf ppf "@%d %a%a" t.pc Insn.pp_exec t.insn
+    (fun ppf -> function
+      | None -> ()
+      | Some v -> Format.fprintf ppf "  ; => %d" v)
+    t.value

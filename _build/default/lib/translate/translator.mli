@@ -1,0 +1,68 @@
+(** The post-retirement dynamic translator (paper §4).
+
+    One translator session observes the retired instruction stream of a
+    single execution of an outlined region — from the instruction after
+    the region branch-and-link up to and including the region's return —
+    and reconstructs width-appropriate SIMD microcode, or aborts.
+
+    The session mirrors the hardware structure of the paper's Figure 5:
+
+    - {e partial decode / register state}: every scalar register carries a
+      class (scalar, induction candidate, induction, vector) plus the
+      element size and "previous values" lineage the paper keeps per
+      register (§4.1);
+    - {e opcode generation}: Table 3's rules map each retired instruction
+      to zero, one or two microcode slots;
+    - {e legality checks}: instructions with no applicable rule abort the
+      session; the scalar region remains executable, so an abort only
+      costs performance;
+    - {e microcode buffer}: slots support in-place replacement (saturation
+      idioms) and invalidation with compaction (offset-array loads removed
+      once a permutation is recognized) — the paper's alignment network.
+
+    Because offsets, constant vectors and permutations can only be
+    identified after one full hardware vector's worth of scalar
+    iterations has retired, the session works in two phases: the first
+    loop iteration {e builds} the microcode skeleton, subsequent
+    iterations {e verify} that the static pattern repeats and accumulate
+    the per-iteration values; [finish] resolves permutations against the
+    CAM, folds periodic constant vectors, and fixes the induction step.
+
+    Width adaptation: translation targets the widest lane count [w] with
+    [2 <= w <= lanes] that divides the loop trip count, so a binary
+    compiled for the maximum vectorizable width still maps onto narrower
+    accelerators, and short-vector loops map onto wider hardware at
+    reduced width. *)
+
+type config = {
+  lanes : int;  (** accelerator lane count (2, 4, 8 or 16) *)
+  max_uops : int;  (** microcode buffer capacity; the paper uses 64 *)
+}
+
+val default_config : lanes:int -> config
+
+type result = Translated of Ucode.t | Aborted of Abort.t
+
+type t
+
+val create : config -> t
+
+val feed : t -> Event.t -> unit
+(** Process one retired instruction. After an abort condition the session
+    latches the failure and ignores further events. *)
+
+val abort_external : t -> unit
+(** Asynchronous abort: context switch or interrupt (paper §4.1). *)
+
+val finish : t -> result
+(** Close the session after the region's return has been fed. *)
+
+val observed : t -> int
+(** Dynamic instructions consumed so far. *)
+
+val static_insns : t -> int
+(** Static instructions mapped so far (the first iteration plus the
+    prologue). Translation {e work} is proportional to this: later
+    iterations only verify and stream values, keeping pace with
+    retirement (paper §5: translation of tens of cycles per instruction
+    hides within the 300-cycle call gaps). *)

@@ -1,0 +1,32 @@
+open Liquid_isa
+open Liquid_visa
+
+type uop =
+  | US of Insn.exec
+  | UV of Vinsn.exec
+  | UB of { cond : Cond.t; target : int }
+  | URet
+
+type t = {
+  uops : uop array;
+  width : int;
+  source_insns : int;
+  observed_insns : int;
+}
+
+let length t = Array.length t.uops
+
+let pp_uop ppf = function
+  | US i -> Insn.pp_exec ppf i
+  | UV v -> Vinsn.pp_exec ppf v
+  | UB { cond; target } ->
+      Format.fprintf ppf "b%s u%d"
+        (match cond with Cond.Al -> "" | c -> Cond.suffix c)
+        target
+  | URet -> Format.pp_print_string ppf "ret"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>; microcode (%d-wide, %d uops)@ " t.width
+    (Array.length t.uops);
+  Array.iteri (fun i u -> Format.fprintf ppf "u%-3d %a@ " i pp_uop u) t.uops;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Translated microcode: the SIMD realization of an outlined region.
+
+    A microcode sequence mixes vector instructions with the scalar glue
+    the paper's Table 3 passes through unmodified (induction-variable
+    setup and update, the loop compare and branch, reduction-accumulator
+    initialization). Branches inside microcode target microcode indices;
+    [URet] returns to the region's caller. *)
+
+open Liquid_isa
+open Liquid_visa
+
+type uop =
+  | US of Insn.exec  (** pass-through scalar instruction (never a branch) *)
+  | UV of Vinsn.exec
+  | UB of { cond : Cond.t; target : int }  (** intra-microcode branch *)
+  | URet
+
+type t = {
+  uops : uop array;
+  width : int;
+      (** effective lane count the sequence was translated for; at most
+          the accelerator width, and always dividing the loop's trip
+          count *)
+  source_insns : int;  (** static scalar instructions of the region *)
+  observed_insns : int;  (** dynamic instructions the translator consumed *)
+}
+
+val length : t -> int
+val pp_uop : Format.formatter -> uop -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+(** Minimal growable array (OCaml 5.1 predates [Dynarray]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool

@@ -1,0 +1,1 @@
+lib/visa/minsn.ml: Insn Liquid_isa Vinsn

@@ -1,0 +1,1 @@
+lib/visa/minsn.mli: Format Insn Liquid_isa Vinsn

@@ -1,0 +1,1 @@
+lib/visa/perm.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/visa/perm.mli: Format

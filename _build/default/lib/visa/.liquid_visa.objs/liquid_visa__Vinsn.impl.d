@@ -1,0 +1,1 @@
+lib/visa/vinsn.ml: Array Esize Format Insn Int Liquid_isa Opcode Perm Reg Vreg

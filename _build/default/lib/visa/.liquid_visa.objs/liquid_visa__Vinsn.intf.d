@@ -1,0 +1,1 @@
+lib/visa/vinsn.mli: Esize Format Insn Liquid_isa Opcode Perm Reg Vreg

@@ -1,0 +1,1 @@
+lib/visa/vreg.ml: Format Liquid_isa List Printf Stdlib

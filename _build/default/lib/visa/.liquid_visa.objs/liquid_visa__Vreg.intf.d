@@ -1,0 +1,1 @@
+lib/visa/vreg.mli: Format Liquid_isa

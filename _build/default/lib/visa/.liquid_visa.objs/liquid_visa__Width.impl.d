@@ -1,0 +1,1 @@
+lib/visa/width.ml: Format

@@ -1,0 +1,23 @@
+open Liquid_isa
+
+type ('sym, 'lab) t = S of ('sym, 'lab) Insn.t | V of 'sym Vinsn.t
+
+type asm = (string, string) t
+type exec = (int, int) t
+
+let map ~sym ~lab = function
+  | S i -> S (Insn.map ~sym ~lab i)
+  | V v -> V (Vinsn.map_sym sym v)
+
+let equal_exec a b =
+  match (a, b) with
+  | S x, S y -> Insn.equal_exec x y
+  | V x, V y -> Vinsn.equal_exec x y
+  | S _, V _ | V _, S _ -> false
+
+let is_vector = function V _ -> true | S _ -> false
+let pp_asm ppf = function S i -> Insn.pp_asm ppf i | V v -> Vinsn.pp_asm ppf v
+
+let pp_exec ppf = function
+  | S i -> Insn.pp_exec ppf i
+  | V v -> Vinsn.pp_exec ppf v

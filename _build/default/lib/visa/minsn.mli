@@ -1,0 +1,16 @@
+(** Mixed instructions: the union of scalar and vector instructions, as
+    found in native SIMD binaries. A Liquid SIMD (virtualized) binary
+    contains only [S] instructions. *)
+
+open Liquid_isa
+
+type ('sym, 'lab) t = S of ('sym, 'lab) Insn.t | V of 'sym Vinsn.t
+
+type asm = (string, string) t
+type exec = (int, int) t
+
+val map : sym:('a -> 'c) -> lab:('b -> 'd) -> ('a, 'b) t -> ('c, 'd) t
+val equal_exec : exec -> exec -> bool
+val is_vector : ('a, 'b) t -> bool
+val pp_asm : Format.formatter -> asm -> unit
+val pp_exec : Format.formatter -> exec -> unit

@@ -1,0 +1,209 @@
+open Liquid_isa
+
+type vsrc = VR of Vreg.t | VImm of int | VConst of int array
+
+type 'sym t =
+  | Vld of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      base : 'sym Insn.base;
+      index : Reg.t;
+    }
+  | Vst of { esize : Esize.t; src : Vreg.t; base : 'sym Insn.base; index : Reg.t }
+  | Vlds of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      base : 'sym Insn.base;
+      index : Reg.t;
+      stride : int;
+      phase : int;
+    }
+  | Vsts of {
+      esize : Esize.t;
+      src : Vreg.t;
+      base : 'sym Insn.base;
+      index : Reg.t;
+      stride : int;
+      phase : int;
+    }
+  | Vgather of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      base : 'sym Insn.base;
+      index_v : Vreg.t;
+    }
+  | Vdp of { op : Opcode.t; dst : Vreg.t; src1 : Vreg.t; src2 : vsrc }
+  | Vsat of {
+      op : [ `Add | `Sub ];
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      src1 : Vreg.t;
+      src2 : Vreg.t;
+    }
+  | Vperm of { pattern : Perm.t; dst : Vreg.t; src : Vreg.t }
+  | Vred of { op : Opcode.t; acc : Reg.t; src : Vreg.t }
+
+type asm = string t
+type exec = int t
+
+let map_base f = function Insn.Sym s -> Insn.Sym (f s) | Insn.Breg r -> Insn.Breg r
+
+let map_sym f = function
+  | Vld l -> Vld { l with base = map_base f l.base }
+  | Vst s -> Vst { s with base = map_base f s.base }
+  | Vlds l -> Vlds { l with base = map_base f l.base }
+  | Vsts s -> Vsts { s with base = map_base f s.base }
+  | Vgather g -> Vgather { g with base = map_base f g.base }
+  | Vdp d -> Vdp d
+  | Vsat s -> Vsat s
+  | Vperm p -> Vperm p
+  | Vred r -> Vred r
+
+let defs_vector = function
+  | Vld { dst; _ } | Vlds { dst; _ } | Vgather { dst; _ } | Vdp { dst; _ }
+  | Vsat { dst; _ } | Vperm { dst; _ } ->
+      [ dst ]
+  | Vst _ | Vsts _ | Vred _ -> []
+
+let uses_vector = function
+  | Vld _ | Vlds _ -> []
+  | Vgather { index_v; _ } -> [ index_v ]
+  | Vst { src; _ } | Vsts { src; _ } -> [ src ]
+  | Vdp { src1; src2; _ } -> (
+      src1 :: (match src2 with VR r -> [ r ] | VImm _ | VConst _ -> []))
+  | Vsat { src1; src2; _ } -> [ src1; src2 ]
+  | Vperm { src; _ } -> [ src ]
+  | Vred { src; _ } -> [ src ]
+
+let base_uses = function Insn.Sym _ -> [] | Insn.Breg r -> [ r ]
+
+let defs_scalar = function
+  | Vred { acc; _ } -> [ acc ]
+  | Vld _ | Vst _ | Vlds _ | Vsts _ | Vgather _ | Vdp _ | Vsat _ | Vperm _ -> []
+
+let uses_scalar = function
+  | Vld { base; index; _ }
+  | Vst { base; index; _ }
+  | Vlds { base; index; _ }
+  | Vsts { base; index; _ } ->
+      index :: base_uses base
+  | Vgather { base; _ } -> base_uses base
+  | Vred { acc; _ } -> [ acc ]
+  | Vdp _ | Vsat _ | Vperm _ -> []
+
+let equal_vsrc a b =
+  match (a, b) with
+  | VR x, VR y -> Vreg.equal x y
+  | VImm x, VImm y -> x = y
+  | VConst x, VConst y -> x = y
+  | (VR _ | VImm _ | VConst _), (VR _ | VImm _ | VConst _) -> false
+
+let equal_base eq_sym a b =
+  match (a, b) with
+  | Insn.Sym x, Insn.Sym y -> eq_sym x y
+  | Insn.Breg x, Insn.Breg y -> Reg.equal x y
+  | Insn.Sym _, Insn.Breg _ | Insn.Breg _, Insn.Sym _ -> false
+
+let equal eq_sym a b =
+  match (a, b) with
+  | Vld x, Vld y ->
+      Esize.equal x.esize y.esize && x.signed = y.signed
+      && Vreg.equal x.dst y.dst
+      && equal_base eq_sym x.base y.base
+      && Reg.equal x.index y.index
+  | Vst x, Vst y ->
+      Esize.equal x.esize y.esize && Vreg.equal x.src y.src
+      && equal_base eq_sym x.base y.base
+      && Reg.equal x.index y.index
+  | Vlds x, Vlds y ->
+      Esize.equal x.esize y.esize && x.signed = y.signed
+      && Vreg.equal x.dst y.dst
+      && equal_base eq_sym x.base y.base
+      && Reg.equal x.index y.index
+      && x.stride = y.stride && x.phase = y.phase
+  | Vsts x, Vsts y ->
+      Esize.equal x.esize y.esize && Vreg.equal x.src y.src
+      && equal_base eq_sym x.base y.base
+      && Reg.equal x.index y.index
+      && x.stride = y.stride && x.phase = y.phase
+  | Vgather x, Vgather y ->
+      Esize.equal x.esize y.esize && x.signed = y.signed
+      && Vreg.equal x.dst y.dst
+      && equal_base eq_sym x.base y.base
+      && Vreg.equal x.index_v y.index_v
+  | Vdp x, Vdp y ->
+      Opcode.equal x.op y.op && Vreg.equal x.dst y.dst
+      && Vreg.equal x.src1 y.src1 && equal_vsrc x.src2 y.src2
+  | Vsat x, Vsat y ->
+      x.op = y.op && Esize.equal x.esize y.esize && x.signed = y.signed
+      && Vreg.equal x.dst y.dst && Vreg.equal x.src1 y.src1
+      && Vreg.equal x.src2 y.src2
+  | Vperm x, Vperm y ->
+      Perm.equal x.pattern y.pattern && Vreg.equal x.dst y.dst
+      && Vreg.equal x.src y.src
+  | Vred x, Vred y ->
+      Opcode.equal x.op y.op && Reg.equal x.acc y.acc && Vreg.equal x.src y.src
+  | ( ( Vld _ | Vst _ | Vlds _ | Vsts _ | Vgather _ | Vdp _ | Vsat _ | Vperm _
+      | Vred _ ),
+      ( Vld _ | Vst _ | Vlds _ | Vsts _ | Vgather _ | Vdp _ | Vsat _ | Vperm _
+      | Vred _ ) ) ->
+      false
+
+let equal_exec a b = equal Int.equal a b
+
+let pp_base pp_sym ppf = function
+  | Insn.Sym s -> pp_sym ppf s
+  | Insn.Breg r -> Reg.pp ppf r
+
+let pp_vsrc ppf = function
+  | VR r -> Vreg.pp ppf r
+  | VImm i -> Format.fprintf ppf "#%d" i
+  | VConst a ->
+      Format.fprintf ppf "#[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           Format.pp_print_int)
+        (Array.to_list a)
+
+let pp ~pp_sym ppf = function
+  | Vld { esize; signed; dst; base; index } ->
+      Format.fprintf ppf "vld%s%s %a, [%a + %a]" (Esize.suffix esize)
+        (if signed && esize <> Esize.Word then "s" else "")
+        Vreg.pp dst (pp_base pp_sym) base Reg.pp index
+  | Vst { esize; src; base; index } ->
+      Format.fprintf ppf "vst%s [%a + %a], %a" (Esize.suffix esize)
+        (pp_base pp_sym) base Reg.pp index Vreg.pp src
+  | Vlds { esize; signed; dst; base; index; stride; phase } ->
+      Format.fprintf ppf "vlds%s%s.%d.%d %a, [%a + %a]" (Esize.suffix esize)
+        (if signed && esize <> Esize.Word then "s" else "")
+        stride phase Vreg.pp dst (pp_base pp_sym) base Reg.pp index
+  | Vsts { esize; src; base; index; stride; phase } ->
+      Format.fprintf ppf "vsts%s.%d.%d [%a + %a], %a" (Esize.suffix esize)
+        stride phase (pp_base pp_sym) base Reg.pp index Vreg.pp src
+  | Vgather { esize; signed; dst; base; index_v } ->
+      Format.fprintf ppf "vtbl%s%s %a, [%a + %a]" (Esize.suffix esize)
+        (if signed && esize <> Esize.Word then "s" else "")
+        Vreg.pp dst (pp_base pp_sym) base Vreg.pp index_v
+  | Vdp { op; dst; src1; src2 } ->
+      Format.fprintf ppf "v%s %a, %a, %a" (Opcode.mnemonic op) Vreg.pp dst
+        Vreg.pp src1 pp_vsrc src2
+  | Vsat { op; esize; signed; dst; src1; src2 } ->
+      Format.fprintf ppf "vq%s%s%s %a, %a, %a"
+        (match op with `Add -> "add" | `Sub -> "sub")
+        (if signed then "s" else "u")
+        (Esize.suffix esize) Vreg.pp dst Vreg.pp src1 Vreg.pp src2
+  | Vperm { pattern; dst; src } ->
+      Format.fprintf ppf "vperm.%a %a, %a" Perm.pp pattern Vreg.pp dst Vreg.pp
+        src
+  | Vred { op; acc; src } ->
+      Format.fprintf ppf "vred.%s %a, %a" (Opcode.mnemonic op) Reg.pp acc
+        Vreg.pp src
+
+let pp_string ppf s = Format.pp_print_string ppf s
+let pp_addr ppf a = Format.fprintf ppf "0x%x" a
+let pp_asm ppf i = pp ~pp_sym:pp_string ppf i
+let pp_exec ppf i = pp ~pp_sym:pp_addr ppf i

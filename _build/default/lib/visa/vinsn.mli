@@ -1,0 +1,96 @@
+(** SIMD accelerator instructions (Neon-like).
+
+    Like {!Liquid_isa.Insn}, the type is polymorphic in the data-symbol
+    representation: symbolic names in assembly form, absolute addresses in
+    executable form. Vector instructions never carry branch targets — the
+    accelerator shares the front end with the scalar pipeline (paper §3.1).
+
+    A vector register holds [w] lanes of 32-bit words, where [w] is the
+    accelerator width. Memory instructions move [w] consecutive elements
+    of the given element size starting at [base + index * element_bytes];
+    the scalar [index] register counts {e elements}, matching the scalar
+    representation's induction variable. *)
+
+open Liquid_isa
+
+type vsrc =
+  | VR of Vreg.t
+  | VImm of int  (** splatted scalar immediate *)
+  | VConst of int array
+      (** per-lane constant vector (length = accelerator width), e.g. a
+          reconstructed mask or non-splattable constant — paper Table 1
+          category 3 *)
+
+type 'sym t =
+  | Vld of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      base : 'sym Insn.base;
+      index : Reg.t;
+    }
+  | Vst of { esize : Esize.t; src : Vreg.t; base : 'sym Insn.base; index : Reg.t }
+  | Vlds of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      base : 'sym Insn.base;
+      index : Reg.t;
+      stride : int;
+      phase : int;
+    }
+      (** {e Extension} (the paper's unsupported interleaved accesses,
+          §3.3): lane [i] loads element [stride * (index + i) + phase] —
+          the de-interleaving [VLD2]/[VLD4] shape. [stride] is 2 or 4;
+          [0 <= phase < stride]. *)
+  | Vsts of {
+      esize : Esize.t;
+      src : Vreg.t;
+      base : 'sym Insn.base;
+      index : Reg.t;
+      stride : int;
+      phase : int;
+    }
+      (** Interleaving store: lane [i] goes to element
+          [stride * (index + i) + phase]. *)
+  | Vgather of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      base : 'sym Insn.base;
+      index_v : Vreg.t;
+    }
+      (** {e Extension} (the paper's unsupported [VTBL], §3.3): lane [i]
+          loads element [index_v.(i)] of the table at [base] — a
+          runtime-indexed permutation / table lookup. *)
+  | Vdp of { op : Opcode.t; dst : Vreg.t; src1 : Vreg.t; src2 : vsrc }
+  | Vsat of {
+      op : [ `Add | `Sub ];
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      src1 : Vreg.t;
+      src2 : Vreg.t;
+    }
+  | Vperm of { pattern : Perm.t; dst : Vreg.t; src : Vreg.t }
+  | Vred of { op : Opcode.t; acc : Reg.t; src : Vreg.t }
+      (** [acc = op (acc, op-fold over lanes of src)]: a reduction that
+          combines with a scalar accumulator, the direct SIMD image of the
+          loop-carried scalar form in Table 1 category 4. *)
+
+type asm = string t
+type exec = int t
+
+val map_sym : ('a -> 'b) -> 'a t -> 'b t
+val defs_vector : 'a t -> Vreg.t list
+val uses_vector : 'a t -> Vreg.t list
+val defs_scalar : 'a t -> Reg.t list
+val uses_scalar : 'a t -> Reg.t list
+val equal : ('s -> 's -> bool) -> 's t -> 's t -> bool
+val equal_exec : exec -> exec -> bool
+
+val pp :
+  pp_sym:(Format.formatter -> 'sym -> unit) -> Format.formatter -> 'sym t -> unit
+
+val pp_asm : Format.formatter -> asm -> unit
+val pp_exec : Format.formatter -> exec -> unit

@@ -1,0 +1,16 @@
+type t = int
+
+let count = 16
+
+let make i =
+  if i < 0 || i >= count then
+    invalid_arg (Printf.sprintf "Vreg.make: v%d out of range" i)
+  else i
+
+let index t = t
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let name t = Printf.sprintf "v%d" t
+let pp ppf t = Format.pp_print_string ppf (name t)
+let all = List.init count (fun i -> i)
+let of_scalar r = Liquid_isa.Reg.index r

@@ -1,0 +1,18 @@
+(** Vector architectural registers v0..v15 of the SIMD accelerator. *)
+
+type t
+
+val count : int
+val make : int -> t
+val index : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val name : t -> string
+val all : t list
+
+val of_scalar : Liquid_isa.Reg.t -> t
+(** The vector register shadowing a scalar register. The dynamic
+    translator maps scalar register [ri] of the virtualized loop to
+    vector register [vi], preserving the paper's one-to-one register
+    state (section 4.1). *)

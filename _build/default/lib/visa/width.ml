@@ -1,0 +1,15 @@
+type t = W2 | W4 | W8 | W16
+
+let lanes = function W2 -> 2 | W4 -> 4 | W8 -> 8 | W16 -> 16
+
+let of_lanes = function
+  | 2 -> Some W2
+  | 4 -> Some W4
+  | 8 -> Some W8
+  | 16 -> Some W16
+  | _ -> None
+
+let max = W16
+let all = [ W2; W4; W8; W16 ]
+let equal (a : t) b = a = b
+let pp ppf t = Format.fprintf ppf "%d-wide" (lanes t)

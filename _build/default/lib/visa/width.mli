@@ -1,0 +1,16 @@
+(** Supported SIMD accelerator vector widths (lane counts).
+
+    The paper evaluates accelerators of 2, 4, 8 and 16 lanes; widths are
+    powers of two because memory alignment is enforced at the maximum
+    vectorizable width (paper §3.1). *)
+
+type t = W2 | W4 | W8 | W16
+
+val lanes : t -> int
+val of_lanes : int -> t option
+val max : t
+(** The maximum vectorizable width a binary is compiled for: {!W16}. *)
+
+val all : t list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

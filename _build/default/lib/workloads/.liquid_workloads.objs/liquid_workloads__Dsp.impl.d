@@ -1,0 +1,1 @@
+lib/workloads/dsp.ml: Build Kernels Liquid_scalarize Meta Vloop

@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Array Build Cond Data Esize Liquid_isa Liquid_prog Liquid_scalarize Liquid_visa List Opcode Reg Vinsn Vloop

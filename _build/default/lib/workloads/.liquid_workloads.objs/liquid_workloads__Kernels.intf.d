@@ -1,0 +1,1 @@
+lib/workloads/kernels.mli: Data Esize Liquid_isa Liquid_prog Liquid_scalarize Reg Vloop

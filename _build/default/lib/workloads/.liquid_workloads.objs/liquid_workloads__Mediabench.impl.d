@@ -1,0 +1,1 @@
+lib/workloads/mediabench.ml: Build Esize Kernels Liquid_isa Liquid_scalarize Liquid_visa Meta Opcode Vinsn Vloop

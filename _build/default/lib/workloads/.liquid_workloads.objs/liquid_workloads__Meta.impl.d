@@ -1,0 +1,1 @@
+lib/workloads/meta.ml: Liquid_scalarize

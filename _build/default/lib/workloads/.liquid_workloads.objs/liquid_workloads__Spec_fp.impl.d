@@ -1,0 +1,1 @@
+lib/workloads/spec_fp.ml: Build Kernels Liquid_isa Liquid_scalarize List Meta Opcode Printf Vloop

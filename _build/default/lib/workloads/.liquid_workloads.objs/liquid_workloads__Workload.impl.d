@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Dsp Liquid_scalarize List Mediabench Meta Spec_fp

@@ -1,0 +1,123 @@
+(* Signal-processing kernels: LU, FIR, FFT (the paper's §5 kernel set).
+   FIR is almost entirely vectorizable and cache-resident — the paper's
+   best case; FFT is the running example of §3.4 with its fissioned
+   butterfly loop. *)
+
+open Liquid_scalarize
+open Kernels
+open Build
+
+let paper ~mean ~max ~lt150 ~lt300 ~gt300 ~gap =
+  {
+    Meta.table5_mean = mean;
+    table5_max = max;
+    table6_lt150 = lt150;
+    table6_lt300 = lt300;
+    table6_gt300 = gt300;
+    table6_mean = gap;
+  }
+
+(* --- LU: row elimination, one saxpy-shaped loop per pivot row --- *)
+
+let lu () =
+  let elim = saxpy ~name:"lu_elim" ~count:1024 ~a:3 ~x:"pivot_row" ~y:"work_row" ~out:"work_row" in
+  {
+    Meta.name = "LU";
+    suite = Meta.Kernel;
+    description = "LU decomposition row elimination with scalar pivot search";
+    program =
+      {
+        Vloop.name = "lu";
+        sections =
+          counted ~reg:(r 15) ~label:"lu_row" ~count:16
+            [
+              busy ~label:"lu_pivot" ~iters:800 ~stride:1 ~sym:"pivot_row";
+              Vloop.Loop elim;
+            ];
+        data =
+          [
+            warray "pivot_row" 1024 (fun i -> (i * 7 mod 301) - 150);
+            warray "work_row" 1024 (fun i -> (i * 11 mod 401) - 200);
+          ];
+      };
+    paper = paper ~mean:11.0 ~max:11 ~lt150:0 ~lt300:0 ~gt300:1 ~gap:15054;
+  }
+
+(* --- FIR: a three-tap blocked filter over a delay line (x, x shifted
+   by one and two samples); nearly the whole runtime is the hot loop --- *)
+
+let fir () =
+  let tap =
+    mac_chain ~name:"fir_tap" ~count:1024
+      ~terms:[ ("x_d0", 5); ("x_d1", 3) ]
+      ~out:"y_out"
+  in
+  let x i = ((i * 13) mod 255) - 127 in
+  {
+    Meta.name = "FIR";
+    suite = Meta.Kernel;
+    description = "blocked FIR filter over a delay line, 94% vectorizable";
+    program =
+      {
+        Vloop.name = "fir";
+        sections =
+          counted ~reg:(r 15) ~label:"fir_frame" ~count:100
+            [
+              busy ~label:"fir_io" ~iters:40 ~stride:1 ~sym:"x_d0";
+              Vloop.Loop tap;
+            ];
+        data =
+          [
+            warray "x_d0" 1024 x;
+            warray "x_d1" 1024 (fun i -> x (i + 1));
+            wzeros "y_out" 1024;
+          ];
+      };
+    paper = paper ~mean:11.0 ~max:11 ~lt150:0 ~lt300:0 ~gt300:1 ~gap:13343;
+  }
+
+(* --- FFT: the paper's running example (Figures 2-4) plus a twiddle
+   update; the butterfly stage fissions into two outlined loops --- *)
+
+let fft () =
+  let count = 64 in
+  let stage =
+    fft_stage ~name:"fft_st" ~count ~block:8 ~re:"RealOut" ~im:"ImagOut"
+      ~wr:"ar" ~wi:"ai"
+  in
+  let twiddle =
+    mac_chain ~name:"fft_tw" ~count
+      ~terms:
+        [ ("ar", 3); ("ai", 5); ("RealOut", 2); ("ImagOut", 7); ("ar", 1);
+          ("ai", 2); ("RealOut", 4); ("ImagOut", 1); ("ar", 6); ("ai", 3);
+          ("RealOut", 1);
+        ]
+      ~out:"tw"
+  in
+  {
+    Meta.name = "FFT";
+    suite = Meta.Kernel;
+    description = "radix-2 butterfly stage (fissioned) plus twiddle recomputation";
+    program =
+      {
+        Vloop.name = "fft";
+        sections =
+          counted ~reg:(r 15) ~label:"fft_frame" ~count:10
+            [
+              busy ~label:"fft_glue" ~iters:100 ~stride:1 ~sym:"ar";
+              Vloop.Loop stage;
+              Vloop.Loop twiddle;
+            ];
+        data =
+          [
+            warray "RealOut" count (fun i -> ((i * 7) mod 501) - 250);
+            warray "ImagOut" count (fun i -> ((i * 3) mod 401) - 200);
+            warray "ar" count (fun i -> i mod 9);
+            warray "ai" count (fun i -> 5 - (i mod 4));
+            wzeros "tw" count;
+          ];
+      };
+    paper = paper ~mean:31.3 ~max:38 ~lt150:0 ~lt300:0 ~gt300:3 ~gap:7716;
+  }
+
+let benchmarks () = [ lu (); fft (); fir () ]

@@ -1,0 +1,7 @@
+(** Signal-processing kernels: LU, FFT and FIR (the paper's kernel set).
+    FIR is the paper's best case (~94% vectorizable, cache resident);
+    FFT is the running example of §3.4 whose butterfly stage fissions
+    into two outlined loops. *)
+
+val benchmarks : unit -> Meta.t list
+(** LU, FFT, FIR. *)

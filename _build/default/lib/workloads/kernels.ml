@@ -1,0 +1,199 @@
+open Liquid_isa
+open Liquid_visa
+open Liquid_prog
+open Liquid_scalarize
+open Build
+
+let warray name n f = Data.make ~name ~esize:Esize.Word (Array.init n f)
+let barray name n f = Data.make ~name ~esize:Esize.Byte (Array.init n f)
+let harray name n f = Data.make ~name ~esize:Esize.Half (Array.init n f)
+let wzeros name n = Data.zeros ~name ~esize:Esize.Word n
+let bzeros name n = Data.zeros ~name ~esize:Esize.Byte n
+
+let counted ~reg ~label:l ~count sections =
+  if not (Reg.equal reg (r 12) || Reg.equal reg (r 15)) then
+    invalid_arg "Kernels.counted: only r12 and r15 survive loop execution";
+  (Vloop.Code [ mov reg 0; label l ] :: sections)
+  @ [
+      Vloop.Code
+        [ addi reg reg 1; cmp reg (i count); b ~cond:Cond.Lt l ];
+    ]
+
+let busy ~label:l ~iters ~stride ~sym =
+  Vloop.Code
+    ([ mov (r 1) 0; mov (r 2) 0; label l ]
+    @ [
+        ld (r 3) sym (ri (r 1));
+        dp Opcode.Add (r 2) (r 2) (ri (r 3));
+        addi (r 1) (r 1) stride;
+        cmp (r 1) (i (iters * stride));
+        b ~cond:Cond.Lt l;
+      ])
+
+let saxpy ~name ~count ~a ~x ~y ~out =
+  {
+    Vloop.name;
+    count;
+    body =
+      [
+        vld (v 1) x;
+        vmul (v 1) (v 1) (vi a);
+        vld (v 2) y;
+        vadd (v 1) (v 1) (vr (v 2));
+        vst (v 1) out;
+      ];
+    reductions = [];
+  }
+
+let dot ~name ~count ~x ~y ~acc =
+  {
+    Vloop.name;
+    count;
+    body =
+      [ vld (v 1) x; vld (v 2) y; vmul (v 1) (v 1) (vr (v 2)); vred Opcode.Add acc (v 1) ];
+    reductions = [ (acc, 0) ];
+  }
+
+let mac_chain ~name ~count ~terms ~out =
+  match terms with
+  | [] -> invalid_arg "Kernels.mac_chain: no terms"
+  | (x0, c0) :: rest ->
+      let head = [ vld (v 1) x0; vmul (v 1) (v 1) (vi c0) ] in
+      let tail =
+        List.concat_map
+          (fun (xj, cj) ->
+            [ vld (v 2) xj; vmul (v 2) (v 2) (vi cj); vadd (v 1) (v 1) (vr (v 2)) ])
+          rest
+      in
+      {
+        Vloop.name;
+        count;
+        body = head @ tail @ [ vst (v 1) out ];
+        reductions = [];
+      }
+
+let stencil3 ~name ~count ~block ~src ~out ~coeffs:(c0, c1, c2) ~shift =
+  {
+    Vloop.name;
+    count;
+    body =
+      [
+        vld (v 1) src;
+        vld (v 2) src;
+        vrot ~block ~by:1 (v 2) (v 2);
+        vld (v 3) src;
+        vrot ~block ~by:(block - 1) (v 3) (v 3);
+        vmul (v 1) (v 1) (vi c0);
+        vmul (v 2) (v 2) (vi c1);
+        vmul (v 3) (v 3) (vi c2);
+        vadd (v 1) (v 1) (vr (v 2));
+        vadd (v 1) (v 1) (vr (v 3));
+        vshr (v 1) (v 1) (vi shift);
+        vst (v 1) out;
+      ];
+    reductions = [];
+  }
+
+let blend_sat ~name ~count ~esize ~signed ~a ~b ~out =
+  {
+    Vloop.name;
+    count;
+    body =
+      [
+        vld ~esize ~signed (v 1) a;
+        vld ~esize ~signed (v 2) b;
+        Vinsn.Vsat { op = `Add; esize; signed; dst = v 1; src1 = v 1; src2 = v 2 };
+        vst ~esize (v 1) out;
+      ];
+    reductions = [];
+  }
+
+let scale_clip ~name ~count ~src ~out ~mul ~shift ~lo ~hi =
+  {
+    Vloop.name;
+    count;
+    body =
+      [
+        vld (v 1) src;
+        vmul (v 1) (v 1) (vi mul);
+        vshr (v 1) (v 1) (vi shift);
+        vmin (v 1) (v 1) (vi hi);
+        vmax (v 1) (v 1) (vi lo);
+        vst (v 1) out;
+      ];
+    reductions = [];
+  }
+
+let masked_merge ~name ~count ~block ~a ~b ~out =
+  let m = List.init block (fun i -> if i < block / 2 then 1 else 0) in
+  let m' = List.init block (fun i -> if i < block / 2 then 0 else 1) in
+  {
+    Vloop.name;
+    count;
+    body =
+      [
+        vld (v 1) a;
+        vld (v 2) b;
+        vand (v 1) (v 1) (vmask m);
+        vand (v 2) (v 2) (vmask m');
+        vorr (v 1) (v 1) (vr (v 2));
+        vst (v 1) out;
+      ];
+    reductions = [];
+  }
+
+let max_energy ~name ~count ~src ~acc =
+  {
+    Vloop.name;
+    count;
+    body =
+      [ vld (v 1) src; vmul (v 1) (v 1) (vr (v 1)); vred Opcode.Smax acc (v 1) ];
+    reductions = [ (acc, -1073741824) ];
+  }
+
+let sat_mac ~name ~count ~esize ~x ~y ~scale ~out =
+  {
+    Vloop.name;
+    count;
+    body =
+      [
+        vld ~esize ~signed:true (v 1) x;
+        vmul (v 1) (v 1) (vi scale);
+        vshr (v 1) (v 1) (vi 6);
+        vld ~esize ~signed:true (v 2) y;
+        Vinsn.Vsat
+          { op = `Add; esize; signed = true; dst = v 1; src1 = v 1; src2 = v 2 };
+        vst ~esize (v 1) out;
+      ];
+    reductions = [];
+  }
+
+let fft_stage ~name ~count ~block ~re ~im ~wr ~wi =
+  let half = block / 2 in
+  let mask_lo = List.init block (fun i -> if i < half then 1 else 0) in
+  let mask_hi = List.init block (fun i -> if i < half then 0 else 1) in
+  {
+    Vloop.name;
+    count;
+    body =
+      [
+        vld (v 1) re;
+        vbfly block (v 1) (v 1);
+        vld (v 2) im;
+        vbfly block (v 2) (v 2);
+        vld (v 3) wr;
+        vld (v 4) wi;
+        vmul (v 3) (v 3) (vr (v 1));
+        vmul (v 4) (v 4) (vr (v 2));
+        vsub (v 6) (v 3) (vr (v 4));
+        vld (v 5) re;
+        vsub (v 7) (v 5) (vr (v 6));
+        vadd (v 8) (v 5) (vr (v 6));
+        vand (v 7) (v 7) (vmask mask_hi);
+        vbfly block (v 7) (v 7);
+        vand (v 8) (v 8) (vmask mask_lo);
+        vorr (v 9) (v 7) (vr (v 8));
+        vst (v 9) re;
+      ];
+    reductions = [];
+  }

@@ -1,0 +1,105 @@
+(** Reusable building blocks for the benchmark programs: vector-loop
+    kernels in the shapes media/scientific hot loops take (multiply-
+    accumulate chains, stencils, saturating blends, reductions,
+    butterflies), plus scalar glue generators for the non-vectorizable
+    portion of each benchmark. *)
+
+open Liquid_isa
+open Liquid_prog
+open Liquid_scalarize
+
+(** {1 Data helpers} *)
+
+val warray : string -> int -> (int -> int) -> Data.t
+val barray : string -> int -> (int -> int) -> Data.t
+val harray : string -> int -> (int -> int) -> Data.t
+val wzeros : string -> int -> Data.t
+val bzeros : string -> int -> Data.t
+
+(** {1 Scalar glue} *)
+
+val counted :
+  reg:Reg.t -> label:string -> count:int -> Vloop.section list -> Vloop.section list
+(** Wrap sections in a scalar counted loop over [reg] (which must be r12
+    or r15 — the only registers loop execution preserves). *)
+
+val busy : label:string -> iters:int -> stride:int -> sym:string -> Vloop.section
+(** Non-vectorizable scalar work: a pointer-walking accumulation loop
+    over [sym], 5 instructions per iteration. Large [stride] x [iters]
+    footprints generate the cache misses that bound benchmarks like
+    179.art. Uses r1-r3. *)
+
+(** {1 Vector kernels} *)
+
+val saxpy : name:string -> count:int -> a:int -> x:string -> y:string -> out:string -> Vloop.t
+(** [out.(i) <- a * x.(i) + y.(i)] *)
+
+val dot : name:string -> count:int -> x:string -> y:string -> acc:Reg.t -> Vloop.t
+(** [acc <- acc + sum x.(i) * y.(i)] — a reduction loop. *)
+
+val mac_chain :
+  name:string -> count:int -> terms:(string * int) list -> out:string -> Vloop.t
+(** [out.(i) <- sum_j c_j * x_j.(i)]: one load-multiply per term. The
+    term count directly controls the outlined function's size. *)
+
+val stencil3 :
+  name:string ->
+  count:int ->
+  block:int ->
+  src:string ->
+  out:string ->
+  coeffs:int * int * int ->
+  shift:int ->
+  Vloop.t
+(** Block-local three-point stencil: neighbours come from rotations
+    within a [block]-element window, exercising permuted loads. *)
+
+val blend_sat :
+  name:string ->
+  count:int ->
+  esize:Esize.t ->
+  signed:bool ->
+  a:string ->
+  b:string ->
+  out:string ->
+  Vloop.t
+(** Saturating add of two pixel arrays (motion compensation shape). *)
+
+val scale_clip :
+  name:string ->
+  count:int ->
+  src:string ->
+  out:string ->
+  mul:int ->
+  shift:int ->
+  lo:int ->
+  hi:int ->
+  Vloop.t
+(** Fixed-point scale then clamp into [lo, hi] (dequantization shape). *)
+
+val masked_merge :
+  name:string -> count:int -> block:int -> a:string -> b:string -> out:string -> Vloop.t
+(** [out = (a land m) lor (b land (lnot m))] with a block-periodic lane
+    mask — Table 1 category 3 constants. *)
+
+val max_energy : name:string -> count:int -> src:string -> acc:Reg.t -> Vloop.t
+(** [acc <- max acc (max_i src.(i)^2)] — squared-energy peak search. *)
+
+val sat_mac :
+  name:string ->
+  count:int ->
+  esize:Esize.t ->
+  x:string ->
+  y:string ->
+  scale:int ->
+  out:string ->
+  Vloop.t
+(** [out = sat(out_prev?)]: GSM long-term-prediction shape — scaled
+    product saturating-added into a running signal. *)
+
+val fft_stage :
+  name:string -> count:int -> block:int -> re:string -> im:string ->
+  wr:string -> wi:string -> Vloop.t
+(** The paper's §3.4 FFT loop: butterfly loads, twiddle multiplies,
+    add/sub, masked recombination through a mid-loop butterfly (forces
+    loop fission in the scalar representation). *)

@@ -1,0 +1,279 @@
+(* MediaBench: MPEG2 decode/encode and GSM decode/encode. The MPEG2 hot
+   loops operate on 8-element blocks, which is why the paper sees no
+   gain from 8-wide to 16-wide accelerators there; the block loops also
+   produce the only sub-300-cycle call gaps in Table 6. *)
+
+open Liquid_isa
+open Liquid_visa
+open Liquid_scalarize
+open Kernels
+open Build
+
+let paper ~mean ~max ~lt150 ~lt300 ~gt300 ~gap =
+  {
+    Meta.table5_mean = mean;
+    table5_max = max;
+    table6_lt150 = lt150;
+    table6_lt300 = lt300;
+    table6_gt300 = gt300;
+    table6_mean = gap;
+  }
+
+(* --- MPEG2 decode: dequantize + motion-compensate, per 8-pixel block --- *)
+
+let mpeg2_dec () =
+  let dequant =
+    {
+      Vloop.name = "m2d_deq";
+      count = 8;
+      body =
+        [
+          vld (v 1) "coef";
+          vmul (v 1) (v 1) (vi 11);
+          vshr (v 1) (v 1) (vi 4);
+          vadd (v 1) (v 1) (vi 1);
+          vmin (v 1) (v 1) (vi 2047);
+          vmax (v 1) (v 1) (vi (-2048));
+          vst (v 1) "block";
+        ];
+      reductions = [];
+    }
+  in
+  let motion =
+    {
+      Vloop.name = "m2d_mc";
+      count = 8;
+      body =
+        [
+          vld ~esize:Esize.Byte ~signed:false (v 1) "refpix";
+          vld ~esize:Esize.Byte ~signed:false (v 2) "delta";
+          vand (v 2) (v 2) (vi 127);
+          Vinsn.Vsat
+            {
+              op = `Add;
+              esize = Esize.Byte;
+              signed = false;
+              dst = v 1;
+              src1 = v 1;
+              src2 = v 2;
+            };
+          vst ~esize:Esize.Byte (v 1) "outpix";
+        ];
+      reductions = [];
+    }
+  in
+  {
+    Meta.name = "MPEG2 Dec.";
+    suite = Meta.Mediabench;
+    description = "dequantization and saturating motion compensation on 8-pixel blocks";
+    program =
+      {
+        Vloop.name = "mpeg2dec";
+        sections =
+          counted ~reg:(r 15) ~label:"m2d_frame" ~count:5
+            ((* Bitstream parsing: the scalar fraction that bounds MPEG2
+                speedups in the paper's Figure 6. *)
+             busy ~label:"m2d_parse" ~iters:500 ~stride:1 ~sym:"coef"
+             ::
+             counted ~reg:(r 12) ~label:"m2d_blk" ~count:16
+               [ Vloop.Loop dequant; Vloop.Loop motion ]);
+        data =
+          [
+            warray "coef" 8 (fun i -> (i * 37 mod 255) - 128);
+            wzeros "block" 8;
+            barray "refpix" 8 (fun i -> (i * 29) mod 256);
+            barray "delta" 8 (fun i -> (i * 53) mod 256);
+            bzeros "outpix" 8;
+          ];
+      };
+    paper = paper ~mean:12.5 ~max:13 ~lt150:0 ~lt300:1 ~gt300:1 ~gap:269;
+  }
+
+(* --- MPEG2 encode: SAD, prediction blend and quantize per block, plus
+   a frame-level rate-control loop --- *)
+
+let mpeg2_enc () =
+  let sad =
+    {
+      Vloop.name = "m2e_sad";
+      count = 8;
+      body =
+        [
+          vld (v 1) "cur";
+          vld (v 2) "refw";
+          vsub (v 1) (v 1) (vr (v 2));
+          vmul (v 1) (v 1) (vr (v 1));
+          vred Opcode.Add (r 10) (v 1);
+        ];
+      reductions = [ (r 10, 0) ];
+    }
+  in
+  let blend =
+    blend_sat ~name:"m2e_blend" ~count:8 ~esize:Esize.Byte ~signed:false
+      ~a:"refpix" ~b:"predpix" ~out:"mixpix"
+  in
+  let quant =
+    {
+      Vloop.name = "m2e_quant";
+      count = 8;
+      body =
+        [
+          vld (v 1) "cur";
+          vmul (v 1) (v 1) (vi 7);
+          vshr (v 1) (v 1) (vi 5);
+          vmin (v 1) (v 1) (vi 255);
+          vmax (v 1) (v 1) (vi (-255));
+          vst (v 1) "qcoef";
+        ];
+      reductions = [];
+    }
+  in
+  let rate =
+    mac_chain ~name:"m2e_rate" ~count:256
+      ~terms:[ ("hist", 3); ("hist2", 5); ("hist3", 2); ("hist4", 4) ]
+      ~out:"rc"
+  in
+  {
+    Meta.name = "MPEG2 Enc.";
+    suite = Meta.Mediabench;
+    description = "block SAD/blend/quantize plus a frame-level rate-control MAC";
+    program =
+      {
+        Vloop.name = "mpeg2enc";
+        sections =
+          counted ~reg:(r 15) ~label:"m2e_frame" ~count:5
+            ((* The bitstream parse touches the block buffers before the
+                per-block loops run, so their first calls see warm
+                lines. *)
+             busy ~label:"m2e_warm" ~iters:56 ~stride:1 ~sym:"cur"
+             :: busy ~label:"m2e_parse" ~iters:400 ~stride:1 ~sym:"hist"
+             ::
+             counted ~reg:(r 12) ~label:"m2e_blk" ~count:12
+               [ Vloop.Loop sad; Vloop.Loop blend; Vloop.Loop quant ]
+            @ [ Vloop.Loop rate ]);
+        data =
+          [
+            warray "cur" 8 (fun i -> (i * 41 mod 200) - 100);
+            warray "refw" 8 (fun i -> (i * 13 mod 180) - 90);
+            barray "refpix" 8 (fun i -> (i * 71) mod 256);
+            barray "predpix" 8 (fun i -> (i * 31) mod 256);
+            bzeros "mixpix" 8;
+            wzeros "qcoef" 8;
+            warray "hist" 256 (fun i -> i mod 23);
+            warray "hist2" 256 (fun i -> (i * 3) mod 29);
+            warray "hist3" 256 (fun i -> (i * 7) mod 31);
+            warray "hist4" 256 (fun i -> (i * 5) mod 37);
+            wzeros "rc" 256;
+          ];
+      };
+    paper = paper ~mean:14.5 ~max:19 ~lt150:0 ~lt300:3 ~gt300:1 ~gap:257;
+  }
+
+(* --- GSM decode: long-term-prediction synthesis filter --- *)
+
+let gsm_dec () =
+  let ltp =
+    {
+      Vloop.name = "gsd_ltp";
+      count = 40;
+      body =
+        [
+          vld ~esize:Esize.Half ~signed:true (v 1) "exc";
+          vmul (v 1) (v 1) (vi 19);
+          vshr (v 1) (v 1) (vi 6);
+          vld ~esize:Esize.Half ~signed:true (v 2) "hist_h";
+          vmul (v 2) (v 2) (vi 7);
+          vshr (v 2) (v 2) (vi 5);
+          vadd (v 1) (v 1) (vr (v 2));
+          vld ~esize:Esize.Half ~signed:true (v 3) "speech";
+          Vinsn.Vsat
+            {
+              op = `Add;
+              esize = Esize.Half;
+              signed = true;
+              dst = v 1;
+              src1 = v 1;
+              src2 = v 3;
+            };
+          vmin (v 1) (v 1) (vi 32000);
+          vst ~esize:Esize.Half (v 1) "speech";
+        ];
+      reductions = [];
+    }
+  in
+  {
+    Meta.name = "GSM Dec.";
+    suite = Meta.Mediabench;
+    description = "long-term-prediction synthesis with saturating accumulate";
+    program =
+      {
+        Vloop.name = "gsmdec";
+        sections =
+          counted ~reg:(r 15) ~label:"gsd_frame" ~count:12
+            [
+              busy ~label:"gsd_glue" ~iters:55 ~stride:1 ~sym:"exc";
+              Vloop.Loop ltp;
+            ];
+        data =
+          [
+            harray "exc" 40 (fun i -> (i * 97 mod 4001) - 2000);
+            harray "hist_h" 40 (fun i -> (i * 61 mod 3001) - 1500);
+            harray "speech" 40 (fun i -> (i * 13 mod 2001) - 1000);
+          ];
+      };
+    paper = paper ~mean:25.0 ~max:25 ~lt150:0 ~lt300:0 ~gt300:1 ~gap:358;
+  }
+
+(* --- GSM encode: correlation search plus preprocessing scale --- *)
+
+let gsm_enc () =
+  let corr =
+    {
+      Vloop.name = "gse_corr";
+      count = 40;
+      body =
+        [
+          vld ~esize:Esize.Half ~signed:true (v 1) "wt";
+          vld ~esize:Esize.Half ~signed:true (v 2) "dp";
+          vmul (v 3) (v 1) (vr (v 2));
+          vred Opcode.Add (r 10) (v 3);
+          vld ~esize:Esize.Half ~signed:true (v 4) "dp2";
+          vmul (v 5) (v 1) (vr (v 4));
+          vred Opcode.Add (r 11) (v 5);
+          vmul (v 6) (v 2) (vr (v 2));
+          vred Opcode.Smax (r 9) (v 6);
+        ];
+      reductions = [ (r 10, 0); (r 11, 0); (r 9, 0) ];
+    }
+  in
+  let preproc =
+    sat_mac ~name:"gse_pre" ~count:40 ~esize:Esize.Half ~x:"so" ~y:"sof"
+      ~scale:29 ~out:"sof"
+  in
+  {
+    Meta.name = "GSM Enc.";
+    suite = Meta.Mediabench;
+    description = "LTP correlation search and saturating preprocessing filter";
+    program =
+      {
+        Vloop.name = "gsmenc";
+        sections =
+          counted ~reg:(r 15) ~label:"gse_frame" ~count:12
+            [
+              busy ~label:"gse_glue" ~iters:50 ~stride:1 ~sym:"so";
+              Vloop.Loop corr;
+              Vloop.Loop preproc;
+            ];
+        data =
+          [
+            harray "wt" 40 (fun i -> (i * 89 mod 3001) - 1500);
+            harray "dp" 40 (fun i -> (i * 43 mod 2501) - 1250);
+            harray "dp2" 40 (fun i -> (i * 71 mod 2201) - 1100);
+            harray "so" 40 (fun i -> (i * 37 mod 4001) - 2000);
+            harray "sof" 40 (fun i -> (i * 17 mod 1001) - 500);
+          ];
+      };
+    paper = paper ~mean:19.5 ~max:28 ~lt150:0 ~lt300:0 ~gt300:1 ~gap:538;
+  }
+
+let benchmarks () = [ mpeg2_dec (); mpeg2_enc (); gsm_dec (); gsm_enc () ]

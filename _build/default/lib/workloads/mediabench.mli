@@ -1,0 +1,7 @@
+(** MediaBench: MPEG2 decode/encode and GSM decode/encode. The MPEG2 hot
+    loops operate on 8-element blocks (flat speedup past 8 lanes, and
+    the only sub-300-cycle call gaps of Table 6); the GSM codecs use
+    saturating arithmetic over 40-sample subframes. *)
+
+val benchmarks : unit -> Meta.t list
+(** MPEG2 Dec., MPEG2 Enc., GSM Dec., GSM Enc. *)

@@ -1,0 +1,22 @@
+(** Shared benchmark record types; {!Workload} re-exports them and adds
+    the registry. The definitions live in {!Spec_fp}, {!Mediabench} and
+    {!Dsp}, which must not depend on the registry. *)
+
+type suite = Specfp | Mediabench | Kernel
+
+type paper_ref = {
+  table5_mean : float;  (** mean scalar instructions per outlined loop *)
+  table5_max : int;
+  table6_lt150 : int;  (** hot loops with first-call gap < 150 cycles *)
+  table6_lt300 : int;
+  table6_gt300 : int;
+  table6_mean : int;  (** mean gap between the first two calls *)
+}
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  program : Liquid_scalarize.Vloop.program;
+  paper : paper_ref;
+}

@@ -1,0 +1,389 @@
+(* The eight SPEC floating-point benchmarks of the paper's evaluation,
+   rebuilt as synthetic fixed-point workloads with the same hot-loop
+   structure (loop counts and sizes per Tables 5-6). *)
+
+open Liquid_isa
+open Liquid_scalarize
+open Kernels
+open Build
+
+let paper ~mean ~max ~lt150 ~lt300 ~gt300 ~gap =
+  {
+    Meta.table5_mean = mean;
+    table5_max = max;
+    table6_lt150 = lt150;
+    table6_lt300 = lt300;
+    table6_gt300 = gt300;
+    table6_mean = gap;
+  }
+
+(* A multiply-accumulate chain over [terms] of the shared array pool —
+   the dominant loop shape in scientific code. Coefficients vary with
+   the seed so loops are not identical. *)
+let pool_mac ~name ~count ~terms ~seed ~out =
+  let term j = (Printf.sprintf "g%d" ((seed + j) mod 8), 1 + ((seed + (3 * j)) mod 7)) in
+  mac_chain ~name ~count ~terms:(List.init terms term) ~out
+
+let grid_data ~count =
+  List.init 8 (fun k ->
+      warray (Printf.sprintf "g%d" k) count (fun i ->
+          ((i * (k + 3)) mod 251) - (k * 17)))
+
+(* --- 052.alvinn: neural-net training; two small MAC/update loops --- *)
+
+let alvinn () =
+  let count = 512 in
+  let fwd =
+    {
+      Vloop.name = "alv_fwd";
+      count;
+      body =
+        [
+          vld (v 1) "in_act";
+          vld (v 2) "w_ih";
+          vmul (v 3) (v 1) (vr (v 2));
+          vred Opcode.Add (r 10) (v 3);
+          vld (v 4) "w_ho";
+          vmul (v 5) (v 1) (vr (v 4));
+          vred Opcode.Add (r 11) (v 5);
+        ];
+      reductions = [ (r 10, 0); (r 11, 0) ];
+    }
+  in
+  let update =
+    {
+      Vloop.name = "alv_upd";
+      count;
+      body =
+        [
+          vld (v 1) "delta";
+          vmul (v 1) (v 1) (vi 3);
+          vld (v 2) "w_ih";
+          vadd (v 1) (v 1) (vr (v 2));
+          vmin (v 1) (v 1) (vi 4096);
+          vmax (v 1) (v 1) (vi (-4096));
+          vst (v 1) "w_ih";
+        ];
+      reductions = [];
+    }
+  in
+  {
+    Meta.name = "052.alvinn";
+    suite = Meta.Specfp;
+    description = "neural-net training: forward MAC reduction + clipped weight update";
+    program =
+      {
+        Vloop.name = "alvinn";
+        sections =
+          counted ~reg:(r 15) ~label:"alv_frame" ~count:12
+            [
+              busy ~label:"alv_glue" ~iters:1500 ~stride:1 ~sym:"in_act";
+              Vloop.Loop fwd;
+              Vloop.Loop update;
+            ];
+        data =
+          [
+            warray "in_act" count (fun i -> (i * 5 mod 127) - 60);
+            warray "w_ih" count (fun i -> (i * 11 mod 97) - 48);
+            warray "w_ho" count (fun i -> (i * 7 mod 89) - 44);
+            warray "delta" count (fun i -> (i mod 17) - 8);
+          ];
+      };
+    paper = paper ~mean:12.5 ~max:13 ~lt150:0 ~lt300:0 ~gt300:2 ~gap:19984;
+  }
+
+(* --- 056.ear: cochlear filterbank; three wide MAC loops --- *)
+
+let ear () =
+  let count = 512 in
+  let fb k terms =
+    pool_mac
+      ~name:(Printf.sprintf "ear_fb%d" k)
+      ~count ~terms ~seed:k
+      ~out:(Printf.sprintf "g%d" (7 - k))
+  in
+  {
+    Meta.name = "056.ear";
+    suite = Meta.Specfp;
+    description = "auditory filterbank: three long multiply-accumulate chains";
+    program =
+      {
+        Vloop.name = "ear";
+        sections =
+          counted ~reg:(r 15) ~label:"ear_frame" ~count:10
+            [
+              busy ~label:"ear_glue" ~iters:2500 ~stride:1 ~sym:"g0";
+              Vloop.Loop (fb 1 10);
+              Vloop.Loop (fb 2 10);
+              Vloop.Loop (fb 3 9);
+            ];
+        data = grid_data ~count;
+      };
+    paper = paper ~mean:34.5 ~max:36 ~lt150:0 ~lt300:0 ~gt300:3 ~gap:96488;
+  }
+
+(* --- 093.nasa7: seven numeric kernels; twelve large loops --- *)
+
+let nasa7 () =
+  let count = 256 in
+  let terms = [ 13; 14; 15; 12; 14; 13; 18; 15; 14; 12; 13; 16 ] in
+  let loops =
+    List.mapi
+      (fun k t ->
+        Vloop.Loop
+          (pool_mac
+             ~name:(Printf.sprintf "nas_k%d" k)
+             ~count ~terms:t ~seed:k
+             ~out:(Printf.sprintf "g%d" (k mod 8))))
+      terms
+  in
+  (* Each of the seven-kernel collection's loops iterates to
+     convergence before the next starts, so the microcode-cache working
+     set stays small even though there are twelve hot loops. *)
+  let phased =
+    List.concat
+      (List.mapi
+         (fun k loop ->
+           counted ~reg:(r 12)
+             ~label:(Printf.sprintf "nas_rep%d" k)
+             ~count:12 [ loop ])
+         loops)
+  in
+  {
+    Meta.name = "093.nasa7";
+    suite = Meta.Specfp;
+    description = "NASA numeric kernel collection: twelve large MAC loops";
+    program =
+      {
+        Vloop.name = "nasa7";
+        sections =
+          busy ~label:"nas_glue" ~iters:400 ~stride:1 ~sym:"g0" :: phased;
+        data = grid_data ~count;
+      };
+    paper = paper ~mean:45.5 ~max:59 ~lt150:0 ~lt300:0 ~gt300:12 ~gap:23876;
+  }
+
+(* --- 101.tomcatv: mesh generation; includes a loop large enough that
+   the compiler must fission it to fit the microcode buffer --- *)
+
+let tomcatv () =
+  let count = 128 in
+  let big =
+    pool_mac ~name:"tom_big" ~count ~terms:20 ~seed:5 ~out:"g6"
+  in
+  let loops =
+    [
+      Vloop.Loop (pool_mac ~name:"tom_rx" ~count ~terms:10 ~seed:0 ~out:"g0");
+      Vloop.Loop (pool_mac ~name:"tom_ry" ~count ~terms:11 ~seed:1 ~out:"g1");
+      Vloop.Loop big;
+      Vloop.Loop
+        (stencil3 ~name:"tom_relax" ~count ~block:8 ~src:"g2" ~out:"g3"
+           ~coeffs:(1, 2, 1) ~shift:2);
+      Vloop.Loop (pool_mac ~name:"tom_err" ~count ~terms:9 ~seed:3 ~out:"g4");
+    ]
+  in
+  {
+    Meta.name = "101.tomcatv";
+    suite = Meta.Specfp;
+    description = "vectorized mesh generation; one loop fissioned for buffer size";
+    program =
+      {
+        Vloop.name = "tomcatv";
+        sections =
+          counted ~reg:(r 15) ~label:"tom_frame" ~count:10
+            (busy ~label:"tom_glue" ~iters:600 ~stride:1 ~sym:"g0" :: loops);
+        data = grid_data ~count;
+      };
+    paper = paper ~mean:35.5 ~max:61 ~lt150:0 ~lt300:0 ~gt300:6 ~gap:16036;
+  }
+
+(* --- 104.hydro2d: hydrodynamics; eighteen mid-size loops --- *)
+
+let hydro2d () =
+  let count = 256 in
+  let terms = [ 7; 8; 9; 6; 10; 7; 8; 11; 6; 9; 7; 8; 10; 6; 9; 8 ] in
+  let macs =
+    List.mapi
+      (fun k t ->
+        Vloop.Loop
+          (pool_mac
+             ~name:(Printf.sprintf "hyd_k%d" k)
+             ~count ~terms:t ~seed:(k + 2)
+             ~out:(Printf.sprintf "g%d" ((k + 3) mod 8))))
+      terms
+  in
+  let extra =
+    [
+      Vloop.Loop
+        (masked_merge ~name:"hyd_bound" ~count ~block:8 ~a:"g1" ~b:"g2" ~out:"g3");
+      Vloop.Loop
+        (stencil3 ~name:"hyd_flux" ~count ~block:4 ~src:"g4" ~out:"g5"
+           ~coeffs:(1, 6, 1) ~shift:3);
+    ]
+  in
+  (* Dimensional splitting applies each sweep several times per
+     timestep, keeping the hot working set to a handful of loops. *)
+  let phased =
+    List.concat
+      (List.mapi
+         (fun k loop ->
+           counted ~reg:(r 12)
+             ~label:(Printf.sprintf "hyd_rep%d" k)
+             ~count:12 [ loop ])
+         (macs @ extra))
+  in
+  {
+    Meta.name = "104.hydro2d";
+    suite = Meta.Specfp;
+    description = "Navier-Stokes hydrodynamics: eighteen galaxy-of-loops kernels";
+    program =
+      {
+        Vloop.name = "hydro2d";
+        sections =
+          busy ~label:"hyd_glue" ~iters:500 ~stride:1 ~sym:"g0" :: phased;
+        data = grid_data ~count;
+      };
+    paper = paper ~mean:27.2 ~max:40 ~lt150:0 ~lt300:0 ~gt300:18 ~gap:24346;
+  }
+
+(* --- 171.swim: shallow-water stencils; nine loops --- *)
+
+let swim () =
+  let count = 256 in
+  let terms = [ 11; 12; 10; 13; 11; 15; 10 ] in
+  let macs =
+    List.mapi
+      (fun k t ->
+        Vloop.Loop
+          (pool_mac
+             ~name:(Printf.sprintf "swm_k%d" k)
+             ~count ~terms:t ~seed:(k + 1)
+             ~out:(Printf.sprintf "g%d" ((k + 5) mod 8))))
+      terms
+  in
+  let stencils =
+    [
+      Vloop.Loop
+        (stencil3 ~name:"swm_u" ~count ~block:8 ~src:"g0" ~out:"g1"
+           ~coeffs:(3, 10, 3) ~shift:4);
+      Vloop.Loop
+        (stencil3 ~name:"swm_v" ~count ~block:8 ~src:"g2" ~out:"g3"
+           ~coeffs:(1, 14, 1) ~shift:4);
+    ]
+  in
+  let phased =
+    List.concat
+      (List.mapi
+         (fun k loop ->
+           counted ~reg:(r 12)
+             ~label:(Printf.sprintf "swm_rep%d" k)
+             ~count:12 [ loop ])
+         (macs @ stencils))
+  in
+  {
+    Meta.name = "171.swim";
+    suite = Meta.Specfp;
+    description = "shallow-water model: stencil updates over staggered grids";
+    program =
+      {
+        Vloop.name = "swim";
+        sections =
+          busy ~label:"swm_glue" ~iters:700 ~stride:1 ~sym:"g1" :: phased;
+        data = grid_data ~count;
+      };
+    paper = paper ~mean:37.8 ~max:51 ~lt150:0 ~lt300:0 ~gt300:9 ~gap:33258;
+  }
+
+(* --- 172.mgrid: multigrid solver; thirteen loops re-run across levels,
+   giving the shortest call gaps of the SPEC set --- *)
+
+let mgrid () =
+  let count = 128 in
+  let terms = [ 13; 14; 15; 13; 16; 14; 18; 15; 13; 14; 16; 13 ] in
+  let loops =
+    List.mapi
+      (fun k t ->
+        Vloop.Loop
+          (pool_mac
+             ~name:(Printf.sprintf "mgr_k%d" k)
+             ~count ~terms:t ~seed:(k + 4)
+             ~out:(Printf.sprintf "g%d" ((k + 1) mod 8))))
+      terms
+    @ [
+        Vloop.Loop
+          (stencil3 ~name:"mgr_sm" ~count ~block:8 ~src:"g6" ~out:"g7"
+             ~coeffs:(1, 4, 1) ~shift:3);
+      ]
+  in
+  (* Multigrid applies each smoother twice per level (pre- and
+     post-smoothing), so a region's second call follows after one loop
+     duration — the shortest gaps in the SPEC set. *)
+  let repeated =
+    List.concat
+      (List.mapi
+         (fun k loop ->
+           counted ~reg:(r 12)
+             ~label:(Printf.sprintf "mgr_rep%d" k)
+             ~count:12 [ loop ])
+         loops)
+  in
+  {
+    Meta.name = "172.mgrid";
+    suite = Meta.Specfp;
+    description = "multigrid V-cycle: thirteen smoothing loops applied twice per level";
+    program =
+      {
+        Vloop.name = "mgrid";
+        sections = repeated;
+        data = grid_data ~count;
+      };
+    paper = paper ~mean:46.2 ~max:62 ~lt150:0 ~lt300:0 ~gt300:13 ~gap:5218;
+  }
+
+(* --- 179.art: adaptive resonance network; small loops drowned in
+   cache-missing scalar traversals of large arrays --- *)
+
+let art () =
+  let count = 4096 in
+  let loops =
+    [
+      Vloop.Loop (saxpy ~name:"art_p" ~count ~a:3 ~x:"f1" ~y:"f2" ~out:"f2");
+      Vloop.Loop (dot ~name:"art_match" ~count ~x:"f1" ~y:"bus" ~acc:(r 10));
+      Vloop.Loop
+        (scale_clip ~name:"art_norm" ~count ~src:"f2" ~out:"f1" ~mul:5 ~shift:3
+           ~lo:0 ~hi:100000);
+      Vloop.Loop
+        (masked_merge ~name:"art_rst" ~count ~block:8 ~a:"f1" ~b:"bus" ~out:"tds");
+      Vloop.Loop
+        (stencil3 ~name:"art_sp" ~count ~block:8 ~src:"bus" ~out:"tds"
+           ~coeffs:(1, 2, 1) ~shift:1);
+    ]
+  in
+  {
+    Meta.name = "179.art";
+    suite = Meta.Specfp;
+    description =
+      "ART neural network: small vector loops, 64 KB working sets, miss-bound";
+    program =
+      {
+        Vloop.name = "art";
+        sections =
+          counted ~reg:(r 15) ~label:"art_frame" ~count:3
+            (busy ~label:"art_scan" ~iters:16384 ~stride:8 ~sym:"big"
+            :: (loops
+               @ [ busy ~label:"art_scan2" ~iters:16384 ~stride:8 ~sym:"big2" ]));
+        data =
+          [
+            warray "f1" count (fun i -> (i * 3 mod 211) - 100);
+            warray "f2" count (fun i -> (i * 7 mod 199) - 90);
+            warray "bus" count (fun i -> (i * 5 mod 191) - 95);
+            wzeros "tds" count;
+            warray "big" 131072 (fun i -> i mod 97);
+            warray "big2" 131072 (fun i -> i mod 89);
+          ];
+      };
+    paper = paper ~mean:12.8 ~max:19 ~lt150:0 ~lt300:0 ~gt300:5 ~gap:2102224;
+  }
+
+let benchmarks () =
+  [ alvinn (); ear (); nasa7 (); tomcatv (); hydro2d (); swim (); mgrid (); art () ]

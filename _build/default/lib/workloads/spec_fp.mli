@@ -1,0 +1,8 @@
+(** The eight SPEC floating-point benchmarks of the paper's evaluation,
+    rebuilt as synthetic fixed-point workloads with the same hot-loop
+    structure (loop counts and sizes per the paper's Tables 5-6, call
+    phasing per Table 6, data footprint per the Figure 6 discussion). *)
+
+val benchmarks : unit -> Meta.t list
+(** In the paper's order: 052.alvinn, 056.ear, 093.nasa7, 101.tomcatv,
+    104.hydro2d, 171.swim, 172.mgrid, 179.art. *)

@@ -1,0 +1,27 @@
+type suite = Meta.suite = Specfp | Mediabench | Kernel
+
+type paper_ref = Meta.paper_ref = {
+  table5_mean : float;
+  table5_max : int;
+  table6_lt150 : int;
+  table6_lt300 : int;
+  table6_gt300 : int;
+  table6_mean : int;
+}
+
+type t = Meta.t = {
+  name : string;
+  suite : suite;
+  description : string;
+  program : Liquid_scalarize.Vloop.program;
+  paper : paper_ref;
+}
+
+let all () = Spec_fp.benchmarks () @ Mediabench.benchmarks () @ Dsp.benchmarks ()
+let find name = List.find_opt (fun w -> w.name = name) (all ())
+let names () = List.map (fun w -> w.name) (all ())
+
+let suite_name = function
+  | Specfp -> "SPECfp"
+  | Mediabench -> "MediaBench"
+  | Kernel -> "Kernels"

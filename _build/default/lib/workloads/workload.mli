@@ -1,0 +1,38 @@
+(** The benchmark registry: the fifteen programs of the paper's
+    evaluation (§5), rebuilt as synthetic workloads in the vector-loop IR.
+
+    The SPEC and MediaBench sources and inputs are proprietary, so each
+    program here reproduces the {e structural} properties the paper's
+    results depend on — number of hot loops, outlined-function sizes
+    (Table 5), call spacing (Table 6), vectorizable fraction, data
+    footprint versus the 16 KB caches — rather than the original program
+    text. The [paper] field records the published reference numbers the
+    harness prints alongside measured values. *)
+
+open Liquid_scalarize
+
+type suite = Specfp | Mediabench | Kernel
+
+type paper_ref = {
+  table5_mean : float;  (** mean scalar instructions per outlined loop *)
+  table5_max : int;
+  table6_lt150 : int;  (** hot loops with first-call gap < 150 cycles *)
+  table6_lt300 : int;
+  table6_gt300 : int;
+  table6_mean : int;  (** mean gap between the first two calls *)
+}
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  program : Vloop.program;
+  paper : paper_ref;
+}
+
+val all : unit -> t list
+(** The fifteen benchmarks, in the paper's table order. *)
+
+val find : string -> t option
+val names : unit -> string list
+val suite_name : suite -> string

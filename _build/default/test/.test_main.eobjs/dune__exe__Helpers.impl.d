@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Build Data Esize Image Liquid_isa Liquid_machine Liquid_pipeline Liquid_prog Liquid_scalarize Liquid_translate List Printf Program Vloop

@@ -1,0 +1,1 @@
+test/suite_harness.ml: Alcotest Experiments Float Liquid_harness Liquid_hwmodel Liquid_workloads List Runner String Workload

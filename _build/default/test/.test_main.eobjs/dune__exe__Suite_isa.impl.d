@@ -1,0 +1,1 @@
+test/suite_isa.ml: Alcotest Cond Esize Flags Format Insn Liquid_isa List Opcode Reg Word

@@ -1,0 +1,1 @@
+test/suite_machine.ml: Alcotest Branch_pred Bytes Cache Char Liquid_machine List Memory Stats

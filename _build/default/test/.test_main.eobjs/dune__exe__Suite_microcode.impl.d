@@ -1,0 +1,1 @@
+test/suite_microcode.ml: Abort Alcotest Array Image Liquid_pipeline Liquid_prog Liquid_scalarize Liquid_translate Liquid_visa Liquid_workloads List Offline Printf Translator Ucode Vinsn Workload

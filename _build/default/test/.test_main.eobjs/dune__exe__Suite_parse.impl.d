@@ -1,0 +1,1 @@
+test/suite_parse.ml: Alcotest Array Build Codegen Cond Data Esize Helpers Liquid_isa Liquid_pipeline Liquid_prog Liquid_scalarize Liquid_visa List Minsn Opcode Parse Program

@@ -1,0 +1,1 @@
+test/suite_pipeline_units.ml: Abort Alcotest Array Cond Event Format Insn Liquid_isa Liquid_pipeline Liquid_prog Liquid_scalarize Liquid_translate List Offline Reg Translator Ucode Ucode_cache Vec

@@ -1,0 +1,1 @@
+test/suite_prog.ml: Alcotest Array Cond Data Disasm Encode Esize Image Insn Liquid_isa Liquid_machine Liquid_prog Liquid_scalarize Liquid_visa List Minsn Opcode Program Reg String Vinsn Vreg

@@ -1,0 +1,1 @@
+test/suite_sem.ml: Alcotest Array Cond Esize Flags Insn Liquid_isa Liquid_machine Liquid_pipeline Liquid_visa Opcode Perm Reg Sem Vinsn Vreg

@@ -1,0 +1,1 @@
+test/suite_smoke.ml: Alcotest Build Codegen Data Esize Helpers Liquid_isa Liquid_pipeline Liquid_prog Liquid_scalarize List Printf Vloop

@@ -1,0 +1,1 @@
+test/suite_visa.ml: Alcotest Array Esize Format Insn Liquid_isa Liquid_visa List Opcode Perm Printf Reg Vinsn Vreg Width

@@ -1,0 +1,146 @@
+(* Tests for the hardware cost model and the experiment harness. *)
+
+open Liquid_harness
+open Liquid_workloads
+module Hwmodel = Liquid_hwmodel.Hwmodel
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- hardware model: calibrated to the paper's Table 2 --- *)
+
+let test_hwmodel_matches_paper () =
+  let rep = Hwmodel.estimate Hwmodel.default_params in
+  check "total cells" 174_117 rep.Hwmodel.total_cells;
+  check "critical path" 16 rep.Hwmodel.crit_path_gates;
+  Alcotest.(check (float 0.001)) "delay" 1.51 rep.Hwmodel.crit_path_ns;
+  check_bool "under 0.2 mm^2" true (rep.Hwmodel.area_mm2 < 0.2)
+
+let test_hwmodel_register_state_share () =
+  (* "this structure comprises 55% of the control generator die area" *)
+  let rep = Hwmodel.estimate Hwmodel.default_params in
+  let share =
+    float_of_int rep.Hwmodel.regstate_cells /. float_of_int rep.Hwmodel.total_cells
+  in
+  check_bool "55% within a point" true (share > 0.54 && share < 0.56)
+
+let test_hwmodel_scaling_laws () =
+  let at lanes = Hwmodel.estimate { Hwmodel.default_params with Hwmodel.lanes } in
+  (* register state grows linearly with vector length *)
+  let r2 = at 2 and r4 = at 4 and r8 = at 8 in
+  let d1 = r4.Hwmodel.regstate_cells - r2.Hwmodel.regstate_cells in
+  let d2 = r8.Hwmodel.regstate_cells - r4.Hwmodel.regstate_cells in
+  check "linear in width" (2 * d1) d2;
+  (* the decoder does not scale *)
+  check "decoder fixed" r2.Hwmodel.decoder_cells r8.Hwmodel.decoder_cells;
+  (* critical path grows with log2 of the lane count *)
+  check "one gate per doubling" 1 (r4.Hwmodel.crit_path_gates - r2.Hwmodel.crit_path_gates);
+  (* more registers cost area *)
+  let r32 = Hwmodel.estimate { Hwmodel.default_params with Hwmodel.registers = 32 } in
+  check_bool "registers cost area" true (r32.Hwmodel.total_cells > r8.Hwmodel.total_cells)
+
+let test_hwmodel_buffer_split () =
+  (* "256 bytes of memory ... a little more than half of its cells" *)
+  let rep = Hwmodel.estimate Hwmodel.default_params in
+  check_bool "storage slightly above half" true
+    (float_of_int (540 * 64) /. float_of_int rep.Hwmodel.buffer_cells > 0.5);
+  Alcotest.check_raises "bad params" (Invalid_argument "Hwmodel.estimate: bad parameters")
+    (fun () -> ignore (Hwmodel.estimate { Hwmodel.default_params with Hwmodel.lanes = 1 }))
+
+(* --- experiments (structure checks on a trimmed width list) --- *)
+
+let test_table5_structure () =
+  let rows = Experiments.table5 () in
+  check "fifteen rows" 15 (List.length rows);
+  List.iter
+    (fun (row : Experiments.table5_row) ->
+      check_bool (row.Experiments.t5_name ^ " mean <= max") true
+        (row.Experiments.t5_mean <= float_of_int row.Experiments.t5_max);
+      check_bool
+        (row.Experiments.t5_name ^ " within 25% of the paper mean")
+        true
+        (Float.abs (row.Experiments.t5_mean -. row.Experiments.t5_paper_mean)
+        <= 0.25 *. row.Experiments.t5_paper_mean))
+    rows
+
+let test_table2_structure () =
+  let rows = Experiments.table2 () in
+  check "four widths" 4 (List.length rows);
+  check_bool "monotone area" true
+    (let cells = List.map (fun (r : Hwmodel.report) -> r.Hwmodel.total_cells) rows in
+     List.sort compare cells = cells)
+
+let test_code_size_structure () =
+  let rows = Experiments.code_size () in
+  check "fifteen rows" 15 (List.length rows);
+  List.iter
+    (fun (row : Experiments.size_row) ->
+      check_bool (row.Experiments.sz_name ^ " liquid bigger") true
+        (row.Experiments.sz_liquid >= row.Experiments.sz_baseline);
+      (* The paper's <1% holds for its megabyte-scale binaries; our
+         largest synthetic programs show the same, smaller ones are
+         dominated by fixed overhead but still stay under 6%. *)
+      check_bool (row.Experiments.sz_name ^ " overhead bounded") true
+        (row.Experiments.sz_overhead_pct < 6.0))
+    rows
+
+let test_figure6_speedups_monotone_or_flat () =
+  (* Check the key shape claims on two contrasting benchmarks at a
+     reduced width list (cheap). *)
+  let fir = match Workload.find "FIR" with Some w -> w | None -> assert false in
+  let art = match Workload.find "179.art" with Some w -> w | None -> assert false in
+  let speedup w lanes =
+    let base = (Runner.run w Runner.Baseline).Runner.run in
+    let run = (Runner.run w (Runner.Liquid lanes)).Runner.run in
+    Runner.speedup ~baseline:base run
+  in
+  let fir2 = speedup fir 2 and fir8 = speedup fir 8 in
+  check_bool "FIR grows with width" true (fir8 > fir2 && fir2 > 1.5);
+  let art8 = speedup art 8 in
+  check_bool "art is miss-bound" true (art8 < 1.5)
+
+let test_region_first_gap () =
+  let w = match Workload.find "GSM Dec." with Some w -> w | None -> assert false in
+  let { Runner.run; _ } = Runner.run w (Runner.Liquid 8) in
+  match Experiments.region_first_gap run with
+  | [ (_, gap) ] -> check_bool "positive gap" true (gap > 0)
+  | _ -> Alcotest.fail "one region expected"
+
+let test_runner_variants () =
+  let w = match Workload.find "LU" with Some w -> w | None -> assert false in
+  List.iter
+    (fun v ->
+      Alcotest.(check string)
+        "name roundtrip" (Runner.variant_name v) (Runner.variant_name v);
+      ignore (Runner.program_of w v))
+    [ Runner.Baseline; Runner.Liquid_scalar; Runner.Liquid 4; Runner.Liquid_oracle 4; Runner.Native 4 ]
+
+let tests =
+  [
+    Alcotest.test_case "hwmodel matches Table 2" `Quick test_hwmodel_matches_paper;
+    Alcotest.test_case "hwmodel register-state share" `Quick
+      test_hwmodel_register_state_share;
+    Alcotest.test_case "hwmodel scaling laws" `Quick test_hwmodel_scaling_laws;
+    Alcotest.test_case "hwmodel buffer split" `Quick test_hwmodel_buffer_split;
+    Alcotest.test_case "table5 structure" `Quick test_table5_structure;
+    Alcotest.test_case "table2 structure" `Quick test_table2_structure;
+    Alcotest.test_case "code size structure" `Slow test_code_size_structure;
+    Alcotest.test_case "figure6 shape claims" `Slow
+      test_figure6_speedups_monotone_or_flat;
+    Alcotest.test_case "region first gap" `Quick test_region_first_gap;
+    Alcotest.test_case "runner variants" `Quick test_runner_variants;
+  ]
+
+(* --- CSV export --- *)
+
+let test_csv_export () =
+  let t5 = Experiments.csv_table5 (Experiments.table5 ()) in
+  let lines = String.split_on_char '\n' (String.trim t5) in
+  check "header + 15 rows" 16 (List.length lines);
+  check_bool "header" true
+    (List.hd lines = "benchmark,loops,mean,max,paper_mean,paper_max");
+  check_bool "FIR row present" true
+    (List.exists (fun l -> String.length l >= 3 && String.sub l 0 3 = "FIR") lines)
+
+let tests =
+  tests @ [ Alcotest.test_case "csv export" `Quick test_csv_export ]

@@ -1,0 +1,428 @@
+(* Tests for the interleaved-access extension (the paper's §3.3 second
+   unsupported class, implemented here as strided vector loads/stores
+   with a scaled-induction scalar schema). *)
+
+open Liquid_isa
+open Liquid_visa
+open Liquid_prog
+open Liquid_scalarize
+open Liquid_pipeline
+open Liquid_translate
+open Helpers
+open Build
+module Kernels = Liquid_workloads.Kernels
+module Memory = Liquid_machine.Memory
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- semantics --- *)
+
+let test_vlds_semantics () =
+  let c = Sem.create_ctx (Memory.create ()) in
+  c.Sem.lanes <- 4;
+  for i = 0 to 15 do
+    Memory.write c.Sem.mem ~addr:(0x4000 + (i * 4)) ~bytes:4 (100 + i)
+  done;
+  c.Sem.regs.(0) <- 1;
+  ignore
+    (Sem.step_vector c
+       (Vinsn.Vlds
+          {
+            esize = Esize.Word;
+            signed = true;
+            dst = v 1;
+            base = Insn.Sym 0x4000;
+            index = r 0;
+            stride = 2;
+            phase = 1;
+          }));
+  (* lanes load elements 2*(1+i)+1 = 3,5,7,9 *)
+  Alcotest.(check (array int)) "deinterleaved" [| 103; 105; 107; 109 |]
+    (Array.sub c.Sem.vregs.(1) 0 4)
+
+let test_vsts_semantics () =
+  let c = Sem.create_ctx (Memory.create ()) in
+  c.Sem.lanes <- 2;
+  c.Sem.regs.(0) <- 0;
+  c.Sem.vregs.(3).(0) <- 7;
+  c.Sem.vregs.(3).(1) <- 9;
+  ignore
+    (Sem.step_vector c
+       (Vinsn.Vsts
+          {
+            esize = Esize.Word;
+            src = v 3;
+            base = Insn.Sym 0x5000;
+            index = r 0;
+            stride = 2;
+            phase = 0;
+          }));
+  check "element 0" 7 (Memory.read c.Sem.mem ~addr:0x5000 ~bytes:4 ~signed:true);
+  check "element 2" 9 (Memory.read c.Sem.mem ~addr:0x5008 ~bytes:4 ~signed:true);
+  check "gap untouched" 0 (Memory.read c.Sem.mem ~addr:0x5004 ~bytes:4 ~signed:true)
+
+(* --- the complex-magnitude workload used throughout this suite --- *)
+
+let count = 32
+
+let cplx_mag_loop =
+  {
+    Vloop.name = "cmag";
+    count;
+    body =
+      [
+        vld2 ~phase:0 (v 1) "iq";
+        vld2 ~phase:1 (v 2) "iq";
+        vmul (v 1) (v 1) (vr (v 1));
+        vmul (v 2) (v 2) (vr (v 2));
+        vadd (v 1) (v 1) (vr (v 2));
+        vst (v 1) "mag";
+      ];
+    reductions = [];
+  }
+
+let cplx_data =
+  [
+    Kernels.warray "iq" (2 * count) (fun i -> ((i * 7) mod 41) - 20);
+    Kernels.wzeros "mag" count;
+  ]
+
+let expected_mag =
+  Array.init count (fun k ->
+      let e i = ((i * 7) mod 41) - 20 in
+      let re = e (2 * k) and im = e ((2 * k) + 1) in
+      (re * re) + (im * im))
+
+(* --- scalarization --- *)
+
+let test_scalar_schema () =
+  let out = Scalarize.scalarize cplx_mag_loop in
+  check "one segment" 1 (List.length out.Scalarize.segments);
+  let insns =
+    List.filter_map
+      (function
+        | Program.I (Minsn.S i) -> Some i
+        | Program.I (Minsn.V _) | Program.Label _ -> None)
+      out.Scalarize.region_items
+  in
+  check_bool "scaled induction" true
+    (List.exists
+       (function
+         | Insn.Dp { op = Opcode.Lsl; src1; src2 = Insn.Imm 1; _ } ->
+             Reg.equal src1 Vloop.induction
+         | _ -> false)
+       insns);
+  check_bool "phase add" true
+    (List.exists
+       (function
+         | Insn.Dp { op = Opcode.Add; dst; src2 = Insn.Imm 1; _ } ->
+             Reg.equal dst Vloop.scratch
+         | _ -> false)
+       insns)
+
+(* --- translation: the generated liquid binary, translated offline --- *)
+
+let test_translated_microcode () =
+  let p = { Vloop.name = "cm"; sections = [ Vloop.Loop cplx_mag_loop ]; data = cplx_data } in
+  let image = Image.of_program (Codegen.liquid p) in
+  match Offline.translate_all ~image ~lanes:8 () with
+  | [ (_, _, Translator.Translated u) ] ->
+      check "width" 8 u.Ucode.width;
+      let strided =
+        Array.to_list u.Ucode.uops
+        |> List.filter_map (function
+             | Ucode.UV (Vinsn.Vlds { stride; phase; _ }) -> Some (stride, phase)
+             | _ -> None)
+      in
+      Alcotest.(check (list (pair int int)))
+        "two deinterleaving loads" [ (2, 0); (2, 1) ] strided
+  | [ (_, _, Translator.Aborted a) ] ->
+      Alcotest.failf "aborted: %s" (Abort.to_string a)
+  | _ -> Alcotest.fail "one region expected"
+
+let test_equivalence_all_widths () =
+  let p =
+    simple_program ~name:"cm" ~frames:3 ~data:cplx_data cplx_mag_loop
+  in
+  let base_prog = Codegen.baseline p in
+  let base = run_image base_prog in
+  check_arrays "baseline math" expected_mag (read_array base base_prog "mag");
+  let liquid_prog = Codegen.liquid p in
+  List.iter
+    (fun lanes ->
+      let run = run_image ~config:(Cpu.liquid_config ~lanes) liquid_prog in
+      check_arrays
+        (Printf.sprintf "mag at %d lanes" lanes)
+        expected_mag
+        (read_array run liquid_prog "mag");
+      check_bool
+        (Printf.sprintf "translated at %d lanes" lanes)
+        true
+        (run.Cpu.stats.Liquid_machine.Stats.ucode_hits > 0))
+    [ 2; 4; 8; 16 ]
+
+let test_interleaving_store () =
+  (* Re-interleave two planes into one array. *)
+  let loop =
+    {
+      Vloop.name = "ilv";
+      count;
+      body =
+        [
+          vld (v 1) "re_p";
+          vld (v 2) "im_p";
+          vst2 ~phase:0 (v 1) "out_iq";
+          vst2 ~phase:1 (v 2) "out_iq";
+        ];
+      reductions = [];
+    }
+  in
+  let data =
+    [
+      Kernels.warray "re_p" count (fun i -> i + 1);
+      Kernels.warray "im_p" count (fun i -> -(i + 1));
+      Kernels.wzeros "out_iq" (2 * count);
+    ]
+  in
+  let p = simple_program ~name:"ilv" ~frames:2 ~data loop in
+  let liquid_prog = Codegen.liquid p in
+  let run = run_image ~config:(Cpu.liquid_config ~lanes:8) liquid_prog in
+  let expected =
+    Array.init (2 * count) (fun i ->
+        if i mod 2 = 0 then (i / 2) + 1 else -((i / 2) + 1))
+  in
+  check_arrays "interleaved output" expected (read_array run liquid_prog "out_iq");
+  check_bool "translated" true (run.Cpu.stats.Liquid_machine.Stats.ucode_hits > 0)
+
+(* --- aborts --- *)
+
+let ind = Vloop.induction
+
+let test_unsupported_stride_aborts () =
+  (* Stride 8 (lsl #3) has no translator rule. *)
+  let items =
+    [ mov ind 0; label "f_top" ]
+    @ [
+        dp Opcode.Lsl (r 13) ind (i 3);
+        ld (r 1) "a" (ri (r 13));
+        st (r 1) "c" (ri ind);
+      ]
+    @ [ addi ind ind 1; cmp ind (i 8); b ~cond:Cond.Lt "f_top" ]
+  in
+  let data =
+    [ Kernels.warray "a" 64 (fun i -> i); Kernels.wzeros "c" 64 ]
+  in
+  expect_abort ~data items
+    (function Abort.Illegal_insn _ -> true | _ -> false)
+    "stride 8"
+
+let test_scaled_in_arithmetic_aborts () =
+  let items =
+    [ mov ind 0; label "f_top" ]
+    @ [
+        ld (r 1) "a" (ri ind);
+        dp Opcode.Lsl (r 13) ind (i 1);
+        dp Opcode.Add (r 2) (r 1) (ri (r 13));
+        st (r 2) "c" (ri ind);
+      ]
+    @ [ addi ind ind 1; cmp ind (i 8); b ~cond:Cond.Lt "f_top" ]
+  in
+  let data = [ Kernels.warray "a" 16 (fun i -> i); Kernels.wzeros "c" 16 ] in
+  expect_abort ~data items
+    (function Abort.Illegal_insn _ -> true | _ -> false)
+    "scaled in arithmetic"
+
+let test_dangling_scaled_aborts () =
+  let items =
+    [ mov ind 0; label "f_top" ]
+    @ [
+        dp Opcode.Lsl (r 13) ind (i 1);
+        ld (r 1) "a" (ri ind);
+        st (r 1) "c" (ri ind);
+      ]
+    @ [ addi ind ind 1; cmp ind (i 8); b ~cond:Cond.Lt "f_top" ]
+  in
+  let data = [ Kernels.warray "a" 16 (fun i -> i); Kernels.wzeros "c" 16 ] in
+  expect_abort ~data items
+    (function Abort.Dangling_address_combine -> true | _ -> false)
+    "dangling scaled induction"
+
+(* --- encode / parse round-trips --- *)
+
+let test_encode_roundtrip () =
+  let insns =
+    [|
+      Minsn.V
+        (Vinsn.Vlds
+           {
+             esize = Esize.Half;
+             signed = true;
+             dst = v 3;
+             base = Insn.Sym 0x100000;
+             index = r 0;
+             stride = 4;
+             phase = 3;
+           });
+      Minsn.V
+        (Vinsn.Vsts
+           {
+             esize = Esize.Byte;
+             src = v 4;
+             base = Insn.Sym 0x100040;
+             index = r 0;
+             stride = 2;
+             phase = 1;
+           });
+    |]
+  in
+  let decoded = Encode.decode (Encode.encode insns) in
+  check_bool "roundtrip" true (Array.for_all2 Minsn.equal_exec decoded insns)
+
+let test_parse_roundtrip () =
+  let p =
+    Program.make ~name:"ilv"
+      ~text:
+        [
+          Program.Label "main";
+          Program.I (Minsn.V (vlds ~esize:Esize.Half ~stride:4 ~phase:2 (v 1) "iq"));
+          Program.I (Minsn.V (vsts ~stride:2 ~phase:1 (v 1) "iq"));
+          halt;
+        ]
+      ~data:[ Kernels.harray "iq" 8 (fun i -> i) ]
+  in
+  let q = Parse.program ~name:"ilv" (Parse.emit p) in
+  check_bool "parse roundtrip" true (Parse.emit p = Parse.emit q)
+
+let test_native_supports_strides () =
+  let p = { Vloop.name = "cm"; sections = [ Vloop.Loop cplx_mag_loop ]; data = cplx_data } in
+  let native = Codegen.native ~width:4 p in
+  let run = Cpu.run ~config:(Cpu.native_config ~lanes:4) (Image.of_program native) in
+  let img = Image.of_program native in
+  let addr = Image.array_addr img "mag" in
+  let got =
+    Array.init count (fun i ->
+        Memory.read run.Cpu.memory ~addr:(addr + (4 * i)) ~bytes:4 ~signed:true)
+  in
+  check_arrays "native strided math" expected_mag got
+
+let tests =
+  [
+    Alcotest.test_case "vlds semantics" `Quick test_vlds_semantics;
+    Alcotest.test_case "vsts semantics" `Quick test_vsts_semantics;
+    Alcotest.test_case "scalar schema" `Quick test_scalar_schema;
+    Alcotest.test_case "translated microcode" `Quick test_translated_microcode;
+    Alcotest.test_case "equivalence at all widths" `Quick test_equivalence_all_widths;
+    Alcotest.test_case "interleaving store" `Quick test_interleaving_store;
+    Alcotest.test_case "unsupported stride aborts" `Quick test_unsupported_stride_aborts;
+    Alcotest.test_case "scaled in arithmetic aborts" `Quick
+      test_scaled_in_arithmetic_aborts;
+    Alcotest.test_case "dangling scaled aborts" `Quick test_dangling_scaled_aborts;
+    Alcotest.test_case "encode roundtrip" `Quick test_encode_roundtrip;
+    Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "native strided binary" `Quick test_native_supports_strides;
+  ]
+
+(* --- the VTBL extension: runtime-indexed table lookup --- *)
+
+let test_vgather_semantics () =
+  let c = Sem.create_ctx (Memory.create ()) in
+  c.Sem.lanes <- 4;
+  for i = 0 to 7 do
+    Memory.write c.Sem.mem ~addr:(0x6000 + (i * 4)) ~bytes:4 (i * 11)
+  done;
+  c.Sem.vregs.(2).(0) <- 3;
+  c.Sem.vregs.(2).(1) <- 0;
+  c.Sem.vregs.(2).(2) <- 7;
+  c.Sem.vregs.(2).(3) <- 1;
+  ignore
+    (Sem.step_vector c
+       (Vinsn.Vgather
+          { esize = Esize.Word; signed = true; dst = v 1; base = Insn.Sym 0x6000; index_v = v 2 }));
+  Alcotest.(check (array int)) "gathered" [| 33; 0; 77; 11 |]
+    (Array.sub c.Sem.vregs.(1) 0 4)
+
+let vtbl_loop =
+  {
+    Vloop.name = "tbl";
+    count = 16;
+    body =
+      [
+        vld (v 1) "perm_idx";
+        vtbl (v 2) "table" (v 1);
+        vst (v 2) "out_t";
+      ];
+    reductions = [];
+  }
+
+let vtbl_data =
+  [
+    (* a runtime permutation: reverse within the whole 16-element table *)
+    Kernels.warray "perm_idx" 16 (fun i -> 15 - i);
+    Kernels.warray "table" 16 (fun i -> 1000 + i);
+    Kernels.wzeros "out_t" 16;
+  ]
+
+let test_vtbl_translates_and_computes () =
+  let p = simple_program ~name:"tblp" ~frames:3 ~data:vtbl_data vtbl_loop in
+  let base_prog = Codegen.baseline p in
+  let base = run_image base_prog in
+  let expected = Array.init 16 (fun i -> 1000 + (15 - i)) in
+  check_arrays "baseline table lookup" expected (read_array base base_prog "out_t");
+  let liquid_prog = Codegen.liquid p in
+  List.iter
+    (fun lanes ->
+      let run = run_image ~config:(Cpu.liquid_config ~lanes) liquid_prog in
+      check_arrays
+        (Printf.sprintf "vtbl at %d lanes" lanes)
+        expected
+        (read_array run liquid_prog "out_t");
+      check_bool
+        (Printf.sprintf "translated at %d lanes" lanes)
+        true
+        (run.Cpu.stats.Liquid_machine.Stats.ucode_hits > 0))
+    [ 2; 4; 8; 16 ];
+  (* And the microcode really contains a gather. *)
+  let image = Image.of_program liquid_prog in
+  match Offline.translate_all ~image ~lanes:8 () with
+  | [ (_, _, Translator.Translated u) ] ->
+      check "one gather" 1
+        (Array.to_list u.Ucode.uops
+        |> List.filter (function Ucode.UV (Vinsn.Vgather _) -> true | _ -> false)
+        |> List.length)
+  | _ -> Alcotest.fail "expected a translated region"
+
+let test_vtbl_parse_roundtrip () =
+  let p =
+    Program.make ~name:"t"
+      ~text:
+        [
+          Program.Label "main";
+          Program.I (Minsn.V (vtbl ~esize:Esize.Byte ~signed:false (v 1) "tbl" (v 2)));
+          halt;
+        ]
+      ~data:[ Kernels.barray "tbl" 8 (fun i -> i) ]
+  in
+  check_bool "roundtrip" true
+    (Parse.emit p = Parse.emit (Parse.program ~name:"t" (Parse.emit p)))
+
+let test_vtbl_encode_roundtrip () =
+  let insns =
+    [|
+      Minsn.V
+        (Vinsn.Vgather
+           { esize = Esize.Half; signed = true; dst = v 5; base = Insn.Sym 0x100000; index_v = v 6 });
+    |]
+  in
+  check_bool "roundtrip" true
+    (Array.for_all2 Minsn.equal_exec (Encode.decode (Encode.encode insns)) insns)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "vgather semantics" `Quick test_vgather_semantics;
+      Alcotest.test_case "vtbl translates and computes" `Quick
+        test_vtbl_translates_and_computes;
+      Alcotest.test_case "vtbl parse roundtrip" `Quick test_vtbl_parse_roundtrip;
+      Alcotest.test_case "vtbl encode roundtrip" `Quick test_vtbl_encode_roundtrip;
+    ]

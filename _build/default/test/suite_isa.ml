@@ -1,0 +1,233 @@
+(* Unit tests for the scalar ISA: 32-bit word arithmetic, element sizes,
+   condition codes, opcodes and instruction metadata. *)
+
+open Liquid_isa
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Word --- *)
+
+let max_int32 = 0x7FFFFFFF
+let min_int32 = -0x80000000
+
+let test_word_wrap () =
+  check "max+1 wraps" min_int32 (Word.add max_int32 1)
+
+let test_word_arith () =
+  check "add" 7 (Word.add 3 4);
+  check "sub" (-1) (Word.sub 3 4);
+  check "rsb" 1 (Word.rsb 3 4);
+  check "mul" 12 (Word.mul 3 4);
+  check "mul wrap" 0 (Word.mul 0x10000 0x10000);
+  check "mul wrap sign" (-65536) (Word.mul 0x10000 0xFFFF)
+
+let test_word_logic () =
+  check "and" 0b100 (Word.logand 0b110 0b101);
+  check "or" 0b111 (Word.logor 0b110 0b101);
+  check "xor" 0b011 (Word.logxor 0b110 0b101);
+  check "bic" 0b010 (Word.bic 0b110 0b101)
+
+let test_word_shifts () =
+  check "shl" 16 (Word.shl 1 4);
+  (* shift amounts are mod 32, as on a barrel shifter *)
+  check "shl mod 32" 1 (Word.shl 1 32);
+  check "shr logical" 0x7FFFFFFF (Word.shr (-1) 1);
+  check "sar arithmetic" (-1) (Word.sar (-1) 1);
+  check "sar positive" 2 (Word.sar 4 1)
+
+let test_word_minmax () =
+  check "smin" (-3) (Word.smin (-3) 2);
+  check "smax" 2 (Word.smax (-3) 2)
+
+let test_word_saturation () =
+  check "byte unsigned clamps high" 255
+    (Word.sat_add Esize.Byte ~signed:false 200 100);
+  check "byte unsigned clamps low" 0
+    (Word.sat_sub Esize.Byte ~signed:false 10 20);
+  check "byte signed clamps high" 127
+    (Word.sat_add Esize.Byte ~signed:true 100 100);
+  check "byte signed clamps low" (-128)
+    (Word.sat_add Esize.Byte ~signed:true (-100) (-100));
+  check "half signed high" 32767
+    (Word.sat_add Esize.Half ~signed:true 30000 10000);
+  check "no clamp in range" 50 (Word.sat_add Esize.Byte ~signed:false 20 30);
+  check "word signed high" 0x7FFFFFFF
+    (Word.sat_add Esize.Word ~signed:true 0x7FFFFFF0 0x100)
+
+(* --- Esize --- *)
+
+let test_esize_metrics () =
+  check "byte bytes" 1 (Esize.bytes Esize.Byte);
+  check "half shift" 1 (Esize.shift Esize.Half);
+  check "word bits" 32 (Esize.bits Esize.Word);
+  check "byte max unsigned" 255 (Esize.max_unsigned Esize.Byte);
+  check "half min signed" (-32768) (Esize.min_signed Esize.Half);
+  check "half max signed" 32767 (Esize.max_signed Esize.Half)
+
+let test_esize_truncate () =
+  check "byte wrap" (-1) (Esize.truncate Esize.Byte 0xFF);
+  check "byte wrap pos" 1 (Esize.truncate Esize.Byte 0x101);
+  check "unsigned" 0xFF (Esize.truncate_unsigned Esize.Byte (-1));
+  check "word id" (-7) (Esize.truncate Esize.Word (-7))
+
+let test_esize_of_shift () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        "shift roundtrip" true
+        (Esize.of_shift (Esize.shift e) = Some e))
+    Esize.all;
+  Alcotest.(check bool) "bad shift" true (Esize.of_shift 3 = None)
+
+(* --- Flags and Cond --- *)
+
+let test_cond_eval () =
+  let lt = Flags.of_compare 1 2 in
+  let eq = Flags.of_compare 2 2 in
+  let gt = Flags.of_compare 3 2 in
+  let holds c f = Cond.holds c f in
+  check_bool "al" true (holds Cond.Al lt);
+  check_bool "eq on eq" true (holds Cond.Eq eq);
+  check_bool "eq on lt" false (holds Cond.Eq lt);
+  check_bool "ne on lt" true (holds Cond.Ne lt);
+  check_bool "lt" true (holds Cond.Lt lt);
+  check_bool "le on eq" true (holds Cond.Le eq);
+  check_bool "gt on gt" true (holds Cond.Gt gt);
+  check_bool "gt on eq" false (holds Cond.Gt eq);
+  check_bool "ge on eq" true (holds Cond.Ge eq)
+
+let test_cond_int_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "roundtrip" true (Cond.of_int (Cond.to_int c) = Some c))
+    Cond.all;
+  Alcotest.(check bool) "bad code" true (Cond.of_int 7 = None)
+
+let test_flags_signed_compare () =
+  check_bool "negative vs positive" true (Flags.of_compare (-1) 1).Flags.lt;
+  check_bool "equal" true (Flags.of_compare 5 5).Flags.eq
+
+(* --- Opcode --- *)
+
+let test_opcode_eval () =
+  check "add" 5 (Opcode.eval Opcode.Add 2 3);
+  check "sub" (-1) (Opcode.eval Opcode.Sub 2 3);
+  check "rsb" 1 (Opcode.eval Opcode.Rsb 2 3);
+  check "lsl" 8 (Opcode.eval Opcode.Lsl 1 3);
+  check "asr" (-2) (Opcode.eval Opcode.Asr (-8) 2);
+  check "smin" 2 (Opcode.eval Opcode.Smin 2 3)
+
+let test_opcode_commutativity () =
+  List.iter
+    (fun op ->
+      if Opcode.commutative op then
+        List.iter
+          (fun (a, b) ->
+            check
+              (Opcode.mnemonic op ^ " commutes")
+              (Opcode.eval op a b) (Opcode.eval op b a))
+          [ (3, 7); (-2, 9); (0, -1) ])
+    Opcode.all
+
+let test_opcode_int_roundtrip () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        "roundtrip" true
+        (Opcode.of_int (Opcode.to_int op) = Some op))
+    Opcode.all;
+  Alcotest.(check bool) "bad code" true (Opcode.of_int 13 = None)
+
+(* --- Reg --- *)
+
+let test_reg_bounds () =
+  check "index" 5 (Reg.index (Reg.make 5));
+  check "lr" 14 (Reg.index Reg.lr);
+  check "count" 16 (List.length Reg.all);
+  Alcotest.check_raises "r16" (Invalid_argument "Reg.make: r16 out of range")
+    (fun () -> ignore (Reg.make 16));
+  Alcotest.check_raises "r-1" (Invalid_argument "Reg.make: r-1 out of range")
+    (fun () -> ignore (Reg.make (-1)))
+
+(* --- Insn metadata --- *)
+
+let r = Reg.make
+
+let test_insn_defs_uses () =
+  let open Insn in
+  let dp : exec = Dp { cond = Cond.Al; op = Opcode.Add; dst = r 1; src1 = r 2; src2 = Reg (r 3) } in
+  Alcotest.(check (list int)) "dp defs" [ 1 ] (List.map Reg.index (defs dp));
+  Alcotest.(check (list int)) "dp uses" [ 2; 3 ] (List.map Reg.index (uses dp));
+  let pred_mov : exec = Mov { cond = Cond.Gt; dst = r 4; src = Imm 9 } in
+  Alcotest.(check (list int)) "predicated mov reads dst" [ 4 ]
+    (List.map Reg.index (uses pred_mov));
+  let ld : exec =
+    Ld { esize = Esize.Word; signed = true; dst = r 5; base = Sym 0x100; index = Reg (r 0); shift = 2 }
+  in
+  Alcotest.(check (list int)) "ld uses index" [ 0 ] (List.map Reg.index (uses ld));
+  let st : exec =
+    St { esize = Esize.Byte; src = r 6; base = Breg (r 7); index = Imm 3; shift = 0 }
+  in
+  Alcotest.(check (list int)) "st uses src+base" [ 6; 7 ]
+    (List.map Reg.index (uses st));
+  let bl : exec = Bl { target = 12; region = true } in
+  Alcotest.(check (list int)) "bl defines lr" [ 14 ] (List.map Reg.index (defs bl));
+  Alcotest.(check (list int)) "ret uses lr" [ 14 ]
+    (List.map Reg.index (uses (Ret : exec)))
+
+let test_insn_equal () =
+  let open Insn in
+  let a : exec = Cmp { src1 = r 1; src2 = Imm 5 } in
+  let b : exec = Cmp { src1 = r 1; src2 = Imm 5 } in
+  let c : exec = Cmp { src1 = r 1; src2 = Imm 6 } in
+  check_bool "equal" true (equal_exec a b);
+  check_bool "not equal" false (equal_exec a c);
+  check_bool "different kinds" false (equal_exec a (Halt : exec))
+
+let test_insn_branch_class () =
+  let open Insn in
+  check_bool "b" true (is_branch (B { cond = Cond.Al; target = 3 } : exec));
+  check_bool "bl" true (is_branch (Bl { target = 3; region = false } : exec));
+  check_bool "ret" true (is_branch (Ret : exec));
+  check_bool "mov" false
+    (is_branch (Mov { cond = Cond.Al; dst = r 1; src = Imm 0 } : exec))
+
+let test_insn_pp () =
+  let open Insn in
+  let s insn = Format.asprintf "%a" pp_asm insn in
+  Alcotest.(check string) "mov" "mov r1, #5"
+    (s (Mov { cond = Cond.Al; dst = r 1; src = Imm 5 }));
+  Alcotest.(check string) "movgt" "movgt r1, #255"
+    (s (Mov { cond = Cond.Gt; dst = r 1; src = Imm 255 }));
+  Alcotest.(check string) "ldb" "ldb r2, [arr + r0]"
+    (s (Ld { esize = Esize.Byte; signed = false; dst = r 2; base = Sym "arr"; index = Reg (r 0); shift = 0 }));
+  Alcotest.(check string) "ldsb scaled" "ldbs r2, [arr + r0 lsl 1]"
+    (s (Ld { esize = Esize.Byte; signed = true; dst = r 2; base = Sym "arr"; index = Reg (r 0); shift = 1 }));
+  Alcotest.(check string) "blt" "blt top" (s (B { cond = Cond.Lt; target = "top" }));
+  Alcotest.(check string) "bl region" "bl.region f"
+    (s (Bl { target = "f"; region = true }))
+
+let tests =
+  [
+    Alcotest.test_case "word: wrap" `Quick test_word_wrap;
+    Alcotest.test_case "word: arithmetic" `Quick test_word_arith;
+    Alcotest.test_case "word: logic" `Quick test_word_logic;
+    Alcotest.test_case "word: shifts" `Quick test_word_shifts;
+    Alcotest.test_case "word: min/max" `Quick test_word_minmax;
+    Alcotest.test_case "word: saturation" `Quick test_word_saturation;
+    Alcotest.test_case "esize: metrics" `Quick test_esize_metrics;
+    Alcotest.test_case "esize: truncate" `Quick test_esize_truncate;
+    Alcotest.test_case "esize: of_shift" `Quick test_esize_of_shift;
+    Alcotest.test_case "cond: evaluation" `Quick test_cond_eval;
+    Alcotest.test_case "cond: int roundtrip" `Quick test_cond_int_roundtrip;
+    Alcotest.test_case "flags: signed compare" `Quick test_flags_signed_compare;
+    Alcotest.test_case "opcode: eval" `Quick test_opcode_eval;
+    Alcotest.test_case "opcode: commutativity" `Quick test_opcode_commutativity;
+    Alcotest.test_case "opcode: int roundtrip" `Quick test_opcode_int_roundtrip;
+    Alcotest.test_case "reg: bounds" `Quick test_reg_bounds;
+    Alcotest.test_case "insn: defs/uses" `Quick test_insn_defs_uses;
+    Alcotest.test_case "insn: equality" `Quick test_insn_equal;
+    Alcotest.test_case "insn: branch class" `Quick test_insn_branch_class;
+    Alcotest.test_case "insn: pretty printing" `Quick test_insn_pp;
+  ]

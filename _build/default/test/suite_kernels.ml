@@ -1,0 +1,267 @@
+(* Tests for the workload kernel builders and scalar glue generators:
+   every kernel computes its documented function (validated against an
+   OCaml reference), and the glue primitives behave as specified. *)
+
+open Liquid_isa
+open Liquid_scalarize
+open Liquid_workloads
+open Helpers
+module Memory = Liquid_machine.Memory
+module Cpu = Liquid_pipeline.Cpu
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let count = 32
+
+(* Run a single kernel loop once (baseline flavour) and return a named
+   output array. *)
+let run_kernel ~data ~out loop =
+  let p = { Vloop.name = "k"; sections = [ Vloop.Loop loop ]; data } in
+  let prog = Codegen.baseline p in
+  let run = run_image prog in
+  read_array run prog out
+
+let xs = Array.init count (fun i -> ((i * 13) mod 61) - 30
+)
+let ys = Array.init count (fun i -> ((i * 7) mod 43) - 21)
+
+let base_data () =
+  [
+    Kernels.warray "x" count (fun i -> xs.(i));
+    Kernels.warray "y" count (fun i -> ys.(i));
+    Kernels.wzeros "o" count;
+  ]
+
+let test_saxpy () =
+  let got =
+    run_kernel ~data:(base_data ()) ~out:"o"
+      (Kernels.saxpy ~name:"s" ~count ~a:5 ~x:"x" ~y:"y" ~out:"o")
+  in
+  check_arrays "saxpy" (Array.init count (fun i -> (5 * xs.(i)) + ys.(i))) got
+
+let test_dot () =
+  let loop = Kernels.dot ~name:"d" ~count ~x:"x" ~y:"y" ~acc:(Build.r 10) in
+  let p =
+    {
+      Vloop.name = "k";
+      sections =
+        [ Vloop.Loop loop; Vloop.Code [ Build.st (Build.r 10) "o" (Build.i 0) ] ];
+      data = base_data ();
+    }
+  in
+  let prog = Codegen.baseline p in
+  let run = run_image prog in
+  let expected = Array.fold_left ( + ) 0 (Array.init count (fun i -> xs.(i) * ys.(i))) in
+  check "dot product" expected (read_array run prog "o").(0)
+
+let test_mac_chain () =
+  let got =
+    run_kernel ~data:(base_data ()) ~out:"o"
+      (Kernels.mac_chain ~name:"m" ~count ~terms:[ ("x", 3); ("y", 2); ("x", 1) ] ~out:"o")
+  in
+  check_arrays "mac chain"
+    (Array.init count (fun i -> (3 * xs.(i)) + (2 * ys.(i)) + xs.(i)))
+    got
+
+let test_stencil3 () =
+  let got =
+    run_kernel ~data:(base_data ()) ~out:"o"
+      (Kernels.stencil3 ~name:"st" ~count ~block:4 ~src:"x" ~out:"o"
+         ~coeffs:(1, 2, 1) ~shift:2)
+  in
+  (* Block-local neighbours: left = rotate-by-1 within each 4-block,
+     right = rotate-by-3. *)
+  let expected =
+    Array.init count (fun i ->
+        let blk = i / 4 * 4 and pos = i mod 4 in
+        let left = xs.(blk + ((pos + 1) mod 4)) in
+        let right = xs.(blk + ((pos + 3) mod 4)) in
+        Liquid_isa.Word.sar (xs.(i) + (2 * left) + right) 2)
+  in
+  check_arrays "stencil" expected got
+
+let test_blend_sat () =
+  let data =
+    [
+      Kernels.barray "pa" count (fun i -> (i * 21) mod 256);
+      Kernels.barray "pb" count (fun i -> (i * 17) mod 256);
+      Kernels.bzeros "po" count;
+    ]
+  in
+  let got =
+    run_kernel ~data ~out:"po"
+      (Kernels.blend_sat ~name:"b" ~count ~esize:Esize.Byte ~signed:false
+         ~a:"pa" ~b:"pb" ~out:"po")
+  in
+  (* read_array sign-extends bytes, so compare through the byte domain *)
+  check_arrays "saturating blend"
+    (Array.init count (fun i ->
+         Esize.truncate Esize.Byte
+           (min 255 (((i * 21) mod 256) + ((i * 17) mod 256)))))
+    got
+
+let test_scale_clip () =
+  let got =
+    run_kernel ~data:(base_data ()) ~out:"o"
+      (Kernels.scale_clip ~name:"sc" ~count ~src:"x" ~out:"o" ~mul:7 ~shift:2
+         ~lo:(-20) ~hi:20)
+  in
+  check_arrays "scale and clip"
+    (Array.init count (fun i -> max (-20) (min 20 (Word.sar (7 * xs.(i)) 2))))
+    got
+
+let test_masked_merge () =
+  let got =
+    run_kernel ~data:(base_data ()) ~out:"o"
+      (Kernels.masked_merge ~name:"mm" ~count ~block:4 ~a:"x" ~b:"y" ~out:"o")
+  in
+  check_arrays "masked merge"
+    (Array.init count (fun i -> if i mod 4 < 2 then xs.(i) else ys.(i)))
+    got
+
+let test_max_energy () =
+  let loop = Kernels.max_energy ~name:"me" ~count ~src:"x" ~acc:(Build.r 10) in
+  let p =
+    {
+      Vloop.name = "k";
+      sections =
+        [ Vloop.Loop loop; Vloop.Code [ Build.st (Build.r 10) "o" (Build.i 0) ] ];
+      data = base_data ();
+    }
+  in
+  let prog = Codegen.baseline p in
+  let run = run_image prog in
+  let expected = Array.fold_left max min_int (Array.map (fun v -> v * v) xs) in
+  check "peak energy" expected (read_array run prog "o").(0)
+
+let test_sat_mac () =
+  let data =
+    [
+      Kernels.harray "hx" count (fun i -> (i * 997 mod 4001) - 2000);
+      Kernels.harray "hy" count (fun i -> (i * 601 mod 3001) - 1500);
+    ]
+  in
+  let got =
+    run_kernel ~data ~out:"hy"
+      (Kernels.sat_mac ~name:"sm" ~count ~esize:Esize.Half ~x:"hx" ~y:"hy"
+         ~scale:29 ~out:"hy")
+  in
+  let expected =
+    Array.init count (fun i ->
+        let x = (i * 997 mod 4001) - 2000 and y = (i * 601 mod 3001) - 1500 in
+        let scaled = Word.sar (x * 29) 6 in
+        max (-32768) (min 32767 (scaled + y)))
+  in
+  check_arrays "saturating MAC" expected got
+
+let test_fft_stage_reference () =
+  (* The §3.4 loop against a direct OCaml transliteration. *)
+  let n = 64 in
+  let re0 = Array.init n (fun i -> (i * 7) - 100) in
+  let im0 = Array.init n (fun i -> (i * 3) + 11) in
+  let wr = Array.init n (fun i -> i mod 9) in
+  let wi = Array.init n (fun i -> 5 - (i mod 4)) in
+  let data =
+    [
+      Kernels.warray "RealOut" n (fun i -> re0.(i));
+      Kernels.warray "ImagOut" n (fun i -> im0.(i));
+      Kernels.warray "ar" n (fun i -> wr.(i));
+      Kernels.warray "ai" n (fun i -> wi.(i));
+    ]
+  in
+  let got =
+    run_kernel ~data ~out:"RealOut"
+      (Kernels.fft_stage ~name:"fs" ~count:n ~block:8 ~re:"RealOut"
+         ~im:"ImagOut" ~wr:"ar" ~wi:"ai")
+  in
+  let bfly = Liquid_visa.Perm.apply (Liquid_visa.Perm.Halfswap 8) in
+  let re_b = bfly re0 and im_b = bfly im0 in
+  let tr = Array.init n (fun i -> (wr.(i) * re_b.(i)) - (wi.(i) * im_b.(i))) in
+  let lo = Array.init n (fun i -> re0.(i) - tr.(i)) in
+  let hi = Array.init n (fun i -> re0.(i) + tr.(i)) in
+  let lo_masked = Array.init n (fun i -> if i mod 8 >= 4 then lo.(i) else 0) in
+  let lo_swapped = bfly lo_masked in
+  let hi_masked = Array.init n (fun i -> if i mod 8 < 4 then hi.(i) else 0) in
+  let expected = Array.init n (fun i -> lo_swapped.(i) lor hi_masked.(i)) in
+  check_arrays "fft stage" expected got
+
+(* --- glue generators --- *)
+
+let test_busy_accumulates () =
+  let open Build in
+  let p =
+    {
+      Vloop.name = "g";
+      sections =
+        [
+          Kernels.busy ~label:"bz" ~iters:10 ~stride:2 ~sym:"x";
+          Vloop.Code [ st (r 2) "o" (i 0) ];
+        ];
+      data = base_data ();
+    }
+  in
+  let prog = Codegen.baseline p in
+  let run = run_image prog in
+  let expected = List.fold_left (fun acc k -> acc + xs.(2 * k)) 0 (List.init 10 Fun.id) in
+  check "busy sum" expected (read_array run prog "o").(0)
+
+let test_counted_nesting () =
+  let open Build in
+  (* Two nesting levels using the two preserved registers. *)
+  let p =
+    {
+      Vloop.name = "g";
+      sections =
+        Kernels.counted ~reg:(r 15) ~label:"outer" ~count:3
+          (Kernels.counted ~reg:(r 12) ~label:"inner" ~count:4
+             [
+               Vloop.Code
+                 [ ld (r 1) "o" (i 0); addi (r 1) (r 1) 1; st (r 1) "o" (i 0) ];
+             ]);
+      data = base_data ();
+    }
+  in
+  let prog = Codegen.baseline p in
+  let run = run_image prog in
+  check "3 x 4 executions" 12 (read_array run prog "o").(0)
+
+let test_counted_rejects_clobbered_registers () =
+  Alcotest.check_raises "r5"
+    (Invalid_argument "Kernels.counted: only r12 and r15 survive loop execution")
+    (fun () -> ignore (Kernels.counted ~reg:(Build.r 5) ~label:"x" ~count:1 []))
+
+(* --- disassembler --- *)
+
+let test_disasm_annotations () =
+  let w = match Workload.find "LU" with Some w -> w | None -> assert false in
+  let image =
+    Liquid_prog.Image.of_program (Codegen.liquid w.Workload.program)
+  in
+  let text = Liquid_prog.Disasm.of_image image in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "labels recovered" true (has "region_lu_elim_0:");
+  check_bool "symbols recovered" true (has "; pivot_row");
+  check_bool "branch targets annotated" true (has "; region_lu_elim_0")
+
+let tests =
+  [
+    Alcotest.test_case "saxpy reference" `Quick test_saxpy;
+    Alcotest.test_case "dot reference" `Quick test_dot;
+    Alcotest.test_case "mac chain reference" `Quick test_mac_chain;
+    Alcotest.test_case "stencil reference" `Quick test_stencil3;
+    Alcotest.test_case "saturating blend reference" `Quick test_blend_sat;
+    Alcotest.test_case "scale/clip reference" `Quick test_scale_clip;
+    Alcotest.test_case "masked merge reference" `Quick test_masked_merge;
+    Alcotest.test_case "max energy reference" `Quick test_max_energy;
+    Alcotest.test_case "saturating MAC reference" `Quick test_sat_mac;
+    Alcotest.test_case "fft stage reference" `Quick test_fft_stage_reference;
+    Alcotest.test_case "busy glue accumulates" `Quick test_busy_accumulates;
+    Alcotest.test_case "counted nesting" `Quick test_counted_nesting;
+    Alcotest.test_case "counted register check" `Quick
+      test_counted_rejects_clobbered_registers;
+    Alcotest.test_case "disassembler annotations" `Quick test_disasm_annotations;
+  ]

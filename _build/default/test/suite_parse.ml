@@ -1,0 +1,156 @@
+(* Tests for the assembly front end: emit/parse round-trips, grammar
+   corner cases, and running a program written as text. *)
+
+open Liquid_isa
+open Liquid_visa
+open Liquid_prog
+open Liquid_scalarize
+open Helpers
+module Cpu = Liquid_pipeline.Cpu
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let programs_equal (a : Program.t) (b : Program.t) =
+  let items_equal x y =
+    match (x, y) with
+    | Program.Label l1, Program.Label l2 -> l1 = l2
+    | Program.I i1, Program.I i2 ->
+        Minsn.map ~sym:(fun s -> s) ~lab:(fun l -> l) i1
+        = Minsn.map ~sym:(fun s -> s) ~lab:(fun l -> l) i2
+    | Program.Label _, Program.I _ | Program.I _, Program.Label _ -> false
+  in
+  List.length a.Program.text = List.length b.Program.text
+  && List.for_all2 items_equal a.Program.text b.Program.text
+  && a.Program.data = b.Program.data
+
+let roundtrip p =
+  let parsed = Parse.program ~name:p.Program.name (Parse.emit p) in
+  if not (programs_equal p parsed) then
+    Alcotest.failf "round-trip failed:@.%s@.vs@.%s" (Parse.emit p)
+      (Parse.emit parsed)
+
+let test_roundtrip_handwritten () =
+  let open Build in
+  roundtrip
+    (Program.make ~name:"rt"
+       ~text:
+         [
+           Program.Label "main";
+           mov (r 1) 0;
+           movc Cond.Gt (r 2) 255;
+           label "loop";
+           ld (r 2) "xs" (ri (r 1));
+           ld ~esize:Esize.Byte ~signed:false (r 3) "bs" (ri (r 1));
+           ld ~esize:Esize.Half ~signed:true (r 4) "hs" (ri (r 1));
+           dp Opcode.Smax (r 5) (r 5) (ri (r 2));
+           dp Opcode.Bic (r 6) (r 5) (i 12345);
+           addi (r 1) (r 1) 1;
+           cmp (r 1) (i 4);
+           b ~cond:Cond.Lt "loop";
+           st ~esize:Esize.Half (r 5) "hs" (i 2);
+           bl "f";
+           bl_region "g";
+           halt;
+           Program.Label "f";
+           ret;
+           Program.Label "g";
+           ret;
+         ]
+       ~data:
+         [
+           Data.make ~name:"xs" ~esize:Esize.Word [| 1; -2; 3; -4 |];
+           Data.make ~name:"bs" ~esize:Esize.Byte [| 7; 8; 9; 10 |];
+           Data.zeros ~name:"hs" ~esize:Esize.Half 8;
+         ])
+
+let test_roundtrip_vector_program () =
+  let open Build in
+  roundtrip
+    (Program.make ~name:"vecrt"
+       ~text:
+         [
+           Program.Label "main";
+           mov (r 0) 0;
+           Program.I (Minsn.V (vld (v 1) "a"));
+           Program.I (Minsn.V (vadd (v 2) (v 1) (vr (v 1))));
+           Program.I (Minsn.V (vmul (v 2) (v 2) (vi (-3))));
+           Program.I (Minsn.V (vand (v 2) (v 2) (vc [| -1; 0; -1; 0 |])));
+           Program.I (Minsn.V (vqadd ~esize:Esize.Byte ~signed:false (v 3) (v 1) (v 2)));
+           Program.I (Minsn.V (vqsub ~esize:Esize.Half ~signed:true (v 3) (v 1) (v 2)));
+           Program.I (Minsn.V (vbfly 8 (v 4) (v 2)));
+           Program.I (Minsn.V (vrot ~block:4 ~by:3 (v 4) (v 4)));
+           Program.I (Minsn.V (vred Opcode.Smin (r 5) (v 4)));
+           Program.I (Minsn.V (vst (v 2) "a"));
+           halt;
+         ]
+       ~data:[ Data.make ~name:"a" ~esize:Esize.Word [| 1; 2; 3; 4 |] ])
+
+let test_roundtrip_generated_liquid () =
+  (* The scalarizer's output (offset arrays, idioms, fission) must also
+     survive the text round-trip. *)
+  let liquid =
+    Codegen.liquid
+      (simple_program ~frames:2 ~data:(fft_data ~count:64) (fft_loop ~count:64))
+  in
+  roundtrip liquid
+
+let test_parse_and_run () =
+  let source =
+    {|
+; a tiny checksum over four words
+.text
+main:
+    mov r1, #0
+    mov r3, #0
+loop:
+    ld r2, [xs + r1 lsl 2]
+    add r3, r3, r2
+    add r1, r1, #1
+    cmp r1, #4
+    blt loop
+    st [sum], r3
+    halt
+.data
+xs: .word 10 20 30 40
+sum: .word[1]
+|}
+  in
+  let prog = Parse.program ~name:"checksum" source in
+  check_bool "validates" true (Program.validate prog = Ok ());
+  let run = run_image prog in
+  check "sum" 100 (read_array run prog "sum").(0)
+
+let test_parse_errors () =
+  let expect_error ~line source =
+    match Parse.program source with
+    | exception Parse.Parse_error { line = l; _ } -> check "error line" line l
+    | _ -> Alcotest.fail "expected a parse error"
+  in
+  expect_error ~line:1 "frobnicate r1, r2";
+  expect_error ~line:1 "vfrob v1, v2, v3";
+  expect_error ~line:1 "mov r77, #0";
+  expect_error ~line:1 "movxx r1, #0";
+  expect_error ~line:2 "mov r1, #0\nld r1, xs";
+  expect_error ~line:1 "add r1, r2";
+  expect_error ~line:2 ".data\nxs: .float 1 2";
+  expect_error ~line:1 "mylabel: mov r1, #0"
+
+let test_parse_comments_and_blanks () =
+  let prog =
+    Parse.program "  ; nothing \n\n.text\nmain:\n  halt ; stop here\n"
+  in
+  check "one instruction" 1 (List.length (Program.insns prog))
+
+let tests =
+  [
+    Alcotest.test_case "roundtrip: handwritten scalar" `Quick
+      test_roundtrip_handwritten;
+    Alcotest.test_case "roundtrip: vector program" `Quick
+      test_roundtrip_vector_program;
+    Alcotest.test_case "roundtrip: generated liquid binary" `Quick
+      test_roundtrip_generated_liquid;
+    Alcotest.test_case "parse and run" `Quick test_parse_and_run;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
+  ]

@@ -1,0 +1,337 @@
+(* Unit tests for programs, layout and binary encoding. *)
+
+open Liquid_isa
+open Liquid_visa
+open Liquid_prog
+module Memory = Liquid_machine.Memory
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let r = Reg.make
+let v = Vreg.make
+
+let sample_program () =
+  let open Liquid_scalarize.Build in
+  Program.make ~name:"sample"
+    ~text:
+      [
+        Program.Label "main";
+        mov (r 1) 0;
+        label "loop";
+        ld (r 2) "xs" (ri (r 1));
+        dp Opcode.Add (r 3) (r 3) (ri (r 2));
+        addi (r 1) (r 1) 1;
+        cmp (r 1) (i 4);
+        b ~cond:Cond.Lt "loop";
+        st (r 3) "sum" (i 0);
+        halt;
+      ]
+    ~data:
+      [
+        Data.make ~name:"xs" ~esize:Esize.Word [| 10; 20; 30; 40 |];
+        Data.zeros ~name:"sum" ~esize:Esize.Word 1;
+      ]
+
+(* --- Program --- *)
+
+let test_program_validate_ok () =
+  check_bool "valid" true (Program.validate (sample_program ()) = Ok ())
+
+let test_program_validate_failures () =
+  let open Liquid_scalarize.Build in
+  let expect_err text data msg =
+    match Program.validate (Program.make ~name:"bad" ~text ~data) with
+    | Error m -> Alcotest.(check string) "message" msg m
+    | Ok () -> Alcotest.fail "expected validation failure"
+  in
+  expect_err [ b "nowhere" ] [] "undefined label nowhere";
+  expect_err [ ld (r 1) "ghost" (i 0) ] [] "undefined data symbol ghost";
+  expect_err
+    [ Program.Label "a"; Program.Label "a" ]
+    [] "duplicate label a";
+  expect_err []
+    [ Data.zeros ~name:"d" ~esize:Esize.Word 1; Data.zeros ~name:"d" ~esize:Esize.Byte 1 ]
+    "duplicate data array d"
+
+let test_program_scalar_only () =
+  check_bool "scalar" true (Program.scalar_only (sample_program ()));
+  let with_vec =
+    Program.make ~name:"vec"
+      ~text:[ Program.I (Minsn.V (Vinsn.Vdp { op = Opcode.Add; dst = v 1; src1 = v 1; src2 = VImm 0 })) ]
+      ~data:[]
+  in
+  check_bool "vector" false (Program.scalar_only with_vec)
+
+let test_program_append_data () =
+  let p = sample_program () in
+  let p2 = Program.append_data p [ Data.zeros ~name:"extra" ~esize:Esize.Byte 8 ] in
+  check "arrays" 3 (List.length p2.Program.data);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Program.append_data: duplicate array xs") (fun () ->
+      ignore (Program.append_data p [ Data.zeros ~name:"xs" ~esize:Esize.Word 1 ]))
+
+(* --- Data --- *)
+
+let test_data_truncation () =
+  let d = Data.make ~name:"d" ~esize:Esize.Byte [| 300; -1; 127 |] in
+  Alcotest.(check (array int)) "truncated" [| 44; -1; 127 |] d.Data.values;
+  check "byte size" 3 (Data.byte_size d);
+  check "alignment" 16 (Data.alignment d)
+
+let test_data_word_alignment () =
+  let d = Data.zeros ~name:"w" ~esize:Esize.Word 4 in
+  check "word alignment is 64" 64 (Data.alignment d)
+
+(* --- Image --- *)
+
+let test_image_layout () =
+  let img = Image.of_program (sample_program ()) in
+  check "entry" 0 img.Image.entry;
+  check "code length" 8 (Array.length img.Image.code);
+  check_bool "loop label" true (Image.find_label img "loop" = Some 1);
+  let xs = Image.array_addr img "xs" in
+  let sum = Image.array_addr img "sum" in
+  check_bool "xs at data base" true (xs = Image.data_base);
+  (* sum must start above xs and respect max-width alignment *)
+  check "sum aligned" 0 (sum mod 64);
+  check_bool "sum after xs" true (sum >= xs + 16);
+  check "addr of insn 3" (Image.code_base + 12) (Image.addr_of_index img 3);
+  check "index of addr" 3 (Image.index_of_addr img (Image.code_base + 12))
+
+let test_image_resolution () =
+  let img = Image.of_program (sample_program ()) in
+  (match img.Image.code.(1) with
+  | Minsn.S (Insn.Ld { base = Insn.Sym addr; _ }) ->
+      check "resolved base" (Image.array_addr img "xs") addr
+  | _ -> Alcotest.fail "expected resolved load");
+  match img.Image.code.(5) with
+  | Minsn.S (Insn.B { target; _ }) -> check "resolved branch" 1 target
+  | _ -> Alcotest.fail "expected resolved branch"
+
+let test_image_load_memory () =
+  let img = Image.of_program (sample_program ()) in
+  let mem = Memory.create () in
+  Image.load_memory img mem;
+  let xs = Image.array_addr img "xs" in
+  check "xs[0]" 10 (Memory.read mem ~addr:xs ~bytes:4 ~signed:true);
+  check "xs[3]" 40 (Memory.read mem ~addr:(xs + 12) ~bytes:4 ~signed:true)
+
+let test_image_region_entries () =
+  let open Liquid_scalarize.Build in
+  let p =
+    Program.make ~name:"regions"
+      ~text:
+        [
+          Program.Label "main";
+          bl_region "f";
+          bl "g";
+          halt;
+          Program.Label "f";
+          ret;
+          Program.Label "g";
+          ret;
+        ]
+      ~data:[]
+  in
+  let img = Image.of_program p in
+  check "one region" 1 (List.length img.Image.region_entries);
+  (match img.Image.region_entries with
+  | [ (entry, label) ] ->
+      Alcotest.(check string) "label" "f" label;
+      check "entry index" 3 entry
+  | _ -> Alcotest.fail "region entries");
+  check_bool "array_at finds nothing in code" true (Image.array_at img 0x1000 = None)
+
+let test_image_array_at () =
+  let img = Image.of_program (sample_program ()) in
+  let xs = Image.array_addr img "xs" in
+  (match Image.array_at img (xs + 5) with
+  | Some (name, _) -> Alcotest.(check string) "name" "xs" name
+  | None -> Alcotest.fail "array_at missed");
+  check_bool "past end" true (Image.array_at img (xs + 1_000_000) = None)
+
+let test_image_layout_error () =
+  let open Liquid_scalarize.Build in
+  let p = Program.make ~name:"bad" ~text:[ b "nope" ] ~data:[] in
+  check_bool "raises" true
+    (try
+       ignore (Image.of_program p);
+       false
+     with Image.Layout_error _ -> true)
+
+(* --- Encode --- *)
+
+let roundtrip insns =
+  let enc = Encode.encode (Array.of_list insns) in
+  Array.to_list (Encode.decode enc)
+
+let test_encode_scalar_roundtrip () =
+  let open Insn in
+  let insns : Minsn.exec list =
+    [
+      Minsn.S (Mov { cond = Cond.Al; dst = r 1; src = Imm 5 });
+      Minsn.S (Mov { cond = Cond.Gt; dst = r 2; src = Imm (-8000) });
+      Minsn.S (Mov { cond = Cond.Al; dst = r 3; src = Imm 1_000_000 });
+      Minsn.S (Mov { cond = Cond.Ne; dst = r 4; src = Reg (r 5) });
+      Minsn.S (Dp { cond = Cond.Al; op = Opcode.Add; dst = r 1; src1 = r 2; src2 = Reg (r 3) });
+      Minsn.S (Dp { cond = Cond.Lt; op = Opcode.Smax; dst = r 1; src1 = r 2; src2 = Imm (-3) });
+      Minsn.S (Dp { cond = Cond.Al; op = Opcode.Mul; dst = r 1; src1 = r 2; src2 = Imm 123_456 });
+      Minsn.S (Ld { esize = Esize.Byte; signed = true; dst = r 6; base = Sym 0x100000; index = Reg (r 0); shift = 0 });
+      Minsn.S (Ld { esize = Esize.Word; signed = true; dst = r 7; base = Breg (r 8); index = Imm 40; shift = 2 });
+      Minsn.S (Ld { esize = Esize.Half; signed = false; dst = r 9; base = Sym 0x100040; index = Imm 100_000; shift = 1 });
+      Minsn.S (St { esize = Esize.Word; src = r 10; base = Sym 0x100080; index = Reg (r 13); shift = 2 });
+      Minsn.S (Cmp { src1 = r 1; src2 = Imm 128 });
+      Minsn.S (Cmp { src1 = r 1; src2 = Reg (r 2) });
+      Minsn.S (B { cond = Cond.Lt; target = 2 });
+      Minsn.S (Bl { target = 100; region = true });
+      Minsn.S (Bl { target = 101; region = false });
+      Minsn.S Ret;
+      Minsn.S Halt;
+    ]
+  in
+  List.iteri
+    (fun k (a, b) ->
+      if not (Minsn.equal_exec a b) then
+        Alcotest.failf "instruction %d did not roundtrip: %a vs %a" k
+          Minsn.pp_exec a Minsn.pp_exec b)
+    (List.combine insns (roundtrip insns))
+
+let test_encode_vector_roundtrip () =
+  let open Vinsn in
+  let insns : Minsn.exec list =
+    [
+      Minsn.V (Vld { esize = Esize.Word; signed = true; dst = v 1; base = Insn.Sym 0x100000; index = r 0 });
+      Minsn.V (Vst { esize = Esize.Byte; src = v 2; base = Insn.Sym 0x100040; index = r 0 });
+      Minsn.V (Vdp { op = Opcode.Add; dst = v 3; src1 = v 4; src2 = VR (v 5) });
+      Minsn.V (Vdp { op = Opcode.Mul; dst = v 3; src1 = v 4; src2 = VImm (-7) });
+      Minsn.V (Vdp { op = Opcode.And; dst = v 3; src1 = v 4; src2 = VImm 999_999 });
+      Minsn.V (Vdp { op = Opcode.Orr; dst = v 3; src1 = v 4; src2 = VConst [| 1; -1; 0; 42 |] });
+      Minsn.V (Vsat { op = `Add; esize = Esize.Byte; signed = false; dst = v 1; src1 = v 2; src2 = v 3 });
+      Minsn.V (Vsat { op = `Sub; esize = Esize.Half; signed = true; dst = v 1; src1 = v 2; src2 = v 3 });
+      Minsn.V (Vperm { pattern = Liquid_visa.Perm.Halfswap 8; dst = v 6; src = v 7 });
+      Minsn.V (Vperm { pattern = Liquid_visa.Perm.Rotate { block = 4; by = 3 }; dst = v 6; src = v 7 });
+      Minsn.V (Vred { op = Opcode.Smin; acc = r 5; src = v 8 });
+    ]
+  in
+  List.iteri
+    (fun k (a, b) ->
+      if not (Minsn.equal_exec a b) then
+        Alcotest.failf "vector instruction %d did not roundtrip" k)
+    (List.combine insns (roundtrip insns))
+
+let test_encode_pool_dedup () =
+  let open Insn in
+  let big = 1_000_000 in
+  let insns =
+    Array.of_list
+      [
+        Minsn.S (Mov { cond = Cond.Al; dst = r 1; src = Imm big });
+        Minsn.S (Mov { cond = Cond.Al; dst = r 2; src = Imm big });
+        Minsn.S (Cmp { src1 = r 1; src2 = Imm big });
+      ]
+  in
+  let enc = Encode.encode insns in
+  check "one pooled literal" 1 (Array.length enc.Encode.pool)
+
+let test_encode_vconst_dedup () =
+  let open Vinsn in
+  let c = [| 5; 6; 7; 8 |] in
+  let mk () = Minsn.V (Vdp { op = Opcode.Add; dst = v 1; src1 = v 2; src2 = VConst (Array.copy c) }) in
+  let enc = Encode.encode [| mk (); mk () |] in
+  check "length header + 4 values" 5 (Array.length enc.Encode.pool)
+
+let test_encode_inline_no_pool () =
+  let open Insn in
+  let enc =
+    Encode.encode
+      [| Minsn.S (Mov { cond = Cond.Al; dst = r 1; src = Imm 100 }) |]
+  in
+  check "no pool" 0 (Array.length enc.Encode.pool)
+
+let test_encode_branch_range () =
+  let open Insn in
+  Alcotest.check_raises "target too big"
+    (Encode.Encode_error "branch target out of range") (fun () ->
+      ignore
+        (Encode.encode
+           [| Minsn.S (B { cond = Cond.Al; target = 1 lsl 24 }) |]))
+
+let test_size_bytes () =
+  let img = Image.of_program (sample_program ()) in
+  (* 9 instructions, one pooled literal (xs base; sum base; bound 4 is
+     inline): words + pool + data *)
+  let sz = Encode.size_bytes img in
+  check_bool "size includes data" true (sz >= (9 * 4) + 20);
+  check_bool "size is modest" true (sz < 200)
+
+let tests =
+  [
+    Alcotest.test_case "program: validate ok" `Quick test_program_validate_ok;
+    Alcotest.test_case "program: validate failures" `Quick test_program_validate_failures;
+    Alcotest.test_case "program: scalar only" `Quick test_program_scalar_only;
+    Alcotest.test_case "program: append data" `Quick test_program_append_data;
+    Alcotest.test_case "data: truncation" `Quick test_data_truncation;
+    Alcotest.test_case "data: word alignment" `Quick test_data_word_alignment;
+    Alcotest.test_case "image: layout" `Quick test_image_layout;
+    Alcotest.test_case "image: symbol resolution" `Quick test_image_resolution;
+    Alcotest.test_case "image: load memory" `Quick test_image_load_memory;
+    Alcotest.test_case "image: region entries" `Quick test_image_region_entries;
+    Alcotest.test_case "image: array_at" `Quick test_image_array_at;
+    Alcotest.test_case "image: layout error" `Quick test_image_layout_error;
+    Alcotest.test_case "encode: scalar roundtrip" `Quick test_encode_scalar_roundtrip;
+    Alcotest.test_case "encode: vector roundtrip" `Quick test_encode_vector_roundtrip;
+    Alcotest.test_case "encode: pool dedup" `Quick test_encode_pool_dedup;
+    Alcotest.test_case "encode: vconst dedup" `Quick test_encode_vconst_dedup;
+    Alcotest.test_case "encode: inline immediates" `Quick test_encode_inline_no_pool;
+    Alcotest.test_case "encode: branch range" `Quick test_encode_branch_range;
+    Alcotest.test_case "encode: size bytes" `Quick test_size_bytes;
+  ]
+
+(* --- malformed binaries --- *)
+
+let test_decode_bad_words () =
+  let bad major =
+    let word = major lsl 27 in
+    try
+      ignore (Encode.decode { Encode.words = [| word |]; pool = [||] });
+      false
+    with Encode.Encode_error _ -> true
+  in
+  check_bool "bad major 31" true (bad 31);
+  check_bool "bad major 9" true (bad 9);
+  (* An out-of-range pool index in a load. *)
+  let word = (2 lsl 27) lor (0 lsl 19) lor (200 lsl 11) in
+  check_bool "pool index out of range" true
+    (try
+       ignore (Encode.decode { Encode.words = [| word |]; pool = [| 1 |] });
+       false
+     with Encode.Encode_error _ -> true)
+
+let test_disasm_plain () =
+  (* Without an image, the listing still renders every instruction. *)
+  let open Insn in
+  let enc =
+    Encode.encode
+      [|
+        Minsn.S (Mov { cond = Cond.Al; dst = r 1; src = Imm 3 });
+        Minsn.S Halt;
+      |]
+  in
+  let text = Disasm.listing enc in
+  check_bool "mov rendered" true
+    (String.length text > 0
+    &&
+    let has needle =
+      let nl = String.length needle and tl = String.length text in
+      let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+      go 0
+    in
+    has "mov r1, #3" && has "halt")
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "decode rejects malformed words" `Quick
+        test_decode_bad_words;
+      Alcotest.test_case "disassembler without image" `Quick test_disasm_plain;
+    ]

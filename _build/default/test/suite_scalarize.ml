@@ -1,0 +1,552 @@
+(* Unit tests for the scalarizer: Table 1 rule emission, permutation
+   fusion, loop fission, size splitting, idiom expansion, generated
+   arrays, and the code generator facade. *)
+
+open Liquid_isa
+open Liquid_visa
+open Liquid_prog
+open Liquid_scalarize
+open Helpers
+open Build
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let simple_data count =
+  [
+    Data.make ~name:"a" ~esize:Esize.Word (Array.init count (fun i -> i));
+    Data.make ~name:"b" ~esize:Esize.Word (Array.init count (fun i -> i * 2));
+    Data.zeros ~name:"c" ~esize:Esize.Word count;
+  ]
+
+let mk_loop ?(name = "l") ?(count = 32) ?(reductions = []) body =
+  { Vloop.name; count; body; reductions }
+
+let insns_of items =
+  List.filter_map
+    (function Program.I (Minsn.S i) -> Some i | Program.I (Minsn.V _) | Program.Label _ -> None)
+    items
+
+(* --- basic emission --- *)
+
+let test_vadd_emission () =
+  let out =
+    Scalarize.scalarize
+      (mk_loop [ vld (v 1) "a"; vld (v 2) "b"; vadd (v 3) (v 1) (vr (v 2)); vst (v 3) "c" ])
+  in
+  check "one segment" 1 (List.length out.Scalarize.segments);
+  check "one call" 1 (List.length out.Scalarize.call_items);
+  (* mov + 4 body + add/cmp/blt + ret = 9 static instructions *)
+  (match out.Scalarize.static_sizes with
+  | [ (label, n) ] ->
+      Alcotest.(check string) "label" "region_l_0" label;
+      check "static size" 9 n
+  | _ -> Alcotest.fail "one region expected");
+  check_bool "region is callable" true
+    (List.exists
+       (function
+         | Program.I (Minsn.S (Insn.Bl { region = true; _ })) -> true
+         | _ -> false)
+       out.Scalarize.call_items)
+
+let test_element_scaled_addressing () =
+  let out =
+    Scalarize.scalarize
+      (mk_loop
+         [
+           vld ~esize:Esize.Byte ~signed:false (v 1) "a";
+           vst ~esize:Esize.Byte (v 1) "c";
+         ])
+  in
+  let loads =
+    List.filter_map
+      (function
+        | Insn.Ld { esize; shift; _ } -> Some (esize, shift)
+        | _ -> None)
+      (insns_of out.Scalarize.region_items)
+  in
+  List.iter
+    (fun (esize, shift) -> check "shift matches esize" (Esize.shift esize) shift)
+    loads
+
+let test_reduction_emission () =
+  let out =
+    Scalarize.scalarize
+      (mk_loop ~reductions:[ (r 5, 42) ]
+         [ vld (v 1) "a"; vred Opcode.Add (r 5) (v 1) ])
+  in
+  let insns = insns_of out.Scalarize.region_items in
+  check_bool "init mov" true
+    (List.exists
+       (function
+         | Insn.Mov { dst; src = Insn.Imm 42; _ } -> Reg.index dst = 5
+         | _ -> false)
+       insns);
+  check_bool "loop-carried form" true
+    (List.exists
+       (function
+         | Insn.Dp { op = Opcode.Add; dst; src1; _ } ->
+             Reg.index dst = 5 && Reg.index src1 = 5
+         | _ -> false)
+       insns)
+
+let test_sat_idiom_unsigned () =
+  let out =
+    Scalarize.scalarize
+      (mk_loop
+         [
+           vld (v 1) "a";
+           vld (v 2) "b";
+           Vinsn.Vsat { op = `Add; esize = Esize.Byte; signed = false; dst = v 3; src1 = v 1; src2 = v 2 };
+           vst (v 3) "c";
+         ])
+  in
+  let insns = insns_of out.Scalarize.region_items in
+  check_bool "cmp 255" true
+    (List.exists
+       (function Insn.Cmp { src2 = Insn.Imm 255; _ } -> true | _ -> false)
+       insns);
+  check_bool "movgt 255" true
+    (List.exists
+       (function
+         | Insn.Mov { cond = Cond.Gt; src = Insn.Imm 255; _ } -> true
+         | _ -> false)
+       insns)
+
+let test_sat_idiom_signed_has_both_clamps () =
+  let out =
+    Scalarize.scalarize
+      (mk_loop
+         [
+           vld (v 1) "a";
+           vld (v 2) "b";
+           Vinsn.Vsat { op = `Sub; esize = Esize.Half; signed = true; dst = v 3; src1 = v 1; src2 = v 2 };
+           vst (v 3) "c";
+         ])
+  in
+  let insns = insns_of out.Scalarize.region_items in
+  check_bool "upper clamp" true
+    (List.exists
+       (function
+         | Insn.Mov { cond = Cond.Gt; src = Insn.Imm 32767; _ } -> true
+         | _ -> false)
+       insns);
+  check_bool "lower clamp" true
+    (List.exists
+       (function
+         | Insn.Mov { cond = Cond.Lt; src = Insn.Imm (-32768); _ } -> true
+         | _ -> false)
+       insns)
+
+(* --- constant vectors and offset arrays --- *)
+
+let test_vconst_generates_array () =
+  let out =
+    Scalarize.scalarize
+      (mk_loop [ vld (v 1) "a"; vand (v 2) (v 1) (vmask [ 1; 0; 1; 0 ]); vst (v 2) "c" ])
+  in
+  (match out.Scalarize.data with
+  | [ d ] ->
+      check "tiled to count" 32 (Array.length d.Data.values);
+      check "lane 0" (-1) d.Data.values.(0);
+      check "lane 1" 0 d.Data.values.(1);
+      check "periodic" (-1) d.Data.values.(4)
+  | ds -> Alcotest.failf "expected one generated array, got %d" (List.length ds));
+  let insns = insns_of out.Scalarize.region_items in
+  check_bool "mask loaded via scratch" true
+    (List.exists
+       (function
+         | Insn.Ld { dst; _ } -> Reg.equal dst Vloop.scratch
+         | _ -> false)
+       insns)
+
+let test_offsets_array_shared () =
+  (* Two loops using the same pattern at the same count share one offset
+     array name; the program-level dedup keeps a single copy. *)
+  let body =
+    [ vld (v 1) "a"; vbfly 4 (v 1) (v 1); vst (v 1) "c" ]
+  in
+  let p =
+    {
+      Vloop.name = "p";
+      sections =
+        [ Vloop.Loop (mk_loop ~name:"l1" body); Vloop.Loop (mk_loop ~name:"l2" body) ];
+      data = simple_data 32;
+    }
+  in
+  let prog = Codegen.liquid p in
+  let off_arrays =
+    List.filter
+      (fun (d : Data.t) -> String.length d.Data.name >= 4 && String.sub d.Data.name 0 4 = "off_")
+      prog.Program.data
+  in
+  check "one shared offsets array" 1 (List.length off_arrays)
+
+(* --- permutation placement --- *)
+
+let test_load_fused_perm () =
+  let out =
+    Scalarize.scalarize
+      (mk_loop [ vld (v 1) "a"; vbfly 4 (v 1) (v 1); vst (v 1) "c" ])
+  in
+  check "no fission" 1 (List.length out.Scalarize.segments);
+  let insns = insns_of out.Scalarize.region_items in
+  (* offset load, add, element load: 3 loads total including the store
+     path *)
+  check_bool "offset add present" true
+    (List.exists
+       (function
+         | Insn.Dp { op = Opcode.Add; src1; src2 = Insn.Reg s2; _ } ->
+             Reg.equal src1 Vloop.induction && Reg.equal s2 Vloop.scratch
+         | _ -> false)
+       insns)
+
+let test_perm_after_load_fuses_even_renaming () =
+  (* vld v1; vrev v2<-v1: the value is permuted straight out of the load
+     into v2 (v1 is dead afterwards). *)
+  let out =
+    Scalarize.scalarize
+      (mk_loop [ vld (v 1) "a"; vrev 4 (v 2) (v 1); vst (v 2) "c" ])
+  in
+  check "no fission" 1 (List.length out.Scalarize.segments);
+  match out.Scalarize.segments with
+  | [ { Scalarize.items; _ } ] ->
+      check_bool "load carries the permutation into the new register" true
+        (List.exists
+           (function
+             | Scalarize.FLoad { perm = Some (Perm.Reverse 4); dst; _ } ->
+                 Vreg.index dst = 2
+             | _ -> false)
+           items)
+  | _ -> Alcotest.fail "segments"
+
+let test_store_fused_perm () =
+  (* The permuted value is computed (not freshly loaded), and flows
+     straight into a store: the permutation folds into the store's
+     offset addressing. *)
+  let out =
+    Scalarize.scalarize
+      (mk_loop
+         [
+           vld (v 1) "a";
+           vadd (v 1) (v 1) (vi 1);
+           vrev 4 (v 2) (v 1);
+           vst (v 2) "c";
+         ])
+  in
+  check "no fission" 1 (List.length out.Scalarize.segments);
+  match out.Scalarize.segments with
+  | [ { Scalarize.items; _ } ] ->
+      check_bool "store carries the permutation" true
+        (List.exists
+           (function
+             | Scalarize.FStore { perm = Some (Perm.Reverse 4); _ } -> true
+             | _ -> false)
+           items)
+  | _ -> Alcotest.fail "segments"
+
+let test_midloop_perm_forces_fission () =
+  (* The permuted value is consumed by an add (not a store), and its
+     source is not freshly loaded: the loop must split (paper §3.4). *)
+  let out =
+    Scalarize.scalarize
+      (mk_loop
+         [
+           vld (v 1) "a";
+           vld (v 2) "b";
+           vadd (v 1) (v 1) (vr (v 2));
+           vbfly 4 (v 1) (v 1);
+           vadd (v 1) (v 1) (vr (v 2));
+           vst (v 1) "c";
+         ])
+  in
+  check "two segments" 2 (List.length out.Scalarize.segments);
+  (* Temporaries spill v1 (and v2, still live) through memory. *)
+  check_bool "temporary arrays created" true
+    (List.exists
+       (fun (d : Data.t) ->
+         String.length d.Data.name >= 5 && String.sub d.Data.name 0 5 = "l_tmp")
+       out.Scalarize.data);
+  (* The reload of the permuted value carries the pattern. *)
+  match out.Scalarize.segments with
+  | [ _; { Scalarize.items; _ } ] ->
+      check_bool "permutation folded into reload" true
+        (List.exists
+           (function
+             | Scalarize.FLoad { perm = Some (Perm.Halfswap 4); _ } -> true
+             | _ -> false)
+           items)
+  | _ -> Alcotest.fail "segments"
+
+let test_fission_preserves_semantics () =
+  (* Execute baseline (inline, fissioned) code and compare against the
+     vector reference semantics computed by hand. *)
+  let count = 16 in
+  let loop =
+    mk_loop ~count
+      [
+        vld (v 1) "a";
+        vld (v 2) "b";
+        vadd (v 1) (v 1) (vr (v 2));
+        vbfly 4 (v 1) (v 1);
+        vadd (v 1) (v 1) (vr (v 2));
+        vst (v 1) "c";
+      ]
+  in
+  let p = { Vloop.name = "fiss"; sections = [ Vloop.Loop loop ]; data = simple_data count } in
+  let prog = Codegen.baseline p in
+  let run = run_image prog in
+  let a = Array.init count (fun i -> i) and b = Array.init count (fun i -> i * 2) in
+  let sum = Array.init count (fun i -> a.(i) + b.(i)) in
+  let shuffled = Perm.apply (Perm.Halfswap 4) sum in
+  let expected = Array.init count (fun i -> shuffled.(i) + b.(i)) in
+  check_arrays "fissioned result" expected (read_array run prog "c")
+
+(* --- size splitting --- *)
+
+let big_mac_loop terms =
+  let body =
+    vld (v 1) "a" :: vmul (v 1) (v 1) (vi 1)
+    :: List.concat
+         (List.init terms (fun k ->
+              [ vld (v 2) "b"; vmul (v 2) (v 2) (vi (k + 1)); vadd (v 1) (v 1) (vr (v 2)) ]))
+    @ [ vst (v 1) "c" ]
+  in
+  mk_loop ~name:"big" body
+
+let test_size_split () =
+  let out = Scalarize.scalarize (big_mac_loop 25) in
+  check_bool "splits into multiple segments" true
+    (List.length out.Scalarize.segments >= 2);
+  List.iter
+    (fun (_, n) ->
+      check_bool (Printf.sprintf "segment size %d under buffer" n) true (n <= 64))
+    out.Scalarize.static_sizes
+
+let test_size_split_semantics () =
+  let count = 16 in
+  let p =
+    { Vloop.name = "bigp"; sections = [ Vloop.Loop (big_mac_loop 25) ]; data = simple_data count }
+  in
+  let loop25 = big_mac_loop 25 in
+  let p = { p with Vloop.sections = [ Vloop.Loop { loop25 with Vloop.count } ] } in
+  let prog = Codegen.baseline p in
+  let run = run_image prog in
+  let a = Array.init count (fun i -> i) and b = Array.init count (fun i -> i * 2) in
+  let expected =
+    Array.init count (fun i ->
+        let acc = ref a.(i) in
+        for k = 0 to 24 do
+          acc := !acc + (b.(i) * (k + 1))
+        done;
+        !acc)
+  in
+  check_arrays "split result" expected (read_array run prog "c")
+
+let test_max_scalar_configurable () =
+  let out = Scalarize.scalarize ~max_scalar:12 (big_mac_loop 6) in
+  check_bool "smaller budget, more segments" true
+    (List.length out.Scalarize.segments >= 2)
+
+(* --- validation --- *)
+
+let expect_error loop =
+  match Scalarize.scalarize loop with
+  | exception Scalarize.Error _ -> ()
+  | _ -> Alcotest.fail "expected Scalarize.Error"
+
+let test_validation_errors () =
+  expect_error (mk_loop ~count:12 [ vld (v 1) "a" ]);
+  (* not a multiple of 8 *)
+  expect_error (mk_loop [ vld (v 0) "a" ]);
+  (* v0 is the induction image *)
+  expect_error (mk_loop [ vld (v 12) "a" ]);
+  (* v12 is reserved for glue *)
+  expect_error (mk_loop [ vadd (v 1) (v 1) (vr (v 2)) ]);
+  (* use of undefined register *)
+  expect_error
+    (mk_loop ~reductions:[ (r 1, 0) ] [ vld (v 1) "a"; vred Opcode.Add (r 1) (v 1) ])
+(* accumulator aliases v1 *)
+
+let test_estimated_costs () =
+  check "plain load" 1
+    (Scalarize.estimated_cost
+       (Scalarize.FLoad { esize = Esize.Word; signed = true; dst = v 1; sym = "a"; perm = None }));
+  check "permuted store" 3
+    (Scalarize.estimated_cost
+       (Scalarize.FStore { esize = Esize.Word; src = v 1; sym = "a"; perm = Some (Perm.Reverse 4) }));
+  check "signed saturation" 5
+    (Scalarize.estimated_cost
+       (Scalarize.FSat { op = `Add; esize = Esize.Half; signed = true; dst = v 1; src1 = v 1; src2 = v 2 }));
+  check "const operand" 2
+    (Scalarize.estimated_cost
+       (Scalarize.FDp { op = Opcode.And; dst = v 1; src1 = v 1; src2 = VConst [| 1 |] }))
+
+(* --- codegen facade --- *)
+
+let test_codegen_flavours () =
+  let count = 32 in
+  let loop =
+    mk_loop ~count [ vld (v 1) "a"; vmul (v 1) (v 1) (vi 3); vst (v 1) "c" ]
+  in
+  let p = { Vloop.name = "cg"; sections = [ Vloop.Loop loop ]; data = simple_data count } in
+  let liquid = Codegen.liquid p in
+  check_bool "liquid is scalar-only" true (Program.scalar_only liquid);
+  check_bool "liquid has a region" true
+    (List.length (Image.of_program liquid).Image.region_entries = 1);
+  let baseline = Codegen.baseline p in
+  check_bool "baseline is scalar-only" true (Program.scalar_only baseline);
+  check "baseline has no regions" 0
+    (List.length (Image.of_program baseline).Image.region_entries);
+  let native = Codegen.native ~width:8 p in
+  check_bool "native has vector instructions" true
+    (not (Program.scalar_only native))
+
+let test_native_unsupported_width () =
+  let loop = mk_loop [ vld (v 1) "a"; vbfly 8 (v 1) (v 1); vst (v 1) "c" ] in
+  let p = { Vloop.name = "nu"; sections = [ Vloop.Loop loop ]; data = simple_data 32 } in
+  check_bool "width 4 rejected" true
+    (try
+       ignore (Codegen.native ~width:4 p);
+       false
+     with Codegen.Unsupported_width _ -> true);
+  check_bool "width 8 fine" true
+    (try
+       ignore (Codegen.native ~width:8 p);
+       true
+     with Codegen.Unsupported_width _ -> false)
+
+let test_native_wide_constant_spills_to_memory () =
+  (* A constant vector with period 8 on a 4-wide machine must come from
+     memory each iteration. *)
+  let loop =
+    mk_loop
+      [ vld (v 1) "a"; vand (v 1) (v 1) (vmask [ 1; 1; 1; 1; 0; 0; 0; 0 ]); vst (v 1) "c" ]
+  in
+  let p = { Vloop.name = "wc"; sections = [ Vloop.Loop loop ]; data = simple_data 32 } in
+  let native = Codegen.native ~width:4 p in
+  check_bool "vcnst array" true
+    (List.exists
+       (fun (d : Data.t) ->
+         String.length d.Data.name >= 5 && String.sub d.Data.name 0 5 = "vcnst")
+       native.Program.data);
+  let vlds =
+    List.filter (function Minsn.V (Vinsn.Vld _) -> true | _ -> false)
+      (Program.insns native)
+  in
+  check "extra vector load for the constant" 2 (List.length vlds)
+
+let test_outlined_sizes_match_scalarize () =
+  let loop = mk_loop [ vld (v 1) "a"; vst (v 1) "c" ] in
+  let p = { Vloop.name = "sz"; sections = [ Vloop.Loop loop ]; data = simple_data 32 } in
+  match Codegen.outlined_sizes p with
+  | [ (label, n) ] ->
+      Alcotest.(check string) "label" "region_l_0" label;
+      check "size" 7 n
+  | _ -> Alcotest.fail "one region"
+
+let tests =
+  [
+    Alcotest.test_case "vadd emission" `Quick test_vadd_emission;
+    Alcotest.test_case "element-scaled addressing" `Quick test_element_scaled_addressing;
+    Alcotest.test_case "reduction emission" `Quick test_reduction_emission;
+    Alcotest.test_case "unsigned saturation idiom" `Quick test_sat_idiom_unsigned;
+    Alcotest.test_case "signed saturation idiom" `Quick
+      test_sat_idiom_signed_has_both_clamps;
+    Alcotest.test_case "constant vector array" `Quick test_vconst_generates_array;
+    Alcotest.test_case "offset arrays shared" `Quick test_offsets_array_shared;
+    Alcotest.test_case "load-fused permutation" `Quick test_load_fused_perm;
+    Alcotest.test_case "renaming load-fused permutation" `Quick
+      test_perm_after_load_fuses_even_renaming;
+    Alcotest.test_case "store-fused permutation" `Quick test_store_fused_perm;
+    Alcotest.test_case "mid-loop permutation fissions" `Quick
+      test_midloop_perm_forces_fission;
+    Alcotest.test_case "fission preserves semantics" `Quick
+      test_fission_preserves_semantics;
+    Alcotest.test_case "size split" `Quick test_size_split;
+    Alcotest.test_case "size split semantics" `Quick test_size_split_semantics;
+    Alcotest.test_case "max_scalar configurable" `Quick test_max_scalar_configurable;
+    Alcotest.test_case "validation errors" `Quick test_validation_errors;
+    Alcotest.test_case "estimated costs" `Quick test_estimated_costs;
+    Alcotest.test_case "codegen flavours" `Quick test_codegen_flavours;
+    Alcotest.test_case "native unsupported width" `Quick test_native_unsupported_width;
+    Alcotest.test_case "native wide constant" `Quick
+      test_native_wide_constant_spills_to_memory;
+    Alcotest.test_case "outlined sizes" `Quick test_outlined_sizes_match_scalarize;
+  ]
+
+let test_aliased_permuted_store_fissions () =
+  (* Regression (found by property testing): a permuted store to an
+     array the segment already stores would observe a different memory
+     order in scalar (per-iteration) and vector (per-block) form. The
+     scalarizer must split the loop so each phase owns the array. *)
+  let loop =
+    mk_loop ~count:16
+      [
+        vld (v 6) "b";
+        vmin (v 1) (v 6) (vr (v 6));
+        vst (v 6) "c";
+        vred Opcode.Add (r 10) (v 1);
+        vst (v 1) "a2";
+        vrot ~block:4 ~by:1 (v 1) (v 1);
+        vst (v 1) "c";
+      ]
+  in
+  let loop = { loop with Vloop.reductions = [ (r 10, 0) ] } in
+  let out = Scalarize.scalarize loop in
+  check_bool "fissioned" true (List.length out.Scalarize.segments >= 2);
+  (* And the result is the vector semantics: the scatter wins on every
+     element of c. *)
+  let data =
+    [
+      Data.make ~name:"b" ~esize:Esize.Word (Array.init 16 (fun i -> 100 + i));
+      Data.zeros ~name:"c" ~esize:Esize.Word 16;
+      Data.zeros ~name:"a2" ~esize:Esize.Word 16;
+    ]
+  in
+  let p = { Vloop.name = "alias"; sections = [ Vloop.Loop loop ]; data } in
+  let base_prog = Codegen.baseline p in
+  let base = Helpers.run_image base_prog in
+  let rot = Perm.apply (Perm.Rotate { block = 4; by = 1 }) in
+  let expected = rot (Array.init 16 (fun i -> 100 + i)) in
+  check_arrays "scatter wins" expected (Helpers.read_array base base_prog "c");
+  let liquid_prog = Codegen.liquid p in
+  let run =
+    Helpers.run_image
+      ~config:(Liquid_pipeline.Cpu.liquid_config ~lanes:16)
+      liquid_prog
+  in
+  check_arrays "translated agrees" expected (Helpers.read_array run liquid_prog "c")
+
+let test_aliasing_validation () =
+  (* Gather-from-stored-array and mixed strided access are rejected at
+     the IR level. *)
+  let expect_invalid body =
+    match Vloop.validate (mk_loop body) with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "expected a validation error"
+  in
+  expect_invalid
+    [ vld (v 1) "a"; vtbl (v 2) "c" (v 1); vst (v 2) "c" ];
+  expect_invalid
+    [ vlds ~stride:2 ~phase:0 (v 1) "a"; vld (v 2) "a"; vst (v 2) "c" ];
+  expect_invalid
+    [
+      vld (v 1) "a";
+      vsts ~stride:2 ~phase:1 (v 1) "c";
+      vsts ~stride:2 ~phase:1 (v 1) "c";
+    ];
+  expect_invalid
+    [
+      vld (v 1) "a";
+      vsts ~stride:2 ~phase:0 (v 1) "c";
+      vsts ~stride:4 ~phase:1 (v 1) "c";
+    ]
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "aliased permuted store fissions" `Quick
+        test_aliased_permuted_store_fissions;
+      Alcotest.test_case "aliasing validation" `Quick test_aliasing_validation;
+    ]

@@ -1,0 +1,278 @@
+(* Unit tests for the architectural semantics: one instruction at a time
+   against a hand-built context. *)
+
+open Liquid_isa
+open Liquid_visa
+open Liquid_pipeline
+module Memory = Liquid_machine.Memory
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let r = Reg.make
+let v = Vreg.make
+
+let ctx () = Sem.create_ctx (Memory.create ())
+let reg ctx i = ctx.Sem.regs.(i)
+let setr ctx i value = ctx.Sem.regs.(i) <- value
+let lane ctx vi l = ctx.Sem.vregs.(vi).(l)
+let set_lanes ctx vi values = Array.blit values 0 ctx.Sem.vregs.(vi) 0 (Array.length values)
+
+let step c insn = Sem.step_scalar c ~pc:10 insn
+let stepv c vinsn = Sem.step_vector c vinsn
+
+(* --- scalar --- *)
+
+let test_mov_imm () =
+  let c = ctx () in
+  let outcome, eff = step c (Insn.Mov { cond = Cond.Al; dst = r 1; src = Imm 42 }) in
+  check_bool "next" true (outcome = Sem.Next);
+  check "reg" 42 (reg c 1);
+  check_bool "value reported" true (eff.Sem.value = Some 42)
+
+let test_mov_predicated () =
+  let c = ctx () in
+  setr c 1 7;
+  c.Sem.flags <- Flags.of_compare 1 2 (* lt *);
+  let _, eff = step c (Insn.Mov { cond = Cond.Gt; dst = r 1; src = Imm 99 }) in
+  check "untouched when false" 7 (reg c 1);
+  check_bool "no value" true (eff.Sem.value = None);
+  let _, _ = step c (Insn.Mov { cond = Cond.Lt; dst = r 1; src = Imm 99 }) in
+  check "written when true" 99 (reg c 1)
+
+let test_dp () =
+  let c = ctx () in
+  setr c 2 6;
+  setr c 3 7;
+  ignore (step c (Insn.Dp { cond = Cond.Al; op = Opcode.Mul; dst = r 1; src1 = r 2; src2 = Reg (r 3) }));
+  check "mul" 42 (reg c 1);
+  ignore (step c (Insn.Dp { cond = Cond.Al; op = Opcode.Sub; dst = r 4; src1 = r 1; src2 = Imm 2 }));
+  check "sub imm" 40 (reg c 4)
+
+let test_ld_st_scaled () =
+  let c = ctx () in
+  Memory.write c.Sem.mem ~addr:(0x2000 + 12) ~bytes:4 (-77);
+  setr c 0 3;
+  let _, eff =
+    step c
+      (Insn.Ld { esize = Esize.Word; signed = true; dst = r 1; base = Sym 0x2000; index = Reg (r 0); shift = 2 })
+  in
+  check "loaded" (-77) (reg c 1);
+  (match eff.Sem.accesses with
+  | [ { Sem.addr; bytes; write } ] ->
+      check "addr" (0x2000 + 12) addr;
+      check "bytes" 4 bytes;
+      check_bool "read" false write
+  | _ -> Alcotest.fail "expected one access");
+  setr c 2 1234;
+  ignore
+    (step c (Insn.St { esize = Esize.Half; src = r 2; base = Sym 0x3000; index = Imm 5; shift = 1 }));
+  check "stored half" 1234 (Memory.read c.Sem.mem ~addr:(0x3000 + 10) ~bytes:2 ~signed:true)
+
+let test_ld_sign_modes () =
+  let c = ctx () in
+  Memory.write c.Sem.mem ~addr:0x100 ~bytes:1 0xF0;
+  ignore
+    (step c (Insn.Ld { esize = Esize.Byte; signed = true; dst = r 1; base = Sym 0x100; index = Imm 0; shift = 0 }));
+  check "signed byte" (-16) (reg c 1);
+  ignore
+    (step c (Insn.Ld { esize = Esize.Byte; signed = false; dst = r 2; base = Sym 0x100; index = Imm 0; shift = 0 }));
+  check "unsigned byte" 0xF0 (reg c 2)
+
+let test_st_truncates () =
+  let c = ctx () in
+  setr c 1 0x1FF;
+  ignore (step c (Insn.St { esize = Esize.Byte; src = r 1; base = Sym 0x400; index = Imm 0; shift = 0 }));
+  check "truncated" 0xFF (Memory.read_byte c.Sem.mem 0x400)
+
+let test_branches () =
+  let c = ctx () in
+  c.Sem.flags <- Flags.of_compare 3 3;
+  let outcome, eff = step c (Insn.B { cond = Cond.Eq; target = 55 }) in
+  check_bool "taken" true (outcome = Sem.Jump 55);
+  check_bool "reported taken" true (eff.Sem.taken = Some true);
+  let outcome, eff = step c (Insn.B { cond = Cond.Lt; target = 55 }) in
+  check_bool "not taken" true (outcome = Sem.Next);
+  check_bool "reported not taken" true (eff.Sem.taken = Some false)
+
+let test_call_ret () =
+  let c = ctx () in
+  let outcome, _ = step c (Insn.Bl { target = 20; region = true }) in
+  check_bool "call" true (outcome = Sem.Call { target = 20; region = true });
+  check "lr" 11 (reg c 14);
+  let outcome, _ = step c Insn.Ret in
+  check_bool "return" true (outcome = Sem.Return)
+
+let test_cmp_halt () =
+  let c = ctx () in
+  setr c 1 5;
+  ignore (step c (Insn.Cmp { src1 = r 1; src2 = Imm 9 }));
+  check_bool "flags lt" true c.Sem.flags.Flags.lt;
+  let outcome, _ = step c Insn.Halt in
+  check_bool "stop" true (outcome = Sem.Stop)
+
+(* --- vector --- *)
+
+let test_vld_vst () =
+  let c = ctx () in
+  c.Sem.lanes <- 4;
+  for i = 0 to 7 do
+    Memory.write c.Sem.mem ~addr:(0x5000 + (i * 4)) ~bytes:4 (100 + i)
+  done;
+  setr c 0 4 (* element index *);
+  let eff =
+    stepv c (Vinsn.Vld { esize = Esize.Word; signed = true; dst = v 1; base = Insn.Sym 0x5000; index = r 0 })
+  in
+  check "lane0" 104 (lane c 1 0);
+  check "lane3" 107 (lane c 1 3);
+  (match eff.Sem.accesses with
+  | [ { Sem.addr; bytes; _ } ] ->
+      check "base addr" (0x5000 + 16) addr;
+      check "bytes" 16 bytes
+  | _ -> Alcotest.fail "one access");
+  setr c 0 0;
+  ignore (stepv c (Vinsn.Vst { esize = Esize.Word; src = v 1; base = Insn.Sym 0x6000; index = r 0 }));
+  check "stored lane2" 106 (Memory.read c.Sem.mem ~addr:(0x6000 + 8) ~bytes:4 ~signed:true)
+
+let test_vld_subword () =
+  let c = ctx () in
+  c.Sem.lanes <- 2;
+  Memory.write c.Sem.mem ~addr:0x700 ~bytes:1 0x80;
+  Memory.write c.Sem.mem ~addr:0x701 ~bytes:1 0x7F;
+  setr c 0 0;
+  ignore
+    (stepv c (Vinsn.Vld { esize = Esize.Byte; signed = true; dst = v 2; base = Insn.Sym 0x700; index = r 0 }));
+  check "signed lane" (-128) (lane c 2 0);
+  check "positive lane" 127 (lane c 2 1)
+
+let test_vdp_variants () =
+  let c = ctx () in
+  c.Sem.lanes <- 4;
+  set_lanes c 1 [| 1; 2; 3; 4 |];
+  set_lanes c 2 [| 10; 20; 30; 40 |];
+  ignore (stepv c (Vinsn.Vdp { op = Opcode.Add; dst = v 3; src1 = v 1; src2 = VR (v 2) }));
+  Alcotest.(check (array int)) "vr" [| 11; 22; 33; 44 |] (Array.sub c.Sem.vregs.(3) 0 4);
+  ignore (stepv c (Vinsn.Vdp { op = Opcode.Mul; dst = v 4; src1 = v 1; src2 = VImm 3 }));
+  Alcotest.(check (array int)) "vimm" [| 3; 6; 9; 12 |] (Array.sub c.Sem.vregs.(4) 0 4);
+  ignore
+    (stepv c (Vinsn.Vdp { op = Opcode.And; dst = v 5; src1 = v 2; src2 = VConst [| -1; 0; -1; 0 |] }));
+  Alcotest.(check (array int)) "vconst mask" [| 10; 0; 30; 0 |]
+    (Array.sub c.Sem.vregs.(5) 0 4)
+
+let test_vdp_in_place () =
+  let c = ctx () in
+  c.Sem.lanes <- 2;
+  set_lanes c 1 [| 5; 7 |];
+  ignore (stepv c (Vinsn.Vdp { op = Opcode.Mul; dst = v 1; src1 = v 1; src2 = VR (v 1) }));
+  Alcotest.(check (array int)) "squares in place" [| 25; 49 |]
+    (Array.sub c.Sem.vregs.(1) 0 2)
+
+let test_vconst_width_mismatch () =
+  let c = ctx () in
+  c.Sem.lanes <- 4;
+  Alcotest.check_raises "sigill" (Sem.Sigill "constant vector width mismatch")
+    (fun () ->
+      ignore
+        (stepv c (Vinsn.Vdp { op = Opcode.Add; dst = v 1; src1 = v 1; src2 = VConst [| 1; 2 |] })))
+
+let test_vsat () =
+  let c = ctx () in
+  c.Sem.lanes <- 4;
+  set_lanes c 1 [| 200; 100; 10; 255 |];
+  set_lanes c 2 [| 100; 100; 5; 255 |];
+  ignore
+    (stepv c
+       (Vinsn.Vsat { op = `Add; esize = Esize.Byte; signed = false; dst = v 3; src1 = v 1; src2 = v 2 }));
+  Alcotest.(check (array int)) "saturated" [| 255; 200; 15; 255 |]
+    (Array.sub c.Sem.vregs.(3) 0 4)
+
+let test_vperm () =
+  let c = ctx () in
+  c.Sem.lanes <- 8;
+  set_lanes c 1 [| 0; 1; 2; 3; 4; 5; 6; 7 |];
+  ignore (stepv c (Vinsn.Vperm { pattern = Perm.Halfswap 8; dst = v 2; src = v 1 }));
+  Alcotest.(check (array int)) "bfly" [| 4; 5; 6; 7; 0; 1; 2; 3 |]
+    (Array.sub c.Sem.vregs.(2) 0 8)
+
+let test_vperm_unsupported () =
+  let c = ctx () in
+  c.Sem.lanes <- 4;
+  Alcotest.(check bool) "sigill" true
+    (try
+       ignore (stepv c (Vinsn.Vperm { pattern = Perm.Halfswap 8; dst = v 1; src = v 1 }));
+       false
+     with Sem.Sigill _ -> true)
+
+let test_vred () =
+  let c = ctx () in
+  c.Sem.lanes <- 4;
+  set_lanes c 1 [| 9; -3; 7; 2 |];
+  setr c 5 100;
+  let eff = stepv c (Vinsn.Vred { op = Opcode.Add; acc = r 5; src = v 1 }) in
+  check "sum accumulates" 115 (reg c 5);
+  check_bool "value" true (eff.Sem.value = Some 115);
+  setr c 6 0;
+  ignore (stepv c (Vinsn.Vred { op = Opcode.Smin; acc = r 6; src = v 1 }));
+  check "min" (-3) (reg c 6)
+
+let test_vector_width_respected () =
+  (* Only the first [lanes] lanes participate. *)
+  let c = ctx () in
+  c.Sem.lanes <- 2;
+  set_lanes c 1 [| 1; 1; 99; 99 |];
+  setr c 5 0;
+  ignore (stepv c (Vinsn.Vred { op = Opcode.Add; acc = r 5; src = v 1 }));
+  check "only two lanes" 2 (reg c 5)
+
+let tests =
+  [
+    Alcotest.test_case "scalar: mov imm" `Quick test_mov_imm;
+    Alcotest.test_case "scalar: predicated mov" `Quick test_mov_predicated;
+    Alcotest.test_case "scalar: dp" `Quick test_dp;
+    Alcotest.test_case "scalar: ld/st scaled" `Quick test_ld_st_scaled;
+    Alcotest.test_case "scalar: load sign modes" `Quick test_ld_sign_modes;
+    Alcotest.test_case "scalar: store truncates" `Quick test_st_truncates;
+    Alcotest.test_case "scalar: branches" `Quick test_branches;
+    Alcotest.test_case "scalar: call/ret" `Quick test_call_ret;
+    Alcotest.test_case "scalar: cmp/halt" `Quick test_cmp_halt;
+    Alcotest.test_case "vector: vld/vst" `Quick test_vld_vst;
+    Alcotest.test_case "vector: sub-word load" `Quick test_vld_subword;
+    Alcotest.test_case "vector: vdp variants" `Quick test_vdp_variants;
+    Alcotest.test_case "vector: in-place vdp" `Quick test_vdp_in_place;
+    Alcotest.test_case "vector: vconst width mismatch" `Quick test_vconst_width_mismatch;
+    Alcotest.test_case "vector: saturation" `Quick test_vsat;
+    Alcotest.test_case "vector: permutation" `Quick test_vperm;
+    Alcotest.test_case "vector: unsupported permutation" `Quick test_vperm_unsupported;
+    Alcotest.test_case "vector: reduction" `Quick test_vred;
+    Alcotest.test_case "vector: width respected" `Quick test_vector_width_respected;
+  ]
+
+let test_register_based_addressing () =
+  (* Breg bases exist for completeness of the ISA (the generated code
+     always uses symbols). *)
+  let c = ctx () in
+  Memory.write c.Sem.mem ~addr:0x900 ~bytes:4 55;
+  setr c 8 0x900;
+  ignore
+    (step c (Insn.Ld { esize = Esize.Word; signed = true; dst = r 1; base = Breg (r 8); index = Imm 0; shift = 0 }));
+  check "loaded via register base" 55 (reg c 1);
+  c.Sem.lanes <- 2;
+  setr c 0 0;
+  ignore
+    (stepv c (Vinsn.Vld { esize = Esize.Word; signed = true; dst = v 1; base = Insn.Breg (r 8); index = r 0 }));
+  check "vector register base" 55 (lane c 1 0)
+
+let test_negative_index_addressing () =
+  let c = ctx () in
+  Memory.write c.Sem.mem ~addr:(0x1000 - 4) ~bytes:4 77;
+  setr c 2 (-1);
+  ignore
+    (step c (Insn.Ld { esize = Esize.Word; signed = true; dst = r 1; base = Sym 0x1000; index = Reg (r 2); shift = 2 }));
+  check "negative scaled index" 77 (reg c 1)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "register-based addressing" `Quick
+        test_register_based_addressing;
+      Alcotest.test_case "negative index" `Quick test_negative_index_addressing;
+    ]

@@ -1,0 +1,124 @@
+(* End-to-end smoke tests: one binary, every machine flavour, identical
+   memory results; translation succeeds and is reused. *)
+
+open Liquid_isa
+open Liquid_prog
+open Liquid_scalarize
+open Helpers
+module Cpu = Liquid_pipeline.Cpu
+
+let vadd_loop =
+  let open Build in
+  {
+    Vloop.name = "vadd";
+    count = 64;
+    body =
+      [
+        vld (v 1) "a";
+        vld (v 2) "b";
+        vadd (v 3) (v 1) (vr (v 2));
+        vst (v 3) "c";
+      ];
+    reductions = [];
+  }
+
+let vadd_data =
+  [
+    Data.make ~name:"a" ~esize:Esize.Word (words 64 (fun i -> i * 3));
+    Data.make ~name:"b" ~esize:Esize.Word (words 64 (fun i -> 1000 - i));
+    Data.zeros ~name:"c" ~esize:Esize.Word 64;
+  ]
+
+let expected_c = words 64 (fun i -> (i * 3) + (1000 - i))
+
+let test_baseline_computes () =
+  let prog = Codegen.baseline (simple_program ~frames:2 ~data:vadd_data vadd_loop) in
+  let run = run_image prog in
+  check_arrays "c" expected_c (read_array run prog "c")
+
+let test_liquid_scalar_machine () =
+  (* A Liquid binary on a machine with no accelerator and no translator
+     still computes correctly through its scalar representation. *)
+  let prog = Codegen.liquid (simple_program ~frames:2 ~data:vadd_data vadd_loop) in
+  let run = run_image prog in
+  check_arrays "c" expected_c (read_array run prog "c");
+  Alcotest.(check int) "no vector instructions" 0 run.Cpu.stats.vector_insns
+
+let test_liquid_translated_widths () =
+  let prog = Codegen.liquid (simple_program ~frames:4 ~data:vadd_data vadd_loop) in
+  List.iter
+    (fun lanes ->
+      let run = run_image ~config:(Cpu.liquid_config ~lanes) prog in
+      check_arrays
+        (Printf.sprintf "c at width %d" lanes)
+        expected_c (read_array run prog "c");
+      Alcotest.(check bool)
+        (Printf.sprintf "ucode hits at width %d" lanes)
+        true
+        (run.Cpu.stats.ucode_hits >= 2);
+      Alcotest.(check bool)
+        (Printf.sprintf "vector insns at width %d" lanes)
+        true
+        (run.Cpu.stats.vector_insns > 0))
+    [ 2; 4; 8; 16 ]
+
+let test_native_matches () =
+  List.iter
+    (fun lanes ->
+      let prog =
+        Codegen.native ~width:lanes
+          (simple_program ~frames:2 ~data:vadd_data vadd_loop)
+      in
+      let run = run_image ~config:(Cpu.native_config ~lanes) prog in
+      check_arrays
+        (Printf.sprintf "native c at %d" lanes)
+        expected_c (read_array run prog "c"))
+    [ 2; 4; 8; 16 ]
+
+let test_liquid_faster_with_accel () =
+  let prog = Codegen.liquid (simple_program ~frames:8 ~data:vadd_data vadd_loop) in
+  let scalar = run_image prog in
+  let wide = run_image ~config:(Cpu.liquid_config ~lanes:8) prog in
+  Alcotest.(check bool)
+    "8-wide runs in fewer cycles" true
+    (wide.Cpu.stats.cycles < scalar.Cpu.stats.cycles)
+
+let test_fft_all_flavours () =
+  let count = 128 in
+  let vprog = simple_program ~name:"fft" ~frames:3 ~data:(fft_data ~count) (fft_loop ~count) in
+  let base_prog = Codegen.baseline vprog in
+  let base = run_image base_prog in
+  let liquid_prog = Codegen.liquid vprog in
+  (* Scalar machine. *)
+  let run0 = run_image liquid_prog in
+  check_memory_equal "liquid-on-scalar vs baseline: RealOut"
+    { run0 with Cpu.memory = run0.Cpu.memory }
+    run0;
+  check_arrays "fft scalar" (read_array base base_prog "RealOut")
+    (read_array run0 liquid_prog "RealOut");
+  (* Translated at each width. *)
+  List.iter
+    (fun lanes ->
+      let run = run_image ~config:(Cpu.liquid_config ~lanes) liquid_prog in
+      check_arrays
+        (Printf.sprintf "fft RealOut at width %d" lanes)
+        (read_array base base_prog "RealOut")
+        (read_array run liquid_prog "RealOut");
+      if lanes >= 8 then
+        Alcotest.(check bool)
+          (Printf.sprintf "fft translated at %d" lanes)
+          true
+          (run.Cpu.stats.ucode_hits > 0))
+    [ 2; 4; 8; 16 ]
+
+let tests =
+  [
+    Alcotest.test_case "baseline computes" `Quick test_baseline_computes;
+    Alcotest.test_case "liquid on scalar machine" `Quick test_liquid_scalar_machine;
+    Alcotest.test_case "liquid translated at all widths" `Quick
+      test_liquid_translated_widths;
+    Alcotest.test_case "native matches" `Quick test_native_matches;
+    Alcotest.test_case "liquid faster with accelerator" `Quick
+      test_liquid_faster_with_accel;
+    Alcotest.test_case "fft example all flavours" `Quick test_fft_all_flavours;
+  ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "liquid_simd"
+    [
+      ("machine", Suite_machine.tests);
+      ("isa", Suite_isa.tests);
+      ("visa", Suite_visa.tests);
+      ("prog", Suite_prog.tests);
+      ("parse", Suite_parse.tests);
+      ("sem", Suite_sem.tests);
+      ("scalarize", Suite_scalarize.tests);
+      ("cpu", Suite_cpu.tests);
+      ("pipeline-units", Suite_pipeline_units.tests);
+      ("interleave", Suite_interleave.tests);
+      ("microcode", Suite_microcode.tests);
+      ("kernels", Suite_kernels.tests);
+      ("workloads", Suite_workloads.tests);
+      ("props", Suite_props.tests);
+      ("harness", Suite_harness.tests);
+      ("translator", Suite_translator.tests);
+      ("fidelity", Suite_fidelity.tests);
+      ("smoke", Suite_smoke.tests);
+    ]
