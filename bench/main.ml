@@ -4,7 +4,11 @@
    Test.make per table/figure plus microbenchmarks of the core pipeline
    stages.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+
+   Every run also writes BENCH.json (machine-readable: per-test ns/run,
+   report wall time, simulated cycle throughput). Pass --json-only to
+   suppress the human-readable output and only write the file. *)
 
 open Bechamel
 open Toolkit
@@ -16,39 +20,44 @@ open Liquid_workloads
 module Hwmodel = Liquid_hwmodel.Hwmodel
 
 let find name = match Workload.find name with Some w -> w | None -> assert false
+let json_only = Array.exists (fun a -> a = "--json-only") Sys.argv
+
+(* In --json-only mode the reports still run (their wall time is part of
+   BENCH.json) but print into a formatter that discards everything. *)
+let drain = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+let out = if json_only then drain else Format.std_formatter
 
 (* --- Part 1: regenerate the evaluation --- *)
 
 let print_reports () =
-  Format.printf "==============================================================@.";
-  Format.printf " Liquid SIMD: reproduction of the paper's evaluation (HPCA'07)@.";
-  Format.printf "==============================================================@.@.";
-  Format.printf "%a@.@." Experiments.pp_table2 (Experiments.table2 ());
-  Format.printf "%a@.@." Experiments.pp_table5 (Experiments.table5 ());
-  Format.printf "%a@.@." Experiments.pp_table6 (Experiments.table6 ());
-  Format.printf "%a@.@." Experiments.pp_figure6 (Experiments.figure6 ());
-  Format.printf "%a@.@." Experiments.pp_code_size (Experiments.code_size ());
-  Format.printf "%a@.@." Experiments.pp_ucode_cache (Experiments.ucode_cache ());
-  Format.printf "%a@.@." Experiments.pp_latency (Experiments.latency_ablation ());
-  Format.printf "%a@.@." Experiments.pp_overhead
-    (Experiments.overhead_convergence ());
-  Format.printf "%a@.@."
+  let pf fmt = Format.fprintf out fmt in
+  pf "==============================================================@.";
+  pf " Liquid SIMD: reproduction of the paper's evaluation (HPCA'07)@.";
+  pf "==============================================================@.@.";
+  pf "%a@.@." Experiments.pp_table2 (Experiments.table2 ());
+  pf "%a@.@." Experiments.pp_table5 (Experiments.table5 ());
+  pf "%a@.@." Experiments.pp_table6 (Experiments.table6 ());
+  pf "%a@.@." Experiments.pp_figure6 (Experiments.figure6 ());
+  pf "%a@.@." Experiments.pp_code_size (Experiments.code_size ());
+  pf "%a@.@." Experiments.pp_ucode_cache (Experiments.ucode_cache ());
+  pf "%a@.@." Experiments.pp_latency (Experiments.latency_ablation ());
+  pf "%a@.@." Experiments.pp_overhead (Experiments.overhead_convergence ());
+  pf "%a@.@."
     (Experiments.pp_sweep
        ~title:"Ablation: microcode cache capacity (8 hot loops round-robin)"
        ~value_label:"Entries")
     (Experiments.ucode_entries_ablation ());
-  Format.printf "%a@.@."
+  pf "%a@.@."
     (Experiments.pp_sweep
        ~title:"Ablation: microcode buffer capacity (101.tomcatv, largest loop 63 uops)"
        ~value_label:"Capacity")
     (Experiments.buffer_ablation ());
-  Format.printf "%a@.@."
+  pf "%a@.@."
     (Experiments.pp_sweep
        ~title:"Ablation: vector memory bus width (FIR, 16 lanes)"
        ~value_label:"Bus bytes")
     (Experiments.bus_ablation ());
-  Format.printf "%a@.@." Experiments.pp_kind
-    (Experiments.translator_kind_ablation ())
+  pf "%a@.@." Experiments.pp_kind (Experiments.translator_kind_ablation ())
 
 (* --- Part 2: Bechamel timings, one per experiment --- *)
 
@@ -149,11 +158,14 @@ let tests =
   ]
 
 let run_benchmarks () =
-  Format.printf "==============================================================@.";
-  Format.printf " Bechamel timings (wall-clock per invocation)@.";
-  Format.printf "==============================================================@.";
+  Format.fprintf out
+    "==============================================================@.";
+  Format.fprintf out " Bechamel timings (wall-clock per invocation)@.";
+  Format.fprintf out
+    "==============================================================@.";
   let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) () in
   let instances = Instance.[ monotonic_clock ] in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -164,11 +176,57 @@ let run_benchmarks () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Format.printf "  %-28s %12.0f ns/run@." name est
-          | Some _ | None -> Format.printf "  %-28s (no estimate)@." name)
+          | Some [ est ] ->
+              estimates := (name, est) :: !estimates;
+              Format.fprintf out "  %-28s %12.0f ns/run@." name est
+          | Some _ | None ->
+              Format.fprintf out "  %-28s (no estimate)@." name)
         analysis)
-    tests
+    tests;
+  List.rev !estimates
+
+(* Simulated-cycle throughput: every workload under the two headline
+   variants, fresh simulations (no memo cache), cycles per wall second. *)
+let sim_throughput () =
+  let cycles_of w v =
+    (Runner.run w v).Runner.run.Cpu.stats.Liquid_machine.Stats.cycles
+  in
+  let t0 = Unix.gettimeofday () in
+  let cycles =
+    List.fold_left
+      (fun acc (w : Workload.t) ->
+        acc + cycles_of w Runner.Baseline + cycles_of w (Runner.Liquid 8))
+      0 (Workload.all ())
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (cycles, wall, float_of_int cycles /. wall)
+
+let write_json ~report_wall_s ~sim ~estimates path =
+  let sim_cycles, sim_wall_s, sim_cycles_per_s = sim in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"report_wall_s\": %.3f,\n" report_wall_s;
+  p "  \"sim_cycles\": %d,\n" sim_cycles;
+  p "  \"sim_wall_s\": %.3f,\n" sim_wall_s;
+  p "  \"sim_cycles_per_s\": %.0f,\n" sim_cycles_per_s;
+  p "  \"tests\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    { \"name\": %S, \"ns_per_run\": %.0f }%s\n" name ns
+        (if i = List.length estimates - 1 then "" else ","))
+    estimates;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
 
 let () =
+  let t0 = Unix.gettimeofday () in
   print_reports ();
-  run_benchmarks ()
+  let report_wall_s = Unix.gettimeofday () -. t0 in
+  let estimates = run_benchmarks () in
+  Runner.clear_cache ();
+  let sim = sim_throughput () in
+  write_json ~report_wall_s ~sim ~estimates "BENCH.json";
+  if not json_only then
+    Format.printf "@.report wall %.3f s; BENCH.json written@." report_wall_s

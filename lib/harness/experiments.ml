@@ -39,7 +39,7 @@ type table5_row = {
 }
 
 let table5 () =
-  List.map
+  Runner.run_many
     (fun (w : Workload.t) ->
       let sizes = List.map snd (Codegen.outlined_sizes w.program) in
       let n = List.length sizes in
@@ -90,9 +90,9 @@ let region_first_gap (run : Cpu.run) =
     run.Cpu.regions
 
 let table6 () =
-  List.map
+  Runner.run_many
     (fun (w : Workload.t) ->
-      let { Runner.run; _ } = Runner.run w (Runner.Liquid 8) in
+      let { Runner.run; _ } = Runner.run_cached w (Runner.Liquid 8) in
       let gaps = List.map snd (region_first_gap run) in
       let n = List.length gaps in
       {
@@ -130,13 +130,13 @@ type fig6_row = {
 }
 
 let figure6 ?(widths = [ 2; 4; 8; 16 ]) () =
-  List.map
+  Runner.run_many
     (fun (w : Workload.t) ->
-      let base = (Runner.run w Runner.Baseline).run in
+      let base = (Runner.run_cached w Runner.Baseline).run in
       let speedups =
         List.map
           (fun lanes ->
-            let { Runner.run; _ } = Runner.run w (Runner.Liquid lanes) in
+            let { Runner.run; _ } = Runner.run_cached w (Runner.Liquid lanes) in
             (lanes, Runner.speedup ~baseline:base run))
           widths
       in
@@ -146,7 +146,9 @@ let figure6 ?(widths = [ 2; 4; 8; 16 ]) () =
            processor with built-in ISA support for the SIMD code. *)
         List.map
           (fun lanes ->
-            let { Runner.run; _ } = Runner.run w (Runner.Liquid_oracle lanes) in
+            let { Runner.run; _ } =
+              Runner.run_cached w (Runner.Liquid_oracle lanes)
+            in
             let native = Runner.speedup ~baseline:base run in
             (lanes, native -. List.assoc lanes speedups))
           widths
@@ -181,7 +183,7 @@ type size_row = {
 }
 
 let code_size () =
-  List.map
+  Runner.run_many
     (fun (w : Workload.t) ->
       let base = Image.of_program (Codegen.baseline w.program) in
       let liquid = Image.of_program (Codegen.liquid w.program) in
@@ -216,9 +218,9 @@ type ucode_row = {
 }
 
 let ucode_cache () =
-  List.map
+  Runner.run_many
     (fun (w : Workload.t) ->
-      let { Runner.run; _ } = Runner.run w (Runner.Liquid 16) in
+      let { Runner.run; _ } = Runner.run_cached w (Runner.Liquid 16) in
       let max_uops =
         List.fold_left
           (fun acc (r : Cpu.region_report) ->
@@ -253,13 +255,15 @@ let pp_ucode_cache ppf rows =
 type latency_row = { lat_name : string; lat_speedups : (int * float) list }
 
 let latency_ablation ?(costs = [ 1; 10; 30; 100 ]) () =
-  List.map
+  Runner.run_many
     (fun (w : Workload.t) ->
-      let base = (Runner.run w Runner.Baseline).run in
+      let base = (Runner.run_cached w Runner.Baseline).run in
       let speedups =
         List.map
           (fun c ->
-            let { Runner.run; _ } = Runner.run ~translation_cpi:c w (Runner.Liquid 8) in
+            let { Runner.run; _ } =
+              Runner.run_cached ~translation_cpi:c w (Runner.Liquid 8)
+            in
             (c, Runner.speedup ~baseline:base run))
           costs
       in
@@ -316,7 +320,7 @@ let overhead_convergence ?(frames_list = [ 2; 5; 20; 80; 320 ]) () =
         ];
     }
   in
-  List.map
+  Runner.run_many
     (fun frames ->
       let p = program frames in
       let base =
@@ -362,9 +366,9 @@ let sweep_workload name mk_config values =
   let w =
     match Workload.find name with Some w -> w | None -> invalid_arg name
   in
-  let base = (Runner.run w Runner.Baseline).Runner.run in
+  let base = (Runner.run_cached w Runner.Baseline).Runner.run in
   let image = Image.of_program (Codegen.liquid w.Workload.program) in
-  List.map
+  Runner.run_many
     (fun value ->
       let run = Cpu.run ~config:(mk_config value) image in
       let calls = run.Cpu.stats.Stats.region_calls in
@@ -406,7 +410,7 @@ let ucode_entries_ablation ?(entries = [ 1; 2; 4; 8; 16 ]) () =
     Cpu.run ~config:Cpu.scalar_config (Image.of_program (Codegen.baseline p))
   in
   let image = Image.of_program (Codegen.liquid p) in
-  List.map
+  Runner.run_many
     (fun n ->
       let run =
         Cpu.run
@@ -451,9 +455,9 @@ let pp_sweep ~title ~value_label ppf rows =
 type kind_row = { kr_name : string; kr_hw : float; kr_sw : float }
 
 let translator_kind_ablation ?(cost = 100) () =
-  List.map
+  Runner.run_many
     (fun (w : Workload.t) ->
-      let base = (Runner.run w Runner.Baseline).Runner.run in
+      let base = (Runner.run_cached w Runner.Baseline).Runner.run in
       let image = Image.of_program (Codegen.liquid w.Workload.program) in
       let speedup kind cycles_per_insn =
         let run =

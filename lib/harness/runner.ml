@@ -44,6 +44,98 @@ let run ?translation_cpi ?fuel (w : Workload.t) variant =
   in
   { variant; program; run = Cpu.run ~config (Image.of_program program) }
 
+(* --- memoized runs --- *)
+
+(* Simulations are pure functions of the workload, variant and machine
+   knobs, and the experiment suite re-runs the same (workload, variant)
+   pairs dozens of times (every table needs the baseline cycles of every
+   workload). One process-wide table keyed on the full input tuple turns
+   those repeats into lookups. The [translation_cpi] knob only reaches
+   the config of [Liquid] variants, so it is normalized out of the key
+   everywhere else. *)
+
+type cache_key = {
+  ck_workload : string;
+  ck_variant : variant;
+  ck_cpi : int;
+  ck_fuel : int;
+}
+
+let cache : (cache_key, result) Hashtbl.t = Hashtbl.create 64
+let cache_mutex = Mutex.create ()
+
+let cache_key (w : Workload.t) variant ~translation_cpi ~fuel =
+  {
+    ck_workload = w.Workload.name;
+    ck_variant = variant;
+    ck_cpi =
+      (match variant with
+      | Liquid _ -> Option.value translation_cpi ~default:1
+      | Baseline | Liquid_scalar | Liquid_oracle _ | Native _ -> 1);
+    ck_fuel = Option.value fuel ~default:Cpu.scalar_config.Cpu.fuel;
+  }
+
+let run_cached ?translation_cpi ?fuel (w : Workload.t) variant =
+  let key = cache_key w variant ~translation_cpi ~fuel in
+  match
+    Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key)
+  with
+  | Some r -> r
+  | None ->
+      let r = run ?translation_cpi ?fuel w variant in
+      Mutex.protect cache_mutex (fun () ->
+          match Hashtbl.find_opt cache key with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.replace cache key r;
+              r)
+
+let clear_cache () =
+  Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
+
+(* --- domain fan-out --- *)
+
+let run_many ?domains f items =
+  let items_a = Array.of_list items in
+  let n = Array.length items_a in
+  let workers =
+    let d =
+      match domains with
+      | Some d -> d
+      | None -> Domain.recommended_domain_count ()
+    in
+    max 1 (min d n)
+  in
+  if n = 0 then []
+  else if workers = 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          try results.(i) <- Some (f items_a.(i))
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+      done
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> assert false)
+         results)
+  end
+
 let speedup ~(baseline : Cpu.run) (run : Cpu.run) =
   float_of_int baseline.Cpu.stats.Liquid_machine.Stats.cycles
   /. float_of_int run.Cpu.stats.Liquid_machine.Stats.cycles

@@ -70,6 +70,28 @@ let uses = function
   | Bl _ -> []
   | Ret -> [ Reg.lr ]
 
+(* Allocation-free membership test over [uses]: the interlock check runs
+   once per retired instruction, where building the list is measurable. *)
+let operand_uses_reg o r =
+  match o with Imm _ -> false | Reg x -> Reg.equal x r
+
+let base_uses_reg b r = match b with Sym _ -> false | Breg x -> Reg.equal x r
+
+let uses_reg insn r =
+  match insn with
+  | Mov { src; cond; dst; _ } ->
+      operand_uses_reg src r
+      || ((not (Cond.equal cond Cond.Al)) && Reg.equal dst r)
+  | Dp { src1; src2; cond; dst; _ } ->
+      Reg.equal src1 r || operand_uses_reg src2 r
+      || ((not (Cond.equal cond Cond.Al)) && Reg.equal dst r)
+  | Ld { base; index; _ } -> base_uses_reg base r || operand_uses_reg index r
+  | St { src; base; index; _ } ->
+      Reg.equal src r || base_uses_reg base r || operand_uses_reg index r
+  | Cmp { src1; src2 } -> Reg.equal src1 r || operand_uses_reg src2 r
+  | B _ | Halt | Bl _ -> false
+  | Ret -> Reg.equal Reg.lr r
+
 let is_branch = function B _ | Bl _ | Ret -> true | _ -> false
 
 let equal_operand a b =

@@ -61,6 +61,10 @@ val defs : ('a, 'b) t -> Reg.t list
 val uses : ('a, 'b) t -> Reg.t list
 (** Registers read, including base/index registers. *)
 
+val uses_reg : ('a, 'b) t -> Reg.t -> bool
+(** [uses_reg i r] is [List.exists (Reg.equal r) (uses i)] without
+    building the list. *)
+
 val is_branch : ('a, 'b) t -> bool
 val equal : ('s -> 's -> bool) -> ('l -> 'l -> bool) -> ('s, 'l) t -> ('s, 'l) t -> bool
 val equal_exec : exec -> exec -> bool

@@ -47,34 +47,43 @@ let create cfg =
 
 let config t = t.cfg
 
+(* The hit scan runs once per simulated instruction (instruction fetch)
+   plus once per data access, so it is an early-exit loop with no
+   closures or boxing; the victim scan only runs on misses. *)
 let access t addr =
   let line = addr lsr t.line_shift in
   let set = t.sets.(line land (t.n_sets - 1)) in
   let tag = line lsr t.set_shift in
   t.clock <- t.clock + 1;
-  let found = ref None in
-  Array.iter
-    (fun w -> if w.valid && w.tag = tag && !found = None then found := Some w)
-    set;
-  match !found with
-  | Some w ->
-      w.age <- t.clock;
-      t.hits <- t.hits + 1;
-      Hit
-  | None ->
-      let victim = ref set.(0) in
-      Array.iter
-        (fun w ->
-          let v = !victim in
-          if (not w.valid) && v.valid then victim := w
-          else if w.valid = v.valid && w.age < v.age then victim := w)
-        set;
+  let n = Array.length set in
+  let hit = ref (-1) in
+  let i = ref 0 in
+  while !hit < 0 && !i < n do
+    let w = Array.unsafe_get set !i in
+    if w.valid && w.tag = tag then hit := !i;
+    incr i
+  done;
+  if !hit >= 0 then begin
+    let w = set.(!hit) in
+    w.age <- t.clock;
+    t.hits <- t.hits + 1;
+    Hit
+  end
+  else begin
+    let victim = ref set.(0) in
+    for j = 1 to n - 1 do
+      let w = Array.unsafe_get set j in
       let v = !victim in
-      v.valid <- true;
-      v.tag <- tag;
-      v.age <- t.clock;
-      t.misses <- t.misses + 1;
-      Miss
+      if (not w.valid) && v.valid then victim := w
+      else if w.valid = v.valid && w.age < v.age then victim := w
+    done;
+    let v = !victim in
+    v.valid <- true;
+    v.tag <- tag;
+    v.age <- t.clock;
+    t.misses <- t.misses + 1;
+    Miss
+  end
 
 let line_bytes t = t.cfg.line_bytes
 

@@ -3,28 +3,60 @@ let page_size = 1 lsl page_bits
 let page_mask = page_size - 1
 let addr_mask = 0xFFFFFFFF
 
-type t = { pages : (int, Bytes.t) Hashtbl.t }
+(* Sparse paged memory with a one-entry page cache. Simulation touches
+   the same page for long runs of consecutive accesses (code fetch aside,
+   the working set of a loop iteration is a handful of arrays), so the
+   cache turns the common case into a single comparison instead of a
+   [Hashtbl] probe per byte. [no_page] is a zero-length sentinel standing
+   for "page not allocated"; it can never be returned for a real page. *)
 
-let create () = { pages = Hashtbl.create 64 }
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable last_idx : int;  (** page index held in [last_page]; -1 = none *)
+  mutable last_page : Bytes.t;
+}
+
+let no_page = Bytes.create 0
+
+let create () = { pages = Hashtbl.create 64; last_idx = -1; last_page = no_page }
 
 let copy m =
   let pages = Hashtbl.create (Hashtbl.length m.pages) in
   Hashtbl.iter (fun k v -> Hashtbl.replace pages k (Bytes.copy v)) m.pages;
-  { pages }
+  { pages; last_idx = -1; last_page = no_page }
 
+(* Resolve a page for reading: [no_page] when untouched (reads as zero). *)
+let[@inline] find_page m idx =
+  if m.last_idx = idx then m.last_page
+  else
+    match Hashtbl.find_opt m.pages idx with
+    | Some p ->
+        m.last_idx <- idx;
+        m.last_page <- p;
+        p
+    | None -> no_page
+
+(* Resolve a page for writing, allocating on first touch. *)
 let page_of m idx =
-  match Hashtbl.find_opt m.pages idx with
-  | Some p -> p
-  | None ->
-      let p = Bytes.make page_size '\000' in
-      Hashtbl.replace m.pages idx p;
-      p
+  if m.last_idx = idx then m.last_page
+  else begin
+    let p =
+      match Hashtbl.find_opt m.pages idx with
+      | Some p -> p
+      | None ->
+          let p = Bytes.make page_size '\000' in
+          Hashtbl.replace m.pages idx p;
+          p
+    in
+    m.last_idx <- idx;
+    m.last_page <- p;
+    p
+  end
 
 let read_byte m addr =
   let addr = addr land addr_mask in
-  match Hashtbl.find_opt m.pages (addr lsr page_bits) with
-  | None -> 0
-  | Some p -> Char.code (Bytes.unsafe_get p (addr land page_mask))
+  let p = find_page m (addr lsr page_bits) in
+  if p == no_page then 0 else Char.code (Bytes.unsafe_get p (addr land page_mask))
 
 let write_byte m addr v =
   let addr = addr land addr_mask in
@@ -35,7 +67,10 @@ let sign_extend ~bits v =
   let shift = Sys.int_size - bits in
   (v lsl shift) asr shift
 
-let read m ~addr ~bytes ~signed =
+(* Slow path: byte-at-a-time assembly for accesses that cross a page
+   boundary (each byte's address wraps within the 32-bit space, exactly
+   as four separate [read_byte] calls would). *)
+let read_slow m ~addr ~bytes ~signed =
   let raw =
     match bytes with
     | 1 -> read_byte m addr
@@ -49,7 +84,27 @@ let read m ~addr ~bytes ~signed =
   in
   if signed || bytes = 4 then sign_extend ~bits:(bytes * 8) raw else raw
 
-let write m ~addr ~bytes v =
+let read m ~addr ~bytes ~signed =
+  let addr = addr land addr_mask in
+  let off = addr land page_mask in
+  if off + bytes <= page_size then begin
+    let p = find_page m (addr lsr page_bits) in
+    if p == no_page then
+      match bytes with
+      | 1 | 2 | 4 -> 0
+      | n -> invalid_arg (Printf.sprintf "Memory.read: bad size %d" n)
+    else
+      match bytes with
+      | 1 ->
+          let v = Bytes.get_uint8 p off in
+          if signed then sign_extend ~bits:8 v else v
+      | 2 -> if signed then Bytes.get_int16_le p off else Bytes.get_uint16_le p off
+      | 4 -> Int32.to_int (Bytes.get_int32_le p off)
+      | n -> invalid_arg (Printf.sprintf "Memory.read: bad size %d" n)
+  end
+  else read_slow m ~addr ~bytes ~signed
+
+let write_slow m ~addr ~bytes v =
   match bytes with
   | 1 -> write_byte m addr v
   | 2 ->
@@ -62,8 +117,48 @@ let write m ~addr ~bytes v =
       write_byte m (addr + 3) (v asr 24)
   | n -> invalid_arg (Printf.sprintf "Memory.write: bad size %d" n)
 
-let blit_bytes m ~addr src =
-  Bytes.iteri (fun i c -> write_byte m (addr + i) (Char.code c)) src
+let write m ~addr ~bytes v =
+  let addr = addr land addr_mask in
+  let off = addr land page_mask in
+  if off + bytes <= page_size then
+    let p = page_of m (addr lsr page_bits) in
+    match bytes with
+    | 1 -> Bytes.unsafe_set p off (Char.unsafe_chr (v land 0xFF))
+    | 2 -> Bytes.set_uint16_le p off (v land 0xFFFF)
+    | 4 -> Bytes.set_int32_le p off (Int32.of_int v)
+    | n -> invalid_arg (Printf.sprintf "Memory.write: bad size %d" n)
+  else write_slow m ~addr ~bytes v
+
+let read_block m ~addr ~len dst =
+  if len < 0 || len > Bytes.length dst then
+    invalid_arg "Memory.read_block: bad length";
+  let addr = ref (addr land addr_mask) in
+  let pos = ref 0 in
+  while !pos < len do
+    let off = !addr land page_mask in
+    let n = min (len - !pos) (page_size - off) in
+    let p = find_page m (!addr lsr page_bits) in
+    if p == no_page then Bytes.fill dst !pos n '\000'
+    else Bytes.blit p off dst !pos n;
+    pos := !pos + n;
+    addr := (!addr + n) land addr_mask
+  done
+
+let write_block m ~addr ~len src =
+  if len < 0 || len > Bytes.length src then
+    invalid_arg "Memory.write_block: bad length";
+  let addr = ref (addr land addr_mask) in
+  let pos = ref 0 in
+  while !pos < len do
+    let off = !addr land page_mask in
+    let n = min (len - !pos) (page_size - off) in
+    let p = page_of m (!addr lsr page_bits) in
+    Bytes.blit src !pos p off n;
+    pos := !pos + n;
+    addr := (!addr + n) land addr_mask
+  done
+
+let blit_bytes m ~addr src = write_block m ~addr ~len:(Bytes.length src) src
 
 let touched_pages m = Hashtbl.length m.pages
 

@@ -30,6 +30,16 @@ val write : t -> addr:int -> bytes:int -> int -> unit
 (** [write m ~addr ~bytes v] stores the low [bytes * 8] bits of [v]
     little-endian at [addr]. [bytes] must be 1, 2 or 4. *)
 
+val read_block : t -> addr:int -> len:int -> Bytes.t -> unit
+(** [read_block m ~addr ~len dst] fills [dst.[0..len-1]] with the [len]
+    bytes starting at [addr], copying page-at-a-time (untouched pages
+    read as zero). The vector load/store fast path. Raises
+    [Invalid_argument] when [len] exceeds [dst]. *)
+
+val write_block : t -> addr:int -> len:int -> Bytes.t -> unit
+(** [write_block m ~addr ~len src] stores [src.[0..len-1]] at [addr],
+    page-at-a-time. Raises [Invalid_argument] when [len] exceeds [src]. *)
+
 val blit_bytes : t -> addr:int -> Bytes.t -> unit
 (** Bulk-initialize memory starting at [addr]. *)
 

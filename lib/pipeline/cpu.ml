@@ -117,6 +117,9 @@ type state = {
       (* oracle-translation mode: microcode served as if the binary
          carried native SIMD instructions, bypassing the cache *)
   regions : (int, racc) Hashtbl.t;
+  region_labels : (int, string) Hashtbl.t;
+      (* Image.region_entries as a table: the label lookup runs on every
+         first call of a region, and the assoc list scan was linear *)
   mutable pc : int;
   mutable depth : int;
   mutable session : session option;
@@ -134,6 +137,18 @@ let charge st c = st.stats.Stats.cycles <- st.stats.Stats.cycles + c
 let trace st ev =
   match st.cfg.on_trace with None -> () | Some f -> f ev
 
+(* Hot-path variants: build the event record only when a consumer is
+   attached, so tracing costs nothing when off. *)
+let[@inline] trace_insn st pc insn =
+  match st.cfg.on_trace with
+  | None -> ()
+  | Some f -> f (T_insn { pc; insn })
+
+let[@inline] trace_uop st entry index uop =
+  match st.cfg.on_trace with
+  | None -> ()
+  | Some f -> f (T_uop { entry; index; uop })
+
 let charge_icache st addr =
   match st.icache with
   | None -> ()
@@ -144,21 +159,30 @@ let charge_icache st addr =
           st.stats.Stats.icache_misses <- st.stats.Stats.icache_misses + 1;
           charge st st.cfg.mem_latency)
 
-let charge_dcache st (a : Sem.access) =
-  (if a.write then st.stats.Stats.stores <- st.stats.Stats.stores + 1
+let charge_dcache st ~addr ~bytes ~write =
+  (if write then st.stats.Stats.stores <- st.stats.Stats.stores + 1
    else st.stats.Stats.loads <- st.stats.Stats.loads + 1);
   match st.dcache with
   | None -> ()
   | Some c ->
-      let lines = Cache.lines_spanned c ~addr:a.addr ~bytes:a.bytes in
+      let lines = Cache.lines_spanned c ~addr ~bytes in
       let line_bytes = Cache.line_bytes c in
       for i = 0 to lines - 1 do
-        match Cache.access c (a.addr + (i * line_bytes)) with
+        match Cache.access c (addr + (i * line_bytes)) with
         | Cache.Hit -> st.stats.Stats.dcache_hits <- st.stats.Stats.dcache_hits + 1
         | Cache.Miss ->
             st.stats.Stats.dcache_misses <- st.stats.Stats.dcache_misses + 1;
             charge st st.cfg.mem_latency
       done
+
+(* Account every memory access the last [Sem.exec_*] recorded in the
+   context scratch buffer. *)
+let charge_accesses st =
+  let ctx = st.ctx in
+  for i = 0 to ctx.Sem.e_nacc - 1 do
+    charge_dcache st ~addr:ctx.Sem.acc_addr.(i) ~bytes:ctx.Sem.acc_bytes.(i)
+      ~write:ctx.Sem.acc_write.(i)
+  done
 
 (* A vector memory access moves [lanes * element] bytes over the memory
    bus; beyond the first bus beat, each extra beat costs a cycle. This is
@@ -176,9 +200,12 @@ let charge_vector_mem st (v : Vinsn.exec) =
          access. *)
       charge st (stride * (extra esize + 1))
   | Vinsn.Vgather { esize; _ } ->
-      (* One bus beat per lane: gathers do not coalesce. *)
-      charge st (st.ctx.Sem.lanes * (Esize.bytes esize + st.cfg.vec_bus_bytes - 1)
-                 / st.cfg.vec_bus_bytes)
+      (* One bus beat per lane: gathers do not coalesce. The ceiling
+         division is per lane — an element never spans bus beats unless
+         it is wider than the bus. *)
+      charge st
+        (st.ctx.Sem.lanes
+        * ((Esize.bytes esize + st.cfg.vec_bus_bytes - 1) / st.cfg.vec_bus_bytes))
   | Vinsn.Vdp _ | Vinsn.Vsat _ | Vinsn.Vperm _ | Vinsn.Vred _ -> ()
 
 let fuel_check st =
@@ -188,7 +215,7 @@ let fuel_check st =
 
 let load_use_stall st insn =
   (match st.last_load_dst with
-  | Some r when List.exists (Reg.equal r) (Insn.uses insn) -> charge st 1
+  | Some r when Insn.uses_reg insn r -> charge st 1
   | Some _ | None -> ());
   st.last_load_dst <- None
 
@@ -197,7 +224,7 @@ let region_acc st entry =
   | Some r -> r
   | None ->
       let label =
-        match List.assoc_opt entry st.image.Image.region_entries with
+        match Hashtbl.find_opt st.region_labels entry with
         | Some l -> l
         | None -> Printf.sprintf "@%d" entry
       in
@@ -244,11 +271,18 @@ let close_session st s =
 
 (* Feed only the session that was live before the current instruction:
    the region branch-and-link that just opened a session is not part of
-   the region's own retirement stream. *)
-let feed_session session pc insn (eff : Sem.effect) =
+   the region's own retirement stream. The destination value is read
+   from the context scratch effect; the [Some] box is only built while a
+   translation session is actually live. *)
+let feed_session st session pc insn =
   match session with
   | None -> ()
-  | Some s -> Translator.feed s.tr (Event.make ~pc ?value:eff.Sem.value insn)
+  | Some s ->
+      let value =
+        let v = st.ctx.Sem.e_value in
+        if v = Sem.no_value then None else Some v
+      in
+      Translator.feed s.tr (Event.make ~pc ?value insn)
 
 (* Execute translated microcode in place of the outlined function. *)
 let run_ucode st ~entry (u : Ucode.t) =
@@ -259,7 +293,7 @@ let run_ucode st ~entry (u : Ucode.t) =
   let running = ref true in
   while !running do
     if !ui < 0 || !ui >= n then raise (Execution_error "microcode index");
-    trace st (T_uop { entry; index = !ui; uop = u.Ucode.uops.(!ui) });
+    trace_uop st entry !ui u.Ucode.uops.(!ui);
     (match u.Ucode.uops.(!ui) with
     | Ucode.US i ->
         fuel_check st;
@@ -268,12 +302,11 @@ let run_ucode st ~entry (u : Ucode.t) =
         (match i with
         | Insn.Dp { op = Opcode.Mul; _ } -> charge st st.cfg.mul_extra
         | _ -> ());
-        let outcome, eff = Sem.step_scalar st.ctx ~pc:(-1) i in
-        (match outcome with
+        (match Sem.exec_scalar st.ctx ~pc:(-1) i with
         | Sem.Next -> ()
         | Sem.Jump _ | Sem.Call _ | Sem.Return | Sem.Stop ->
             raise (Execution_error "control flow in scalar microcode"));
-        List.iter (charge_dcache st) eff.Sem.accesses;
+        charge_accesses st;
         incr ui
     | Ucode.UV v ->
         fuel_check st;
@@ -284,8 +317,8 @@ let run_ucode st ~entry (u : Ucode.t) =
         | Vinsn.Vred _ -> charge st 1
         | _ -> ());
         charge_vector_mem st v;
-        let eff = Sem.step_vector st.ctx v in
-        List.iter (charge_dcache st) eff.Sem.accesses;
+        Sem.exec_vector st.ctx v;
+        charge_accesses st;
         incr ui
     | Ucode.UB { cond; target } ->
         fuel_check st;
@@ -397,30 +430,33 @@ let step st =
          and notify any outer translator session (which aborts, as a
          call inside a region is untranslatable). *)
       fuel_check st;
-      trace st (T_insn { pc; insn = Minsn.S insn });
+      trace_insn st pc (Minsn.S insn);
       st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
       charge st 1;
-      feed_session pre_session pc insn Sem.no_effect
+      (* the microcode run left its own scratch effect behind; the
+         branch itself has none *)
+      st.ctx.Sem.e_value <- Sem.no_value;
+      feed_session st pre_session pc insn
   | Minsn.S insn -> (
       fuel_check st;
-      trace st (T_insn { pc; insn = Minsn.S insn });
+      trace_insn st pc (Minsn.S insn);
       st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
       charge st 1;
       load_use_stall st insn;
       (match insn with
       | Insn.Dp { op = Opcode.Mul; _ } -> charge st st.cfg.mul_extra
       | _ -> ());
-      let outcome, eff = Sem.step_scalar st.ctx ~pc insn in
-      List.iter (charge_dcache st) eff.Sem.accesses;
+      let outcome = Sem.exec_scalar st.ctx ~pc insn in
+      charge_accesses st;
       (match insn with
       | Insn.Ld { dst; _ } -> st.last_load_dst <- Some dst
       | _ -> ());
-      feed_session pre_session pc insn eff;
+      feed_session st pre_session pc insn;
       match outcome with
       | Sem.Next -> st.pc <- pc + 1
       | Sem.Jump target ->
           st.stats.Stats.branches <- st.stats.Stats.branches + 1;
-          let taken = eff.Sem.taken = Some true in
+          let taken = st.ctx.Sem.e_taken = 1 in
           if not (Branch_pred.predict_and_update st.bpred ~pc ~taken) then begin
             st.stats.Stats.branch_mispredicts <-
               st.stats.Stats.branch_mispredicts + 1;
@@ -457,7 +493,7 @@ let step st =
       | None -> raise (Sem.Sigill "vector instruction without SIMD accelerator")
       | Some _ ->
           fuel_check st;
-          trace st (T_insn { pc; insn = Minsn.V v });
+          trace_insn st pc (Minsn.V v);
           st.stats.Stats.vector_insns <- st.stats.Stats.vector_insns + 1;
           charge st 1;
           (match v with
@@ -465,8 +501,8 @@ let step st =
           | Vinsn.Vred _ -> charge st 1
           | _ -> ());
           charge_vector_mem st v;
-          let eff = Sem.step_vector st.ctx v in
-          List.iter (charge_dcache st) eff.Sem.accesses;
+          Sem.exec_vector st.ctx v;
+          charge_accesses st;
           st.pc <- pc + 1)
 
 let run ?(config = scalar_config) image =
@@ -488,6 +524,14 @@ let run ?(config = scalar_config) image =
       ucache = Ucode_cache.create ~entries:config.ucode_entries;
       oracle = Hashtbl.create 8;
       regions = Hashtbl.create 8;
+      region_labels =
+        (let t = Hashtbl.create 8 in
+         (* keep the first binding per entry, like [List.assoc_opt] *)
+         List.iter
+           (fun (entry, label) ->
+             if not (Hashtbl.mem t entry) then Hashtbl.add t entry label)
+           image.Image.region_entries;
+         t);
       pc = image.Image.entry;
       depth = 0;
       session = None;

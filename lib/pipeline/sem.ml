@@ -4,15 +4,28 @@ module Memory = Liquid_machine.Memory
 
 exception Sigill of string
 
+let max_lanes = Width.lanes Width.max
+let no_value = min_int
+
 type ctx = {
   regs : int array;
   mutable flags : Flags.t;
   vregs : int array array;
   mutable lanes : int;
   mem : Memory.t;
+  (* Scratch effect of the most recent [exec_scalar]/[exec_vector]. A
+     retired instruction's effect is consumed immediately by the timing
+     layer, so one preallocated buffer replaces a record, a list and an
+     option allocation per instruction. *)
+  mutable e_value : int;  (** destination value, [no_value] when none *)
+  mutable e_taken : int;  (** -1 none, 0 not taken, 1 taken *)
+  mutable e_nacc : int;  (** live prefix of the access arrays *)
+  acc_addr : int array;
+  acc_bytes : int array;
+  acc_write : bool array;
+  gather_tmp : int array;  (** gather staging: index vector may alias dst *)
+  blk : Bytes.t;  (** staging buffer for block loads/stores *)
 }
-
-let max_lanes = Width.lanes Width.max
 
 let create_ctx mem =
   {
@@ -21,6 +34,14 @@ let create_ctx mem =
     vregs = Array.init Vreg.count (fun _ -> Array.make max_lanes 0);
     lanes = max_lanes;
     mem;
+    e_value = no_value;
+    e_taken = -1;
+    e_nacc = 0;
+    acc_addr = Array.make max_lanes 0;
+    acc_bytes = Array.make max_lanes 0;
+    acc_write = Array.make max_lanes false;
+    gather_tmp = Array.make max_lanes 0;
+    blk = Bytes.create (max_lanes * 4);
   }
 
 type outcome =
@@ -36,6 +57,32 @@ type effect = { value : int option; accesses : access list; taken : bool option 
 
 let no_effect = { value = None; accesses = []; taken = None }
 
+let[@inline] clear_effect ctx =
+  ctx.e_value <- no_value;
+  ctx.e_taken <- -1;
+  ctx.e_nacc <- 0
+
+let[@inline] add_access ctx addr bytes write =
+  let i = ctx.e_nacc in
+  ctx.acc_addr.(i) <- addr;
+  ctx.acc_bytes.(i) <- bytes;
+  ctx.acc_write.(i) <- write;
+  ctx.e_nacc <- i + 1
+
+let last_effect ctx =
+  let rec accs i acc =
+    if i < 0 then acc
+    else
+      accs (i - 1)
+        ({ addr = ctx.acc_addr.(i); bytes = ctx.acc_bytes.(i); write = ctx.acc_write.(i) }
+        :: acc)
+  in
+  {
+    value = (if ctx.e_value = no_value then None else Some ctx.e_value);
+    accesses = accs (ctx.e_nacc - 1) [];
+    taken = (match ctx.e_taken with 0 -> Some false | 1 -> Some true | _ -> None);
+  }
+
 let operand_value ctx = function
   | Insn.Imm v -> v
   | Insn.Reg r -> ctx.regs.(Reg.index r)
@@ -47,50 +94,62 @@ let base_value = function
 let mem_addr ctx ~base ~index ~shift =
   Word.add (base_value base ctx) (Word.shl (operand_value ctx index) shift)
 
-let step_scalar ctx ~pc insn =
+let exec_scalar ctx ~pc insn =
+  clear_effect ctx;
   match insn with
   | Insn.Mov { cond; dst; src } ->
       if Cond.holds cond ctx.flags then begin
         let v = Word.of_int (operand_value ctx src) in
         ctx.regs.(Reg.index dst) <- v;
-        (Next, { no_effect with value = Some v })
-      end
-      else (Next, no_effect)
+        ctx.e_value <- v
+      end;
+      Next
   | Insn.Dp { cond; op; dst; src1; src2 } ->
       if Cond.holds cond ctx.flags then begin
         let v =
           Opcode.eval op ctx.regs.(Reg.index src1) (operand_value ctx src2)
         in
         ctx.regs.(Reg.index dst) <- v;
-        (Next, { no_effect with value = Some v })
-      end
-      else (Next, no_effect)
+        ctx.e_value <- v
+      end;
+      Next
   | Insn.Ld { esize; signed; dst; base; index; shift } ->
       let addr = mem_addr ctx ~base ~index ~shift in
       let bytes = Esize.bytes esize in
       let v = Memory.read ctx.mem ~addr ~bytes ~signed in
       ctx.regs.(Reg.index dst) <- v;
-      ( Next,
-        { value = Some v; accesses = [ { addr; bytes; write = false } ]; taken = None } )
+      ctx.e_value <- v;
+      add_access ctx addr bytes false;
+      Next
   | Insn.St { esize; src; base; index; shift } ->
       let addr = mem_addr ctx ~base ~index ~shift in
       let bytes = Esize.bytes esize in
       Memory.write ctx.mem ~addr ~bytes ctx.regs.(Reg.index src);
-      ( Next,
-        { value = None; accesses = [ { addr; bytes; write = true } ]; taken = None } )
+      add_access ctx addr bytes true;
+      Next
   | Insn.Cmp { src1; src2 } ->
       ctx.flags <-
         Flags.of_compare ctx.regs.(Reg.index src1) (operand_value ctx src2);
-      (Next, no_effect)
+      Next
   | Insn.B { cond; target } ->
-      if Cond.holds cond ctx.flags then
-        (Jump target, { no_effect with taken = Some true })
-      else (Next, { no_effect with taken = Some false })
+      if Cond.holds cond ctx.flags then begin
+        ctx.e_taken <- 1;
+        Jump target
+      end
+      else begin
+        ctx.e_taken <- 0;
+        Next
+      end
   | Insn.Bl { target; region } ->
       ctx.regs.(Reg.index Reg.lr) <- pc + 1;
-      (Call { target; region }, { no_effect with value = Some (pc + 1) })
-  | Insn.Ret -> (Return, no_effect)
-  | Insn.Halt -> (Stop, no_effect)
+      ctx.e_value <- pc + 1;
+      Call { target; region }
+  | Insn.Ret -> Return
+  | Insn.Halt -> Stop
+
+let step_scalar ctx ~pc insn =
+  let outcome = exec_scalar ctx ~pc insn in
+  (outcome, last_effect ctx)
 
 let vsrc_lane ctx vsrc lane =
   match vsrc with
@@ -101,7 +160,54 @@ let vsrc_lane ctx vsrc lane =
         raise (Sigill "constant vector width mismatch");
       a.(lane)
 
-let step_vector ctx vinsn =
+(* Decode [w] little-endian elements of [bytes] each from [ctx.blk] into
+   [d], with the same signedness rules as {!Memory.read}. *)
+let decode_lanes ctx d ~w ~bytes ~signed =
+  let blk = ctx.blk in
+  match bytes with
+  | 1 ->
+      if signed then
+        for i = 0 to w - 1 do
+          d.(i) <- Bytes.get_int8 blk i
+        done
+      else
+        for i = 0 to w - 1 do
+          d.(i) <- Bytes.get_uint8 blk i
+        done
+  | 2 ->
+      if signed then
+        for i = 0 to w - 1 do
+          d.(i) <- Bytes.get_int16_le blk (2 * i)
+        done
+      else
+        for i = 0 to w - 1 do
+          d.(i) <- Bytes.get_uint16_le blk (2 * i)
+        done
+  | 4 ->
+      for i = 0 to w - 1 do
+        d.(i) <- Int32.to_int (Bytes.get_int32_le blk (4 * i))
+      done
+  | n -> invalid_arg (Printf.sprintf "Sem: bad element size %d" n)
+
+let encode_lanes ctx s ~w ~bytes =
+  let blk = ctx.blk in
+  match bytes with
+  | 1 ->
+      for i = 0 to w - 1 do
+        Bytes.unsafe_set blk i (Char.unsafe_chr (s.(i) land 0xFF))
+      done
+  | 2 ->
+      for i = 0 to w - 1 do
+        Bytes.set_uint16_le blk (2 * i) (s.(i) land 0xFFFF)
+      done
+  | 4 ->
+      for i = 0 to w - 1 do
+        Bytes.set_int32_le blk (4 * i) (Int32.of_int s.(i))
+      done
+  | n -> invalid_arg (Printf.sprintf "Sem: bad element size %d" n)
+
+let exec_vector ctx vinsn =
+  clear_effect ctx;
   let w = ctx.lanes in
   match vinsn with
   | Vinsn.Vld { esize; signed; dst; base; index } ->
@@ -109,27 +215,17 @@ let step_vector ctx vinsn =
       let first = ctx.regs.(Reg.index index) in
       let start = Word.add (base_value base ctx) (Word.mul first bytes) in
       let d = ctx.vregs.(Vreg.index dst) in
-      for i = 0 to w - 1 do
-        d.(i) <- Memory.read ctx.mem ~addr:(start + (i * bytes)) ~bytes ~signed
-      done;
-      {
-        value = None;
-        accesses = [ { addr = start; bytes = w * bytes; write = false } ];
-        taken = None;
-      }
+      Memory.read_block ctx.mem ~addr:start ~len:(w * bytes) ctx.blk;
+      decode_lanes ctx d ~w ~bytes ~signed;
+      add_access ctx start (w * bytes) false
   | Vinsn.Vst { esize; src; base; index } ->
       let bytes = Esize.bytes esize in
       let first = ctx.regs.(Reg.index index) in
       let start = Word.add (base_value base ctx) (Word.mul first bytes) in
       let s = ctx.vregs.(Vreg.index src) in
-      for i = 0 to w - 1 do
-        Memory.write ctx.mem ~addr:(start + (i * bytes)) ~bytes s.(i)
-      done;
-      {
-        value = None;
-        accesses = [ { addr = start; bytes = w * bytes; write = true } ];
-        taken = None;
-      }
+      encode_lanes ctx s ~w ~bytes;
+      Memory.write_block ctx.mem ~addr:start ~len:(w * bytes) ctx.blk;
+      add_access ctx start (w * bytes) true
   | Vinsn.Vlds { esize; signed; dst; base; index; stride; phase } ->
       let bytes = Esize.bytes esize in
       let first = ctx.regs.(Reg.index index) in
@@ -140,12 +236,7 @@ let step_vector ctx vinsn =
         d.(i) <- Memory.read ctx.mem ~addr:(base_addr + (elem * bytes)) ~bytes ~signed
       done;
       let start = base_addr + (((stride * first) + phase) * bytes) in
-      {
-        value = None;
-        accesses =
-          [ { addr = start; bytes = ((stride * (w - 1)) + 1) * bytes; write = false } ];
-        taken = None;
-      }
+      add_access ctx start (((stride * (w - 1)) + 1) * bytes) false
   | Vinsn.Vsts { esize; src; base; index; stride; phase } ->
       let bytes = Esize.bytes esize in
       let first = ctx.regs.(Reg.index index) in
@@ -156,46 +247,37 @@ let step_vector ctx vinsn =
         Memory.write ctx.mem ~addr:(base_addr + (elem * bytes)) ~bytes s.(i)
       done;
       let start = base_addr + (((stride * first) + phase) * bytes) in
-      {
-        value = None;
-        accesses =
-          [ { addr = start; bytes = ((stride * (w - 1)) + 1) * bytes; write = true } ];
-        taken = None;
-      }
+      add_access ctx start (((stride * (w - 1)) + 1) * bytes) true
   | Vinsn.Vgather { esize; signed; dst; base; index_v } ->
       let bytes = Esize.bytes esize in
       let base_addr = base_value base ctx in
       let idx = ctx.vregs.(Vreg.index index_v) in
       let d = ctx.vregs.(Vreg.index dst) in
-      let tmp =
-        Array.init w (fun i ->
-            Memory.read ctx.mem ~addr:(base_addr + (idx.(i) * bytes)) ~bytes ~signed)
-      in
-      Array.blit tmp 0 d 0 w;
+      let tmp = ctx.gather_tmp in
       (* Conservative access accounting: one element-sized touch per
-         lane, summarized as a single span for the cache model. *)
-      {
-        value = None;
-        accesses =
-          Array.to_list
-            (Array.init w (fun i ->
-                 { addr = base_addr + (idx.(i) * bytes); bytes; write = false }));
-        taken = None;
-      }
+         lane, staged through [tmp] since [idx] may alias [dst]. *)
+      for i = 0 to w - 1 do
+        let addr = base_addr + (idx.(i) * bytes) in
+        tmp.(i) <- Memory.read ctx.mem ~addr ~bytes ~signed;
+        add_access ctx addr bytes false
+      done;
+      Array.blit tmp 0 d 0 w
   | Vinsn.Vdp { op; dst; src1; src2 } ->
       let a = ctx.vregs.(Vreg.index src1) in
       let d = ctx.vregs.(Vreg.index dst) in
-      let tmp = Array.init w (fun i -> Opcode.eval op a.(i) (vsrc_lane ctx src2 i)) in
-      Array.blit tmp 0 d 0 w;
-      no_effect
+      (* Lane [i] reads only lane [i] of each source, so writing in place
+         is safe even when [dst] aliases a source. *)
+      for i = 0 to w - 1 do
+        d.(i) <- Opcode.eval op a.(i) (vsrc_lane ctx src2 i)
+      done
   | Vinsn.Vsat { op; esize; signed; dst; src1; src2 } ->
       let a = ctx.vregs.(Vreg.index src1) in
       let b = ctx.vregs.(Vreg.index src2) in
       let d = ctx.vregs.(Vreg.index dst) in
       let f = match op with `Add -> Word.sat_add | `Sub -> Word.sat_sub in
-      let tmp = Array.init w (fun i -> f esize ~signed a.(i) b.(i)) in
-      Array.blit tmp 0 d 0 w;
-      no_effect
+      for i = 0 to w - 1 do
+        d.(i) <- f esize ~signed a.(i) b.(i)
+      done
   | Vinsn.Vperm { pattern; dst; src } ->
       if not (Perm.supported pattern ~lanes:w) then
         raise
@@ -204,8 +286,7 @@ let step_vector ctx vinsn =
                 pattern w));
       let s = Array.sub ctx.vregs.(Vreg.index src) 0 w in
       let permuted = Perm.apply pattern s in
-      Array.blit permuted 0 ctx.vregs.(Vreg.index dst) 0 w;
-      no_effect
+      Array.blit permuted 0 ctx.vregs.(Vreg.index dst) 0 w
   | Vinsn.Vred { op; acc; src } ->
       let s = ctx.vregs.(Vreg.index src) in
       let folded = ref s.(0) in
@@ -214,4 +295,8 @@ let step_vector ctx vinsn =
       done;
       let v = Opcode.eval op ctx.regs.(Reg.index acc) !folded in
       ctx.regs.(Reg.index acc) <- v;
-      { no_effect with value = Some v }
+      ctx.e_value <- v
+
+let step_vector ctx vinsn =
+  exec_vector ctx vinsn;
+  last_effect ctx

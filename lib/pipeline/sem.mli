@@ -12,12 +12,26 @@ exception Sigill of string
     accelerator — the binary-compatibility failure Liquid SIMD exists to
     avoid. *)
 
+val no_value : int
+(** Sentinel stored in {!ctx.e_value} when the last instruction wrote no
+    destination register. ([min_int], outside the 32-bit word domain.) *)
+
 type ctx = {
   regs : int array;  (** 16 scalar registers *)
   mutable flags : Flags.t;
   vregs : int array array;  (** 16 vector registers x maximum lanes *)
   mutable lanes : int;  (** active vector width for vector instructions *)
   mem : Liquid_machine.Memory.t;
+  mutable e_value : int;
+      (** scratch effect: destination value of the last
+          {!exec_scalar}/{!exec_vector}, {!no_value} when none *)
+  mutable e_taken : int;  (** scratch effect: -1 none, 0 not taken, 1 taken *)
+  mutable e_nacc : int;  (** live prefix of the access arrays below *)
+  acc_addr : int array;
+  acc_bytes : int array;
+  acc_write : bool array;
+  gather_tmp : int array;
+  blk : Bytes.t;
 }
 
 val create_ctx : Liquid_machine.Memory.t -> ctx
@@ -39,12 +53,28 @@ type effect = {
 
 val no_effect : effect
 
+val exec_scalar : ctx -> pc:int -> Insn.exec -> outcome
+(** Executes one scalar instruction, recording its effect in the context
+    scratch fields ([e_value], [e_taken], [e_nacc]/[acc_*]) without
+    allocating. [Bl] writes the link register with [pc + 1]. [Ret]
+    reports {!Return}; the caller reads the link register. The scratch
+    effect is overwritten by the next [exec_*] call. *)
+
+val exec_vector : ctx -> Vinsn.exec -> unit
+(** Executes one vector instruction at the context's active lane count,
+    recording its effect in the context scratch fields. Contiguous
+    [Vld]/[Vst] move their lanes through {!Liquid_machine.Memory.read_block}
+    / [write_block] as one span. Raises {!Sigill} on a permutation
+    unsupported at that width or a constant vector of mismatched
+    length. *)
+
+val last_effect : ctx -> effect
+(** Materializes the scratch effect of the most recent [exec_*] call as
+    the immutable record (for traces and the translator's event feed). *)
+
 val step_scalar : ctx -> pc:int -> Insn.exec -> outcome * effect
-(** Executes one scalar instruction. [Bl] writes the link register with
-    [pc + 1]. [Ret] reports {!Return}; the caller reads the link
-    register. *)
+(** [exec_scalar] plus {!last_effect}: the original allocating API, kept
+    for callers that want a persistent effect value. *)
 
 val step_vector : ctx -> Vinsn.exec -> effect
-(** Executes one vector instruction at the context's active lane count.
-    Raises {!Sigill} on a permutation unsupported at that width or a
-    constant vector of mismatched length. *)
+(** [exec_vector] plus {!last_effect}. *)

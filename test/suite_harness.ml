@@ -142,5 +142,60 @@ let test_csv_export () =
   check_bool "FIR row present" true
     (List.exists (fun l -> String.length l >= 3 && String.sub l 0 3 = "FIR") lines)
 
+(* --- memoized and parallel running --- *)
+
+let test_run_cached_matches_run () =
+  let w = match Workload.find "GSM Enc." with Some w -> w | None -> assert false in
+  Runner.clear_cache ();
+  List.iter
+    (fun v ->
+      let fresh = Runner.run w v in
+      let cached = Runner.run_cached w v in
+      let again = Runner.run_cached w v in
+      check_bool "same result object on repeat" true (cached == again);
+      check
+        ("cycles agree for " ^ Runner.variant_name v)
+        fresh.Runner.run.Liquid_pipeline.Cpu.stats.Liquid_machine.Stats.cycles
+        cached.Runner.run.Liquid_pipeline.Cpu.stats.Liquid_machine.Stats.cycles)
+    [ Runner.Baseline; Runner.Liquid 8 ];
+  (* The translation-latency knob must key the cache for Liquid runs. *)
+  let slow = Runner.run_cached ~translation_cpi:100 w (Runner.Liquid 8) in
+  let fast = Runner.run_cached ~translation_cpi:1 w (Runner.Liquid 8) in
+  check_bool "cpi keys the cache" true (not (slow == fast));
+  Runner.clear_cache ()
+
+let test_run_many_deterministic () =
+  let items = List.init 40 (fun i -> i) in
+  let f i = (i * i * 7919) mod 1009 in
+  let seq = List.map f items in
+  check_bool "order preserved (pool)" true (Runner.run_many ~domains:4 f items = seq);
+  check_bool "order preserved (sequential fallback)" true
+    (Runner.run_many ~domains:1 f items = seq);
+  check_bool "empty input" true (Runner.run_many ~domains:4 f [] = []);
+  (* Exceptions surface instead of corrupting results. *)
+  Alcotest.check_raises "first failure re-raised" Exit (fun () ->
+      ignore (Runner.run_many ~domains:2 (fun _ -> raise Exit) items))
+
+let test_run_many_simulations_agree () =
+  (* A real workload fan-out: domains simulate concurrently and must
+     reproduce the sequential cycle counts in order. *)
+  let ws =
+    List.filteri (fun i _ -> i < 4) (Workload.all ())
+  in
+  let cycles (w : Workload.t) =
+    (Runner.run w Runner.Baseline).Runner.run.Liquid_pipeline.Cpu.stats
+      .Liquid_machine.Stats.cycles
+  in
+  let seq = List.map cycles ws in
+  let par = Runner.run_many ~domains:4 cycles ws in
+  check_bool "parallel simulation equals sequential" true (par = seq)
+
 let tests =
-  tests @ [ Alcotest.test_case "csv export" `Quick test_csv_export ]
+  tests
+  @ [
+      Alcotest.test_case "csv export" `Quick test_csv_export;
+      Alcotest.test_case "run_cached matches run" `Slow test_run_cached_matches_run;
+      Alcotest.test_case "run_many deterministic" `Quick test_run_many_deterministic;
+      Alcotest.test_case "run_many simulations agree" `Slow
+        test_run_many_simulations_agree;
+    ]

@@ -18,5 +18,6 @@ let () =
       ("harness", Suite_harness.tests);
       ("translator", Suite_translator.tests);
       ("fidelity", Suite_fidelity.tests);
+      ("golden", Suite_golden.tests);
       ("smoke", Suite_smoke.tests);
     ]
