@@ -201,8 +201,19 @@ let sim_throughput () =
   let wall = Unix.gettimeofday () -. t0 in
   (cycles, wall, float_of_int cycles /. wall)
 
-let write_json ~report_wall_s ~sim ~estimates path =
+(* Robustness overhead: one seeded fault campaign (every workload, one
+   width, every abort class plus corruption/eviction/watchdog) timed
+   wall-clock, so regressions in the graceful-degradation path show up
+   next to the perf numbers. *)
+let fault_campaign () =
+  let t0 = Unix.gettimeofday () in
+  let report = Liquid_faults.Campaign.run ~widths:[ 8 ] ~seed:2007 () in
+  let wall = Unix.gettimeofday () -. t0 in
+  (report, wall)
+
+let write_json ~report_wall_s ~sim ~faults ~estimates path =
   let sim_cycles, sim_wall_s, sim_cycles_per_s = sim in
+  let fault_report, fault_wall_s = faults in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -210,6 +221,11 @@ let write_json ~report_wall_s ~sim ~estimates path =
   p "  \"sim_cycles\": %d,\n" sim_cycles;
   p "  \"sim_wall_s\": %.3f,\n" sim_wall_s;
   p "  \"sim_cycles_per_s\": %.0f,\n" sim_cycles_per_s;
+  p "  \"fault_campaign_wall_s\": %.3f,\n" fault_wall_s;
+  p "  \"fault_campaign_cases\": %d,\n"
+    (List.length fault_report.Liquid_faults.Campaign.r_cases);
+  p "  \"fault_campaign_survived\": %b,\n"
+    (Liquid_faults.Campaign.survived fault_report);
   p "  \"tests\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -227,6 +243,10 @@ let () =
   let estimates = run_benchmarks () in
   Runner.clear_cache ();
   let sim = sim_throughput () in
-  write_json ~report_wall_s ~sim ~estimates "BENCH.json";
+  let faults = fault_campaign () in
+  write_json ~report_wall_s ~sim ~faults ~estimates "BENCH.json";
   if not json_only then
-    Format.printf "@.report wall %.3f s; BENCH.json written@." report_wall_s
+    let _, fault_wall_s = faults in
+    Format.printf
+      "@.report wall %.3f s; fault campaign %.3f s; BENCH.json written@."
+      report_wall_s fault_wall_s

@@ -1,0 +1,74 @@
+(** Seeded fault-injection campaigns over the workload suite.
+
+    A campaign probes each (workload, width) once to learn its
+    addressable site space (translator feed events, region calls,
+    retired instructions), draws one deterministic plan from a seed —
+    every {!Liquid_translate.Abort.t} class at a random feed site, a
+    corrupted feed, a mid-run microcode eviction, a watchdog budget —
+    then executes every case crash-isolated on the domain pool and
+    judges each against the scalar-equivalence {!Oracle}. *)
+
+open Liquid_workloads
+
+val probe : Workload.t -> width:int -> Fault.space
+(** Clean-run site space for one (workload, width); memoized
+    process-wide and safe across domains. *)
+
+type target = { t_workload : Workload.t; t_width : int; t_fault : Fault.t }
+
+val default_widths : int list
+(** The paper's accelerator sweep: 2, 4, 8, 16 lanes. *)
+
+val plan :
+  ?workloads:Workload.t list ->
+  ?widths:int list ->
+  seed:int ->
+  unit ->
+  target list
+(** The full deterministic case list for a seed. *)
+
+type verdict =
+  | Safe
+      (** fault fired; final state matches the scalar oracle, or the
+          watchdog stopped the run with its structured diagnostic *)
+  | Divergent  (** fault fired and the final state differs from scalar *)
+  | Not_triggered  (** the planned site was never reached *)
+  | Crashed of string  (** the machine failed to degrade gracefully *)
+
+val verdict_name : verdict -> string
+
+type case = {
+  c_workload : string;
+  c_width : int;
+  c_fault : Fault.t;
+  c_verdict : verdict;
+}
+
+val run_case : Workload.t -> width:int -> Fault.t -> case
+(** Arm the fault, run the Liquid machine, judge the outcome. Never
+    raises: machine failures come back as {!Crashed}. *)
+
+type report = {
+  r_seed : int;
+  r_cases : case list;
+  r_injected : int;  (** cases whose fault actually fired *)
+  r_safe : int;
+  r_divergent : int;
+  r_not_triggered : int;
+  r_crashed : int;
+}
+
+val survived : report -> bool
+(** No divergent state and no crash — the abort-safety claim held. *)
+
+val run :
+  ?domains:int ->
+  ?workloads:Workload.t list ->
+  ?widths:int list ->
+  seed:int ->
+  unit ->
+  report
+(** Plan and execute a campaign on the domain pool. *)
+
+val pp_case : Format.formatter -> case -> unit
+val pp_report : Format.formatter -> report -> unit

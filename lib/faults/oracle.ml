@@ -1,0 +1,92 @@
+open Liquid_isa
+open Liquid_prog
+open Liquid_pipeline
+open Liquid_workloads
+open Liquid_harness
+
+(* --- which registers count --- *)
+
+(* A region call served from the microcode cache substitutes the whole
+   outlined function for its SIMD translation. The translation
+   reproduces the region's memory effects and the values post-region
+   code reads, but the region's scratch registers — whatever its loop
+   body writes — hold last-iteration junk at halt, and WHICH junk
+   survives depends on which call of which region ran in which form.
+   The mask is therefore static, not sampled from runs: every register
+   with a def inside any outlined region body (scanned entry → ret in
+   the image), plus [lr] (a microcode-served call substitutes the whole
+   outlined function, so the branch-and-link never architecturally
+   writes it). Everything outside the mask must match the pure-scalar
+   run byte-for-byte, as must all of data memory — which is where every
+   workload's results live, so region outputs remain checked
+   end-to-end. *)
+
+let mask_cache : (string, bool array) Hashtbl.t = Hashtbl.create 16
+let mask_mutex = Mutex.create ()
+
+let junk_mask (w : Workload.t) =
+  let key = w.Workload.name in
+  match Mutex.protect mask_mutex (fun () -> Hashtbl.find_opt mask_cache key) with
+  | Some m -> m
+  | None ->
+      let scalar = Runner.run_cached w Runner.Liquid_scalar in
+      let image = Image.of_program scalar.Runner.program in
+      let mask = Array.make (Array.length scalar.Runner.run.Cpu.regs) false in
+      mask.(Reg.index Reg.lr) <- true;
+      List.iter
+        (fun (entry, _label) ->
+          let i = ref entry in
+          let stop = ref false in
+          while (not !stop) && !i < Array.length image.Image.code do
+            (match image.Image.code.(!i) with
+            | Liquid_visa.Minsn.S Insn.Ret -> stop := true
+            | Liquid_visa.Minsn.S insn ->
+                List.iter
+                  (fun r -> mask.(Reg.index r) <- true)
+                  (Insn.defs insn)
+            | Liquid_visa.Minsn.V _ -> ());
+            incr i
+          done)
+        image.Image.region_entries;
+      Mutex.protect mask_mutex (fun () ->
+          match Hashtbl.find_opt mask_cache key with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.replace mask_cache key mask;
+              mask)
+
+(* --- fingerprints --- *)
+
+type fp = { fp_regs : int; fp_mem : int }
+
+let fingerprint (w : Workload.t) image (run : Cpu.run) =
+  {
+    fp_regs = Fingerprint.regs_hash_masked ~mask:(junk_mask w) run.Cpu.regs;
+    fp_mem = Fingerprint.mem_hash image run.Cpu.memory;
+  }
+
+(* The reference is the SAME Liquid binary on a core with no
+   accelerator and no translator — not the inline-loop baseline binary,
+   whose register file legitimately differs (different code layout,
+   different loop bookkeeping). Anything the translation path does,
+   including aborting at an arbitrary DFA state, must land on exactly
+   this state. Memoized via the runner's process-wide cache. *)
+let reference (w : Workload.t) =
+  let r = Runner.run_cached w Runner.Liquid_scalar in
+  fingerprint w (Image.of_program r.Runner.program) r.Runner.run
+
+type mismatch = { m_want : fp; m_got : fp }
+
+let check w image run =
+  let want = reference w in
+  let got = fingerprint w image run in
+  if want = got then Ok () else Error { m_want = want; m_got = got }
+
+let equivalent w image run = Result.is_ok (check w image run)
+
+let pp_mismatch ppf { m_want; m_got } =
+  Format.fprintf ppf "regs %016x (want %016x)%s, mem %016x (want %016x)%s"
+    m_got.fp_regs m_want.fp_regs
+    (if m_got.fp_regs = m_want.fp_regs then " ok" else " DIVERGED")
+    m_got.fp_mem m_want.fp_mem
+    (if m_got.fp_mem = m_want.fp_mem then " ok" else " DIVERGED")

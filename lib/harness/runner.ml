@@ -95,7 +95,15 @@ let clear_cache () =
 
 (* --- domain fan-out --- *)
 
-let run_many ?domains f items =
+type 'a failure = { f_index : int; f_item : 'a; f_exn : exn }
+
+(* Per-item crash isolation: each application of [f] is fenced inside
+   its worker, so one poisoned item yields [Error] in its slot while
+   every other item still comes back [Ok] — a sweep never loses its
+   completed results to one bad run. The try sits inside the worker
+   loop (not around [Domain.join]), so no exception can escape a
+   domain and tear the pool down. *)
+let run_many_result ?domains f items =
   let items_a = Array.of_list items in
   let n = Array.length items_a in
   let workers =
@@ -106,35 +114,37 @@ let run_many ?domains f items =
     in
     max 1 (min d n)
   in
+  let one i item =
+    match f item with
+    | r -> Ok r
+    | exception e -> Error { f_index = i; f_item = item; f_exn = e }
+  in
   if n = 0 then []
-  else if workers = 1 then List.map f items
+  else if workers = 1 then List.mapi one items
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let failure = Atomic.make None in
     let worker () =
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get failure <> None then continue := false
-        else
-          try results.(i) <- Some (f items_a.(i))
-          with e ->
-            let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+        if i >= n then continue := false
+        else results.(i) <- Some (one i items_a.(i))
       done
     in
     let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join spawned;
-    (match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
     Array.to_list
       (Array.map
          (function Some r -> r | None -> assert false)
          results)
   end
+
+let run_many ?domains f items =
+  List.map
+    (function Ok r -> r | Error { f_exn; _ } -> raise f_exn)
+    (run_many_result ?domains f items)
 
 let speedup ~(baseline : Cpu.run) (run : Cpu.run) =
   float_of_int baseline.Cpu.stats.Liquid_machine.Stats.cycles

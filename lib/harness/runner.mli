@@ -35,13 +35,31 @@ val run_cached :
 val clear_cache : unit -> unit
 (** Drop all memoized runs (for tests and long-lived processes). *)
 
+type 'a failure = {
+  f_index : int;  (** position of the failing item in the input list *)
+  f_item : 'a;  (** the failing input itself *)
+  f_exn : exn;  (** what [f] raised on it *)
+}
+
+val run_many_result :
+  ?domains:int ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, 'a failure) Stdlib.result list
+(** [run_many_result f items] maps [f] over [items] on a pool of
+    [domains] worker domains (default
+    {!Domain.recommended_domain_count}), with work stealing and results
+    returned in input order — deterministic regardless of scheduling.
+    Falls back to a plain sequential map when the pool would have one
+    worker. Each application is isolated: an [f] that raises yields
+    [Error] for that item (reporting the input and the exception) while
+    every other item still completes and returns [Ok] — no exception
+    escapes the pool. *)
+
 val run_many : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [run_many f items] maps [f] over [items] on a pool of [domains]
-    worker domains (default {!Domain.recommended_domain_count}), with
-    work stealing and results returned in input order — deterministic
-    regardless of scheduling. Falls back to a plain sequential map when
-    the pool would have one worker. If any [f] raises, the first
-    exception observed is re-raised after the pool drains. *)
+(** {!run_many_result} for infallible [f]: unwraps the [Ok]s, re-raising
+    the first failing item's exception (in input order) after the pool
+    drains. *)
 
 val speedup : baseline:Cpu.run -> Cpu.run -> float
 (** [baseline.cycles / run.cycles]. *)

@@ -23,6 +23,23 @@ type translation_kind =
 
 type translation = { cycles_per_insn : int; kind : translation_kind }
 
+(* Fault-injection hooks (see {!Liquid_faults}): each is consulted at a
+   well-defined point of the pipeline and closes over its own trigger
+   state, so the core stays oblivious to the injection plan. *)
+type fault_hooks = {
+  fh_abort : entry:int -> observed:int -> Abort.t option;
+      (** consulted after each event fed to a live translation session;
+          [Some a] forces the session to abort with [a] *)
+  fh_corrupt : entry:int -> observed:int -> bool;
+      (** consulted before each event fed to a live translation session;
+          [true] replaces the event's instruction with an untranslatable
+          one (a decode glitch on the translation path only — the
+          executed stream is untouched) *)
+  fh_evict : entry:int -> call:int -> bool;
+      (** consulted before each microcode-cache lookup with the global
+          region-call index; [true] evicts the region's entry first *)
+}
+
 type config = {
   accel_lanes : int option;
   translator : translation option;
@@ -38,6 +55,7 @@ type config = {
   ucode_entries : int;
   max_uops : int;
   fuel : int;
+  faults : fault_hooks option;
 }
 
 let scalar_config =
@@ -56,6 +74,7 @@ let scalar_config =
     ucode_entries = 8;
     max_uops = 64;
     fuel = 200_000_000;
+    faults = None;
   }
 
 let native_config ~lanes = { scalar_config with accel_lanes = Some lanes }
@@ -88,8 +107,6 @@ type run = {
   ucode_max_occupancy : int;
 }
 
-exception Execution_error of string
-
 type racc = {
   r_label : string;
   mutable calls_rev : (int * int) list;
@@ -113,9 +130,13 @@ type state = {
   dcache : Cache.t option;
   bpred : Branch_pred.t;
   ucache : Ucode_cache.t;
-  oracle : (int, Ucode.t) Hashtbl.t;
+  oracle : (int, Ucode.t option) Hashtbl.t;
       (* oracle-translation mode: microcode served as if the binary
-         carried native SIMD instructions, bypassing the cache *)
+         carried native SIMD instructions, bypassing the cache.
+         Translated lazily at first call from the live machine state —
+         translating at init from the pristine image would observe
+         fission spill arrays as all-zero and mis-fold operands into
+         constants. [None] caches a translation abort. *)
   regions : (int, racc) Hashtbl.t;
   region_labels : (int, string) Hashtbl.t;
       (* Image.region_entries as a table: the label lookup runs on every
@@ -208,10 +229,17 @@ let charge_vector_mem st (v : Vinsn.exec) =
         * ((Esize.bytes esize + st.cfg.vec_bus_bytes - 1) / st.cfg.vec_bus_bytes))
   | Vinsn.Vdp _ | Vinsn.Vsat _ | Vinsn.Vperm _ | Vinsn.Vred _ -> ()
 
+let diag st fault =
+  Diag.Error
+    (Diag.make ~fault ~pc:st.pc ~cycle:st.stats.Stats.cycles
+       ~retired:st.retired)
+
+(* The watchdog: a run that exceeds its retired-instruction budget stops
+   with a [Fuel_exhausted] diagnostic carrying a snapshot of the machine
+   position (pc, cycle, retired count) instead of a bare string. *)
 let fuel_check st =
   st.retired <- st.retired + 1;
-  if st.retired > st.cfg.fuel then
-    raise (Execution_error "instruction budget exhausted")
+  if st.retired > st.cfg.fuel then raise (diag st Diag.Fuel_exhausted)
 
 let load_use_stall st insn =
   (match st.last_load_dst with
@@ -274,6 +302,11 @@ let close_session st s =
    the region's own retirement stream. The destination value is read
    from the context scratch effect; the [Some] box is only built while a
    translation session is actually live. *)
+(* An untranslatable stand-in for a corrupted decode: a call inside a
+   region has no Table 3 rule in any DFA state, so the session aborts
+   whether it is building or verifying. *)
+let poison_insn = Insn.Bl { target = 0; region = false }
+
 let feed_session st session pc insn =
   match session with
   | None -> ()
@@ -282,7 +315,23 @@ let feed_session st session pc insn =
         let v = st.ctx.Sem.e_value in
         if v = Sem.no_value then None else Some v
       in
-      Translator.feed s.tr (Event.make ~pc ?value insn)
+      let insn =
+        match st.cfg.faults with
+        | Some f
+          when f.fh_corrupt ~entry:s.s_entry
+                 ~observed:(Translator.observed s.tr) ->
+            poison_insn
+        | Some _ | None -> insn
+      in
+      Translator.feed s.tr (Event.make ~pc ?value insn);
+      match st.cfg.faults with
+      | Some f -> (
+          match
+            f.fh_abort ~entry:s.s_entry ~observed:(Translator.observed s.tr)
+          with
+          | Some reason -> Translator.inject s.tr reason
+          | None -> ())
+      | None -> ()
 
 (* Execute translated microcode in place of the outlined function. *)
 let run_ucode st ~entry (u : Ucode.t) =
@@ -292,7 +341,7 @@ let run_ucode st ~entry (u : Ucode.t) =
   let ui = ref 0 in
   let running = ref true in
   while !running do
-    if !ui < 0 || !ui >= n then raise (Execution_error "microcode index");
+    if !ui < 0 || !ui >= n then raise (diag st (Diag.Ucode_index !ui));
     trace_uop st entry !ui u.Ucode.uops.(!ui);
     (match u.Ucode.uops.(!ui) with
     | Ucode.US i ->
@@ -305,7 +354,7 @@ let run_ucode st ~entry (u : Ucode.t) =
         (match Sem.exec_scalar st.ctx ~pc:(-1) i with
         | Sem.Next -> ()
         | Sem.Jump _ | Sem.Call _ | Sem.Return | Sem.Stop ->
-            raise (Execution_error "control flow in scalar microcode"));
+            raise (diag st Diag.Ucode_control_flow));
         charge_accesses st;
         incr ui
     | Ucode.UV v ->
@@ -341,13 +390,52 @@ let run_ucode st ~entry (u : Ucode.t) =
   done;
   st.ctx.Sem.lanes <- saved_lanes
 
+(* Oracle mode (the paper's "built-in ISA support" configuration):
+   microcode is available with zero translation latency, as if the
+   binary carried native SIMD instructions. The translation itself
+   still observes a real execution — a side-effect-free replay of the
+   region from a copy of the live machine state at its first call — so
+   it resolves operands from the same values the dynamic translator
+   would see. The result (including an abort) is cached per entry. *)
+let oracle_lookup st target =
+  match Hashtbl.find_opt st.oracle target with
+  | Some cached -> cached
+  | None ->
+      if not st.cfg.oracle_translation then None
+      else
+        let res =
+          match (st.cfg.accel_lanes, st.cfg.translator) with
+          | Some lanes, Some _ -> (
+              match
+                Offline.translate_region_result ~max_uops:st.cfg.max_uops
+                  ~state:st.ctx ~image:st.image ~lanes ~entry:target ()
+              with
+              | Ok (Translator.Translated u) ->
+                  (region_acc st target).outcome <-
+                    R_installed
+                      {
+                        width = u.Ucode.width;
+                        uops = Array.length u.Ucode.uops;
+                      };
+                  Some u
+              | Ok (Translator.Aborted reason) ->
+                  (region_acc st target).outcome <-
+                    (if Abort.permanent reason then R_failed reason
+                     else R_untried);
+                  None
+              | Error _ -> None)
+          | _, _ -> None
+        in
+        Hashtbl.replace st.oracle target res;
+        res
+
 (* Handle a region-marked branch-and-link. Returns [true] when the call
    was served from the microcode cache (and [st.pc] already advanced). *)
 let region_call st ~pc ~target =
   let acc = region_acc st target in
   let now = st.stats.Stats.cycles in
   st.stats.Stats.region_calls <- st.stats.Stats.region_calls + 1;
-  match Hashtbl.find_opt st.oracle target with
+  match oracle_lookup st target with
   | Some u ->
       acc.served <- acc.served + 1;
       st.stats.Stats.ucode_hits <- st.stats.Stats.ucode_hits + 1;
@@ -359,6 +447,16 @@ let region_call st ~pc ~target =
   | None -> (
   match (st.cfg.accel_lanes, st.cfg.translator) with
   | Some _, Some _ when st.session = None -> (
+      (* Injected mid-run eviction: the entry disappears as if the cache
+         had been power-gated or flushed; the call below misses, the
+         region runs in scalar form and retranslates. *)
+      (match st.cfg.faults with
+      | Some f
+        when f.fh_evict ~entry:target ~call:st.stats.Stats.region_calls ->
+          if Ucode_cache.evict st.ucache ~key:target then
+            st.stats.Stats.ucode_evictions <-
+              st.stats.Stats.ucode_evictions + 1
+      | Some _ | None -> ());
       match Ucode_cache.lookup st.ucache ~key:target ~now with
       | Some u ->
           acc.served <- acc.served + 1;
@@ -418,7 +516,7 @@ let interrupt_check st =
 
 let step st =
   if st.pc < 0 || st.pc >= Array.length st.image.Image.code then
-    raise (Execution_error (Printf.sprintf "wild pc %d" st.pc));
+    raise (diag st Diag.Wild_pc);
   interrupt_check st;
   let pc = st.pc in
   let pre_session = st.session in
@@ -505,7 +603,7 @@ let step st =
           charge_accesses st;
           st.pc <- pc + 1)
 
-let run ?(config = scalar_config) image =
+let init_state config image =
   let mem = Memory.create () in
   Image.load_memory image mem;
   let ctx = Sem.create_ctx mem in
@@ -542,33 +640,9 @@ let run ?(config = scalar_config) image =
       halted = false;
     }
   in
-  (* Oracle mode (the paper's "built-in ISA support" configuration):
-     every outlined function's microcode is available from its first
-     call, as if the binary carried native SIMD instructions. *)
-  (if config.oracle_translation then
-     match (config.accel_lanes, config.translator) with
-     | Some lanes, Some _ ->
-         List.iter
-           (fun (entry, label) ->
-             match
-               Offline.translate_region ~max_uops:config.max_uops ~image
-                 ~lanes ~entry ()
-             with
-             | Translator.Translated u ->
-                 Hashtbl.replace st.oracle entry u;
-                 (region_acc st entry).outcome <-
-                   R_installed
-                     { width = u.Ucode.width; uops = Array.length u.Ucode.uops }
-             | Translator.Aborted reason ->
-                 ignore label;
-                 (region_acc st entry).outcome <-
-                   (if Abort.permanent reason then R_failed reason
-                    else R_untried))
-           image.Image.region_entries
-     | _, _ -> ());
-  while not st.halted do
-    step st
-  done;
+  (st, mem, ctx)
+
+let collect st mem ctx =
   let regions =
     Hashtbl.fold
       (fun entry (r : racc) acc ->
@@ -590,3 +664,24 @@ let run ?(config = scalar_config) image =
     regions;
     ucode_max_occupancy = Ucode_cache.max_occupancy st.ucache;
   }
+
+let run ?(config = scalar_config) image =
+  let st, mem, ctx = init_state config image in
+  while not st.halted do
+    step st
+  done;
+  collect st mem ctx
+
+let run_result ?(config = scalar_config) image =
+  let st, mem, ctx = init_state config image in
+  match
+    while not st.halted do
+      step st
+    done
+  with
+  | () -> Ok (collect st mem ctx)
+  | exception Diag.Error d -> Error d
+  | exception Sem.Sigill m ->
+      Error
+        (Diag.make ~fault:(Diag.Illegal m) ~pc:st.pc
+           ~cycle:st.stats.Stats.cycles ~retired:st.retired)

@@ -39,6 +39,24 @@ type translation_kind =
 
 type translation = { cycles_per_insn : int; kind : translation_kind }
 
+(** Fault-injection hooks (built by {!Liquid_faults.Fault}): each is
+    consulted at a fixed pipeline point and closes over its own trigger
+    state. All faults attack the {e translation} path only — the
+    executed scalar stream is never altered — so a correctly-degrading
+    machine must still produce the pure-scalar architectural state. *)
+type fault_hooks = {
+  fh_abort : entry:int -> observed:int -> Abort.t option;
+      (** after each event fed to a live translation session; [Some a]
+          forces the session to abort with [a] at its current DFA state *)
+  fh_corrupt : entry:int -> observed:int -> bool;
+      (** before each event fed to a live translation session; [true]
+          feeds an untranslatable instruction in its place (a decode
+          glitch visible only to the translator) *)
+  fh_evict : entry:int -> call:int -> bool;
+      (** before each microcode-cache lookup, with the global
+          region-call index; [true] evicts the entry first *)
+}
+
 (** Observation points for debugging and tooling: every retired
     instruction (image stream and microcode), plus region-level events
     (scalar vs microcode calls, translation outcomes). *)
@@ -74,7 +92,10 @@ type config = {
       (** observer invoked at every retirement and region event *)
   ucode_entries : int;
   max_uops : int;
-  fuel : int;  (** retired-instruction budget before {!Execution_error} *)
+  fuel : int;
+      (** retired-instruction budget before a [Fuel_exhausted]
+          {!Diag.t} stops the run *)
+  faults : fault_hooks option;  (** fault-injection hooks; [None] = off *)
 }
 
 val scalar_config : config
@@ -110,9 +131,15 @@ type run = {
   ucode_max_occupancy : int;
 }
 
-exception Execution_error of string
-
 val run : ?config:config -> Image.t -> run
 (** Execute the image from its entry point until [halt].
-    Raises {!Execution_error} on runaway execution or a wild PC, and
-    {!Sem.Sigill} when the binary needs hardware this machine lacks. *)
+    Raises {!Diag.Error} on runaway execution, a wild PC or corrupt
+    microcode, and {!Sem.Sigill} when the binary needs hardware this
+    machine lacks. Prefer {!run_result} for callers that must survive
+    failing runs. *)
+
+val run_result : ?config:config -> Image.t -> (run, Diag.t) result
+(** Like {!run}, but a failing run returns [Error diag] — the typed
+    fault plus a machine snapshot (pc, cycle, retired count) — instead
+    of raising. {!Sem.Sigill} is converted to a [Diag.Illegal] fault at
+    this boundary; no exception escapes. *)

@@ -5,35 +5,55 @@ module Memory = Liquid_machine.Memory
 
 let step_budget = 5_000_000
 
-let translate_region ?(max_uops = 64) ~image ~lanes ~entry () =
-  let mem = Memory.create () in
-  Image.load_memory image mem;
+let translate_region_result ?(max_uops = 64) ?state ~image ~lanes ~entry () =
+  let mem =
+    match state with
+    | Some (live : Sem.ctx) -> Memory.copy live.Sem.mem
+    | None ->
+        let mem = Memory.create () in
+        Image.load_memory image mem;
+        mem
+  in
   let ctx = Sem.create_ctx mem in
+  (match state with
+  | Some (live : Sem.ctx) ->
+      Array.blit live.Sem.regs 0 ctx.Sem.regs 0 (Array.length live.Sem.regs);
+      ctx.Sem.flags <- live.Sem.flags
+  | None -> ());
   let tr = Translator.create { Translator.lanes; max_uops } in
   let pc = ref entry in
-  let running = ref true in
   let steps = ref 0 in
-  while !running do
+  let failure = ref None in
+  let fail fault =
+    failure :=
+      Some (Diag.make ~fault ~pc:!pc ~cycle:0 ~retired:!steps)
+  in
+  let running = ref true in
+  while !running && !failure = None do
     incr steps;
-    if !steps > step_budget then
-      invalid_arg "Offline.translate_region: region does not terminate";
-    if !pc < 0 || !pc >= Array.length image.Image.code then
-      invalid_arg "Offline.translate_region: wild pc";
-    let insn =
+    if !steps > step_budget then fail Diag.Region_nonterminating
+    else if !pc < 0 || !pc >= Array.length image.Image.code then
+      fail Diag.Wild_pc
+    else
       match image.Image.code.(!pc) with
-      | Minsn.S i -> i
-      | Minsn.V _ ->
-          invalid_arg "Offline.translate_region: vector instruction in region"
-    in
-    let outcome, eff = Sem.step_scalar ctx ~pc:!pc insn in
-    Translator.feed tr (Event.make ~pc:!pc ?value:eff.Sem.value insn);
-    match outcome with
-    | Sem.Next -> incr pc
-    | Sem.Jump t -> pc := t
-    | Sem.Return | Sem.Stop -> running := false
-    | Sem.Call _ -> running := false
+      | Minsn.V _ -> fail Diag.Region_vector_insn
+      | Minsn.S insn -> (
+          let outcome, eff = Sem.step_scalar ctx ~pc:!pc insn in
+          Translator.feed tr (Event.make ~pc:!pc ?value:eff.Sem.value insn);
+          match outcome with
+          | Sem.Next -> incr pc
+          | Sem.Jump t -> pc := t
+          | Sem.Return | Sem.Stop -> running := false
+          | Sem.Call _ -> running := false)
   done;
-  Translator.finish tr
+  match !failure with
+  | Some d -> Error d
+  | None -> Ok (Translator.finish tr)
+
+let translate_region ?max_uops ?state ~image ~lanes ~entry () =
+  match translate_region_result ?max_uops ?state ~image ~lanes ~entry () with
+  | Ok r -> r
+  | Error d -> raise (Diag.Error d)
 
 let translate_all ?max_uops ~image ~lanes () =
   List.map

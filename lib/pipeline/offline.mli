@@ -1,22 +1,37 @@
 (** Standalone region translation: drive one outlined function through
-    the architectural interpreter against the image's initial memory and
-    feed its retirement stream to a fresh translator session.
+    the architectural interpreter and feed its retirement stream to a
+    fresh translator session.
 
     Used by the oracle-translation mode (the paper's "built-in ISA
     support" simulator configuration, §5), by the CLI's [translate]
     command, and by tests that want microcode without a full program
-    run. The result depends only on the program's static data (offset,
-    mask and constant arrays), so translating against initial memory is
-    equivalent to translating during a real first execution. *)
+    run.
+
+    By default the observation runs against the image's initial memory
+    with zeroed registers. That is only sound when the region's operand
+    values depend solely on static data (offset, mask and constant
+    arrays): loop fission makes split regions communicate through spill
+    arrays, which are still zero in the initial image, so value-based
+    operand resolution can mis-fold a live register into a constant
+    splat. Pass [?state] (the live interpreter context at the call
+    site) to observe a copy of the real machine state instead — the
+    copy keeps the observation side-effect free. *)
 
 open Liquid_prog
 open Liquid_translate
 
+val translate_region_result :
+  ?max_uops:int -> ?state:Sem.ctx -> image:Image.t -> lanes:int ->
+  entry:int -> unit -> (Translator.result, Diag.t) result
+(** [Error diag] when the region never returns within a generous
+    instruction budget, escapes the image, or contains vector
+    instructions. A translation {e abort} is not an error: it comes back
+    as [Ok (Aborted _)]. *)
+
 val translate_region :
-  ?max_uops:int -> image:Image.t -> lanes:int -> entry:int -> unit ->
-  Translator.result
-(** Raises [Invalid_argument] if the region never returns within a
-    generous instruction budget or contains vector instructions. *)
+  ?max_uops:int -> ?state:Sem.ctx -> image:Image.t -> lanes:int ->
+  entry:int -> unit -> Translator.result
+(** {!translate_region_result}, raising {!Diag.Error} on [Error]. *)
 
 val translate_all :
   ?max_uops:int -> image:Image.t -> lanes:int -> unit ->

@@ -76,6 +76,14 @@ let install t ~key ~ready ucode ~evicted =
           t.slots.(!victim) <- entry));
   t.max_occupancy <- max t.max_occupancy (occupancy t)
 
+let evict t ~key =
+  match find t key with
+  | Some (i, _) ->
+      t.slots.(i) <- None;
+      t.evictions <- t.evictions + 1;
+      true
+  | None -> false
+
 let installs t = t.installs
 let evictions t = t.evictions
 let max_occupancy t = t.max_occupancy

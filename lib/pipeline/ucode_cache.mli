@@ -23,6 +23,10 @@ val pending : t -> key:int -> now:int -> bool
 val install : t -> key:int -> ready:int -> Ucode.t -> evicted:bool ref -> unit
 (** Insert, evicting the LRU entry when full (sets [evicted]). *)
 
+val evict : t -> key:int -> bool
+(** Forcibly remove an entry (fault injection / flush modeling); [true]
+    when the key was present. Counts toward {!evictions}. *)
+
 val installs : t -> int
 val evictions : t -> int
 val occupancy : t -> int

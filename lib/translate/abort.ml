@@ -18,6 +18,38 @@ let permanent = function
   | Bad_trip_count | Inconsistent_iteration _ | Dangling_address_combine ->
       true
 
+(* One representative per constructor, for exhaustive fault-injection
+   sweeps. [class_name]'s match is the compile-time guard: adding a
+   constructor without extending both it and this list will not build,
+   so a new abort class cannot ship untested. *)
+let all =
+  [
+    Illegal_insn "injected";
+    Unknown_permutation;
+    Non_periodic_offsets;
+    Unrepresentable_value;
+    Buffer_overflow;
+    No_loop;
+    No_induction;
+    Bad_trip_count;
+    Inconsistent_iteration "injected";
+    Dangling_address_combine;
+    External_abort;
+  ]
+
+let class_name = function
+  | Illegal_insn _ -> "illegal-insn"
+  | Unknown_permutation -> "unknown-permutation"
+  | Non_periodic_offsets -> "non-periodic-offsets"
+  | Unrepresentable_value -> "unrepresentable-value"
+  | Buffer_overflow -> "buffer-overflow"
+  | No_loop -> "no-loop"
+  | No_induction -> "no-induction"
+  | Bad_trip_count -> "bad-trip-count"
+  | Inconsistent_iteration _ -> "inconsistent-iteration"
+  | Dangling_address_combine -> "dangling-address-combine"
+  | External_abort -> "external-abort"
+
 let to_string = function
   | Illegal_insn s -> "illegal instruction: " ^ s
   | Unknown_permutation -> "unknown permutation"

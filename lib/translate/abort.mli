@@ -30,3 +30,12 @@ type t =
 val permanent : t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val all : t list
+(** One representative per constructor, in declaration order — the
+    enumeration the fault-injection suite sweeps so every abort class is
+    exercised. Guarded at compile time by {!class_name}'s exhaustive
+    match: a new constructor cannot ship without extending both. *)
+
+val class_name : t -> string
+(** Stable payload-free name of the constructor (for reports/keys). *)

@@ -702,6 +702,7 @@ let feed t ev =
   end
 
 let abort_external t = fail t Abort.External_abort
+let inject t reason = fail t reason
 
 (* --- Finalization --- *)
 

@@ -54,6 +54,12 @@ val feed : t -> Event.t -> unit
 val abort_external : t -> unit
 (** Asynchronous abort: context switch or interrupt (paper §4.1). *)
 
+val inject : t -> Abort.t -> unit
+(** Fault injection: force the session to abort with the given reason
+    at whatever DFA state it has reached, exactly as if a legality
+    check had failed there. First failure wins; a no-op once the
+    session has already aborted. *)
+
 val finish : t -> result
 (** Close the session after the region's return has been fed. *)
 

@@ -73,17 +73,31 @@ let test_fuel_exhaustion () =
       ~text:[ Program.Label "main"; b "main" ]
       ~data:[]
   in
-  Alcotest.check_raises "fuel" (Cpu.Execution_error "instruction budget exhausted")
-    (fun () ->
-      ignore (Cpu.run ~config:{ Cpu.scalar_config with Cpu.fuel = 100 } (Image.of_program prog)))
+  (* The watchdog returns a structured diagnostic with the machine
+     snapshot at the failure point, not a bare string. *)
+  match
+    Cpu.run_result
+      ~config:{ Cpu.scalar_config with Cpu.fuel = 100 }
+      (Image.of_program prog)
+  with
+  | Ok _ -> Alcotest.fail "spin loop terminated"
+  | Error d ->
+      check_bool "fuel fault class" true (d.Diag.fault = Diag.Fuel_exhausted);
+      check "retired = fuel + 1" 101 d.Diag.retired;
+      check_bool "snapshot cycle advanced" true (d.Diag.cycle > 0);
+      check_bool "snapshot pc inside image" true (d.Diag.pc >= 0);
+      (* The _exn shim raises the same diagnostic. *)
+      Alcotest.check_raises "shim raises Diag.Error" (Diag.Error d) (fun () ->
+          ignore
+            (Cpu.run
+               ~config:{ Cpu.scalar_config with Cpu.fuel = 100 }
+               (Image.of_program prog)))
 
 let test_wild_pc () =
   let prog = Program.make ~name:"fall" ~text:[ Program.Label "main"; Build.mov (r 1) 0 ] ~data:[] in
-  check_bool "wild pc raises" true
-    (try
-       ignore (Cpu.run (Image.of_program prog));
-       false
-     with Cpu.Execution_error _ -> true)
+  match Cpu.run_result (Image.of_program prog) with
+  | Ok _ -> Alcotest.fail "fall-through terminated"
+  | Error d -> check_bool "wild pc fault" true (d.Diag.fault = Diag.Wild_pc)
 
 (* --- region bookkeeping --- *)
 

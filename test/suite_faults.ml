@@ -1,0 +1,264 @@
+(* Fault injection and the abort-safety oracle.
+
+   The paper's safety argument (§3.2/§4.2) is that translation may fail
+   at any point — any DFA state, any abort class, a lost microcode
+   entry, a watchdog stop — and the program still completes with
+   pure-scalar architectural state. These tests attack that claim
+   mechanically:
+
+   - every [Abort.t] class is forced into a live translation session on
+     every workload (widths rotated across the suite) and the final
+     state is checked against the scalar-equivalence oracle, so a new
+     abort class cannot ship untested ([Abort.class_name]'s exhaustive
+     match breaks the build, and this sweep breaks the test run);
+   - a microcode entry is evicted mid-run and the retranslation must
+     reproduce byte-identical uop sequences, the same install shape,
+     and oracle-equivalent state;
+   - the oracle itself is falsifiable: corrupting one live register or
+     one memory byte must flip it to a mismatch;
+   - a seeded campaign (the same machinery behind `liquid_cli faults`)
+     must survive with zero divergent and zero crashed cases. *)
+
+open Liquid_prog
+open Liquid_translate
+open Liquid_pipeline
+open Liquid_workloads
+open Liquid_harness
+module Fault = Liquid_faults.Fault
+module Oracle = Liquid_faults.Oracle
+module Campaign = Liquid_faults.Campaign
+module Fingerprint = Liquid_faults.Fingerprint
+module Stats = Liquid_machine.Stats
+module Memory = Liquid_machine.Memory
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Rotate the paper's widths across the suite so every workload is
+   attacked and every width appears, without paying 15 x 4 full runs
+   per abort class in tier-1. *)
+let rotated_pairs () =
+  List.mapi
+    (fun i w -> (w, List.nth Campaign.default_widths (i mod 4)))
+    (Workload.all ())
+
+(* --- every abort class, every workload --- *)
+
+let test_abort_classes_distinct () =
+  let names = List.map Abort.class_name Abort.all in
+  check_int "representative per class" 11 (List.length names);
+  check_int "class names distinct"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_abort_sweep w width () =
+  let rng = Fault.Rng.make (Hashtbl.hash (w.Workload.name, width)) in
+  let sp = Campaign.probe w ~width in
+  check_bool "workload feeds the translator" true (sp.Fault.sp_feeds > 0);
+  List.iter
+    (fun abort ->
+      let site = Fault.Rng.int rng sp.Fault.sp_feeds in
+      let case = Campaign.run_case w ~width (Fault.Force_abort { site; abort }) in
+      Alcotest.(check string)
+        (Printf.sprintf "%s@%d survives" (Abort.class_name abort) site)
+        "safe"
+        (Campaign.verdict_name case.Campaign.c_verdict))
+    Abort.all
+
+(* --- eviction and retranslation --- *)
+
+(* Evict a hot region's microcode mid-run: the region must retranslate,
+   the reinstalled microcode must replay byte-identical uop sequences,
+   and the run must still land on scalar state. *)
+let test_evict_retranslate () =
+  let w = Option.get (Workload.find "FIR") in
+  let width = 4 in
+  let program = Runner.program_of w (Runner.Liquid width) in
+  let image = Image.of_program program in
+  let sp = Campaign.probe w ~width in
+  check_bool "enough region calls to evict between" true (sp.Fault.sp_calls > 4);
+  let fault = Fault.Evict_ucode { call = sp.Fault.sp_calls / 2 } in
+  let armed = Fault.arm fault in
+  (* Collect the executed uop stream of every microcode-served call.
+     [`Ucode_call] is traced before its uops run, and region calls never
+     nest, so the events between consecutive markers are one call. *)
+  let finished = ref [] (* (entry, uops in order) per completed call *) in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some (entry, acc) ->
+        finished := (entry, List.rev acc) :: !finished;
+        current := None
+    | None -> ()
+  in
+  let on_trace = function
+    | Cpu.T_region { event = `Ucode_call; _ } ->
+        flush ();
+        current := Some (-1, [])
+    | Cpu.T_uop { entry; uop; _ } ->
+        current :=
+          (match !current with
+          | Some (_, acc) -> Some (entry, uop :: acc)
+          | None -> Some (entry, [ uop ]))
+    | _ -> ()
+  in
+  let config =
+    {
+      (Cpu.liquid_config ~lanes:width) with
+      Cpu.faults = armed.Fault.hooks;
+      Cpu.on_trace = Some on_trace;
+    }
+  in
+  let run = Cpu.run ~config image in
+  check_int "eviction fired once" 1 (armed.Fault.fired ());
+  check_int "stats count the eviction" 1 run.Cpu.stats.Stats.ucode_evictions;
+  (* Clean reference at the same width. *)
+  let clean = Runner.run w (Runner.Liquid width) in
+  check_int "one extra install for the retranslation"
+    (clean.Runner.run.Cpu.stats.Stats.ucode_installs + 1)
+    run.Cpu.stats.Stats.ucode_installs;
+  check_int "one ucode hit lost to the evicted call"
+    (clean.Runner.run.Cpu.stats.Stats.ucode_hits - 1)
+    run.Cpu.stats.Stats.ucode_hits;
+  (* Same final install shape per region as the clean run. *)
+  List.iter2
+    (fun (a : Cpu.region_report) (b : Cpu.region_report) ->
+      Alcotest.(check string) "same region" a.Cpu.label b.Cpu.label;
+      match (a.Cpu.outcome, b.Cpu.outcome) with
+      | ( Cpu.R_installed { width = wa; uops = ua },
+          Cpu.R_installed { width = wb; uops = ub } ) ->
+          check_int ("install width of " ^ a.Cpu.label) wb wa;
+          check_int ("uop count of " ^ a.Cpu.label) ub ua
+      | oa, ob ->
+          check_bool
+            ("outcome of " ^ a.Cpu.label)
+            true
+            (oa = ob))
+    run.Cpu.regions clean.Runner.run.Cpu.regions;
+  (* Retranslated microcode replays byte-identical uop sequences: every
+     microcode-served call of a region, before and after the eviction,
+     executes the same uop stream. *)
+  flush ();
+  let calls = List.rev !finished in
+  check_bool "uop trace saw microcode calls" true (calls <> []);
+  let entries = List.sort_uniq compare (List.map fst calls) in
+  List.iter
+    (fun entry ->
+      match List.filter_map
+              (fun (e, uops) -> if e = entry then Some uops else None)
+              calls
+      with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+          List.iteri
+            (fun i call ->
+              check_bool
+                (Printf.sprintf "entry %d call %d replays identically" entry
+                   (i + 1))
+                true (call = first))
+            rest)
+    entries;
+  check_bool "oracle equivalence after retranslation" true
+    (Oracle.equivalent w image run)
+
+(* --- the oracle is falsifiable --- *)
+
+let test_oracle_catches_corruption () =
+  let w = Option.get (Workload.find "FIR") in
+  let { Runner.run; program; _ } = Runner.run w (Runner.Liquid 4) in
+  let image = Image.of_program program in
+  check_bool "clean translated run passes" true (Oracle.equivalent w image run);
+  let mask = Oracle.junk_mask w in
+  (* Flip a live (unmasked) register. *)
+  let live =
+    let rec find i = if mask.(i) then find (i + 1) else i in
+    find 0
+  in
+  let saved = run.Cpu.regs.(live) in
+  run.Cpu.regs.(live) <- saved + 1;
+  check_bool "register corruption detected" false
+    (Oracle.equivalent w image run);
+  run.Cpu.regs.(live) <- saved;
+  (* Flip a masked register: must NOT trip the oracle (dead scratch). *)
+  let junk =
+    let rec find i = if mask.(i) then i else find (i + 1) in
+    find 0
+  in
+  let saved_junk = run.Cpu.regs.(junk) in
+  run.Cpu.regs.(junk) <- saved_junk + 1;
+  check_bool "dead-scratch corruption ignored" true
+    (Oracle.equivalent w image run);
+  run.Cpu.regs.(junk) <- saved_junk;
+  (* Flip one byte of one data array. *)
+  let _, addr, _ = List.hd image.Image.arrays in
+  let b = Memory.read_byte run.Cpu.memory addr in
+  Memory.write_byte run.Cpu.memory addr (b lxor 1);
+  check_bool "memory corruption detected" false
+    (Oracle.equivalent w image run);
+  Memory.write_byte run.Cpu.memory addr b
+
+(* --- fingerprints agree with the golden hashes --- *)
+
+let test_fingerprint_matches_golden () =
+  (* One spot value from the golden table (052.alvinn baseline): the
+     shared module must produce the hash the golden suite pinned. *)
+  let w = Option.get (Workload.find "052.alvinn") in
+  let { Runner.run; program; _ } = Runner.run_cached w Runner.Baseline in
+  check_bool "regs hash matches pinned golden" true
+    (Fingerprint.regs_hash run.Cpu.regs = 0x4207be414f6fa218);
+  check_bool "mem hash matches pinned golden" true
+    (Fingerprint.mem_hash (Image.of_program program) run.Cpu.memory
+    = 0x3414aedbe1508ed1)
+
+(* --- watchdog exhaustion carries a machine snapshot --- *)
+
+let test_fuel_campaign_case () =
+  let w = Option.get (Workload.find "FIR") in
+  let sp = Campaign.probe w ~width:4 in
+  let budget = sp.Fault.sp_retired / 2 in
+  let case = Campaign.run_case w ~width:4 (Fault.Exhaust_fuel { budget }) in
+  Alcotest.(check string)
+    "watchdog stop is a safe structured abort" "safe"
+    (Campaign.verdict_name case.Campaign.c_verdict)
+
+(* --- the seeded campaign itself --- *)
+
+let test_campaign_survives w width () =
+  let report = Campaign.run ~workloads:[ w ] ~widths:[ width ] ~seed:2007 () in
+  check_int "campaign cases" 14 (List.length report.Campaign.r_cases);
+  check_int "no divergent state" 0 report.Campaign.r_divergent;
+  check_int "no crashes" 0 report.Campaign.r_crashed;
+  check_bool "survived" true (Campaign.survived report);
+  check_bool "faults actually fired" true
+    (report.Campaign.r_injected >= List.length report.Campaign.r_cases - 2)
+
+let tests =
+  [
+    Alcotest.test_case "abort classes distinct" `Quick
+      test_abort_classes_distinct;
+  ]
+  @ List.map
+      (fun ((w : Workload.t), width) ->
+        Alcotest.test_case
+          (Printf.sprintf "abort sweep %s w%d" w.Workload.name width)
+          `Slow (test_abort_sweep w width))
+      (rotated_pairs ())
+  @ [
+      Alcotest.test_case "evict + retranslate identical" `Quick
+        test_evict_retranslate;
+      Alcotest.test_case "oracle catches corruption" `Quick
+        test_oracle_catches_corruption;
+      Alcotest.test_case "fingerprint matches golden" `Quick
+        test_fingerprint_matches_golden;
+      Alcotest.test_case "watchdog stop is safe" `Quick test_fuel_campaign_case;
+    ]
+  @ List.map
+      (fun ((w : Workload.t), width) ->
+        Alcotest.test_case
+          (Printf.sprintf "campaign %s w%d" w.Workload.name width)
+          `Slow (test_campaign_survives w width))
+      [
+        (Option.get (Workload.find "FIR"), 8);
+        (Option.get (Workload.find "FFT"), 16);
+        (Option.get (Workload.find "LU"), 2);
+      ]

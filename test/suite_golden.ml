@@ -45,30 +45,12 @@ type golden = {
   g_mem_hash : int;
 }
 
-(* FNV-1a over little-endian bytes; the seed is the standard 64-bit
-   offset basis with the top bit dropped so it reads as an OCaml int
-   literal. *)
-let fnv_prime = 0x100000001b3
-let fnv_byte h b = (h lxor (b land 0xFF)) * fnv_prime
-
-let fnv_int h v =
-  let h = fnv_byte h v in
-  let h = fnv_byte h (v asr 8) in
-  let h = fnv_byte h (v asr 16) in
-  fnv_byte h (v asr 24)
-
-let regs_hash regs = Array.fold_left fnv_int 0x4bf29ce484222325 regs
-
-let mem_hash (image : Image.t) mem =
-  List.fold_left
-    (fun h (_, addr, (d : Data.t)) ->
-      let bytes = Esize.bytes d.Data.esize * Array.length d.Data.values in
-      let h = ref h in
-      for i = 0 to bytes - 1 do
-        h := fnv_byte !h (Memory.read_byte mem (addr + i))
-      done;
-      !h)
-    0x4bf29ce484222325 image.Image.arrays
+(* The FNV-1a fingerprints live in [Liquid_faults.Fingerprint], shared
+   with the fault-injection oracle so the two observers can never
+   disagree about what "identical state" means. The pinned values below
+   predate the shared module and must survive any refactor of it. *)
+let regs_hash = Liquid_faults.Fingerprint.regs_hash
+let mem_hash = Liquid_faults.Fingerprint.mem_hash
 
 let goldens =
   [

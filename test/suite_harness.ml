@@ -176,6 +176,34 @@ let test_run_many_deterministic () =
   Alcotest.check_raises "first failure re-raised" Exit (fun () ->
       ignore (Runner.run_many ~domains:2 (fun _ -> raise Exit) items))
 
+let test_run_many_result_isolation () =
+  (* One poisoned item must come back [Error] in its slot — with the
+     failing input and exception — while every other item still returns
+     [Ok], in input order, and nothing escapes the pool. *)
+  let items = [ 1; 2; 3; 4; 5 ] in
+  let f i = if i = 3 then raise Exit else i * 10 in
+  let got = Runner.run_many_result ~domains:4 f items in
+  let expect =
+    [
+      Ok 10;
+      Ok 20;
+      Error { Runner.f_index = 2; f_item = 3; f_exn = Exit };
+      Ok 40;
+      Ok 50;
+    ]
+  in
+  check_bool "poisoned item isolated, others Ok" true (got = expect);
+  (* All items poisoned: all Error, none lost, still ordered. *)
+  let all_bad = Runner.run_many_result ~domains:2 (fun _ -> raise Exit) items in
+  check_bool "every failure reported" true
+    (List.length all_bad = List.length items
+    && List.for_all (function Error _ -> true | Ok _ -> false) all_bad);
+  check_bool "failure order preserved" true
+    (List.mapi (fun i _ -> i) items
+    = List.filter_map
+        (function Error { Runner.f_index; _ } -> Some f_index | Ok _ -> None)
+        all_bad)
+
 let test_run_many_simulations_agree () =
   (* A real workload fan-out: domains simulate concurrently and must
      reproduce the sequential cycle counts in order. *)
@@ -196,6 +224,8 @@ let tests =
       Alcotest.test_case "csv export" `Quick test_csv_export;
       Alcotest.test_case "run_cached matches run" `Slow test_run_cached_matches_run;
       Alcotest.test_case "run_many deterministic" `Quick test_run_many_deterministic;
+      Alcotest.test_case "run_many_result isolates failures" `Quick
+        test_run_many_result_isolation;
       Alcotest.test_case "run_many simulations agree" `Slow
         test_run_many_simulations_agree;
     ]

@@ -19,5 +19,6 @@ let () =
       ("translator", Suite_translator.tests);
       ("fidelity", Suite_fidelity.tests);
       ("golden", Suite_golden.tests);
+      ("faults", Suite_faults.tests);
       ("smoke", Suite_smoke.tests);
     ]
