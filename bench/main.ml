@@ -7,8 +7,13 @@
    Run with: dune exec bench/main.exe
 
    Every run also writes BENCH.json (machine-readable: per-test ns/run,
-   report wall time, simulated cycle throughput). Pass --json-only to
-   suppress the human-readable output and only write the file. *)
+   report wall time, simulated cycle throughput) through the shared
+   Liquid_obs.Bench_report emitter, which schema-validates the file it
+   just wrote. Pass --json-only to suppress the human-readable output
+   and only write the file; --smoke shrinks the run to a seconds-scale
+   self-check (no reports, no Bechamel, two-workload throughput, a
+   one-workload fault campaign) so the test suite can exercise the
+   whole emit path. *)
 
 open Bechamel
 open Toolkit
@@ -21,6 +26,7 @@ module Hwmodel = Liquid_hwmodel.Hwmodel
 
 let find name = match Workload.find name with Some w -> w | None -> assert false
 let json_only = Array.exists (fun a -> a = "--json-only") Sys.argv
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
 (* In --json-only mode the reports still run (their wall time is part of
    BENCH.json) but print into a formatter that discards everything. *)
@@ -185,9 +191,10 @@ let run_benchmarks () =
     tests;
   List.rev !estimates
 
-(* Simulated-cycle throughput: every workload under the two headline
-   variants, fresh simulations (no memo cache), cycles per wall second. *)
-let sim_throughput () =
+(* Simulated-cycle throughput: the given workloads under the two
+   headline variants, fresh simulations (no memo cache), cycles per wall
+   second. *)
+let sim_throughput workloads =
   let cycles_of w v =
     (Runner.run w v).Runner.run.Cpu.stats.Liquid_machine.Stats.cycles
   in
@@ -196,57 +203,54 @@ let sim_throughput () =
     List.fold_left
       (fun acc (w : Workload.t) ->
         acc + cycles_of w Runner.Baseline + cycles_of w (Runner.Liquid 8))
-      0 (Workload.all ())
+      0 workloads
   in
   let wall = Unix.gettimeofday () -. t0 in
   (cycles, wall, float_of_int cycles /. wall)
 
-(* Robustness overhead: one seeded fault campaign (every workload, one
-   width, every abort class plus corruption/eviction/watchdog) timed
-   wall-clock, so regressions in the graceful-degradation path show up
-   next to the perf numbers. *)
-let fault_campaign () =
+(* Robustness overhead: one seeded fault campaign (one width, every
+   abort class plus corruption/eviction/watchdog) timed wall-clock, so
+   regressions in the graceful-degradation path show up next to the
+   perf numbers. *)
+let fault_campaign workloads =
   let t0 = Unix.gettimeofday () in
-  let report = Liquid_faults.Campaign.run ~widths:[ 8 ] ~seed:2007 () in
+  let report =
+    Liquid_faults.Campaign.run ~workloads ~widths:[ 8 ] ~seed:2007 ()
+  in
   let wall = Unix.gettimeofday () -. t0 in
   (report, wall)
 
-let write_json ~report_wall_s ~sim ~faults ~estimates path =
-  let sim_cycles, sim_wall_s, sim_cycles_per_s = sim in
-  let fault_report, fault_wall_s = faults in
-  let oc = open_out path in
-  let p fmt = Printf.fprintf oc fmt in
-  p "{\n";
-  p "  \"report_wall_s\": %.3f,\n" report_wall_s;
-  p "  \"sim_cycles\": %d,\n" sim_cycles;
-  p "  \"sim_wall_s\": %.3f,\n" sim_wall_s;
-  p "  \"sim_cycles_per_s\": %.0f,\n" sim_cycles_per_s;
-  p "  \"fault_campaign_wall_s\": %.3f,\n" fault_wall_s;
-  p "  \"fault_campaign_cases\": %d,\n"
-    (List.length fault_report.Liquid_faults.Campaign.r_cases);
-  p "  \"fault_campaign_survived\": %b,\n"
-    (Liquid_faults.Campaign.survived fault_report);
-  p "  \"tests\": [\n";
-  List.iteri
-    (fun i (name, ns) ->
-      p "    { \"name\": %S, \"ns_per_run\": %.0f }%s\n" name ns
-        (if i = List.length estimates - 1 then "" else ","))
-    estimates;
-  p "  ]\n";
-  p "}\n";
-  close_out oc
-
 let () =
   let t0 = Unix.gettimeofday () in
-  print_reports ();
+  if not smoke then print_reports ();
   let report_wall_s = Unix.gettimeofday () -. t0 in
-  let estimates = run_benchmarks () in
+  let estimates = if smoke then [] else run_benchmarks () in
   Runner.clear_cache ();
-  let sim = sim_throughput () in
-  let faults = fault_campaign () in
-  write_json ~report_wall_s ~sim ~faults ~estimates "BENCH.json";
+  let sim_workloads =
+    if smoke then [ find "FIR"; find "GSM Dec." ] else Workload.all ()
+  in
+  let fault_workloads = if smoke then [ find "FIR" ] else Workload.all () in
+  let sim_cycles, sim_wall_s, sim_cycles_per_s = sim_throughput sim_workloads in
+  let fault_report, fault_wall_s = fault_campaign fault_workloads in
+  (* Single shared emitter (Liquid_obs.Bench_report): builds the typed
+     record, writes BENCH.json, and re-validates the written file
+     against the documented schema — a shape regression fails here. *)
+  Liquid_obs.Bench_report.write ~path:"BENCH.json"
+    {
+      Liquid_obs.Bench_report.b_report_wall_s = report_wall_s;
+      b_sim_cycles = sim_cycles;
+      b_sim_wall_s = sim_wall_s;
+      b_sim_cycles_per_s = sim_cycles_per_s;
+      b_fault_wall_s = fault_wall_s;
+      b_fault_cases = List.length fault_report.Liquid_faults.Campaign.r_cases;
+      b_fault_survived = Liquid_faults.Campaign.survived fault_report;
+      b_tests =
+        List.map
+          (fun (name, ns) ->
+            { Liquid_obs.Bench_report.t_name = name; t_ns_per_run = ns })
+          estimates;
+    };
   if not json_only then
-    let _, fault_wall_s = faults in
     Format.printf
       "@.report wall %.3f s; fault campaign %.3f s; BENCH.json written@."
       report_wall_s fault_wall_s

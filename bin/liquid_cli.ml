@@ -120,6 +120,9 @@ let pp_trace_event ppf = function
         | `Ucode_call -> "called (microcode)"
         | `Translated w -> Printf.sprintf "translated at %d lanes" w
         | `Aborted a -> "aborted: " ^ Liquid_translate.Abort.to_string a)
+  | Cpu.T_translation { label; width; uops; latency; _ } ->
+      Format.fprintf ppf ">> %s: microcode ready (%d-wide, %d uops, %d cycles)"
+        label width uops latency
 
 let exec_cmd =
   let doc = "Assemble a .s source file and simulate it" in
@@ -249,10 +252,66 @@ let translate_cmd =
   in
   Cmd.v (Cmd.info "translate" ~doc) Term.(const run $ workload_arg $ width_arg)
 
-(* --- report: the paper's tables and figures --- *)
+(* --- report: the paper's tables/figures, or one workload's snapshot --- *)
+
+(* [report <workload>] runs the workload once with a Liquid_obs collector
+   attached and prints the full observability snapshot as schema-valid
+   JSON (stats, unit counters, per-region timelines, translation-latency
+   and inter-call-gap histograms, invariant verdict). Any conservation
+   violation is printed to stderr and exits non-zero — the same checks
+   the test suite runs, available against a live machine. *)
+let report_snapshot (w : Workload.t) variant jsonl_path csv_dir =
+  match Runner.program_of w variant with
+  | exception Liquid_scalarize.Codegen.Unsupported_width m ->
+      Format.printf "cannot generate this binary: %s@." m;
+      exit 1
+  | program ->
+      let jsonl_oc = Option.map open_out jsonl_path in
+      let collector = Liquid_obs.Collector.create ?jsonl:jsonl_oc () in
+      let config =
+        Liquid_obs.Collector.wrap collector (machine_config variant)
+      in
+      let run = Cpu.run ~config (Image.of_program program) in
+      Option.iter close_out jsonl_oc;
+      let snap =
+        Liquid_obs.Snapshot.of_run ~label:w.name
+          ~variant:(Runner.variant_name variant) ~collector run
+      in
+      let json = Liquid_obs.Snapshot.to_json snap in
+      (match Liquid_obs.Schema.snapshot json with
+      | [] -> ()
+      | errs ->
+          List.iter (Format.eprintf "schema: %s@.") errs;
+          exit 1);
+      (* stdout carries the JSON document and nothing else (pipeable);
+         the CSV notice goes to stderr. *)
+      print_endline (Liquid_obs.Json.to_string ~pretty:true json);
+      (match csv_dir with
+      | None -> ()
+      | Some dir ->
+          let sanitized =
+            String.map
+              (fun c ->
+                match c with
+                | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+                | _ -> '_')
+              w.name
+          in
+          let path = Filename.concat dir (sanitized ^ ".csv") in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Liquid_obs.Snapshot.to_csv snap));
+          Format.eprintf "wrote %s@." path);
+      (match Liquid_obs.Snapshot.violations snap with
+      | [] -> ()
+      | viols ->
+          List.iter (Format.eprintf "invariant violated: %s@.") viols;
+          exit 1)
 
 let report_cmd =
-  let doc = "Regenerate the paper's tables and figures" in
+  let doc =
+    "Regenerate the paper's tables and figures, or emit one workload's \
+     observability snapshot as JSON"
+  in
   let which_arg =
     Arg.(
       value
@@ -260,7 +319,9 @@ let report_cmd =
       & info [] ~docv:"WHICH"
           ~doc:
             "One of table2, table5, table6, figure6, codesize, ucode, \
-             latency, overhead, translator, ablations; omit for all.")
+             latency, overhead, translator, ablations (omit for all) — or a \
+             workload name (see $(b,list)) to emit that run's observability \
+             snapshot as JSON.")
   in
   let csv_arg =
     Arg.(
@@ -268,9 +329,19 @@ let report_cmd =
       & opt (some dir) None
       & info [ "csv" ] ~docv:"DIR"
           ~doc:
-            "Also write machine-readable CSVs (table5/table6/figure6) into              $(docv).")
+            "Also write machine-readable CSVs (table5/table6/figure6, or the              workload snapshot) into $(docv).")
   in
-  let run which csv_dir =
+  let jsonl_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Workload-snapshot mode: stream region-level trace events \
+             (calls, translations, aborts) to $(docv), one JSON object per \
+             line.")
+  in
+  let run which csv_dir variant jsonl_path =
     let all = which = None in
     let want w = all || which = Some w in
     let write_csv name contents =
@@ -282,6 +353,9 @@ let report_cmd =
               Out_channel.output_string oc contents);
           Format.printf "wrote %s@." path
     in
+    match Option.bind which Workload.find with
+    | Some w -> report_snapshot w variant jsonl_path csv_dir
+    | None ->
     if want "table2" then
       Format.printf "%a@.@." Experiments.pp_table2 (Experiments.table2 ());
     if want "table5" then begin
@@ -339,7 +413,8 @@ let report_cmd =
         (Experiments.interrupt_ablation ())
     end
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ which_arg $ csv_arg)
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ which_arg $ csv_arg $ variant_arg $ jsonl_arg)
 
 (* --- encode: binary footprint breakdown --- *)
 

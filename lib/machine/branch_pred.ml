@@ -36,6 +36,10 @@ let predict_and_update t ~pc ~taken =
 let lookups t = t.lookups
 let mispredicts t = t.mispredicts
 
+type counters = { p_lookups : int; p_mispredicts : int }
+
+let counters t = { p_lookups = t.lookups; p_mispredicts = t.mispredicts }
+
 let reset_stats t =
   t.lookups <- 0;
   t.mispredicts <- 0

@@ -18,4 +18,11 @@ val predict_and_update : t -> pc:int -> taken:bool -> bool
 
 val lookups : t -> int
 val mispredicts : t -> int
+
+type counters = { p_lookups : int; p_mispredicts : int }
+
+val counters : t -> counters
+(** Immutable snapshot of the predictor's own tally — the single source
+    the run-level {!Stats} branch counters are derived from. *)
+
 val reset_stats : t -> unit

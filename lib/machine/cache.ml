@@ -97,6 +97,10 @@ let lines_spanned t ~addr ~bytes =
 let hits t = t.hits
 let misses t = t.misses
 
+type counters = { c_hits : int; c_misses : int }
+
+let counters t = { c_hits = t.hits; c_misses = t.misses }
+
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0

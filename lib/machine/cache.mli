@@ -35,6 +35,12 @@ val lines_spanned : t -> addr:int -> bytes:int -> int
 val hits : t -> int
 val misses : t -> int
 
+type counters = { c_hits : int; c_misses : int }
+
+val counters : t -> counters
+(** Immutable snapshot of the cache's own hit/miss tally — the single
+    source the run-level {!Stats} mirror is derived from. *)
+
 val reset_stats : t -> unit
 
 val flush : t -> unit

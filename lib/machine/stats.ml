@@ -1,7 +1,9 @@
 type t = {
   mutable cycles : int;
+  mutable fetches : int;
   mutable scalar_insns : int;
   mutable vector_insns : int;
+  mutable uops_retired : int;
   mutable loads : int;
   mutable stores : int;
   mutable branches : int;
@@ -22,8 +24,10 @@ type t = {
 let create () =
   {
     cycles = 0;
+    fetches = 0;
     scalar_insns = 0;
     vector_insns = 0;
+    uops_retired = 0;
     loads = 0;
     stores = 0;
     branches = 0;
@@ -43,8 +47,10 @@ let create () =
 
 let reset t =
   t.cycles <- 0;
+  t.fetches <- 0;
   t.scalar_insns <- 0;
   t.vector_insns <- 0;
+  t.uops_retired <- 0;
   t.loads <- 0;
   t.stores <- 0;
   t.branches <- 0;
@@ -63,8 +69,10 @@ let reset t =
 
 let add acc x =
   acc.cycles <- acc.cycles + x.cycles;
+  acc.fetches <- acc.fetches + x.fetches;
   acc.scalar_insns <- acc.scalar_insns + x.scalar_insns;
   acc.vector_insns <- acc.vector_insns + x.vector_insns;
+  acc.uops_retired <- acc.uops_retired + x.uops_retired;
   acc.loads <- acc.loads + x.loads;
   acc.stores <- acc.stores + x.stores;
   acc.branches <- acc.branches + x.branches;
@@ -82,16 +90,19 @@ let add acc x =
   acc.translation_busy_cycles <-
     acc.translation_busy_cycles + x.translation_busy_cycles
 
+let copy t = { t with cycles = t.cycles }
+
 let total_insns t = t.scalar_insns + t.vector_insns
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>cycles: %d@ scalar insns: %d@ vector insns: %d@ loads/stores: %d/%d@ \
-     branches: %d (mispred %d)@ icache: %d hit / %d miss@ dcache: %d hit / %d \
-     miss@ region calls: %d (ucode hits %d, installs %d, evictions %d)@ \
-     translations: %d started / %d aborted (busy %d cycles)@]"
-    t.cycles t.scalar_insns t.vector_insns t.loads t.stores t.branches
-    t.branch_mispredicts t.icache_hits t.icache_misses t.dcache_hits
-    t.dcache_misses t.region_calls t.ucode_hits t.ucode_installs
+    "@[<v>cycles: %d@ fetches: %d (+ %d uops)@ scalar insns: %d@ vector \
+     insns: %d@ loads/stores: %d/%d@ branches: %d (mispred %d)@ icache: %d \
+     hit / %d miss@ dcache: %d hit / %d miss@ region calls: %d (ucode hits \
+     %d, installs %d, evictions %d)@ translations: %d started / %d aborted \
+     (busy %d cycles)@]"
+    t.cycles t.fetches t.uops_retired t.scalar_insns t.vector_insns t.loads
+    t.stores t.branches t.branch_mispredicts t.icache_hits t.icache_misses
+    t.dcache_hits t.dcache_misses t.region_calls t.ucode_hits t.ucode_installs
     t.ucode_evictions t.translations_started t.translations_aborted
     t.translation_busy_cycles

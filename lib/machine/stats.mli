@@ -1,21 +1,41 @@
-(** Mutable counters collected during a simulation run. *)
+(** Mutable counters collected during a simulation run.
+
+    Single-writer discipline: every counter here has exactly one source.
+    The CPU core owns the execution-stream counters (cycles, fetches,
+    retired instructions, loads/stores, region calls, ucode hits,
+    translation start/abort/busy). Counters that mirror a hardware
+    unit's internal tally — cache hits/misses, branch predictor
+    mispredicts, microcode-cache installs/evictions — are {e derived}
+    from that unit when the run is collected, never bumped
+    independently, so they can't drift from the unit's own view
+    ({!Liquid_obs.Snapshot} turns any disagreement into a test
+    failure). *)
 
 type t = {
   mutable cycles : int;  (** total elapsed cycles *)
+  mutable fetches : int;
+      (** instruction fetches from the binary image (one per step;
+          microcode uops execute out of the microcode cache and do not
+          fetch) *)
   mutable scalar_insns : int;  (** retired baseline-ISA instructions *)
   mutable vector_insns : int;  (** retired SIMD instructions *)
+  mutable uops_retired : int;
+      (** microcode uops retired (already included in
+          scalar_insns/vector_insns; conservation:
+          [scalar + vector = fetches + uops_retired]) *)
   mutable loads : int;
   mutable stores : int;
-  mutable branches : int;
-  mutable branch_mispredicts : int;
-  mutable icache_hits : int;
-  mutable icache_misses : int;
-  mutable dcache_hits : int;
-  mutable dcache_misses : int;
+  mutable branches : int;  (** derived: {!Branch_pred} lookups *)
+  mutable branch_mispredicts : int;  (** derived: {!Branch_pred} *)
+  mutable icache_hits : int;  (** derived: instruction {!Cache} *)
+  mutable icache_misses : int;  (** derived: instruction {!Cache} *)
+  mutable dcache_hits : int;  (** derived: data {!Cache} *)
+  mutable dcache_misses : int;  (** derived: data {!Cache} *)
   mutable region_calls : int;  (** calls of outlined (translatable) regions *)
   mutable ucode_hits : int;  (** region calls served from the microcode cache *)
-  mutable ucode_installs : int;
+  mutable ucode_installs : int;  (** derived: microcode cache *)
   mutable ucode_evictions : int;
+      (** derived: microcode cache (capacity and forced evictions) *)
   mutable translations_started : int;
   mutable translations_aborted : int;
   mutable translation_busy_cycles : int;
@@ -24,8 +44,12 @@ type t = {
 
 val create : unit -> t
 val reset : t -> unit
+
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc] field-wise. *)
+
+val copy : t -> t
+(** A detached clone — snapshotting without aliasing the live record. *)
 
 val total_insns : t -> int
 val pp : Format.formatter -> t -> unit

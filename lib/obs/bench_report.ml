@@ -1,0 +1,55 @@
+type test = { t_name : string; t_ns_per_run : float }
+
+type t = {
+  b_report_wall_s : float;
+  b_sim_cycles : int;
+  b_sim_wall_s : float;
+  b_sim_cycles_per_s : float;
+  b_fault_wall_s : float;
+  b_fault_cases : int;
+  b_fault_survived : bool;
+  b_tests : test list;
+}
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str "liquid-bench/1");
+      ("report_wall_s", Json.Float t.b_report_wall_s);
+      ("sim_cycles", Json.Int t.b_sim_cycles);
+      ("sim_wall_s", Json.Float t.b_sim_wall_s);
+      ("sim_cycles_per_s", Json.Float t.b_sim_cycles_per_s);
+      ("fault_campaign_wall_s", Json.Float t.b_fault_wall_s);
+      ("fault_campaign_cases", Json.Int t.b_fault_cases);
+      ("fault_campaign_survived", Json.Bool t.b_fault_survived);
+      ( "tests",
+        Json.List
+          (List.map
+             (fun test ->
+               Json.Obj
+                 [
+                   ("name", Json.Str test.t_name);
+                   ("ns_per_run", Json.Float test.t_ns_per_run);
+                 ])
+             t.b_tests) );
+    ]
+
+let validate_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> [ Printf.sprintf "%s: %s" path msg ]
+  | contents -> (
+      match Json.of_string contents with
+      | Error msg -> [ Printf.sprintf "%s: parse error: %s" path msg ]
+      | Ok j -> Schema.bench j)
+
+let write ~path t =
+  let oc = open_out path in
+  Json.to_channel ~pretty:true oc (to_json t);
+  output_char oc '\n';
+  close_out oc;
+  match validate_file path with
+  | [] -> ()
+  | viols ->
+      failwith
+        (Printf.sprintf "Bench_report.write %s: emitted invalid JSON: %s" path
+           (String.concat "; " viols))

@@ -1,0 +1,32 @@
+(** The typed BENCH.json document and its single emitter.
+
+    [bench/main.ml] builds a {!t} and calls {!write}; nothing else in
+    the tree hand-formats benchmark JSON. The written file is
+    immediately re-parsed and checked against {!Schema.bench}, so a
+    shape regression fails at emit time. *)
+
+type test = { t_name : string; t_ns_per_run : float }
+
+type t = {
+  b_report_wall_s : float;  (** wall time of the full report generation *)
+  b_sim_cycles : int;  (** simulated cycles in the throughput measurement *)
+  b_sim_wall_s : float;
+  b_sim_cycles_per_s : float;
+  b_fault_wall_s : float;  (** wall time of the seeded fault campaign *)
+  b_fault_cases : int;
+  b_fault_survived : bool;
+  b_tests : test list;  (** Bechamel per-test estimates *)
+}
+
+val to_json : t -> Json.t
+(** Schema ["liquid-bench/1"]. *)
+
+val write : path:string -> t -> unit
+(** Pretty-print to [path], then re-read and validate; raises
+    [Failure] listing the violations if the emitted file does not
+    satisfy {!Schema.bench} (an emitter bug, by construction). *)
+
+val validate_file : string -> string list
+(** Parse the file at the path and run {!Schema.bench}; parse errors
+    and I/O errors come back as single-element violation lists. Empty
+    means valid. *)

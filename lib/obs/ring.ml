@@ -1,0 +1,39 @@
+type t = {
+  kinds : int array;
+  az : int array;
+  bz : int array;
+  cz : int array;
+  mutable next : int;  (* total pushed; next slot = next mod capacity *)
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create";
+  {
+    kinds = Array.make capacity 0;
+    az = Array.make capacity 0;
+    bz = Array.make capacity 0;
+    cz = Array.make capacity 0;
+    next = 0;
+  }
+
+let capacity t = Array.length t.kinds
+
+let push t ~kind ~a ~b ~c =
+  let i = t.next mod Array.length t.kinds in
+  Array.unsafe_set t.kinds i kind;
+  Array.unsafe_set t.az i a;
+  Array.unsafe_set t.bz i b;
+  Array.unsafe_set t.cz i c;
+  t.next <- t.next + 1
+
+let length t = min t.next (Array.length t.kinds)
+let pushed t = t.next
+
+let iter t f =
+  let cap = Array.length t.kinds in
+  let held = length t in
+  let first = t.next - held in
+  for k = first to t.next - 1 do
+    let i = k mod cap in
+    f ~kind:t.kinds.(i) ~a:t.az.(i) ~b:t.bz.(i) ~c:t.cz.(i)
+  done

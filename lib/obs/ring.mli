@@ -1,0 +1,26 @@
+(** Fixed-capacity ring buffer of packed trace records.
+
+    Each record is four unboxed ints ([kind], [a], [b], [c]) stored in
+    preallocated parallel arrays, so [push] allocates nothing — the sink
+    can sit on the simulation's per-instruction trace hook without
+    perturbing the measurement. When full, the oldest record is
+    overwritten: the ring always holds the most recent window. *)
+
+type t
+
+val create : int -> t
+(** Capacity must be positive. *)
+
+val capacity : t -> int
+
+val push : t -> kind:int -> a:int -> b:int -> c:int -> unit
+(** O(1), zero-allocation. *)
+
+val length : t -> int
+(** Records currently held ([min pushed capacity]). *)
+
+val pushed : t -> int
+(** Total records ever pushed (including overwritten ones). *)
+
+val iter : t -> (kind:int -> a:int -> b:int -> c:int -> unit) -> unit
+(** Visit held records oldest-first. *)

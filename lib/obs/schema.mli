@@ -1,0 +1,17 @@
+(** Structural validators for the JSON documents the repository emits.
+
+    Each validator walks a parsed {!Json.t} and returns the list of
+    problems found — missing fields, wrong types, malformed nested
+    records — with one human-readable string per problem. An empty list
+    means the document conforms. The test suite and the emitters
+    themselves call these, so a report that drifts from its documented
+    shape fails loudly at the producer, not in some downstream
+    consumer. *)
+
+val snapshot : Json.t -> string list
+(** Validates a {!Snapshot.to_json} document
+    (schema ["liquid-obs-snapshot/1"]). *)
+
+val bench : Json.t -> string list
+(** Validates a {!Bench_report.to_json} document — the BENCH.json file
+    (schema ["liquid-bench/1"]). *)

@@ -12,6 +12,13 @@ type trace_event =
       event :
         [ `Scalar_call | `Ucode_call | `Translated of int | `Aborted of Abort.t ];
     }
+  | T_translation of {
+      entry : int;
+      label : string;
+      width : int;
+      uops : int;
+      latency : int;
+    }
 
 type translation_kind =
   | Hardware
@@ -105,6 +112,10 @@ type run = {
   regs : int array;
   regions : region_report list;
   ucode_max_occupancy : int;
+  icache_counters : Cache.counters option;
+  dcache_counters : Cache.counters option;
+  bpred_counters : Branch_pred.counters;
+  ucache_counters : Ucode_cache.counters;
 }
 
 type racc = {
@@ -170,15 +181,17 @@ let[@inline] trace_uop st entry index uop =
   | None -> ()
   | Some f -> f (T_uop { entry; index; uop })
 
+(* The caches keep their own hit/miss tallies (the single writers; the
+   [Stats] mirrors are derived at [collect]); the core only owes the
+   timing consequence of a miss. *)
 let charge_icache st addr =
+  st.stats.Stats.fetches <- st.stats.Stats.fetches + 1;
   match st.icache with
   | None -> ()
   | Some c -> (
       match Cache.access c addr with
-      | Cache.Hit -> st.stats.Stats.icache_hits <- st.stats.Stats.icache_hits + 1
-      | Cache.Miss ->
-          st.stats.Stats.icache_misses <- st.stats.Stats.icache_misses + 1;
-          charge st st.cfg.mem_latency)
+      | Cache.Hit -> ()
+      | Cache.Miss -> charge st st.cfg.mem_latency)
 
 let charge_dcache st ~addr ~bytes ~write =
   (if write then st.stats.Stats.stores <- st.stats.Stats.stores + 1
@@ -190,10 +203,8 @@ let charge_dcache st ~addr ~bytes ~write =
       let line_bytes = Cache.line_bytes c in
       for i = 0 to lines - 1 do
         match Cache.access c (addr + (i * line_bytes)) with
-        | Cache.Hit -> st.stats.Stats.dcache_hits <- st.stats.Stats.dcache_hits + 1
-        | Cache.Miss ->
-            st.stats.Stats.dcache_misses <- st.stats.Stats.dcache_misses + 1;
-            charge st st.cfg.mem_latency
+        | Cache.Hit -> ()
+        | Cache.Miss -> charge st st.cfg.mem_latency
       done
 
 (* Account every memory access the last [Sem.exec_*] recorded in the
@@ -241,6 +252,14 @@ let fuel_check st =
   st.retired <- st.retired + 1;
   if st.retired > st.cfg.fuel then raise (diag st Diag.Fuel_exhausted)
 
+(* The single accounting site for conditional branches: the predictor
+   owns the lookup/mispredict counters (the [Stats] mirror is derived at
+   [collect]); the core only applies the refill penalty. [key] is the pc
+   for image branches and a synthetic id for microcode branches. *)
+let record_branch st ~key ~taken =
+  if not (Branch_pred.predict_and_update st.bpred ~pc:key ~taken) then
+    charge st st.cfg.mispredict_penalty
+
 let load_use_stall st insn =
   (match st.last_load_dst with
   | Some r when Insn.uses_reg insn r -> charge st 1
@@ -283,11 +302,16 @@ let close_session st s =
       trace st
         (T_region { label = acc.r_label; event = `Translated u.Ucode.width });
       let ready = max st.stats.Stats.cycles (s.s_start_cycle + (work * cpi)) in
-      let evicted = ref false in
-      Ucode_cache.install st.ucache ~key:s.s_entry ~ready u ~evicted;
-      st.stats.Stats.ucode_installs <- st.stats.Stats.ucode_installs + 1;
-      if !evicted then
-        st.stats.Stats.ucode_evictions <- st.stats.Stats.ucode_evictions + 1;
+      trace st
+        (T_translation
+           {
+             entry = s.s_entry;
+             label = acc.r_label;
+             width = u.Ucode.width;
+             uops = Array.length u.Ucode.uops;
+             latency = ready - s.s_start_cycle;
+           });
+      Ucode_cache.install st.ucache ~key:s.s_entry ~ready u;
       acc.outcome <-
         R_installed { width = u.Ucode.width; uops = Array.length u.Ucode.uops }
   | Translator.Aborted reason ->
@@ -343,6 +367,7 @@ let run_ucode st ~entry (u : Ucode.t) =
   while !running do
     if !ui < 0 || !ui >= n then raise (diag st (Diag.Ucode_index !ui));
     trace_uop st entry !ui u.Ucode.uops.(!ui);
+    st.stats.Stats.uops_retired <- st.stats.Stats.uops_retired + 1;
     (match u.Ucode.uops.(!ui) with
     | Ucode.US i ->
         fuel_check st;
@@ -372,15 +397,9 @@ let run_ucode st ~entry (u : Ucode.t) =
     | Ucode.UB { cond; target } ->
         fuel_check st;
         st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
-        st.stats.Stats.branches <- st.stats.Stats.branches + 1;
         charge st 1;
         let taken = Cond.holds cond st.ctx.Sem.flags in
-        let key = 0x40000000 + (entry * st.cfg.max_uops) + !ui in
-        if not (Branch_pred.predict_and_update st.bpred ~pc:key ~taken) then begin
-          st.stats.Stats.branch_mispredicts <-
-            st.stats.Stats.branch_mispredicts + 1;
-          charge st st.cfg.mispredict_penalty
-        end;
+        record_branch st ~key:(0x40000000 + (entry * st.cfg.max_uops) + !ui) ~taken;
         if taken then ui := target else incr ui
     | Ucode.URet ->
         fuel_check st;
@@ -453,9 +472,7 @@ let region_call st ~pc ~target =
       (match st.cfg.faults with
       | Some f
         when f.fh_evict ~entry:target ~call:st.stats.Stats.region_calls ->
-          if Ucode_cache.evict st.ucache ~key:target then
-            st.stats.Stats.ucode_evictions <-
-              st.stats.Stats.ucode_evictions + 1
+          ignore (Ucode_cache.evict st.ucache ~key:target)
       | Some _ | None -> ());
       match Ucode_cache.lookup st.ucache ~key:target ~now with
       | Some u ->
@@ -553,13 +570,7 @@ let step st =
       match outcome with
       | Sem.Next -> st.pc <- pc + 1
       | Sem.Jump target ->
-          st.stats.Stats.branches <- st.stats.Stats.branches + 1;
-          let taken = st.ctx.Sem.e_taken = 1 in
-          if not (Branch_pred.predict_and_update st.bpred ~pc ~taken) then begin
-            st.stats.Stats.branch_mispredicts <-
-              st.stats.Stats.branch_mispredicts + 1;
-            charge st st.cfg.mispredict_penalty
-          end;
+          record_branch st ~key:pc ~taken:(st.ctx.Sem.e_taken = 1);
           st.pc <- target
       | Sem.Call { target; region } ->
           st.depth <- st.depth + 1;
@@ -642,7 +653,28 @@ let init_state config image =
   in
   (st, mem, ctx)
 
+(* Derive the [Stats] mirrors of per-unit counters from the units
+   themselves. Each unit is the single writer of its tally; this is the
+   only place the mirror fields are assigned, so they cannot drift. *)
+let sync_stats st =
+  let s = st.stats in
+  (match st.icache with
+  | Some c ->
+      s.Stats.icache_hits <- Cache.hits c;
+      s.Stats.icache_misses <- Cache.misses c
+  | None -> ());
+  (match st.dcache with
+  | Some c ->
+      s.Stats.dcache_hits <- Cache.hits c;
+      s.Stats.dcache_misses <- Cache.misses c
+  | None -> ());
+  s.Stats.branches <- Branch_pred.lookups st.bpred;
+  s.Stats.branch_mispredicts <- Branch_pred.mispredicts st.bpred;
+  s.Stats.ucode_installs <- Ucode_cache.installs st.ucache;
+  s.Stats.ucode_evictions <- Ucode_cache.evictions st.ucache
+
 let collect st mem ctx =
+  sync_stats st;
   let regions =
     Hashtbl.fold
       (fun entry (r : racc) acc ->
@@ -663,6 +695,10 @@ let collect st mem ctx =
     regs = Array.copy ctx.Sem.regs;
     regions;
     ucode_max_occupancy = Ucode_cache.max_occupancy st.ucache;
+    icache_counters = Option.map Cache.counters st.icache;
+    dcache_counters = Option.map Cache.counters st.dcache;
+    bpred_counters = Branch_pred.counters st.bpred;
+    ucache_counters = Ucode_cache.counters st.ucache;
   }
 
 let run ?(config = scalar_config) image =

@@ -68,6 +68,16 @@ type trace_event =
       event :
         [ `Scalar_call | `Ucode_call | `Translated of int | `Aborted of Abort.t ];
     }
+  | T_translation of {
+      entry : int;
+      label : string;
+      width : int;
+      uops : int;
+      latency : int;
+          (** cycles from the region's start until the microcode is
+              servable ([ready - start]) — the paper's §5 translation
+              latency, per completed translation *)
+    }
 
 type config = {
   accel_lanes : int option;
@@ -129,6 +139,12 @@ type run = {
   regs : int array;
   regions : region_report list;
   ucode_max_occupancy : int;
+  icache_counters : Cache.counters option;
+      (** the instruction cache's own tally; [stats.icache_*] is derived
+          from it at collection (single writer) *)
+  dcache_counters : Cache.counters option;
+  bpred_counters : Branch_pred.counters;
+  ucache_counters : Ucode_cache.counters;
 }
 
 val run : ?config:config -> Image.t -> run

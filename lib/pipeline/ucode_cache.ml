@@ -11,7 +11,9 @@ type t = {
   slots : entry option array;
   mutable clock : int;
   mutable installs : int;
+  mutable replacements : int;
   mutable evictions : int;
+  mutable occupancy : int;
   mutable max_occupancy : int;
 }
 
@@ -21,69 +23,111 @@ let create ~entries =
     slots = Array.make entries None;
     clock = 0;
     installs = 0;
+    replacements = 0;
     evictions = 0;
+    occupancy = 0;
     max_occupancy = 0;
   }
 
-let find t key =
-  let found = ref None in
-  Array.iteri
-    (fun i -> function
-      | Some e when e.key = key -> found := Some (i, e)
-      | Some _ | None -> ())
-    t.slots;
+(* The scan runs on every region call of a Liquid machine, so it is an
+   index-returning early-exit loop: no closure, no [Some (i, e)] box.
+   Returns -1 when the key is absent. *)
+let find_index t key =
+  let n = Array.length t.slots in
+  let found = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < n do
+    (match Array.unsafe_get t.slots !i with
+    | Some e -> if e.key = key then found := !i
+    | None -> ());
+    incr i
+  done;
   !found
 
 let lookup t ~key ~now =
   t.clock <- t.clock + 1;
-  match find t key with
-  | Some (_, e) when e.ready <= now ->
-      e.last_used <- t.clock;
-      Some e.ucode
-  | Some _ | None -> None
+  let i = find_index t key in
+  if i < 0 then None
+  else
+    match t.slots.(i) with
+    | Some e when e.ready <= now ->
+        e.last_used <- t.clock;
+        Some e.ucode
+    | Some _ | None -> None
 
 let pending t ~key ~now =
-  match find t key with Some (_, e) -> e.ready > now | None -> false
+  let i = find_index t key in
+  if i < 0 then false
+  else match t.slots.(i) with Some e -> e.ready > now | None -> false
 
-let occupancy t =
-  Array.fold_left (fun n -> function Some _ -> n + 1 | None -> n) 0 t.slots
+let occupancy t = t.occupancy
 
-let install t ~key ~ready ucode ~evicted =
+let install t ~key ~ready ucode =
   t.clock <- t.clock + 1;
   t.installs <- t.installs + 1;
   let entry = Some { key; ucode; ready; last_used = t.clock } in
-  (match find t key with
-  | Some (i, _) -> t.slots.(i) <- entry
-  | None -> (
-      let free = ref None in
-      Array.iteri
-        (fun i -> function None -> if !free = None then free := Some i | Some _ -> ())
-        t.slots;
-      match !free with
-      | Some i -> t.slots.(i) <- entry
-      | None ->
-          let victim = ref 0 in
-          Array.iteri
-            (fun i -> function
-              | Some e -> (
-                  match t.slots.(!victim) with
-                  | Some v -> if e.last_used < v.last_used then victim := i
-                  | None -> ())
-              | None -> ())
-            t.slots;
-          t.evictions <- t.evictions + 1;
-          evicted := true;
-          t.slots.(!victim) <- entry));
-  t.max_occupancy <- max t.max_occupancy (occupancy t)
+  let existing = find_index t key in
+  if existing >= 0 then begin
+    t.replacements <- t.replacements + 1;
+    t.slots.(existing) <- entry
+  end
+  else begin
+    let n = Array.length t.slots in
+    let free = ref (-1) in
+    let i = ref 0 in
+    while !free < 0 && !i < n do
+      (match Array.unsafe_get t.slots !i with
+      | None -> free := !i
+      | Some _ -> ());
+      incr i
+    done;
+    if !free >= 0 then begin
+      t.slots.(!free) <- entry;
+      t.occupancy <- t.occupancy + 1
+    end
+    else begin
+      (* Full: evict the least-recently-used entry. *)
+      let victim = ref 0 in
+      for j = 1 to n - 1 do
+        match (t.slots.(j), t.slots.(!victim)) with
+        | Some e, Some v -> if e.last_used < v.last_used then victim := j
+        | Some _, None -> ()
+        | None, _ -> assert false (* the free scan found no hole *)
+      done;
+      t.evictions <- t.evictions + 1;
+      t.slots.(!victim) <- entry
+    end
+  end;
+  t.max_occupancy <- max t.max_occupancy t.occupancy
 
 let evict t ~key =
-  match find t key with
-  | Some (i, _) ->
-      t.slots.(i) <- None;
-      t.evictions <- t.evictions + 1;
-      true
-  | None -> false
+  let i = find_index t key in
+  if i < 0 then false
+  else begin
+    t.slots.(i) <- None;
+    t.evictions <- t.evictions + 1;
+    t.occupancy <- t.occupancy - 1;
+    true
+  end
 
 let installs t = t.installs
+let replacements t = t.replacements
 let evictions t = t.evictions
 let max_occupancy t = t.max_occupancy
+
+type counters = {
+  u_installs : int;
+  u_replacements : int;
+  u_evictions : int;
+  u_occupancy : int;
+  u_max_occupancy : int;
+}
+
+let counters t =
+  {
+    u_installs = t.installs;
+    u_replacements = t.replacements;
+    u_evictions = t.evictions;
+    u_occupancy = t.occupancy;
+    u_max_occupancy = t.max_occupancy;
+  }

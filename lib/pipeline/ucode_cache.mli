@@ -6,7 +6,13 @@
     Replacement is LRU. An entry becomes visible only once the translator
     has finished producing it ([ready] cycle), which models translation
     latency: a region re-entered before its microcode is ready still runs
-    in scalar form. *)
+    in scalar form.
+
+    The cache owns its own accounting (installs, same-key replacements,
+    evictions, live occupancy): {!Liquid_machine.Stats} mirrors of these
+    are derived from {!counters} when a run is collected — there is no
+    second writer, so the conservation invariant
+    [installs = replacements + evictions + occupancy] always holds. *)
 
 open Liquid_translate
 
@@ -15,20 +21,38 @@ type t
 val create : entries:int -> t
 
 val lookup : t -> key:int -> now:int -> Ucode.t option
-(** [None] when absent or not yet ready. A ready hit refreshes LRU. *)
+(** [None] when absent or not yet ready. A ready hit refreshes LRU. The
+    scan is an early-exit index loop — nothing is allocated on a miss
+    (region calls sit on the simulation hot path). *)
 
 val pending : t -> key:int -> now:int -> bool
 (** True when an entry exists but is still being produced. *)
 
-val install : t -> key:int -> ready:int -> Ucode.t -> evicted:bool ref -> unit
-(** Insert, evicting the LRU entry when full (sets [evicted]). *)
+val install : t -> key:int -> ready:int -> Ucode.t -> unit
+(** Insert, evicting the LRU entry when full (counted in {!evictions});
+    installing over a live entry with the same key replaces it in place
+    (counted in {!replacements}, not an eviction). *)
 
 val evict : t -> key:int -> bool
 (** Forcibly remove an entry (fault injection / flush modeling); [true]
     when the key was present. Counts toward {!evictions}. *)
 
 val installs : t -> int
+val replacements : t -> int
 val evictions : t -> int
 val occupancy : t -> int
 val max_occupancy : t -> int
 (** High-water mark of live entries — the paper's working-set measure. *)
+
+type counters = {
+  u_installs : int;
+  u_replacements : int;
+  u_evictions : int;
+  u_occupancy : int;
+  u_max_occupancy : int;
+}
+
+val counters : t -> counters
+(** Immutable snapshot of the cache's own tally; satisfies
+    [u_installs = u_replacements + u_evictions + u_occupancy] and
+    [u_occupancy <= u_max_occupancy]. *)

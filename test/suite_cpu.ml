@@ -417,6 +417,7 @@ let test_trace_events () =
         check "translated width" 4 w;
         incr translated
     | Cpu.T_region { event = `Aborted _; _ } -> Alcotest.fail "unexpected abort"
+    | Cpu.T_translation _ -> ()
   in
   let run =
     Cpu.run

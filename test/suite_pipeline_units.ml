@@ -22,9 +22,8 @@ let dummy_ucode n =
 let test_ucache_hit_and_miss () =
   let c = Ucode_cache.create ~entries:2 in
   check_bool "empty misses" true (Ucode_cache.lookup c ~key:1 ~now:0 = None);
-  let evicted = ref false in
-  Ucode_cache.install c ~key:1 ~ready:0 (dummy_ucode 3) ~evicted;
-  check_bool "no eviction" false !evicted;
+  Ucode_cache.install c ~key:1 ~ready:0 (dummy_ucode 3);
+  check "no eviction" 0 (Ucode_cache.evictions c);
   (match Ucode_cache.lookup c ~key:1 ~now:5 with
   | Some u -> check "payload" 3 (Ucode.length u)
   | None -> Alcotest.fail "expected hit");
@@ -34,8 +33,7 @@ let test_ucache_readiness () =
   (* An entry installed with a future ready time is pending, not
      servable: the translation-latency model. *)
   let c = Ucode_cache.create ~entries:2 in
-  let evicted = ref false in
-  Ucode_cache.install c ~key:7 ~ready:100 (dummy_ucode 1) ~evicted;
+  Ucode_cache.install c ~key:7 ~ready:100 (dummy_ucode 1);
   check_bool "not ready at 50" true (Ucode_cache.lookup c ~key:7 ~now:50 = None);
   check_bool "pending at 50" true (Ucode_cache.pending c ~key:7 ~now:50);
   check_bool "ready at 100" true (Ucode_cache.lookup c ~key:7 ~now:100 <> None);
@@ -43,13 +41,11 @@ let test_ucache_readiness () =
 
 let test_ucache_lru () =
   let c = Ucode_cache.create ~entries:2 in
-  let evicted = ref false in
-  Ucode_cache.install c ~key:1 ~ready:0 (dummy_ucode 1) ~evicted;
-  Ucode_cache.install c ~key:2 ~ready:0 (dummy_ucode 1) ~evicted;
+  Ucode_cache.install c ~key:1 ~ready:0 (dummy_ucode 1);
+  Ucode_cache.install c ~key:2 ~ready:0 (dummy_ucode 1);
   (* Touch key 1 so key 2 is LRU. *)
   ignore (Ucode_cache.lookup c ~key:1 ~now:10);
-  Ucode_cache.install c ~key:3 ~ready:0 (dummy_ucode 1) ~evicted;
-  check_bool "evicted" true !evicted;
+  Ucode_cache.install c ~key:3 ~ready:0 (dummy_ucode 1);
   check "eviction count" 1 (Ucode_cache.evictions c);
   check_bool "key 1 kept" true (Ucode_cache.lookup c ~key:1 ~now:20 <> None);
   check_bool "key 2 evicted" true (Ucode_cache.lookup c ~key:2 ~now:20 = None);
@@ -58,14 +54,38 @@ let test_ucache_lru () =
 
 let test_ucache_reinstall_same_key () =
   let c = Ucode_cache.create ~entries:2 in
-  let evicted = ref false in
-  Ucode_cache.install c ~key:1 ~ready:0 (dummy_ucode 1) ~evicted;
-  Ucode_cache.install c ~key:1 ~ready:0 (dummy_ucode 9) ~evicted;
-  check_bool "no eviction on overwrite" false !evicted;
+  Ucode_cache.install c ~key:1 ~ready:0 (dummy_ucode 1);
+  Ucode_cache.install c ~key:1 ~ready:0 (dummy_ucode 9);
+  check "no eviction on overwrite" 0 (Ucode_cache.evictions c);
+  check "one replacement" 1 (Ucode_cache.replacements c);
   check "occupancy stays 1" 1 (Ucode_cache.occupancy c);
   match Ucode_cache.lookup c ~key:1 ~now:0 with
   | Some u -> check "newest payload" 9 (Ucode.length u)
   | None -> Alcotest.fail "hit expected"
+
+let test_ucache_counter_conservation () =
+  (* installs = replacements + evictions + occupancy, through installs,
+     same-key overwrites, capacity evictions and forced evictions. *)
+  let c = Ucode_cache.create ~entries:2 in
+  let conserved () =
+    let k = Ucode_cache.counters c in
+    check "installs conserved" k.Ucode_cache.u_installs
+      (k.Ucode_cache.u_replacements + k.Ucode_cache.u_evictions
+     + k.Ucode_cache.u_occupancy);
+    check_bool "occupancy below high-water" true
+      (k.Ucode_cache.u_occupancy <= k.Ucode_cache.u_max_occupancy)
+  in
+  conserved ();
+  Ucode_cache.install c ~key:1 ~ready:0 (dummy_ucode 1);
+  conserved ();
+  Ucode_cache.install c ~key:1 ~ready:0 (dummy_ucode 2);
+  conserved ();
+  Ucode_cache.install c ~key:2 ~ready:0 (dummy_ucode 1);
+  Ucode_cache.install c ~key:3 ~ready:0 (dummy_ucode 1);
+  conserved ();
+  check_bool "forced evict hits" true (Ucode_cache.evict c ~key:3);
+  check_bool "forced evict misses" false (Ucode_cache.evict c ~key:99);
+  conserved ()
 
 (* --- Vec --- *)
 
@@ -134,6 +154,8 @@ let tests =
     Alcotest.test_case "ucache: readiness" `Quick test_ucache_readiness;
     Alcotest.test_case "ucache: LRU" `Quick test_ucache_lru;
     Alcotest.test_case "ucache: reinstall" `Quick test_ucache_reinstall_same_key;
+    Alcotest.test_case "ucache: counter conservation" `Quick
+      test_ucache_counter_conservation;
     Alcotest.test_case "vec: basics" `Quick test_vec_basics;
     Alcotest.test_case "event: pretty printing" `Quick test_event_pp;
     Alcotest.test_case "abort: permanence" `Quick test_abort_permanence;
