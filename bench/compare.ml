@@ -1,0 +1,86 @@
+(* Compare two BENCH.json files and fail on performance regressions.
+
+   Usage: dune exec bench/compare.exe -- OLD.json NEW.json
+
+   Prints a per-test table of ns/run deltas. Exits non-zero when any
+   `core_*` test (the pipeline-stage microbenchmarks — the numbers this
+   repo's perf work is judged on) regresses by more than 10%, or when
+   either file is missing, unparsable, or schema-invalid. Tests present
+   in only one file are reported but never fail the comparison, so
+   adding or renaming a benchmark does not break an older baseline. *)
+
+module Json = Liquid_obs.Json
+module Bench_report = Liquid_obs.Bench_report
+
+let threshold = 1.10
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let load path =
+  (match Bench_report.validate_file path with
+  | [] -> ()
+  | errs -> die "%s: %s" path (String.concat "; " errs));
+  match Json.of_string (In_channel.with_open_text path In_channel.input_all) with
+  | Error e -> die "%s: %s" path e
+  | Ok j -> j
+
+(* (name, ns_per_run) pairs of the "tests" list, in file order. *)
+let tests j =
+  let field name = function
+    | Json.Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  let num = function
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  match field "tests" j with
+  | Some (Json.List ts) ->
+      List.filter_map
+        (fun t ->
+          match (field "name" t, num (field "ns_per_run" t)) with
+          | Some (Json.Str n), Some ns -> Some (n, ns)
+          | _ -> None)
+        ts
+  | _ -> []
+
+let () =
+  let old_path, new_path =
+    match Sys.argv with
+    | [| _; o; n |] -> (o, n)
+    | _ -> die "usage: compare OLD.json NEW.json"
+  in
+  let old_tests = tests (load old_path) in
+  let new_tests = tests (load new_path) in
+  let regressions = ref [] in
+  Printf.printf "%-32s %12s %12s %8s\n" "test" "old ns/run" "new ns/run"
+    "ratio";
+  List.iter
+    (fun (name, nw) ->
+      match List.assoc_opt name old_tests with
+      | None -> Printf.printf "%-32s %12s %12.0f %8s\n" name "-" nw "new"
+      | Some old ->
+          let ratio = if old > 0.0 then nw /. old else 1.0 in
+          let core = String.length name >= 5 && String.sub name 0 5 = "core_" in
+          let flag =
+            if core && ratio > threshold then begin
+              regressions := name :: !regressions;
+              "  REGRESSED"
+            end
+            else ""
+          in
+          Printf.printf "%-32s %12.0f %12.0f %7.2fx%s\n" name old nw ratio flag)
+    new_tests;
+  List.iter
+    (fun (name, old) ->
+      if not (List.mem_assoc name new_tests) then
+        Printf.printf "%-32s %12.0f %12s %8s\n" name old "-" "gone")
+    old_tests;
+  match List.rev !regressions with
+  | [] -> ()
+  | names ->
+      Printf.eprintf "regression (>%.0f%%) in: %s\n"
+        ((threshold -. 1.0) *. 100.0)
+        (String.concat ", " names);
+      exit 1

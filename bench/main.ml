@@ -138,11 +138,39 @@ let bench_encode =
   Test.make ~name:"core_encode_binary"
     (Staged.stage (fun () -> Encode.encode image.Image.code))
 
+(* The same simulation with the translation-block engine on (the
+   default) and off: the pair is the engine's own speedup measurement,
+   and `bench/compare.exe` watches both so a regression in either
+   execution strategy is caught. *)
 let bench_simulate_scalar =
   let w = find "GSM Dec." in
   let image = Image.of_program (Codegen.baseline w.Workload.program) in
   Test.make ~name:"core_simulate_scalar"
     (Staged.stage (fun () -> Cpu.run ~config:Cpu.scalar_config image))
+
+let bench_simulate_scalar_noblocks =
+  let w = find "GSM Dec." in
+  let image = Image.of_program (Codegen.baseline w.Workload.program) in
+  let config = { Cpu.scalar_config with Cpu.blocks = false } in
+  Test.make ~name:"core_simulate_scalar_noblocks"
+    (Staged.stage (fun () -> Cpu.run ~config image))
+
+(* MPEG2 Dec. is the region-richest workload (Table 6's shortest call
+   gaps): after translation its time is dominated by microcode replay,
+   so this pair exercises the engine's pre-compiled ucode segments
+   rather than the image-block path the scalar pair already covers. *)
+let bench_simulate_liquid =
+  let w = find "MPEG2 Dec." in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  Test.make ~name:"core_simulate_liquid"
+    (Staged.stage (fun () -> Cpu.run ~config:(Cpu.liquid_config ~lanes:8) image))
+
+let bench_simulate_liquid_noblocks =
+  let w = find "MPEG2 Dec." in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  let config = { (Cpu.liquid_config ~lanes:8) with Cpu.blocks = false } in
+  Test.make ~name:"core_simulate_liquid_noblocks"
+    (Staged.stage (fun () -> Cpu.run ~config image))
 
 let bench_hwmodel =
   Test.make ~name:"core_hwmodel_estimate"
@@ -160,6 +188,9 @@ let tests =
     bench_scalarize_fft;
     bench_encode;
     bench_simulate_scalar;
+    bench_simulate_scalar_noblocks;
+    bench_simulate_liquid;
+    bench_simulate_liquid_noblocks;
     bench_hwmodel;
   ]
 
@@ -193,10 +224,13 @@ let run_benchmarks () =
 
 (* Simulated-cycle throughput: the given workloads under the two
    headline variants, fresh simulations (no memo cache), cycles per wall
-   second. *)
-let sim_throughput workloads =
+   second. Run with [blocks] both on and off; the identical sweep under
+   the two execution strategies is the block engine's speedup
+   measurement (and a bit-identity smoke check: the cycle totals must
+   match exactly). *)
+let sim_throughput ~blocks workloads =
   let cycles_of w v =
-    (Runner.run w v).Runner.run.Cpu.stats.Liquid_machine.Stats.cycles
+    (Runner.run ~blocks w v).Runner.run.Cpu.stats.Liquid_machine.Stats.cycles
   in
   let t0 = Unix.gettimeofday () in
   let cycles =
@@ -230,7 +264,16 @@ let () =
     if smoke then [ find "FIR"; find "GSM Dec." ] else Workload.all ()
   in
   let fault_workloads = if smoke then [ find "FIR" ] else Workload.all () in
-  let sim_cycles, sim_wall_s, sim_cycles_per_s = sim_throughput sim_workloads in
+  let sim_cycles, sim_wall_s, sim_cycles_per_s =
+    sim_throughput ~blocks:true sim_workloads
+  in
+  let off_cycles, off_wall_s, _ = sim_throughput ~blocks:false sim_workloads in
+  if off_cycles <> sim_cycles then
+    failwith
+      (Printf.sprintf
+         "block engine not bit-identical: %d cycles with blocks, %d without"
+         sim_cycles off_cycles);
+  let block_speedup = off_wall_s /. sim_wall_s in
   let fault_report, fault_wall_s = fault_campaign fault_workloads in
   (* Single shared emitter (Liquid_obs.Bench_report): builds the typed
      record, writes BENCH.json, and re-validates the written file
@@ -241,6 +284,7 @@ let () =
       b_sim_cycles = sim_cycles;
       b_sim_wall_s = sim_wall_s;
       b_sim_cycles_per_s = sim_cycles_per_s;
+      b_block_speedup = block_speedup;
       b_fault_wall_s = fault_wall_s;
       b_fault_cases = List.length fault_report.Liquid_faults.Campaign.r_cases;
       b_fault_survived = Liquid_faults.Campaign.survived fault_report;
@@ -252,5 +296,6 @@ let () =
     };
   if not json_only then
     Format.printf
-      "@.report wall %.3f s; fault campaign %.3f s; BENCH.json written@."
-      report_wall_s fault_wall_s
+      "@.report wall %.3f s; block speedup %.2fx; fault campaign %.3f s; \
+       BENCH.json written@."
+      report_wall_s block_speedup fault_wall_s

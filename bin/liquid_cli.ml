@@ -61,6 +61,16 @@ let variant_arg =
           "Machine/binary flavour: $(b,baseline), $(b,liquid:scalar), \
            $(b,liquid:WIDTH) or $(b,native:WIDTH).")
 
+let no_blocks_arg =
+  Arg.(
+    value & flag
+    & info [ "no-blocks" ]
+        ~doc:
+          "Disable the pre-decoded translation-block engine and simulate \
+           instruction by instruction. Counters are bit-identical either \
+           way; this is an escape hatch for debugging the engine and for \
+           measuring its speedup.")
+
 (* --- list --- *)
 
 let list_cmd =
@@ -138,7 +148,7 @@ let exec_cmd =
       & info [ "trace" ] ~docv:"N"
           ~doc:"Print the first $(docv) execution/region trace events.")
   in
-  let run file variant trace_n =
+  let run file variant trace_n no_blocks =
     let source = In_channel.with_open_text file In_channel.input_all in
     match Parse.program ~name:(Filename.basename file) source with
     | exception Parse.Parse_error { line; message } ->
@@ -161,7 +171,13 @@ let exec_cmd =
                       Format.printf "%a@." pp_trace_event ev
                     end)
             in
-            let config = { (machine_config variant) with Cpu.on_trace } in
+            let config =
+              {
+                (machine_config variant) with
+                Cpu.on_trace;
+                Cpu.blocks = not no_blocks;
+              }
+            in
             let run = Cpu.run ~config (Image.of_program program) in
             Format.printf "%a@." Liquid_machine.Stats.pp run.Cpu.stats;
             List.iter
@@ -171,14 +187,14 @@ let exec_cmd =
               run.Cpu.regions)
   in
   Cmd.v (Cmd.info "exec" ~doc)
-    Term.(const run $ file_arg $ variant_arg $ trace_arg)
+    Term.(const run $ file_arg $ variant_arg $ trace_arg $ no_blocks_arg)
 
 (* --- run --- *)
 
 let run_cmd =
   let doc = "Simulate a benchmark and print statistics" in
-  let run w variant =
-    match Runner.run w variant with
+  let run w variant no_blocks =
+    match Runner.run ~blocks:(not no_blocks) w variant with
     | { Runner.run; _ } ->
         Format.printf "%s on %s:@.%a@." w.Workload.name
           (Runner.variant_name variant)
@@ -198,7 +214,8 @@ let run_cmd =
         Format.printf "cannot generate this binary: %s@." m;
         exit 1
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ workload_arg $ variant_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ workload_arg $ variant_arg $ no_blocks_arg)
 
 (* --- translate: show the microcode produced for each region --- *)
 

@@ -36,12 +36,13 @@ let config_of ?(translation_cpi = 1) = function
       { (Cpu.liquid_config ~lanes) with Cpu.oracle_translation = true }
   | Native lanes -> Cpu.native_config ~lanes
 
-let run ?translation_cpi ?fuel (w : Workload.t) variant =
+let run ?translation_cpi ?fuel ?(blocks = true) (w : Workload.t) variant =
   let program = program_of w variant in
   let config = config_of ?translation_cpi variant in
   let config =
     match fuel with None -> config | Some fuel -> { config with Cpu.fuel }
   in
+  let config = { config with Cpu.blocks } in
   { variant; program; run = Cpu.run ~config (Image.of_program program) }
 
 (* --- memoized runs --- *)
@@ -59,12 +60,13 @@ type cache_key = {
   ck_variant : variant;
   ck_cpi : int;
   ck_fuel : int;
+  ck_blocks : bool;
 }
 
 let cache : (cache_key, result) Hashtbl.t = Hashtbl.create 64
 let cache_mutex = Mutex.create ()
 
-let cache_key (w : Workload.t) variant ~translation_cpi ~fuel =
+let cache_key (w : Workload.t) variant ~translation_cpi ~fuel ~blocks =
   {
     ck_workload = w.Workload.name;
     ck_variant = variant;
@@ -73,16 +75,18 @@ let cache_key (w : Workload.t) variant ~translation_cpi ~fuel =
       | Liquid _ -> Option.value translation_cpi ~default:1
       | Baseline | Liquid_scalar | Liquid_oracle _ | Native _ -> 1);
     ck_fuel = Option.value fuel ~default:Cpu.scalar_config.Cpu.fuel;
+    ck_blocks = blocks;
   }
 
-let run_cached ?translation_cpi ?fuel (w : Workload.t) variant =
-  let key = cache_key w variant ~translation_cpi ~fuel in
+let run_cached ?translation_cpi ?fuel ?(blocks = true) (w : Workload.t) variant
+    =
+  let key = cache_key w variant ~translation_cpi ~fuel ~blocks in
   match
     Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key)
   with
   | Some r -> r
   | None ->
-      let r = run ?translation_cpi ?fuel w variant in
+      let r = run ?translation_cpi ?fuel ~blocks w variant in
       Mutex.protect cache_mutex (fun () ->
           match Hashtbl.find_opt cache key with
           | Some winner -> winner

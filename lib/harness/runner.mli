@@ -21,12 +21,27 @@ val program_of : Workload.t -> variant -> Program.t
 (** Raises {!Liquid_scalarize.Codegen.Unsupported_width} when a native
     binary cannot be generated at the requested width. *)
 
-val run : ?translation_cpi:int -> ?fuel:int -> Workload.t -> variant -> result
+val run :
+  ?translation_cpi:int ->
+  ?fuel:int ->
+  ?blocks:bool ->
+  Workload.t ->
+  variant ->
+  result
+(** [blocks] (default [true]) toggles the {!Cpu} translation-block
+    engine — counters are bit-identical either way; the knob exists for
+    the engine's own differential tests and speedup benchmarks. *)
 
 val run_cached :
-  ?translation_cpi:int -> ?fuel:int -> Workload.t -> variant -> result
+  ?translation_cpi:int ->
+  ?fuel:int ->
+  ?blocks:bool ->
+  Workload.t ->
+  variant ->
+  result
 (** Like {!run}, but memoized process-wide on
-    [(workload name, variant, translation_cpi, fuel)] — simulations are
+    [(workload name, variant, translation_cpi, fuel, blocks)] —
+    simulations are
     pure, and the experiment suite re-requests the same runs dozens of
     times (every table wants every workload's baseline). Safe to call
     from multiple domains; the first completed run for a key is the one

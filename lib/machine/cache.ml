@@ -85,6 +85,12 @@ let access t addr =
     Miss
   end
 
+(* Consecutive fetches of the same line always hit: the block engine
+   performs one real [access] per line run and credits the rest here.
+   Ages need no touch-up — within the run no other line of the set is
+   accessed, so relative LRU order is unchanged. *)
+let credit_hits t n = t.hits <- t.hits + n
+
 let line_bytes t = t.cfg.line_bytes
 
 let lines_spanned t ~addr ~bytes =

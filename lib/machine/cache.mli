@@ -27,6 +27,15 @@ val access : t -> int -> outcome
     (and evicting the LRU way) on a miss. Both reads and writes allocate,
     modeling a write-allocate cache. *)
 
+val credit_hits : t -> int -> unit
+(** [credit_hits c n] accounts [n] additional hits without running the
+    lookup. Used by the translation-block engine: a straight-line run of
+    instruction fetches touches each line once through {!access} and
+    credits the remaining same-line fetches, which are hits by
+    construction (no other access of the set can intervene inside a
+    block). State and LRU order are untouched, so this is
+    counter-equivalent to performing the accesses. *)
+
 val line_bytes : t -> int
 
 val lines_spanned : t -> addr:int -> bytes:int -> int

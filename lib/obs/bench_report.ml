@@ -5,6 +5,7 @@ type t = {
   b_sim_cycles : int;
   b_sim_wall_s : float;
   b_sim_cycles_per_s : float;
+  b_block_speedup : float;
   b_fault_wall_s : float;
   b_fault_cases : int;
   b_fault_survived : bool;
@@ -19,6 +20,7 @@ let to_json t =
       ("sim_cycles", Json.Int t.b_sim_cycles);
       ("sim_wall_s", Json.Float t.b_sim_wall_s);
       ("sim_cycles_per_s", Json.Float t.b_sim_cycles_per_s);
+      ("block_speedup", Json.Float t.b_block_speedup);
       ("fault_campaign_wall_s", Json.Float t.b_fault_wall_s);
       ("fault_campaign_cases", Json.Int t.b_fault_cases);
       ("fault_campaign_survived", Json.Bool t.b_fault_survived);

@@ -12,6 +12,10 @@ type t = {
   b_sim_cycles : int;  (** simulated cycles in the throughput measurement *)
   b_sim_wall_s : float;
   b_sim_cycles_per_s : float;
+  b_block_speedup : float;
+      (** wall-time ratio of the same throughput sweep with the
+          translation-block engine off vs on (> 1 means the engine
+          pays for itself) *)
   b_fault_wall_s : float;  (** wall time of the seeded fault campaign *)
   b_fault_cases : int;
   b_fault_survived : bool;

@@ -1,0 +1,771 @@
+(* The translation-block engine: the simulator's own take on the
+   paper's thesis. Just as the Liquid SIMD hardware stops re-deriving a
+   region's SIMD form on every call by caching microcode, the simulator
+   stops re-deciding what an instruction *is* on every visit by lazily
+   compiling maximal straight-line runs of [Minsn.t] into flat arrays of
+   pre-resolved micro-ops: register names become indices, immediates are
+   word-normalized and shift-folded, per-instruction charge amounts
+   (base cycle, [mul_extra], intra-block load-use stalls, static vector
+   bus beats) are summed at compile time, and instruction-fetch cache
+   lines are pre-grouped so each line is probed once per block.
+
+   This is an execution strategy, not a semantics change: every counter
+   the golden suite pins must come out bit-identical to the step-by-step
+   engine. The equivalences this file relies on:
+
+   - Blocks only run while no translator session is live (the
+     dispatcher in [Cpu] guarantees it), so the scratch effect fields
+     skipped by the pre-resolved kernels are unobservable, and
+     interrupt-epoch catch-up by division in [Cpu.interrupt_check]
+     fires at the same cycle it would have under per-step checking.
+   - Within a block, consecutive fetches of one icache line cannot be
+     separated by any other access of that cache, so one real
+     {!Liquid_machine.Cache.access} per line run plus
+     {!Liquid_machine.Cache.credit_hits} for the rest is
+     state- and counter-equivalent.
+   - Load-use hazards are static within a block (the stall charge is
+     baked into the slot's charge); only the hazard carried in from the
+     previous block needs a dynamic probe, and the hazard carried out
+     is precomputed per block ([b_exit_pending]).
+   - Fuel cannot expire inside a block: the dispatcher falls back to
+     [step] whenever [retired + b_n > fuel], so the watchdog fires with
+     exactly the per-step diagnostics.
+
+   Blocks end at branches ([B] stays in-block as the terminator;
+   [Bl]/[Ret]/[Halt] are excluded and routed to [step]), at
+   vector/scalar mode changes, and at the end of the code array.
+   Unconditional fallthrough/jump edges chain directly block-to-block
+   without returning to the dispatcher. [run_ucode] replay gets the
+   same treatment: straight-line microcode segments between [UB]/[URet]
+   compile to the same micro-op arrays, keyed per cache entry and
+   invalidated by install stamp when a region is retranslated. *)
+
+open Liquid_isa
+open Liquid_visa
+open Liquid_machine
+open Liquid_prog
+open Liquid_translate
+
+(* A pre-resolved micro-op. Scalar operands are register indices;
+   immediates arrive with [Word] normalization and index shifts already
+   applied. [Spred] (predicated moves/dp, rare) and [Svec] replay
+   through the shared [Sem] executors. *)
+type suop =
+  | Smov_i of { dst : int; v : int }
+  | Smov_r of { dst : int; src : int }
+  | Sdp_i of { op : Opcode.t; dst : int; s1 : int; imm : int }
+  | Sdp_r of { op : Opcode.t; dst : int; s1 : int; s2 : int }
+  | Spred of Insn.exec
+  | Scmp_i of { s1 : int; imm : int }
+  | Scmp_r of { s1 : int; s2 : int }
+  | Sld of {
+      bytes : int;
+      signed : bool;
+      dst : int;
+      breg : int;  (** base register index, [-1] when the base is a symbol *)
+      bconst : int;  (** symbol address when [breg < 0] *)
+      ireg : int;  (** index register index, [-1] for immediate indices *)
+      iconst : int;  (** pre-shifted immediate index when [ireg < 0] *)
+      shift : int;
+    }
+  | Sst of {
+      bytes : int;
+      src : int;
+      breg : int;
+      bconst : int;
+      ireg : int;
+      iconst : int;
+      shift : int;
+    }
+  | Svec of Vinsn.exec
+
+type term =
+  | T_fall of int  (** fallthrough into a step-handled pc or next block *)
+  | T_jump of { key : int; target : int }  (** unconditional [B] *)
+  | T_branch of { cond : Cond.t; key : int; target : int; fall : int }
+
+type block = {
+  b_pc : int;
+  b_uops : suop array;
+  b_charge : int array;
+      (* static cycles per slot (uops, then the branch terminator):
+         base cycle + mul_extra + intra-block load-use stall + static
+         vector bus beats — everything [step] charges before exec *)
+  b_n : int;  (* retired instructions, including a branch terminator *)
+  b_scalar : int;
+  b_vector : int;
+  b_cycles : int;  (* sum of [b_charge] *)
+  b_newline : int array;
+      (* per slot: the icache line address when this slot's fetch starts
+         a new line run, -1 otherwise (always -1 without an icache) *)
+  b_nlines : int;
+  b_first : Insn.exec option;  (* entry load-use hazard probe *)
+  b_exit_pending : Reg.t option;
+      (* hazard state a scalar block leaves behind (preallocated) *)
+  b_passthrough : bool;  (* vector blocks: pending hazard flows through *)
+  b_term : term;
+  mutable b_next : block option;  (* chained unconditional successor *)
+}
+
+type slot = S_unknown | S_noblock | S_block of block
+
+(* Compiled microcode replay: straight-line segments between [UB]/[URet],
+   lazily compiled per start index. [U_bail] marks segments the compiler
+   declines (control flow inside [US], truncated microcode) — the
+   interpreted loop handles those with exact diagnostics. *)
+type uterm =
+  | UT_branch of { cond : Cond.t; key : int; target : int; fall : int }
+  | UT_ret
+
+type useg = {
+  us_uops : suop array;
+  us_charge : int array;  (* per slot, terminator included *)
+  us_n : int;  (* uops retired, terminator included *)
+  us_scalar : int;
+  us_vector : int;
+  us_cycles : int;
+  us_term : uterm;
+}
+
+type useg_slot = U_unknown | U_bail | U_seg of useg
+
+type ucomp = {
+  uc_entry : int;
+  uc_stamp : int;  (* Ucode_cache install stamp; -1 for oracle microcode *)
+  uc_ucode : Ucode.t;
+  uc_segs : useg_slot array;
+}
+
+type uresult = U_done | U_resume of int
+
+type t = {
+  image : Image.t;
+  ctx : Sem.ctx;
+  stats : Stats.t;
+  icache : Cache.t option;
+  dcache : Cache.t option;
+  bpred : Branch_pred.t;
+  mem_latency : int;
+  mul_extra : int;
+  mispredict_penalty : int;
+  vec_bus_bytes : int;
+  lanes : int;  (* accelerator lanes, -1 when absent *)
+  max_uops : int;
+  fuel : int;
+  slots : slot array;
+  ucomps : (int, ucomp) Hashtbl.t;
+  mutable out_pc : int;
+  mutable out_retired : int;
+  mutable out_pending : Reg.t option;
+  mutable blocks_built : int;
+  mutable block_execs : int;
+}
+
+let create ~image ~ctx ~stats ~icache ~dcache ~bpred ~mem_latency ~mul_extra
+    ~mispredict_penalty ~vec_bus_bytes ~lanes ~max_uops ~fuel =
+  {
+    image;
+    ctx;
+    stats;
+    icache;
+    dcache;
+    bpred;
+    mem_latency;
+    mul_extra;
+    mispredict_penalty;
+    vec_bus_bytes;
+    lanes = (match lanes with Some l -> l | None -> -1);
+    max_uops;
+    fuel;
+    slots = Array.make (Array.length image.Image.code) S_unknown;
+    ucomps = Hashtbl.create 8;
+    out_pc = 0;
+    out_retired = 0;
+    out_pending = None;
+    blocks_built = 0;
+    block_execs = 0;
+  }
+
+let out_pc eng = eng.out_pc
+let out_retired eng = eng.out_retired
+let out_pending eng = eng.out_pending
+let built eng = eng.blocks_built
+let execs eng = eng.block_execs
+
+(* --- compile --- *)
+
+(* [None] for control flow; callers route those to [step] (image blocks)
+   or the interpreted replay (microcode). *)
+let compile_suop insn =
+  match insn with
+  | Insn.Mov { cond; dst; src } ->
+      if not (Cond.equal cond Cond.Al) then Some (Spred insn)
+      else
+        Some
+          (match src with
+          | Insn.Imm v -> Smov_i { dst = Reg.index dst; v = Word.of_int v }
+          | Insn.Reg r -> Smov_r { dst = Reg.index dst; src = Reg.index r })
+  | Insn.Dp { cond; op; dst; src1; src2 } ->
+      if not (Cond.equal cond Cond.Al) then Some (Spred insn)
+      else
+        Some
+          (match src2 with
+          | Insn.Imm v ->
+              Sdp_i { op; dst = Reg.index dst; s1 = Reg.index src1; imm = v }
+          | Insn.Reg r ->
+              Sdp_r
+                { op; dst = Reg.index dst; s1 = Reg.index src1; s2 = Reg.index r })
+  | Insn.Ld { esize; signed; dst; base; index; shift } ->
+      let breg, bconst =
+        match base with
+        | Insn.Sym a -> (-1, a)
+        | Insn.Breg r -> (Reg.index r, 0)
+      in
+      let ireg, iconst =
+        match index with
+        | Insn.Imm v -> (-1, Word.shl v shift)
+        | Insn.Reg r -> (Reg.index r, 0)
+      in
+      Some
+        (Sld
+           {
+             bytes = Esize.bytes esize;
+             signed;
+             dst = Reg.index dst;
+             breg;
+             bconst;
+             ireg;
+             iconst;
+             shift;
+           })
+  | Insn.St { esize; src; base; index; shift } ->
+      let breg, bconst =
+        match base with
+        | Insn.Sym a -> (-1, a)
+        | Insn.Breg r -> (Reg.index r, 0)
+      in
+      let ireg, iconst =
+        match index with
+        | Insn.Imm v -> (-1, Word.shl v shift)
+        | Insn.Reg r -> (Reg.index r, 0)
+      in
+      Some
+        (Sst
+           {
+             bytes = Esize.bytes esize;
+             src = Reg.index src;
+             breg;
+             bconst;
+             ireg;
+             iconst;
+             shift;
+           })
+  | Insn.Cmp { src1; src2 } ->
+      Some
+        (match src2 with
+        | Insn.Imm v -> Scmp_i { s1 = Reg.index src1; imm = v }
+        | Insn.Reg r -> Scmp_r { s1 = Reg.index src1; s2 = Reg.index r })
+  | Insn.B _ | Insn.Bl _ | Insn.Ret | Insn.Halt -> None
+
+(* Everything [step] charges before exec, statically known per
+   instruction. *)
+let scalar_charge eng (insn : Insn.exec) =
+  match insn with Insn.Dp { op = Opcode.Mul; _ } -> 1 + eng.mul_extra | _ -> 1
+
+let vector_charge eng ~lanes (v : Vinsn.exec) =
+  let bus = eng.vec_bus_bytes in
+  let extra esize =
+    let bytes = lanes * Esize.bytes esize in
+    max 0 (((bytes + bus - 1) / bus) - 1)
+  in
+  match v with
+  | Vinsn.Vdp { op = Opcode.Mul; _ } -> 1 + eng.mul_extra
+  | Vinsn.Vred _ -> 2
+  | Vinsn.Vld { esize; _ } | Vinsn.Vst { esize; _ } -> 1 + extra esize
+  | Vinsn.Vlds { esize; stride; _ } | Vinsn.Vsts { esize; stride; _ } ->
+      1 + (stride * (extra esize + 1))
+  | Vinsn.Vgather { esize; _ } ->
+      1 + (lanes * ((Esize.bytes esize + bus - 1) / bus))
+  | Vinsn.Vdp _ | Vinsn.Vsat _ | Vinsn.Vperm _ -> 1
+
+let compile_block eng pc0 =
+  let code = eng.image.Image.code in
+  let addrs = eng.image.Image.addrs in
+  let n_code = Array.length code in
+  let vector = match code.(pc0) with Minsn.V _ -> true | Minsn.S _ -> false in
+  match code.(pc0) with
+  | Minsn.S (Insn.Bl _ | Insn.Ret | Insn.Halt) -> S_noblock
+  | Minsn.V _ when eng.lanes < 0 ->
+      (* no accelerator: [step] raises the exact Sigill *)
+      S_noblock
+  | Minsn.S _ | Minsn.V _ ->
+      let uops = ref [] and charges = ref [] in
+      let nu = ref 0 in
+      let first_insn = ref None in
+      let prev_ld : Reg.t option ref = ref None in
+      let term = ref (T_fall n_code) in
+      let term_is_insn = ref false in
+      let pc = ref pc0 in
+      let stop = ref false in
+      while not !stop do
+        if !pc >= n_code then begin
+          term := T_fall !pc;
+          stop := true
+        end
+        else begin
+          match code.(!pc) with
+          | Minsn.S (Insn.B { cond; target }) ->
+              term :=
+                (if Cond.equal cond Cond.Al then T_jump { key = !pc; target }
+                 else T_branch { cond; key = !pc; target; fall = !pc + 1 });
+              term_is_insn := true;
+              stop := true
+          | Minsn.S (Insn.Bl _ | Insn.Ret | Insn.Halt) ->
+              term := T_fall !pc;
+              stop := true
+          | Minsn.S insn ->
+              if vector then begin
+                term := T_fall !pc;
+                stop := true
+              end
+              else begin
+                match compile_suop insn with
+                | None ->
+                    (* unreachable: control flow matched above *)
+                    term := T_fall !pc;
+                    stop := true
+                | Some u ->
+                    if !nu = 0 then first_insn := Some insn;
+                    let hazard =
+                      match !prev_ld with
+                      | Some r when Insn.uses_reg insn r -> 1
+                      | Some _ | None -> 0
+                    in
+                    uops := u :: !uops;
+                    charges := (hazard + scalar_charge eng insn) :: !charges;
+                    incr nu;
+                    prev_ld :=
+                      (match insn with
+                      | Insn.Ld { dst; _ } -> Some dst
+                      | _ -> None);
+                    incr pc
+              end
+          | Minsn.V v ->
+              if not vector then begin
+                term := T_fall !pc;
+                stop := true
+              end
+              else begin
+                uops := Svec v :: !uops;
+                charges := vector_charge eng ~lanes:eng.lanes v :: !charges;
+                incr nu;
+                incr pc
+              end
+        end
+      done;
+      let b_n = !nu + if !term_is_insn then 1 else 0 in
+      if b_n = 0 then S_noblock
+      else begin
+        let charge = Array.make b_n 1 in
+        List.iteri (fun i c -> charge.(i) <- c) (List.rev !charges);
+        (* a branch terminator costs exactly the base cycle (the fill) *)
+        let newline = Array.make b_n (-1) in
+        let nlines = ref 0 in
+        (match eng.icache with
+        | None -> ()
+        | Some c ->
+            let mask = lnot (Cache.line_bytes c - 1) in
+            let prev = ref min_int in
+            for k = 0 to b_n - 1 do
+              let la = addrs.(pc0 + k) land mask in
+              if la <> !prev then begin
+                newline.(k) <- la;
+                incr nlines;
+                prev := la
+              end
+            done);
+        let b =
+          {
+            b_pc = pc0;
+            b_uops = Array.of_list (List.rev !uops);
+            b_charge = charge;
+            b_n;
+            b_scalar = (if vector then 0 else b_n);
+            b_vector = (if vector then b_n else 0);
+            b_cycles = Array.fold_left ( + ) 0 charge;
+            b_newline = newline;
+            b_nlines = !nlines;
+            b_first = !first_insn;
+            b_exit_pending =
+              (if vector || !term_is_insn then None else !prev_ld);
+            b_passthrough = vector;
+            b_term = !term;
+            b_next = None;
+          }
+        in
+        eng.blocks_built <- eng.blocks_built + 1;
+        S_block b
+      end
+
+let slot_at eng pc =
+  match Array.unsafe_get eng.slots pc with
+  | S_unknown ->
+      let s = compile_block eng pc in
+      eng.slots.(pc) <- s;
+      s
+  | s -> s
+
+(* --- execute --- *)
+
+let[@inline] charge eng c = eng.stats.Stats.cycles <- eng.stats.Stats.cycles + c
+
+let[@inline] icache_access eng la =
+  match eng.icache with
+  | None -> ()
+  | Some c -> (
+      match Cache.access c la with
+      | Cache.Hit -> ()
+      | Cache.Miss -> charge eng eng.mem_latency)
+
+let charge_data eng ~addr ~bytes ~write =
+  let stats = eng.stats in
+  (if write then stats.Stats.stores <- stats.Stats.stores + 1
+   else stats.Stats.loads <- stats.Stats.loads + 1);
+  match eng.dcache with
+  | None -> ()
+  | Some c ->
+      let lines = Cache.lines_spanned c ~addr ~bytes in
+      let line_bytes = Cache.line_bytes c in
+      for i = 0 to lines - 1 do
+        match Cache.access c (addr + (i * line_bytes)) with
+        | Cache.Hit -> ()
+        | Cache.Miss -> charge eng eng.mem_latency
+      done
+
+let charge_scratch eng =
+  let ctx = eng.ctx in
+  for i = 0 to ctx.Sem.e_nacc - 1 do
+    charge_data eng ~addr:ctx.Sem.acc_addr.(i) ~bytes:ctx.Sem.acc_bytes.(i)
+      ~write:ctx.Sem.acc_write.(i)
+  done
+
+let[@inline] record_branch eng ~key ~taken =
+  if not (Branch_pred.predict_and_update eng.bpred ~pc:key ~taken) then
+    charge eng eng.mispredict_penalty
+
+let[@inline] exec_uop eng u =
+  let ctx = eng.ctx in
+  match u with
+  | Smov_i { dst; v } -> Sem.kernel_mov_imm ctx ~dst v
+  | Smov_r { dst; src } -> Sem.kernel_mov_reg ctx ~dst ~src
+  | Sdp_i { op; dst; s1; imm } -> Sem.kernel_dp_imm ctx ~op ~dst ~src1:s1 imm
+  | Sdp_r { op; dst; s1; s2 } ->
+      Sem.kernel_dp_reg ctx ~op ~dst ~src1:s1 ~src2:s2
+  | Spred insn -> ignore (Sem.exec_scalar ctx ~pc:0 insn)
+  | Scmp_i { s1; imm } -> Sem.kernel_cmp_imm ctx ~src1:s1 imm
+  | Scmp_r { s1; s2 } -> Sem.kernel_cmp_reg ctx ~src1:s1 ~src2:s2
+  | Sld { bytes; signed; dst; breg; bconst; ireg; iconst; shift } ->
+      let base = if breg >= 0 then ctx.Sem.regs.(breg) else bconst in
+      let idx =
+        if ireg >= 0 then Word.shl ctx.Sem.regs.(ireg) shift else iconst
+      in
+      let addr = Word.add base idx in
+      Sem.kernel_ld ctx ~addr ~bytes ~signed ~dst;
+      charge_data eng ~addr ~bytes ~write:false
+  | Sst { bytes; src; breg; bconst; ireg; iconst; shift } ->
+      let base = if breg >= 0 then ctx.Sem.regs.(breg) else bconst in
+      let idx =
+        if ireg >= 0 then Word.shl ctx.Sem.regs.(ireg) shift else iconst
+      in
+      let addr = Word.add base idx in
+      Sem.kernel_st ctx ~addr ~bytes ~src;
+      charge_data eng ~addr ~bytes ~write:true
+  | Svec v ->
+      Sem.exec_vector ctx v;
+      charge_scratch eng
+
+(* A micro-op raised mid-block (only [Svec] can: Sigill on an
+   unsupported permutation or mismatched constant width). Re-apply the
+   per-step accounting [step] would have accumulated through the
+   faulting slot, so the escaping diagnostics (pc, cycle, retired)
+   match the step-by-step engine exactly. *)
+let repair_block eng b k =
+  let stats = eng.stats in
+  let scalars = ref 0 and vectors = ref 0 and cyc = ref 0 and lines = ref 0 in
+  for j = 0 to k do
+    (match b.b_uops.(j) with
+    | Svec _ -> incr vectors
+    | _ -> incr scalars);
+    cyc := !cyc + b.b_charge.(j);
+    if b.b_newline.(j) >= 0 then incr lines
+  done;
+  stats.Stats.fetches <- stats.Stats.fetches + k + 1;
+  stats.Stats.scalar_insns <- stats.Stats.scalar_insns + !scalars;
+  stats.Stats.vector_insns <- stats.Stats.vector_insns + !vectors;
+  charge eng !cyc;
+  (match eng.icache with
+  | Some c -> Cache.credit_hits c (k + 1 - !lines)
+  | None -> ());
+  eng.out_retired <- eng.out_retired + k + 1;
+  eng.out_pending <- None;
+  eng.out_pc <- b.b_pc + k
+
+let exec_block eng b =
+  let ctx = eng.ctx and stats = eng.stats in
+  (* dynamic entry hazard: a load in the previous block feeding our
+     first instruction *)
+  (match eng.out_pending with
+  | Some r -> (
+      match b.b_first with
+      | Some insn when Insn.uses_reg insn r -> charge eng 1
+      | Some _ | None -> ())
+  | None -> ());
+  let uops = b.b_uops and newline = b.b_newline in
+  let nu = Array.length uops in
+  let i = ref 0 in
+  (try
+     while !i < nu do
+       (let la = Array.unsafe_get newline !i in
+        if la >= 0 then icache_access eng la);
+       exec_uop eng (Array.unsafe_get uops !i);
+       incr i
+     done
+   with e ->
+     repair_block eng b !i;
+     raise e);
+  (if b.b_n > nu then
+     let la = Array.unsafe_get newline nu in
+     if la >= 0 then icache_access eng la);
+  stats.Stats.fetches <- stats.Stats.fetches + b.b_n;
+  stats.Stats.scalar_insns <- stats.Stats.scalar_insns + b.b_scalar;
+  stats.Stats.vector_insns <- stats.Stats.vector_insns + b.b_vector;
+  charge eng b.b_cycles;
+  (match eng.icache with
+  | Some c -> Cache.credit_hits c (b.b_n - b.b_nlines)
+  | None -> ());
+  eng.out_retired <- eng.out_retired + b.b_n;
+  if not b.b_passthrough then eng.out_pending <- b.b_exit_pending;
+  eng.block_execs <- eng.block_execs + 1;
+  match b.b_term with
+  | T_fall next -> eng.out_pc <- next
+  | T_jump { key; target } ->
+      record_branch eng ~key ~taken:true;
+      eng.out_pc <- target
+  | T_branch { cond; key; target; fall } ->
+      (* [step] consults the predictor only on the taken path (a
+         not-taken branch retires as [Next], bypassing [record_branch]);
+         mirror that exactly or the lookup/mispredict tallies drift. *)
+      let taken = Cond.holds cond ctx.Sem.flags in
+      if taken then record_branch eng ~key ~taken:true;
+      eng.out_pc <- (if taken then target else fall)
+
+(* Successor block after [exec_block] set [out_pc]. Unconditional edges
+   (fallthrough, [B al]) have a single target, resolved once and cached
+   on the edge; conditional branches have two, looked up in the slot
+   array each time (an array read — not worth two cache fields). The
+   engine keeps control as long as the next pc opens a block and the
+   fuel budget survives the whole block: between blocks the dispatcher
+   would only re-check conditions that cannot change while the engine
+   runs (sessions open, halts happen and fuel expires only inside
+   [step]; a pending interrupt epoch catches up by division when the
+   next step fires). Returning to the dispatcher on every loop back-edge
+   would pay the dispatch cost once per iteration for nothing. *)
+let next_block eng b =
+  let next =
+    match b.b_term with
+    | T_fall _ | T_jump _ -> (
+        match b.b_next with
+        | Some _ as n -> n
+        | None -> (
+            let pc = eng.out_pc in
+            if pc < 0 || pc >= Array.length eng.slots then None
+            else
+              match slot_at eng pc with
+              | S_block nb ->
+                  b.b_next <- Some nb;
+                  Some nb
+              | S_noblock | S_unknown -> None))
+    | T_branch _ -> (
+        let pc = eng.out_pc in
+        if pc < 0 || pc >= Array.length eng.slots then None
+        else
+          match Array.unsafe_get eng.slots pc with
+          | S_block nb -> Some nb
+          | S_unknown -> (
+              match slot_at eng pc with S_block nb -> Some nb | _ -> None)
+          | S_noblock -> None)
+  in
+  match next with
+  | Some nb when eng.out_retired + nb.b_n <= eng.fuel -> next
+  | Some _ | None -> None
+
+let try_exec eng ~pc ~retired ~pending =
+  if pc < 0 || pc >= Array.length eng.slots then false
+  else
+    match slot_at eng pc with
+    | S_noblock | S_unknown -> false
+    | S_block b ->
+        if retired + b.b_n > eng.fuel then false
+        else begin
+          eng.out_retired <- retired;
+          eng.out_pending <- pending;
+          eng.out_pc <- pc;
+          let rec go b =
+            exec_block eng b;
+            match next_block eng b with Some nb -> go nb | None -> ()
+          in
+          go b;
+          true
+        end
+
+(* --- microcode replay --- *)
+
+let get_ucomp eng ~entry ~stamp u =
+  let valid uc =
+    uc.uc_entry = entry
+    && (if stamp >= 0 then uc.uc_stamp = stamp else uc.uc_stamp < 0)
+    && uc.uc_ucode == u
+  in
+  match Hashtbl.find_opt eng.ucomps entry with
+  | Some uc when valid uc -> uc
+  | Some _ | None ->
+      let uc =
+        {
+          uc_entry = entry;
+          uc_stamp = stamp;
+          uc_ucode = u;
+          uc_segs = Array.make (Array.length u.Ucode.uops) U_unknown;
+        }
+      in
+      Hashtbl.replace eng.ucomps entry uc;
+      uc
+
+let compile_useg eng uc j =
+  let u = uc.uc_ucode in
+  let uops = u.Ucode.uops in
+  let n = Array.length uops in
+  let width = u.Ucode.width in
+  let acc = ref [] and charges = ref [] in
+  let nu = ref 0 in
+  let i = ref j in
+  let term = ref None in
+  while !term = None && !i < n do
+    match uops.(!i) with
+    | Ucode.US ins -> (
+        match compile_suop ins with
+        | Some su ->
+            acc := su :: !acc;
+            charges := scalar_charge eng ins :: !charges;
+            incr nu;
+            incr i
+        | None -> term := Some `Bail)
+    | Ucode.UV v ->
+        acc := Svec v :: !acc;
+        charges := vector_charge eng ~lanes:width v :: !charges;
+        incr nu;
+        incr i
+    | Ucode.UB { cond; target } -> term := Some (`B (cond, !i, target))
+    | Ucode.URet -> term := Some `Ret
+  done;
+  match !term with
+  | Some `Bail | None ->
+      (* control flow inside [US], or microcode without a terminator:
+         the interpreted loop owns the exact diagnostics *)
+      None
+  | Some ((`Ret | `B _) as t) ->
+      let us_uops = Array.of_list (List.rev !acc) in
+      let us_n = !nu + 1 in
+      let us_charge = Array.make us_n 1 in
+      List.iteri (fun k c -> us_charge.(k) <- c) (List.rev !charges);
+      let vectors =
+        Array.fold_left
+          (fun a u -> match u with Svec _ -> a + 1 | _ -> a)
+          0 us_uops
+      in
+      Some
+        {
+          us_uops;
+          us_charge;
+          us_n;
+          us_scalar = us_n - vectors;
+          us_vector = vectors;
+          us_cycles = Array.fold_left ( + ) 0 us_charge;
+          us_term =
+            (match t with
+            | `Ret -> UT_ret
+            | `B (cond, idx, target) ->
+                UT_branch
+                  {
+                    cond;
+                    key = 0x40000000 + (uc.uc_entry * eng.max_uops) + idx;
+                    target;
+                    fall = idx + 1;
+                  });
+        }
+
+let get_useg eng uc ui =
+  match uc.uc_segs.(ui) with
+  | U_seg s -> Some s
+  | U_bail -> None
+  | U_unknown ->
+      let s = compile_useg eng uc ui in
+      uc.uc_segs.(ui) <-
+        (match s with Some seg -> U_seg seg | None -> U_bail);
+      s
+
+let repair_useg eng seg k =
+  let stats = eng.stats in
+  let scalars = ref 0 and vectors = ref 0 and cyc = ref 0 in
+  for j = 0 to k do
+    (match seg.us_uops.(j) with
+    | Svec _ -> incr vectors
+    | _ -> incr scalars);
+    cyc := !cyc + seg.us_charge.(j)
+  done;
+  stats.Stats.uops_retired <- stats.Stats.uops_retired + k + 1;
+  stats.Stats.scalar_insns <- stats.Stats.scalar_insns + !scalars;
+  stats.Stats.vector_insns <- stats.Stats.vector_insns + !vectors;
+  charge eng !cyc;
+  eng.out_retired <- eng.out_retired + k + 1
+
+let exec_useg eng seg =
+  let uops = seg.us_uops in
+  let nu = Array.length uops in
+  let i = ref 0 in
+  (try
+     while !i < nu do
+       exec_uop eng (Array.unsafe_get uops !i);
+       incr i
+     done
+   with e ->
+     repair_useg eng seg !i;
+     raise e);
+  let stats = eng.stats in
+  stats.Stats.uops_retired <- stats.Stats.uops_retired + seg.us_n;
+  stats.Stats.scalar_insns <- stats.Stats.scalar_insns + seg.us_scalar;
+  stats.Stats.vector_insns <- stats.Stats.vector_insns + seg.us_vector;
+  charge eng seg.us_cycles;
+  eng.out_retired <- eng.out_retired + seg.us_n
+
+let exec_ucode eng ~entry ~stamp ~retired (u : Ucode.t) =
+  let uc = get_ucomp eng ~entry ~stamp u in
+  eng.out_retired <- retired;
+  let n = Array.length u.Ucode.uops in
+  let rec go ui =
+    if ui < 0 || ui >= n then U_resume ui
+    else
+      match get_useg eng uc ui with
+      | None -> U_resume ui
+      | Some seg ->
+          if eng.out_retired + seg.us_n > eng.fuel then U_resume ui
+          else begin
+            exec_useg eng seg;
+            match seg.us_term with
+            | UT_ret -> U_done
+            | UT_branch { cond; key; target; fall } ->
+                let taken = Cond.holds cond eng.ctx.Sem.flags in
+                record_branch eng ~key ~taken;
+                go (if taken then target else fall)
+          end
+  in
+  go 0

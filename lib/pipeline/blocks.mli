@@ -1,0 +1,88 @@
+(** The translation-block engine: pre-decoded straight-line execution.
+
+    Lazily compiles maximal straight-line runs of the image's
+    {!Liquid_visa.Minsn.t} stream — ending at branches, region calls,
+    [Halt], and vector/scalar mode changes — into flat arrays of
+    pre-resolved micro-ops: operand register indices, folded immediates,
+    per-slot charge amounts (base cycle, [mul_extra], intra-block
+    load-use stalls, static vector bus beats) and pre-grouped icache
+    line addresses, all baked at compile time. Stat deltas are applied
+    once per block exit instead of once per instruction; unconditional
+    fallthrough/jump edges chain block-to-block without returning to the
+    dispatcher. Microcode replay ({!exec_ucode}) receives the same
+    treatment per cache entry, invalidated by
+    {!Ucode_cache.stamp_of} stamp when a region is retranslated.
+
+    The engine is an execution strategy, not a semantics change: every
+    architectural value and every counter is bit-identical to the
+    step-by-step engine. {!Cpu} only dispatches here when fidelity
+    permits — no live translator session, no trace consumer, no fault
+    hooks, and enough fuel for the whole block — and falls back to
+    [step] otherwise. A micro-op that raises (vector [Sigill]) repairs
+    the partial per-step accounting before re-raising, so escaping
+    diagnostics also match. *)
+
+open Liquid_isa
+open Liquid_machine
+open Liquid_prog
+open Liquid_translate
+
+type t
+
+val create :
+  image:Image.t ->
+  ctx:Sem.ctx ->
+  stats:Stats.t ->
+  icache:Cache.t option ->
+  dcache:Cache.t option ->
+  bpred:Branch_pred.t ->
+  mem_latency:int ->
+  mul_extra:int ->
+  mispredict_penalty:int ->
+  vec_bus_bytes:int ->
+  lanes:int option ->
+  max_uops:int ->
+  fuel:int ->
+  t
+(** The engine shares the run's mutable machine state ([ctx], [stats],
+    caches, predictor) with {!Cpu}; the scalar knobs are copied from the
+    config at creation. *)
+
+val try_exec : t -> pc:int -> retired:int -> pending:Reg.t option -> bool
+(** Execute the block starting at [pc] (compiling it on first visit),
+    chaining through unconditional successors. [retired] and [pending]
+    (the load-use hazard register) are the dispatcher's current values;
+    on [true] the caller must read back {!out_pc}, {!out_retired} and
+    {!out_pending}. [false] means no block starts here (region call,
+    return, halt, wild pc, vector code without an accelerator) or the
+    fuel budget could expire inside the block — the caller steps
+    faithfully. If a micro-op raises, partial accounting is repaired and
+    the out-fields are valid for diagnostics before the exception
+    propagates. *)
+
+val out_pc : t -> int
+val out_retired : t -> int
+val out_pending : t -> Reg.t option
+
+type uresult =
+  | U_done  (** the replay retired its [URet] *)
+  | U_resume of int
+      (** continue interpreting at this uop index: the segment there was
+          declined, would exhaust the fuel budget, or the index is out
+          of range (the interpreted loop raises the exact diagnostic) *)
+
+val exec_ucode :
+  t -> entry:int -> stamp:int -> retired:int -> Ucode.t -> uresult
+(** Replay translated microcode through pre-compiled straight-line
+    segments. [stamp] is the microcode cache's install stamp for the
+    entry ([-1] for oracle microcode); a mismatch recompiles, so a
+    retranslated region never replays stale segments. The caller sets
+    [ctx.lanes] to the microcode width first (as for the interpreted
+    loop) and reads back {!out_retired} afterwards — also when this
+    raises. *)
+
+val built : t -> int
+(** Blocks compiled so far (telemetry). *)
+
+val execs : t -> int
+(** Block executions so far, chained blocks included (telemetry). *)

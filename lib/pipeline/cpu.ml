@@ -63,6 +63,7 @@ type config = {
   max_uops : int;
   fuel : int;
   faults : fault_hooks option;
+  blocks : bool;
 }
 
 let scalar_config =
@@ -82,6 +83,7 @@ let scalar_config =
     max_uops = 64;
     fuel = 200_000_000;
     faults = None;
+    blocks = true;
   }
 
 let native_config ~lanes = { scalar_config with accel_lanes = Some lanes }
@@ -116,6 +118,8 @@ type run = {
   dcache_counters : Cache.counters option;
   bpred_counters : Branch_pred.counters;
   ucache_counters : Ucode_cache.counters;
+  blocks_compiled : int;
+  block_execs : int;
 }
 
 type racc = {
@@ -159,9 +163,16 @@ type state = {
       (* scalar-mode region calls awaiting their return:
          (accumulator, start cycle, depth inside the region) *)
   mutable last_load_dst : Reg.t option;
-  mutable last_interrupt_epoch : int;
+  mutable next_interrupt_at : int;
+      (* first cycle at which the next interrupt fires ([max_int] when
+         interrupts are off): a countdown threshold instead of a
+         per-step division *)
   mutable retired : int;
   mutable halted : bool;
+  eng : Blocks.t option;
+      (* the translation-block engine; [None] when disabled by config or
+         when fidelity demands stepping throughout (trace consumer or
+         fault hooks attached) *)
 }
 
 let charge st c = st.stats.Stats.cycles <- st.stats.Stats.cycles + c
@@ -357,13 +368,32 @@ let feed_session st session pc insn =
           | None -> ())
       | None -> ()
 
-(* Execute translated microcode in place of the outlined function. *)
-let run_ucode st ~entry (u : Ucode.t) =
+(* Execute translated microcode in place of the outlined function.
+   When the block engine is on, replay runs through its pre-compiled
+   straight-line segments; the interpreted loop below continues from
+   wherever the engine handed back control (declined segment, fuel
+   proximity, out-of-range index) so diagnostics stay per-step exact.
+   [stamp] is the microcode cache's install stamp for this entry ([-1]
+   for oracle microcode), which invalidates compiled segments when a
+   region is retranslated. *)
+let run_ucode st ~entry ~stamp (u : Ucode.t) =
   let saved_lanes = st.ctx.Sem.lanes in
   st.ctx.Sem.lanes <- u.Ucode.width;
+  let start =
+    match st.eng with
+    | None -> 0
+    | Some eng -> (
+        match Blocks.exec_ucode eng ~entry ~stamp ~retired:st.retired u with
+        | r -> (
+            st.retired <- Blocks.out_retired eng;
+            match r with Blocks.U_done -> -1 | Blocks.U_resume ui -> ui)
+        | exception e ->
+            st.retired <- Blocks.out_retired eng;
+            raise e)
+  in
   let n = Array.length u.Ucode.uops in
-  let ui = ref 0 in
-  let running = ref true in
+  let ui = ref start in
+  let running = ref (start >= 0) in
   while !running do
     if !ui < 0 || !ui >= n then raise (diag st (Diag.Ucode_index !ui));
     trace_uop st entry !ui u.Ucode.uops.(!ui);
@@ -459,7 +489,7 @@ let region_call st ~pc ~target =
       acc.served <- acc.served + 1;
       st.stats.Stats.ucode_hits <- st.stats.Stats.ucode_hits + 1;
       trace st (T_region { label = acc.r_label; event = `Ucode_call });
-      run_ucode st ~entry:target u;
+      run_ucode st ~entry:target ~stamp:(-1) u;
       acc.calls_rev <- (now, st.stats.Stats.cycles) :: acc.calls_rev;
       st.pc <- pc + 1;
       true
@@ -479,7 +509,9 @@ let region_call st ~pc ~target =
           acc.served <- acc.served + 1;
           st.stats.Stats.ucode_hits <- st.stats.Stats.ucode_hits + 1;
           trace st (T_region { label = acc.r_label; event = `Ucode_call });
-          run_ucode st ~entry:target u;
+          run_ucode st ~entry:target
+            ~stamp:(Ucode_cache.stamp_of st.ucache ~key:target)
+            u;
           acc.calls_rev <- (now, st.stats.Stats.cycles) :: acc.calls_rev;
           st.pc <- pc + 1;
           true
@@ -516,20 +548,25 @@ let region_call st ~pc ~target =
    the abort is not permanent, so a later execution of the region
    retries. We model an interrupt every [interrupt_interval] cycles. *)
 let interrupt_check st =
-  match st.cfg.interrupt_interval with
-  | None -> ()
-  | Some period ->
-      let now = st.stats.Stats.cycles in
-      if now / period > st.last_interrupt_epoch then begin
-        st.last_interrupt_epoch <- now / period;
-        match st.session with
-        | Some s ->
-            Translator.abort_external s.tr;
-            st.stats.Stats.translations_aborted <-
-              st.stats.Stats.translations_aborted + 1;
-            st.session <- None
-        | None -> ()
-      end
+  let now = st.stats.Stats.cycles in
+  if now >= st.next_interrupt_at then begin
+    (* The threshold catches up by division only when it actually fires
+       (equivalent to tracking the epoch every step: [now >= (e+1)*p]
+       iff [now/p > e]), so the hot path is one comparison. Blocks defer
+       the check to the next [step]; no session can be live meanwhile,
+       so the first stepped instruction observes the same epoch
+       transition the per-step engine would have. *)
+    (match st.cfg.interrupt_interval with
+    | None -> assert false (* threshold stays at [max_int] *)
+    | Some period -> st.next_interrupt_at <- ((now / period) + 1) * period);
+    match st.session with
+    | Some s ->
+        Translator.abort_external s.tr;
+        st.stats.Stats.translations_aborted <-
+          st.stats.Stats.translations_aborted + 1;
+        st.session <- None
+    | None -> ()
+  end
 
 let step st =
   if st.pc < 0 || st.pc >= Array.length st.image.Image.code then
@@ -537,7 +574,7 @@ let step st =
   interrupt_check st;
   let pc = st.pc in
   let pre_session = st.session in
-  charge_icache st (Image.addr_of_index st.image pc);
+  charge_icache st (Array.unsafe_get st.image.Image.addrs pc);
   match st.image.Image.code.(pc) with
   | Minsn.S (Insn.Bl { target; region = true } as insn)
     when region_call st ~pc ~target ->
@@ -621,15 +658,40 @@ let init_state config image =
   (match config.accel_lanes with
   | Some l -> ctx.Sem.lanes <- l
   | None -> ());
+  let stats = Stats.create () in
+  let icache = Option.map Cache.create config.icache in
+  let dcache = Option.map Cache.create config.dcache in
+  let bpred = Branch_pred.create () in
+  (* The block engine is an execution strategy with bit-identical
+     counters; it still yields to [step] whenever fidelity demands
+     per-instruction observation. A trace consumer or fault hooks
+     demand it for the whole run, so the engine is not built at all —
+     which is also the self-disable the fault campaign relies on. *)
+  let stepping_only =
+    (* closures: compare shapes, not values *)
+    match (config.on_trace, config.faults) with
+    | None, None -> false
+    | Some _, _ | _, Some _ -> true
+  in
+  let eng =
+    if config.blocks && not stepping_only then
+      Some
+        (Blocks.create ~image ~ctx ~stats ~icache ~dcache ~bpred
+           ~mem_latency:config.mem_latency ~mul_extra:config.mul_extra
+           ~mispredict_penalty:config.mispredict_penalty
+           ~vec_bus_bytes:config.vec_bus_bytes ~lanes:config.accel_lanes
+           ~max_uops:config.max_uops ~fuel:config.fuel)
+    else None
+  in
   let st =
     {
       cfg = config;
       image;
       ctx;
-      stats = Stats.create ();
-      icache = Option.map Cache.create config.icache;
-      dcache = Option.map Cache.create config.dcache;
-      bpred = Branch_pred.create ();
+      stats;
+      icache;
+      dcache;
+      bpred;
       ucache = Ucode_cache.create ~entries:config.ucode_entries;
       oracle = Hashtbl.create 8;
       regions = Hashtbl.create 8;
@@ -646,9 +708,13 @@ let init_state config image =
       session = None;
       open_regions = [];
       last_load_dst = None;
-      last_interrupt_epoch = 0;
+      next_interrupt_at =
+        (match config.interrupt_interval with
+        | Some period -> period
+        | None -> max_int);
       retired = 0;
       halted = false;
+      eng;
     }
   in
   (st, mem, ctx)
@@ -699,22 +765,52 @@ let collect st mem ctx =
     dcache_counters = Option.map Cache.counters st.dcache;
     bpred_counters = Branch_pred.counters st.bpred;
     ucache_counters = Ucode_cache.counters st.ucache;
+    blocks_compiled = (match st.eng with Some e -> Blocks.built e | None -> 0);
+    block_execs = (match st.eng with Some e -> Blocks.execs e | None -> 0);
   }
+
+(* The main loop. With the block engine on, every pc is first offered to
+   the block cache; the engine declines (and we step faithfully) at
+   region calls, returns, halts, wild pcs and under fuel pressure. A
+   live translator session forces stepping so the session observes every
+   retired instruction — sessions open and close only inside [step], so
+   this check at dispatch granularity is exact. On an exception escaping
+   the engine, the out-fields carry the repaired per-step position; sync
+   them so [run_result] reports identical diagnostics. *)
+let exec_loop st =
+  match st.eng with
+  | None ->
+      while not st.halted do
+        step st
+      done
+  | Some eng ->
+      while not st.halted do
+        match st.session with
+        | Some _ -> step st
+        | None -> (
+            match
+              Blocks.try_exec eng ~pc:st.pc ~retired:st.retired
+                ~pending:st.last_load_dst
+            with
+            | true ->
+                st.pc <- Blocks.out_pc eng;
+                st.retired <- Blocks.out_retired eng;
+                st.last_load_dst <- Blocks.out_pending eng
+            | false -> step st
+            | exception e ->
+                st.pc <- Blocks.out_pc eng;
+                st.retired <- Blocks.out_retired eng;
+                raise e)
+      done
 
 let run ?(config = scalar_config) image =
   let st, mem, ctx = init_state config image in
-  while not st.halted do
-    step st
-  done;
+  exec_loop st;
   collect st mem ctx
 
 let run_result ?(config = scalar_config) image =
   let st, mem, ctx = init_state config image in
-  match
-    while not st.halted do
-      step st
-    done
-  with
+  match exec_loop st with
   | () -> Ok (collect st mem ctx)
   | exception Diag.Error d -> Error d
   | exception Sem.Sigill m ->

@@ -106,6 +106,13 @@ type config = {
       (** retired-instruction budget before a [Fuel_exhausted]
           {!Diag.t} stops the run *)
   faults : fault_hooks option;  (** fault-injection hooks; [None] = off *)
+  blocks : bool;
+      (** dispatch through the pre-decoded translation-block engine
+          ({!Blocks}); default on. Bit-identical to stepping — this is an
+          escape hatch for debugging and for measuring the engine's own
+          speedup. The engine silently self-disables when a trace
+          observer or fault hooks are configured (those need per-step
+          fidelity). *)
 }
 
 val scalar_config : config
@@ -145,6 +152,10 @@ type run = {
   dcache_counters : Cache.counters option;
   bpred_counters : Branch_pred.counters;
   ucache_counters : Ucode_cache.counters;
+  blocks_compiled : int;
+      (** translation blocks compiled by the block engine (0 when off) *)
+  block_execs : int;
+      (** block executions, chained blocks included (0 when off) *)
 }
 
 val run : ?config:config -> Image.t -> run

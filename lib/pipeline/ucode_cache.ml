@@ -4,6 +4,7 @@ type entry = {
   key : int;
   ucode : Ucode.t;
   ready : int;
+  stamp : int;
   mutable last_used : int;
 }
 
@@ -62,10 +63,20 @@ let pending t ~key ~now =
 
 let occupancy t = t.occupancy
 
+(* The stamp distinguishes successive translations installed under the
+   same key: consumers holding derived data (the block engine's compiled
+   replay) compare stamps instead of microcode contents. [installs] is
+   already a strictly increasing per-install counter, so it doubles as
+   the stamp source. *)
+let stamp_of t ~key =
+  let i = find_index t key in
+  if i < 0 then -1
+  else match t.slots.(i) with Some e -> e.stamp | None -> -1
+
 let install t ~key ~ready ucode =
   t.clock <- t.clock + 1;
   t.installs <- t.installs + 1;
-  let entry = Some { key; ucode; ready; last_used = t.clock } in
+  let entry = Some { key; ucode; ready; stamp = t.installs; last_used = t.clock } in
   let existing = find_index t key in
   if existing >= 0 then begin
     t.replacements <- t.replacements + 1;

@@ -33,6 +33,13 @@ val install : t -> key:int -> ready:int -> Ucode.t -> unit
     installing over a live entry with the same key replaces it in place
     (counted in {!replacements}, not an eviction). *)
 
+val stamp_of : t -> key:int -> int
+(** Generation stamp of the entry currently stored under [key], [-1]
+    when absent. Each {!install} gives the new entry a fresh stamp (even
+    under the same key), so derived structures — the block engine's
+    pre-compiled replay of an entry — can cheaply detect that a region
+    was retranslated and must be recompiled. *)
+
 val evict : t -> key:int -> bool
 (** Forcibly remove an entry (fault injection / flush modeling); [true]
     when the key was present. Counts toward {!evictions}. *)

@@ -6,6 +6,7 @@ exception Layout_error of string
 type t = {
   name : string;
   code : Minsn.exec array;
+  addrs : int array;
   code_base : int;
   entry : int;
   labels : (string * int) list;
@@ -73,6 +74,7 @@ let of_program (p : Program.t) =
   {
     name = p.name;
     code;
+    addrs = Array.init (Array.length code) (fun i -> code_base + (4 * i));
     code_base;
     entry;
     labels;

@@ -14,6 +14,10 @@ exception Layout_error of string
 type t = {
   name : string;
   code : Minsn.exec array;
+  addrs : int array;
+      (** fetch address of each slot, precomputed at layout:
+          [addrs.(i) = code_base + 4*i]. The per-fetch hot path indexes
+          this instead of recomputing {!addr_of_index}. *)
   code_base : int;
   entry : int;  (** instruction index where execution starts *)
   labels : (string * int) list;  (** label name -> instruction index *)
