@@ -122,6 +122,17 @@ let bench_translation =
   Test.make ~name:"sec5_translation_latency"
     (Staged.stage (fun () -> Offline.translate_all ~image ~lanes:8 ()))
 
+(* The same regions through the VLA backend: FFT's butterflies abort
+   there (unportable permutation), so this times the predicated
+   translation path and the abort path together. *)
+let bench_translation_vla =
+  let w = find "FFT" in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  Test.make ~name:"sec5_translation_latency_vla"
+    (Staged.stage (fun () ->
+         Offline.translate_all ~backend:Liquid_translate.Backend.vla ~image
+           ~lanes:8 ()))
+
 (* Microbenchmarks of the individual pipeline stages. *)
 
 let bench_scalarize_fft =
@@ -172,6 +183,22 @@ let bench_simulate_liquid_noblocks =
   Test.make ~name:"core_simulate_liquid_noblocks"
     (Staged.stage (fun () -> Cpu.run ~config image))
 
+(* GSM Enc. on the 16-lane VLA target is the predication headline (the
+   40-sample subframes run predicated at full width instead of capping
+   at effective width 8): this times microcode replay where most vector
+   operations carry a governing predicate. *)
+let bench_simulate_vla =
+  let w = find "GSM Enc." in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  let config =
+    {
+      (Cpu.liquid_config ~lanes:16) with
+      Cpu.backend = Liquid_translate.Backend.vla;
+    }
+  in
+  Test.make ~name:"core_simulate_vla"
+    (Staged.stage (fun () -> Cpu.run ~config image))
+
 let bench_hwmodel =
   Test.make ~name:"core_hwmodel_estimate"
     (Staged.stage (fun () -> Hwmodel.estimate Hwmodel.default_params))
@@ -185,12 +212,14 @@ let tests =
     bench_code_size;
     bench_ucode_cache;
     bench_translation;
+    bench_translation_vla;
     bench_scalarize_fft;
     bench_encode;
     bench_simulate_scalar;
     bench_simulate_scalar_noblocks;
     bench_simulate_liquid;
     bench_simulate_liquid_noblocks;
+    bench_simulate_vla;
     bench_hwmodel;
   ]
 
@@ -222,12 +251,13 @@ let run_benchmarks () =
     tests;
   List.rev !estimates
 
-(* Simulated-cycle throughput: the given workloads under the two
-   headline variants, fresh simulations (no memo cache), cycles per wall
-   second. Run with [blocks] both on and off; the identical sweep under
-   the two execution strategies is the block engine's speedup
-   measurement (and a bit-identity smoke check: the cycle totals must
-   match exactly). *)
+(* Simulated-cycle throughput: the given workloads under the three
+   headline variants (scalar baseline, Liquid on the fixed 8-lane
+   target, Liquid on the 8-lane VLA target), fresh simulations (no memo
+   cache), cycles per wall second. Run with [blocks] both on and off;
+   the identical sweep under the two execution strategies is the block
+   engine's speedup measurement (and a bit-identity smoke check: the
+   cycle totals must match exactly). *)
 let sim_throughput ~blocks workloads =
   let cycles_of w v =
     (Runner.run ~blocks w v).Runner.run.Cpu.stats.Liquid_machine.Stats.cycles
@@ -236,7 +266,9 @@ let sim_throughput ~blocks workloads =
   let cycles =
     List.fold_left
       (fun acc (w : Workload.t) ->
-        acc + cycles_of w Runner.Baseline + cycles_of w (Runner.Liquid 8))
+        acc + cycles_of w Runner.Baseline
+        + cycles_of w (Runner.Liquid 8)
+        + cycles_of w (Runner.Liquid_vla 8))
       0 workloads
   in
   let wall = Unix.gettimeofday () -. t0 in

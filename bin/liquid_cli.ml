@@ -33,6 +33,14 @@ let variant_conv =
         match int_of_string_opt w with
         | Some w -> Ok (Runner.Liquid_oracle w)
         | None -> Error (`Msg "bad width"))
+    | [ "vla"; w ] | [ "liquid-vla"; w ] -> (
+        match int_of_string_opt w with
+        | Some w -> Ok (Runner.Liquid_vla w)
+        | None -> Error (`Msg "bad width"))
+    | [ "vla-oracle"; w ] | [ "liquid-vla-oracle"; w ] -> (
+        match int_of_string_opt w with
+        | Some w -> Ok (Runner.Liquid_vla_oracle w)
+        | None -> Error (`Msg "bad width"))
     | [ "native"; w ] -> (
         match int_of_string_opt w with
         | Some w -> Ok (Runner.Native w)
@@ -40,7 +48,8 @@ let variant_conv =
     | _ ->
         Error
           (`Msg
-             "expected baseline, liquid:scalar, liquid:<width> or \
+             "expected baseline, liquid:scalar, liquid:<width>, \
+              vla:<width>, oracle:<width>, vla-oracle:<width> or \
               native:<width>")
   in
   Arg.conv
@@ -59,7 +68,8 @@ let variant_arg =
     & info [ "m"; "machine" ] ~docv:"VARIANT"
         ~doc:
           "Machine/binary flavour: $(b,baseline), $(b,liquid:scalar), \
-           $(b,liquid:WIDTH) or $(b,native:WIDTH).")
+           $(b,liquid:WIDTH), $(b,vla:WIDTH), $(b,oracle:WIDTH), \
+           $(b,vla-oracle:WIDTH) or $(b,native:WIDTH).")
 
 let no_blocks_arg =
   Arg.(
@@ -110,12 +120,7 @@ let disasm_cmd =
 
 (* --- exec: assemble a source file and run it --- *)
 
-let machine_config = function
-  | Runner.Baseline | Runner.Liquid_scalar -> Cpu.scalar_config
-  | Runner.Liquid w -> Cpu.liquid_config ~lanes:w
-  | Runner.Liquid_oracle w ->
-      { (Cpu.liquid_config ~lanes:w) with Cpu.oracle_translation = true }
-  | Runner.Native w -> Cpu.native_config ~lanes:w
+let machine_config variant = Runner.config_of variant
 
 let pp_trace_event ppf = function
   | Cpu.T_insn { pc; insn } ->
@@ -226,7 +231,26 @@ let translate_cmd =
       value & opt int 8
       & info [ "w"; "width" ] ~docv:"LANES" ~doc:"Accelerator lane count.")
   in
-  let run (w : Workload.t) lanes =
+  let backend_arg =
+    let backend_conv =
+      Arg.conv
+        ( (fun s ->
+            match Liquid_translate.Backend.of_string s with
+            | Some b -> Ok b
+            | None -> Error (`Msg "expected fixed or vla")),
+          fun ppf b ->
+            Format.pp_print_string ppf (Liquid_translate.Backend.name_of b) )
+    in
+    Arg.(
+      value
+      & opt backend_conv Liquid_translate.Backend.fixed
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Translation target: $(b,fixed) (Neon-like, width must divide \
+             the trip count) or $(b,vla) (length-agnostic with predicated \
+             final iteration).")
+  in
+  let run (w : Workload.t) lanes backend =
     let program = Liquid_scalarize.Codegen.liquid w.Workload.program in
     let image = Image.of_program program in
     let mem = Liquid_machine.Memory.create () in
@@ -238,7 +262,7 @@ let translate_cmd =
         let ctx = Sem.create_ctx mem in
         let tr =
           Liquid_translate.Translator.create
-            (Liquid_translate.Translator.default_config ~lanes)
+            (Liquid_translate.Translator.default_config ~backend ~lanes ())
         in
         let pc = ref entry in
         let running = ref true in
@@ -267,7 +291,8 @@ let translate_cmd =
             Format.printf "aborted: %a@." Liquid_translate.Abort.pp reason)
       image.Image.region_entries
   in
-  Cmd.v (Cmd.info "translate" ~doc) Term.(const run $ workload_arg $ width_arg)
+  Cmd.v (Cmd.info "translate" ~doc)
+    Term.(const run $ workload_arg $ width_arg $ backend_arg)
 
 (* --- report: the paper's tables/figures, or one workload's snapshot --- *)
 
@@ -503,17 +528,39 @@ let hwmodel_cmd =
       value & opt int 64
       & info [ "b"; "buffer" ] ~docv:"N" ~doc:"Microcode buffer entries.")
   in
-  let run lanes registers buffer_entries =
+  let target_arg =
     let module H = Liquid_hwmodel.Hwmodel in
-    let rep = H.estimate { H.lanes; registers; buffer_entries } in
+    let target_conv =
+      Arg.conv
+        ( (function
+            | "fixed" -> Ok H.Fixed_width
+            | "vla" -> Ok H.Vla
+            | _ -> Error (`Msg "expected fixed or vla")),
+          fun ppf t -> Format.pp_print_string ppf (H.target_name t) )
+    in
+    Arg.(
+      value
+      & opt target_conv H.Fixed_width
+      & info [ "target" ] ~docv:"TARGET"
+          ~doc:
+            "Translation target the hardware emits for: $(b,fixed) or \
+             $(b,vla) (adds the whilelt comparator and predicate file).")
+  in
+  let run lanes registers buffer_entries target =
+    let module H = Liquid_hwmodel.Hwmodel in
+    let rep = H.estimate { H.lanes; registers; buffer_entries; target } in
     Format.printf "%a@." H.pp_report rep;
     Format.printf
       "  decoder %d | legality %d | register state %d (%.0f%%) | opcode gen        %d | buffer %d cells@."
       rep.H.decoder_cells rep.H.legality_cells rep.H.regstate_cells
       (100.0 *. float_of_int rep.H.regstate_cells /. float_of_int rep.H.total_cells)
-      rep.H.opgen_cells rep.H.buffer_cells
+      rep.H.opgen_cells rep.H.buffer_cells;
+    if rep.H.pred_cells > 0 then
+      Format.printf "  predication (whilelt + predicate file) %d cells@."
+        rep.H.pred_cells
   in
-  Cmd.v (Cmd.info "hwmodel" ~doc) Term.(const run $ lanes_arg $ regs_arg $ buffer_arg)
+  Cmd.v (Cmd.info "hwmodel" ~doc)
+    Term.(const run $ lanes_arg $ regs_arg $ buffer_arg $ target_arg)
 
 (* --- faults: seeded injection campaign with survival report --- *)
 
@@ -556,11 +603,27 @@ let faults_cmd =
       value & flag
       & info [ "v"; "verbose" ] ~doc:"Print every case, not just failures.")
   in
-  let run seed widths workloads verbose =
+  let backend_arg =
+    let backend_conv =
+      Arg.conv
+        ( (fun s ->
+            match Liquid_translate.Backend.of_string s with
+            | Some b -> Ok b
+            | None -> Error (`Msg "expected fixed or vla")),
+          fun ppf b ->
+            Format.pp_print_string ppf (Liquid_translate.Backend.name_of b) )
+    in
+    Arg.(
+      value
+      & opt backend_conv Liquid_translate.Backend.fixed
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Translation target under attack: $(b,fixed) or $(b,vla).")
+  in
+  let run seed widths workloads verbose backend =
     let module C = Liquid_faults.Campaign in
     let widths = if widths = [] then None else Some widths in
     let workloads = if workloads = [] then None else Some workloads in
-    let report = C.run ?workloads ?widths ~seed () in
+    let report = C.run ~backend ?workloads ?widths ~seed () in
     List.iter
       (fun (c : C.case) ->
         match c.C.c_verdict with
@@ -572,7 +635,9 @@ let faults_cmd =
     if not (C.survived report) then exit 1
   in
   Cmd.v (Cmd.info "faults" ~doc ~man)
-    Term.(const run $ seed_arg $ widths_arg $ workloads_arg $ verbose_arg)
+    Term.(
+      const run $ seed_arg $ widths_arg $ workloads_arg $ verbose_arg
+      $ backend_arg)
 
 let main =
   let doc = "Liquid SIMD: dynamic mapping of scalarized loops onto SIMD accelerators" in

@@ -1,0 +1,195 @@
+(* Documentation lint, attached to both the [doc] and [runtest] aliases.
+
+   odoc is not a build dependency of this repo, so ill-formed doc
+   comments would otherwise only surface on a contributor's machine
+   that happens to have it installed. This check enforces the part of
+   the contract that matters for `dune build @doc` to stay green,
+   using nothing but the source text:
+
+   - every interface opens with a module-level [(** ... *)] synopsis;
+   - comments nest correctly (an unterminated comment is a hard odoc
+     error);
+   - markup delimiters inside doc comments are balanced — [{]/[}] for
+     odoc markup, square brackets for code spans;
+   - in the libraries held to full per-item coverage (lib/visa,
+     lib/scalarize, lib/workloads, and the list below as it grows),
+     every exported [val] carries a doc comment.
+
+   Exit status is non-zero with a file:line listing when any rule is
+   violated, so `dune runtest` fails on documentation rot. *)
+
+let errors = ref 0
+
+let err file line fmt =
+  incr errors;
+  Printf.ksprintf (fun m -> Printf.eprintf "%s:%d: %s\n" file line m) fmt
+
+(* Directories whose .mli files must document every exported val. Add a
+   directory here once its interfaces are brought to full coverage. *)
+let full_coverage = [ "visa"; "scalarize"; "workloads" ]
+
+let read_lines file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  String.split_on_char '\n' s
+
+let starts_with p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let strip s = String.trim s
+
+(* Comment structure over the whole file: returns per-line comment
+   depth after the line, and flags unbalanced nesting. *)
+let check_comment_nesting file lines =
+  let depth = ref 0 in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      let n = String.length line in
+      let j = ref 0 in
+      while !j < n - 1 do
+        (match (line.[!j], line.[!j + 1]) with
+        | '(', '*' ->
+            incr depth;
+            incr j
+        | '*', ')' ->
+            decr depth;
+            incr j;
+            if !depth < 0 then begin
+              err file ln "comment terminator with no open comment";
+              depth := 0
+            end
+        | _ -> ());
+        incr j
+      done)
+    lines;
+  if !depth <> 0 then err file (List.length lines) "unterminated comment"
+
+(* Balanced odoc markup within each doc comment: braces for markup
+   ({1 ...}, {!...}, {e ...}) and brackets for code spans. *)
+let check_markup file lines =
+  let in_doc = ref false in
+  let braces = ref 0 and brackets = ref 0 in
+  let doc_start = ref 0 in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      let n = String.length line in
+      let j = ref 0 in
+      while !j < n do
+        (if (not !in_doc) && !j < n - 2 && line.[!j] = '(' && line.[!j + 1] = '*'
+            && line.[!j + 2] = '*'
+         then begin
+           in_doc := true;
+           doc_start := ln;
+           braces := 0;
+           brackets := 0;
+           j := !j + 2
+         end
+         else if !in_doc && !j < n - 1 && line.[!j] = '*' && line.[!j + 1] = ')'
+         then begin
+           if !braces <> 0 then
+             err file !doc_start "unbalanced '{' '}' in doc comment";
+           if !brackets <> 0 then
+             err file !doc_start "unbalanced '[' ']' in doc comment";
+           in_doc := false;
+           incr j
+         end
+         else if !in_doc then
+           match line.[!j] with
+           | '\\' -> incr j (* \[ \] \{ \} are odoc escapes *)
+           | '{' -> incr braces
+           | '}' -> decr braces
+           | '[' -> incr brackets
+           | ']' -> decr brackets
+           | _ -> ());
+        incr j
+      done)
+    lines
+
+let check_module_doc file lines =
+  let rec first = function
+    | [] -> err file 1 "empty interface"
+    | l :: rest -> if strip l = "" then first rest else
+        if not (starts_with "(**" (strip l)) then
+          err file 1 "interface does not open with a module-level (** ... *) synopsis"
+  in
+  first lines
+
+(* Every exported val documented: the previous non-blank line ends a
+   comment, or a doc comment follows within the declaration. *)
+let check_val_coverage file lines =
+  let arr = Array.of_list lines in
+  let n = Array.length arr in
+  Array.iteri
+    (fun i line ->
+      if starts_with "val " line then begin
+        let name =
+          match String.index_opt line ':' with
+          | Some c -> strip (String.sub line 4 (c - 4))
+          | None -> strip (String.sub line 4 (String.length line - 4))
+        in
+        let prev =
+          let rec back k = if k < 0 then None else
+            if strip arr.(k) = "" then back (k - 1) else Some arr.(k)
+          in
+          back (i - 1)
+        in
+        let prev_doc =
+          match prev with
+          | Some p ->
+              let p = strip p in
+              String.length p >= 2 && String.sub p (String.length p - 2) 2 = "*)"
+          | None -> false
+        in
+        let next_doc =
+          let rec fwd k =
+            if k >= n || k > i + 24 then false
+            else
+              let s = strip arr.(k) in
+              if starts_with "(**" s then true
+              else if k > i
+                      && (s = ""
+                         || starts_with "val " s
+                         || starts_with "type " s
+                         || starts_with "module " s
+                         || starts_with "exception " s)
+              then false
+              else fwd (k + 1)
+          in
+          fwd i
+        in
+        if not (prev_doc || next_doc) then
+          err file (i + 1) "val %s has no doc comment" name
+      end)
+    arr
+
+let rec walk dir f =
+  Array.iter
+    (fun entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then walk path f
+      else if Filename.check_suffix entry ".mli" then f path)
+    (Sys.readdir dir)
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "../lib" in
+  let checked = ref 0 in
+  walk root (fun file ->
+      incr checked;
+      let lines = read_lines file in
+      check_module_doc file lines;
+      check_comment_nesting file lines;
+      check_markup file lines;
+      let dir = Filename.basename (Filename.dirname file) in
+      if List.mem dir full_coverage then check_val_coverage file lines);
+  if !checked = 0 then begin
+    Printf.eprintf "doc_lint: no .mli files under %s\n" root;
+    exit 1
+  end;
+  if !errors > 0 then begin
+    Printf.eprintf "doc_lint: %d error(s) in %d interface(s)\n" !errors !checked;
+    exit 1
+  end
+  else Printf.printf "doc_lint: %d interfaces clean\n" !checked

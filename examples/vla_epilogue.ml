@@ -1,0 +1,104 @@
+(* The predicated epilogue: what the vector-length-agnostic backend
+   buys over the fixed-width one.
+
+   A 15-element FIR loop is the smallest awkward case — 15 is not a
+   multiple of any hardware width (2, 4, 8, 16), so the fixed-width
+   translator must refuse it (Bad_trip_count) and the loop runs scalar
+   forever. The VLA backend translates the very same binary into a
+   whilelt-governed loop whose final iteration executes under a partial
+   predicate: ceil(15/8) = 2 vector iterations on an 8-lane machine,
+   zero scalar cleanup.
+
+   Run with: dune exec examples/vla_epilogue.exe
+   (The printed output is pinned by examples/vla_epilogue.expected.) *)
+
+open Liquid_prog
+open Liquid_scalarize
+open Liquid_translate
+open Liquid_pipeline
+module Kernels = Liquid_workloads.Kernels
+module Stats = Liquid_machine.Stats
+
+let count = 15
+let lanes = 8
+
+(* c.(i) <- 5*a.(i) + b.(i): a SAXPY-shaped FIR tap. *)
+let program =
+  let loop =
+    Kernels.saxpy ~name:"fir" ~count ~a:5 ~x:"a" ~y:"b" ~out:"c"
+  in
+  {
+    Vloop.name = "epilogue";
+    sections =
+      Kernels.counted ~reg:(Liquid_isa.Reg.make 15) ~label:"fr" ~count:4
+        [ Vloop.Loop loop ];
+    data =
+      [
+        Kernels.warray "a" count (fun i -> i + 1);
+        Kernels.warray "b" count (fun i -> 100 - i);
+        Kernels.wzeros "c" count;
+      ];
+  }
+
+let show_translation backend =
+  let liquid = Codegen.liquid program in
+  let image = Image.of_program liquid in
+  let entry =
+    match image.Image.region_entries with
+    | (e, _) :: _ -> e
+    | [] -> failwith "no region"
+  in
+  match Offline.translate_region_result ~backend ~image ~lanes ~entry () with
+  | Ok (Translator.Translated u) ->
+      Format.printf "  translated to %d uops:@." (Ucode.length u);
+      Ucode.pp Format.std_formatter u
+  | Ok (Translator.Aborted a) ->
+      Format.printf "  ABORTED: %s@." (Abort.to_string a)
+  | Error d -> Format.printf "  error: %s@." (Diag.to_string d)
+
+let run_with backend =
+  let liquid = Codegen.liquid program in
+  let image = Image.of_program liquid in
+  let config = { (Cpu.liquid_config ~lanes) with Cpu.backend } in
+  let run = Cpu.run ~config image in
+  let s = run.Cpu.stats in
+  Format.printf
+    "  vector insns %5d   region calls %d   served from microcode %d@."
+    s.Stats.vector_insns s.Stats.region_calls s.Stats.ucode_hits;
+  run
+
+let array_of (run : Cpu.run) name =
+  let liquid = Codegen.liquid program in
+  let img = Image.of_program liquid in
+  let addr = Image.array_addr img name in
+  Array.init count (fun i ->
+      Liquid_machine.Memory.read run.Cpu.memory
+        ~addr:(addr + (i * 4))
+        ~bytes:4 ~signed:true)
+
+let () =
+  Format.printf
+    "A %d-element loop on an %d-lane accelerator: %d / %d leaves a \
+     remainder,@.so whole-vector hardware cannot map it.@.@."
+    count lanes count lanes;
+
+  Format.printf "[fixed-width backend]@.";
+  show_translation Backend.fixed;
+  let fixed = run_with Backend.fixed in
+
+  Format.printf "@.[vla backend]@.";
+  show_translation Backend.vla;
+  let vla = run_with Backend.vla in
+
+  let expect = Array.init count (fun i -> (5 * (i + 1)) + (100 - i)) in
+  let ok which r = assert (array_of r "c" = expect) |> fun () -> which in
+  Format.printf
+    "@.Results identical and correct on both machines: %s, %s.@."
+    (ok "fixed" fixed) (ok "vla" vla);
+  Format.printf
+    "The fixed-width target aborted (always safe — the scalar loop ran \
+     instead, 0@.vector instructions). The VLA target ran ceil(%d/%d) = 2 \
+     predicated vector@.iterations per call and no scalar epilogue: the \
+     last iteration simply ran@.under a 7-lane predicate. Same binary, \
+     both machines, bit-identical memory.@."
+    count lanes

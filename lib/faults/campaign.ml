@@ -12,11 +12,13 @@ open Liquid_harness
    and retired instructions a run offers to attack. Memoized
    process-wide (probes are pure), safe across domains. *)
 
-let probe_cache : (string * int, Fault.space) Hashtbl.t = Hashtbl.create 64
+let probe_cache : (string * int * Backend.kind, Fault.space) Hashtbl.t =
+  Hashtbl.create 64
+
 let probe_mutex = Mutex.create ()
 
-let probe (w : Workload.t) ~width =
-  let key = (w.Workload.name, width) in
+let probe ?(backend = Backend.fixed) (w : Workload.t) ~width =
+  let key = (w.Workload.name, width, Backend.kind_of backend) in
   match
     Mutex.protect probe_mutex (fun () -> Hashtbl.find_opt probe_cache key)
   with
@@ -25,7 +27,11 @@ let probe (w : Workload.t) ~width =
       let program = Runner.program_of w (Runner.Liquid width) in
       let hooks, feeds = Fault.counting_hooks () in
       let config =
-        { (Cpu.liquid_config ~lanes:width) with Cpu.faults = Some hooks }
+        {
+          (Cpu.liquid_config ~lanes:width) with
+          Cpu.backend;
+          Cpu.faults = Some hooks;
+        }
       in
       let run = Cpu.run ~config (Image.of_program program) in
       let sp =
@@ -50,8 +56,8 @@ type target = { t_workload : Workload.t; t_width : int; t_fault : Fault.t }
    microcode eviction, one watchdog budget — per (workload, width).
    Site draws come from one RNG walked in a fixed order, so a seed
    pins the whole campaign. *)
-let plan_for rng (w : Workload.t) ~width =
-  let sp = probe w ~width in
+let plan_for ?backend rng (w : Workload.t) ~width =
+  let sp = probe ?backend w ~width in
   let site () = if sp.Fault.sp_feeds <= 0 then 0 else Fault.Rng.int rng sp.Fault.sp_feeds in
   let aborts =
     List.map
@@ -74,10 +80,12 @@ let plan_for rng (w : Workload.t) ~width =
 
 let default_widths = [ 2; 4; 8; 16 ]
 
-let plan ?(workloads = Workload.all ()) ?(widths = default_widths) ~seed () =
+let plan ?backend ?(workloads = Workload.all ()) ?(widths = default_widths)
+    ~seed () =
   let rng = Fault.Rng.make seed in
   List.concat_map
-    (fun w -> List.concat_map (fun width -> plan_for rng w ~width) widths)
+    (fun w ->
+      List.concat_map (fun width -> plan_for ?backend rng w ~width) widths)
     workloads
 
 (* --- executing one case --- *)
@@ -102,11 +110,11 @@ type case = {
   c_verdict : verdict;
 }
 
-let run_case (w : Workload.t) ~width fault =
+let run_case ?(backend = Backend.fixed) (w : Workload.t) ~width fault =
   let program = Runner.program_of w (Runner.Liquid width) in
   let image = Image.of_program program in
   let armed = Fault.arm fault in
-  let base = Cpu.liquid_config ~lanes:width in
+  let base = { (Cpu.liquid_config ~lanes:width) with Cpu.backend } in
   let config =
     {
       base with
@@ -176,11 +184,11 @@ let summarize ~seed cases =
     r_crashed = crashed;
   }
 
-let run ?domains ?workloads ?widths ~seed () =
-  let targets = plan ?workloads ?widths ~seed () in
+let run ?domains ?backend ?workloads ?widths ~seed () =
+  let targets = plan ?backend ?workloads ?widths ~seed () in
   let results =
     Runner.run_many_result ?domains
-      (fun t -> run_case t.t_workload ~width:t.t_width t.t_fault)
+      (fun t -> run_case ?backend t.t_workload ~width:t.t_width t.t_fault)
       targets
   in
   let cases =

@@ -8,11 +8,13 @@
     then executes every case crash-isolated on the domain pool and
     judges each against the scalar-equivalence {!Oracle}. *)
 
+open Liquid_translate
 open Liquid_workloads
 
-val probe : Workload.t -> width:int -> Fault.space
-(** Clean-run site space for one (workload, width); memoized
-    process-wide and safe across domains. *)
+val probe : ?backend:Backend.t -> Workload.t -> width:int -> Fault.space
+(** Clean-run site space for one (workload, width, backend); memoized
+    process-wide and safe across domains. [backend] (default
+    {!Backend.fixed}) selects the translation target under attack. *)
 
 type target = { t_workload : Workload.t; t_width : int; t_fault : Fault.t }
 
@@ -20,6 +22,7 @@ val default_widths : int list
 (** The paper's accelerator sweep: 2, 4, 8, 16 lanes. *)
 
 val plan :
+  ?backend:Backend.t ->
   ?workloads:Workload.t list ->
   ?widths:int list ->
   seed:int ->
@@ -44,7 +47,7 @@ type case = {
   c_verdict : verdict;
 }
 
-val run_case : Workload.t -> width:int -> Fault.t -> case
+val run_case : ?backend:Backend.t -> Workload.t -> width:int -> Fault.t -> case
 (** Arm the fault, run the Liquid machine, judge the outcome. Never
     raises: machine failures come back as {!Crashed}. *)
 
@@ -63,6 +66,7 @@ val survived : report -> bool
 
 val run :
   ?domains:int ->
+  ?backend:Backend.t ->
   ?workloads:Workload.t list ->
   ?widths:int list ->
   seed:int ->

@@ -8,9 +8,14 @@ module Stats = Liquid_machine.Stats
 (* --- Table 2 --- *)
 
 let table2 () =
-  List.map
-    (fun lanes -> Hwmodel.estimate { Hwmodel.default_params with Hwmodel.lanes })
-    [ 2; 4; 8; 16 ]
+  List.concat_map
+    (fun target ->
+      List.map
+        (fun lanes ->
+          Hwmodel.estimate
+            { Hwmodel.default_params with Hwmodel.lanes; Hwmodel.target })
+        [ 2; 4; 8; 16 ])
+    [ Hwmodel.Fixed_width; Hwmodel.Vla ]
 
 let pp_table2 ppf reports =
   Format.fprintf ppf
@@ -21,7 +26,10 @@ let pp_table2 ppf reports =
   List.iter
     (fun (r : Hwmodel.report) ->
       Format.fprintf ppf "%-20s | %2d gates   | %.2f ns (%4.0f MHz) | %7d cells | %.3f mm^2@ "
-        (Printf.sprintf "%d-wide Translator" r.Hwmodel.params.Hwmodel.lanes)
+        (Printf.sprintf "%d-wide %sTranslator" r.Hwmodel.params.Hwmodel.lanes
+           (match r.Hwmodel.params.Hwmodel.target with
+           | Hwmodel.Fixed_width -> ""
+           | Hwmodel.Vla -> "VLA "))
         r.Hwmodel.crit_path_gates r.Hwmodel.crit_path_ns r.Hwmodel.freq_mhz
         r.Hwmodel.total_cells r.Hwmodel.area_mm2)
     reports;
@@ -126,6 +134,7 @@ let pp_table6 ppf rows =
 type fig6_row = {
   f6_name : string;
   f6_speedups : (int * float) list;
+  f6_vla_speedups : (int * float) list;
   f6_native_delta : (int * float) list;
 }
 
@@ -137,6 +146,18 @@ let figure6 ?(widths = [ 2; 4; 8; 16 ]) () =
         List.map
           (fun lanes ->
             let { Runner.run; _ } = Runner.run_cached w (Runner.Liquid lanes) in
+            (lanes, Runner.speedup ~baseline:base run))
+          widths
+      in
+      let vla_speedups =
+        (* Same binary, translator targeting the length-agnostic
+           predicated backend: no width/trip-count divisibility aborts,
+           partial final iterations instead of scalar epilogues. *)
+        List.map
+          (fun lanes ->
+            let { Runner.run; _ } =
+              Runner.run_cached w (Runner.Liquid_vla lanes)
+            in
             (lanes, Runner.speedup ~baseline:base run))
           widths
       in
@@ -153,23 +174,31 @@ let figure6 ?(widths = [ 2; 4; 8; 16 ]) () =
             (lanes, native -. List.assoc lanes speedups))
           widths
       in
-      { f6_name = w.name; f6_speedups = speedups; f6_native_delta = native_delta })
+      {
+        f6_name = w.name;
+        f6_speedups = speedups;
+        f6_vla_speedups = vla_speedups;
+        f6_native_delta = native_delta;
+      })
     (Workload.all ())
 
 let pp_figure6 ppf rows =
   Format.fprintf ppf
     "@[<v>Figure 6: speedup vs no-SIMD baseline (one Liquid binary per \
-     benchmark)@ %-12s | %6s %6s %6s %6s | %s@ "
-    "Benchmark" "w=2" "w=4" "w=8" "w=16" "max native-ISA delta";
+     benchmark)@ %-12s | %6s %6s %6s %6s | %6s %6s %6s %6s | %s@ "
+    "Benchmark" "w=2" "w=4" "w=8" "w=16" "vla=2" "vla=4" "vla=8" "vla=16"
+    "max native-ISA delta";
   List.iter
     (fun r ->
       let s w = try List.assoc w r.f6_speedups with Not_found -> nan in
+      let v w = try List.assoc w r.f6_vla_speedups with Not_found -> nan in
       let delta =
         List.fold_left (fun acc (_, d) -> Float.max acc (Float.abs d)) 0.0
           r.f6_native_delta
       in
-      Format.fprintf ppf "%-12s | %6.2f %6.2f %6.2f %6.2f | %.4f@ " r.f6_name
-        (s 2) (s 4) (s 8) (s 16) delta)
+      Format.fprintf ppf
+        "%-12s | %6.2f %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f %6.2f | %.4f@ "
+        r.f6_name (s 2) (s 4) (s 8) (s 16) (v 2) (v 4) (v 8) (v 16) delta)
     rows;
   Format.fprintf ppf "@]"
 
@@ -527,18 +556,23 @@ let csv_table6 rows =
 
 let csv_figure6 rows =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "benchmark,width,speedup,native_delta\n";
+  Buffer.add_string buf "benchmark,width,speedup,vla_speedup,native_delta\n";
   List.iter
     (fun r ->
       List.iter
         (fun (w, s) ->
+          let vla =
+            match List.assoc_opt w r.f6_vla_speedups with
+            | Some v -> Printf.sprintf "%.4f" v
+            | None -> ""
+          in
           let delta =
             match List.assoc_opt w r.f6_native_delta with
             | Some d -> Printf.sprintf "%.4f" d
             | None -> ""
           in
           Buffer.add_string buf
-            (Printf.sprintf "%s,%d,%.4f,%s\n" r.f6_name w s delta))
+            (Printf.sprintf "%s,%d,%.4f,%s,%s\n" r.f6_name w s vla delta))
         r.f6_speedups)
     rows;
   Buffer.contents buf

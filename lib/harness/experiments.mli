@@ -46,6 +46,10 @@ val pp_table6 : Format.formatter -> table6_row list -> unit
 type fig6_row = {
   f6_name : string;
   f6_speedups : (int * float) list;  (** (width, speedup) for 2/4/8/16 *)
+  f6_vla_speedups : (int * float) list;
+      (** same widths through the VLA backend
+          ({!Runner.Liquid_vla}): predicated final iterations instead
+          of divisibility aborts *)
   f6_native_delta : (int * float) list;
       (** (width, native speedup - liquid speedup): the callout's
           virtualization overhead, where a native binary exists *)

@@ -1,6 +1,7 @@
 open Liquid_prog
 open Liquid_pipeline
 open Liquid_scalarize
+open Liquid_translate
 open Liquid_workloads
 
 type variant =
@@ -8,6 +9,8 @@ type variant =
   | Liquid_scalar
   | Liquid of int
   | Liquid_oracle of int
+  | Liquid_vla of int
+  | Liquid_vla_oracle of int
   | Native of int
 
 type result = { variant : variant; program : Program.t; run : Cpu.run }
@@ -17,11 +20,15 @@ let variant_name = function
   | Liquid_scalar -> "liquid/scalar"
   | Liquid w -> Printf.sprintf "liquid/%d-wide" w
   | Liquid_oracle w -> Printf.sprintf "liquid-oracle/%d-wide" w
+  | Liquid_vla w -> Printf.sprintf "liquid-vla/%d-wide" w
+  | Liquid_vla_oracle w -> Printf.sprintf "liquid-vla-oracle/%d-wide" w
   | Native w -> Printf.sprintf "native/%d-wide" w
 
 let program_of (w : Workload.t) = function
   | Baseline -> Codegen.baseline w.program
-  | Liquid_scalar | Liquid _ | Liquid_oracle _ -> Codegen.liquid w.program
+  | Liquid_scalar | Liquid _ | Liquid_oracle _ | Liquid_vla _
+  | Liquid_vla_oracle _ ->
+      Codegen.liquid w.program
   | Native width -> Codegen.native ~width w.program
 
 let config_of ?(translation_cpi = 1) = function
@@ -34,6 +41,19 @@ let config_of ?(translation_cpi = 1) = function
       }
   | Liquid_oracle lanes ->
       { (Cpu.liquid_config ~lanes) with Cpu.oracle_translation = true }
+  | Liquid_vla lanes ->
+      {
+        (Cpu.liquid_config ~lanes) with
+        Cpu.backend = Backend.vla;
+        Cpu.translator =
+          Some { Cpu.cycles_per_insn = translation_cpi; Cpu.kind = Cpu.Hardware };
+      }
+  | Liquid_vla_oracle lanes ->
+      {
+        (Cpu.liquid_config ~lanes) with
+        Cpu.backend = Backend.vla;
+        Cpu.oracle_translation = true;
+      }
   | Native lanes -> Cpu.native_config ~lanes
 
 let run ?translation_cpi ?fuel ?(blocks = true) (w : Workload.t) variant =
@@ -72,8 +92,10 @@ let cache_key (w : Workload.t) variant ~translation_cpi ~fuel ~blocks =
     ck_variant = variant;
     ck_cpi =
       (match variant with
-      | Liquid _ -> Option.value translation_cpi ~default:1
-      | Baseline | Liquid_scalar | Liquid_oracle _ | Native _ -> 1);
+      | Liquid _ | Liquid_vla _ -> Option.value translation_cpi ~default:1
+      | Baseline | Liquid_scalar | Liquid_oracle _ | Liquid_vla_oracle _
+      | Native _ ->
+          1);
     ck_fuel = Option.value fuel ~default:Cpu.scalar_config.Cpu.fuel;
     ck_blocks = blocks;
   }

@@ -11,6 +11,12 @@ type variant =
   | Liquid_oracle of int
       (** Liquid binary with microcode available from the first call —
           the paper's "built-in ISA support" comparison point (§5) *)
+  | Liquid_vla of int
+      (** Liquid binary, accelerator + translator targeting the
+          vector-length-agnostic predicated backend
+          ({!Liquid_translate.Backend.vla}) at the given lane count *)
+  | Liquid_vla_oracle of int
+      (** VLA backend with microcode available from the first call *)
   | Native of int  (** native SIMD binary on a matching accelerator *)
 
 type result = { variant : variant; program : Program.t; run : Cpu.run }
@@ -20,6 +26,12 @@ val variant_name : variant -> string
 val program_of : Workload.t -> variant -> Program.t
 (** Raises {!Liquid_scalarize.Codegen.Unsupported_width} when a native
     binary cannot be generated at the requested width. *)
+
+val config_of : ?translation_cpi:int -> variant -> Cpu.config
+(** The machine configuration a variant runs on — the single source of
+    truth shared by {!run}, the CLI and the benchmarks. [Liquid_vla]
+    and [Liquid_vla_oracle] select {!Liquid_translate.Backend.vla};
+    every other variant keeps the fixed-width backend. *)
 
 val run :
   ?translation_cpi:int ->

@@ -1,6 +1,16 @@
-type params = { lanes : int; registers : int; buffer_entries : int }
+type target = Fixed_width | Vla
 
-let default_params = { lanes = 8; registers = 16; buffer_entries = 64 }
+let target_name = function Fixed_width -> "fixed" | Vla -> "vla"
+
+type params = {
+  lanes : int;
+  registers : int;
+  buffer_entries : int;
+  target : target;
+}
+
+let default_params =
+  { lanes = 8; registers = 16; buffer_entries = 64; target = Fixed_width }
 
 type report = {
   params : params;
@@ -9,6 +19,7 @@ type report = {
   regstate_cells : int;
   opgen_cells : int;
   buffer_cells : int;
+  pred_cells : int;
   total_cells : int;
   crit_path_gates : int;
   crit_path_ns : float;
@@ -17,9 +28,9 @@ type report = {
 }
 
 (* Calibration constants (see the interface): chosen so that the default
-   8-wide / 16-register / 64-entry configuration totals exactly the
-   174,117 cells, 16 gates and 1.51 ns of the paper's Table 2, with the
-   register state at 55% of the area. *)
+   8-wide / 16-register / 64-entry fixed-width configuration totals
+   exactly the 174,117 cells, 16 gates and 1.51 ns of the paper's
+   Table 2, with the register state at 55% of the area. *)
 
 let decoder_cells_const = 3_009
 let legality_cells_const = 300
@@ -30,6 +41,19 @@ let buffer_storage_per_entry = 540 (* 32 bits of microcode storage *)
 let buffer_align_per_entry = 492 (* alignment / collapse network *)
 let gate_delay_ns = 1.51 /. 16.0
 let cell_area_mm2 = 1.1e-6
+
+(* VLA additions (not in the paper; scaled from the same cell library):
+   a whilelt comparator (32-bit subtract + clamp against the lane
+   count), a small predicate file storing one active-lane count per
+   predicate register (log2(lanes)+1 bits each, plus read muxing), and
+   the widened opcode generator that inserts the governing-predicate
+   field into every emitted vector operation. *)
+
+let vla_whilelt_cells = 900
+let vla_predfile_base_per_preg = 120
+let vla_predfile_per_preg_per_log_lane = 24
+let vla_opgen_extra = 600
+let vla_pred_count = 8
 
 let log2_ceil n =
   let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
@@ -44,17 +68,34 @@ let estimate params =
     params.registers
     * (regstate_base_per_reg + (regstate_per_reg_per_lane * params.lanes))
   in
-  let opgen_cells = opgen_cells_const in
+  let opgen_cells =
+    opgen_cells_const
+    + (match params.target with Fixed_width -> 0 | Vla -> vla_opgen_extra)
+  in
   let buffer_cells =
     params.buffer_entries * (buffer_storage_per_entry + buffer_align_per_entry)
   in
+  let pred_cells =
+    match params.target with
+    | Fixed_width -> 0
+    | Vla ->
+        vla_whilelt_cells
+        + vla_pred_count
+          * (vla_predfile_base_per_preg
+            + (vla_predfile_per_preg_per_log_lane * log2_ceil params.lanes))
+  in
   let total_cells =
-    decoder_cells + legality_cells + regstate_cells + opgen_cells + buffer_cells
+    decoder_cells + legality_cells + regstate_cells + opgen_cells
+    + buffer_cells + pred_cells
   in
   (* 5 gates of partial decode plus the register-state previous-value
      read/conditional-write path, whose mux tree deepens with log2 of
-     the lane count. *)
-  let crit_path_gates = 5 + 8 + log2_ceil params.lanes in
+     the lane count. The VLA target adds one gate: the governing
+     predicate muxed into the emitted operation. *)
+  let crit_path_gates =
+    5 + 8 + log2_ceil params.lanes
+    + (match params.target with Fixed_width -> 0 | Vla -> 1)
+  in
   let crit_path_ns = float_of_int crit_path_gates *. gate_delay_ns in
   {
     params;
@@ -63,6 +104,7 @@ let estimate params =
     regstate_cells;
     opgen_cells;
     buffer_cells;
+    pred_cells;
     total_cells;
     crit_path_gates;
     crit_path_ns;
@@ -72,6 +114,8 @@ let estimate params =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "%d-wide Translator | %d gates | %.2f ns (%.0f MHz) | %d cells | %.3f mm^2"
-    r.params.lanes r.crit_path_gates r.crit_path_ns r.freq_mhz r.total_cells
-    r.area_mm2
+    "%d-wide %sTranslator | %d gates | %.2f ns (%.0f MHz) | %d cells | %.3f \
+     mm^2"
+    r.params.lanes
+    (match r.params.target with Fixed_width -> "" | Vla -> "VLA ")
+    r.crit_path_gates r.crit_path_ns r.freq_mhz r.total_cells r.area_mm2

@@ -24,14 +24,26 @@
     is derived as the residual of the published total, since the
     component figures quoted in the paper's prose slightly overlap. *)
 
+type target =
+  | Fixed_width  (** the paper's Neon-like fixed-width target *)
+  | Vla
+      (** the vector-length-agnostic predicated target: adds a whilelt
+          comparator, a predicate file and a wider opcode generator —
+          costs not in the paper, scaled from the same cell library *)
+
+val target_name : target -> string
+(** ["fixed"] or ["vla"] (the CLI spelling). *)
+
 type params = {
   lanes : int;  (** accelerator vector width *)
   registers : int;  (** architectural integer registers *)
   buffer_entries : int;  (** microcode buffer capacity (instructions) *)
+  target : target;  (** translation target the hardware emits for *)
 }
 
 val default_params : params
-(** 8 lanes, 16 registers, 64 entries — the paper's configuration. *)
+(** 8 lanes, 16 registers, 64 entries, fixed-width — the paper's
+    configuration. *)
 
 type report = {
   params : params;
@@ -40,6 +52,8 @@ type report = {
   regstate_cells : int;
   opgen_cells : int;
   buffer_cells : int;
+  pred_cells : int;
+      (** whilelt comparator + predicate file; 0 for {!Fixed_width} *)
   total_cells : int;
   crit_path_gates : int;
   crit_path_ns : float;

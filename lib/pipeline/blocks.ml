@@ -78,6 +78,9 @@ type suop =
       shift : int;
     }
   | Svec of Vinsn.exec
+  | Svla of Vla.exec
+      (** predicated / length-agnostic uop (microcode replay only: image
+          code never contains them) *)
 
 type term =
   | T_fall of int  (** fallthrough into a step-handled pc or next block *)
@@ -483,6 +486,9 @@ let[@inline] exec_uop eng u =
   | Svec v ->
       Sem.exec_vector ctx v;
       charge_scratch eng
+  | Svla p ->
+      Sem.exec_vla ctx p;
+      charge_scratch eng
 
 (* A micro-op raised mid-block (only [Svec] can: Sigill on an
    unsupported permutation or mismatched constant width). Re-apply the
@@ -664,6 +670,15 @@ let compile_useg eng uc j =
         charges := vector_charge eng ~lanes:width v :: !charges;
         incr nu;
         incr i
+    | Ucode.UP p ->
+        acc := Svla p :: !acc;
+        charges :=
+          (match p with
+          | Vla.Pred { v; _ } -> vector_charge eng ~lanes:width v
+          | Vla.Whilelt _ | Vla.Incvl _ -> 1)
+          :: !charges;
+        incr nu;
+        incr i
     | Ucode.UB { cond; target } -> term := Some (`B (cond, !i, target))
     | Ucode.URet -> term := Some `Ret
   done;
@@ -679,7 +694,11 @@ let compile_useg eng uc j =
       List.iteri (fun k c -> us_charge.(k) <- c) (List.rev !charges);
       let vectors =
         Array.fold_left
-          (fun a u -> match u with Svec _ -> a + 1 | _ -> a)
+          (fun a u ->
+            match u with
+            | Svec _ -> a + 1
+            | Svla p when Vla.is_vector p -> a + 1
+            | _ -> a)
           0 us_uops
       in
       Some
@@ -719,6 +738,7 @@ let repair_useg eng seg k =
   for j = 0 to k do
     (match seg.us_uops.(j) with
     | Svec _ -> incr vectors
+    | Svla p when Vla.is_vector p -> incr vectors
     | _ -> incr scalars);
     cyc := !cyc + seg.us_charge.(j)
   done;

@@ -50,6 +50,7 @@ type fault_hooks = {
 type config = {
   accel_lanes : int option;
   translator : translation option;
+  backend : Backend.t;
   icache : Cache.config option;
   dcache : Cache.config option;
   mem_latency : int;
@@ -70,6 +71,7 @@ let scalar_config =
   {
     accel_lanes = None;
     translator = None;
+    backend = Backend.fixed;
     icache = Some Cache.arm926_config;
     dcache = Some Cache.arm926_config;
     mem_latency = 30;
@@ -424,6 +426,28 @@ let run_ucode st ~entry ~stamp (u : Ucode.t) =
         Sem.exec_vector st.ctx v;
         charge_accesses st;
         incr ui
+    | Ucode.UP p ->
+        fuel_check st;
+        (* Predicate/counter management is loop-control overhead and
+           accounts as scalar work; a predicated datapath op is vector
+           work with the same static (full-width) charges as its
+           unpredicated form — predication masks lanes, it does not
+           shorten the machine's bus or issue timing. *)
+        (match p with
+        | Vla.Pred { v; _ } ->
+            st.stats.Stats.vector_insns <- st.stats.Stats.vector_insns + 1;
+            charge st 1;
+            (match v with
+            | Vinsn.Vdp { op = Opcode.Mul; _ } -> charge st st.cfg.mul_extra
+            | Vinsn.Vred _ -> charge st 1
+            | _ -> ());
+            charge_vector_mem st v
+        | Vla.Whilelt _ | Vla.Incvl _ ->
+            st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
+            charge st 1);
+        Sem.exec_vla st.ctx p;
+        charge_accesses st;
+        incr ui
     | Ucode.UB { cond; target } ->
         fuel_check st;
         st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
@@ -457,7 +481,8 @@ let oracle_lookup st target =
           | Some lanes, Some _ -> (
               match
                 Offline.translate_region_result ~max_uops:st.cfg.max_uops
-                  ~state:st.ctx ~image:st.image ~lanes ~entry:target ()
+                  ~backend:st.cfg.backend ~state:st.ctx ~image:st.image ~lanes
+                  ~entry:target ()
               with
               | Ok (Translator.Translated u) ->
                   (region_acc st target).outcome <-
@@ -535,6 +560,7 @@ let region_call st ~pc ~target =
                                | Some l -> l
                                | None -> assert false);
                              max_uops = st.cfg.max_uops;
+                             backend = st.cfg.backend;
                            };
                        s_entry = target;
                        s_start_cycle = now;

@@ -82,6 +82,12 @@ type trace_event =
 type config = {
   accel_lanes : int option;
   translator : translation option;
+  backend : Backend.t;
+      (** translation target the accelerator implements: the fixed-width
+          Neon-like ISA ({!Backend.fixed}, the default) or the
+          vector-length-agnostic predicated ISA ({!Backend.vla}). Every
+          translator session — live or oracle — emits microcode through
+          this backend. *)
   icache : Cache.config option;
   dcache : Cache.config option;
   mem_latency : int;

@@ -5,7 +5,8 @@ module Memory = Liquid_machine.Memory
 
 let step_budget = 5_000_000
 
-let translate_region_result ?(max_uops = 64) ?state ~image ~lanes ~entry () =
+let translate_region_result ?(max_uops = 64) ?(backend = Backend.fixed) ?state
+    ~image ~lanes ~entry () =
   let mem =
     match state with
     | Some (live : Sem.ctx) -> Memory.copy live.Sem.mem
@@ -20,7 +21,7 @@ let translate_region_result ?(max_uops = 64) ?state ~image ~lanes ~entry () =
       Array.blit live.Sem.regs 0 ctx.Sem.regs 0 (Array.length live.Sem.regs);
       ctx.Sem.flags <- live.Sem.flags
   | None -> ());
-  let tr = Translator.create { Translator.lanes; max_uops } in
+  let tr = Translator.create { Translator.lanes; max_uops; backend } in
   let pc = ref entry in
   let steps = ref 0 in
   let failure = ref None in
@@ -50,13 +51,15 @@ let translate_region_result ?(max_uops = 64) ?state ~image ~lanes ~entry () =
   | Some d -> Error d
   | None -> Ok (Translator.finish tr)
 
-let translate_region ?max_uops ?state ~image ~lanes ~entry () =
-  match translate_region_result ?max_uops ?state ~image ~lanes ~entry () with
+let translate_region ?max_uops ?backend ?state ~image ~lanes ~entry () =
+  match
+    translate_region_result ?max_uops ?backend ?state ~image ~lanes ~entry ()
+  with
   | Ok r -> r
   | Error d -> raise (Diag.Error d)
 
-let translate_all ?max_uops ~image ~lanes () =
+let translate_all ?max_uops ?backend ~image ~lanes () =
   List.map
     (fun (entry, label) ->
-      (entry, label, translate_region ?max_uops ~image ~lanes ~entry ()))
+      (entry, label, translate_region ?max_uops ?backend ~image ~lanes ~entry ()))
     image.Image.region_entries

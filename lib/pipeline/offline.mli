@@ -21,19 +21,19 @@ open Liquid_prog
 open Liquid_translate
 
 val translate_region_result :
-  ?max_uops:int -> ?state:Sem.ctx -> image:Image.t -> lanes:int ->
-  entry:int -> unit -> (Translator.result, Diag.t) result
+  ?max_uops:int -> ?backend:Backend.t -> ?state:Sem.ctx -> image:Image.t ->
+  lanes:int -> entry:int -> unit -> (Translator.result, Diag.t) result
 (** [Error diag] when the region never returns within a generous
     instruction budget, escapes the image, or contains vector
     instructions. A translation {e abort} is not an error: it comes back
-    as [Ok (Aborted _)]. *)
+    as [Ok (Aborted _)]. [backend] defaults to {!Backend.fixed}. *)
 
 val translate_region :
-  ?max_uops:int -> ?state:Sem.ctx -> image:Image.t -> lanes:int ->
-  entry:int -> unit -> Translator.result
+  ?max_uops:int -> ?backend:Backend.t -> ?state:Sem.ctx -> image:Image.t ->
+  lanes:int -> entry:int -> unit -> Translator.result
 (** {!translate_region_result}, raising {!Diag.Error} on [Error]. *)
 
 val translate_all :
-  ?max_uops:int -> image:Image.t -> lanes:int -> unit ->
+  ?max_uops:int -> ?backend:Backend.t -> image:Image.t -> lanes:int -> unit ->
   (int * string * Translator.result) list
 (** Translate every region entry of the image. *)

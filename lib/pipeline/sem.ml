@@ -11,6 +11,9 @@ type ctx = {
   regs : int array;
   mutable flags : Flags.t;
   vregs : int array array;
+  preds : int array;
+      (* active-lane count per predicate register; [whilelt] only ever
+         produces prefix predicates, so a count is a full representation *)
   mutable lanes : int;
   mem : Memory.t;
   (* Scratch effect of the most recent [exec_scalar]/[exec_vector]. A
@@ -32,6 +35,7 @@ let create_ctx mem =
     regs = Array.make Reg.count 0;
     flags = Flags.initial;
     vregs = Array.init Vreg.count (fun _ -> Array.make max_lanes 0);
+    preds = Array.make Vla.preg_count 0;
     lanes = max_lanes;
     mem;
     e_value = no_value;
@@ -328,6 +332,131 @@ let exec_vector ctx vinsn =
       let v = Opcode.eval op ctx.regs.(Reg.index acc) !folded in
       ctx.regs.(Reg.index acc) <- v;
       ctx.e_value <- v
+
+(* Predicated (vector-length-agnostic) execution. Only prefix predicates
+   exist — [k] active lanes 0..k-1 — with zeroing semantics: inactive
+   destination lanes are cleared, inactive load/store lanes touch no
+   memory, reductions fold active lanes only. The common full-predicate
+   case delegates to {!exec_vector} so the two paths cannot drift. *)
+let exec_vector_masked ctx ~k vinsn =
+  let w = ctx.lanes in
+  match vinsn with
+  | Vinsn.Vld { esize; signed; dst; base; index } ->
+      let bytes = Esize.bytes esize in
+      let d = ctx.vregs.(Vreg.index dst) in
+      if k > 0 then begin
+        let first = ctx.regs.(Reg.index index) in
+        let start = Word.add (base_value base ctx) (Word.mul first bytes) in
+        Memory.read_block ctx.mem ~addr:start ~len:(k * bytes) ctx.blk;
+        decode_lanes ctx d ~w:k ~bytes ~signed;
+        add_access ctx start (k * bytes) false
+      end;
+      Array.fill d k (w - k) 0
+  | Vinsn.Vst { esize; src; base; index } ->
+      if k > 0 then begin
+        let bytes = Esize.bytes esize in
+        let first = ctx.regs.(Reg.index index) in
+        let start = Word.add (base_value base ctx) (Word.mul first bytes) in
+        let s = ctx.vregs.(Vreg.index src) in
+        encode_lanes ctx s ~w:k ~bytes;
+        Memory.write_block ctx.mem ~addr:start ~len:(k * bytes) ctx.blk;
+        add_access ctx start (k * bytes) true
+      end
+  | Vinsn.Vlds { esize; signed; dst; base; index; stride; phase } ->
+      let bytes = Esize.bytes esize in
+      let d = ctx.vregs.(Vreg.index dst) in
+      if k > 0 then begin
+        let first = ctx.regs.(Reg.index index) in
+        let base_addr = base_value base ctx in
+        for i = 0 to k - 1 do
+          let elem = (stride * (first + i)) + phase in
+          d.(i) <-
+            Memory.read ctx.mem ~addr:(base_addr + (elem * bytes)) ~bytes ~signed
+        done;
+        let start = base_addr + (((stride * first) + phase) * bytes) in
+        add_access ctx start (((stride * (k - 1)) + 1) * bytes) false
+      end;
+      Array.fill d k (w - k) 0
+  | Vinsn.Vsts { esize; src; base; index; stride; phase } ->
+      if k > 0 then begin
+        let bytes = Esize.bytes esize in
+        let first = ctx.regs.(Reg.index index) in
+        let base_addr = base_value base ctx in
+        let s = ctx.vregs.(Vreg.index src) in
+        for i = 0 to k - 1 do
+          let elem = (stride * (first + i)) + phase in
+          Memory.write ctx.mem ~addr:(base_addr + (elem * bytes)) ~bytes s.(i)
+        done;
+        let start = base_addr + (((stride * first) + phase) * bytes) in
+        add_access ctx start (((stride * (k - 1)) + 1) * bytes) true
+      end
+  | Vinsn.Vgather { esize; signed; dst; base; index_v } ->
+      let bytes = Esize.bytes esize in
+      let base_addr = base_value base ctx in
+      let idx = ctx.vregs.(Vreg.index index_v) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      let tmp = ctx.gather_tmp in
+      for i = 0 to k - 1 do
+        let addr = base_addr + (idx.(i) * bytes) in
+        tmp.(i) <- Memory.read ctx.mem ~addr ~bytes ~signed;
+        add_access ctx addr bytes false
+      done;
+      Array.blit tmp 0 d 0 k;
+      Array.fill d k (w - k) 0
+  | Vinsn.Vdp { op; dst; src1; src2 } ->
+      let a = ctx.vregs.(Vreg.index src1) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      for i = 0 to k - 1 do
+        d.(i) <- Opcode.eval op a.(i) (vsrc_lane ctx src2 i)
+      done;
+      Array.fill d k (w - k) 0
+  | Vinsn.Vsat { op; esize; signed; dst; src1; src2 } ->
+      let a = ctx.vregs.(Vreg.index src1) in
+      let b = ctx.vregs.(Vreg.index src2) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      let f = match op with `Add -> Word.sat_add | `Sub -> Word.sat_sub in
+      for i = 0 to k - 1 do
+        d.(i) <- f esize ~signed a.(i) b.(i)
+      done;
+      Array.fill d k (w - k) 0
+  | Vinsn.Vperm _ ->
+      (* The VLA backend aborts permutation regions
+         (Unportable_permutation), so a predicated permutation can only
+         mean corrupted microcode. *)
+      raise (Sigill "predicated permutation")
+  | Vinsn.Vred { op; acc; src } ->
+      if k > 0 then begin
+        let s = ctx.vregs.(Vreg.index src) in
+        let folded = ref s.(0) in
+        for i = 1 to k - 1 do
+          folded := Opcode.eval op !folded s.(i)
+        done;
+        let v = Opcode.eval op ctx.regs.(Reg.index acc) !folded in
+        ctx.regs.(Reg.index acc) <- v;
+        ctx.e_value <- v
+      end
+
+let exec_vla ctx (p : Vla.exec) =
+  match p with
+  | Vla.Whilelt { pred; counter; bound } ->
+      clear_effect ctx;
+      let c = ctx.regs.(Reg.index counter) in
+      let k = bound - c in
+      let k = if k < 0 then 0 else if k > ctx.lanes then ctx.lanes else k in
+      ctx.preds.(Vla.preg_index pred) <- k;
+      ctx.flags <- Flags.of_compare c bound
+  | Vla.Incvl { dst } ->
+      clear_effect ctx;
+      let v = Word.add ctx.regs.(Reg.index dst) ctx.lanes in
+      ctx.regs.(Reg.index dst) <- v;
+      ctx.e_value <- v
+  | Vla.Pred { pred; v } ->
+      let k = ctx.preds.(Vla.preg_index pred) in
+      if k >= ctx.lanes then exec_vector ctx v
+      else begin
+        clear_effect ctx;
+        exec_vector_masked ctx ~k v
+      end
 
 let step_vector ctx vinsn =
   exec_vector ctx vinsn;

@@ -20,6 +20,10 @@ type ctx = {
   regs : int array;  (** 16 scalar registers *)
   mutable flags : Flags.t;
   vregs : int array array;  (** 16 vector registers x maximum lanes *)
+  preds : int array;
+      (** predicate registers of the VLA target, each stored as its
+          active-lane count — [whilelt] only ever produces prefix
+          predicates, so the count is a complete representation *)
   mutable lanes : int;  (** active vector width for vector instructions *)
   mem : Liquid_machine.Memory.t;
   mutable e_value : int;
@@ -67,6 +71,17 @@ val exec_vector : ctx -> Vinsn.exec -> unit
     / [write_block] as one span. Raises {!Sigill} on a permutation
     unsupported at that width or a constant vector of mismatched
     length. *)
+
+val exec_vla : ctx -> Vla.exec -> unit
+(** Executes one vector-length-agnostic operation. [Whilelt] writes the
+    predicate's active-lane count ([min (max (bound - counter) 0) lanes])
+    and sets the flags from the signed comparison of counter and bound;
+    [Incvl] advances its register by the active lane count; [Pred]
+    executes the wrapped vector instruction under the governing
+    predicate with zeroing semantics — a full predicate delegates to
+    {!exec_vector}, a partial one loads/stores only active elements,
+    zeroes inactive destination lanes, and folds reductions over active
+    lanes only. Raises {!Sigill} on a predicated permutation. *)
 
 val last_effect : ctx -> effect
 (** Materializes the scratch effect of the most recent [exec_*] call as

@@ -126,16 +126,14 @@ let check_aliasing t =
     (Ok ()) syms
 
 let validate t =
-  (* Loops are compiled to the maximum vectorizable length (16), except
-     that loops over inherently shorter vectors (e.g. 8-element media
-     blocks) may be a multiple of 8 — they then translate at effective
-     width 8 even on wider hardware, which is the paper's MPEG2
-     behaviour. Permutation periods must divide the trip count. *)
-  let* () =
-    check
-      (t.count > 0 && t.count mod 8 = 0)
-      (t.name ^ ": count must be a positive multiple of 8")
-  in
+  (* Any positive trip count is legal scalar code. Whether it also
+     vectorizes is the translator's call, per backend: the fixed-width
+     target needs a width dividing the count (so non-multiples abort to
+     scalar, the always-safe fallback), while the VLA target predicates
+     the final iteration and takes any count. Permutation periods must
+     still divide the trip count — a torn permutation is wrong at any
+     width. *)
+  let* () = check (t.count > 0) (t.name ^ ": count must be positive") in
   let* () =
     List.fold_left
       (fun acc vi ->

@@ -41,11 +41,13 @@ val scratch : Reg.t
 (** r13, reserved for the scalarizer's offset/constant temporaries. *)
 
 val loops : program -> t list
+(** The vector loops of a program, in section order. *)
 
 val validate : t -> (unit, string) result
-(** Register-convention and alignment checks: count is a positive
-    multiple of 8 (16 for full-width loops; 8-element media loops
-    translate at effective width 8) and of every permutation period;
+(** Register-convention and alignment checks: count is positive (any
+    positive count is legal scalar code — fixed-width translation then
+    needs a width dividing it, while the VLA backend predicates the
+    final iteration) and a multiple of every permutation period;
     vector registers are within v1..v11; memory indices are the
     induction register; strides are 2 or 4 with in-range phases;
     reduction accumulators avoid r0, r12, r13, r14, r15 and do not
@@ -53,4 +55,8 @@ val validate : t -> (unit, string) result
     and no wider than 16. *)
 
 val validate_program : program -> (unit, string) result
+(** {!validate} over every loop, plus program-level checks (distinct
+    loop names, data symbols resolved). *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints the loop's IR: name, trip count, body and reductions. *)

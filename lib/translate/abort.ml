@@ -9,13 +9,15 @@ type t =
   | Bad_trip_count
   | Inconsistent_iteration of string
   | Dangling_address_combine
+  | Unportable_permutation
   | External_abort
 
 let permanent = function
   | External_abort -> false
   | Illegal_insn _ | Unknown_permutation | Non_periodic_offsets
   | Unrepresentable_value | Buffer_overflow | No_loop | No_induction
-  | Bad_trip_count | Inconsistent_iteration _ | Dangling_address_combine ->
+  | Bad_trip_count | Inconsistent_iteration _ | Dangling_address_combine
+  | Unportable_permutation ->
       true
 
 (* One representative per constructor, for exhaustive fault-injection
@@ -34,6 +36,7 @@ let all =
     Bad_trip_count;
     Inconsistent_iteration "injected";
     Dangling_address_combine;
+    Unportable_permutation;
     External_abort;
   ]
 
@@ -48,6 +51,7 @@ let class_name = function
   | Bad_trip_count -> "bad-trip-count"
   | Inconsistent_iteration _ -> "inconsistent-iteration"
   | Dangling_address_combine -> "dangling-address-combine"
+  | Unportable_permutation -> "unportable-permutation"
   | External_abort -> "external-abort"
 
 let to_string = function
@@ -61,6 +65,7 @@ let to_string = function
   | Bad_trip_count -> "bad trip count"
   | Inconsistent_iteration s -> "inconsistent iteration: " ^ s
   | Dangling_address_combine -> "dangling address combine"
+  | Unportable_permutation -> "permutation has no length-agnostic encoding"
   | External_abort -> "external abort"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

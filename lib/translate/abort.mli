@@ -25,6 +25,11 @@ type t =
       (** a later iteration's instruction stream diverged from the first *)
   | Dangling_address_combine
       (** an induction+offset combine whose result never reached memory *)
+  | Unportable_permutation
+      (** the region needs a cross-lane permutation, which the
+          vector-length-agnostic backend cannot encode: under a partial
+          predicate an active lane could read an inactive (undefined)
+          one, so the VLA target refuses the region instead *)
   | External_abort  (** context switch or interrupt (paper §4.1) *)
 
 val permanent : t -> bool

@@ -1,0 +1,92 @@
+open Liquid_isa
+open Liquid_visa
+
+type kind = Fixed | Vla
+
+module type S = sig
+  val kind : kind
+  val name : string
+  val effective_width : lanes:int -> trips:int -> (int, Abort.t) result
+  val supports_permutation : bool
+  val loop_header : induction:Reg.t -> bound:int -> Ucode.uop list
+  val body_vector : Vinsn.exec -> Ucode.uop
+  val induction_step : dst:Reg.t -> width:int -> Ucode.uop
+  val trip_compare : insn:Insn.exec -> induction:Reg.t -> bound:int -> Ucode.uop
+end
+
+type t = (module S)
+
+module Fixed_width : S = struct
+  let kind = Fixed
+  let name = "fixed"
+
+  (* The widest lane count [2 <= w <= lanes] dividing the trip count: a
+     binary compiled for the maximum vectorizable width still maps onto
+     narrower accelerators, and short-vector loops map onto wider
+     hardware at reduced width. *)
+  let effective_width ~lanes ~trips =
+    let rec go w =
+      if w < 2 then Error Abort.Bad_trip_count
+      else if trips mod w = 0 then Ok w
+      else go (w / 2)
+    in
+    go lanes
+
+  let supports_permutation = true
+  let loop_header ~induction:_ ~bound:_ = []
+  let body_vector v = Ucode.UV v
+
+  let induction_step ~dst ~width =
+    Ucode.US
+      (Insn.Dp
+         {
+           cond = Cond.Al;
+           op = Opcode.Add;
+           dst;
+           src1 = dst;
+           src2 = Insn.Imm width;
+         })
+
+  let trip_compare ~insn ~induction:_ ~bound:_ = Ucode.US insn
+end
+
+module Vla_target : S = struct
+  let kind = Vla
+  let name = "vla"
+
+  (* Predication absorbs any remainder: the loop always runs at the full
+     hardware width, with ceil(trips / lanes) predicated iterations and
+     no divisibility requirement. *)
+  let effective_width ~lanes ~trips =
+    if trips > 0 then Ok lanes else Error Abort.Bad_trip_count
+
+  let supports_permutation = false
+
+  let loop_header ~induction ~bound =
+    [ Ucode.UP (Vla.Whilelt { pred = Vla.p0; counter = induction; bound }) ]
+
+  let body_vector v = Ucode.UP (Vla.Pred { pred = Vla.p0; v })
+  let induction_step ~dst ~width:_ = Ucode.UP (Vla.Incvl { dst })
+
+  let trip_compare ~insn:_ ~induction ~bound =
+    Ucode.UP (Vla.Whilelt { pred = Vla.p0; counter = induction; bound })
+end
+
+let fixed : t = (module Fixed_width)
+let vla : t = (module Vla_target)
+let all = [ fixed; vla ]
+
+let kind_of (b : t) =
+  let module B = (val b) in
+  B.kind
+
+let name_of (b : t) =
+  let module B = (val b) in
+  B.name
+
+let of_string = function
+  | "fixed" -> Some fixed
+  | "vla" -> Some vla
+  | _ -> None
+
+let pp ppf b = Format.pp_print_string ppf (name_of b)

@@ -1,0 +1,78 @@
+(** Translation backends: the accelerator targets microcode is emitted
+    for.
+
+    The translator's DFA — register classification, Table 3 rule
+    selection, legality checks, iteration verification — is target
+    independent: it recognizes {e what} a scalar loop computes. What
+    differs between accelerator generations is {e how} the recognized
+    loop is re-encoded, and that difference is captured here as a
+    first-class module consulted only at {!Translator.finish} time:
+
+    - the {e fixed-width} target (the paper's Neon-like accelerator)
+      picks the widest lane count dividing the trip count and steps the
+      induction variable by it — a non-dividing trip count aborts;
+    - the {e vector-length-agnostic} target ({!Liquid_visa.Vla}) always
+      runs at full hardware width under a [whilelt] governing predicate,
+      so any positive trip count translates and the final iteration may
+      be partial.
+
+    Both backends share every abort class except
+    {!Abort.Unportable_permutation}, which only the VLA target raises
+    (cross-lane permutations cannot be predicated soundly). *)
+
+open Liquid_isa
+open Liquid_visa
+
+type kind = Fixed | Vla
+
+(** A backend supplies the width policy and the four emission points
+    where fixed-width and length-agnostic microcode differ. *)
+module type S = sig
+  val kind : kind
+
+  val name : string
+  (** Stable CLI / report name ("fixed", "vla"). *)
+
+  val effective_width : lanes:int -> trips:int -> (int, Abort.t) result
+  (** Lane count to translate for, or the abort to raise. *)
+
+  val supports_permutation : bool
+  (** When [false], a region that needs a cross-lane permutation aborts
+      with {!Abort.Unportable_permutation} instead of consulting the
+      permutation CAM. *)
+
+  val loop_header : induction:Reg.t -> bound:int -> Ucode.uop list
+  (** Uops inserted once, immediately before the first loop-body uop
+      (the back-edge target): the VLA backend computes the initial
+      governing predicate here. *)
+
+  val body_vector : Vinsn.exec -> Ucode.uop
+  (** Encoding of a loop-body vector operation (the VLA backend wraps it
+      in the governing predicate). *)
+
+  val induction_step : dst:Reg.t -> width:int -> Ucode.uop
+  (** Encoding of the induction-variable advance ([add #width] wide
+      versus [incvl]). *)
+
+  val trip_compare : insn:Insn.exec -> induction:Reg.t -> bound:int -> Ucode.uop
+  (** Encoding of the loop's trip-count compare. [insn] is the original
+      scalar compare; the VLA backend replaces it with a [whilelt] that
+      both recomputes the predicate and sets the flags the back-edge
+      branch reads. *)
+end
+
+type t = (module S)
+
+val fixed : t
+val vla : t
+
+val all : t list
+(** Both backends, for sweeps. *)
+
+val kind_of : t -> kind
+val name_of : t -> string
+
+val of_string : string -> t option
+(** Parse a CLI name ("fixed" or "vla"). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,9 +1,10 @@
 open Liquid_isa
 open Liquid_visa
 
-type config = { lanes : int; max_uops : int }
+type config = { lanes : int; max_uops : int; backend : Backend.t }
 
-let default_config ~lanes = { lanes; max_uops = 64 }
+let default_config ?(backend = Backend.fixed) ~lanes () =
+  { lanes; max_uops = 64; backend }
 
 type result = Translated of Ucode.t | Aborted of Abort.t
 
@@ -722,6 +723,11 @@ let periodic values width trips =
 
 let resolve_perm t ~width ~trips slot =
   match slot.content with
+  | Cperm _
+    when not
+           (let module B = (val t.cfg.backend) in
+            B.supports_permutation) ->
+      fail t Abort.Unportable_permutation
   | Cperm { dst; src; lineage; scatter } -> (
       match stream_values t lineage with
       | None -> fail t (Abort.Illegal_insn "missing offset stream")
@@ -782,8 +788,12 @@ let resolve_const_operand t ~width ~trips slot =
             && Array.for_all (fun v -> fits_signed_bits v 16) values
             && periodic values width trips
           then begin
+            (* Under the VLA backend the width can exceed the trip count
+               (short loops); lanes past the observed elements are never
+               active, so pad them with zero. *)
+            let lane j = if j < Array.length values then values.(j) else 0 in
             slot.content <-
-              Cv (Vinsn.Vdp { dp with src2 = VConst (Array.sub values 0 width) });
+              Cv (Vinsn.Vdp { dp with src2 = VConst (Array.init width lane) });
             (* Remove the now-dead load of the constant array if nothing
                else consumes it — the paper's alignment-network
                collapse. *)
@@ -795,11 +805,8 @@ let resolve_const_operand t ~width ~trips slot =
           end)
   | _, _ -> ()
 
-let effective_width ~lanes ~trips =
-  let rec go w = if w < 2 then None else if trips mod w = 0 then Some w else go (w / 2) in
-  go lanes
-
 let finish t =
+  let module B = (val t.cfg.backend) in
   (if t.failure = None && not t.saw_ret then
      fail t (Abort.Inconsistent_iteration "region closed without return"));
   (if t.failure = None then
@@ -814,10 +821,10 @@ let finish t =
      | Some b when b = trips -> ()
      | Some _ | None -> fail t (Abort.Inconsistent_iteration "trip count"));
   let width =
-    match effective_width ~lanes:t.cfg.lanes ~trips with
-    | Some w -> w
-    | None ->
-        if t.failure = None then fail t Abort.Bad_trip_count;
+    match B.effective_width ~lanes:t.cfg.lanes ~trips with
+    | Ok w -> w
+    | Error reason ->
+        if t.failure = None then fail t reason;
         0
   in
   if t.failure = None then begin
@@ -830,31 +837,35 @@ let finish t =
   | Some reason -> Aborted reason
   | None ->
       (* Compact valid slots into the final microcode, remapping the
-         back-edge to the first surviving slot of the loop body. *)
+         back-edge to the first surviving slot of the loop body. The
+         backend decides the encoding of the loop machinery: the header
+         (if any) lands just before the back-edge target, and the
+         trip-count compare, induction step and body vector ops are
+         re-encoded through its emission hooks. *)
+      let induction =
+        match t.induction with Some r -> r | None -> assert false
+      in
+      let bound = match t.bound with Some b -> b | None -> assert false in
       let uops = Vec.create () in
       let target = ref 0 in
       let target_found = ref false in
       Vec.iteri
         (fun _ s ->
           if s.valid then begin
-            if (not !target_found) && s.pc >= t.loop_top_pc then begin
+            let in_body = s.pc >= t.loop_top_pc in
+            if (not !target_found) && in_body then begin
+              List.iter (Vec.push uops) (B.loop_header ~induction ~bound);
               target := Vec.length uops;
               target_found := true
             end;
             let uop =
               match s.content with
+              | Cs (Insn.Cmp _ as i) when in_body ->
+                  B.trip_compare ~insn:i ~induction ~bound
               | Cs i -> Ucode.US i
+              | Cv v when in_body -> B.body_vector v
               | Cv v -> Ucode.UV v
-              | Cinc r ->
-                  Ucode.US
-                    (Insn.Dp
-                       {
-                         cond = Cond.Al;
-                         op = Opcode.Add;
-                         dst = r;
-                         src1 = r;
-                         src2 = Imm width;
-                       })
+              | Cinc r -> B.induction_step ~dst:r ~width
               | Cb cond -> Ucode.UB { cond; target = 0 }
               | Cperm _ -> assert false
             in
@@ -868,7 +879,7 @@ let finish t =
           match u with
           | Ucode.UB { cond; target = _ } ->
               arr.(i) <- Ucode.UB { cond; target = !target }
-          | Ucode.US _ | Ucode.UV _ | Ucode.URet -> ())
+          | Ucode.US _ | Ucode.UV _ | Ucode.UP _ | Ucode.URet -> ())
         arr;
       if Array.length arr > t.cfg.max_uops then Aborted Abort.Buffer_overflow
       else
@@ -876,6 +887,7 @@ let finish t =
           {
             Ucode.uops = arr;
             width;
+            vla = (B.kind = Backend.Vla);
             source_insns = Vec.length t.build_events;
             observed_insns = t.observed;
           }

@@ -28,18 +28,22 @@
     the per-iteration values; [finish] resolves permutations against the
     CAM, folds periodic constant vectors, and fixes the induction step.
 
-    Width adaptation: translation targets the widest lane count [w] with
-    [2 <= w <= lanes] that divides the loop trip count, so a binary
-    compiled for the maximum vectorizable width still maps onto narrower
-    accelerators, and short-vector loops map onto wider hardware at
-    reduced width. *)
+    Width adaptation is the {!Backend}'s policy. The fixed-width target
+    translates for the widest lane count [w] with [2 <= w <= lanes] that
+    divides the loop trip count, so a binary compiled for the maximum
+    vectorizable width still maps onto narrower accelerators, and
+    short-vector loops map onto wider hardware at reduced width. The
+    vector-length-agnostic target always translates at the full lane
+    count and lets the governing predicate absorb the remainder. *)
 
 type config = {
   lanes : int;  (** accelerator lane count (2, 4, 8 or 16) *)
   max_uops : int;  (** microcode buffer capacity; the paper uses 64 *)
+  backend : Backend.t;  (** the accelerator target microcode is emitted for *)
 }
 
-val default_config : lanes:int -> config
+val default_config : ?backend:Backend.t -> lanes:int -> unit -> config
+(** [max_uops = 64]; [backend] defaults to {!Backend.fixed}. *)
 
 type result = Translated of Ucode.t | Aborted of Abort.t
 

@@ -4,12 +4,14 @@ open Liquid_visa
 type uop =
   | US of Insn.exec
   | UV of Vinsn.exec
+  | UP of Vla.exec
   | UB of { cond : Cond.t; target : int }
   | URet
 
 type t = {
   uops : uop array;
   width : int;
+  vla : bool;
   source_insns : int;
   observed_insns : int;
 }
@@ -19,6 +21,7 @@ let length t = Array.length t.uops
 let pp_uop ppf = function
   | US i -> Insn.pp_exec ppf i
   | UV v -> Vinsn.pp_exec ppf v
+  | UP p -> Vla.pp_exec ppf p
   | UB { cond; target } ->
       Format.fprintf ppf "b%s u%d"
         (match cond with Cond.Al -> "" | c -> Cond.suffix c)
@@ -26,7 +29,8 @@ let pp_uop ppf = function
   | URet -> Format.pp_print_string ppf "ret"
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>; microcode (%d-wide, %d uops)@ " t.width
+  Format.fprintf ppf "@[<v>; microcode (%d-wide%s, %d uops)@ " t.width
+    (if t.vla then " vla" else "")
     (Array.length t.uops);
   Array.iteri (fun i u -> Format.fprintf ppf "u%-3d %a@ " i pp_uop u) t.uops;
   Format.fprintf ppf "@]"

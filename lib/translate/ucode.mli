@@ -12,6 +12,9 @@ open Liquid_visa
 type uop =
   | US of Insn.exec  (** pass-through scalar instruction (never a branch) *)
   | UV of Vinsn.exec
+  | UP of Vla.exec
+      (** predicated / vector-length-agnostic operation — only emitted by
+          the VLA backend *)
   | UB of { cond : Cond.t; target : int }  (** intra-microcode branch *)
   | URet
 
@@ -19,8 +22,11 @@ type t = {
   uops : uop array;
   width : int;
       (** effective lane count the sequence was translated for; at most
-          the accelerator width, and always dividing the loop's trip
-          count *)
+          the accelerator width. For the fixed-width backend it always
+          divides the loop's trip count; for the VLA backend it is the
+          full accelerator width and the final iteration may run under a
+          partial predicate *)
+  vla : bool;  (** translated by the vector-length-agnostic backend *)
   source_insns : int;  (** static scalar instructions of the region *)
   observed_insns : int;  (** dynamic instructions the translator consumed *)
 }

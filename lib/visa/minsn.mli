@@ -7,10 +7,21 @@ open Liquid_isa
 type ('sym, 'lab) t = S of ('sym, 'lab) Insn.t | V of 'sym Vinsn.t
 
 type asm = (string, string) t
+(** Assembly form: data symbols and branch targets are names. *)
+
 type exec = (int, int) t
+(** Executable form: data symbols and branch targets are addresses. *)
 
 val map : sym:('a -> 'c) -> lab:('b -> 'd) -> ('a, 'b) t -> ('c, 'd) t
+(** Rewrite the data-symbol and branch-label representations. *)
+
 val equal_exec : exec -> exec -> bool
+
 val is_vector : ('a, 'b) t -> bool
+(** [true] for [V _]. *)
+
 val pp_asm : Format.formatter -> asm -> unit
+(** Prints assembly syntax with symbolic names. *)
+
 val pp_exec : Format.formatter -> exec -> unit
+(** Prints assembly syntax with resolved addresses. *)

@@ -26,6 +26,7 @@ val pairswap : t
 (** [Rotate {block = 2; by = 1}] — swap adjacent even/odd pairs. *)
 
 val period : t -> int
+(** The block size the pattern is defined over. *)
 
 val well_formed : t -> bool
 (** Period is a power of two in 2..16 and rotation amounts are in range. *)
@@ -38,6 +39,8 @@ val offsets_for : t -> lanes:int -> int array
     be supported at that width. *)
 
 val supported : t -> lanes:int -> bool
+(** Whether a [lanes]-wide accelerator can execute the pattern: the
+    period must divide the lane count. *)
 
 val apply : t -> int array -> int array
 (** Permute a vector whose length is a multiple of the period. *)
@@ -56,4 +59,6 @@ val find_by_offsets : int array -> t option
     them, if any. *)
 
 val equal : t -> t -> bool
+
 val pp : Format.formatter -> t -> unit
+(** Prints the assembly mnemonic, e.g. [rev.4] or [bfly.8]. *)

@@ -79,18 +79,38 @@ type 'sym t =
           loop-carried scalar form in Table 1 category 4. *)
 
 type asm = string t
+(** Assembly form: data symbols are names. *)
+
 type exec = int t
+(** Executable form: data symbols are absolute addresses. *)
 
 val map_sym : ('a -> 'b) -> 'a t -> 'b t
+(** Rewrite the data-symbol representation (layout resolves [asm] to
+    [exec] with it). *)
+
 val defs_vector : 'a t -> Vreg.t list
+(** Vector registers the instruction writes. *)
+
 val uses_vector : 'a t -> Vreg.t list
+(** Vector registers the instruction reads. *)
+
 val defs_scalar : 'a t -> Reg.t list
+(** Scalar registers the instruction writes (reduction accumulators). *)
+
 val uses_scalar : 'a t -> Reg.t list
+(** Scalar registers the instruction reads (indices, accumulators). *)
+
 val equal : ('s -> 's -> bool) -> 's t -> 's t -> bool
+(** Structural equality, parameterized by symbol equality. *)
+
 val equal_exec : exec -> exec -> bool
 
 val pp :
   pp_sym:(Format.formatter -> 'sym -> unit) -> Format.formatter -> 'sym t -> unit
+(** Prints assembly syntax with [pp_sym] for data symbols. *)
 
 val pp_asm : Format.formatter -> asm -> unit
+(** {!pp} with symbolic names. *)
+
 val pp_exec : Format.formatter -> exec -> unit
+(** {!pp} with resolved addresses. *)

@@ -1,0 +1,76 @@
+open Liquid_isa
+
+type preg = int
+
+let preg_count = 8
+let p0 = 0
+let preg_make i =
+  if i < 0 || i >= preg_count then invalid_arg "Vla.preg_make" else i
+let preg_index p = p
+let preg_equal (a : preg) (b : preg) = a = b
+let pp_preg ppf p = Format.fprintf ppf "p%d" p
+
+type 'sym t =
+  | Whilelt of { pred : preg; counter : Reg.t; bound : int }
+  | Pred of { pred : preg; v : 'sym Vinsn.t }
+  | Incvl of { dst : Reg.t }
+
+type asm = string t
+type exec = int t
+
+let map_sym f = function
+  | Whilelt w -> Whilelt w
+  | Pred { pred; v } -> Pred { pred; v = Vinsn.map_sym f v }
+  | Incvl i -> Incvl i
+
+let is_vector = function
+  | Pred _ -> true
+  | Whilelt _ | Incvl _ -> false
+
+let defs_pred = function
+  | Whilelt { pred; _ } -> [ pred ]
+  | Pred _ | Incvl _ -> []
+
+let uses_pred = function
+  | Pred { pred; _ } -> [ pred ]
+  | Whilelt _ | Incvl _ -> []
+
+let defs_vector = function
+  | Pred { v; _ } -> Vinsn.defs_vector v
+  | Whilelt _ | Incvl _ -> []
+
+let uses_vector = function
+  | Pred { v; _ } -> Vinsn.uses_vector v
+  | Whilelt _ | Incvl _ -> []
+
+let defs_scalar = function
+  | Whilelt _ -> []
+  | Pred { v; _ } -> Vinsn.defs_scalar v
+  | Incvl { dst } -> [ dst ]
+
+let uses_scalar = function
+  | Whilelt { counter; _ } -> [ counter ]
+  | Pred { v; _ } -> Vinsn.uses_scalar v
+  | Incvl { dst } -> [ dst ]
+
+let equal eq_sym a b =
+  match (a, b) with
+  | Whilelt x, Whilelt y ->
+      preg_equal x.pred y.pred
+      && Reg.equal x.counter y.counter
+      && x.bound = y.bound
+  | Pred x, Pred y -> preg_equal x.pred y.pred && Vinsn.equal eq_sym x.v y.v
+  | Incvl x, Incvl y -> Reg.equal x.dst y.dst
+  | (Whilelt _ | Pred _ | Incvl _), (Whilelt _ | Pred _ | Incvl _) -> false
+
+let equal_exec a b = equal Int.equal a b
+
+let pp ~pp_sym ppf = function
+  | Whilelt { pred; counter; bound } ->
+      Format.fprintf ppf "whilelt %a, %a, #%d" pp_preg pred Reg.pp counter bound
+  | Pred { pred; v } ->
+      Format.fprintf ppf "%a/z %a" pp_preg pred (Vinsn.pp ~pp_sym) v
+  | Incvl { dst } -> Format.fprintf ppf "incvl %a" Reg.pp dst
+
+let pp_asm ppf t = pp ~pp_sym:Format.pp_print_string ppf t
+let pp_exec ppf t = pp ~pp_sym:(fun ppf a -> Format.fprintf ppf "0x%x" a) ppf t

@@ -1,0 +1,109 @@
+(** Vector-length-agnostic (SVE-style) accelerator instructions.
+
+    The second translation target. Where the fixed-width target
+    ({!Vinsn}) encodes the lane count into the loop structure — the
+    induction step advances by the width, so the trip count must divide
+    evenly — this target never names a width at all. Loop control runs
+    on {e predicate registers}: a [whilelt] instruction compares the
+    induction counter against the trip count and produces a prefix
+    predicate of however many lanes remain, every body operation is
+    guarded by that predicate (inactive lanes are zeroed, loads and
+    stores touch only active elements), and [incvl] advances the counter
+    by the hardware's vector length. A trip count that is not a multiple
+    of the lane width therefore executes as one predicated final
+    iteration instead of a scalar cleanup loop (Stephens et al., {e The
+    ARM Scalable Vector Extension}).
+
+    Because [whilelt] only ever produces prefix predicates (lanes
+    [0..k-1] active), a predicate value is represented throughout the
+    simulator as its active-lane count [k], with
+    [0 <= k <=] the hardware lane count. *)
+
+open Liquid_isa
+
+type preg
+(** A predicate register name ([p0]..[p7]). *)
+
+val preg_count : int
+(** Number of architectural predicate registers (8). *)
+
+val p0 : preg
+(** The governing predicate the translator allocates for loop control. *)
+
+val preg_make : int -> preg
+(** [preg_make i] is [pi]. Raises [Invalid_argument] outside
+    [0..preg_count-1]. *)
+
+val preg_index : preg -> int
+(** The register number: [preg_index (preg_make i) = i]. *)
+
+val preg_equal : preg -> preg -> bool
+
+val pp_preg : Format.formatter -> preg -> unit
+(** Prints the assembly name, e.g. [p0]. *)
+
+(** Like {!Vinsn.t}, the type is polymorphic in the data-symbol
+    representation: symbolic names in assembly form, absolute addresses
+    in executable form. *)
+type 'sym t =
+  | Whilelt of { pred : preg; counter : Reg.t; bound : int }
+      (** [pred := prefix of min(max(bound - counter, 0), lanes) active
+          lanes]; also sets the scalar condition flags from the signed
+          comparison of [counter] with [bound], so the loop back-edge
+          remains an ordinary [b.lt]. *)
+  | Pred of { pred : preg; v : 'sym Vinsn.t }
+      (** [v] executed under governing predicate [pred] with zeroing
+          semantics: inactive destination lanes are cleared, inactive
+          load/store lanes touch no memory, and reductions fold active
+          lanes only. *)
+  | Incvl of { dst : Reg.t }
+      (** [dst := dst + lanes] — advance the element counter by the
+          hardware vector length, whatever it is. *)
+
+type asm = string t
+(** Assembly form: data symbols are names. *)
+
+type exec = int t
+(** Executable form: data symbols are absolute addresses. *)
+
+val map_sym : ('a -> 'b) -> 'a t -> 'b t
+(** Rewrite the data-symbol representation of the wrapped instruction. *)
+
+val is_vector : 'a t -> bool
+(** [true] exactly for {!Pred} — the datapath operations; [Whilelt] and
+    [Incvl] are loop-control overhead and account as scalar work. *)
+
+val defs_pred : 'a t -> preg list
+(** Predicate registers the instruction writes ([Whilelt]). *)
+
+val uses_pred : 'a t -> preg list
+(** Predicate registers the instruction reads ([Pred]). *)
+
+val defs_vector : 'a t -> Vreg.t list
+(** Vector registers written, delegating to the wrapped instruction. *)
+
+val uses_vector : 'a t -> Vreg.t list
+(** Vector registers read, delegating to the wrapped instruction. *)
+
+val defs_scalar : 'a t -> Reg.t list
+(** Scalar registers written: the [Whilelt] flags side effect is not a
+    register; [Incvl] writes its counter. *)
+
+val uses_scalar : 'a t -> Reg.t list
+(** Scalar registers read (counters, indices, accumulators). *)
+
+val equal : ('s -> 's -> bool) -> 's t -> 's t -> bool
+(** Structural equality, parameterized by symbol equality. *)
+
+val equal_exec : exec -> exec -> bool
+
+val pp :
+  pp_sym:(Format.formatter -> 'sym -> unit) -> Format.formatter -> 'sym t -> unit
+(** Prints SVE-flavoured assembly, e.g.
+    [whilelt p0, r0, #15] / [vadd.p0/z v1, v1, v2] / [incvl r0]. *)
+
+val pp_asm : Format.formatter -> asm -> unit
+(** {!pp} with symbolic names. *)
+
+val pp_exec : Format.formatter -> exec -> unit
+(** {!pp} with resolved addresses. *)

@@ -3,13 +3,27 @@
 type t
 
 val count : int
+(** Number of architectural vector registers (16). *)
+
 val make : int -> t
+(** [make i] is [vi]. Raises [Invalid_argument] outside [0..count-1]. *)
+
 val index : t -> int
+(** The register number: [index (make i) = i]. *)
+
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** Total order by register number. *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints the assembly name, e.g. [v3]. *)
+
 val name : t -> string
+(** The assembly name as a string, e.g. ["v3"]. *)
+
 val all : t list
+(** All registers, [v0] first. *)
 
 val of_scalar : Liquid_isa.Reg.t -> t
 (** The vector register shadowing a scalar register. The dynamic

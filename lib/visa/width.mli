@@ -7,10 +7,18 @@
 type t = W2 | W4 | W8 | W16
 
 val lanes : t -> int
+(** The lane count: [lanes W8 = 8]. *)
+
 val of_lanes : int -> t option
+(** Inverse of {!lanes}; [None] for unsupported lane counts. *)
+
 val max : t
 (** The maximum vectorizable width a binary is compiled for: {!W16}. *)
 
 val all : t list
+(** All widths, narrowest first. *)
+
 val equal : t -> t -> bool
+
 val pp : Format.formatter -> t -> unit
+(** Prints the lane count, e.g. [8-wide]. *)

@@ -11,10 +11,20 @@ open Liquid_scalarize
 (** {1 Data helpers} *)
 
 val warray : string -> int -> (int -> int) -> Data.t
+(** [warray name n f] — a named array of [n] 32-bit words, entry [i]
+    initialized to [f i]. *)
+
 val barray : string -> int -> (int -> int) -> Data.t
+(** Byte-element array (pixel data). *)
+
 val harray : string -> int -> (int -> int) -> Data.t
+(** Halfword-element array (16-bit samples). *)
+
 val wzeros : string -> int -> Data.t
+(** Zero-initialized word array (output buffers). *)
+
 val bzeros : string -> int -> Data.t
+(** Zero-initialized byte array. *)
 
 (** {1 Scalar glue} *)
 

@@ -34,5 +34,11 @@ val all : unit -> t list
 (** The fifteen benchmarks, in the paper's table order. *)
 
 val find : string -> t option
+(** Look a benchmark up by its table name, e.g. ["171.swim"]. *)
+
 val names : unit -> string list
+(** The benchmark names, in table order. *)
+
 val suite_name : suite -> string
+(** Display name of the suite grouping ("SPECfp", "MediaBench",
+    "Kernel"). *)

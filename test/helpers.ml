@@ -106,7 +106,7 @@ let fft_data ~count =
   ]
 
 (* Build a standalone region from raw items and translate it offline. *)
-let translate_items ?(lanes = 4) ?(max_uops = 64) ~data items =
+let translate_items ?(lanes = 4) ?(max_uops = 64) ?backend ~data items =
   let open Build in
   let prog =
     Liquid_prog.Program.make ~name:"t"
@@ -122,10 +122,11 @@ let translate_items ?(lanes = 4) ?(max_uops = 64) ~data items =
     | Some e -> e
     | None -> assert false
   in
-  Liquid_pipeline.Offline.translate_region ~max_uops ~image ~lanes ~entry ()
+  Liquid_pipeline.Offline.translate_region ~max_uops ?backend ~image ~lanes
+    ~entry ()
 
-let expect_abort ?lanes ?max_uops ~data items reason_check msg =
-  match translate_items ?lanes ?max_uops ~data items with
+let expect_abort ?lanes ?max_uops ?backend ~data items reason_check msg =
+  match translate_items ?lanes ?max_uops ?backend ~data items with
   | Liquid_translate.Translator.Aborted r ->
       if not (reason_check r) then
         Alcotest.failf "%s: wrong abort reason: %s" msg
@@ -134,8 +135,8 @@ let expect_abort ?lanes ?max_uops ~data items reason_check msg =
       Alcotest.failf "%s: unexpectedly translated:@.%a" msg
         Liquid_translate.Ucode.pp u
 
-let expect_ucode ?lanes ?max_uops ~data items msg =
-  match translate_items ?lanes ?max_uops ~data items with
+let expect_ucode ?lanes ?max_uops ?backend ~data items msg =
+  match translate_items ?lanes ?max_uops ?backend ~data items with
   | Liquid_translate.Translator.Translated u -> u
   | Liquid_translate.Translator.Aborted r ->
       Alcotest.failf "%s: aborted: %s" msg (Liquid_translate.Abort.to_string r)

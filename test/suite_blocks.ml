@@ -5,9 +5,10 @@
    accelerator width, the run with blocks on must produce exactly the
    same counters, register file and memory as the step-by-step run with
    blocks off. The matrix below covers all fifteen workloads under
-   baseline, Liquid-on-scalar, and Liquid/oracle at widths 2/4/8/16 —
-   every Stats field, the unit counters (caches, predictor, microcode
-   cache) and FNV fingerprints of final register and memory state.
+   baseline, Liquid-on-scalar, and Liquid/oracle/VLA at widths
+   2/4/8/16 — every Stats field, the unit counters (caches, predictor,
+   microcode cache) and FNV fingerprints of final register and memory
+   state.
 
    Separate cases cover the fidelity fallbacks: an interrupt-driven run
    (epoch catch-up across block stretches), the engine's self-disable
@@ -30,7 +31,13 @@ let widths = [ 2; 4; 8; 16 ]
 let variants =
   [ Runner.Baseline; Runner.Liquid_scalar ]
   @ List.concat_map
-      (fun w -> [ Runner.Liquid w; Runner.Liquid_oracle w ])
+      (fun w ->
+        [
+          Runner.Liquid w;
+          Runner.Liquid_oracle w;
+          Runner.Liquid_vla w;
+          Runner.Liquid_vla_oracle w;
+        ])
       widths
 
 (* Compare two runs of the same (workload, variant) observable by

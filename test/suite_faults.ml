@@ -46,7 +46,7 @@ let rotated_pairs () =
 
 let test_abort_classes_distinct () =
   let names = List.map Abort.class_name Abort.all in
-  check_int "representative per class" 11 (List.length names);
+  check_int "representative per class" 12 (List.length names);
   check_int "class names distinct"
     (List.length names)
     (List.length (List.sort_uniq compare names))
@@ -225,7 +225,7 @@ let test_fuel_campaign_case () =
 
 let test_campaign_survives w width () =
   let report = Campaign.run ~workloads:[ w ] ~widths:[ width ] ~seed:2007 () in
-  check_int "campaign cases" 14 (List.length report.Campaign.r_cases);
+  check_int "campaign cases" 15 (List.length report.Campaign.r_cases);
   check_int "no divergent state" 0 report.Campaign.r_divergent;
   check_int "no crashes" 0 report.Campaign.r_crashed;
   check_bool "survived" true (Campaign.survived report);

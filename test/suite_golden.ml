@@ -1,7 +1,8 @@
 (* Differential golden tests.
 
-   Every workload is simulated under the two headline variants
-   (baseline scalar, Liquid at 8 lanes) and every observable of the run
+   Every workload is simulated under the three headline variants
+   (baseline scalar, Liquid at 8 fixed lanes, Liquid on the 8-lane
+   VLA target) and every observable of the run
    is pinned: the full [Stats.t] counter set plus FNV-1a hashes of the
    final register file and of every data array's bytes in memory. The
    pinned values were captured before the fast-path memory / zero-
@@ -89,11 +90,27 @@ let goldens =
     ("FFT", "liquid/8-wide", { g_cycles = 22335; g_scalar = 10142; g_vector = 3888; g_loads = 3768; g_stores = 544; g_branches = 1404; g_mispredicts = 35; g_dhits = 4232; g_dmisses = 80; g_ihits = 9428; g_imisses = 12; g_region_calls = 30; g_ucode_hits = 27; g_installs = 3; g_fetches = 9440; g_uops = 4590; g_evictions = 0; g_tr_started = 3; g_tr_aborted = 0; g_regs_hash = 0x56cda5cd869430ab; g_mem_hash = 0x719465a51335200 });
     ("FIR", "baseline", { g_cycles = 1367421; g_scalar = 942202; g_vector = 0; g_loads = 208800; g_stores = 102400; g_branches = 106299; g_mispredicts = 3; g_dhits = 310816; g_dmisses = 384; g_ihits = 942199; g_imisses = 3; g_region_calls = 0; g_ucode_hits = 0; g_installs = 0; g_fetches = 942202; g_uops = 0; g_evictions = 0; g_tr_started = 0; g_tr_aborted = 0; g_regs_hash = 0x57f905d7fcb4a3c6; g_mem_hash = 0x382cb893bfb2c94e });
     ("FIR", "liquid/8-wide", { g_cycles = 227441; g_scalar = 68034; g_vector = 76032; g_loads = 31392; g_stores = 13696; g_branches = 17694; g_mispredicts = 103; g_dhits = 44704; g_dmisses = 384; g_ihits = 29817; g_imisses = 3; g_region_calls = 100; g_ucode_hits = 99; g_installs = 1; g_fetches = 29820; g_uops = 114246; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x6f0a169e11961692; g_mem_hash = 0x382cb893bfb2c94e });
+    ("052.alvinn", "liquid-vla/8-wide", { g_cycles = 151742; g_scalar = 104644; g_vector = 9856; g_loads = 24080; g_stores = 1216; g_branches = 20429; g_mispredicts = 28; g_dhits = 25040; g_dmisses = 256; g_ihits = 100327; g_imisses = 5; g_region_calls = 24; g_ucode_hits = 22; g_installs = 2; g_fetches = 100332; g_uops = 14168; g_evictions = 0; g_tr_started = 2; g_tr_aborted = 0; g_regs_hash = 0xf89f0cdb2a5c3af; g_mem_hash = 0x3414aedbe1508ed1 });
+    ("056.ear", "liquid-vla/8-wide", { g_cycles = 335364; g_scalar = 179505; g_vector = 50112; g_loads = 56552; g_stores = 3264; g_branches = 28260; g_mispredicts = 35; g_dhits = 59304; g_dmisses = 512; g_ihits = 174225; g_imisses = 15; g_region_calls = 30; g_ucode_hits = 27; g_installs = 3; g_fetches = 174240; g_uops = 55377; g_evictions = 0; g_tr_started = 3; g_tr_aborted = 0; g_regs_hash = 0x49246d2627a2fe14; g_mem_hash = 0x4aa6e5e2b11bed55 });
+    ("093.nasa7", "liquid-vla/8-wide", { g_cycles = 553870; g_scalar = 154691; g_vector = 178464; g_loads = 103152; g_stores = 7296; g_branches = 7815; g_mispredicts = 169; g_dhits = 110192; g_dmisses = 256; g_ihits = 141543; g_imisses = 80; g_region_calls = 144; g_ucode_hits = 132; g_installs = 12; g_fetches = 141623; g_uops = 191532; g_evictions = 4; g_tr_started = 12; g_tr_aborted = 0; g_regs_hash = 0x11c14de492fea2c4; g_mem_hash = 0x15093959aff1d229 });
+    ("101.tomcatv", "liquid-vla/8-wide", { g_cycles = 145213; g_scalar = 75701; g_vector = 22032; g_loads = 26272; g_stores = 2912; g_branches = 8624; g_mispredicts = 58; g_dhits = 28992; g_dmisses = 192; g_ihits = 73379; g_imisses = 27; g_region_calls = 60; g_ucode_hits = 45; g_installs = 5; g_fetches = 73406; g_uops = 24327; g_evictions = 0; g_tr_started = 6; g_tr_aborted = 1; g_regs_hash = 0x73522b8bd4a33ef2; g_mem_hash = 0x4a090c03d9722f86 });
+    ("104.hydro2d", "liquid-vla/8-wide", { g_cycles = 521813; g_scalar = 188356; g_vector = 138688; g_loads = 96372; g_stores = 13408; g_branches = 14076; g_mispredicts = 241; g_dhits = 109396; g_dmisses = 384; g_ihits = 169768; g_imisses = 75; g_region_calls = 216; g_ucode_hits = 187; g_installs = 17; g_fetches = 169843; g_uops = 157201; g_evictions = 9; g_tr_started = 18; g_tr_aborted = 1; g_regs_hash = 0x65fe4c48ce59fea5; g_mem_hash = 0x2a80ca2f5e9cafdd });
+    ("171.swim", "liquid-vla/8-wide", { g_cycles = 415936; g_scalar = 184429; g_vector = 86592; g_loads = 81276; g_stores = 10400; g_branches = 11167; g_mispredicts = 103; g_dhits = 91356; g_dmisses = 320; g_ihits = 176759; g_imisses = 47; g_region_calls = 108; g_ucode_hits = 77; g_installs = 7; g_fetches = 176806; g_uops = 94215; g_evictions = 0; g_tr_started = 9; g_tr_aborted = 2; g_regs_hash = 0x342f2cc999a4d341; g_mem_hash = 0x4d6da78b5f247dda });
+    ("172.mgrid", "liquid-vla/8-wide", { g_cycles = 320240; g_scalar = 104954; g_vector = 91872; g_loads = 60576; g_stores = 5184; g_branches = 5303; g_mispredicts = 170; g_dhits = 65600; g_dmisses = 160; g_ihits = 98138; g_imisses = 84; g_region_calls = 156; g_ucode_hits = 132; g_installs = 12; g_fetches = 98222; g_uops = 98604; g_evictions = 4; g_tr_started = 13; g_tr_aborted = 1; g_regs_hash = 0x65d8444875735f59; g_mem_hash = 0x13512ebe969f78a2 });
+    ("179.art", "liquid-vla/8-wide", { g_cycles = 4700635; g_scalar = 856143; g_vector = 22528; g_loads = 204800; g_stores = 27648; g_branches = 131061; g_mispredicts = 22; g_dhits = 112128; g_dmisses = 120320; g_ihits = 843818; g_imisses = 11; g_region_calls = 15; g_ucode_hits = 8; g_installs = 4; g_fetches = 843829; g_uops = 34842; g_evictions = 0; g_tr_started = 5; g_tr_aborted = 1; g_regs_hash = 0x63d1ff8f95d9500d; g_mem_hash = 0x79642fbeb2290094 });
+    ("MPEG2 Dec.", "liquid-vla/8-wide", { g_cycles = 19838; g_scalar = 14044; g_vector = 948; g_loads = 2761; g_stores = 174; g_branches = 2746; g_mispredicts = 5; g_dhits = 2872; g_dmisses = 63; g_ihits = 13090; g_imisses = 6; g_region_calls = 160; g_ucode_hits = 158; g_installs = 2; g_fetches = 13096; g_uops = 1896; g_evictions = 0; g_tr_started = 2; g_tr_aborted = 0; g_regs_hash = 0x1bcf0269b8440d7f; g_mem_hash = 0x26544ea03304d210 });
+    ("MPEG2 Enc.", "liquid-vla/8-wide", { g_cycles = 30966; g_scalar = 17381; g_vector = 2362; g_loads = 4092; g_stores = 518; g_branches = 2910; g_mispredicts = 13; g_dhits = 4443; g_dmisses = 167; g_ihits = 15854; g_imisses = 10; g_region_calls = 185; g_ucode_hits = 181; g_installs = 4; g_fetches = 15864; g_uops = 3879; g_evictions = 0; g_tr_started = 4; g_tr_aborted = 0; g_regs_hash = 0x6a5115306df22006; g_mem_hash = 0x275f612760d7a748 });
+    ("GSM Dec.", "liquid-vla/8-wide", { g_cycles = 6334; g_scalar = 4294; g_vector = 605; g_loads = 945; g_stores = 95; g_branches = 753; g_mispredicts = 15; g_dhits = 1031; g_dmisses = 9; g_ihits = 4091; g_imisses = 5; g_region_calls = 12; g_ucode_hits = 11; g_installs = 1; g_fetches = 4096; g_uops = 803; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x766a75295998790e; g_mem_hash = 0x56d5a25b100840b0 });
+    ("GSM Enc.", "liquid-vla/8-wide", { g_cycles = 7396; g_scalar = 4522; g_vector = 825; g_loads = 1075; g_stores = 95; g_branches = 787; g_mispredicts = 28; g_dhits = 1154; g_dmisses = 16; g_ihits = 4087; g_imisses = 6; g_region_calls = 24; g_ucode_hits = 22; g_installs = 2; g_fetches = 4093; g_uops = 1254; g_evictions = 0; g_tr_started = 2; g_tr_aborted = 0; g_regs_hash = 0x64d2d3159d824ee7; g_mem_hash = 0x3ea5bae8a05b640b });
+    ("LU", "liquid-vla/8-wide", { g_cycles = 119076; g_scalar = 78097; g_vector = 9600; g_loads = 18688; g_stores = 2944; g_branches = 15742; g_mispredicts = 19; g_dhits = 21376; g_dmisses = 256; g_ihits = 72289; g_imisses = 3; g_region_calls = 16; g_ucode_hits = 15; g_installs = 1; g_fetches = 72292; g_uops = 15405; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x5601294057161143; g_mem_hash = 0x3aed967999fc3d56 });
+    ("FFT", "liquid-vla/8-wide", { g_cycles = 42516; g_scalar = 28151; g_vector = 2376; g_loads = 10176; g_stores = 2056; g_branches = 2394; g_mispredicts = 15; g_dhits = 12152; g_dmisses = 80; g_ihits = 27896; g_imisses = 12; g_region_calls = 30; g_ucode_hits = 9; g_installs = 1; g_fetches = 27908; g_uops = 2619; g_evictions = 0; g_tr_started = 3; g_tr_aborted = 2; g_regs_hash = 0x42e83d001892b410; g_mem_hash = 0x719465a51335200 });
+    ("FIR", "liquid-vla/8-wide", { g_cycles = 227540; g_scalar = 68133; g_vector = 76032; g_loads = 31392; g_stores = 13696; g_branches = 17694; g_mispredicts = 103; g_dhits = 44704; g_dmisses = 384; g_ihits = 29817; g_imisses = 3; g_region_calls = 100; g_ucode_hits = 99; g_installs = 1; g_fetches = 29820; g_uops = 114345; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x6f0a169e11961692; g_mem_hash = 0x382cb893bfb2c94e });
   ]
 
 let variant_of_name = function
   | "baseline" -> Runner.Baseline
   | "liquid/8-wide" -> Runner.Liquid 8
+  | "liquid-vla/8-wide" -> Runner.Liquid_vla 8
   | s -> invalid_arg ("variant_of_name: " ^ s)
 
 let check_row (wname, vname, g) () =

@@ -39,6 +39,29 @@ let test_hwmodel_scaling_laws () =
   let r32 = Hwmodel.estimate { Hwmodel.default_params with Hwmodel.registers = 32 } in
   check_bool "registers cost area" true (r32.Hwmodel.total_cells > r8.Hwmodel.total_cells)
 
+(* Pin the VLA translator row the way the 8-wide fixed row is pinned:
+   the paper's 174,117 cells plus the modeled whilelt comparator,
+   predicate file and widened opcode generator, and one extra
+   critical-path gate for the governing-predicate mux. *)
+let test_hwmodel_vla_row () =
+  let rep =
+    Hwmodel.estimate { Hwmodel.default_params with Hwmodel.target = Hwmodel.Vla }
+  in
+  check "total cells" 177_153 rep.Hwmodel.total_cells;
+  check "predication cells" 2_436 rep.Hwmodel.pred_cells;
+  check "critical path" 17 rep.Hwmodel.crit_path_gates;
+  Alcotest.(check (float 0.001)) "delay" 1.604 rep.Hwmodel.crit_path_ns;
+  check_bool "still under 0.2 mm^2" true (rep.Hwmodel.area_mm2 < 0.2);
+  (* predicate file grows with log2 of the lane count only *)
+  let at lanes =
+    Hwmodel.estimate
+      { Hwmodel.default_params with Hwmodel.lanes; Hwmodel.target = Hwmodel.Vla }
+  in
+  let r4 = at 4 and r8 = at 8 and r16 = at 16 in
+  check "one log step per doubling"
+    (r8.Hwmodel.pred_cells - r4.Hwmodel.pred_cells)
+    (r16.Hwmodel.pred_cells - r8.Hwmodel.pred_cells)
+
 let test_hwmodel_buffer_split () =
   (* "256 bytes of memory ... a little more than half of its cells" *)
   let rep = Hwmodel.estimate Hwmodel.default_params in
@@ -65,10 +88,28 @@ let test_table5_structure () =
 
 let test_table2_structure () =
   let rows = Experiments.table2 () in
-  check "four widths" 4 (List.length rows);
-  check_bool "monotone area" true
-    (let cells = List.map (fun (r : Hwmodel.report) -> r.Hwmodel.total_cells) rows in
-     List.sort compare cells = cells)
+  check "four widths x two targets" 8 (List.length rows);
+  let fixed, vla =
+    List.partition
+      (fun (r : Hwmodel.report) ->
+        r.Hwmodel.params.Hwmodel.target = Hwmodel.Fixed_width)
+      rows
+  in
+  check "four fixed rows" 4 (List.length fixed);
+  check "four vla rows" 4 (List.length vla);
+  let monotone rs =
+    let cells = List.map (fun (r : Hwmodel.report) -> r.Hwmodel.total_cells) rs in
+    List.sort compare cells = cells
+  in
+  check_bool "monotone area (fixed)" true (monotone fixed);
+  check_bool "monotone area (vla)" true (monotone vla);
+  List.iter2
+    (fun (f : Hwmodel.report) (v : Hwmodel.report) ->
+      check "same width" f.Hwmodel.params.Hwmodel.lanes
+        v.Hwmodel.params.Hwmodel.lanes;
+      check_bool "vla costs more cells" true
+        (v.Hwmodel.total_cells > f.Hwmodel.total_cells))
+    fixed vla
 
 let test_code_size_structure () =
   let rows = Experiments.code_size () in
@@ -113,7 +154,15 @@ let test_runner_variants () =
       Alcotest.(check string)
         "name roundtrip" (Runner.variant_name v) (Runner.variant_name v);
       ignore (Runner.program_of w v))
-    [ Runner.Baseline; Runner.Liquid_scalar; Runner.Liquid 4; Runner.Liquid_oracle 4; Runner.Native 4 ]
+    [
+      Runner.Baseline;
+      Runner.Liquid_scalar;
+      Runner.Liquid 4;
+      Runner.Liquid_oracle 4;
+      Runner.Liquid_vla 4;
+      Runner.Liquid_vla_oracle 4;
+      Runner.Native 4;
+    ]
 
 let tests =
   [
@@ -121,6 +170,7 @@ let tests =
     Alcotest.test_case "hwmodel register-state share" `Quick
       test_hwmodel_register_state_share;
     Alcotest.test_case "hwmodel scaling laws" `Quick test_hwmodel_scaling_laws;
+    Alcotest.test_case "hwmodel VLA row pinned" `Quick test_hwmodel_vla_row;
     Alcotest.test_case "hwmodel buffer split" `Quick test_hwmodel_buffer_split;
     Alcotest.test_case "table5 structure" `Quick test_table5_structure;
     Alcotest.test_case "table2 structure" `Quick test_table2_structure;

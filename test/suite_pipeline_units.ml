@@ -13,6 +13,7 @@ let dummy_ucode n =
   {
     Ucode.uops = Array.make n Ucode.URet;
     width = 4;
+    vla = false;
     source_insns = n;
     observed_insns = n;
   }

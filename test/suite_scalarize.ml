@@ -356,8 +356,8 @@ let expect_error loop =
   | _ -> Alcotest.fail "expected Scalarize.Error"
 
 let test_validation_errors () =
-  expect_error (mk_loop ~count:12 [ vld (v 1) "a" ]);
-  (* not a multiple of 8 *)
+  expect_error (mk_loop ~count:0 [ vld (v 1) "a" ]);
+  (* count must be positive *)
   expect_error (mk_loop [ vld (v 0) "a" ]);
   (* v0 is the induction image *)
   expect_error (mk_loop [ vld (v 12) "a" ]);

@@ -608,7 +608,7 @@ let feed_loop tr ~iters ~pcs_insns =
   done
 
 let test_external_abort () =
-  let tr = Translator.create (Translator.default_config ~lanes:4) in
+  let tr = Translator.create (Translator.default_config ~lanes:4 ()) in
   Translator.feed tr
     (Event.make ~pc:0 ~value:0 (Insn.Mov { cond = Cond.Al; dst = ind; src = Imm 0 }));
   Translator.abort_external tr;
@@ -619,7 +619,7 @@ let test_external_abort () =
 
 let test_iteration_divergence_aborts () =
   ignore feed_loop;
-  let tr = Translator.create (Translator.default_config ~lanes:2) in
+  let tr = Translator.create (Translator.default_config ~lanes:2 ()) in
   let ld_insn base : Insn.exec =
     Insn.Ld { esize = Esize.Word; signed = true; dst = r 1; base = Insn.Sym base; index = Insn.Reg ind; shift = 2 }
   in
@@ -648,7 +648,7 @@ let test_iteration_divergence_aborts () =
   | Translator.Translated _ -> Alcotest.fail "should not translate"
 
 let test_static_insns_counts_first_iteration () =
-  let tr = Translator.create (Translator.default_config ~lanes:2) in
+  let tr = Translator.create (Translator.default_config ~lanes:2 ()) in
   Translator.feed tr (Event.make ~pc:0 ~value:0 (Insn.Mov { cond = Cond.Al; dst = ind; src = Imm 0 }));
   check "one static insn" 1 (Translator.static_insns tr);
   check "one dynamic insn" 1 (Translator.observed tr)

@@ -19,6 +19,7 @@ let () =
       ("translator", Suite_translator.tests);
       ("fidelity", Suite_fidelity.tests);
       ("golden", Suite_golden.tests);
+      ("vla", Suite_vla.tests);
       ("blocks", Suite_blocks.tests);
       ("obs", Suite_obs.tests);
       ("faults", Suite_faults.tests);
