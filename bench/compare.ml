@@ -1,18 +1,28 @@
 (* Compare two BENCH.json files and fail on performance regressions.
 
-   Usage: dune exec bench/compare.exe -- OLD.json NEW.json
+   Usage: dune exec bench/compare.exe -- OLD.json NEW.json [--smoke]
 
    Prints a per-test table of ns/run deltas. Exits non-zero when any
    `core_*` test (the pipeline-stage microbenchmarks — the numbers this
    repo's perf work is judged on) regresses by more than 10%, or when
-   either file is missing, unparsable, or schema-invalid. Tests present
-   in only one file are reported but never fail the comparison, so
-   adding or renaming a benchmark does not break an older baseline. *)
+   the VLA simulation microbenchmark exceeds 1.2x its fixed-width
+   counterpart (`core_simulate_vla` vs `core_simulate_liquid` in the
+   NEW file — the all-true predicate fast path's gate), or when either
+   file is missing, unparsable, or schema-invalid. Tests present in
+   only one file are reported but never fail the comparison, so adding
+   or renaming a benchmark does not break an older baseline.
+
+   --smoke relaxes both gates (regression 2.0x, VLA ratio 2.0x): the
+   runtest-wired smoke run measures with a short Bechamel quota on a
+   loaded CI machine, so it only catches order-of-magnitude breakage,
+   not noise. *)
 
 module Json = Liquid_obs.Json
 module Bench_report = Liquid_obs.Bench_report
 
-let threshold = 1.10
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let threshold = if smoke then 2.0 else 1.10
+let vla_ratio_limit = if smoke then 2.0 else 1.2
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
 
@@ -47,9 +57,13 @@ let tests j =
 
 let () =
   let old_path, new_path =
-    match Sys.argv with
-    | [| _; o; n |] -> (o, n)
-    | _ -> die "usage: compare OLD.json NEW.json"
+    match
+      List.filter
+        (fun a -> a <> "--smoke")
+        (List.tl (Array.to_list Sys.argv))
+    with
+    | [ o; n ] -> (o, n)
+    | _ -> die "usage: compare OLD.json NEW.json [--smoke]"
   in
   let old_tests = tests (load old_path) in
   let new_tests = tests (load new_path) in
@@ -77,10 +91,35 @@ let () =
       if not (List.mem_assoc name new_tests) then
         Printf.printf "%-32s %12.0f %12s %8s\n" name old "-" "gone")
     old_tests;
-  match List.rev !regressions with
+  (* VLA-vs-fixed gate: the predicated backend's simulation time must
+     stay within [vla_ratio_limit] of the fixed-width one. Measured on
+     the NEW file alone (it is a property of this build, not a delta);
+     skipped when either test is absent so older baselines and trimmed
+     runs still compare. *)
+  let vla_bad =
+    match
+      ( List.assoc_opt "core_simulate_vla" new_tests,
+        List.assoc_opt "core_simulate_liquid" new_tests )
+    with
+    | Some vla, Some liquid when liquid > 0.0 ->
+        let ratio = vla /. liquid in
+        Printf.printf "%-32s %12s %12s %7.2fx%s\n" "vla/liquid ratio" "-" "-"
+          ratio
+          (if ratio > vla_ratio_limit then "  EXCEEDS LIMIT" else "");
+        ratio > vla_ratio_limit
+    | _ ->
+        Printf.printf "%-32s %12s %12s %8s\n" "vla/liquid ratio" "-" "-" "n/a";
+        false
+  in
+  (match List.rev !regressions with
   | [] -> ()
   | names ->
       Printf.eprintf "regression (>%.0f%%) in: %s\n"
         ((threshold -. 1.0) *. 100.0)
         (String.concat ", " names);
-      exit 1
+      exit 1);
+  if vla_bad then begin
+    Printf.eprintf "core_simulate_vla exceeds %.1fx core_simulate_liquid\n"
+      vla_ratio_limit;
+    exit 1
+  end

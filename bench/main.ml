@@ -11,9 +11,10 @@
    Liquid_obs.Bench_report emitter, which schema-validates the file it
    just wrote. Pass --json-only to suppress the human-readable output
    and only write the file; --smoke shrinks the run to a seconds-scale
-   self-check (no reports, no Bechamel, two-workload throughput, a
-   one-workload fault campaign) so the test suite can exercise the
-   whole emit path. *)
+   self-check (no reports, a short-quota Bechamel over the simulation
+   microbenchmarks only, two-workload throughput, a one-workload fault
+   campaign) so the test suite can exercise the whole emit path and
+   `compare.exe --smoke` has the core simulation numbers to gate on. *)
 
 open Bechamel
 open Toolkit
@@ -166,6 +167,16 @@ let bench_simulate_scalar_noblocks =
   Test.make ~name:"core_simulate_scalar_noblocks"
     (Staged.stage (fun () -> Cpu.run ~config image))
 
+(* The same simulation with the trace-superblock tier off (blocks still
+   on): the pair is the tier's own speedup measurement on the
+   image-block path. *)
+let bench_simulate_scalar_nosuper =
+  let w = find "GSM Dec." in
+  let image = Image.of_program (Codegen.baseline w.Workload.program) in
+  let config = { Cpu.scalar_config with Cpu.superblocks = false } in
+  Test.make ~name:"core_simulate_scalar_nosuper"
+    (Staged.stage (fun () -> Cpu.run ~config image))
+
 (* MPEG2 Dec. is the region-richest workload (Table 6's shortest call
    gaps): after translation its time is dominated by microcode replay,
    so this pair exercises the engine's pre-compiled ucode segments
@@ -183,6 +194,13 @@ let bench_simulate_liquid_noblocks =
   Test.make ~name:"core_simulate_liquid_noblocks"
     (Staged.stage (fun () -> Cpu.run ~config image))
 
+let bench_simulate_liquid_nosuper =
+  let w = find "MPEG2 Dec." in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  let config = { (Cpu.liquid_config ~lanes:8) with Cpu.superblocks = false } in
+  Test.make ~name:"core_simulate_liquid_nosuper"
+    (Staged.stage (fun () -> Cpu.run ~config image))
+
 (* GSM Enc. on the 16-lane VLA target is the predication headline (the
    40-sample subframes run predicated at full width instead of capping
    at effective width 8): this times microcode replay where most vector
@@ -197,6 +215,19 @@ let bench_simulate_vla =
     }
   in
   Test.make ~name:"core_simulate_vla"
+    (Staged.stage (fun () -> Cpu.run ~config image))
+
+let bench_simulate_vla_nosuper =
+  let w = find "GSM Enc." in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  let config =
+    {
+      (Cpu.liquid_config ~lanes:16) with
+      Cpu.backend = Liquid_translate.Backend.vla;
+      Cpu.superblocks = false;
+    }
+  in
+  Test.make ~name:"core_simulate_vla_nosuper"
     (Staged.stage (fun () -> Cpu.run ~config image))
 
 let bench_hwmodel =
@@ -217,19 +248,35 @@ let tests =
     bench_encode;
     bench_simulate_scalar;
     bench_simulate_scalar_noblocks;
+    bench_simulate_scalar_nosuper;
     bench_simulate_liquid;
     bench_simulate_liquid_noblocks;
+    bench_simulate_liquid_nosuper;
     bench_simulate_vla;
+    bench_simulate_vla_nosuper;
     bench_hwmodel;
   ]
 
-let run_benchmarks () =
+(* The smoke run keeps Bechamel but only over the simulation
+   microbenchmarks (short quota): enough signal for the runtest-wired
+   `compare.exe --smoke` gate without the full timing sweep. *)
+let smoke_tests =
+  [
+    bench_simulate_scalar;
+    bench_simulate_scalar_nosuper;
+    bench_simulate_liquid;
+    bench_simulate_liquid_nosuper;
+    bench_simulate_vla;
+    bench_simulate_vla_nosuper;
+  ]
+
+let run_benchmarks ~quota tests =
   Format.fprintf out
     "==============================================================@.";
   Format.fprintf out " Bechamel timings (wall-clock per invocation)@.";
   Format.fprintf out
     "==============================================================@.";
-  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) () in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second quota) () in
   let instances = Instance.[ monotonic_clock ] in
   let estimates = ref [] in
   List.iter
@@ -254,13 +301,15 @@ let run_benchmarks () =
 (* Simulated-cycle throughput: the given workloads under the three
    headline variants (scalar baseline, Liquid on the fixed 8-lane
    target, Liquid on the 8-lane VLA target), fresh simulations (no memo
-   cache), cycles per wall second. Run with [blocks] both on and off;
-   the identical sweep under the two execution strategies is the block
-   engine's speedup measurement (and a bit-identity smoke check: the
-   cycle totals must match exactly). *)
-let sim_throughput ~blocks workloads =
+   cache), cycles per wall second. Run with [blocks] on and off and
+   with the superblock tier on and off; the identical sweep under the
+   three execution strategies is the block engine's (and the trace
+   tier's) speedup measurement — and a bit-identity smoke check: the
+   cycle totals must match exactly. *)
+let sim_throughput ~blocks ~superblocks workloads =
   let cycles_of w v =
-    (Runner.run ~blocks w v).Runner.run.Cpu.stats.Liquid_machine.Stats.cycles
+    (Runner.run ~blocks ~superblocks w v).Runner.run.Cpu.stats
+      .Liquid_machine.Stats.cycles
   in
   let t0 = Unix.gettimeofday () in
   let cycles =
@@ -290,22 +339,37 @@ let () =
   let t0 = Unix.gettimeofday () in
   if not smoke then print_reports ();
   let report_wall_s = Unix.gettimeofday () -. t0 in
-  let estimates = if smoke then [] else run_benchmarks () in
+  let estimates =
+    if smoke then run_benchmarks ~quota:0.05 smoke_tests
+    else run_benchmarks ~quota:0.5 tests
+  in
   Runner.clear_cache ();
   let sim_workloads =
     if smoke then [ find "FIR"; find "GSM Dec." ] else Workload.all ()
   in
   let fault_workloads = if smoke then [ find "FIR" ] else Workload.all () in
   let sim_cycles, sim_wall_s, sim_cycles_per_s =
-    sim_throughput ~blocks:true sim_workloads
+    sim_throughput ~blocks:true ~superblocks:true sim_workloads
   in
-  let off_cycles, off_wall_s, _ = sim_throughput ~blocks:false sim_workloads in
+  let nosuper_cycles, nosuper_wall_s, _ =
+    sim_throughput ~blocks:true ~superblocks:false sim_workloads
+  in
+  let off_cycles, off_wall_s, _ =
+    sim_throughput ~blocks:false ~superblocks:false sim_workloads
+  in
   if off_cycles <> sim_cycles then
     failwith
       (Printf.sprintf
          "block engine not bit-identical: %d cycles with blocks, %d without"
          sim_cycles off_cycles);
+  if nosuper_cycles <> sim_cycles then
+    failwith
+      (Printf.sprintf
+         "superblock tier not bit-identical: %d cycles with superblocks, %d \
+          without"
+         sim_cycles nosuper_cycles);
   let block_speedup = off_wall_s /. sim_wall_s in
+  let super_speedup = nosuper_wall_s /. sim_wall_s in
   let fault_report, fault_wall_s = fault_campaign fault_workloads in
   (* Single shared emitter (Liquid_obs.Bench_report): builds the typed
      record, writes BENCH.json, and re-validates the written file
@@ -317,6 +381,7 @@ let () =
       b_sim_wall_s = sim_wall_s;
       b_sim_cycles_per_s = sim_cycles_per_s;
       b_block_speedup = block_speedup;
+      b_super_speedup = super_speedup;
       b_fault_wall_s = fault_wall_s;
       b_fault_cases = List.length fault_report.Liquid_faults.Campaign.r_cases;
       b_fault_survived = Liquid_faults.Campaign.survived fault_report;
@@ -328,6 +393,6 @@ let () =
     };
   if not json_only then
     Format.printf
-      "@.report wall %.3f s; block speedup %.2fx; fault campaign %.3f s; \
-       BENCH.json written@."
-      report_wall_s block_speedup fault_wall_s
+      "@.report wall %.3f s; block speedup %.2fx; superblock speedup %.2fx; \
+       fault campaign %.3f s; BENCH.json written@."
+      report_wall_s block_speedup super_speedup fault_wall_s

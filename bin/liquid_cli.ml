@@ -81,6 +81,16 @@ let no_blocks_arg =
            way; this is an escape hatch for debugging the engine and for \
            measuring its speedup.")
 
+let no_superblocks_arg =
+  Arg.(
+    value & flag
+    & info [ "no-superblocks" ]
+        ~doc:
+          "Disable the block engine's trace-superblock tier (keep plain \
+           translation blocks). No effect together with $(b,--no-blocks). \
+           Counters are bit-identical either way; this is an escape hatch \
+           for debugging the trace tier and for measuring its speedup.")
+
 (* --- list --- *)
 
 let list_cmd =
@@ -153,7 +163,7 @@ let exec_cmd =
       & info [ "trace" ] ~docv:"N"
           ~doc:"Print the first $(docv) execution/region trace events.")
   in
-  let run file variant trace_n no_blocks =
+  let run file variant trace_n no_blocks no_superblocks =
     let source = In_channel.with_open_text file In_channel.input_all in
     match Parse.program ~name:(Filename.basename file) source with
     | exception Parse.Parse_error { line; message } ->
@@ -181,6 +191,7 @@ let exec_cmd =
                 (machine_config variant) with
                 Cpu.on_trace;
                 Cpu.blocks = not no_blocks;
+                Cpu.superblocks = not no_superblocks;
               }
             in
             let run = Cpu.run ~config (Image.of_program program) in
@@ -192,14 +203,19 @@ let exec_cmd =
               run.Cpu.regions)
   in
   Cmd.v (Cmd.info "exec" ~doc)
-    Term.(const run $ file_arg $ variant_arg $ trace_arg $ no_blocks_arg)
+    Term.(
+      const run $ file_arg $ variant_arg $ trace_arg $ no_blocks_arg
+      $ no_superblocks_arg)
 
 (* --- run --- *)
 
 let run_cmd =
   let doc = "Simulate a benchmark and print statistics" in
-  let run w variant no_blocks =
-    match Runner.run ~blocks:(not no_blocks) w variant with
+  let run w variant no_blocks no_superblocks =
+    match
+      Runner.run ~blocks:(not no_blocks) ~superblocks:(not no_superblocks) w
+        variant
+    with
     | { Runner.run; _ } ->
         Format.printf "%s on %s:@.%a@." w.Workload.name
           (Runner.variant_name variant)
@@ -220,7 +236,9 @@ let run_cmd =
         exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ workload_arg $ variant_arg $ no_blocks_arg)
+    Term.(
+      const run $ workload_arg $ variant_arg $ no_blocks_arg
+      $ no_superblocks_arg)
 
 (* --- translate: show the microcode produced for each region --- *)
 

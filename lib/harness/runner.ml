@@ -56,13 +56,14 @@ let config_of ?(translation_cpi = 1) = function
       }
   | Native lanes -> Cpu.native_config ~lanes
 
-let run ?translation_cpi ?fuel ?(blocks = true) (w : Workload.t) variant =
+let run ?translation_cpi ?fuel ?(blocks = true) ?(superblocks = true)
+    (w : Workload.t) variant =
   let program = program_of w variant in
   let config = config_of ?translation_cpi variant in
   let config =
     match fuel with None -> config | Some fuel -> { config with Cpu.fuel }
   in
-  let config = { config with Cpu.blocks } in
+  let config = { config with Cpu.blocks; Cpu.superblocks } in
   { variant; program; run = Cpu.run ~config (Image.of_program program) }
 
 (* --- memoized runs --- *)
@@ -81,12 +82,14 @@ type cache_key = {
   ck_cpi : int;
   ck_fuel : int;
   ck_blocks : bool;
+  ck_super : bool;
 }
 
 let cache : (cache_key, result) Hashtbl.t = Hashtbl.create 64
 let cache_mutex = Mutex.create ()
 
-let cache_key (w : Workload.t) variant ~translation_cpi ~fuel ~blocks =
+let cache_key (w : Workload.t) variant ~translation_cpi ~fuel ~blocks
+    ~superblocks =
   {
     ck_workload = w.Workload.name;
     ck_variant = variant;
@@ -98,17 +101,18 @@ let cache_key (w : Workload.t) variant ~translation_cpi ~fuel ~blocks =
           1);
     ck_fuel = Option.value fuel ~default:Cpu.scalar_config.Cpu.fuel;
     ck_blocks = blocks;
+    ck_super = superblocks;
   }
 
-let run_cached ?translation_cpi ?fuel ?(blocks = true) (w : Workload.t) variant
-    =
-  let key = cache_key w variant ~translation_cpi ~fuel ~blocks in
+let run_cached ?translation_cpi ?fuel ?(blocks = true) ?(superblocks = true)
+    (w : Workload.t) variant =
+  let key = cache_key w variant ~translation_cpi ~fuel ~blocks ~superblocks in
   match
     Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key)
   with
   | Some r -> r
   | None ->
-      let r = run ?translation_cpi ?fuel ~blocks w variant in
+      let r = run ?translation_cpi ?fuel ~blocks ~superblocks w variant in
       Mutex.protect cache_mutex (fun () ->
           match Hashtbl.find_opt cache key with
           | Some winner -> winner

@@ -37,23 +37,27 @@ val run :
   ?translation_cpi:int ->
   ?fuel:int ->
   ?blocks:bool ->
+  ?superblocks:bool ->
   Workload.t ->
   variant ->
   result
 (** [blocks] (default [true]) toggles the {!Cpu} translation-block
-    engine — counters are bit-identical either way; the knob exists for
-    the engine's own differential tests and speedup benchmarks. *)
+    engine; [superblocks] (default [true]) toggles its trace-superblock
+    tier (no effect with [blocks] off) — pinned counters are
+    bit-identical in every combination; the knobs exist for the engine's
+    own differential tests and speedup benchmarks. *)
 
 val run_cached :
   ?translation_cpi:int ->
   ?fuel:int ->
   ?blocks:bool ->
+  ?superblocks:bool ->
   Workload.t ->
   variant ->
   result
 (** Like {!run}, but memoized process-wide on
-    [(workload name, variant, translation_cpi, fuel, blocks)] —
-    simulations are
+    [(workload name, variant, translation_cpi, fuel, blocks,
+    superblocks)] — simulations are
     pure, and the experiment suite re-requests the same runs dozens of
     times (every table wants every workload's baseline). Safe to call
     from multiple domains; the first completed run for a key is the one

@@ -1,14 +1,31 @@
 type t = Al | Eq | Ne | Gt | Ge | Lt | Le
 
+(* On the immediate flag pair (bit 0 = lt, bit 1 = eq) every condition
+   is one mask test; this runs per predicated micro-op and per trace
+   guard evaluation. *)
 let holds t (f : Flags.t) =
+  let f = (f :> int) in
   match t with
   | Al -> true
-  | Eq -> f.eq
-  | Ne -> not f.eq
-  | Gt -> (not f.lt) && not f.eq
-  | Ge -> not f.lt
-  | Lt -> f.lt
-  | Le -> f.lt || f.eq
+  | Eq -> f land 2 <> 0
+  | Ne -> f land 2 = 0
+  | Gt -> f = 0
+  | Ge -> f land 1 = 0
+  | Lt -> f land 1 <> 0
+  | Le -> f <> 0
+
+(* [holds] as data: [(mask, v, neg)] with
+   [holds t f = ((f land mask) = v) <> neg]. Hot loops with a fixed
+   condition (the trace guard) inline the test instead of paying a
+   cross-module call and a match per evaluation. *)
+let mask_test = function
+  | Al -> (0, 0, false)
+  | Eq -> (2, 2, false)
+  | Ne -> (2, 2, true)
+  | Gt -> (3, 0, false)
+  | Ge -> (1, 1, true)
+  | Lt -> (1, 1, false)
+  | Le -> (3, 0, true)
 
 let all = [ Al; Eq; Ne; Gt; Ge; Lt; Le ]
 let equal (a : t) b = a = b

@@ -3,6 +3,12 @@
 type t = Al | Eq | Ne | Gt | Ge | Lt | Le
 
 val holds : t -> Flags.t -> bool
+
+val mask_test : t -> int * int * bool
+(** [mask_test t] is [(mask, v, neg)] such that
+    [holds t f = (((f :> int) land mask) = v) <> neg] — lets a loop
+    with a fixed condition inline the test. *)
+
 val all : t list
 val equal : t -> t -> bool
 val suffix : t -> string

@@ -1,8 +1,10 @@
-type t = { lt : bool; eq : bool }
+type t = int
 
-let initial = { lt = false; eq = false }
-let of_compare a b = { lt = a < b; eq = a = b }
+let initial = 0
+let of_compare (a : int) (b : int) = (if a < b then 1 else 0) lor (if a = b then 2 else 0)
+let lt f = f land 1 <> 0
+let eq f = f land 2 <> 0
 let equal (a : t) b = a = b
 
 let pp ppf t =
-  Format.fprintf ppf "{lt=%b; eq=%b}" t.lt t.eq
+  Format.fprintf ppf "{lt=%b; eq=%b}" (lt t) (eq t)

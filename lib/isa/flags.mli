@@ -1,13 +1,20 @@
 (** Processor condition flags, set by compare instructions.
 
     We keep the signed comparison outcome directly rather than N/Z/C/V
-    bits; the modeled ISA only exposes signed conditions. *)
+    bits; the modeled ISA only exposes signed conditions. The
+    representation is an immediate bit pair (bit 0 = less-than, bit 1 =
+    equal): flag updates happen once per simulated compare on the
+    hottest execution paths, and an unboxed value makes them a plain
+    store — no allocation, no write barrier. *)
 
-type t = { lt : bool; eq : bool }
+type t = private int
 
 val initial : t
+
 val of_compare : int -> int -> t
 (** [of_compare a b] captures the signed relation of [a] to [b]. *)
 
+val lt : t -> bool
+val eq : t -> bool
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

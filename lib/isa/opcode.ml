@@ -29,6 +29,24 @@ let eval t a b =
   | Smin -> Word.smin a b
   | Smax -> Word.smax a b
 
+(* Pre-resolve the operation to its [Word] function once, so compiled
+   closures (the block engine's thunks) pay the dispatch at compile time
+   instead of per execution. [eval t] and [fn t] agree by construction. *)
+let fn = function
+  | Add -> Word.add
+  | Sub -> Word.sub
+  | Rsb -> Word.rsb
+  | Mul -> Word.mul
+  | And -> Word.logand
+  | Orr -> Word.logor
+  | Eor -> Word.logxor
+  | Bic -> Word.bic
+  | Lsl -> Word.shl
+  | Lsr -> Word.shr
+  | Asr -> Word.sar
+  | Smin -> Word.smin
+  | Smax -> Word.smax
+
 let commutative = function
   | Add | Mul | And | Orr | Eor | Smin | Smax -> true
   | Sub | Rsb | Bic | Lsl | Lsr | Asr -> false

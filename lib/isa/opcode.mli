@@ -23,6 +23,12 @@ type t =
 val eval : t -> int -> int -> int
 (** Apply the operation to two 32-bit words (see {!Word}). *)
 
+val fn : t -> int -> int -> int
+(** The operation as a pre-resolved function: [fn t a b = eval t a b],
+    with the opcode dispatch paid once at [fn t] instead of per
+    application. For compile-once/run-many callers (the block engine's
+    closure compiler). *)
+
 val commutative : t -> bool
 val all : t list
 val equal : t -> t -> bool

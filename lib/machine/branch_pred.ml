@@ -2,6 +2,7 @@ type entry = { mutable tag : int; mutable counter : int; mutable valid : bool }
 
 type t = {
   entries : entry array;
+  mask : int;  (* entries-1 when the count is a power of two, else -1 *)
   mutable lookups : int;
   mutable mispredicts : int;
 }
@@ -11,13 +12,20 @@ let create ?(entries = 128) () =
   {
     entries =
       Array.init entries (fun _ -> { tag = 0; counter = 0; valid = false });
+    mask = (if entries land (entries - 1) = 0 then entries - 1 else -1);
     lookups = 0;
     mispredicts = 0;
   }
 
+(* Direct-mapped by PC; the index is on every predicted branch's hot
+   path, so the power-of-two layout (every real configuration) avoids
+   the division. *)
+let[@inline] index t pc =
+  if t.mask >= 0 then pc land t.mask else pc mod Array.length t.entries
+
 let predict_and_update t ~pc ~taken =
   t.lookups <- t.lookups + 1;
-  let slot = t.entries.(pc mod Array.length t.entries) in
+  let slot = t.entries.(index t pc) in
   let predicted =
     if slot.valid && slot.tag = pc then slot.counter >= 2 else false
   in
@@ -32,6 +40,19 @@ let predict_and_update t ~pc ~taken =
   let correct = predicted = taken in
   if not correct then t.mispredicts <- t.mispredicts + 1;
   correct
+
+(* A branch whose entry holds its own tag at the saturated taken count
+   predicts taken, stays at the saturated count when trained taken
+   again, and cannot mispredict: [predict_and_update ~taken:true] on it
+   is [lookups + 1] and nothing else. Steady-state trace execution
+   checks this once per trace entry and then batches the lookups with
+   [credit_lookups] — the same replay-elision contract as
+   [Cache.credit_hits]. *)
+let taken_saturated t ~pc =
+  let slot = t.entries.(index t pc) in
+  slot.valid && slot.tag = pc && slot.counter = 3
+
+let credit_lookups t n = t.lookups <- t.lookups + n
 
 let lookups t = t.lookups
 let mispredicts t = t.mispredicts

@@ -16,6 +16,20 @@ val predict_and_update : t -> pc:int -> taken:bool -> bool
     for the branch at [pc] matched the actual [taken] outcome, then trains
     the predictor with that outcome. *)
 
+val taken_saturated : t -> pc:int -> bool
+(** [taken_saturated t ~pc] is [true] when the branch at [pc] owns its
+    BTB entry at the saturated taken count: it predicts taken, a
+    taken-training leaves the entry unchanged, and it cannot
+    mispredict. A trace engine that has verified this for every branch
+    it replays may skip the per-iteration [predict_and_update] calls
+    and account for them with {!credit_lookups} — the predictor
+    analogue of {!Cache.credit_hits}. *)
+
+val credit_lookups : t -> int -> unit
+(** [credit_lookups t n] records [n] elided predictions whose outcome
+    is known to be a correct taken prediction against a
+    {!taken_saturated} entry (no state change, no mispredict). *)
+
 val lookups : t -> int
 val mispredicts : t -> int
 

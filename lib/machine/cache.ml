@@ -2,11 +2,23 @@ type config = { size_bytes : int; line_bytes : int; assoc : int }
 
 let arm926_config = { size_bytes = 16 * 1024; line_bytes = 32; assoc = 64 }
 
-type way = { mutable tag : int; mutable valid : bool; mutable age : int }
-
+(* Exact LRU over flat unboxed arrays. Each set owns a segment of
+   [tags]/[ages] ([set * assoc .. set * assoc + assoc - 1]); the
+   [nvalid] valid ways are packed at the front of the segment, so the
+   hit scan walks only lines that actually exist and a line's slot is
+   stable once allocated. Recency lives in the [ages] clock stamps: a
+   hit is one store, a miss either appends (set not yet full) or
+   replaces the minimum-age way — the victim scan is O(assoc) but runs
+   only on misses, over a flat int segment. The simulator probes a
+   cache once per instruction fetch and once per data access on the
+   hottest paths, so the layout matters more than the policy code:
+   boxed per-way records would cost two dependent loads per scanned
+   way. *)
 type t = {
   cfg : config;
-  sets : way array array;
+  tags : int array;
+  ages : int array;  (* last-access stamp per way, unique via [clock] *)
+  nvalid : int array;  (* valid ways per set *)
   line_shift : int;
   set_shift : int;
   n_sets : int;
@@ -30,13 +42,11 @@ let create cfg =
   if n_sets < 1 then invalid_arg "Cache.create: capacity below one set";
   if not (is_pow2 n_sets) then
     invalid_arg "Cache.create: set count must be a power of two";
-  let sets =
-    Array.init n_sets (fun _ ->
-        Array.init cfg.assoc (fun _ -> { tag = 0; valid = false; age = 0 }))
-  in
   {
     cfg;
-    sets;
+    tags = Array.make (n_sets * cfg.assoc) (-1);
+    ages = Array.make (n_sets * cfg.assoc) 0;
+    nvalid = Array.make n_sets 0;
     line_shift = log2 cfg.line_bytes;
     set_shift = log2 n_sets;
     n_sets;
@@ -47,40 +57,43 @@ let create cfg =
 
 let config t = t.cfg
 
-(* The hit scan runs once per simulated instruction (instruction fetch)
-   plus once per data access, so it is an early-exit loop with no
-   closures or boxing; the victim scan only runs on misses. *)
 let access t addr =
   let line = addr lsr t.line_shift in
-  let set = t.sets.(line land (t.n_sets - 1)) in
+  let set = line land (t.n_sets - 1) in
+  let base = set * t.cfg.assoc in
   let tag = line lsr t.set_shift in
-  t.clock <- t.clock + 1;
-  let n = Array.length set in
-  let hit = ref (-1) in
-  let i = ref 0 in
-  while !hit < 0 && !i < n do
-    let w = Array.unsafe_get set !i in
-    if w.valid && w.tag = tag then hit := !i;
-    incr i
-  done;
-  if !hit >= 0 then begin
-    let w = set.(!hit) in
-    w.age <- t.clock;
+  let tags = t.tags in
+  let nv = Array.unsafe_get t.nvalid set in
+  let limit = base + nv in
+  let clock = t.clock + 1 in
+  t.clock <- clock;
+  let i = ref base in
+  while !i < limit && Array.unsafe_get tags !i <> tag do incr i done;
+  if !i < limit then begin
+    Array.unsafe_set t.ages !i clock;
     t.hits <- t.hits + 1;
     Hit
   end
   else begin
-    let victim = ref set.(0) in
-    for j = 1 to n - 1 do
-      let w = Array.unsafe_get set j in
-      let v = !victim in
-      if (not w.valid) && v.valid then victim := w
-      else if w.valid = v.valid && w.age < v.age then victim := w
-    done;
-    let v = !victim in
-    v.valid <- true;
-    v.tag <- tag;
-    v.age <- t.clock;
+    (* allocate: append while the set still has invalid ways, then
+       evict the least recently used one (ages are unique, so the
+       minimum is the strict LRU way) *)
+    let slot =
+      if nv < t.cfg.assoc then begin
+        Array.unsafe_set t.nvalid set (nv + 1);
+        limit
+      end
+      else begin
+        let ages = t.ages in
+        let v = ref base in
+        for j = base + 1 to limit - 1 do
+          if Array.unsafe_get ages j < Array.unsafe_get ages !v then v := j
+        done;
+        !v
+      end
+    in
+    Array.unsafe_set tags slot tag;
+    Array.unsafe_set t.ages slot clock;
     t.misses <- t.misses + 1;
     Miss
   end
@@ -112,4 +125,5 @@ let reset_stats t =
   t.misses <- 0
 
 let flush t =
-  Array.iter (fun set -> Array.iter (fun w -> w.valid <- false) set) t.sets
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.nvalid 0 t.n_sets 0

@@ -99,7 +99,11 @@ let read m ~addr ~bytes ~signed =
           let v = Bytes.get_uint8 p off in
           if signed then sign_extend ~bits:8 v else v
       | 2 -> if signed then Bytes.get_int16_le p off else Bytes.get_uint16_le p off
-      | 4 -> Int32.to_int (Bytes.get_int32_le p off)
+      | 4 ->
+          (* two unboxed 16-bit reads; [get_int32_le] would box an
+             [int32] on every word load *)
+          sign_extend ~bits:32
+            (Bytes.get_uint16_le p off lor (Bytes.get_uint16_le p (off + 2) lsl 16))
       | n -> invalid_arg (Printf.sprintf "Memory.read: bad size %d" n)
   end
   else read_slow m ~addr ~bytes ~signed
@@ -125,7 +129,9 @@ let write m ~addr ~bytes v =
     match bytes with
     | 1 -> Bytes.unsafe_set p off (Char.unsafe_chr (v land 0xFF))
     | 2 -> Bytes.set_uint16_le p off (v land 0xFFFF)
-    | 4 -> Bytes.set_int32_le p off (Int32.of_int v)
+    | 4 ->
+        Bytes.set_uint16_le p off (v land 0xFFFF);
+        Bytes.set_uint16_le p (off + 2) ((v asr 16) land 0xFFFF)
     | n -> invalid_arg (Printf.sprintf "Memory.write: bad size %d" n)
   else write_slow m ~addr ~bytes v
 

@@ -6,6 +6,7 @@ type t = {
   b_sim_wall_s : float;
   b_sim_cycles_per_s : float;
   b_block_speedup : float;
+  b_super_speedup : float;
   b_fault_wall_s : float;
   b_fault_cases : int;
   b_fault_survived : bool;
@@ -21,6 +22,7 @@ let to_json t =
       ("sim_wall_s", Json.Float t.b_sim_wall_s);
       ("sim_cycles_per_s", Json.Float t.b_sim_cycles_per_s);
       ("block_speedup", Json.Float t.b_block_speedup);
+      ("super_speedup", Json.Float t.b_super_speedup);
       ("fault_campaign_wall_s", Json.Float t.b_fault_wall_s);
       ("fault_campaign_cases", Json.Int t.b_fault_cases);
       ("fault_campaign_survived", Json.Bool t.b_fault_survived);

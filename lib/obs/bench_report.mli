@@ -16,6 +16,10 @@ type t = {
       (** wall-time ratio of the same throughput sweep with the
           translation-block engine off vs on (> 1 means the engine
           pays for itself) *)
+  b_super_speedup : float;
+      (** wall-time ratio of the blocks-on sweep with the trace
+          superblock tier off vs on (> 1 means the tier pays for
+          itself) *)
   b_fault_wall_s : float;  (** wall time of the seeded fault campaign *)
   b_fault_cases : int;
   b_fault_survived : bool;

@@ -159,6 +159,7 @@ let bench (j : Json.t) =
      f "sim_wall_s" T_num;
      f "sim_cycles_per_s" T_num;
      f "block_speedup" T_num;
+     f "super_speedup" T_num;
      f "fault_campaign_wall_s" T_num;
      f "fault_campaign_cases" T_int;
      f "fault_campaign_survived" T_bool;

@@ -21,6 +21,12 @@ type t = {
   s_bpred : Branch_pred.counters;
   s_ucache : Ucode_cache.counters;
   s_regions : region list;
+  s_superblocks_compiled : int;
+  s_superblock_iters : int;
+  s_superblock_bailouts : int;
+  s_pred_fast : int;
+  s_pred_masked : int;
+  s_vla_preds : int;
   s_latency_hist : Hist.t;
   s_gap_hist : Hist.t;
   s_uops_hist : Hist.t;
@@ -82,12 +88,18 @@ let of_run ?(label = "run") ?(variant = "unknown") ?collector (run : Cpu.run) =
     s_bpred = run.Cpu.bpred_counters;
     s_ucache = run.Cpu.ucache_counters;
     s_regions = List.map region_of_report run.Cpu.regions;
+    s_superblocks_compiled = run.Cpu.superblocks_compiled;
+    s_superblock_iters = run.Cpu.superblock_iters;
+    s_superblock_bailouts = run.Cpu.superblock_bailouts;
+    s_pred_fast = run.Cpu.pred_fast_iters;
+    s_pred_masked = run.Cpu.pred_masked_iters;
+    s_vla_preds = run.Cpu.vla_pred_execs;
     s_latency_hist = latency;
     s_gap_hist = gap;
     s_uops_hist = uops_hist;
   }
 
-let invariant_count = 10
+let invariant_count = 11
 
 let violations t =
   let s = t.s_stats in
@@ -188,6 +200,10 @@ let violations t =
     (Hist.count t.s_gap_hist = gap_pairs) (fun () ->
       Printf.sprintf "gap histogram holds %d samples, expected %d"
         (Hist.count t.s_gap_hist) gap_pairs);
+  check "pred-conservation"
+    (t.s_pred_fast + t.s_pred_masked = t.s_vla_preds) (fun () ->
+      Printf.sprintf "fast %d + masked %d <> dispatched %d" t.s_pred_fast
+        t.s_pred_masked t.s_vla_preds);
   List.rev !bad
 
 let stats_fields (s : Stats.t) =
@@ -262,6 +278,20 @@ let to_json t =
             ("max_occupancy", Json.Int t.s_ucache.Ucode_cache.u_max_occupancy);
           ] );
       ("regions", Json.List (List.map region_json t.s_regions));
+      ( "superblocks",
+        Json.Obj
+          [
+            ("compiled", Json.Int t.s_superblocks_compiled);
+            ("iterations", Json.Int t.s_superblock_iters);
+            ("bailouts", Json.Int t.s_superblock_bailouts);
+          ] );
+      ( "predication",
+        Json.Obj
+          [
+            ("fast_iters", Json.Int t.s_pred_fast);
+            ("masked_iters", Json.Int t.s_pred_masked);
+            ("dispatched", Json.Int t.s_vla_preds);
+          ] );
       ( "histograms",
         Json.Obj
           [
@@ -307,6 +337,12 @@ let to_csv t =
   int_row "ucode_cache.evictions" t.s_ucache.Ucode_cache.u_evictions;
   int_row "ucode_cache.occupancy" t.s_ucache.Ucode_cache.u_occupancy;
   int_row "ucode_cache.max_occupancy" t.s_ucache.Ucode_cache.u_max_occupancy;
+  int_row "superblocks.compiled" t.s_superblocks_compiled;
+  int_row "superblocks.iterations" t.s_superblock_iters;
+  int_row "superblocks.bailouts" t.s_superblock_bailouts;
+  int_row "predication.fast_iters" t.s_pred_fast;
+  int_row "predication.masked_iters" t.s_pred_masked;
+  int_row "predication.dispatched" t.s_vla_preds;
   List.iter
     (fun r ->
       let p k v = int_row (Printf.sprintf "region.%s.%s" r.r_label k) v in

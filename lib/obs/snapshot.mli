@@ -35,6 +35,18 @@ type t = {
   s_bpred : Branch_pred.counters;
   s_ucache : Ucode_cache.counters;
   s_regions : region list;
+  s_superblocks_compiled : int;
+      (** trace superblocks formed by the block engine's trace tier *)
+  s_superblock_iters : int;  (** whole loop iterations run through one *)
+  s_superblock_bailouts : int;
+      (** superblock exits back to the block path (guard fails + fuel) *)
+  s_pred_fast : int;
+      (** predicated vector executions on the all-true fast path *)
+  s_pred_masked : int;
+      (** predicated vector executions through the masked path *)
+  s_vla_preds : int;
+      (** predicated vector uops dispatched — the independent tally the
+          fast/masked split must account for *)
   s_latency_hist : Hist.t;
       (** translation latency in cycles, one sample per completed
           translation; populated only when a {!Collector} observed the
@@ -71,7 +83,10 @@ val violations : t -> string list
     - [translation-sessions]: every started session ends in exactly one
       install or abort (at most one session still open at halt);
     - [gap-samples]: the inter-call-gap histogram holds exactly one
-      sample per consecutive call pair. *)
+      sample per consecutive call pair;
+    - [pred-conservation]: every dispatched predicated vector uop took
+      exactly one of the all-true fast path or the masked path
+      ([pred_fast + pred_masked = dispatched]). *)
 
 val to_json : t -> Json.t
 (** Schema ["liquid-obs-snapshot/1"]; validated by {!Schema.snapshot}.

@@ -1,17 +1,30 @@
-(** The translation-block engine: pre-decoded straight-line execution.
+(** The translation-block engine: pre-decoded straight-line execution,
+    closure-compiled micro-ops and trace superblocks.
 
     Lazily compiles maximal straight-line runs of the image's
     {!Liquid_visa.Minsn.t} stream — ending at branches, region calls,
     [Halt], and vector/scalar mode changes — into flat arrays of
-    pre-resolved micro-ops: operand register indices, folded immediates,
-    per-slot charge amounts (base cycle, [mul_extra], intra-block
-    load-use stalls, static vector bus beats) and pre-grouped icache
-    line addresses, all baked at compile time. Stat deltas are applied
-    once per block exit instead of once per instruction; unconditional
-    fallthrough/jump edges chain block-to-block without returning to the
-    dispatcher. Microcode replay ({!exec_ucode}) receives the same
-    treatment per cache entry, invalidated by
+    specialized closures: operand register indices, folded immediates,
+    opcode dispatch, element decode/encode, per-slot charge amounts
+    (base cycle, [mul_extra], intra-block load-use stalls, static vector
+    bus beats) and pre-grouped icache line probes, all baked at compile
+    time, so replay is one [unit -> unit] call per micro-op. Stat deltas
+    are applied once per block exit instead of once per instruction;
+    unconditional fallthrough/jump edges chain block-to-block without
+    returning to the dispatcher. Microcode replay ({!exec_ucode})
+    receives the same treatment per cache entry, invalidated by
     {!Ucode_cache.stamp_of} stamp when a region is retranslated.
+
+    On top of the blocks sits the superblock tier: when a block's
+    conditional back-edge has fired a fixed number of times, the loop
+    body across the edge is flattened into a trace — the member blocks'
+    closures concatenated in trace order — and steady-state iterations
+    execute whole loop bodies at a time with one batched stat delta per
+    logical iteration. The latch condition, re-evaluated after every
+    iteration, guards the trace; when it fails (or fuel could expire
+    inside the next iteration) the superblock bails out to the ordinary
+    block path. Traces follow only unconditional edges, so the guard is
+    the sole conditional inside a trace.
 
     The engine is an execution strategy, not a semantics change: every
     architectural value and every counter is bit-identical to the
@@ -43,10 +56,13 @@ val create :
   lanes:int option ->
   max_uops:int ->
   fuel:int ->
+  superblocks:bool ->
   t
 (** The engine shares the run's mutable machine state ([ctx], [stats],
     caches, predictor) with {!Cpu}; the scalar knobs are copied from the
-    config at creation. *)
+    config at creation. [superblocks] gates trace formation only — with
+    it off the engine never forms or runs a trace and behaves exactly
+    like the PR-4 block engine. *)
 
 val try_exec : t -> pc:int -> retired:int -> pending:Reg.t option -> bool
 (** Execute the block starting at [pc] (compiling it on first visit),
@@ -85,4 +101,22 @@ val built : t -> int
 (** Blocks compiled so far (telemetry). *)
 
 val execs : t -> int
-(** Block executions so far, chained blocks included (telemetry). *)
+(** Block executions so far, chained blocks included (telemetry).
+    Superblock iterations are counted separately in {!super_iters}, not
+    here — the two engines legitimately differ on this counter. *)
+
+val supers_built : t -> int
+(** Trace superblocks formed so far (telemetry). *)
+
+val super_iters : t -> int
+(** Whole loop iterations executed through a superblock (telemetry). *)
+
+val super_bailouts : t -> int
+(** Superblock exits back to the block path: guard failures (the loop's
+    normal exit through the trace) plus fuel-pressure bail-outs
+    (telemetry). *)
+
+val vla_preds : t -> int
+(** Predicated vector micro-ops ({!Liquid_visa.Vla.Pred}) dispatched by
+    this engine — the engine's share of the obs conservation invariant
+    [pred_fast + pred_masked = dispatched predicated ops]. *)

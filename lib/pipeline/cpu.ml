@@ -65,6 +65,7 @@ type config = {
   fuel : int;
   faults : fault_hooks option;
   blocks : bool;
+  superblocks : bool;
 }
 
 let scalar_config =
@@ -86,6 +87,7 @@ let scalar_config =
     fuel = 200_000_000;
     faults = None;
     blocks = true;
+    superblocks = true;
   }
 
 let native_config ~lanes = { scalar_config with accel_lanes = Some lanes }
@@ -122,6 +124,12 @@ type run = {
   ucache_counters : Ucode_cache.counters;
   blocks_compiled : int;
   block_execs : int;
+  superblocks_compiled : int;
+  superblock_iters : int;
+  superblock_bailouts : int;
+  pred_fast_iters : int;
+  pred_masked_iters : int;
+  vla_pred_execs : int;
 }
 
 type racc = {
@@ -171,6 +179,10 @@ type state = {
          per-step division *)
   mutable retired : int;
   mutable halted : bool;
+  mutable vla_preds : int;
+      (* predicated vector uops dispatched by the stepping interpreter;
+         the engine keeps its own tally — together they form the
+         right-hand side of the obs predication conservation invariant *)
   eng : Blocks.t option;
       (* the translation-block engine; [None] when disabled by config or
          when fidelity demands stepping throughout (trace consumer or
@@ -435,6 +447,7 @@ let run_ucode st ~entry ~stamp (u : Ucode.t) =
            shorten the machine's bus or issue timing. *)
         (match p with
         | Vla.Pred { v; _ } ->
+            st.vla_preds <- st.vla_preds + 1;
             st.stats.Stats.vector_insns <- st.stats.Stats.vector_insns + 1;
             charge st 1;
             (match v with
@@ -453,7 +466,9 @@ let run_ucode st ~entry ~stamp (u : Ucode.t) =
         st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
         charge st 1;
         let taken = Cond.holds cond st.ctx.Sem.flags in
-        record_branch st ~key:(0x40000000 + (entry * st.cfg.max_uops) + !ui) ~taken;
+        record_branch st
+          ~key:(Ucode.branch_key ~entry ~max_uops:st.cfg.max_uops ~index:!ui)
+          ~taken;
         if taken then ui := target else incr ui
     | Ucode.URet ->
         fuel_check st;
@@ -706,7 +721,8 @@ let init_state config image =
            ~mem_latency:config.mem_latency ~mul_extra:config.mul_extra
            ~mispredict_penalty:config.mispredict_penalty
            ~vec_bus_bytes:config.vec_bus_bytes ~lanes:config.accel_lanes
-           ~max_uops:config.max_uops ~fuel:config.fuel)
+           ~max_uops:config.max_uops ~fuel:config.fuel
+           ~superblocks:config.superblocks)
     else None
   in
   let st =
@@ -740,6 +756,7 @@ let init_state config image =
         | None -> max_int);
       retired = 0;
       halted = false;
+      vla_preds = 0;
       eng;
     }
   in
@@ -793,6 +810,17 @@ let collect st mem ctx =
     ucache_counters = Ucode_cache.counters st.ucache;
     blocks_compiled = (match st.eng with Some e -> Blocks.built e | None -> 0);
     block_execs = (match st.eng with Some e -> Blocks.execs e | None -> 0);
+    superblocks_compiled =
+      (match st.eng with Some e -> Blocks.supers_built e | None -> 0);
+    superblock_iters =
+      (match st.eng with Some e -> Blocks.super_iters e | None -> 0);
+    superblock_bailouts =
+      (match st.eng with Some e -> Blocks.super_bailouts e | None -> 0);
+    pred_fast_iters = ctx.Sem.n_pred_fast;
+    pred_masked_iters = ctx.Sem.n_pred_masked;
+    vla_pred_execs =
+      (st.vla_preds
+      + match st.eng with Some e -> Blocks.vla_preds e | None -> 0);
   }
 
 (* The main loop. With the block engine on, every pc is first offered to

@@ -119,6 +119,15 @@ type config = {
           speedup. The engine silently self-disables when a trace
           observer or fault hooks are configured (those need per-step
           fidelity). *)
+  superblocks : bool;
+      (** form trace superblocks on hot conditional back-edges and run
+          steady-state loop iterations through them ({!Blocks}); default
+          on, no effect unless [blocks] is also on. Bit-identical to the
+          plain block engine on every pinned counter — an escape hatch
+          for debugging and for measuring the trace tier's own
+          speedup. Inherits the block engine's self-disable conditions
+          (trace observer, fault hooks, live sessions, fuel
+          pressure). *)
 }
 
 val scalar_config : config
@@ -161,7 +170,26 @@ type run = {
   blocks_compiled : int;
       (** translation blocks compiled by the block engine (0 when off) *)
   block_execs : int;
-      (** block executions, chained blocks included (0 when off) *)
+      (** block executions, chained blocks included (0 when off).
+          Superblock iterations are counted in [superblock_iters], not
+          here — runs with and without superblocks legitimately differ
+          on this telemetry (never on a pinned counter) *)
+  superblocks_compiled : int;
+      (** trace superblocks formed (0 when blocks or superblocks off) *)
+  superblock_iters : int;
+      (** whole loop iterations executed through a superblock *)
+  superblock_bailouts : int;
+      (** superblock exits to the block path: guard failures (the loop's
+          normal exit) plus fuel-pressure bail-outs *)
+  pred_fast_iters : int;
+      (** predicated vector executions that took the all-true fast path
+          (full predicate, unmasked fixed-width semantics) *)
+  pred_masked_iters : int;
+      (** predicated vector executions that paid the masked path *)
+  vla_pred_execs : int;
+      (** predicated vector uops dispatched (stepping interpreter plus
+          block engine); conservation:
+          [pred_fast_iters + pred_masked_iters = vla_pred_execs] *)
 }
 
 val run : ?config:config -> Image.t -> run

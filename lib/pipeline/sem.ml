@@ -28,6 +28,11 @@ type ctx = {
   acc_write : bool array;
   gather_tmp : int array;  (** gather staging: index vector may alias dst *)
   blk : Bytes.t;  (** staging buffer for block loads/stores *)
+  mutable n_pred_fast : int;
+      (** predicated vector executions taken on the all-true fast path
+          (full predicate: unmasked fixed-width semantics) *)
+  mutable n_pred_masked : int;
+      (** predicated vector executions that paid the masked path *)
 }
 
 let create_ctx mem =
@@ -46,6 +51,8 @@ let create_ctx mem =
     acc_write = Array.make max_lanes false;
     gather_tmp = Array.make max_lanes 0;
     blk = Bytes.create (max_lanes * 4);
+    n_pred_fast = 0;
+    n_pred_masked = 0;
   }
 
 type outcome =
@@ -452,8 +459,15 @@ let exec_vla ctx (p : Vla.exec) =
       ctx.e_value <- v
   | Vla.Pred { pred; v } ->
       let k = ctx.preds.(Vla.preg_index pred) in
-      if k >= ctx.lanes then exec_vector ctx v
+      if k >= ctx.lanes then begin
+        (* all-true fast path: every lane active, so the unmasked
+           fixed-width semantics apply verbatim (counted before exec so
+           the tally survives a [Sigill] escaping mid-instruction) *)
+        ctx.n_pred_fast <- ctx.n_pred_fast + 1;
+        exec_vector ctx v
+      end
       else begin
+        ctx.n_pred_masked <- ctx.n_pred_masked + 1;
         clear_effect ctx;
         exec_vector_masked ctx ~k v
       end
@@ -461,3 +475,290 @@ let exec_vla ctx (p : Vla.exec) =
 let step_vector ctx vinsn =
   exec_vector ctx vinsn;
   last_effect ctx
+
+(* --- closure compilation ---
+
+   [compile_vector]/[compile_vla] turn one vector (or VLA) instruction
+   into a specialized [unit -> unit] closure for the block engine:
+   operand registers are resolved to the context arrays once, the lane
+   count is baked in (the engine only replays a compiled op while
+   [ctx.lanes] equals the baked count), element decode/encode loops are
+   monomorphized per element size, and the opcode dispatch is
+   pre-resolved through {!Opcode.fn}.
+
+   The contract mirrors the scalar kernels above: architectural state
+   (registers, vector registers, predicates, flags, memory) changes
+   exactly as under [exec_vector]/[exec_vla], and the access scratch
+   prefix ([e_nacc]/[acc_*]) is maintained exactly — the engine derives
+   data-cache charges from it. The value/taken scratch fields are
+   skipped; they are only consumed by a live translator session or a
+   trace observer, under which the block engine never runs. A compiled
+   op that must fault ([Sigill]) does so on every execution, matching
+   the interpretive per-execution check. *)
+
+let[@inline] set_access ctx i addr bytes write =
+  ctx.acc_addr.(i) <- addr;
+  ctx.acc_bytes.(i) <- bytes;
+  ctx.acc_write.(i) <- write
+
+let compile_base ctx = function
+  | Insn.Sym addr -> fun () -> addr
+  | Insn.Breg r ->
+      let i = Reg.index r in
+      fun () -> Array.unsafe_get ctx.regs i
+
+let compile_decode ctx d ~w ~bytes ~signed =
+  let blk = ctx.blk in
+  match bytes with
+  | 1 ->
+      if signed then fun () ->
+        for i = 0 to w - 1 do
+          d.(i) <- Bytes.get_int8 blk i
+        done
+      else fun () ->
+        for i = 0 to w - 1 do
+          d.(i) <- Bytes.get_uint8 blk i
+        done
+  | 2 ->
+      if signed then fun () ->
+        for i = 0 to w - 1 do
+          d.(i) <- Bytes.get_int16_le blk (2 * i)
+        done
+      else fun () ->
+        for i = 0 to w - 1 do
+          d.(i) <- Bytes.get_uint16_le blk (2 * i)
+        done
+  | 4 ->
+      fun () ->
+        for i = 0 to w - 1 do
+          d.(i) <- Int32.to_int (Bytes.get_int32_le blk (4 * i))
+        done
+  | n -> invalid_arg (Printf.sprintf "Sem: bad element size %d" n)
+
+let compile_encode ctx s ~w ~bytes =
+  let blk = ctx.blk in
+  match bytes with
+  | 1 ->
+      fun () ->
+        for i = 0 to w - 1 do
+          Bytes.unsafe_set blk i (Char.unsafe_chr (s.(i) land 0xFF))
+        done
+  | 2 ->
+      fun () ->
+        for i = 0 to w - 1 do
+          Bytes.set_uint16_le blk (2 * i) (s.(i) land 0xFFFF)
+        done
+  | 4 ->
+      fun () ->
+        for i = 0 to w - 1 do
+          Bytes.set_int32_le blk (4 * i) (Int32.of_int s.(i))
+        done
+  | n -> invalid_arg (Printf.sprintf "Sem: bad element size %d" n)
+
+let compile_vector ctx ~lanes:w (vinsn : Vinsn.exec) =
+  match vinsn with
+  | Vinsn.Vld { esize; signed; dst; base; index } ->
+      let bytes = Esize.bytes esize in
+      let len = w * bytes in
+      let d = ctx.vregs.(Vreg.index dst) in
+      let ii = Reg.index index in
+      let getb = compile_base ctx base in
+      let decode = compile_decode ctx d ~w ~bytes ~signed in
+      fun () ->
+        let start = Word.add (getb ()) (Word.mul ctx.regs.(ii) bytes) in
+        Memory.read_block ctx.mem ~addr:start ~len ctx.blk;
+        decode ();
+        set_access ctx 0 start len false;
+        ctx.e_nacc <- 1
+  | Vinsn.Vst { esize; src; base; index } ->
+      let bytes = Esize.bytes esize in
+      let len = w * bytes in
+      let s = ctx.vregs.(Vreg.index src) in
+      let ii = Reg.index index in
+      let getb = compile_base ctx base in
+      let encode = compile_encode ctx s ~w ~bytes in
+      fun () ->
+        let start = Word.add (getb ()) (Word.mul ctx.regs.(ii) bytes) in
+        encode ();
+        Memory.write_block ctx.mem ~addr:start ~len ctx.blk;
+        set_access ctx 0 start len true;
+        ctx.e_nacc <- 1
+  | Vinsn.Vlds { esize; signed; dst; base; index; stride; phase } ->
+      let bytes = Esize.bytes esize in
+      let span = ((stride * (w - 1)) + 1) * bytes in
+      let d = ctx.vregs.(Vreg.index dst) in
+      let ii = Reg.index index in
+      let getb = compile_base ctx base in
+      fun () ->
+        let base_addr = getb () in
+        let first = ctx.regs.(ii) in
+        for i = 0 to w - 1 do
+          let elem = (stride * (first + i)) + phase in
+          d.(i) <-
+            Memory.read ctx.mem ~addr:(base_addr + (elem * bytes)) ~bytes ~signed
+        done;
+        set_access ctx 0 (base_addr + (((stride * first) + phase) * bytes)) span
+          false;
+        ctx.e_nacc <- 1
+  | Vinsn.Vsts { esize; src; base; index; stride; phase } ->
+      let bytes = Esize.bytes esize in
+      let span = ((stride * (w - 1)) + 1) * bytes in
+      let s = ctx.vregs.(Vreg.index src) in
+      let ii = Reg.index index in
+      let getb = compile_base ctx base in
+      fun () ->
+        let base_addr = getb () in
+        let first = ctx.regs.(ii) in
+        for i = 0 to w - 1 do
+          let elem = (stride * (first + i)) + phase in
+          Memory.write ctx.mem ~addr:(base_addr + (elem * bytes)) ~bytes s.(i)
+        done;
+        set_access ctx 0 (base_addr + (((stride * first) + phase) * bytes)) span
+          true;
+        ctx.e_nacc <- 1
+  | Vinsn.Vgather { esize; signed; dst; base; index_v } ->
+      let bytes = Esize.bytes esize in
+      let idx = ctx.vregs.(Vreg.index index_v) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      let tmp = ctx.gather_tmp in
+      let getb = compile_base ctx base in
+      fun () ->
+        let base_addr = getb () in
+        for i = 0 to w - 1 do
+          let addr = base_addr + (idx.(i) * bytes) in
+          tmp.(i) <- Memory.read ctx.mem ~addr ~bytes ~signed;
+          set_access ctx i addr bytes false
+        done;
+        ctx.e_nacc <- w;
+        Array.blit tmp 0 d 0 w
+  | Vinsn.Vdp { op; dst; src1; src2 } -> (
+      let a = ctx.vregs.(Vreg.index src1) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      match src2 with
+      | Vinsn.VR r2 -> (
+          let b = ctx.vregs.(Vreg.index r2) in
+          match op with
+          | Opcode.Add ->
+              fun () ->
+                for i = 0 to w - 1 do
+                  Array.unsafe_set d i
+                    (Word.add (Array.unsafe_get a i) (Array.unsafe_get b i))
+                done;
+                ctx.e_nacc <- 0
+          | Opcode.Sub ->
+              fun () ->
+                for i = 0 to w - 1 do
+                  Array.unsafe_set d i
+                    (Word.sub (Array.unsafe_get a i) (Array.unsafe_get b i))
+                done;
+                ctx.e_nacc <- 0
+          | Opcode.Mul ->
+              fun () ->
+                for i = 0 to w - 1 do
+                  Array.unsafe_set d i
+                    (Word.mul (Array.unsafe_get a i) (Array.unsafe_get b i))
+                done;
+                ctx.e_nacc <- 0
+          | _ ->
+              let f = Opcode.fn op in
+              fun () ->
+                for i = 0 to w - 1 do
+                  Array.unsafe_set d i
+                    (f (Array.unsafe_get a i) (Array.unsafe_get b i))
+                done;
+                ctx.e_nacc <- 0)
+      | Vinsn.VImm v ->
+          let f = Opcode.fn op in
+          fun () ->
+            for i = 0 to w - 1 do
+              Array.unsafe_set d i (f (Array.unsafe_get a i) v)
+            done;
+            ctx.e_nacc <- 0
+      | Vinsn.VConst arr ->
+          if Array.length arr <> w then fun () ->
+            (* the interpretive path checks the width on every execution
+               (through [vsrc_lane]); fault identically, forever *)
+            clear_effect ctx;
+            raise (Sigill "constant vector width mismatch")
+          else
+            let f = Opcode.fn op in
+            fun () ->
+              for i = 0 to w - 1 do
+                Array.unsafe_set d i
+                  (f (Array.unsafe_get a i) (Array.unsafe_get arr i))
+              done;
+              ctx.e_nacc <- 0)
+  | Vinsn.Vsat { op; esize; signed; dst; src1; src2 } ->
+      let a = ctx.vregs.(Vreg.index src1) in
+      let b = ctx.vregs.(Vreg.index src2) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      let f = match op with `Add -> Word.sat_add | `Sub -> Word.sat_sub in
+      fun () ->
+        for i = 0 to w - 1 do
+          d.(i) <- f esize ~signed a.(i) b.(i)
+        done;
+        ctx.e_nacc <- 0
+  | Vinsn.Vperm { pattern; dst; src } ->
+      if not (Perm.supported pattern ~lanes:w) then fun () ->
+        clear_effect ctx;
+        raise
+          (Sigill
+             (Format.asprintf "permutation %a unsupported at %d lanes" Perm.pp
+                pattern w))
+      else begin
+        (* [Perm.apply] is positional, so applying it to the identity
+           yields the source index of every destination lane once *)
+        let map = Perm.apply pattern (Array.init w (fun i -> i)) in
+        let s = ctx.vregs.(Vreg.index src) in
+        let d = ctx.vregs.(Vreg.index dst) in
+        let tmp = ctx.gather_tmp in
+        fun () ->
+          for i = 0 to w - 1 do
+            tmp.(i) <- s.(map.(i))
+          done;
+          Array.blit tmp 0 d 0 w;
+          ctx.e_nacc <- 0
+      end
+  | Vinsn.Vred { op; acc; src } ->
+      let s = ctx.vregs.(Vreg.index src) in
+      let ai = Reg.index acc in
+      let f = Opcode.fn op in
+      fun () ->
+        let folded = ref s.(0) in
+        for i = 1 to w - 1 do
+          folded := f !folded s.(i)
+        done;
+        ctx.regs.(ai) <- f ctx.regs.(ai) !folded;
+        ctx.e_nacc <- 0
+
+let compile_vla ctx ~lanes (p : Vla.exec) =
+  match p with
+  | Vla.Whilelt { pred; counter; bound } ->
+      let ci = Reg.index counter in
+      let pi = Vla.preg_index pred in
+      fun () ->
+        let c = ctx.regs.(ci) in
+        let k = bound - c in
+        let k = if k < 0 then 0 else if k > lanes then lanes else k in
+        ctx.preds.(pi) <- k;
+        ctx.flags <- Flags.of_compare c bound;
+        ctx.e_nacc <- 0
+  | Vla.Incvl { dst } ->
+      let di = Reg.index dst in
+      fun () ->
+        ctx.regs.(di) <- Word.add ctx.regs.(di) lanes;
+        ctx.e_nacc <- 0
+  | Vla.Pred { pred; v } ->
+      let pi = Vla.preg_index pred in
+      let full = compile_vector ctx ~lanes v in
+      fun () ->
+        let k = ctx.preds.(pi) in
+        if k >= lanes then begin
+          ctx.n_pred_fast <- ctx.n_pred_fast + 1;
+          full ()
+        end
+        else begin
+          ctx.n_pred_masked <- ctx.n_pred_masked + 1;
+          clear_effect ctx;
+          exec_vector_masked ctx ~k v
+        end

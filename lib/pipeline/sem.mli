@@ -36,6 +36,12 @@ type ctx = {
   acc_write : bool array;
   gather_tmp : int array;
   blk : Bytes.t;
+  mutable n_pred_fast : int;
+      (** predicated vector executions ({!Vla.Pred}) taken on the
+          all-true fast path: the governing predicate covered every lane,
+          so the unmasked fixed-width semantics ran verbatim *)
+  mutable n_pred_masked : int;
+      (** predicated vector executions that paid the masked path *)
 }
 
 val create_ctx : Liquid_machine.Memory.t -> ctx
@@ -115,3 +121,30 @@ val kernel_cmp_imm : ctx -> src1:int -> int -> unit
 val kernel_cmp_reg : ctx -> src1:int -> src2:int -> unit
 val kernel_ld : ctx -> addr:int -> bytes:int -> signed:bool -> dst:int -> unit
 val kernel_st : ctx -> addr:int -> bytes:int -> src:int -> unit
+
+(** {1 Closure compilation}
+
+    One-instruction compilers for the block engine's superblock tier.
+    Each returns a specialized [unit -> unit] closure with operand
+    indices resolved, the lane count baked in, element decode/encode
+    monomorphized per element size and the opcode dispatch pre-resolved
+    ({!Opcode.fn}). The closure is only valid while the context's active
+    lane count equals [lanes]. Architectural state changes exactly as
+    under the interpretive [exec_*]; the access scratch prefix
+    ([e_nacc]/[acc_*]) is maintained exactly (the engine derives
+    data-cache charges from it), while the [e_value]/[e_taken] scratch is
+    skipped — only a live translator session observes it, and the block
+    engine never runs under one. Deterministic faults (unsupported
+    permutation, mismatched constant vector) are compiled into thunks
+    that raise {!Sigill} with the interpretive message on every
+    execution. *)
+
+val compile_vector : ctx -> lanes:int -> Vinsn.exec -> unit -> unit
+(** Compile one fixed-width vector instruction at width [lanes]. *)
+
+val compile_vla : ctx -> lanes:int -> Vla.exec -> unit -> unit
+(** Compile one VLA operation at vector length [lanes]. A compiled
+    [Pred] keeps the fast/masked split of {!exec_vla}: full predicates
+    run the pre-compiled unmasked closure (counted in [n_pred_fast]),
+    partial ones fall back to the interpretive masked path (counted in
+    [n_pred_masked]). *)

@@ -18,6 +18,12 @@ type t = {
 
 let length t = Array.length t.uops
 
+(* Synthetic predictor key for an intra-microcode branch. Offset past the
+   image address space (program counters are far below 2^30) so microcode
+   branches never alias image branches in the predictor's index space;
+   [entry * max_uops + index] is unique per (region, branch site). *)
+let branch_key ~entry ~max_uops ~index = 0x40000000 + (entry * max_uops) + index
+
 let pp_uop ppf = function
   | US i -> Insn.pp_exec ppf i
   | UV v -> Vinsn.pp_exec ppf v

@@ -32,5 +32,16 @@ type t = {
 }
 
 val length : t -> int
+
+val branch_key : entry:int -> max_uops:int -> index:int -> int
+(** Synthetic branch-predictor key for the intra-microcode branch at uop
+    [index] of the region entered at image address [entry], with
+    [max_uops] the machine's microcode-capacity bound. Offset past the
+    image address space so microcode branches never alias image branches
+    in the predictor; unique per (region, branch site). All consumers of
+    microcode branch prediction (the stepping interpreter and the block
+    engine) must use this one definition so their predictor state stays
+    bit-identical. *)
+
 val pp_uop : Format.formatter -> uop -> unit
 val pp : Format.formatter -> t -> unit

@@ -105,8 +105,8 @@ let test_cond_int_roundtrip () =
   Alcotest.(check bool) "bad code" true (Cond.of_int 7 = None)
 
 let test_flags_signed_compare () =
-  check_bool "negative vs positive" true (Flags.of_compare (-1) 1).Flags.lt;
-  check_bool "equal" true (Flags.of_compare 5 5).Flags.eq
+  check_bool "negative vs positive" true (Flags.lt (Flags.of_compare (-1) 1));
+  check_bool "equal" true (Flags.eq (Flags.of_compare 5 5))
 
 (* --- Opcode --- *)
 

@@ -316,6 +316,7 @@ let bench_fixture =
     b_sim_wall_s = 0.5;
     b_sim_cycles_per_s = 246912.0;
     b_block_speedup = 1.8;
+    b_super_speedup = 1.3;
     b_fault_wall_s = 2.0;
     b_fault_cases = 75;
     b_fault_survived = true;

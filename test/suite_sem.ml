@@ -106,7 +106,7 @@ let test_cmp_halt () =
   let c = ctx () in
   setr c 1 5;
   ignore (step c (Insn.Cmp { src1 = r 1; src2 = Imm 9 }));
-  check_bool "flags lt" true c.Sem.flags.Flags.lt;
+  check_bool "flags lt" true (Flags.lt c.Sem.flags);
   let outcome, _ = step c Insn.Halt in
   check_bool "stop" true (outcome = Sem.Stop)
 

@@ -39,16 +39,16 @@ let test_whilelt () =
   let c = vla_ctx ~lanes:4 in
   whilelt c ~counter:0 ~bound:15;
   check "full predicate" 4 c.Sem.preds.(0);
-  check_bool "continue flag" true c.Sem.flags.Flags.lt;
+  check_bool "continue flag" true (Flags.lt c.Sem.flags);
   whilelt c ~counter:12 ~bound:15;
   check "partial tail" 3 c.Sem.preds.(0);
-  check_bool "still continuing" true c.Sem.flags.Flags.lt;
+  check_bool "still continuing" true (Flags.lt c.Sem.flags);
   whilelt c ~counter:16 ~bound:15;
   check "overshoot empty" 0 c.Sem.preds.(0);
-  check_bool "loop exits" false c.Sem.flags.Flags.lt;
+  check_bool "loop exits" false (Flags.lt c.Sem.flags);
   whilelt c ~counter:15 ~bound:15;
   check "exact end empty" 0 c.Sem.preds.(0);
-  check_bool "equality exits too" false c.Sem.flags.Flags.lt
+  check_bool "equality exits too" false (Flags.lt c.Sem.flags)
 
 let test_incvl () =
   let c = vla_ctx ~lanes:4 in

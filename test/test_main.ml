@@ -21,6 +21,7 @@ let () =
       ("golden", Suite_golden.tests);
       ("vla", Suite_vla.tests);
       ("blocks", Suite_blocks.tests);
+      ("superblocks", Suite_superblocks.tests);
       ("obs", Suite_obs.tests);
       ("faults", Suite_faults.tests);
       ("smoke", Suite_smoke.tests);
