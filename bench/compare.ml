@@ -65,8 +65,10 @@ let () =
     | [ o; n ] -> (o, n)
     | _ -> die "usage: compare OLD.json NEW.json [--smoke]"
   in
-  let old_tests = tests (load old_path) in
-  let new_tests = tests (load new_path) in
+  let old_doc = load old_path in
+  let new_doc = load new_path in
+  let old_tests = tests old_doc in
+  let new_tests = tests new_doc in
   let regressions = ref [] in
   Printf.printf "%-32s %12s %12s %8s\n" "test" "old ns/run" "new ns/run"
     "ratio";
@@ -111,6 +113,29 @@ let () =
         Printf.printf "%-32s %12s %12s %8s\n" "vla/liquid ratio" "-" "-" "n/a";
         false
   in
+  (* Service-throughput gate: jobs/s is a rate (higher is better), so
+     the NEW value must not fall below OLD divided by the regression
+     threshold. Skipped when either file predates the row, so older
+     baselines still compare. *)
+  let service_bad =
+    let rate j =
+      match Json.member "service_throughput_jobs_s" j with
+      | Some (Json.Float f) -> Some f
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    match (rate old_doc, rate new_doc) with
+    | Some old, Some nw when old > 0.0 ->
+        let ratio = old /. nw in
+        Printf.printf "%-32s %12.1f %12.1f %7.2fx%s\n"
+          "service_throughput_jobs_s" old nw ratio
+          (if ratio > threshold then "  REGRESSED" else "");
+        ratio > threshold
+    | _ ->
+        Printf.printf "%-32s %12s %12s %8s\n" "service_throughput_jobs_s" "-"
+          "-" "n/a";
+        false
+  in
   (match List.rev !regressions with
   | [] -> ()
   | names ->
@@ -121,5 +146,10 @@ let () =
   if vla_bad then begin
     Printf.eprintf "core_simulate_vla exceeds %.1fx core_simulate_liquid\n"
       vla_ratio_limit;
+    exit 1
+  end;
+  if service_bad then begin
+    Printf.eprintf "service_throughput_jobs_s regressed more than %.0f%%\n"
+      ((threshold -. 1.0) *. 100.0);
     exit 1
   end

@@ -335,6 +335,42 @@ let fault_campaign workloads =
   let wall = Unix.gettimeofday () -. t0 in
   (report, wall)
 
+(* Sweep-service throughput: a fixed job script — every workload under
+   the three headline variants, each job submitted twice so the reply
+   dedup is part of what's measured — through the in-process entry
+   point, jobs replied per wall second. Fresh runner cache so the
+   number reflects real simulations plus the supervision envelope, not
+   a warm memo. *)
+let service_throughput workloads =
+  Runner.clear_cache ();
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun v ->
+          for _ = 1 to 2 do
+            Buffer.add_string buf
+              (Printf.sprintf "{\"workload\": %S, \"variant\": %S}\n"
+                 w.Workload.name v)
+          done)
+        [ "baseline"; "liquid:8"; "vla:8" ])
+    workloads;
+  let jobs = 6 * List.length workloads in
+  let t0 = Unix.gettimeofday () in
+  let replies = Liquid_service.Service.run_script (Buffer.contents buf) in
+  let wall = Unix.gettimeofday () -. t0 in
+  let replied =
+    List.length
+      (List.filter
+         (fun l -> String.trim l <> "")
+         (String.split_on_char '\n' replies))
+  in
+  if replied <> jobs then
+    failwith
+      (Printf.sprintf "service throughput: %d jobs submitted, %d replies"
+         jobs replied);
+  float_of_int jobs /. wall
+
 let () =
   let t0 = Unix.gettimeofday () in
   if not smoke then print_reports ();
@@ -371,6 +407,7 @@ let () =
   let block_speedup = off_wall_s /. sim_wall_s in
   let super_speedup = nosuper_wall_s /. sim_wall_s in
   let fault_report, fault_wall_s = fault_campaign fault_workloads in
+  let service_jobs_s = service_throughput sim_workloads in
   (* Single shared emitter (Liquid_obs.Bench_report): builds the typed
      record, writes BENCH.json, and re-validates the written file
      against the documented schema — a shape regression fails here. *)
@@ -385,6 +422,7 @@ let () =
       b_fault_wall_s = fault_wall_s;
       b_fault_cases = List.length fault_report.Liquid_faults.Campaign.r_cases;
       b_fault_survived = Liquid_faults.Campaign.survived fault_report;
+      b_service_jobs_s = service_jobs_s;
       b_tests =
         List.map
           (fun (name, ns) ->
@@ -394,5 +432,5 @@ let () =
   if not json_only then
     Format.printf
       "@.report wall %.3f s; block speedup %.2fx; superblock speedup %.2fx; \
-       fault campaign %.3f s; BENCH.json written@."
-      report_wall_s block_speedup super_speedup fault_wall_s
+       fault campaign %.3f s; service %.1f jobs/s; BENCH.json written@."
+      report_wall_s block_speedup super_speedup fault_wall_s service_jobs_s

@@ -1,0 +1,88 @@
+(* Exact LRU over a hashtable of stamped slots. Mirrors the machine
+   caches' policy (Cache): unique clock stamps give a strict recency
+   order, hits are one store, and the O(n) minimum-stamp victim scan
+   runs only when an insert finds the table full — never on the lookup
+   path. *)
+
+type 'v slot = { mutable value : 'v; mutable stamp : int }
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, 'v slot) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  {
+    cap = capacity;
+    table = Hashtbl.create (min capacity 64);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+
+let tick t =
+  let c = t.clock + 1 in
+  t.clock <- c;
+  c
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some slot ->
+      slot.stamp <- tick t;
+      t.hits <- t.hits + 1;
+      Some slot.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k slot ->
+      match !victim with
+      | Some (_, best) when best <= slot.stamp -> ()
+      | _ -> victim := Some (k, slot.stamp))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some slot ->
+      slot.value <- v;
+      slot.stamp <- tick t
+  | None ->
+      if Hashtbl.length t.table >= t.cap then evict_lru t;
+      Hashtbl.replace t.table k { value = v; stamp = tick t }
+
+let occupancy t = Hashtbl.length t.table
+
+type counters = {
+  l_hits : int;
+  l_misses : int;
+  l_evictions : int;
+  l_occupancy : int;
+  l_capacity : int;
+}
+
+let counters t =
+  {
+    l_hits = t.hits;
+    l_misses = t.misses;
+    l_evictions = t.evictions;
+    l_occupancy = Hashtbl.length t.table;
+    l_capacity = t.cap;
+  }
+
+let clear t = Hashtbl.reset t.table

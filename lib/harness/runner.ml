@@ -24,6 +24,40 @@ let variant_name = function
   | Liquid_vla_oracle w -> Printf.sprintf "liquid-vla-oracle/%d-wide" w
   | Native w -> Printf.sprintf "native/%d-wide" w
 
+(* One parser for the CLI's and the sweep service's variant syntax, so
+   the two front ends can never drift apart. *)
+let variant_of_string s =
+  let width ctor w =
+    match int_of_string_opt w with
+    | Some w when w > 0 -> Ok (ctor w)
+    | Some _ | None -> Error (Printf.sprintf "bad width %S" w)
+  in
+  match String.split_on_char ':' s with
+  | [ "baseline" ] -> Ok Baseline
+  | [ "liquid"; "scalar" ] -> Ok Liquid_scalar
+  | [ "liquid"; w ] -> width (fun w -> Liquid w) w
+  | [ "oracle"; w ] | [ "liquid-oracle"; w ] -> width (fun w -> Liquid_oracle w) w
+  | [ "vla"; w ] | [ "liquid-vla"; w ] -> width (fun w -> Liquid_vla w) w
+  | [ "vla-oracle"; w ] | [ "liquid-vla-oracle"; w ] ->
+      width (fun w -> Liquid_vla_oracle w) w
+  | [ "native"; w ] -> width (fun w -> Native w) w
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown variant %S; expected baseline, liquid:scalar, \
+            liquid:<width>, vla:<width>, oracle:<width>, vla-oracle:<width> \
+            or native:<width>"
+           s)
+
+let variant_to_string = function
+  | Baseline -> "baseline"
+  | Liquid_scalar -> "liquid:scalar"
+  | Liquid w -> Printf.sprintf "liquid:%d" w
+  | Liquid_oracle w -> Printf.sprintf "oracle:%d" w
+  | Liquid_vla w -> Printf.sprintf "vla:%d" w
+  | Liquid_vla_oracle w -> Printf.sprintf "vla-oracle:%d" w
+  | Native w -> Printf.sprintf "native:%d" w
+
 let program_of (w : Workload.t) = function
   | Baseline -> Codegen.baseline w.program
   | Liquid_scalar | Liquid _ | Liquid_oracle _ | Liquid_vla _
@@ -74,7 +108,14 @@ let run ?translation_cpi ?fuel ?(blocks = true) ?(superblocks = true)
    workload). One process-wide table keyed on the full input tuple turns
    those repeats into lookups. The [translation_cpi] knob only reaches
    the config of [Liquid] variants, so it is normalized out of the key
-   everywhere else. *)
+   everywhere else.
+
+   The table is a bounded exact-LRU [Lru] (it used to be an unbounded
+   hashtable — fine for one report run, a leak for the long-lived sweep
+   service): the capacity comfortably covers one full experiment
+   report's distinct keys, so the reports still see pure lookups, while
+   a service that streams millions of distinct jobs through the process
+   stays at a flat ceiling. *)
 
 type cache_key = {
   ck_workload : string;
@@ -85,7 +126,8 @@ type cache_key = {
   ck_super : bool;
 }
 
-let cache : (cache_key, result) Hashtbl.t = Hashtbl.create 64
+let cache_capacity = 2048
+let cache : (cache_key, result) Lru.t = Lru.create ~capacity:cache_capacity
 let cache_mutex = Mutex.create ()
 
 let cache_key (w : Workload.t) variant ~translation_cpi ~fuel ~blocks
@@ -107,21 +149,25 @@ let cache_key (w : Workload.t) variant ~translation_cpi ~fuel ~blocks
 let run_cached ?translation_cpi ?fuel ?(blocks = true) ?(superblocks = true)
     (w : Workload.t) variant =
   let key = cache_key w variant ~translation_cpi ~fuel ~blocks ~superblocks in
-  match
-    Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key)
-  with
+  match Mutex.protect cache_mutex (fun () -> Lru.find cache key) with
   | Some r -> r
   | None ->
       let r = run ?translation_cpi ?fuel ~blocks ~superblocks w variant in
       Mutex.protect cache_mutex (fun () ->
-          match Hashtbl.find_opt cache key with
+          (* A racing domain may have finished the same key first; its
+             entry wins so every caller shares one result. The re-probe
+             counts as a second lookup in the cache counters, which is
+             what it is. *)
+          match Lru.find cache key with
           | Some winner -> winner
           | None ->
-              Hashtbl.replace cache key r;
+              Lru.add cache key r;
               r)
 
-let clear_cache () =
-  Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
+let clear_cache () = Mutex.protect cache_mutex (fun () -> Lru.clear cache)
+
+let cache_counters () =
+  Mutex.protect cache_mutex (fun () -> Lru.counters cache)
 
 (* --- domain fan-out --- *)
 

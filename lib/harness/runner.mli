@@ -23,6 +23,18 @@ type result = { variant : variant; program : Program.t; run : Cpu.run }
 
 val variant_name : variant -> string
 
+val variant_of_string : string -> (variant, string) Stdlib.result
+(** Parse the CLI/service variant syntax — [baseline], [liquid:scalar],
+    [liquid:W], [vla:W], [oracle:W], [vla-oracle:W], [native:W] (with
+    the [liquid-] prefixed aliases) — the inverse of the surface syntax,
+    shared by the command line and the sweep-service protocol so the
+    two cannot drift. The error carries a human-readable message. *)
+
+val variant_to_string : variant -> string
+(** The canonical wire spelling — the inverse of {!variant_of_string}
+    (aliases normalize: [liquid-vla:8] prints as [vla:8]). Distinct from
+    {!variant_name}, the human display name used in reports. *)
+
 val program_of : Workload.t -> variant -> Program.t
 (** Raises {!Liquid_scalarize.Codegen.Unsupported_width} when a native
     binary cannot be generated at the requested width. *)
@@ -61,7 +73,21 @@ val run_cached :
     pure, and the experiment suite re-requests the same runs dozens of
     times (every table wants every workload's baseline). Safe to call
     from multiple domains; the first completed run for a key is the one
-    every caller sees. Treat the shared {!result} as read-only. *)
+    every caller sees. Treat the shared {!result} as read-only.
+
+    The memo table is a bounded exact-LRU ({!Lru}) of
+    {!cache_capacity} entries, so a long-lived process (the sweep
+    service) streaming distinct jobs through it holds a flat ceiling
+    instead of leaking one full simulation state per key forever. *)
+
+val cache_capacity : int
+(** Bound of the {!run_cached} memo table — sized to cover one full
+    experiment report's distinct keys with room to spare. *)
+
+val cache_counters : unit -> Lru.counters
+(** Lifetime hit/miss/eviction tallies and current occupancy of the
+    {!run_cached} memo — surfaced in the sweep service's metrics
+    document. *)
 
 val clear_cache : unit -> unit
 (** Drop all memoized runs (for tests and long-lived processes). *)

@@ -10,6 +10,7 @@ type t = {
   b_fault_wall_s : float;
   b_fault_cases : int;
   b_fault_survived : bool;
+  b_service_jobs_s : float;
   b_tests : test list;
 }
 
@@ -26,6 +27,7 @@ let to_json t =
       ("fault_campaign_wall_s", Json.Float t.b_fault_wall_s);
       ("fault_campaign_cases", Json.Int t.b_fault_cases);
       ("fault_campaign_survived", Json.Bool t.b_fault_survived);
+      ("service_throughput_jobs_s", Json.Float t.b_service_jobs_s);
       ( "tests",
         Json.List
           (List.map

@@ -23,6 +23,11 @@ type t = {
   b_fault_wall_s : float;  (** wall time of the seeded fault campaign *)
   b_fault_cases : int;
   b_fault_survived : bool;
+  b_service_jobs_s : float;
+      (** sweep-service throughput: jobs replied per wall second through
+          {!Liquid_service.Service.run_script} on a fixed job script
+          (emitted as [service_throughput_jobs_s]; gated non-regressing
+          by [bench/compare.exe]) *)
   b_tests : test list;  (** Bechamel per-test estimates *)
 }
 

@@ -15,3 +15,8 @@ val snapshot : Json.t -> string list
 val bench : Json.t -> string list
 (** Validates a {!Bench_report.to_json} document — the BENCH.json file
     (schema ["liquid-bench/1"]). *)
+
+val service_metrics : Json.t -> string list
+(** Validates the sweep service's metrics document
+    (schema ["liquid-service-metrics/1"]): job accounting, supervision
+    counters, breaker state and the two LRU tallies. *)

@@ -344,7 +344,8 @@ let close_session st s =
       st.stats.Stats.translations_aborted <-
         st.stats.Stats.translations_aborted + 1;
       acc.outcome <-
-        (if Abort.permanent reason then R_failed reason else R_untried)
+        (if Diag.classify_abort reason = `Permanent then R_failed reason
+         else R_untried)
 
 (* Feed only the session that was live before the current instruction:
    the region branch-and-link that just opened a session is not part of
@@ -509,7 +510,8 @@ let oracle_lookup st target =
                   Some u
               | Ok (Translator.Aborted reason) ->
                   (region_acc st target).outcome <-
-                    (if Abort.permanent reason then R_failed reason
+                    (if Diag.classify_abort reason = `Permanent then
+                       R_failed reason
                      else R_untried);
                   None
               | Error _ -> None)

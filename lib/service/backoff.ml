@@ -1,0 +1,28 @@
+module Rng = Liquid_faults.Fault.Rng
+
+(* Jitter draws get their own generator per (seed, job, attempt): cheap,
+   stateless from the caller's point of view, and stable under any
+   interleaving of jobs across domains. The mixing constants are
+   arbitrary odd numbers; splitmix64 scrambles whatever we hand it. *)
+let jitter_factor ~jitter ~seed ~job ~attempt =
+  if jitter <= 0.0 then 1.0
+  else
+    let rng =
+      Rng.make (seed lxor (job * 0x2545F491) lxor (attempt * 0x9E3779B1))
+    in
+    let u = float_of_int (Rng.int rng 1_000_000) /. 1_000_000.0 in
+    1.0 -. jitter +. (2.0 *. jitter *. u)
+
+let ideal ~base_ms ~factor ~attempt =
+  base_ms *. (factor ** float_of_int (max 0 (attempt - 1)))
+
+let delay_ms ~base_ms ~factor ~jitter ~seed ~job ~attempt =
+  Float.max 0.0
+    (ideal ~base_ms ~factor ~attempt *. jitter_factor ~jitter ~seed ~job ~attempt)
+
+let budget_ms ~base_ms ~factor ~jitter ~retries =
+  let rec go acc attempt =
+    if attempt > retries then acc
+    else go (acc +. (ideal ~base_ms ~factor ~attempt *. (1.0 +. jitter))) (attempt + 1)
+  in
+  Float.max 0.0 (go 0.0 1)

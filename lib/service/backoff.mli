@@ -1,0 +1,28 @@
+(** Exponential retry backoff with seed-stable jitter.
+
+    A retry's delay is [base_ms * factor^(attempt-1)], scaled by a
+    jitter factor drawn deterministically from
+    [(seed, job, attempt)] via the same splitmix64 generator the fault
+    injector uses ({!Liquid_faults.Fault.Rng}) — so two replicas of a
+    fixed-seed run back off identically, while distinct jobs de-correlate
+    (no thundering herd of simultaneous retries). *)
+
+val delay_ms :
+  base_ms:float ->
+  factor:float ->
+  jitter:float ->
+  seed:int ->
+  job:int ->
+  attempt:int ->
+  float
+(** Delay before retry number [attempt] (1-based: the delay between the
+    first failure and the second attempt has [attempt = 1]). [jitter]
+    is the maximum relative perturbation: the result lies in
+    [ideal * \[1 - jitter, 1 + jitter\]] where
+    [ideal = base_ms * factor^(attempt-1)]. Always non-negative. *)
+
+val budget_ms :
+  base_ms:float -> factor:float -> jitter:float -> retries:int -> float
+(** Upper bound of the total backoff a job with [retries] retries can
+    accumulate — the "backoff budget" a converging transient retry must
+    fit inside ([sum of worst-case delays]). *)

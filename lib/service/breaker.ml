@@ -1,0 +1,57 @@
+type entry = { mutable consecutive : int; mutable opened : bool }
+
+type t = {
+  threshold : int;
+  table : (string, entry) Hashtbl.t;
+  mutable trip_count : int;
+  mutex : Mutex.t;
+}
+
+let create ?(threshold = 3) () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  { threshold; table = Hashtbl.create 16; trip_count = 0; mutex = Mutex.create () }
+
+let threshold t = t.threshold
+let key ~workload ~variant = workload ^ "|" ^ variant
+
+let entry_of t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e -> e
+  | None ->
+      let e = { consecutive = 0; opened = false } in
+      Hashtbl.replace t.table k e;
+      e
+
+let is_open t ~workload ~variant =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table (key ~workload ~variant) with
+      | Some e -> e.opened
+      | None -> false)
+
+let record_failure t ~workload ~variant =
+  Mutex.protect t.mutex (fun () ->
+      let e = entry_of t (key ~workload ~variant) in
+      e.consecutive <- e.consecutive + 1;
+      if (not e.opened) && e.consecutive >= t.threshold then begin
+        e.opened <- true;
+        t.trip_count <- t.trip_count + 1
+      end;
+      e.consecutive)
+
+let record_success t ~workload ~variant =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table (key ~workload ~variant) with
+      | Some e -> if not e.opened then e.consecutive <- 0
+      | None -> ())
+
+let trips t = Mutex.protect t.mutex (fun () -> t.trip_count)
+
+let open_keys t =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.fold (fun k e acc -> if e.opened then k :: acc else acc) t.table [])
+  |> List.sort String.compare
+
+let reset t =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.reset t.table;
+      t.trip_count <- 0)

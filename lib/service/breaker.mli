@@ -1,0 +1,47 @@
+(** Per-(workload, variant) circuit breakers.
+
+    A breaker watches one (workload, variant) pair and trips — opens —
+    after [threshold] {e consecutive} permanent failures (as classified
+    by {!Liquid_pipeline.Diag.classify}); any success resets the count.
+    Once open it stays open for the registry's lifetime: the supervisor
+    stops dispatching the poisoned combination and degrades those jobs
+    to a scalar baseline run instead of burning retries on a failure
+    that is deterministic by definition.
+
+    The registry is mutex-protected and safe to consult from worker
+    domains; counts are totals, so fixed-seed runs report identical
+    aggregates regardless of dispatch interleaving. *)
+
+type t
+
+val create : ?threshold:int -> unit -> t
+(** A fresh registry, all breakers closed. [threshold] (default 3) is
+    the consecutive-permanent-failure count that opens a breaker. *)
+
+val threshold : t -> int
+
+val key : workload:string -> variant:string -> string
+(** The registry key for a (workload, variant) pair — also the spelling
+    used in metrics documents and [open_keys]. *)
+
+val is_open : t -> workload:string -> variant:string -> bool
+
+val record_failure : t -> workload:string -> variant:string -> int
+(** Note one permanent failure; returns the new consecutive-failure
+    count. Crossing the threshold opens the breaker (and counts one
+    trip); further failures keep it open. *)
+
+val record_success : t -> workload:string -> variant:string -> unit
+(** A completed run closes the loop: the consecutive-failure count
+    resets to zero. Does {e not} re-close an open breaker — an open
+    breaker never dispatches, so a success can only arrive from a
+    stale in-flight job. *)
+
+val trips : t -> int
+(** Lifetime number of open transitions across all keys. *)
+
+val open_keys : t -> string list
+(** Keys of currently-open breakers, sorted. *)
+
+val reset : t -> unit
+(** Close every breaker and zero every count (tests). *)

@@ -1,0 +1,144 @@
+module Json = Liquid_obs.Json
+module Lru = Liquid_harness.Lru
+
+type t = {
+  submitted : int Atomic.t;
+  ok : int Atomic.t;
+  degraded : int Atomic.t;
+  shed : int Atomic.t;
+  failed : int Atomic.t;
+  dedup_hits : int Atomic.t;
+  retries : int Atomic.t;
+  transient : int Atomic.t;
+  permanent : int Atomic.t;
+  deadline : int Atomic.t;
+  protocol_errors : int Atomic.t;
+}
+
+let create () =
+  {
+    submitted = Atomic.make 0;
+    ok = Atomic.make 0;
+    degraded = Atomic.make 0;
+    shed = Atomic.make 0;
+    failed = Atomic.make 0;
+    dedup_hits = Atomic.make 0;
+    retries = Atomic.make 0;
+    transient = Atomic.make 0;
+    permanent = Atomic.make 0;
+    deadline = Atomic.make 0;
+    protocol_errors = Atomic.make 0;
+  }
+
+type totals = {
+  m_submitted : int;
+  m_ok : int;
+  m_degraded : int;
+  m_shed : int;
+  m_failed : int;
+  m_dedup_hits : int;
+  m_retries : int;
+  m_transient : int;
+  m_permanent : int;
+  m_deadline : int;
+  m_protocol_errors : int;
+}
+
+let totals t =
+  {
+    m_submitted = Atomic.get t.submitted;
+    m_ok = Atomic.get t.ok;
+    m_degraded = Atomic.get t.degraded;
+    m_shed = Atomic.get t.shed;
+    m_failed = Atomic.get t.failed;
+    m_dedup_hits = Atomic.get t.dedup_hits;
+    m_retries = Atomic.get t.retries;
+    m_transient = Atomic.get t.transient;
+    m_permanent = Atomic.get t.permanent;
+    m_deadline = Atomic.get t.deadline;
+    m_protocol_errors = Atomic.get t.protocol_errors;
+  }
+
+let bump c = Atomic.incr c
+let incr_submitted t = bump t.submitted
+let incr_ok t = bump t.ok
+let incr_degraded t = bump t.degraded
+let incr_shed t = bump t.shed
+let incr_failed t = bump t.failed
+let incr_dedup_hits t = bump t.dedup_hits
+let incr_retries t = bump t.retries
+let incr_transient t = bump t.transient
+let incr_permanent t = bump t.permanent
+let incr_deadline t = bump t.deadline
+let incr_protocol_errors t = bump t.protocol_errors
+
+let violations ?(queued = 0) m =
+  let errs = ref [] in
+  let accounted = m.m_ok + m.m_degraded + m.m_shed + m.m_failed + queued in
+  if m.m_submitted <> accounted then
+    errs :=
+      Printf.sprintf
+        "conservation: submitted (%d) <> ok (%d) + degraded (%d) + shed (%d) \
+         + failed (%d) + queued (%d) = %d"
+        m.m_submitted m.m_ok m.m_degraded m.m_shed m.m_failed queued accounted
+      :: !errs;
+  if m.m_dedup_hits > m.m_ok + m.m_degraded then
+    errs :=
+      Printf.sprintf "dedup hits (%d) exceed ok + degraded replies (%d)"
+        m.m_dedup_hits
+        (m.m_ok + m.m_degraded)
+      :: !errs;
+  List.rev !errs
+
+let lru_json (k : Lru.counters) =
+  Json.Obj
+    [
+      ("hits", Json.Int k.Lru.l_hits);
+      ("misses", Json.Int k.Lru.l_misses);
+      ("evictions", Json.Int k.Lru.l_evictions);
+      ("occupancy", Json.Int k.Lru.l_occupancy);
+      ("capacity", Json.Int k.Lru.l_capacity);
+    ]
+
+let to_json t ~queued ~breaker_threshold ~breaker_trips ~breaker_open ~dedup
+    ~runner_cache =
+  let m = totals t in
+  Json.Obj
+    [
+      ("schema", Json.Str "liquid-service-metrics/1");
+      ( "jobs",
+        Json.Obj
+          [
+            ("submitted", Json.Int m.m_submitted);
+            ("ok", Json.Int m.m_ok);
+            ("degraded", Json.Int m.m_degraded);
+            ("shed", Json.Int m.m_shed);
+            ("failed", Json.Int m.m_failed);
+            ("queued", Json.Int queued);
+          ] );
+      ( "supervision",
+        Json.Obj
+          [
+            ("retries", Json.Int m.m_retries);
+            ("transient_failures", Json.Int m.m_transient);
+            ("permanent_failures", Json.Int m.m_permanent);
+            ("deadline_expiries", Json.Int m.m_deadline);
+          ] );
+      ( "breaker",
+        Json.Obj
+          [
+            ("threshold", Json.Int breaker_threshold);
+            ("trips", Json.Int breaker_trips);
+            ("open", Json.List (List.map (fun k -> Json.Str k) breaker_open));
+          ] );
+      ("dedup", lru_json dedup);
+      ("runner_cache", lru_json runner_cache);
+      ("protocol_errors", Json.Int m.m_protocol_errors);
+      ( "invariants",
+        let v = violations ~queued m in
+        Json.Obj
+          [
+            ("checked", Json.Int 2);
+            ("violations", Json.List (List.map (fun s -> Json.Str s) v));
+          ] );
+    ]

@@ -1,0 +1,72 @@
+(** Supervision counters for the sweep service.
+
+    Atomic lifetime tallies bumped by the supervisor from any worker
+    domain, snapshotted into the service's metrics document
+    (schema ["liquid-service-metrics/1"], validated by
+    {!Liquid_obs.Schema.service_metrics}). The load-bearing law is the
+    conservation invariant — {e every} submitted job is accounted for by
+    exactly one terminal status:
+
+    {[ submitted = ok + degraded + shed + failed + queued ]}
+
+    where [queued] (jobs accepted but not yet drained) is zero at
+    quiescence, collapsing to the plain form.
+
+    {!violations} checks it; the test suite and the service's own
+    metrics emission both call it, so a lost or double-counted job
+    fails loudly. *)
+
+type t
+
+val create : unit -> t
+
+(** Immutable snapshot of every counter, read atomically one counter at
+    a time — consistent when the service is quiescent (after a drain),
+    approximate while jobs are in flight. *)
+type totals = {
+  m_submitted : int;  (** job requests accepted into the queue *)
+  m_ok : int;  (** replies with the requested variant's result *)
+  m_degraded : int;  (** breaker-open jobs re-run as scalar baseline *)
+  m_shed : int;  (** jobs dropped under overload *)
+  m_failed : int;  (** permanent / retry-exhausted / malformed jobs *)
+  m_dedup_hits : int;  (** replies served from the dedup LRU *)
+  m_retries : int;  (** re-attempts after a transient failure *)
+  m_transient : int;  (** attempt failures classified [`Transient] *)
+  m_permanent : int;  (** attempt failures classified [`Permanent] *)
+  m_deadline : int;  (** jobs stopped by the wall-clock/fuel deadline *)
+  m_protocol_errors : int;  (** unparseable request lines (not jobs) *)
+}
+
+val totals : t -> totals
+
+val incr_submitted : t -> unit
+val incr_ok : t -> unit
+val incr_degraded : t -> unit
+val incr_shed : t -> unit
+val incr_failed : t -> unit
+val incr_dedup_hits : t -> unit
+val incr_retries : t -> unit
+val incr_transient : t -> unit
+val incr_permanent : t -> unit
+val incr_deadline : t -> unit
+val incr_protocol_errors : t -> unit
+
+val violations : ?queued:int -> totals -> string list
+(** Conservation problems, one human-readable string each; empty means
+    the books balance. [queued] (default 0) is the number of accepted
+    jobs still waiting for a drain. *)
+
+val to_json :
+  t ->
+  queued:int ->
+  breaker_threshold:int ->
+  breaker_trips:int ->
+  breaker_open:string list ->
+  dedup:Liquid_harness.Lru.counters ->
+  runner_cache:Liquid_harness.Lru.counters ->
+  Liquid_obs.Json.t
+(** The ["liquid-service-metrics/1"] document: job accounting,
+    supervision counters, breaker state, and the two LRU caches' tallies
+    (the reply-dedup cache and {!Liquid_harness.Runner.run_cached}'s
+    memo). Includes an [invariants] group reporting
+    {!violations}. *)

@@ -1,0 +1,416 @@
+open Liquid_prog
+open Liquid_pipeline
+module Json = Liquid_obs.Json
+module Schema = Liquid_obs.Schema
+module Stats = Liquid_machine.Stats
+module Abort = Liquid_translate.Abort
+module Workload = Liquid_workloads.Workload
+module Runner = Liquid_harness.Runner
+module Lru = Liquid_harness.Lru
+module Fault = Liquid_faults.Fault
+module Fingerprint = Liquid_faults.Fingerprint
+
+type config = {
+  domains : int option;
+  retries : int;
+  backoff_base_ms : float;
+  backoff_factor : float;
+  backoff_jitter : float;
+  deadline_ms : float;
+  breaker_threshold : int;
+  high_water : int;
+  dedup_capacity : int;
+  seed : int;
+  transient_fuel : int;
+  sleep : float -> unit;
+}
+
+let default_config =
+  {
+    domains = None;
+    retries = 2;
+    backoff_base_ms = 10.0;
+    backoff_factor = 4.0;
+    backoff_jitter = 0.25;
+    deadline_ms = 10_000.0;
+    breaker_threshold = 3;
+    high_water = 64;
+    dedup_capacity = 512;
+    seed = 1;
+    transient_fuel = 64;
+    sleep = (fun _ -> ());
+  }
+
+type t = {
+  cfg : config;
+  metrics : Metrics.t;
+  breaker : Breaker.t;
+  dedup : (int, Job.reply) Lru.t;
+  dedup_mutex : Mutex.t;
+  queue_mutex : Mutex.t;
+  mutable queue : (int * Job.spec) list;  (* newest first; sorted on sync *)
+  mutable seq : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    metrics = Metrics.create ();
+    breaker = Breaker.create ~threshold:config.breaker_threshold ();
+    dedup = Lru.create ~capacity:config.dedup_capacity;
+    dedup_mutex = Mutex.create ();
+    queue_mutex = Mutex.create ();
+    queue = [];
+    seq = 0;
+  }
+
+let metrics t = t.metrics
+let breaker t = t.breaker
+let queue_depth t = Mutex.protect t.queue_mutex (fun () -> List.length t.queue)
+
+(* --- reply builders --- *)
+
+let empty_reply (spec : Job.spec) status =
+  {
+    Job.p_id = spec.Job.j_id;
+    p_status = status;
+    p_workload = spec.Job.j_workload;
+    p_variant = spec.Job.j_variant_str;
+    p_ran = "";
+    p_cycles = 0;
+    p_retired = 0;
+    p_regs_hash = 0;
+    p_mem_hash = 0;
+    p_attempts = 0;
+    p_cached = false;
+    p_reason = None;
+    p_diag = None;
+  }
+
+let run_reply (spec : Job.spec) status ~ran ~attempts ?reason ?diag
+    (run : Cpu.run) (image : Image.t) =
+  {
+    (empty_reply spec status) with
+    Job.p_ran = ran;
+    p_cycles = run.Cpu.stats.Stats.cycles;
+    p_retired = Stats.total_insns run.Cpu.stats;
+    p_regs_hash = Fingerprint.regs_hash run.Cpu.regs;
+    p_mem_hash = Fingerprint.mem_hash image run.Cpu.memory;
+    p_attempts = attempts;
+    p_reason = reason;
+    p_diag = diag;
+  }
+
+let failed_reply (spec : Job.spec) ~reason ?diag ~attempts () =
+  {
+    (empty_reply spec Job.Failed) with
+    Job.p_reason = Some reason;
+    p_diag = diag;
+    p_attempts = attempts;
+  }
+
+(* --- dedup cache --- *)
+
+let dedup_find t fp =
+  Mutex.protect t.dedup_mutex (fun () -> Lru.find t.dedup fp)
+
+let dedup_add t fp reply =
+  Mutex.protect t.dedup_mutex (fun () -> Lru.add t.dedup fp reply)
+
+(* --- seeded per-job fault injection --- *)
+
+(* One translation-path fault per seed, drawn like a one-case Campaign
+   plan. Exhaust_fuel is deliberately excluded: the deadline watchdog is
+   the supervisor's own knob, and arming it here would make "ok" depend
+   on the draw. All three remaining faults are abort-safe — the scalar
+   stream is untouched, so the run completes with scalar-correct state
+   (the property the fault campaign pins). *)
+let seeded_fault seed =
+  let rng = Fault.Rng.make seed in
+  match Fault.Rng.int rng 3 with
+  | 0 ->
+      Fault.Force_abort
+        { site = Fault.Rng.int rng 256; abort = Fault.Rng.pick rng Abort.all }
+  | 1 -> Fault.Corrupt_feed { site = Fault.Rng.int rng 256 }
+  | _ -> Fault.Evict_ucode { call = Fault.Rng.int rng 64 }
+
+(* --- the supervisor --- *)
+
+let degrade t (spec : Job.spec) (w : Workload.t) ~fp ~attempts ~diag =
+  match Runner.run_cached w Runner.Baseline with
+  | result ->
+      Metrics.incr_degraded t.metrics;
+      let image = Image.of_program result.Runner.program in
+      let reply =
+        run_reply spec Job.Degraded ~ran:"baseline" ~attempts
+          ~reason:"breaker-open" ?diag result.Runner.run image
+      in
+      dedup_add t fp reply;
+      reply
+  | exception e ->
+      Metrics.incr_failed t.metrics;
+      failed_reply spec ~reason:"supervisor-crash"
+        ~diag:(Printexc.to_string e) ~attempts ()
+
+let run_supervised t seq (spec : Job.spec) (w : Workload.t) fp =
+  let retries = Option.value spec.Job.j_retries ~default:t.cfg.retries in
+  let max_attempts = retries + 1 in
+  let deadline = Option.value spec.Job.j_deadline_ms ~default:t.cfg.deadline_ms in
+  let started = Unix.gettimeofday () in
+  let virtual_ms = ref 0.0 in
+  let elapsed_ms () =
+    ((Unix.gettimeofday () -. started) *. 1000.0) +. !virtual_ms
+  in
+  let attempt_once attempt =
+    try
+      let program = Runner.program_of w spec.Job.j_variant in
+      let image = Image.of_program program in
+      let base = Runner.config_of spec.Job.j_variant in
+      let fuel =
+        if attempt <= spec.Job.j_transient_attempts then t.cfg.transient_fuel
+        else Option.value spec.Job.j_fuel ~default:base.Cpu.fuel
+      in
+      let faults =
+        match spec.Job.j_fault_seed with
+        | None -> base.Cpu.faults
+        | Some seed -> (Fault.arm (seeded_fault seed)).Fault.hooks
+      in
+      let config =
+        {
+          base with
+          Cpu.fuel;
+          faults;
+          blocks = spec.Job.j_blocks;
+          superblocks = spec.Job.j_superblocks;
+        }
+      in
+      match Cpu.run_result ~config image with
+      | Ok run -> `Ok (run, image)
+      | Error d -> `Diag d
+    with e -> `Exn (Printexc.to_string e)
+  in
+  let permanent ~diag attempts =
+    Metrics.incr_permanent t.metrics;
+    let count =
+      Breaker.record_failure t.breaker ~workload:spec.Job.j_workload
+        ~variant:spec.Job.j_variant_str
+    in
+    if count >= Breaker.threshold t.breaker && spec.Job.j_variant <> Runner.Baseline
+    then degrade t spec w ~fp ~attempts ~diag:(Some diag)
+    else begin
+      Metrics.incr_failed t.metrics;
+      failed_reply spec ~reason:"permanent" ~diag ~attempts ()
+    end
+  in
+  let rec go attempt =
+    match attempt_once attempt with
+    | `Ok (run, image) ->
+        Breaker.record_success t.breaker ~workload:spec.Job.j_workload
+          ~variant:spec.Job.j_variant_str;
+        Metrics.incr_ok t.metrics;
+        let reply =
+          run_reply spec Job.Ok_ ~ran:spec.Job.j_variant_str ~attempts:attempt
+            run image
+        in
+        dedup_add t fp reply;
+        reply
+    | `Diag d when Diag.classify d = `Transient ->
+        Metrics.incr_transient t.metrics;
+        let delay =
+          Backoff.delay_ms ~base_ms:t.cfg.backoff_base_ms
+            ~factor:t.cfg.backoff_factor ~jitter:t.cfg.backoff_jitter
+            ~seed:t.cfg.seed ~job:seq ~attempt
+        in
+        let budget_ok = elapsed_ms () +. delay <= deadline in
+        if attempt < max_attempts && budget_ok then begin
+          Metrics.incr_retries t.metrics;
+          t.cfg.sleep delay;
+          virtual_ms := !virtual_ms +. delay;
+          go (attempt + 1)
+        end
+        else begin
+          (* The fuel watchdog is the machine half of the deadline, so
+             a terminal Fuel_exhausted counts as a deadline expiry even
+             when it was the retry budget that ran dry. *)
+          let is_deadline =
+            (not budget_ok) || d.Diag.fault = Diag.Fuel_exhausted
+          in
+          if is_deadline then Metrics.incr_deadline t.metrics;
+          Metrics.incr_failed t.metrics;
+          failed_reply spec
+            ~reason:(if is_deadline then "deadline" else "retry-exhausted")
+            ~diag:(Diag.to_string d) ~attempts:attempt ()
+        end
+    | `Diag d -> permanent ~diag:(Diag.to_string d) attempt
+    | `Exn msg -> permanent ~diag:msg attempt
+  in
+  go 1
+
+let supervise t (seq, (spec : Job.spec)) : Job.reply =
+  match Workload.find spec.Job.j_workload with
+  | None ->
+      Metrics.incr_failed t.metrics;
+      failed_reply spec ~reason:"unknown-workload" ~attempts:0 ()
+  | Some w -> (
+      let fp = Job.fingerprint spec in
+      match dedup_find t fp with
+      | Some cached ->
+          Metrics.incr_dedup_hits t.metrics;
+          (match cached.Job.p_status with
+          | Job.Degraded -> Metrics.incr_degraded t.metrics
+          | _ -> Metrics.incr_ok t.metrics);
+          { cached with Job.p_id = spec.Job.j_id; p_cached = true; p_attempts = 0 }
+      | None ->
+          if
+            spec.Job.j_variant <> Runner.Baseline
+            && Breaker.is_open t.breaker ~workload:spec.Job.j_workload
+                 ~variant:spec.Job.j_variant_str
+          then degrade t spec w ~fp ~attempts:0 ~diag:None
+          else run_supervised t seq spec w fp)
+
+(* --- queueing, shedding, draining --- *)
+
+let submit t (spec : Job.spec) =
+  let shed =
+    Mutex.protect t.queue_mutex (fun () ->
+        t.seq <- t.seq + 1;
+        let seq = t.seq in
+        let spec =
+          if spec.Job.j_id = "" then
+            { spec with Job.j_id = Printf.sprintf "job-%d" seq }
+          else spec
+        in
+        Metrics.incr_submitted t.metrics;
+        t.queue <- (seq, spec) :: t.queue;
+        if List.length t.queue <= t.cfg.high_water then None
+        else begin
+          (* Shed the lowest-priority job; among equals the newest goes,
+             so long-queued work is not starved by late arrivals. *)
+          let victim =
+            List.fold_left
+              (fun best (s, (sp : Job.spec)) ->
+                match best with
+                | None -> Some (s, sp)
+                | Some (bs, (bsp : Job.spec)) ->
+                    if
+                      sp.Job.j_priority < bsp.Job.j_priority
+                      || (sp.Job.j_priority = bsp.Job.j_priority && s > bs)
+                    then Some (s, sp)
+                    else best)
+              None t.queue
+          in
+          match victim with
+          | None -> None
+          | Some (vs, vsp) ->
+              t.queue <- List.filter (fun (s, _) -> s <> vs) t.queue;
+              Metrics.incr_shed t.metrics;
+              Some vsp
+        end)
+  in
+  match shed with
+  | None -> []
+  | Some vsp ->
+      [
+        Job.reply_to_json
+          { (empty_reply vsp Job.Shed) with Job.p_reason = Some "overloaded" };
+      ]
+
+let sync t =
+  let batch =
+    Mutex.protect t.queue_mutex (fun () ->
+        let q = t.queue in
+        t.queue <- [];
+        List.sort
+          (fun (s1, (a : Job.spec)) (s2, (b : Job.spec)) ->
+            if a.Job.j_priority <> b.Job.j_priority then
+              compare b.Job.j_priority a.Job.j_priority
+            else compare s1 s2)
+          q)
+  in
+  let results =
+    Runner.run_many_result ?domains:t.cfg.domains (supervise t) batch
+  in
+  List.map2
+    (fun (_, spec) r ->
+      match r with
+      | Ok reply -> Job.reply_to_json reply
+      | Error { Runner.f_exn; _ } ->
+          (* supervise fences everything; reaching this means the
+             supervisor itself broke — account for the job anyway. *)
+          Metrics.incr_failed t.metrics;
+          Job.reply_to_json
+            (failed_reply spec ~reason:"supervisor-crash"
+               ~diag:(Printexc.to_string f_exn) ~attempts:0 ()))
+    batch results
+
+let metrics_json t =
+  let dedup = Mutex.protect t.dedup_mutex (fun () -> Lru.counters t.dedup) in
+  let doc =
+    Metrics.to_json t.metrics ~queued:(queue_depth t)
+      ~breaker_threshold:(Breaker.threshold t.breaker)
+      ~breaker_trips:(Breaker.trips t.breaker)
+      ~breaker_open:(Breaker.open_keys t.breaker)
+      ~dedup
+      ~runner_cache:(Runner.cache_counters ())
+  in
+  match Schema.service_metrics doc with
+  | [] -> doc
+  | errs ->
+      failwith
+        ("Service.metrics_json: emitted document fails validation: "
+        ^ String.concat "; " errs)
+
+(* --- wire front ends --- *)
+
+let handle_line t line =
+  let line = String.trim line in
+  if line = "" then ([], `Continue)
+  else
+    match Job.parse_request line with
+    | Error msg ->
+        Metrics.incr_protocol_errors t.metrics;
+        ([ Json.Obj [ ("error", Json.Str msg) ] ], `Continue)
+    | Ok (Job.Job spec) -> (submit t spec, `Continue)
+    | Ok Job.Sync -> (sync t, `Continue)
+    | Ok Job.Metrics -> ([ metrics_json t ], `Continue)
+    | Ok Job.Quit -> (sync t, `Quit)
+
+let run_script ?config script =
+  let t = create ?config () in
+  let buf = Buffer.create 1024 in
+  let emit js =
+    List.iter
+      (fun j ->
+        Buffer.add_string buf (Json.to_string ~pretty:false j);
+        Buffer.add_char buf '\n')
+      js
+  in
+  let rec go = function
+    | [] -> emit (sync t)  (* implicit drain at end of input *)
+    | l :: rest -> (
+        let js, k = handle_line t l in
+        emit js;
+        match k with `Continue -> go rest | `Quit -> ())
+  in
+  go (String.split_on_char '\n' script);
+  Buffer.contents buf
+
+let serve ?config ic oc =
+  let t = create ?config () in
+  let emit js =
+    List.iter
+      (fun j ->
+        Json.to_channel ~pretty:false oc j;
+        output_char oc '\n')
+      js;
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> emit (sync t)
+    | line -> (
+        let js, k = handle_line t line in
+        emit js;
+        match k with `Continue -> loop () | `Quit -> ())
+  in
+  loop ()

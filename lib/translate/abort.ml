@@ -12,14 +12,6 @@ type t =
   | Unportable_permutation
   | External_abort
 
-let permanent = function
-  | External_abort -> false
-  | Illegal_insn _ | Unknown_permutation | Non_periodic_offsets
-  | Unrepresentable_value | Buffer_overflow | No_loop | No_induction
-  | Bad_trip_count | Inconsistent_iteration _ | Dangling_address_combine
-  | Unportable_permutation ->
-      true
-
 (* One representative per constructor, for exhaustive fault-injection
    sweeps. [class_name]'s match is the compile-time guard: adding a
    constructor without extending both it and this list will not build,

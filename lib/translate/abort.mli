@@ -2,8 +2,10 @@
 
     An abort is never an error of the system: the region's scalar code is
     always valid, so the pipeline simply keeps executing the virtualized
-    representation natively (paper §2). [permanent] distinguishes aborts
-    worth retrying (asynchronous events) from aborts that will recur. *)
+    representation natively (paper §2). Whether an abort is worth
+    retrying is decided by the tree's single transient-vs-permanent
+    table, [Liquid_pipeline.Diag.classify_abort] — this module only
+    names the reasons. *)
 
 type t =
   | Illegal_insn of string
@@ -32,7 +34,6 @@ type t =
           one, so the VLA target refuses the region instead *)
   | External_abort  (** context switch or interrupt (paper §4.1) *)
 
-val permanent : t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

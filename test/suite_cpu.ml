@@ -160,7 +160,8 @@ let test_failed_region_not_retried () =
       check "four calls" 4 (List.length reg.Cpu.calls);
       match reg.Cpu.outcome with
       | Cpu.R_failed reason ->
-          check_bool "permanent" true (Abort.permanent reason)
+          check_bool "permanent" true
+            (Liquid_pipeline.Diag.classify_abort reason = `Permanent)
       | _ -> Alcotest.fail "expected permanent failure")
   | _ -> Alcotest.fail "one region"
 

@@ -119,9 +119,11 @@ let test_event_pp () =
     (Format.asprintf "%a" Event.pp e)
 
 let test_abort_permanence () =
-  check_bool "external is retryable" false (Abort.permanent Abort.External_abort);
+  let classify = Liquid_pipeline.Diag.classify_abort in
+  check_bool "external is retryable" true
+    (classify Abort.External_abort = `Transient);
   List.iter
-    (fun a -> check_bool (Abort.to_string a) true (Abort.permanent a))
+    (fun a -> check_bool (Abort.to_string a) true (classify a = `Permanent))
     [
       Abort.Illegal_insn "x";
       Abort.Unknown_permutation;

@@ -614,7 +614,8 @@ let test_external_abort () =
   Translator.abort_external tr;
   match Translator.finish tr with
   | Translator.Aborted Abort.External_abort ->
-      check_bool "retryable" false (Abort.permanent Abort.External_abort)
+      check_bool "retryable" true
+        (Liquid_pipeline.Diag.classify_abort Abort.External_abort = `Transient)
   | _ -> Alcotest.fail "expected external abort"
 
 let test_iteration_divergence_aborts () =

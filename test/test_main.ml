@@ -24,5 +24,6 @@ let () =
       ("superblocks", Suite_superblocks.tests);
       ("obs", Suite_obs.tests);
       ("faults", Suite_faults.tests);
+      ("service", Suite_service.tests);
       ("smoke", Suite_smoke.tests);
     ]
