@@ -136,6 +136,27 @@ let () =
           "-" "n/a";
         false
   in
+  (* Fuzz-throughput gate: same rule as the service rate — cases/s
+     must not fall below OLD divided by the regression threshold.
+     Skipped when either file predates the row. *)
+  let fuzz_bad =
+    let rate j =
+      match Json.member "fuzz_cases_per_s" j with
+      | Some (Json.Float f) -> Some f
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    match (rate old_doc, rate new_doc) with
+    | Some old, Some nw when old > 0.0 ->
+        let ratio = old /. nw in
+        Printf.printf "%-32s %12.1f %12.1f %7.2fx%s\n" "fuzz_cases_per_s" old
+          nw ratio
+          (if ratio > threshold then "  REGRESSED" else "");
+        ratio > threshold
+    | _ ->
+        Printf.printf "%-32s %12s %12s %8s\n" "fuzz_cases_per_s" "-" "-" "n/a";
+        false
+  in
   (match List.rev !regressions with
   | [] -> ()
   | names ->
@@ -150,6 +171,11 @@ let () =
   end;
   if service_bad then begin
     Printf.eprintf "service_throughput_jobs_s regressed more than %.0f%%\n"
+      ((threshold -. 1.0) *. 100.0);
+    exit 1
+  end;
+  if fuzz_bad then begin
+    Printf.eprintf "fuzz_cases_per_s regressed more than %.0f%%\n"
       ((threshold -. 1.0) *. 100.0);
     exit 1
   end

@@ -371,6 +371,21 @@ let service_throughput workloads =
          jobs replied);
   float_of_int jobs /. wall
 
+(* Differential-fuzz throughput: a short fixed-seed campaign (every
+   case through the 37-cell oracle matrix, faults included), generated
+   cases per wall second — so a slowdown in the generator, the oracle
+   fan-out or the differ shows up next to the other rates. The run is
+   also a correctness tripwire: any divergence fails the bench. *)
+let fuzz_throughput ~cases =
+  let t0 = Unix.gettimeofday () in
+  let report = Liquid_fuzz.Campaign.run ~seed:2026 ~cases () in
+  let wall = Unix.gettimeofday () -. t0 in
+  if report.Liquid_fuzz.Campaign.r_divergent <> [] then
+    failwith
+      (Printf.sprintf "fuzz throughput: %d divergent cases at seed 2026"
+         (List.length report.Liquid_fuzz.Campaign.r_divergent));
+  float_of_int cases /. wall
+
 let () =
   let t0 = Unix.gettimeofday () in
   if not smoke then print_reports ();
@@ -408,6 +423,7 @@ let () =
   let super_speedup = nosuper_wall_s /. sim_wall_s in
   let fault_report, fault_wall_s = fault_campaign fault_workloads in
   let service_jobs_s = service_throughput sim_workloads in
+  let fuzz_cases_per_s = fuzz_throughput ~cases:(if smoke then 20 else 200) in
   (* Single shared emitter (Liquid_obs.Bench_report): builds the typed
      record, writes BENCH.json, and re-validates the written file
      against the documented schema — a shape regression fails here. *)
@@ -423,6 +439,7 @@ let () =
       b_fault_cases = List.length fault_report.Liquid_faults.Campaign.r_cases;
       b_fault_survived = Liquid_faults.Campaign.survived fault_report;
       b_service_jobs_s = service_jobs_s;
+      b_fuzz_cases_per_s = fuzz_cases_per_s;
       b_tests =
         List.map
           (fun (name, ns) ->
@@ -432,5 +449,7 @@ let () =
   if not json_only then
     Format.printf
       "@.report wall %.3f s; block speedup %.2fx; superblock speedup %.2fx; \
-       fault campaign %.3f s; service %.1f jobs/s; BENCH.json written@."
+       fault campaign %.3f s; service %.1f jobs/s; fuzz %.1f cases/s; \
+       BENCH.json written@."
       report_wall_s block_speedup super_speedup fault_wall_s service_jobs_s
+      fuzz_cases_per_s

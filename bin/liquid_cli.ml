@@ -633,6 +633,92 @@ let faults_cmd =
       const run $ seed_arg $ widths_arg $ workloads_arg $ verbose_arg
       $ backend_arg)
 
+(* --- fuzz: the generative differential campaign over the Vloop IR --- *)
+
+let fuzz_cmd =
+  let doc = "Run a seeded differential fuzzing campaign over generated programs" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates random Vloop IR programs (arbitrary op mixes, \
+         reductions, saturating idioms, permutations — including \
+         fission-inducing mid-loop ones — strided and gathered memory, \
+         adversarial trip counts) and runs every case through the full \
+         differential matrix: pure-scalar reference vs the inline-loop \
+         baseline binary, fixed-width and VLA translation at widths 2, \
+         4, 8 and 16 with the block engine and trace-superblock tier on \
+         and off, oracle translation, and seeded translation-path \
+         faults. Prints the campaign report (abort-class and divergence \
+         histograms); for each failing case, re-derives and prints a \
+         shrunk minimal repro. Exits non-zero on any divergence.";
+    ]
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 2026
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed; the same seed replays the same cases.")
+  in
+  let cases_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "n"; "cases" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Quick mode for CI: 40 cases regardless of $(b,--cases).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains (default: the runtime's recommendation).")
+  in
+  let no_faults_arg =
+    Arg.(
+      value & flag
+      & info [ "no-faults" ]
+          ~doc:"Skip the seeded translation-path fault runs in each matrix.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the schema-validated JSON report instead.")
+  in
+  let run seed cases smoke domains no_faults json =
+    let module Campaign = Liquid_fuzz.Campaign in
+    let cases = if smoke then 40 else cases in
+    let faults = not no_faults in
+    let report = Campaign.run ?domains ~faults ~seed ~cases () in
+    if json then
+      print_endline
+        (Liquid_obs.Json.to_string ~pretty:true (Campaign.to_json report))
+    else Format.printf "%a@." Campaign.pp report;
+    if report.Campaign.r_divergent <> [] then begin
+      List.iter
+        (fun (index, _) ->
+          match Campaign.shrunk_repro ~faults ~seed ~index () with
+          | None ->
+              Format.eprintf "case %d: divergence did not reproduce in-process@."
+                index
+          | Some repro ->
+              Format.eprintf "@[<v>shrunk repro of case %d (fault seed %d):@ %a@]@."
+                index
+                (Campaign.fault_seed_of ~seed ~index)
+                Liquid_fuzz.Gen.pp_program repro)
+        report.Campaign.r_divergent;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      const run $ seed_arg $ cases_arg $ smoke_arg $ domains_arg $ no_faults_arg
+      $ json_arg)
+
 (* --- serve: the persistent fault-tolerant sweep server --- *)
 
 let serve_cmd =
@@ -747,6 +833,7 @@ let main =
       summary_cmd;
       hwmodel_cmd;
       faults_cmd;
+      fuzz_cmd;
       serve_cmd;
     ]
 

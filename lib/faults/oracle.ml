@@ -21,6 +21,24 @@ open Liquid_harness
    workload's results live, so region outputs remain checked
    end-to-end. *)
 
+let mask_of_image (image : Image.t) =
+  let mask = Array.make Reg.count false in
+  mask.(Reg.index Reg.lr) <- true;
+  List.iter
+    (fun (entry, _label) ->
+      let i = ref entry in
+      let stop = ref false in
+      while (not !stop) && !i < Array.length image.Image.code do
+        (match image.Image.code.(!i) with
+        | Liquid_visa.Minsn.S Insn.Ret -> stop := true
+        | Liquid_visa.Minsn.S insn ->
+            List.iter (fun r -> mask.(Reg.index r) <- true) (Insn.defs insn)
+        | Liquid_visa.Minsn.V _ -> ());
+        incr i
+      done)
+    image.Image.region_entries;
+  mask
+
 let mask_cache : (string, bool array) Hashtbl.t = Hashtbl.create 16
 let mask_mutex = Mutex.create ()
 
@@ -31,23 +49,7 @@ let junk_mask (w : Workload.t) =
   | None ->
       let scalar = Runner.run_cached w Runner.Liquid_scalar in
       let image = Image.of_program scalar.Runner.program in
-      let mask = Array.make (Array.length scalar.Runner.run.Cpu.regs) false in
-      mask.(Reg.index Reg.lr) <- true;
-      List.iter
-        (fun (entry, _label) ->
-          let i = ref entry in
-          let stop = ref false in
-          while (not !stop) && !i < Array.length image.Image.code do
-            (match image.Image.code.(!i) with
-            | Liquid_visa.Minsn.S Insn.Ret -> stop := true
-            | Liquid_visa.Minsn.S insn ->
-                List.iter
-                  (fun r -> mask.(Reg.index r) <- true)
-                  (Insn.defs insn)
-            | Liquid_visa.Minsn.V _ -> ());
-            incr i
-          done)
-        image.Image.region_entries;
+      let mask = mask_of_image image in
       Mutex.protect mask_mutex (fun () ->
           match Hashtbl.find_opt mask_cache key with
           | Some winner -> winner

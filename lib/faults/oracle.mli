@@ -13,6 +13,13 @@ open Liquid_prog
 open Liquid_pipeline
 open Liquid_workloads
 
+val mask_of_image : Image.t -> bool array
+(** The dead-scratch register mask of one image, computed directly (no
+    memoization): [lr] plus every register defined inside an outlined
+    region body, scanned entry → ret. This is what differential drivers
+    over {e generated} programs use — {!junk_mask} memoizes by workload
+    name, which would alias distinct generated cases. *)
+
 val junk_mask : Workload.t -> bool array
 (** Registers whose final value is dead region scratch: [lr] (a
     microcode-served call substitutes the whole outlined function, so

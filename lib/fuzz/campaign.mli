@@ -1,0 +1,47 @@
+(** The seeded differential fuzzing campaign over the {!Gen} stream.
+
+    [run ~seed ~cases] fans case indices across the {!Liquid_harness}
+    domain pool, pushes every generated program through the {!Differ}
+    matrix, and folds the results into one report: clean/divergent
+    counts, the translation-abort class histogram, a per-(variant, kind)
+    divergence histogram, and a power-of-two trip-count histogram — all
+    emitted as a schema-validated {!Liquid_obs.Json} document
+    (["liquid-fuzz-report/1"], {!Liquid_obs.Schema.fuzz_report}). *)
+
+open Liquid_scalarize
+
+type report = {
+  r_seed : int;
+  r_cases : int;
+  r_faults : bool;  (** seeded fault runs were included in the matrix *)
+  r_runs : int;  (** simulations executed, all cases summed *)
+  r_installs : int;  (** regions that completed translation, summed *)
+  r_clean : int;  (** cases with an empty divergence list *)
+  r_divergent : (int * Differ.divergence list) list;
+      (** failing cases by index, in index order *)
+  r_aborts : (string * int) list;  (** abort-class histogram, summed *)
+  r_div_hist : (string * int) list;
+      (** divergences bucketed by ["label kind"] *)
+  r_trip_hist : Liquid_obs.Hist.t;  (** trip counts of generated loops *)
+}
+
+val fault_seed_of : seed:int -> index:int -> int
+(** The per-case fault seed the campaign derives — exposed so a repro
+    of case [index] can replay the exact same fault draws. *)
+
+val run : ?domains:int -> ?faults:bool -> seed:int -> cases:int -> unit -> report
+(** Run the campaign. [faults] (default [true]) adds the three seeded
+    translation-path fault runs to every case's matrix. *)
+
+val shrunk_repro : ?faults:bool -> seed:int -> index:int -> unit -> Vloop.program option
+(** Regenerate case [index], and if it diverges, shrink it with
+    {!Shrink.minimize} under the case's own divergence signature
+    ({!Differ.fails_like}); [None] if the case is clean. *)
+
+val to_json : report -> Liquid_obs.Json.t
+(** The validated campaign document; raises [Invalid_argument] if the
+    emitted document fails its own schema (a bug). *)
+
+val pp : Format.formatter -> report -> unit
+(** Human summary: totals, both histograms, and the failing case
+    indices with their divergence labels. *)

@@ -1,0 +1,436 @@
+open Liquid_isa
+open Liquid_visa
+open Liquid_scalarize
+module Rng = Liquid_faults.Fault.Rng
+
+let case_name ~seed ~index = Printf.sprintf "fuzz-%d-%d" seed index
+
+(* --- the array registry ---
+
+   Arrays are shared across loops on purpose: a later loop reading what
+   an earlier loop wrote (or the same loop updating an array in place)
+   is exactly the data flow that stresses the translator's observed
+   value streams. Lengths are grown as uses accumulate and the values
+   are drawn once at the end. *)
+
+type arr = {
+  a_name : string;
+  a_esize : Esize.t;
+  a_signed : bool;
+  mutable a_len : int;  (* elements the program may touch *)
+  a_frozen : bool;  (* gather-index arrays: never a store target *)
+  a_bound : int option;  (* value range restriction (gather indices) *)
+}
+
+type g = {
+  rng : Rng.t;
+  mutable arrays : arr list;
+  mutable next_arr : int;
+}
+
+let new_array ?bound g ~esize ~signed ~len ~frozen =
+  let a =
+    {
+      a_name = Printf.sprintf "a%d" g.next_arr;
+      a_esize = esize;
+      a_signed = signed;
+      a_len = len;
+      a_frozen = frozen;
+      a_bound = bound;
+    }
+  in
+  g.next_arr <- g.next_arr + 1;
+  g.arrays <- a :: g.arrays;
+  a
+
+let need a len = if len > a.a_len then a.a_len <- len
+
+(* --- draws --- *)
+
+let esize_pool = [ Esize.Word; Esize.Word; Esize.Word; Esize.Half; Esize.Byte ]
+
+let imm g =
+  if Rng.int g.rng 4 = 0 then
+    Rng.pick g.rng
+      [ 255; -1; -8; 1024; 32767; 32768; 65536; -32768; 0x55AA; 1 lsl 20 ]
+  else Rng.int g.rng 32
+
+let weird_value rng esize signed =
+  Rng.pick rng
+    [
+      0;
+      1;
+      -1;
+      2;
+      Esize.max_signed esize;
+      Esize.min_signed esize;
+      Esize.max_signed esize - 1;
+      (if signed then Esize.min_signed esize + 1 else Esize.max_unsigned esize);
+      0x55;
+      1 lsl 16;
+    ]
+
+let plain_value rng signed =
+  if signed then Rng.int rng 201 - 100 else Rng.int rng 200
+
+(* Mostly-arithmetic opcode mix; shifts get immediate shift amounts so
+   lane values stay in a meaningful range. *)
+let op_pool =
+  Opcode.
+    [
+      Add; Add; Add; Sub; Sub; Mul; Mul; And; Orr; Eor; Smin; Smax; Bic; Rsb;
+      Lsl; Lsr; Asr;
+    ]
+
+let is_shift = function Opcode.Lsl | Opcode.Lsr | Opcode.Asr -> true | _ -> false
+
+(* Reduction ops are restricted to what the translator can legally fold
+   across lanes (associative + commutative start value handling). *)
+let red_pool = Opcode.[ Add; Add; Add; Mul; And; Orr; Eor; Smin; Smax ]
+
+(* Adversarial trip-count nucleus: 0/1/W-1/W/W+1 neighbourhoods for
+   every hardware width plus counts no fixed width divides. (0 itself is
+   rejected by Vloop.validate — the IR's contract — so 1 is the floor.) *)
+let count_pool =
+  [ 1; 2; 3; 4; 5; 7; 8; 9; 12; 15; 16; 17; 24; 31; 32; 33; 48; 63; 64; 65 ]
+
+(* --- one loop --- *)
+
+type loop_ctx = {
+  mutable defined : int list;  (* vreg indices with a def so far *)
+  mutable plain_loaded : arr list;
+  mutable strided_here : arr list;
+  mutable gathered_here : arr list;
+}
+
+let fresh_vreg g lc =
+  let free =
+    List.filter
+      (fun i -> not (List.mem i lc.defined))
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+  in
+  match free with
+  | [] -> Rng.pick g.rng lc.defined
+  | _ when lc.defined <> [] && Rng.int g.rng 4 = 0 -> Rng.pick g.rng lc.defined
+  | _ ->
+      let i = Rng.pick g.rng free in
+      lc.defined <- i :: lc.defined;
+      i
+
+let pick_defined g lc = Rng.pick g.rng lc.defined
+
+let maybe g p = Rng.int g.rng 100 < p
+
+let pick_perm g = Rng.pick g.rng Perm.catalog
+
+(* An array a plain load may target: anything not strided in this loop
+   (per-loop mixing rule). *)
+let plain_load_candidates g lc =
+  List.filter (fun a -> not (List.memq a lc.strided_here)) g.arrays
+
+let gen_loop g ~name =
+  let open Build in
+  let lc =
+    { defined = []; plain_loaded = []; strided_here = []; gathered_here = [] }
+  in
+  (* 1. the permutation plan decides the legal trip counts *)
+  let load_perm = if maybe g 30 then Some (pick_perm g) else None in
+  let mid_perm = if maybe g 22 then Some (pick_perm g) else None in
+  let store_perm = if maybe g 18 then Some (pick_perm g) else None in
+  let period =
+    List.fold_left
+      (fun acc p -> match p with None -> acc | Some p -> max acc (Perm.period p))
+      1
+      [ load_perm; mid_perm; store_perm ]
+  in
+  let base_count =
+    if maybe g 75 then Rng.pick g.rng count_pool else 1 + Rng.int g.rng 96
+  in
+  let count = (base_count + period - 1) / period * period in
+  let count = if count > 128 then 128 / period * period else count in
+  let count = max period count in
+  (* 2. loads *)
+  let n_loads = 1 + Rng.int g.rng 2 in
+  let loads = ref [] in
+  let emit l = loads := l :: !loads in
+  for _ = 1 to n_loads do
+    match Rng.int g.rng 10 with
+    | 0 | 1 ->
+        (* strided de-interleave, possibly both phases *)
+        let stride = Rng.pick g.rng [ 2; 2; 4 ] in
+        let a =
+          new_array g
+            ~esize:(Rng.pick g.rng esize_pool)
+            ~signed:(maybe g 70) ~len:(stride * count) ~frozen:false
+        in
+        lc.strided_here <- a :: lc.strided_here;
+        let phase = Rng.int g.rng stride in
+        let d = fresh_vreg g lc in
+        emit
+          (vlds ~esize:a.a_esize ~signed:a.a_signed ~stride ~phase (v d)
+             a.a_name);
+        if maybe g 50 then begin
+          let phase' = (phase + 1 + Rng.int g.rng (stride - 1)) mod stride in
+          let d' = fresh_vreg g lc in
+          emit
+            (vlds ~esize:a.a_esize ~signed:a.a_signed ~stride ~phase:phase'
+               (v d') a.a_name)
+        end
+    | 2 ->
+        (* gather: a frozen index array driving a table lookup *)
+        let table =
+          new_array g
+            ~esize:(Rng.pick g.rng esize_pool)
+            ~signed:(maybe g 70) ~len:16 ~frozen:false
+        in
+        let idx =
+          new_array g ~esize:Esize.Word ~signed:false ~len:count ~frozen:true
+            ~bound:16
+        in
+        lc.gathered_here <- table :: lc.gathered_here;
+        let iv = fresh_vreg g lc in
+        let d = fresh_vreg g lc in
+        emit (vld ~esize:Esize.Word ~signed:false (v iv) idx.a_name);
+        emit (vtbl ~esize:table.a_esize ~signed:table.a_signed (v d) table.a_name (v iv))
+    | _ ->
+        (* plain contiguous load, often from a shared array *)
+        let candidates = plain_load_candidates g lc in
+        let a =
+          if candidates <> [] && maybe g 45 then Rng.pick g.rng candidates
+          else
+            new_array g
+              ~esize:(Rng.pick g.rng esize_pool)
+              ~signed:(maybe g 70) ~len:count ~frozen:false
+        in
+        need a count;
+        lc.plain_loaded <- a :: lc.plain_loaded;
+        let d = fresh_vreg g lc in
+        emit (vld ~esize:a.a_esize ~signed:a.a_signed (v d) a.a_name)
+  done;
+  let loads = List.rev !loads in
+  (* 3. optionally permute a loaded value right away (fusable position) *)
+  let load_perm_items =
+    match load_perm with
+    | None -> []
+    | Some p ->
+        let d = pick_defined g lc in
+        [ Vinsn.Vperm { pattern = p; dst = v d; src = v d } ]
+  in
+  (* 4. compute chain, with an optional fission-inducing mid permute *)
+  let computes = ref [] in
+  let n_computes = 1 + Rng.int g.rng 5 in
+  let mid_at = Rng.int g.rng n_computes in
+  for k = 0 to n_computes - 1 do
+    (if k = mid_at then
+       match mid_perm with
+       | None -> ()
+       | Some p ->
+           let s = pick_defined g lc in
+           let d = if maybe g 50 then s else fresh_vreg g lc in
+           computes := Vinsn.Vperm { pattern = p; dst = v d; src = v s } :: !computes);
+    let op = Rng.pick g.rng op_pool in
+    let s1 = pick_defined g lc in
+    let src2 =
+      if is_shift op then vi (Rng.int g.rng 9)
+      else
+        match Rng.int g.rng 10 with
+        | 0 | 1 | 2 -> vi (imm g)
+        | 3 | 4 ->
+            let p = Rng.pick g.rng [ 1; 2; 4; 8; 16 ] in
+            vc
+              (Array.init p (fun _ ->
+                   if maybe g 20 then weird_value g.rng Esize.Word true
+                   else Rng.int g.rng 64))
+        | _ -> vr (v (pick_defined g lc))
+    in
+    let d = fresh_vreg g lc in
+    computes := vdp op (v d) (v s1) src2 :: !computes
+  done;
+  (if maybe g 30 then
+     let s1 = pick_defined g lc in
+     let s2 = pick_defined g lc in
+     let d = fresh_vreg g lc in
+     let op = if maybe g 50 then `Add else `Sub in
+     computes :=
+       Vinsn.Vsat
+         {
+           op;
+           esize = Rng.pick g.rng esize_pool;
+           signed = maybe g 60;
+           dst = v d;
+           src1 = v s1;
+           src2 = v s2;
+         }
+       :: !computes);
+  let computes = List.rev !computes in
+  (* 5. reductions: accumulator indices must not alias any body vreg
+     index, and every body vreg is in [lc.defined] (stores and fused
+     permutes below only reuse already-defined vregs) *)
+  let reductions = ref [] in
+  let red_items = ref [] in
+  if maybe g 40 then begin
+    let free_accs =
+      List.filter
+        (fun i -> not (List.mem i lc.defined))
+        [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+    in
+    let n_red = min (List.length free_accs) (1 + Rng.int g.rng 2) in
+    let accs = ref free_accs in
+    for _ = 1 to n_red do
+      match !accs with
+      | [] -> ()
+      | ai :: rest ->
+          accs := rest;
+          let op = Rng.pick g.rng red_pool in
+          let init =
+            match op with
+            | Opcode.Mul -> 1
+            | Opcode.And -> -1
+            | _ -> Rng.int g.rng 16
+          in
+          reductions := (r ai, init) :: !reductions;
+          red_items := vred op (r ai) (v (pick_defined g lc)) :: !red_items
+    done
+  end;
+  (* 6. stores (at least one), optionally preceded by a fusable permute *)
+  let stores = ref [] in
+  let n_stores = 1 + Rng.int g.rng 2 in
+  for k = 1 to n_stores do
+    let src = pick_defined g lc in
+    if k = 1 then
+      (match store_perm with
+      | None -> ()
+      | Some p ->
+          stores := Vinsn.Vperm { pattern = p; dst = v src; src = v src } :: !stores);
+    match Rng.int g.rng 10 with
+    | 0 ->
+        (* interleaving strided store into a dedicated array *)
+        let stride = Rng.pick g.rng [ 2; 2; 4 ] in
+        let a =
+          new_array g
+            ~esize:(Rng.pick g.rng esize_pool)
+            ~signed:(maybe g 70) ~len:(stride * count) ~frozen:false
+        in
+        lc.strided_here <- a :: lc.strided_here;
+        let phase = Rng.int g.rng stride in
+        stores := vsts ~esize:a.a_esize ~stride ~phase (v src) a.a_name :: !stores
+    | 1 | 2
+      when List.exists
+             (fun a ->
+               (not a.a_frozen)
+               && (not (List.memq a lc.gathered_here))
+               && not (List.memq a lc.strided_here))
+             lc.plain_loaded ->
+        (* in-place update of an array this loop also reads *)
+        let candidates =
+          List.filter
+            (fun a ->
+              (not a.a_frozen)
+              && (not (List.memq a lc.gathered_here))
+              && not (List.memq a lc.strided_here))
+            lc.plain_loaded
+        in
+        let a = Rng.pick g.rng candidates in
+        stores := vst ~esize:a.a_esize (v src) a.a_name :: !stores
+    | _ ->
+        let a =
+          new_array g
+            ~esize:(Rng.pick g.rng esize_pool)
+            ~signed:(maybe g 70) ~len:count ~frozen:false
+        in
+        stores := vst ~esize:a.a_esize (v src) a.a_name :: !stores
+  done;
+  let stores = List.rev !stores in
+  let body = loads @ load_perm_items @ computes @ List.rev !red_items @ stores in
+  let loop = { Vloop.name; count; body; reductions = List.rev !reductions } in
+  (match Vloop.validate loop with
+  | Ok () -> ()
+  | Error m -> invalid_arg (Printf.sprintf "Gen: generated invalid loop: %s" m));
+  loop
+
+(* --- whole programs --- *)
+
+let gen_values g (a : arr) =
+  Array.init a.a_len (fun _ ->
+      match a.a_bound with
+      | Some b -> Rng.int g.rng b
+      | None ->
+          if Rng.int g.rng 10 = 0 then weird_value g.rng a.a_esize a.a_signed
+          else plain_value g.rng a.a_signed)
+
+let store_acc res_name acc idx = Build.st acc res_name (Build.i idx)
+
+let generate ~seed ~index =
+  let open Build in
+  let rng = Rng.make ((seed * 1_000_003) + (index * 7919) + 17) in
+  let g = { rng; arrays = []; next_arr = 0 } in
+  let n_loops = Rng.pick rng [ 1; 1; 1; 2; 2; 3 ] in
+  let frames = Rng.pick rng [ 1; 1; 1; 2 ] in
+  let loop_sections =
+    List.concat
+      (List.init n_loops (fun k ->
+           let name = Printf.sprintf "fl%d" k in
+           let loop = gen_loop g ~name in
+           let glue =
+             match loop.Vloop.reductions with
+             | [] -> []
+             | reds ->
+                 let res =
+                   new_array g ~esize:Esize.Word ~signed:true
+                     ~len:(List.length reds) ~frozen:true
+                 in
+                 [
+                   Vloop.Code
+                     (List.mapi
+                        (fun i (acc, _) -> store_acc res.a_name acc i)
+                        reds);
+                 ]
+           in
+           Vloop.Loop loop :: glue))
+  in
+  let frame_reg = r 15 in
+  let pre = Vloop.Code [ mov frame_reg 0; label "frame_top" ] in
+  let post =
+    Vloop.Code
+      [
+        addi frame_reg frame_reg 1;
+        cmp frame_reg (i frames);
+        b ~cond:Cond.Lt "frame_top";
+      ]
+  in
+  let data =
+    List.rev_map
+      (fun a ->
+        Liquid_prog.Data.make ~name:a.a_name ~esize:a.a_esize (gen_values g a))
+      g.arrays
+  in
+  {
+    Vloop.name = case_name ~seed ~index;
+    sections = (pre :: loop_sections) @ [ post ];
+    data;
+  }
+
+(* --- printing --- *)
+
+let pp_program ppf (p : Vloop.program) =
+  Format.fprintf ppf "@[<v>program %s@ " p.Vloop.name;
+  List.iter
+    (function
+      | Vloop.Code items ->
+          Format.fprintf ppf "code:@ ";
+          List.iter
+            (function
+              | Liquid_prog.Program.Label l -> Format.fprintf ppf "  %s:@ " l
+              | Liquid_prog.Program.I m ->
+                  Format.fprintf ppf "  %a@ " Minsn.pp_asm m)
+            items
+      | Vloop.Loop l -> Format.fprintf ppf "%a@ " Vloop.pp l)
+    p.Vloop.sections;
+  List.iter
+    (fun (d : Liquid_prog.Data.t) ->
+      Format.fprintf ppf "data %s (%a): @[<hov>%a@]@ " d.Liquid_prog.Data.name
+        Esize.pp d.Liquid_prog.Data.esize
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+        (Array.to_list d.Liquid_prog.Data.values))
+    p.Vloop.data;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,37 @@
+(** Seeded random generation of {!Liquid_scalarize.Vloop} programs.
+
+    Each generated program is a valid IR program (it passes
+    {!Liquid_scalarize.Vloop.validate_program} and the cross-iteration
+    aliasing rules by construction) exercising the translator's whole
+    input grammar: arbitrary data-processing mixes over every element
+    size and signedness, saturating idioms, reductions, strided and
+    gathered memory, load-fused / store-fused / fission-inducing
+    mid-loop permutations, constant-vector and immediate operands,
+    in-place array updates, loops chained through shared arrays, and
+    repeated region calls through a scalar frame loop.
+
+    Trip counts are adversarial on purpose: 1, W-1, W, W+1 for every
+    hardware width W in 2/4/8/16, plus counts no fixed width divides
+    (so the fixed-width backend must abort to scalar while the VLA
+    backend predicates the final iteration).
+
+    Generation is deterministic: the same (seed, index) pair always
+    produces the same program, which is how the campaign driver, the
+    shrinker and the pinned regression corpus all name a case. *)
+
+open Liquid_scalarize
+
+val generate : seed:int -> index:int -> Vloop.program
+(** The [index]-th program of campaign [seed]. Every reduction
+    accumulator is stored to a result array by glue code after its
+    loop, so reduction outputs are observable through the memory
+    fingerprint (region-scratch registers are masked by the oracle). *)
+
+val case_name : seed:int -> index:int -> string
+(** The program name {!generate} assigns, ["fuzz-<seed>-<index>"]. *)
+
+val pp_program : Format.formatter -> Vloop.program -> unit
+(** Print a generated (or shrunk) program: every section — glue item
+    counts and full loop bodies — plus every data array with its
+    element size, signedness and values. The printout is the human
+    half of a repro; the (seed, index) pair is the machine half. *)

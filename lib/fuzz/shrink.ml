@@ -1,0 +1,229 @@
+open Liquid_isa
+open Liquid_visa
+open Liquid_scalarize
+module P = Liquid_prog.Program
+
+let size (p : Vloop.program) =
+  List.fold_left
+    (fun n -> function
+      | Vloop.Code items -> n + List.length items
+      | Vloop.Loop l ->
+          n + List.length l.Vloop.body
+          + List.length l.Vloop.reductions
+          + (l.Vloop.count / 8))
+    (List.fold_left
+       (fun n (d : Liquid_prog.Data.t) -> n + (Array.length d.Liquid_prog.Data.values / 16))
+       0 p.Vloop.data)
+    p.Vloop.sections
+
+(* --- structural helpers --- *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a * b / gcd a b
+
+let loop_period (l : Vloop.t) =
+  List.fold_left
+    (fun acc -> function
+      | Vinsn.Vperm { pattern; _ } -> lcm acc (Perm.period pattern)
+      | _ -> acc)
+    1 l.Vloop.body
+
+(* Every vector-register use must be preceded by a def: dropping an
+   instruction must never create a read of uninitialized lanes, whose
+   junk could differ between the scalar and translated forms and fake a
+   divergence. *)
+let def_before_use body =
+  let defined = Hashtbl.create 8 in
+  List.for_all
+    (fun insn ->
+      let ok =
+        List.for_all
+          (fun vr -> Hashtbl.mem defined (Vreg.index vr))
+          (Vinsn.uses_vector insn)
+      in
+      List.iter
+        (fun vr -> Hashtbl.replace defined (Vreg.index vr) ())
+        (Vinsn.defs_vector insn);
+      ok)
+    body
+
+(* After a region executes, the scalar aliases of its body vector defs
+   hold junk (they differ between scalar and SIMD execution and are
+   masked out of the register comparison) — but a glue read of one
+   leaks the junk into memory, faking a divergence. Accept only
+   candidates whose glue never reads a junk alias: a section drop that
+   separates a loop from another loop's accumulator store would
+   otherwise shrink toward a contract-violating program. *)
+let scalar_sound (p : Vloop.program) =
+  let junk = Hashtbl.create 8 in
+  List.for_all
+    (function
+      | Vloop.Loop l ->
+          List.iter
+            (fun insn ->
+              List.iter
+                (fun vr -> Hashtbl.replace junk (Vreg.index vr) ())
+                (Vinsn.defs_vector insn))
+            l.Vloop.body;
+          (* accumulators and the induction register are committed *)
+          List.iter
+            (fun (acc, _) -> Hashtbl.remove junk (Reg.index acc))
+            l.Vloop.reductions;
+          Hashtbl.remove junk 0;
+          true
+      | Vloop.Code items ->
+          List.for_all
+            (function
+              | P.Label _ | P.I (Minsn.V _) -> true
+              | P.I (Minsn.S insn) ->
+                  let ok =
+                    Hashtbl.fold
+                      (fun idx () ok ->
+                        ok && not (Insn.uses_reg insn (Reg.make idx)))
+                      junk true
+                  in
+                  List.iter
+                    (fun r -> Hashtbl.remove junk (Reg.index r))
+                    (Insn.defs insn);
+                  ok)
+            items)
+    p.Vloop.sections
+
+let with_section p i s =
+  { p with Vloop.sections = List.mapi (fun j s0 -> if i = j then s else s0) p.Vloop.sections }
+
+let drop_section p i =
+  { p with Vloop.sections = List.filteri (fun j _ -> i <> j) p.Vloop.sections }
+
+(* --- candidates, in decreasing order of payoff --- *)
+
+let loop_candidates p i (l : Vloop.t) =
+  let period = loop_period l in
+  let counts =
+    List.sort_uniq compare
+      (List.filter
+         (fun c -> c > 0 && c < l.Vloop.count && c mod period = 0)
+         [ period; 2 * period; l.Vloop.count / 2 / period * period; 1; 2; 4; 8; 16 ])
+  in
+  let count_shrinks =
+    List.map (fun c -> with_section p i (Vloop.Loop { l with Vloop.count = c })) counts
+  in
+  let body_drops =
+    List.filter_map Fun.id
+      (List.mapi
+         (fun j _ ->
+           let body = List.filteri (fun k _ -> k <> j) l.Vloop.body in
+           if def_before_use body then
+             Some (with_section p i (Vloop.Loop { l with Vloop.body = body }))
+           else None)
+         l.Vloop.body)
+  in
+  let red_drops =
+    List.mapi
+      (fun j (acc, _) ->
+        let reductions = List.filteri (fun k _ -> k <> j) l.Vloop.reductions in
+        let body =
+          List.filter
+            (function Vinsn.Vred { acc = a; _ } -> a <> acc | _ -> true)
+            l.Vloop.body
+        in
+        (* also drop the glue items reading the accumulator (the result
+           store after the loop), anywhere in the program *)
+        let p' = with_section p i (Vloop.Loop { l with Vloop.body; reductions }) in
+        {
+          p' with
+          Vloop.sections =
+            List.map
+              (function
+                | Vloop.Code items ->
+                    Vloop.Code
+                      (List.filter
+                         (function
+                           | P.Label _ -> true
+                           | P.I (Minsn.V _) -> true
+                           | P.I (Minsn.S insn) ->
+                               (not (Insn.uses_reg insn acc))
+                               && not (List.mem acc (Insn.defs insn)))
+                         items)
+                | s -> s)
+              p'.Vloop.sections;
+        })
+      l.Vloop.reductions
+  in
+  let operand_simpl =
+    List.concat
+      (List.mapi
+         (fun j insn ->
+           let replacements =
+             match insn with
+             | Vinsn.Vdp ({ src2 = Vinsn.VConst a; _ } as d) when Array.length a > 0
+               ->
+                 [ Vinsn.Vdp { d with src2 = Vinsn.VImm a.(0) } ]
+             | Vinsn.Vdp ({ src2 = Vinsn.VImm v; _ } as d) when abs v > 8 ->
+                 [ Vinsn.Vdp { d with src2 = Vinsn.VImm 1 } ]
+             | _ -> []
+           in
+           List.map
+             (fun insn' ->
+               let body =
+                 List.mapi (fun k i0 -> if k = j then insn' else i0) l.Vloop.body
+               in
+               with_section p i (Vloop.Loop { l with Vloop.body }))
+             replacements)
+         l.Vloop.body)
+  in
+  body_drops @ count_shrinks @ red_drops @ operand_simpl
+
+let zero_data p =
+  List.concat
+    (List.mapi
+       (fun i (d : Liquid_prog.Data.t) ->
+         if Array.for_all (fun v -> v = 0) d.Liquid_prog.Data.values then []
+         else
+           [
+             {
+               p with
+               Vloop.data =
+                 List.mapi
+                   (fun j d0 ->
+                     if i = j then
+                       Liquid_prog.Data.make ~name:d.Liquid_prog.Data.name
+                         ~esize:d.Liquid_prog.Data.esize
+                         (Array.make (Array.length d.Liquid_prog.Data.values) 0)
+                     else d0)
+                   p.Vloop.data;
+             };
+           ])
+       p.Vloop.data)
+
+let candidates (p : Vloop.program) =
+  let n = List.length p.Vloop.sections in
+  let section_drops = List.init n (fun i -> drop_section p (n - 1 - i)) in
+  let per_loop =
+    List.concat
+      (List.mapi
+         (fun i -> function
+           | Vloop.Loop l -> loop_candidates p i l
+           | Vloop.Code _ -> [])
+         p.Vloop.sections)
+  in
+  section_drops @ per_loop @ zero_data p
+
+let minimize ?(max_evals = 600) ~failing p =
+  let evals = ref 0 in
+  let ok c =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      match Vloop.validate_program c with
+      | Error _ -> false
+      | Ok () when not (scalar_sound c) -> false
+      | Ok () -> ( try failing c with _ -> false)
+    end
+  in
+  let rec go p =
+    match List.find_opt ok (candidates p) with
+    | Some c -> go c
+    | None -> p
+  in
+  go p

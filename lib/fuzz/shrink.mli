@@ -1,0 +1,27 @@
+(** Deterministic greedy shrinking of a failing {!Liquid_scalarize.Vloop}
+    program.
+
+    Candidates — dropping whole loops and glue sections, dropping body
+    instructions and reductions, halving trip counts toward the
+    permutation period, simplifying constant-vector and large immediate
+    operands, trimming and zeroing data arrays — are tried in a fixed
+    order and accepted whenever the program still validates and still
+    fails, until a full pass accepts nothing. The result is the minimal
+    repro that lands in the pinned corpus. *)
+
+open Liquid_scalarize
+
+val minimize :
+  ?max_evals:int ->
+  failing:(Vloop.program -> bool) ->
+  Vloop.program ->
+  Vloop.program
+(** [minimize ~failing p] requires [failing p = true] and returns a
+    (weakly) smaller program that still fails. [failing] is typically
+    {!Differ.diverging} with the seed that exposed the bug; candidates
+    for which it raises count as not failing. At most [max_evals]
+    (default 600) predicate evaluations are spent. *)
+
+val size : Vloop.program -> int
+(** The measure shrinking decreases: total body instructions + glue
+    items + reductions + trip counts / 8 + data elements / 16. *)

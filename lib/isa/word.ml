@@ -27,7 +27,23 @@ let clamp esize ~signed v =
     let hi = Esize.max_unsigned esize in
     if v < 0 then 0 else if v > hi then hi else v
 
-let sat_add esize ~signed a b = clamp esize ~signed (a + b)
-let sat_sub esize ~signed a b = clamp esize ~signed (a - b)
+(* The saturating ops must reproduce the scalar clamp idiom bit-for-bit
+   — the scalarized region body is the architectural contract the
+   translator recovers SIMD from. That idiom computes a plain add/sub
+   (wrapping at 32 bits) and then clamps with signed compares: both
+   sides for signed saturation, but only the high bound for unsigned
+   add and only zero for unsigned sub. Clamping the other side too (or
+   skipping the wrap) diverges from scalar execution on inputs outside
+   the element's domain. *)
+let sat_add esize ~signed a b =
+  let s = of_int (a + b) in
+  if signed then clamp esize ~signed:true s
+  else
+    let hi = Esize.max_unsigned esize in
+    if s > hi then hi else s
+
+let sat_sub esize ~signed a b =
+  let s = of_int (a - b) in
+  if signed then clamp esize ~signed:true s else if s < 0 then 0 else s
 let equal (a : t) b = a = b
 let pp ppf v = Format.fprintf ppf "%d" v

@@ -35,9 +35,14 @@ val smin : t -> t -> t
 val smax : t -> t -> t
 
 val sat_add : Esize.t -> signed:bool -> t -> t -> t
-(** Saturating addition at the given element width. *)
+(** Saturating addition at the given element width. Matches the scalar
+    clamp idiom exactly: the 32-bit wrapped sum is clamped to
+    [[min_signed, max_signed]] when [signed], and only against
+    [max_unsigned] (no low bound) otherwise. *)
 
 val sat_sub : Esize.t -> signed:bool -> t -> t -> t
+(** Saturating subtraction; the unsigned form clamps the wrapped
+    difference only at zero, mirroring the one-sided scalar idiom. *)
 
 val clamp : Esize.t -> signed:bool -> t -> t
 (** Clamp into the representable range of the element type. *)

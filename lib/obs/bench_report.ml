@@ -11,6 +11,7 @@ type t = {
   b_fault_cases : int;
   b_fault_survived : bool;
   b_service_jobs_s : float;
+  b_fuzz_cases_per_s : float;
   b_tests : test list;
 }
 
@@ -28,6 +29,7 @@ let to_json t =
       ("fault_campaign_cases", Json.Int t.b_fault_cases);
       ("fault_campaign_survived", Json.Bool t.b_fault_survived);
       ("service_throughput_jobs_s", Json.Float t.b_service_jobs_s);
+      ("fuzz_cases_per_s", Json.Float t.b_fuzz_cases_per_s);
       ( "tests",
         Json.List
           (List.map

@@ -28,6 +28,12 @@ type t = {
           {!Liquid_service.Service.run_script} on a fixed job script
           (emitted as [service_throughput_jobs_s]; gated non-regressing
           by [bench/compare.exe]) *)
+  b_fuzz_cases_per_s : float;
+      (** differential-fuzz throughput: generated Vloop cases pushed
+          through the full 37-cell oracle matrix per wall second
+          ({!Liquid_fuzz.Campaign.run}, fixed seed; emitted as
+          [fuzz_cases_per_s] and gated non-regressing by
+          [bench/compare.exe]) *)
   b_tests : test list;  (** Bechamel per-test estimates *)
 }
 

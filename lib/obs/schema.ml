@@ -174,6 +174,8 @@ let service_metrics (j : Json.t) =
      field errs "document" j "breaker" T_obj (fun b ->
          field errs "breaker" b "threshold" T_int (fun _ -> ());
          field errs "breaker" b "trips" T_int (fun _ -> ());
+         field errs "breaker" b "probes" T_int (fun _ -> ());
+         field errs "breaker" b "reopens" T_int (fun _ -> ());
          field errs "breaker" b "open" T_list (fun _ -> ()));
      field errs "document" j "dedup" T_obj (fun c -> check_lru errs "dedup" c);
      field errs "document" j "runner_cache" T_obj (fun c ->
@@ -182,6 +184,63 @@ let service_metrics (j : Json.t) =
      field errs "document" j "invariants" T_obj (fun inv ->
          field errs "invariants" inv "checked" T_int (fun _ -> ());
          field errs "invariants" inv "violations" T_list (fun _ -> ()))
+   end);
+  List.rev !errs
+
+let fuzz_report (j : Json.t) =
+  let errs = ref [] in
+  (if not (has_ty T_obj j) then errs := [ "document: expected object" ]
+   else begin
+     require_schema errs "liquid-fuzz-report/1" j;
+     let f name ty = field errs "document" j name ty (fun _ -> ()) in
+     f "seed" T_int;
+     f "cases" T_int;
+     f "faults" T_bool;
+     f "runs" T_int;
+     f "installs" T_int;
+     f "clean_cases" T_int;
+     f "divergent_cases" T_int;
+     (* count objects: every member must be an int *)
+     List.iter
+       (fun name ->
+         field errs "document" j name T_obj (fun v ->
+             match v with
+             | Json.Obj kvs ->
+                 List.iter
+                   (fun (k, v) ->
+                     if not (has_ty T_int v) then
+                       errs := Printf.sprintf "%s.%s: expected int" name k :: !errs)
+                   kvs
+             | _ -> ()))
+       [ "abort_classes"; "divergences" ];
+     field errs "document" j "trip_counts" T_obj (fun h ->
+         check_hist errs "trip_counts" h);
+     field errs "document" j "divergent" T_list (fun v ->
+         match v with
+         | Json.List cs ->
+             List.iteri
+               (fun i c ->
+                 let path = Printf.sprintf "divergent[%d]" i in
+                 if has_ty T_obj c then (
+                   field errs path c "case" T_int (fun _ -> ());
+                   field errs path c "failures" T_list (fun v ->
+                       match v with
+                       | Json.List fs ->
+                           List.iteri
+                             (fun k f ->
+                               let fpath = Printf.sprintf "%s.failures[%d]" path k in
+                               if has_ty T_obj f then (
+                                 field errs fpath f "label" T_str (fun _ -> ());
+                                 field errs fpath f "kind" T_str (fun _ -> ()))
+                               else
+                                 errs :=
+                                   Printf.sprintf "%s: expected object" fpath
+                                   :: !errs)
+                             fs
+                       | _ -> ()))
+                 else errs := Printf.sprintf "%s: expected object" path :: !errs)
+               cs
+         | _ -> ())
    end);
   List.rev !errs
 
@@ -201,6 +260,7 @@ let bench (j : Json.t) =
      f "fault_campaign_cases" T_int;
      f "fault_campaign_survived" T_bool;
      f "service_throughput_jobs_s" T_num;
+     f "fuzz_cases_per_s" T_num;
      field errs "document" j "tests" T_list (fun v ->
          match v with
          | Json.List ts ->

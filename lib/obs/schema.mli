@@ -20,3 +20,9 @@ val service_metrics : Json.t -> string list
 (** Validates the sweep service's metrics document
     (schema ["liquid-service-metrics/1"]): job accounting, supervision
     counters, breaker state and the two LRU tallies. *)
+
+val fuzz_report : Json.t -> string list
+(** Validates a fuzzing-campaign report
+    (schema ["liquid-fuzz-report/1"]): case accounting, the abort-class
+    and divergence count objects, the trip-count histogram, and the
+    per-case failure list. *)

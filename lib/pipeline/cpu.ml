@@ -520,13 +520,34 @@ let oracle_lookup st target =
         Hashtbl.replace st.oracle target res;
         res
 
+(* Re-check the live-invariance guards of constant-folded operands
+   before reusing microcode: the translator baked loaded values into a
+   vector constant, which a later store to the source array (e.g. a
+   fission scratch array rewritten by an earlier region each frame)
+   silently invalidates. A failed guard drops the translation so the
+   region retranslates against current memory. *)
+let guards_ok st (u : Ucode.t) =
+  Array.for_all
+    (fun (g : Ucode.guard) ->
+      Memory.read st.ctx.Sem.mem ~addr:g.Ucode.g_addr ~bytes:g.Ucode.g_bytes
+        ~signed:g.Ucode.g_signed
+      = g.Ucode.g_expect)
+    u.Ucode.guards
+
 (* Handle a region-marked branch-and-link. Returns [true] when the call
    was served from the microcode cache (and [st.pc] already advanced). *)
 let region_call st ~pc ~target =
   let acc = region_acc st target in
   let now = st.stats.Stats.cycles in
   st.stats.Stats.region_calls <- st.stats.Stats.region_calls + 1;
-  match oracle_lookup st target with
+  let oracle_u =
+    match oracle_lookup st target with
+    | Some u when not (guards_ok st u) ->
+        Hashtbl.remove st.oracle target;
+        oracle_lookup st target
+    | o -> o
+  in
+  match oracle_u with
   | Some u ->
       acc.served <- acc.served + 1;
       st.stats.Stats.ucode_hits <- st.stats.Stats.ucode_hits + 1;
@@ -546,7 +567,13 @@ let region_call st ~pc ~target =
         when f.fh_evict ~entry:target ~call:st.stats.Stats.region_calls ->
           ignore (Ucode_cache.evict st.ucache ~key:target)
       | Some _ | None -> ());
-      match Ucode_cache.lookup st.ucache ~key:target ~now with
+      match
+        match Ucode_cache.lookup st.ucache ~key:target ~now with
+        | Some u when not (guards_ok st u) ->
+            ignore (Ucode_cache.evict st.ucache ~key:target);
+            None
+        | o -> o
+      with
       | Some u ->
           acc.served <- acc.served + 1;
           st.stats.Stats.ucode_hits <- st.stats.Stats.ucode_hits + 1;

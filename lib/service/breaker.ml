@@ -1,15 +1,33 @@
-type entry = { mutable consecutive : int; mutable opened : bool }
+type state = Closed | Open | Half_open
+
+type entry = {
+  mutable consecutive : int;
+  mutable st : state;
+  mutable denied : int;  (* dispatch denials since the breaker opened *)
+}
 
 type t = {
   threshold : int;
+  cooldown : int;
   table : (string, entry) Hashtbl.t;
   mutable trip_count : int;
+  mutable probe_count : int;
+  mutable reopen_count : int;
   mutex : Mutex.t;
 }
 
-let create ?(threshold = 3) () =
+let create ?(threshold = 3) ?(cooldown = 2) () =
   if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
-  { threshold; table = Hashtbl.create 16; trip_count = 0; mutex = Mutex.create () }
+  if cooldown < 1 then invalid_arg "Breaker.create: cooldown must be >= 1";
+  {
+    threshold;
+    cooldown;
+    table = Hashtbl.create 16;
+    trip_count = 0;
+    probe_count = 0;
+    reopen_count = 0;
+    mutex = Mutex.create ();
+  }
 
 let threshold t = t.threshold
 let key ~workload ~variant = workload ^ "|" ^ variant
@@ -18,40 +36,83 @@ let entry_of t k =
   match Hashtbl.find_opt t.table k with
   | Some e -> e
   | None ->
-      let e = { consecutive = 0; opened = false } in
+      let e = { consecutive = 0; st = Closed; denied = 0 } in
       Hashtbl.replace t.table k e;
       e
 
-let is_open t ~workload ~variant =
+let state t ~workload ~variant =
   Mutex.protect t.mutex (fun () ->
       match Hashtbl.find_opt t.table (key ~workload ~variant) with
-      | Some e -> e.opened
-      | None -> false)
+      | Some e -> e.st
+      | None -> Closed)
+
+let admit t ~workload ~variant =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table (key ~workload ~variant) with
+      | None -> true
+      | Some e -> (
+          match e.st with
+          | Closed -> true
+          | Half_open -> false (* one probe at a time *)
+          | Open ->
+              if e.denied >= t.cooldown then begin
+                e.st <- Half_open;
+                e.denied <- 0;
+                t.probe_count <- t.probe_count + 1;
+                true
+              end
+              else begin
+                e.denied <- e.denied + 1;
+                false
+              end))
 
 let record_failure t ~workload ~variant =
   Mutex.protect t.mutex (fun () ->
       let e = entry_of t (key ~workload ~variant) in
       e.consecutive <- e.consecutive + 1;
-      if (not e.opened) && e.consecutive >= t.threshold then begin
-        e.opened <- true;
-        t.trip_count <- t.trip_count + 1
-      end;
+      (match e.st with
+      | Closed ->
+          if e.consecutive >= t.threshold then begin
+            e.st <- Open;
+            e.denied <- 0;
+            t.trip_count <- t.trip_count + 1
+          end
+      | Half_open ->
+          (* the probe failed: back to open, cooldown restarts *)
+          e.st <- Open;
+          e.denied <- 0;
+          t.reopen_count <- t.reopen_count + 1
+      | Open -> ());
       e.consecutive)
 
 let record_success t ~workload ~variant =
   Mutex.protect t.mutex (fun () ->
       match Hashtbl.find_opt t.table (key ~workload ~variant) with
-      | Some e -> if not e.opened then e.consecutive <- 0
-      | None -> ())
+      | None -> ()
+      | Some e -> (
+          match e.st with
+          | Closed -> e.consecutive <- 0
+          | Half_open ->
+              (* the probe succeeded: the fault healed, close again *)
+              e.st <- Closed;
+              e.consecutive <- 0;
+              e.denied <- 0
+          | Open -> () (* stale in-flight success; stay open *)))
 
 let trips t = Mutex.protect t.mutex (fun () -> t.trip_count)
+let probes t = Mutex.protect t.mutex (fun () -> t.probe_count)
+let reopens t = Mutex.protect t.mutex (fun () -> t.reopen_count)
 
 let open_keys t =
   Mutex.protect t.mutex (fun () ->
-      Hashtbl.fold (fun k e acc -> if e.opened then k :: acc else acc) t.table [])
+      Hashtbl.fold
+        (fun k e acc -> if e.st <> Closed then k :: acc else acc)
+        t.table [])
   |> List.sort String.compare
 
 let reset t =
   Mutex.protect t.mutex (fun () ->
       Hashtbl.reset t.table;
-      t.trip_count <- 0)
+      t.trip_count <- 0;
+      t.probe_count <- 0;
+      t.reopen_count <- 0)

@@ -1,12 +1,19 @@
-(** Per-(workload, variant) circuit breakers.
+(** Per-(workload, variant) circuit breakers with half-open probing.
 
     A breaker watches one (workload, variant) pair and trips — opens —
     after [threshold] {e consecutive} permanent failures (as classified
     by {!Liquid_pipeline.Diag.classify}); any success resets the count.
-    Once open it stays open for the registry's lifetime: the supervisor
-    stops dispatching the poisoned combination and degrades those jobs
-    to a scalar baseline run instead of burning retries on a failure
-    that is deterministic by definition.
+    While open, the supervisor stops dispatching the poisoned
+    combination and degrades those jobs to a scalar baseline run
+    instead of burning retries on a failure that is deterministic by
+    definition.
+
+    An open breaker is not permanent: after [cooldown] denied
+    dispatches it goes {e half-open} and admits exactly one probe job.
+    A successful probe closes the breaker (normal dispatch resumes); a
+    failed probe re-opens it and the cooldown starts over. Counting the
+    cooldown in denied dispatches rather than wall time keeps
+    fixed-script runs deterministic.
 
     The registry is mutex-protected and safe to consult from worker
     domains; counts are totals, so fixed-seed runs report identical
@@ -14,9 +21,13 @@
 
 type t
 
-val create : ?threshold:int -> unit -> t
+type state = Closed | Open | Half_open
+
+val create : ?threshold:int -> ?cooldown:int -> unit -> t
 (** A fresh registry, all breakers closed. [threshold] (default 3) is
-    the consecutive-permanent-failure count that opens a breaker. *)
+    the consecutive-permanent-failure count that opens a breaker;
+    [cooldown] (default 2) is the number of denied dispatches after
+    which an open breaker goes half-open and admits a probe. *)
 
 val threshold : t -> int
 
@@ -24,24 +35,38 @@ val key : workload:string -> variant:string -> string
 (** The registry key for a (workload, variant) pair — also the spelling
     used in metrics documents and [open_keys]. *)
 
-val is_open : t -> workload:string -> variant:string -> bool
+val state : t -> workload:string -> variant:string -> state
+
+val admit : t -> workload:string -> variant:string -> bool
+(** May this job dispatch? [true] when the breaker is closed — or when
+    it just went half-open, in which case the admitted job is the
+    probe (counted in {!probes}). [false] counts one denied dispatch
+    toward the cooldown; while a probe is in flight other jobs keep
+    being denied without advancing the cooldown. *)
 
 val record_failure : t -> workload:string -> variant:string -> int
 (** Note one permanent failure; returns the new consecutive-failure
     count. Crossing the threshold opens the breaker (and counts one
-    trip); further failures keep it open. *)
+    trip); a half-open breaker re-opens (counting one {!reopens}) and
+    restarts its cooldown. *)
 
 val record_success : t -> workload:string -> variant:string -> unit
 (** A completed run closes the loop: the consecutive-failure count
-    resets to zero. Does {e not} re-close an open breaker — an open
-    breaker never dispatches, so a success can only arrive from a
-    stale in-flight job. *)
+    resets to zero, and a successful half-open probe re-closes the
+    breaker. A success arriving while the breaker is fully open can
+    only come from a stale in-flight job and does not re-close it. *)
 
 val trips : t -> int
 (** Lifetime number of open transitions across all keys. *)
 
+val probes : t -> int
+(** Lifetime number of half-open probe jobs admitted. *)
+
+val reopens : t -> int
+(** Lifetime number of failed probes that re-opened a breaker. *)
+
 val open_keys : t -> string list
-(** Keys of currently-open breakers, sorted. *)
+(** Keys of currently not-closed (open or half-open) breakers, sorted. *)
 
 val reset : t -> unit
 (** Close every breaker and zero every count (tests). *)

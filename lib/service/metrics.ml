@@ -100,7 +100,8 @@ let lru_json (k : Lru.counters) =
       ("capacity", Json.Int k.Lru.l_capacity);
     ]
 
-let to_json t ~queued ~breaker_threshold ~breaker_trips ~breaker_open ~dedup
+let to_json t ~queued ~breaker_threshold ~breaker_trips ~breaker_probes
+    ~breaker_reopens ~breaker_open ~dedup
     ~runner_cache =
   let m = totals t in
   Json.Obj
@@ -129,6 +130,8 @@ let to_json t ~queued ~breaker_threshold ~breaker_trips ~breaker_open ~dedup
           [
             ("threshold", Json.Int breaker_threshold);
             ("trips", Json.Int breaker_trips);
+            ("probes", Json.Int breaker_probes);
+            ("reopens", Json.Int breaker_reopens);
             ("open", Json.List (List.map (fun k -> Json.Str k) breaker_open));
           ] );
       ("dedup", lru_json dedup);

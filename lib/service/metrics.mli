@@ -61,6 +61,8 @@ val to_json :
   queued:int ->
   breaker_threshold:int ->
   breaker_trips:int ->
+  breaker_probes:int ->
+  breaker_reopens:int ->
   breaker_open:string list ->
   dedup:Liquid_harness.Lru.counters ->
   runner_cache:Liquid_harness.Lru.counters ->

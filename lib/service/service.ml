@@ -263,8 +263,9 @@ let supervise t (seq, (spec : Job.spec)) : Job.reply =
       | None ->
           if
             spec.Job.j_variant <> Runner.Baseline
-            && Breaker.is_open t.breaker ~workload:spec.Job.j_workload
-                 ~variant:spec.Job.j_variant_str
+            && not
+                 (Breaker.admit t.breaker ~workload:spec.Job.j_workload
+                    ~variant:spec.Job.j_variant_str)
           then degrade t spec w ~fp ~attempts:0 ~diag:None
           else run_supervised t seq spec w fp)
 
@@ -349,6 +350,8 @@ let metrics_json t =
     Metrics.to_json t.metrics ~queued:(queue_depth t)
       ~breaker_threshold:(Breaker.threshold t.breaker)
       ~breaker_trips:(Breaker.trips t.breaker)
+      ~breaker_probes:(Breaker.probes t.breaker)
+      ~breaker_reopens:(Breaker.reopens t.breaker)
       ~breaker_open:(Breaker.open_keys t.breaker)
       ~dedup
       ~runner_cache:(Runner.cache_counters ())

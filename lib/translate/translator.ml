@@ -52,6 +52,18 @@ type pending_sat = {
   mutable awaiting : int option;  (* bound of a compare waiting for its mov *)
 }
 
+(* Per static load: the element size and the effective address of every
+   observed execution, in stream order (parallel to the value stream in
+   [values]). Constant-folding a load's values is only checkable later
+   if every address was reconstructible from the concrete register
+   shadow; otherwise the source is unsound for folding. *)
+type fold_src = {
+  f_bytes : int;
+  f_signed : bool;
+  f_addrs : int Vec.t;
+  mutable f_sound : bool;
+}
+
 type verify_state = { pattern : Event.t array; mutable next : int }
 
 type phase = Build | Verify of verify_state
@@ -61,6 +73,21 @@ type t = {
   slots : slot Vec.t;
   regs : rstate array;
   values : (int, int Vec.t) Hashtbl.t;
+  load_bases : (int, int) Hashtbl.t;
+      (* static load pc -> base address of the array it reads, to judge
+         whether a value stream can legally become a vector constant *)
+  mutable store_bases : int list;
+      (* base addresses the region stores to: arrays written inside the
+         loop are not loop-invariant *)
+  fold_srcs : (int, fold_src) Hashtbl.t;
+      (* static load pc -> observed effective-address stream, feeding the
+         live-invariance guards of constant-folded operands *)
+  shadow : int array;
+  shadow_ok : bool array;
+      (* concrete values of the scalar registers as observed so far;
+         [shadow_ok] marks registers whose value was actually seen (a
+         register live-in from the caller has no observed def) *)
+  mutable guards : Ucode.guard list;  (* reversed *)
   build_events : Event.t Vec.t;
   mutable phase : phase;
   mutable failure : Abort.t option;
@@ -84,6 +111,12 @@ let create cfg =
     slots = Vec.create ();
     regs = Array.make Reg.count Rscalar;
     values = Hashtbl.create 16;
+    load_bases = Hashtbl.create 16;
+    store_bases = [];
+    fold_srcs = Hashtbl.create 16;
+    shadow = Array.make Reg.count 0;
+    shadow_ok = Array.make Reg.count false;
+    guards = [];
     build_events = Vec.create ();
     phase = Build;
     failure = None;
@@ -128,6 +161,50 @@ let record_value t pc v =
         s
   in
   Vec.push stream v
+
+let record_load_base t pc addr =
+  if not (Hashtbl.mem t.load_bases pc) then Hashtbl.add t.load_bases pc addr
+
+(* Reconstruct the load's effective address from the register shadow and
+   append it to the per-pc stream. Mirrors [Sem.mem_addr]; a load whose
+   index register was never defined inside the region (no shadow) makes
+   the stream unsound for constant folding. *)
+let record_load_addr t pc ~esize ~signed ~base ~index ~shift =
+  let src =
+    match Hashtbl.find_opt t.fold_srcs pc with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            f_bytes = Esize.bytes esize;
+            f_signed = signed;
+            f_addrs = Vec.create ();
+            f_sound = true;
+          }
+        in
+        Hashtbl.replace t.fold_srcs pc s;
+        s
+  in
+  match (base, index) with
+  | Insn.Sym a, Insn.Reg r when t.shadow_ok.(Reg.index r) ->
+      Vec.push src.f_addrs
+        (Word.add a (Word.shl t.shadow.(Reg.index r) shift))
+  | Insn.Sym a, Insn.Imm v -> Vec.push src.f_addrs (Word.add a (Word.shl v shift))
+  | (Insn.Sym _ | Insn.Breg _), _ -> src.f_sound <- false
+
+(* Track concrete register values alongside the abstract translation
+   state. Called after the build/verify step for each event, so a load
+   that overwrites its own index register still resolves its address
+   from the pre-load value. *)
+let shadow_update t (ev : Event.t) =
+  match ev.insn with
+  | Insn.Mov { dst; _ } | Insn.Dp { dst; _ } | Insn.Ld { dst; _ } -> (
+      match ev.value with
+      | Some v ->
+          t.shadow.(Reg.index dst) <- v;
+          t.shadow_ok.(Reg.index dst) <- true
+      | None -> t.shadow_ok.(Reg.index dst) <- false)
+  | Insn.St _ | Insn.Cmp _ | Insn.B _ | Insn.Bl _ | Insn.Ret | Insn.Halt -> ()
 
 let rstate t r = t.regs.(Reg.index r)
 let set_rstate t r s = t.regs.(Reg.index r) <- s
@@ -256,6 +333,8 @@ let build_ld t (ev : Event.t) ~esize ~signed ~dst ~base ~index ~shift =
                     }))
           in
           record_value t ev.pc value;
+          record_load_base t ev.pc addr;
+          record_load_addr t ev.pc ~esize ~signed ~base ~index ~shift;
           slot
         in
         match rstate t r with
@@ -324,6 +403,8 @@ let build_ld t (ev : Event.t) ~esize ~signed ~dst ~base ~index ~shift =
                           }))
                 in
                 record_value t ev.pc value;
+                record_load_base t ev.pc addr;
+          record_load_addr t ev.pc ~esize ~signed ~base ~index ~shift;
                 set_rstate t dst
                   (Rvector
                      {
@@ -352,6 +433,8 @@ let build_ld t (ev : Event.t) ~esize ~signed ~dst ~base ~index ~shift =
                       }))
             in
             record_value t ev.pc value;
+            record_load_base t ev.pc addr;
+          record_load_addr t ev.pc ~esize ~signed ~base ~index ~shift;
             set_rstate t dst
               (Rvector
                  {
@@ -372,6 +455,8 @@ let build_ld t (ev : Event.t) ~esize ~signed ~dst ~base ~index ~shift =
 let build_st t (ev : Event.t) ~esize ~src ~base ~index ~shift =
   match (base, index) with
   | Insn.Sym addr, Insn.Reg r -> (
+      if not (List.mem addr t.store_bases) then
+        t.store_bases <- addr :: t.store_bases;
       if shift <> Esize.shift esize then
         fail t (Abort.Illegal_insn "store index scaling")
       else
@@ -681,8 +766,11 @@ let verify_step t (v : verify_state) (ev : Event.t) =
       if ev.pc = expected.Event.pc && Insn.equal_exec ev.insn expected.Event.insn
       then begin
         (match (ev.insn, ev.value) with
-        | Insn.Ld _, Some value ->
-            if Hashtbl.mem t.values ev.pc then record_value t ev.pc value
+        | Insn.Ld { esize; signed; base; index; shift; _ }, Some value ->
+            if Hashtbl.mem t.values ev.pc then begin
+              record_value t ev.pc value;
+              record_load_addr t ev.pc ~esize ~signed ~base ~index ~shift
+            end
         | _, _ -> ());
         v.next <- v.next + 1;
         if v.next = Array.length v.pattern then begin
@@ -696,10 +784,12 @@ let feed t ev =
   if t.failure = None then begin
     t.observed <- t.observed + 1;
     if t.saw_ret then fail t (Abort.Illegal_insn "instruction after return")
-    else
-      match t.phase with
+    else begin
+      (match t.phase with
       | Build -> build_step t ev
-      | Verify v -> verify_step t v ev
+      | Verify v -> verify_step t v ev);
+      shadow_update t ev
+    end
   end
 
 let abort_external t = fail t Abort.External_abort
@@ -783,11 +873,43 @@ let resolve_const_operand t ~width ~trips slot =
       match stream_values t lineage with
       | None -> ()
       | Some values ->
+          (* Folding an operand's loaded values into a vector constant is
+             only sound when the source array is loop-invariant: a load
+             whose array the region itself stores to would bake values
+             that go stale by the next region call (short loops make
+             every stream trivially "periodic", so periodicity alone is
+             no evidence of invariance). *)
+          let invariant =
+            match Hashtbl.find_opt t.load_bases lineage with
+            | Some base -> not (List.mem base t.store_bases)
+            | None -> false
+          in
+          (* A fold must also be guardable: stores from *other* regions
+             (loop fission shares scratch arrays across regions) can
+             invalidate the constant between calls, which only a
+             per-call re-check of the folded elements can catch. *)
+          let guardable =
+            match Hashtbl.find_opt t.fold_srcs lineage with
+            | Some src -> src.f_sound && Vec.length src.f_addrs >= trips
+            | None -> false
+          in
           if
-            Array.length values >= trips
+            invariant && guardable
+            && Array.length values >= trips
             && Array.for_all (fun v -> fits_signed_bits v 16) values
             && periodic values width trips
           then begin
+            (let src = Hashtbl.find t.fold_srcs lineage in
+             for e = 0 to trips - 1 do
+               t.guards <-
+                 {
+                   Ucode.g_addr = Vec.get src.f_addrs e;
+                   g_bytes = src.f_bytes;
+                   g_signed = src.f_signed;
+                   g_expect = values.(e);
+                 }
+                 :: t.guards
+             done);
             (* Under the VLA backend the width can exceed the trip count
                (short loops); lanes past the observed elements are never
                active, so pad them with zero. *)
@@ -890,4 +1012,5 @@ let finish t =
             vla = (B.kind = Backend.Vla);
             source_insns = Vec.length t.build_events;
             observed_insns = t.observed;
+            guards = Array.of_list (List.rev t.guards);
           }

@@ -8,12 +8,20 @@ type uop =
   | UB of { cond : Cond.t; target : int }
   | URet
 
+type guard = {
+  g_addr : int;
+  g_bytes : int;
+  g_signed : bool;
+  g_expect : int;
+}
+
 type t = {
   uops : uop array;
   width : int;
   vla : bool;
   source_insns : int;
   observed_insns : int;
+  guards : guard array;
 }
 
 let length t = Array.length t.uops
@@ -35,8 +43,11 @@ let pp_uop ppf = function
   | URet -> Format.pp_print_string ppf "ret"
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>; microcode (%d-wide%s, %d uops)@ " t.width
+  Format.fprintf ppf "@[<v>; microcode (%d-wide%s, %d uops%s)@ " t.width
     (if t.vla then " vla" else "")
-    (Array.length t.uops);
+    (Array.length t.uops)
+    (match Array.length t.guards with
+    | 0 -> ""
+    | n -> Printf.sprintf ", %d guards" n);
   Array.iteri (fun i u -> Format.fprintf ppf "u%-3d %a@ " i pp_uop u) t.uops;
   Format.fprintf ppf "@]"

@@ -18,6 +18,21 @@ type uop =
   | UB of { cond : Cond.t; target : int }  (** intra-microcode branch *)
   | URet
 
+type guard = {
+  g_addr : int;  (** effective address the folded element was loaded from *)
+  g_bytes : int;
+  g_signed : bool;
+  g_expect : int;  (** the value baked into the vector constant *)
+}
+(** Live-invariance guard for a constant-folded operand. The translator
+    may rewrite a loaded operand stream into a vector constant (the
+    paper's alignment-network collapse); that is only valid while the
+    source memory keeps the observed values. Each guard pins one folded
+    element; a consumer must re-read every guard before reusing cached
+    microcode and retranslate on any mismatch — a store to a folded
+    source (e.g. a fission scratch array rewritten by an earlier region)
+    otherwise leaves the constant stale. *)
+
 type t = {
   uops : uop array;
   width : int;
@@ -29,6 +44,9 @@ type t = {
   vla : bool;  (** translated by the vector-length-agnostic backend *)
   source_insns : int;  (** static scalar instructions of the region *)
   observed_insns : int;  (** dynamic instructions the translator consumed *)
+  guards : guard array;
+      (** live-invariance guards over folded constant sources; empty when
+          no operand was constant-folded *)
 }
 
 val length : t -> int

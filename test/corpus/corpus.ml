@@ -1,0 +1,145 @@
+(* Pinned regression corpus: one hand-distilled Vloop program per bug
+   the differential fuzzing campaign has surfaced. Each entry is the
+   minimal shape that diverged before its fix; the fuzz suite replays
+   all of them through the full differential matrix and requires a
+   clean outcome, so a regression in any of these translator/semantics
+   areas fails immediately with a named case. *)
+
+open Liquid_isa
+open Liquid_scalarize
+open Build
+
+(* Two region calls: the frame loop re-enters every vector loop once
+   more, which is what exposes stale cached microcode. *)
+let framed ?(frames = 1) ~name ~data sections =
+  let pre = Vloop.Code [ mov (r 15) 0; label "frame_top" ] in
+  let post =
+    Vloop.Code
+      [
+        addi (r 15) (r 15) 1; cmp (r 15) (i frames); b ~cond:Cond.Lt "frame_top";
+      ]
+  in
+  let p = { Vloop.name; sections = (pre :: sections) @ [ post ]; data } in
+  (match Vloop.validate_program p with
+  | Ok () -> ()
+  | Error m -> invalid_arg (Printf.sprintf "Corpus.%s: invalid: %s" name m));
+  (name, p)
+
+let words name values = Liquid_prog.Data.make ~name ~esize:Esize.Word values
+
+(* Word.sat_add/sat_sub clamped the mathematically exact sum instead of
+   the 32-bit wrapped one. The scalar idiom computes a wrapping add/sub
+   and then clamps, so an operand pair whose exact result overflows
+   32 bits must saturate toward the *wrapped* sign: 0x7FFFFFFF - (-3)
+   wraps negative and clamps to the byte minimum, while the unwrapped
+   value would have clamped to the maximum. *)
+let sat_signed_wrap =
+  framed ~name:"sat-signed-wrap"
+    ~data:
+      [
+        words "a0" (Array.make 16 0x7FFFFFFF);
+        words "a1" (Array.make 16 (-3));
+        words "a2" (Array.make 16 0);
+      ]
+    [
+      Vloop.Loop
+        {
+          Vloop.name = "l0";
+          count = 16;
+          body =
+            [
+              vld (v 1) "a0";
+              vld (v 2) "a1";
+              vqsub ~esize:Esize.Byte ~signed:true (v 3) (v 1) (v 2);
+              vst (v 3) "a2";
+            ];
+          reductions = [];
+        };
+    ]
+
+(* The unsigned saturating idiom is one-sided: add clamps only against
+   the type maximum, sub only at zero. Word.sat_* clamped both sides,
+   so a wrapped-negative addend (kept negative by the scalar form) was
+   forced to 0, and an overshooting difference (400 - 100 = 300, kept
+   by the scalar form) was forced to 255. *)
+let sat_unsigned_one_sided =
+  framed ~name:"sat-unsigned-one-sided"
+    ~data:
+      [
+        words "a0" (Array.make 16 (-10));
+        words "a1" (Array.make 16 5);
+        words "a2" (Array.make 16 400);
+        words "a3" (Array.make 16 100);
+        words "a4" (Array.make 16 0);
+        words "a5" (Array.make 16 0);
+      ]
+    [
+      Vloop.Loop
+        {
+          Vloop.name = "l0";
+          count = 16;
+          body =
+            [
+              vld (v 1) "a0";
+              vld (v 2) "a1";
+              vqadd ~esize:Esize.Byte ~signed:false (v 3) (v 1) (v 2);
+              vst (v 3) "a4";
+              vld (v 4) "a2";
+              vld (v 5) "a3";
+              vqsub ~esize:Esize.Byte ~signed:false (v 6) (v 4) (v 5);
+              vst (v 6) "a5";
+            ];
+          reductions = [];
+        };
+    ]
+
+(* Rule-7 constant folding baked the loaded operand stream of an
+   in-place update (load and store on the same array) into a vector
+   constant: the second frame then reran microcode computed from the
+   first frame's values. Loop-invariance of the source array is a
+   precondition for the fold. *)
+let const_fold_in_place =
+  framed ~frames:2 ~name:"const-fold-in-place"
+    ~data:[ words "a0" [| -58; 43; 8; -56; -49; 17; -93; -67 |] ]
+    [
+      Vloop.Loop
+        {
+          Vloop.name = "l0";
+          count = 8;
+          body = [ vld (v 1) "a0"; vadd (v 5) (v 1) (vr (v 1)); vst (v 5) "a0" ];
+          reductions = [];
+        };
+    ]
+
+(* The cross-region variant: a mid-loop butterfly fissions the loop
+   into two regions that communicate through a scratch array. The
+   second region's fold of the scratch values passes any in-region
+   invariance check (region 1 never stores to the scratch), yet the
+   first region rewrites the scratch every frame — only a per-call
+   live-invariance guard over the folded elements catches it. *)
+let const_fold_fission_scratch =
+  framed ~frames:2 ~name:"const-fold-fission-scratch"
+    ~data:[ words "a0" [| -58; 43; 8; -56; -49; 17; -93; -67 |] ]
+    [
+      Vloop.Loop
+        {
+          Vloop.name = "l0";
+          count = 8;
+          body =
+            [
+              vld (v 1) "a0";
+              vbfly 8 (v 1) (v 1);
+              vadd (v 5) (v 1) (vr (v 1));
+              vst (v 5) "a0";
+            ];
+          reductions = [];
+        };
+    ]
+
+let cases =
+  [
+    sat_signed_wrap;
+    sat_unsigned_one_sided;
+    const_fold_in_place;
+    const_fold_fission_scratch;
+  ]

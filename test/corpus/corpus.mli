@@ -1,0 +1,10 @@
+(** Pinned regression corpus of the differential fuzzing campaign.
+
+    One hand-distilled {!Liquid_scalarize.Vloop} program per bug the
+    campaign has surfaced, named after the defect it reproduces. The
+    fuzz suite replays every entry through the full differential matrix
+    and requires a clean outcome. *)
+
+val cases : (string * Liquid_scalarize.Vloop.program) list
+(** [(name, program)] pairs; every program passes
+    {!Liquid_scalarize.Vloop.validate_program}. *)

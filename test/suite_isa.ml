@@ -52,8 +52,18 @@ let test_word_saturation () =
   check "half signed high" 32767
     (Word.sat_add Esize.Half ~signed:true 30000 10000);
   check "no clamp in range" 50 (Word.sat_add Esize.Byte ~signed:false 20 30);
-  check "word signed high" 0x7FFFFFFF
-    (Word.sat_add Esize.Word ~signed:true 0x7FFFFFF0 0x100)
+  (* Idiom-faithful edges: the scalar lowering wraps at 32 bits before
+     its compares, clamps only the high bound for unsigned add and only
+     zero for unsigned sub — the vector op must agree on out-of-domain
+     inputs or translated regions diverge from their scalar fallback. *)
+  check "signed wraps before clamping" (-128)
+    (Word.sat_sub Esize.Byte ~signed:true 0x7FFFFFFF (-3));
+  check "word signed wraps like the idiom" (Word.of_int 0x800000F0)
+    (Word.sat_add Esize.Word ~signed:true 0x7FFFFFF0 0x100);
+  check "unsigned add keeps wrapped negatives" (-5)
+    (Word.sat_add Esize.Byte ~signed:false (-10) 5);
+  check "unsigned sub keeps high overshoot" 300
+    (Word.sat_sub Esize.Byte ~signed:false 400 100)
 
 (* --- Esize --- *)
 

@@ -321,6 +321,7 @@ let bench_fixture =
     b_fault_cases = 75;
     b_fault_survived = true;
     b_service_jobs_s = 42.0;
+    b_fuzz_cases_per_s = 17.5;
     b_tests =
       [
         { Bench_report.t_name = "core_simulate_scalar"; t_ns_per_run = 51000.0 };

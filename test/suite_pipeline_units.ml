@@ -16,6 +16,7 @@ let dummy_ucode n =
     vla = false;
     source_insns = n;
     observed_insns = n;
+    guards = [||];
   }
 
 (* --- Ucode_cache --- *)

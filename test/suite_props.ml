@@ -35,10 +35,36 @@ let word_props =
     qtest "of_int is canonical" QCheck.int (fun v ->
         let w = Word.of_int v in
         w >= -0x80000000 && w <= 0x7FFFFFFF && Word.of_int w = w);
-    qtest "sat stays in range"
-      QCheck.(triple (int_range (-300) 300) (int_range (-300) 300) bool)
-      (fun (a, b, signed) ->
-        let v = Word.sat_add Esize.Byte ~signed a b in
+    (* The machine saturation must equal the scalar cmp/movc idiom the
+       translator recovers it from: wrap at 32 bits, then clamp both
+       sides when signed, only the high bound for unsigned add, only
+       zero for unsigned sub. *)
+    qtest "sat matches the scalar clamp idiom"
+      QCheck.(
+        pair int32_pair
+          (triple
+             (make (Gen.oneofl [ Esize.Byte; Esize.Half; Esize.Word ]))
+             bool bool))
+      (fun ((a, b), (esize, signed, is_add)) ->
+        let d = if is_add then Word.add a b else Word.sub a b in
+        let expect =
+          if signed then
+            let hi = Esize.max_signed esize and lo = Esize.min_signed esize in
+            let d = if d > hi then hi else d in
+            if d < lo then lo else d
+          else if is_add then
+            let hi = Esize.max_unsigned esize in
+            if d > hi then hi else d
+          else if d < 0 then 0
+          else d
+        in
+        let f = if is_add then Word.sat_add else Word.sat_sub in
+        f esize ~signed a b = expect);
+    qtest "sat stays in range on in-domain inputs"
+      QCheck.(triple (int_range 0 255) (int_range 0 255) bool)
+      (fun (a0, b0, signed) ->
+        let conv v = if signed then v - 128 else v in
+        let v = Word.sat_add Esize.Byte ~signed (conv a0) (conv b0) in
         if signed then v >= -128 && v <= 127 else v >= 0 && v <= 255);
   ]
 

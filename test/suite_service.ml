@@ -96,26 +96,74 @@ let test_backoff () =
 
 (* --- breaker --- *)
 
+let breaker_state b =
+  match Breaker.state b ~workload:"w" ~variant:"v" with
+  | Breaker.Closed -> "closed"
+  | Breaker.Open -> "open"
+  | Breaker.Half_open -> "half-open"
+
 let test_breaker () =
-  let b = Breaker.create ~threshold:3 () in
+  let b = Breaker.create ~threshold:3 ~cooldown:2 () in
   let fail () = Breaker.record_failure b ~workload:"w" ~variant:"v" in
   check "first failure" 1 (fail ());
   check "second failure" 2 (fail ());
-  check_bool "still closed" false (Breaker.is_open b ~workload:"w" ~variant:"v");
+  check_str "still closed" "closed" (breaker_state b);
   Breaker.record_success b ~workload:"w" ~variant:"v";
   check "success resets" 1 (fail ());
   check "counts up again" 2 (fail ());
   check "third consecutive trips" 3 (fail ());
-  check_bool "open" true (Breaker.is_open b ~workload:"w" ~variant:"v");
+  check_str "open" "open" (breaker_state b);
   check "one trip" 1 (Breaker.trips b);
   check "stays open, keeps counting" 4 (fail ());
   check "no double trip" 1 (Breaker.trips b);
-  check_bool "other keys unaffected" false
-    (Breaker.is_open b ~workload:"w" ~variant:"other");
+  check_str "other keys unaffected" "closed"
+    (match Breaker.state b ~workload:"w" ~variant:"other" with
+    | Breaker.Closed -> "closed"
+    | _ -> "not-closed");
   Alcotest.(check (list string))
     "open keys" [ Breaker.key ~workload:"w" ~variant:"v" ] (Breaker.open_keys b);
   Breaker.reset b;
-  check_bool "reset closes" false (Breaker.is_open b ~workload:"w" ~variant:"v")
+  check_str "reset closes" "closed" (breaker_state b)
+
+let test_breaker_half_open () =
+  let b = Breaker.create ~threshold:2 ~cooldown:2 () in
+  let fail () = ignore (Breaker.record_failure b ~workload:"w" ~variant:"v") in
+  let ok () = Breaker.record_success b ~workload:"w" ~variant:"v" in
+  let admit () = Breaker.admit b ~workload:"w" ~variant:"v" in
+  check_bool "closed admits" true (admit ());
+  fail ();
+  fail ();
+  check_str "tripped" "open" (breaker_state b);
+  (* cooldown: two denials, then the third dispatch is the probe *)
+  check_bool "denied during cooldown" false (admit ());
+  check_bool "denied during cooldown (2)" false (admit ());
+  check_bool "probe admitted" true (admit ());
+  check_str "half-open while probing" "half-open" (breaker_state b);
+  check "probe counted" 1 (Breaker.probes b);
+  check_bool "one probe at a time" false (admit ());
+  Alcotest.(check (list string))
+    "half-open keys stay listed"
+    [ Breaker.key ~workload:"w" ~variant:"v" ]
+    (Breaker.open_keys b);
+  (* the probe fails: back to open, cooldown restarts *)
+  fail ();
+  check_str "failed probe reopens" "open" (breaker_state b);
+  check "reopen counted" 1 (Breaker.reopens b);
+  check_bool "cooldown restarts" false (admit ());
+  check_bool "cooldown restarts (2)" false (admit ());
+  check_bool "second probe admitted" true (admit ());
+  check "second probe counted" 2 (Breaker.probes b);
+  (* this probe succeeds: the breaker closes and dispatch resumes *)
+  ok ();
+  check_str "successful probe closes" "closed" (breaker_state b);
+  check_bool "closed admits again" true (admit ());
+  check "no further reopens" 1 (Breaker.reopens b);
+  (* a stale in-flight success while fully open does not close *)
+  fail ();
+  fail ();
+  check_str "re-tripped" "open" (breaker_state b);
+  ok ();
+  check_str "stale success ignored while open" "open" (breaker_state b)
 
 (* --- the bounded LRU and the runner memo built on it --- *)
 
@@ -405,6 +453,8 @@ let tests =
   [
     Alcotest.test_case "backoff: deterministic, bounded" `Quick test_backoff;
     Alcotest.test_case "breaker: trip/reset/open" `Quick test_breaker;
+    Alcotest.test_case "breaker: half-open probe cycle" `Quick
+      test_breaker_half_open;
     Alcotest.test_case "lru: exact discipline + counters" `Quick
       test_lru_discipline;
     Alcotest.test_case "runner: memo counters" `Quick

@@ -24,6 +24,7 @@ let () =
       ("superblocks", Suite_superblocks.tests);
       ("obs", Suite_obs.tests);
       ("faults", Suite_faults.tests);
+      ("fuzz", Suite_fuzz.tests);
       ("service", Suite_service.tests);
       ("smoke", Suite_smoke.tests);
     ]
