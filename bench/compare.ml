@@ -7,7 +7,9 @@
    repo's perf work is judged on) regresses by more than 10%, or when
    the VLA simulation microbenchmark exceeds 1.2x its fixed-width
    counterpart (`core_simulate_vla` vs `core_simulate_liquid` in the
-   NEW file — the all-true predicate fast path's gate), or when either
+   NEW file — the all-true predicate fast path's gate), or when a
+   `core_simulate_*` row is slower than its `_nosuper` twin (the
+   trace-superblock tier's gate), or when either
    file is missing, unparsable, or schema-invalid. Tests present in
    only one file are reported but never fail the comparison, so adding
    or renaming a benchmark does not break an older baseline.
@@ -136,6 +138,48 @@ let () =
           "-" "n/a";
         false
   in
+  (* Superblock gate. `super_speedup` (the one-shot sweep's wall-clock
+     ratio with the trace-superblock tier off vs on) is ordering-biased
+     — the superblock pass runs first and pays every cold-start cost —
+     and swings ~10% between runs of identical code (0.96 and 0.87 were
+     both observed for one build), so a delta gate on it would flag
+     noise. It is printed for the record only; the enforced check reads
+     the quota-averaged microbenchmarks instead: each `core_simulate_*`
+     row must be no slower than its `_nosuper` twin (floor
+     [super_floor], relaxed under --smoke where the short quota is
+     itself noisy). Rows absent from the NEW file are skipped. *)
+  let super_floor = if smoke then 0.5 else 1.0 in
+  let super_bad =
+    let one_shot j =
+      match Json.member "super_speedup" j with
+      | Some (Json.Float f) -> Some f
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    (match (one_shot old_doc, one_shot new_doc) with
+    | Some old, Some nw ->
+        Printf.printf "%-32s %12.2f %12.2f %8s\n" "super_speedup (one-shot)"
+          old nw "info"
+    | _ ->
+        Printf.printf "%-32s %12s %12s %8s\n" "super_speedup (one-shot)" "-"
+          "-" "n/a");
+    let tier_gain base =
+      match
+        ( List.assoc_opt (base ^ "_nosuper") new_tests,
+          List.assoc_opt base new_tests )
+      with
+      | Some off, Some on when on > 0.0 ->
+          let ratio = off /. on in
+          Printf.printf "%-32s %12s %12s %7.2fx%s\n"
+            (base ^ " super gain") "-" "-" ratio
+            (if ratio < super_floor then "  BELOW FLOOR" else "");
+          ratio < super_floor
+      | _ -> false
+    in
+    let scalar_bad = tier_gain "core_simulate_scalar" in
+    let liquid_bad = tier_gain "core_simulate_liquid" in
+    scalar_bad || liquid_bad
+  in
   (* Fuzz-throughput gate: same rule as the service rate — cases/s
      must not fall below OLD divided by the regression threshold.
      Skipped when either file predates the row. *)
@@ -177,5 +221,11 @@ let () =
   if fuzz_bad then begin
     Printf.eprintf "fuzz_cases_per_s regressed more than %.0f%%\n"
       ((threshold -. 1.0) *. 100.0);
+    exit 1
+  end;
+  if super_bad then begin
+    Printf.eprintf
+      "superblock tier slower than its _nosuper twin (floor %.2fx)\n"
+      super_floor;
     exit 1
   end

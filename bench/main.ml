@@ -123,9 +123,10 @@ let bench_translation =
   Test.make ~name:"sec5_translation_latency"
     (Staged.stage (fun () -> Offline.translate_all ~image ~lanes:8 ()))
 
-(* The same regions through the VLA backend: FFT's butterflies abort
-   there (unportable permutation), so this times the predicated
-   translation path and the abort path together. *)
+(* The same regions through the VLA backend: FFT's butterflies are
+   recovered as table lookups there (offset-stream matching, guard
+   emission, load/store collapse), so this times the predicated
+   translation path with permutation recovery on top. *)
 let bench_translation_vla =
   let w = find "FFT" in
   let image = Image.of_program (Codegen.liquid w.Workload.program) in
@@ -230,6 +231,23 @@ let bench_simulate_vla_nosuper =
   Test.make ~name:"core_simulate_vla_nosuper"
     (Staged.stage (fun () -> Cpu.run ~config image))
 
+(* FFT on the 8-lane VLA target is the permutation-recovery headline:
+   before the table-lookup lowering its butterfly regions aborted as
+   unportable and the whole workload degraded to scalar execution;
+   now every region vectorizes (42516 -> 23676 simulated cycles, 1.80x)
+   and this times the replay of Tbl/Tblst microcode. *)
+let bench_simulate_vla_fft =
+  let w = find "FFT" in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  let config =
+    {
+      (Cpu.liquid_config ~lanes:8) with
+      Cpu.backend = Liquid_translate.Backend.vla;
+    }
+  in
+  Test.make ~name:"core_simulate_vla_fft"
+    (Staged.stage (fun () -> Cpu.run ~config image))
+
 let bench_hwmodel =
   Test.make ~name:"core_hwmodel_estimate"
     (Staged.stage (fun () -> Hwmodel.estimate Hwmodel.default_params))
@@ -254,6 +272,7 @@ let tests =
     bench_simulate_liquid_nosuper;
     bench_simulate_vla;
     bench_simulate_vla_nosuper;
+    bench_simulate_vla_fft;
     bench_hwmodel;
   ]
 
@@ -268,6 +287,7 @@ let smoke_tests =
     bench_simulate_liquid_nosuper;
     bench_simulate_vla;
     bench_simulate_vla_nosuper;
+    bench_simulate_vla_fft;
   ]
 
 let run_benchmarks ~quota tests =

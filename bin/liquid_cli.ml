@@ -551,7 +551,11 @@ let hwmodel_cmd =
       rep.H.opgen_cells rep.H.buffer_cells;
     if rep.H.pred_cells > 0 then
       Format.printf "  predication (whilelt + predicate file) %d cells@."
-        rep.H.pred_cells
+        rep.H.pred_cells;
+    if rep.H.tbl_cells > 0 then
+      Format.printf
+        "  table-lookup unit (pattern store + index adders) %d cells@."
+        rep.H.tbl_cells
   in
   Cmd.v (Cmd.info "hwmodel" ~doc)
     Term.(const run $ lanes_arg $ regs_arg $ buffer_arg $ target_arg)

@@ -133,10 +133,13 @@ let gen_loop g ~name =
   let lc =
     { defined = []; plain_loaded = []; strided_here = []; gathered_here = [] }
   in
-  (* 1. the permutation plan decides the legal trip counts *)
-  let load_perm = if maybe g 30 then Some (pick_perm g) else None in
-  let mid_perm = if maybe g 22 then Some (pick_perm g) else None in
-  let store_perm = if maybe g 18 then Some (pick_perm g) else None in
+  (* 1. the permutation plan decides the legal trip counts. Weighted
+     high on purpose: fixed-geometry permutes exercise both lowerings —
+     native register permutes on the fixed backend and the table-lookup
+     recovery path on VLA — so most generated loops should carry one. *)
+  let load_perm = if maybe g 40 then Some (pick_perm g) else None in
+  let mid_perm = if maybe g 35 then Some (pick_perm g) else None in
+  let store_perm = if maybe g 28 then Some (pick_perm g) else None in
   let period =
     List.fold_left
       (fun acc p -> match p with None -> acc | Some p -> max acc (Perm.period p))

@@ -20,6 +20,7 @@ type report = {
   opgen_cells : int;
   buffer_cells : int;
   pred_cells : int;
+  tbl_cells : int;
   total_cells : int;
   crit_path_gates : int;
   crit_path_ns : float;
@@ -55,6 +56,18 @@ let vla_predfile_per_preg_per_log_lane = 24
 let vla_opgen_extra = 600
 let vla_pred_count = 8
 
+(* Table-lookup permutation unit (VLA only): recovered fixed-geometry
+   permutations execute as predicated gathers through a runtime-built
+   index table, so the translator carries a small pattern store (the
+   recovered offsets, one signed byte per element up to the 16-element
+   catalog period) and a per-lane index datapath (counter + offset add
+   behind a mod-period mask) feeding the gather address generator. The
+   index table is materialised once per region call, off the per-uop
+   critical path, so the unit adds area but no gates to the path. *)
+
+let vla_tbl_store_cells = 520
+let vla_tbl_adder_per_lane = 310
+
 let log2_ceil n =
   let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
   go 0 1
@@ -84,9 +97,14 @@ let estimate params =
           * (vla_predfile_base_per_preg
             + (vla_predfile_per_preg_per_log_lane * log2_ceil params.lanes))
   in
+  let tbl_cells =
+    match params.target with
+    | Fixed_width -> 0
+    | Vla -> vla_tbl_store_cells + (vla_tbl_adder_per_lane * params.lanes)
+  in
   let total_cells =
     decoder_cells + legality_cells + regstate_cells + opgen_cells
-    + buffer_cells + pred_cells
+    + buffer_cells + pred_cells + tbl_cells
   in
   (* 5 gates of partial decode plus the register-state previous-value
      read/conditional-write path, whose mux tree deepens with log2 of
@@ -105,6 +123,7 @@ let estimate params =
     opgen_cells;
     buffer_cells;
     pred_cells;
+    tbl_cells;
     total_cells;
     crit_path_gates;
     crit_path_ns;

@@ -28,8 +28,9 @@ type target =
   | Fixed_width  (** the paper's Neon-like fixed-width target *)
   | Vla
       (** the vector-length-agnostic predicated target: adds a whilelt
-          comparator, a predicate file and a wider opcode generator —
-          costs not in the paper, scaled from the same cell library *)
+          comparator, a predicate file, a wider opcode generator and the
+          table-lookup permutation unit — costs not in the paper, scaled
+          from the same cell library *)
 
 val target_name : target -> string
 (** ["fixed"] or ["vla"] (the CLI spelling). *)
@@ -54,6 +55,11 @@ type report = {
   buffer_cells : int;
   pred_cells : int;
       (** whilelt comparator + predicate file; 0 for {!Fixed_width} *)
+  tbl_cells : int;
+      (** table-lookup permutation unit — pattern store plus per-lane
+          index adders for recovered permutations; 0 for {!Fixed_width}.
+          Off the critical path: the index table is built once per
+          region call, not per emitted uop *)
   total_cells : int;
   crit_path_gates : int;
   crit_path_ns : float;

@@ -132,6 +132,14 @@ let snapshot (j : Json.t) =
                  else errs := Printf.sprintf "%s: expected object" path :: !errs)
                rs
          | _ -> ());
+     field errs "document" j "predication" T_obj (fun p ->
+         List.iter
+           (fun k -> field errs "predication" p k T_int (fun _ -> ()))
+           [ "fast_iters"; "masked_iters"; "dispatched" ]);
+     field errs "document" j "permutation" T_obj (fun p ->
+         List.iter
+           (fun k -> field errs "permutation" p k T_int (fun _ -> ()))
+           [ "seen"; "recovered"; "aborted"; "tbl_index_builds" ]);
      field errs "document" j "histograms" T_obj (fun hs ->
          List.iter
            (fun name ->
@@ -177,6 +185,10 @@ let service_metrics (j : Json.t) =
          field errs "breaker" b "probes" T_int (fun _ -> ());
          field errs "breaker" b "reopens" T_int (fun _ -> ());
          field errs "breaker" b "open" T_list (fun _ -> ()));
+     field errs "document" j "permutation" T_obj (fun p ->
+         List.iter
+           (fun k -> field errs "permutation" p k T_int (fun _ -> ()))
+           [ "seen"; "recovered"; "aborted"; "tbl_index_builds" ]);
      field errs "document" j "dedup" T_obj (fun c -> check_lru errs "dedup" c);
      field errs "document" j "runner_cache" T_obj (fun c ->
          check_lru errs "runner_cache" c);

@@ -19,7 +19,8 @@ val bench : Json.t -> string list
 val service_metrics : Json.t -> string list
 (** Validates the sweep service's metrics document
     (schema ["liquid-service-metrics/1"]): job accounting, supervision
-    counters, breaker state and the two LRU tallies. *)
+    counters, breaker state, the permutation-recovery ledger and the two
+    LRU tallies. *)
 
 val fuzz_report : Json.t -> string list
 (** Validates a fuzzing-campaign report

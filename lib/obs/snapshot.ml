@@ -27,6 +27,10 @@ type t = {
   s_pred_fast : int;
   s_pred_masked : int;
   s_vla_preds : int;
+  s_permutes_seen : int;
+  s_permutes_recovered : int;
+  s_permutes_aborted : int;
+  s_tbl_index_builds : int;
   s_latency_hist : Hist.t;
   s_gap_hist : Hist.t;
   s_uops_hist : Hist.t;
@@ -94,12 +98,16 @@ let of_run ?(label = "run") ?(variant = "unknown") ?collector (run : Cpu.run) =
     s_pred_fast = run.Cpu.pred_fast_iters;
     s_pred_masked = run.Cpu.pred_masked_iters;
     s_vla_preds = run.Cpu.vla_pred_execs;
+    s_permutes_seen = run.Cpu.permutes_seen;
+    s_permutes_recovered = run.Cpu.permutes_recovered;
+    s_permutes_aborted = run.Cpu.permutes_aborted;
+    s_tbl_index_builds = run.Cpu.tbl_index_builds;
     s_latency_hist = latency;
     s_gap_hist = gap;
     s_uops_hist = uops_hist;
   }
 
-let invariant_count = 11
+let invariant_count = 12
 
 let violations t =
   let s = t.s_stats in
@@ -204,6 +212,11 @@ let violations t =
     (t.s_pred_fast + t.s_pred_masked = t.s_vla_preds) (fun () ->
       Printf.sprintf "fast %d + masked %d <> dispatched %d" t.s_pred_fast
         t.s_pred_masked t.s_vla_preds);
+  check "perm-conservation"
+    (t.s_permutes_recovered + t.s_permutes_aborted = t.s_permutes_seen)
+    (fun () ->
+      Printf.sprintf "recovered %d + aborted %d <> seen %d"
+        t.s_permutes_recovered t.s_permutes_aborted t.s_permutes_seen);
   List.rev !bad
 
 let stats_fields (s : Stats.t) =
@@ -292,6 +305,14 @@ let to_json t =
             ("masked_iters", Json.Int t.s_pred_masked);
             ("dispatched", Json.Int t.s_vla_preds);
           ] );
+      ( "permutation",
+        Json.Obj
+          [
+            ("seen", Json.Int t.s_permutes_seen);
+            ("recovered", Json.Int t.s_permutes_recovered);
+            ("aborted", Json.Int t.s_permutes_aborted);
+            ("tbl_index_builds", Json.Int t.s_tbl_index_builds);
+          ] );
       ( "histograms",
         Json.Obj
           [
@@ -343,6 +364,10 @@ let to_csv t =
   int_row "predication.fast_iters" t.s_pred_fast;
   int_row "predication.masked_iters" t.s_pred_masked;
   int_row "predication.dispatched" t.s_vla_preds;
+  int_row "permutation.seen" t.s_permutes_seen;
+  int_row "permutation.recovered" t.s_permutes_recovered;
+  int_row "permutation.aborted" t.s_permutes_aborted;
+  int_row "permutation.tbl_index_builds" t.s_tbl_index_builds;
   List.iter
     (fun r ->
       let p k v = int_row (Printf.sprintf "region.%s.%s" r.r_label k) v in

@@ -47,6 +47,16 @@ type t = {
   s_vla_preds : int;
       (** predicated vector uops dispatched — the independent tally the
           fast/masked split must account for *)
+  s_permutes_seen : int;
+      (** permutation slots the translator resolved across all sessions *)
+  s_permutes_recovered : int;
+      (** permutations lowered to a native [Vperm] or a VLA table lookup *)
+  s_permutes_aborted : int;
+      (** permutations that killed their translation session — the
+          independent tally recovery must account for *)
+  s_tbl_index_builds : int;
+      (** runtime index-table materialisations ([Tblidx] executions) —
+          once per region call and recovered pattern on the VLA backend *)
   s_latency_hist : Hist.t;
       (** translation latency in cycles, one sample per completed
           translation; populated only when a {!Collector} observed the
@@ -86,7 +96,10 @@ val violations : t -> string list
       sample per consecutive call pair;
     - [pred-conservation]: every dispatched predicated vector uop took
       exactly one of the all-true fast path or the masked path
-      ([pred_fast + pred_masked = dispatched]). *)
+      ([pred_fast + pred_masked = dispatched]);
+    - [perm-conservation]: every permutation the translator saw was
+      either recovered or aborted the session
+      ([recovered + aborted = seen]). *)
 
 val to_json : t -> Json.t
 (** Schema ["liquid-obs-snapshot/1"]; validated by {!Schema.snapshot}.

@@ -598,7 +598,15 @@ let compile_thunk eng ~lanes u =
           else fun () ->
             eng.vla_preds <- eng.vla_preds + 1;
             f ()
-      | Vla.Whilelt _ | Vla.Incvl _ -> f)
+      | Vla.Tbl _ | Vla.Tblst _ ->
+          (* recovered permutations are predicated memory ops: dispatch
+             counts here, and the per-lane accesses the closure recorded
+             go through the scratch charge *)
+          fun () ->
+            eng.vla_preds <- eng.vla_preds + 1;
+            f ();
+            charge_scratch eng
+      | Vla.Tblidx _ | Vla.Whilelt _ | Vla.Incvl _ -> f)
 
 (* Bake the slot's icache line probe in front of its thunk, so the
    replay loop is a bare closure call per micro-op. *)
@@ -1392,7 +1400,14 @@ let compile_useg eng uc j =
         charges :=
           (match p with
           | Vla.Pred { v; _ } -> vector_charge eng ~lanes:width v
-          | Vla.Whilelt _ | Vla.Incvl _ -> 1)
+          | Vla.Tbl { esize; _ } | Vla.Tblst { esize; _ } ->
+              (* gather-style bus timing, matching the stepping
+                 interpreter's charge for recovered permutations *)
+              1
+              + width
+                * ((Esize.bytes esize + eng.vec_bus_bytes - 1)
+                  / eng.vec_bus_bytes)
+          | Vla.Tblidx _ | Vla.Whilelt _ | Vla.Incvl _ -> 1)
           :: !charges;
         incr nu;
         incr i

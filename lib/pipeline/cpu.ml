@@ -130,6 +130,10 @@ type run = {
   pred_fast_iters : int;
   pred_masked_iters : int;
   vla_pred_execs : int;
+  permutes_seen : int;
+  permutes_recovered : int;
+  permutes_aborted : int;
+  tbl_index_builds : int;
 }
 
 type racc = {
@@ -183,6 +187,12 @@ type state = {
       (* predicated vector uops dispatched by the stepping interpreter;
          the engine keeps its own tally — together they form the
          right-hand side of the obs predication conservation invariant *)
+  mutable perm_seen : int;
+  mutable perm_recovered : int;
+  mutable perm_aborted : int;
+      (* permutation placeholders across every finished translation
+         session (cached and oracle alike), accumulated from each
+         session's [Translator.perm_tally] *)
   eng : Blocks.t option;
       (* the translation-block engine; [None] when disabled by config or
          when fidelity demands stepping throughout (trace consumer or
@@ -322,7 +332,12 @@ let close_session st s =
   (* A software translator runs on the core itself: the region's caller
      stalls while the JIT routine executes. *)
   (match kind with Software -> charge st (work * cpi) | Hardware -> ());
-  match Translator.finish s.tr with
+  let result = Translator.finish s.tr in
+  let tally = Translator.perm_tally s.tr in
+  st.perm_seen <- st.perm_seen + tally.Translator.seen;
+  st.perm_recovered <- st.perm_recovered + tally.Translator.recovered;
+  st.perm_aborted <- st.perm_aborted + tally.Translator.aborted;
+  match result with
   | Translator.Translated u ->
       trace st
         (T_region { label = acc.r_label; event = `Translated u.Ucode.width });
@@ -456,6 +471,21 @@ let run_ucode st ~entry ~stamp (u : Ucode.t) =
             | Vinsn.Vred _ -> charge st 1
             | _ -> ());
             charge_vector_mem st v
+        | Vla.Tbl { esize; _ } | Vla.Tblst { esize; _ } ->
+            (* A recovered permutation: a predicated dispatch with
+               gather-style bus timing — one beat per lane, no
+               coalescing, elements never span beats unless wider than
+               the bus. *)
+            st.vla_preds <- st.vla_preds + 1;
+            st.stats.Stats.vector_insns <- st.stats.Stats.vector_insns + 1;
+            charge st 1;
+            charge st
+              (st.ctx.Sem.lanes
+              * ((Esize.bytes esize + st.cfg.vec_bus_bytes - 1)
+                / st.cfg.vec_bus_bytes))
+        | Vla.Tblidx _ ->
+            st.stats.Stats.vector_insns <- st.stats.Stats.vector_insns + 1;
+            charge st 1
         | Vla.Whilelt _ | Vla.Incvl _ ->
             st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
             charge st 1);
@@ -492,13 +522,16 @@ let oracle_lookup st target =
   | None ->
       if not st.cfg.oracle_translation then None
       else
+        let tally =
+          ref { Translator.seen = 0; recovered = 0; aborted = 0 }
+        in
         let res =
           match (st.cfg.accel_lanes, st.cfg.translator) with
           | Some lanes, Some _ -> (
               match
                 Offline.translate_region_result ~max_uops:st.cfg.max_uops
-                  ~backend:st.cfg.backend ~state:st.ctx ~image:st.image ~lanes
-                  ~entry:target ()
+                  ~backend:st.cfg.backend ~state:st.ctx ~tally ~image:st.image
+                  ~lanes ~entry:target ()
               with
               | Ok (Translator.Translated u) ->
                   (region_acc st target).outcome <-
@@ -517,6 +550,9 @@ let oracle_lookup st target =
               | Error _ -> None)
           | _, _ -> None
         in
+        st.perm_seen <- st.perm_seen + !tally.Translator.seen;
+        st.perm_recovered <- st.perm_recovered + !tally.Translator.recovered;
+        st.perm_aborted <- st.perm_aborted + !tally.Translator.aborted;
         Hashtbl.replace st.oracle target res;
         res
 
@@ -786,6 +822,9 @@ let init_state config image =
       retired = 0;
       halted = false;
       vla_preds = 0;
+      perm_seen = 0;
+      perm_recovered = 0;
+      perm_aborted = 0;
       eng;
     }
   in
@@ -850,6 +889,10 @@ let collect st mem ctx =
     vla_pred_execs =
       (st.vla_preds
       + match st.eng with Some e -> Blocks.vla_preds e | None -> 0);
+    permutes_seen = st.perm_seen;
+    permutes_recovered = st.perm_recovered;
+    permutes_aborted = st.perm_aborted;
+    tbl_index_builds = ctx.Sem.n_tbl_builds;
   }
 
 (* The main loop. With the block engine on, every pc is first offered to

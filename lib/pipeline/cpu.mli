@@ -190,6 +190,18 @@ type run = {
       (** predicated vector uops dispatched (stepping interpreter plus
           block engine); conservation:
           [pred_fast_iters + pred_masked_iters = vla_pred_execs] *)
+  permutes_seen : int;
+      (** permutation placeholders encountered at translation finish,
+          summed over every finished session (cached and oracle) *)
+  permutes_recovered : int;
+      (** placeholders rewritten to a native permute or a VLA table
+          lookup; conservation:
+          [permutes_recovered + permutes_aborted = permutes_seen] *)
+  permutes_aborted : int;
+      (** placeholders whose resolution aborted the session *)
+  tbl_index_builds : int;
+      (** [Tblidx] index-table materializations executed (once per
+          region call and distinct pattern on the VLA target) *)
 }
 
 val run : ?config:config -> Image.t -> run

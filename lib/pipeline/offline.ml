@@ -6,7 +6,7 @@ module Memory = Liquid_machine.Memory
 let step_budget = 5_000_000
 
 let translate_region_result ?(max_uops = 64) ?(backend = Backend.fixed) ?state
-    ~image ~lanes ~entry () =
+    ?tally ~image ~lanes ~entry () =
   let mem =
     match state with
     | Some (live : Sem.ctx) -> Memory.copy live.Sem.mem
@@ -49,7 +49,12 @@ let translate_region_result ?(max_uops = 64) ?(backend = Backend.fixed) ?state
   done;
   match !failure with
   | Some d -> Error d
-  | None -> Ok (Translator.finish tr)
+  | None ->
+      let r = Translator.finish tr in
+      (match tally with
+      | Some cell -> cell := Translator.perm_tally tr
+      | None -> ());
+      Ok r
 
 let translate_region ?max_uops ?backend ?state ~image ~lanes ~entry () =
   match

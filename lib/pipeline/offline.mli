@@ -21,12 +21,15 @@ open Liquid_prog
 open Liquid_translate
 
 val translate_region_result :
-  ?max_uops:int -> ?backend:Backend.t -> ?state:Sem.ctx -> image:Image.t ->
+  ?max_uops:int -> ?backend:Backend.t -> ?state:Sem.ctx ->
+  ?tally:Translator.perm_tally ref -> image:Image.t ->
   lanes:int -> entry:int -> unit -> (Translator.result, Diag.t) result
 (** [Error diag] when the region never returns within a generous
     instruction budget, escapes the image, or contains vector
     instructions. A translation {e abort} is not an error: it comes back
-    as [Ok (Aborted _)]. [backend] defaults to {!Backend.fixed}. *)
+    as [Ok (Aborted _)]. [backend] defaults to {!Backend.fixed}.
+    When [tally] is given, the session's {!Translator.perm_tally} is
+    written into it on the [Ok] paths (left untouched on [Error]). *)
 
 val translate_region :
   ?max_uops:int -> ?backend:Backend.t -> ?state:Sem.ctx -> image:Image.t ->

@@ -33,6 +33,9 @@ type ctx = {
           (full predicate: unmasked fixed-width semantics) *)
   mutable n_pred_masked : int;
       (** predicated vector executions that paid the masked path *)
+  mutable n_tbl_builds : int;
+      (** table-lookup index vectors materialized from the runtime
+          vector length ([Vla.Tblidx] executions) *)
 }
 
 let create_ctx mem =
@@ -53,6 +56,7 @@ let create_ctx mem =
     blk = Bytes.create (max_lanes * 4);
     n_pred_fast = 0;
     n_pred_masked = 0;
+    n_tbl_builds = 0;
   }
 
 type outcome =
@@ -427,9 +431,10 @@ let exec_vector_masked ctx ~k vinsn =
       done;
       Array.fill d k (w - k) 0
   | Vinsn.Vperm _ ->
-      (* The VLA backend aborts permutation regions
-         (Unportable_permutation), so a predicated permutation can only
-         mean corrupted microcode. *)
+      (* The VLA backend lowers permutations to the table-lookup ops
+         ([Vla.Tbl]/[Vla.Tblst]) rather than predicating a register
+         permute, so a predicated [Vperm] can only mean corrupted
+         microcode. *)
       raise (Sigill "predicated permutation")
   | Vinsn.Vred { op; acc; src } ->
       if k > 0 then begin
@@ -471,6 +476,45 @@ let exec_vla ctx (p : Vla.exec) =
         clear_effect ctx;
         exec_vector_masked ctx ~k v
       end
+  | Vla.Tblidx _ ->
+      (* The index build is pure register-state setup; the simulator
+         derives lane indices directly from the pattern at each lookup,
+         so only the build count is architectural here. *)
+      clear_effect ctx;
+      ctx.n_tbl_builds <- ctx.n_tbl_builds + 1
+  | Vla.Tbl { pred; esize; signed; dst; base; counter; pattern } ->
+      let w = ctx.lanes in
+      let k = ctx.preds.(Vla.preg_index pred) in
+      let k = if k > w then w else k in
+      if k >= w then ctx.n_pred_fast <- ctx.n_pred_fast + 1
+      else ctx.n_pred_masked <- ctx.n_pred_masked + 1;
+      clear_effect ctx;
+      let bytes = Esize.bytes esize in
+      let base_addr = base_value base ctx in
+      let c = ctx.regs.(Reg.index counter) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      for j = 0 to k - 1 do
+        let addr = base_addr + (Perm.src_index pattern (c + j) * bytes) in
+        d.(j) <- Memory.read ctx.mem ~addr ~bytes ~signed;
+        add_access ctx addr bytes false
+      done;
+      Array.fill d k (w - k) 0
+  | Vla.Tblst { pred; esize; src; base; counter; pattern } ->
+      let w = ctx.lanes in
+      let k = ctx.preds.(Vla.preg_index pred) in
+      let k = if k > w then w else k in
+      if k >= w then ctx.n_pred_fast <- ctx.n_pred_fast + 1
+      else ctx.n_pred_masked <- ctx.n_pred_masked + 1;
+      clear_effect ctx;
+      let bytes = Esize.bytes esize in
+      let base_addr = base_value base ctx in
+      let c = ctx.regs.(Reg.index counter) in
+      let s = ctx.vregs.(Vreg.index src) in
+      for j = 0 to k - 1 do
+        let addr = base_addr + (Perm.src_index pattern (c + j) * bytes) in
+        Memory.write ctx.mem ~addr ~bytes s.(j);
+        add_access ctx addr bytes true
+      done
 
 let step_vector ctx vinsn =
   exec_vector ctx vinsn;
@@ -762,3 +806,54 @@ let compile_vla ctx ~lanes (p : Vla.exec) =
           clear_effect ctx;
           exec_vector_masked ctx ~k v
         end
+  | Vla.Tblidx _ ->
+      fun () ->
+        ctx.n_tbl_builds <- ctx.n_tbl_builds + 1;
+        ctx.e_nacc <- 0
+  | Vla.Tbl { pred; esize; signed; dst; base; counter; pattern } ->
+      let bytes = Esize.bytes esize in
+      let pi = Vla.preg_index pred in
+      let ci = Reg.index counter in
+      let d = ctx.vregs.(Vreg.index dst) in
+      let getb = compile_base ctx base in
+      (* [period] is a power of two ([Perm.well_formed]), so the modulo
+         in [Perm.src_index] becomes a mask over the baked offsets. *)
+      let offs = Perm.offsets pattern in
+      let mask = Perm.period pattern - 1 in
+      fun () ->
+        let k = ctx.preds.(pi) in
+        let k = if k > lanes then lanes else k in
+        if k >= lanes then ctx.n_pred_fast <- ctx.n_pred_fast + 1
+        else ctx.n_pred_masked <- ctx.n_pred_masked + 1;
+        let base_addr = getb () in
+        let c = ctx.regs.(ci) in
+        for j = 0 to k - 1 do
+          let e = c + j in
+          let addr = base_addr + ((e + offs.(e land mask)) * bytes) in
+          d.(j) <- Memory.read ctx.mem ~addr ~bytes ~signed;
+          set_access ctx j addr bytes false
+        done;
+        ctx.e_nacc <- k;
+        if k < lanes then Array.fill d k (lanes - k) 0
+  | Vla.Tblst { pred; esize; src; base; counter; pattern } ->
+      let bytes = Esize.bytes esize in
+      let pi = Vla.preg_index pred in
+      let ci = Reg.index counter in
+      let s = ctx.vregs.(Vreg.index src) in
+      let getb = compile_base ctx base in
+      let offs = Perm.offsets pattern in
+      let mask = Perm.period pattern - 1 in
+      fun () ->
+        let k = ctx.preds.(pi) in
+        let k = if k > lanes then lanes else k in
+        if k >= lanes then ctx.n_pred_fast <- ctx.n_pred_fast + 1
+        else ctx.n_pred_masked <- ctx.n_pred_masked + 1;
+        let base_addr = getb () in
+        let c = ctx.regs.(ci) in
+        for j = 0 to k - 1 do
+          let e = c + j in
+          let addr = base_addr + ((e + offs.(e land mask)) * bytes) in
+          Memory.write ctx.mem ~addr ~bytes s.(j);
+          set_access ctx j addr bytes true
+        done;
+        ctx.e_nacc <- k

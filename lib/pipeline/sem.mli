@@ -42,6 +42,9 @@ type ctx = {
           so the unmasked fixed-width semantics ran verbatim *)
   mutable n_pred_masked : int;
       (** predicated vector executions that paid the masked path *)
+  mutable n_tbl_builds : int;
+      (** table-lookup index vectors materialized from the runtime
+          vector length ({!Vla.Tblidx} executions) *)
 }
 
 val create_ctx : Liquid_machine.Memory.t -> ctx
@@ -87,7 +90,13 @@ val exec_vla : ctx -> Vla.exec -> unit
     predicate with zeroing semantics — a full predicate delegates to
     {!exec_vector}, a partial one loads/stores only active elements,
     zeroes inactive destination lanes, and folds reductions over active
-    lanes only. Raises {!Sigill} on a predicated permutation. *)
+    lanes only. The table-lookup family executes recovered permutations:
+    [Tblidx] counts an index-vector build ([n_tbl_builds]); [Tbl] and
+    [Tblst] gather (resp. scatter) element
+    [Perm.src_index pattern (counter + j)] for each active lane [j],
+    reproducing the scalar loop's permuted access stream at any vector
+    length — they participate in the fast/masked predication tallies
+    like [Pred]. Raises {!Sigill} on a predicated permutation. *)
 
 val last_effect : ctx -> effect
 (** Materializes the scratch effect of the most recent [exec_*] call as

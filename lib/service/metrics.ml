@@ -13,6 +13,10 @@ type t = {
   permanent : int Atomic.t;
   deadline : int Atomic.t;
   protocol_errors : int Atomic.t;
+  perm_seen : int Atomic.t;
+  perm_recovered : int Atomic.t;
+  perm_aborted : int Atomic.t;
+  tbl_builds : int Atomic.t;
 }
 
 let create () =
@@ -28,6 +32,10 @@ let create () =
     permanent = Atomic.make 0;
     deadline = Atomic.make 0;
     protocol_errors = Atomic.make 0;
+    perm_seen = Atomic.make 0;
+    perm_recovered = Atomic.make 0;
+    perm_aborted = Atomic.make 0;
+    tbl_builds = Atomic.make 0;
   }
 
 type totals = {
@@ -42,6 +50,10 @@ type totals = {
   m_permanent : int;
   m_deadline : int;
   m_protocol_errors : int;
+  m_perm_seen : int;
+  m_perm_recovered : int;
+  m_perm_aborted : int;
+  m_tbl_builds : int;
 }
 
 let totals t =
@@ -57,6 +69,10 @@ let totals t =
     m_permanent = Atomic.get t.permanent;
     m_deadline = Atomic.get t.deadline;
     m_protocol_errors = Atomic.get t.protocol_errors;
+    m_perm_seen = Atomic.get t.perm_seen;
+    m_perm_recovered = Atomic.get t.perm_recovered;
+    m_perm_aborted = Atomic.get t.perm_aborted;
+    m_tbl_builds = Atomic.get t.tbl_builds;
   }
 
 let bump c = Atomic.incr c
@@ -71,6 +87,12 @@ let incr_transient t = bump t.transient
 let incr_permanent t = bump t.permanent
 let incr_deadline t = bump t.deadline
 let incr_protocol_errors t = bump t.protocol_errors
+
+let add_permutation t ~seen ~recovered ~aborted ~tbl_builds =
+  ignore (Atomic.fetch_and_add t.perm_seen seen);
+  ignore (Atomic.fetch_and_add t.perm_recovered recovered);
+  ignore (Atomic.fetch_and_add t.perm_aborted aborted);
+  ignore (Atomic.fetch_and_add t.tbl_builds tbl_builds)
 
 let violations ?(queued = 0) m =
   let errs = ref [] in
@@ -87,6 +109,11 @@ let violations ?(queued = 0) m =
       Printf.sprintf "dedup hits (%d) exceed ok + degraded replies (%d)"
         m.m_dedup_hits
         (m.m_ok + m.m_degraded)
+      :: !errs;
+  if m.m_perm_recovered + m.m_perm_aborted <> m.m_perm_seen then
+    errs :=
+      Printf.sprintf "permutation: recovered (%d) + aborted (%d) <> seen (%d)"
+        m.m_perm_recovered m.m_perm_aborted m.m_perm_seen
       :: !errs;
   List.rev !errs
 
@@ -134,6 +161,14 @@ let to_json t ~queued ~breaker_threshold ~breaker_trips ~breaker_probes
             ("reopens", Json.Int breaker_reopens);
             ("open", Json.List (List.map (fun k -> Json.Str k) breaker_open));
           ] );
+      ( "permutation",
+        Json.Obj
+          [
+            ("seen", Json.Int m.m_perm_seen);
+            ("recovered", Json.Int m.m_perm_recovered);
+            ("aborted", Json.Int m.m_perm_aborted);
+            ("tbl_index_builds", Json.Int m.m_tbl_builds);
+          ] );
       ("dedup", lru_json dedup);
       ("runner_cache", lru_json runner_cache);
       ("protocol_errors", Json.Int m.m_protocol_errors);
@@ -141,7 +176,7 @@ let to_json t ~queued ~breaker_threshold ~breaker_trips ~breaker_probes
         let v = violations ~queued m in
         Json.Obj
           [
-            ("checked", Json.Int 2);
+            ("checked", Json.Int 3);
             ("violations", Json.List (List.map (fun s -> Json.Str s) v));
           ] );
     ]

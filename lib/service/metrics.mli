@@ -35,6 +35,12 @@ type totals = {
   m_permanent : int;  (** attempt failures classified [`Permanent] *)
   m_deadline : int;  (** jobs stopped by the wall-clock/fuel deadline *)
   m_protocol_errors : int;  (** unparseable request lines (not jobs) *)
+  m_perm_seen : int;
+      (** permutation slots translators resolved across all executed runs *)
+  m_perm_recovered : int;
+      (** permutations lowered to a native permute or a VLA table lookup *)
+  m_perm_aborted : int;  (** permutations that killed their translation *)
+  m_tbl_builds : int;  (** runtime index-table materialisations executed *)
 }
 
 val totals : t -> totals
@@ -51,10 +57,18 @@ val incr_permanent : t -> unit
 val incr_deadline : t -> unit
 val incr_protocol_errors : t -> unit
 
+val add_permutation :
+  t -> seen:int -> recovered:int -> aborted:int -> tbl_builds:int -> unit
+(** Fold one executed run's permutation tallies
+    ({!Liquid_pipeline.Cpu.run} fields [permutes_seen] /
+    [permutes_recovered] / [permutes_aborted] / [tbl_index_builds]) into
+    the lifetime counters. Dedup-cache replies do not re-count. *)
+
 val violations : ?queued:int -> totals -> string list
 (** Conservation problems, one human-readable string each; empty means
-    the books balance. [queued] (default 0) is the number of accepted
-    jobs still waiting for a drain. *)
+    the books balance — including the permutation ledger
+    ([recovered + aborted = seen]). [queued] (default 0) is the number
+    of accepted jobs still waiting for a drain. *)
 
 val to_json :
   t ->

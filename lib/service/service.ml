@@ -70,6 +70,11 @@ let queue_depth t = Mutex.protect t.queue_mutex (fun () -> List.length t.queue)
 
 (* --- reply builders --- *)
 
+let tally_permutes t (run : Cpu.run) =
+  Metrics.add_permutation t.metrics ~seen:run.Cpu.permutes_seen
+    ~recovered:run.Cpu.permutes_recovered ~aborted:run.Cpu.permutes_aborted
+    ~tbl_builds:run.Cpu.tbl_index_builds
+
 let empty_reply (spec : Job.spec) status =
   {
     Job.p_id = spec.Job.j_id;
@@ -140,6 +145,7 @@ let degrade t (spec : Job.spec) (w : Workload.t) ~fp ~attempts ~diag =
   match Runner.run_cached w Runner.Baseline with
   | result ->
       Metrics.incr_degraded t.metrics;
+      tally_permutes t result.Runner.run;
       let image = Image.of_program result.Runner.program in
       let reply =
         run_reply spec Job.Degraded ~ran:"baseline" ~attempts
@@ -208,6 +214,7 @@ let run_supervised t seq (spec : Job.spec) (w : Workload.t) fp =
         Breaker.record_success t.breaker ~workload:spec.Job.j_workload
           ~variant:spec.Job.j_variant_str;
         Metrics.incr_ok t.metrics;
+        tally_permutes t run;
         let reply =
           run_reply spec Job.Ok_ ~ran:spec.Job.j_variant_str ~attempts:attempt
             run image

@@ -57,7 +57,7 @@ let to_string = function
   | Bad_trip_count -> "bad trip count"
   | Inconsistent_iteration s -> "inconsistent iteration: " ^ s
   | Dangling_address_combine -> "dangling address combine"
-  | Unportable_permutation -> "permutation has no length-agnostic encoding"
+  | Unportable_permutation -> "permutation not recoverable as a table lookup"
   | External_abort -> "external abort"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -28,10 +28,12 @@ type t =
   | Dangling_address_combine
       (** an induction+offset combine whose result never reached memory *)
   | Unportable_permutation
-      (** the region needs a cross-lane permutation, which the
-          vector-length-agnostic backend cannot encode: under a partial
-          predicate an active lane could read an inactive (undefined)
-          one, so the VLA target refuses the region instead *)
+      (** the region needs a cross-lane permutation that cannot be
+          recovered as a table-lookup gather: either the target's
+          {!Backend.perm_lowering} is [Perm_abort], or the observed
+          offset stream is genuinely data-dependent — it cannot be
+          proven loop-invariant, so no index vector baked at translation
+          time would stay correct *)
   | External_abort  (** context switch or interrupt (paper §4.1) *)
 
 val pp : Format.formatter -> t -> unit

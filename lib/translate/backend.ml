@@ -3,11 +3,13 @@ open Liquid_visa
 
 type kind = Fixed | Vla
 
+type perm_lowering = Perm_native | Perm_table | Perm_abort
+
 module type S = sig
   val kind : kind
   val name : string
   val effective_width : lanes:int -> trips:int -> (int, Abort.t) result
-  val supports_permutation : bool
+  val permutation : perm_lowering
   val loop_header : induction:Reg.t -> bound:int -> Ucode.uop list
   val body_vector : Vinsn.exec -> Ucode.uop
   val induction_step : dst:Reg.t -> width:int -> Ucode.uop
@@ -32,7 +34,7 @@ module Fixed_width : S = struct
     in
     go lanes
 
-  let supports_permutation = true
+  let permutation = Perm_native
   let loop_header ~induction:_ ~bound:_ = []
   let body_vector v = Ucode.UV v
 
@@ -60,7 +62,7 @@ module Vla_target : S = struct
   let effective_width ~lanes ~trips =
     if trips > 0 then Ok lanes else Error Abort.Bad_trip_count
 
-  let supports_permutation = false
+  let permutation = Perm_table
 
   let loop_header ~induction ~bound =
     [ Ucode.UP (Vla.Whilelt { pred = Vla.p0; counter = induction; bound }) ]

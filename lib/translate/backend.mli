@@ -16,14 +16,32 @@
       so any positive trip count translates and the final iteration may
       be partial.
 
-    Both backends share every abort class except
-    {!Abort.Unportable_permutation}, which only the VLA target raises
-    (cross-lane permutations cannot be predicated soundly). *)
+    Fixed-geometry permutations are where the encodings diverge most:
+    the fixed-width target matches the observed offset stream against
+    the permutation CAM and emits a register permute ({!Vinsn.Vperm}),
+    while the VLA target — whose hardware width need not divide (or even
+    reach) the pattern's period — lowers the same shapes to predicated
+    table-lookup memory ops ({!Liquid_visa.Vla.Tbl}/[Tblst]) over an
+    index vector materialized at runtime from the actual vector length.
+    {!Abort.Unportable_permutation} remains only for genuinely
+    data-dependent shuffles whose offset stream cannot be proven
+    loop-invariant. *)
 
 open Liquid_isa
 open Liquid_visa
 
 type kind = Fixed | Vla
+
+type perm_lowering =
+  | Perm_native  (** CAM match, emit a register permute ({!Vinsn.Vperm}). *)
+  | Perm_table
+      (** Lower to predicated table-lookup memory ops with a
+          runtime-built index vector ({!Liquid_visa.Vla.Tbl}). *)
+  | Perm_abort
+      (** No length-agnostic encoding: abort the region with
+          {!Abort.Unportable_permutation}. Retained for hypothetical
+          targets without a gather unit; neither shipped backend uses
+          it. *)
 
 (** A backend supplies the width policy and the four emission points
     where fixed-width and length-agnostic microcode differ. *)
@@ -36,10 +54,9 @@ module type S = sig
   val effective_width : lanes:int -> trips:int -> (int, Abort.t) result
   (** Lane count to translate for, or the abort to raise. *)
 
-  val supports_permutation : bool
-  (** When [false], a region that needs a cross-lane permutation aborts
-      with {!Abort.Unportable_permutation} instead of consulting the
-      permutation CAM. *)
+  val permutation : perm_lowering
+  (** How a region's fixed-geometry permutations are encoded — see
+      {!perm_lowering}. *)
 
   val loop_header : induction:Reg.t -> bound:int -> Ucode.uop list
   (** Uops inserted once, immediately before the first loop-body uop

@@ -8,13 +8,17 @@ let default_config ?(backend = Backend.fixed) ~lanes () =
 
 type result = Translated of Ucode.t | Aborted of Abort.t
 
+type perm_tally = { seen : int; recovered : int; aborted : int }
+
 (* Microcode buffer slots. [Cinc] and [Cperm] are placeholders resolved at
    [finish]; [Cb] is the loop back-edge whose target is remapped after
-   compaction. *)
+   compaction. [Cvla] holds a resolved VLA table-lookup op (a recovered
+   permutation), emitted verbatim as a predicated uop. *)
 type content =
   | Cs of Insn.exec
   | Cv of Vinsn.exec
   | Cperm of { dst : Vreg.t; src : Vreg.t; lineage : int; scatter : bool }
+  | Cvla of Vla.exec
   | Cinc of Reg.t
   | Cb of Cond.t
 
@@ -101,6 +105,12 @@ type t = {
   mutable valid_count : int;
   mutable saw_ret : bool;
   mutable observed : int;
+  mutable tbl_patterns : Perm.t list;
+      (* distinct patterns recovered as table lookups, in recovery order:
+         one [Tblidx] preamble uop is emitted per entry *)
+  mutable perm_seen : int;
+  mutable perm_recovered : int;
+  mutable perm_aborted : int;
 }
 
 let scratch_vreg = Vreg.make 15
@@ -130,9 +140,16 @@ let create cfg =
     valid_count = 0;
     saw_ret = false;
     observed = 0;
+    tbl_patterns = [];
+    perm_seen = 0;
+    perm_recovered = 0;
+    perm_aborted = 0;
   }
 
 let observed t = t.observed
+
+let perm_tally t =
+  { seen = t.perm_seen; recovered = t.perm_recovered; aborted = t.perm_aborted }
 let static_insns t = Vec.length t.build_events
 let fail t reason = if t.failure = None then t.failure <- Some reason
 
@@ -275,7 +292,7 @@ let resolve_pending t ~pc p =
                 Cv (Vinsn.Vsat { op = sat_op; esize; signed; dst; src1; src2 = s2 });
               true
           | None -> false)
-      | Cs _ | Cv _ | Cperm _ | Cinc _ | Cb _ -> false
+      | Cs _ | Cv _ | Cperm _ | Cvla _ | Cinc _ | Cb _ -> false
     in
     if not saturated then
       (* Fall back to element-wise min/max: a one-sided clamp is exactly a
@@ -659,7 +676,7 @@ let scan_body_legality t ~top_pc ~branch_pc =
     (fun _ slot ->
       if slot.valid && slot.pc >= top_pc && slot.pc <= branch_pc then
         match slot.content with
-        | Cs (Insn.Cmp _) | Cv _ | Cperm _ | Cinc _ | Cb _ -> ()
+        | Cs (Insn.Cmp _) | Cv _ | Cperm _ | Cvla _ | Cinc _ | Cb _ -> ()
         | Cs _ -> fail t (Abort.Illegal_insn "scalar instruction in loop body"))
     t.slots
 
@@ -811,60 +828,168 @@ let periodic values width trips =
   done;
   !ok
 
-let resolve_perm t ~width ~trips slot =
-  match slot.content with
-  | Cperm _
-    when not
-           (let module B = (val t.cfg.backend) in
-            B.supports_permutation) ->
-      fail t Abort.Unportable_permutation
-  | Cperm { dst; src; lineage; scatter } -> (
-      match stream_values t lineage with
-      | None -> fail t (Abort.Illegal_insn "missing offset stream")
-      | Some values ->
-          if Array.exists (fun v -> not (fits_signed_bits v 8)) values then
-            fail t Abort.Unrepresentable_value
-          else if not (periodic values width trips) then
-            fail t Abort.Non_periodic_offsets
+(* Native lowering: match the observed offsets against the CAM at the
+   translation width and rewrite the placeholder to a register permute
+   ([Vperm]) between the partner load/store and the consumer. *)
+let resolve_perm_native t ~width ~trips slot ~dst ~src ~scatter values =
+  if Array.exists (fun v -> not (fits_signed_bits v 8)) values then
+    fail t Abort.Unrepresentable_value
+  else if not (periodic values width trips) then
+    fail t Abort.Non_periodic_offsets
+  else
+    let in_range i = i >= 0 && i < width in
+    let gather_offsets =
+      if scatter then begin
+        (* Scalar iterations scattered element [i] to position
+           [i + off(i)]; the equivalent gather permutation is the
+           inverse mapping. *)
+        let target = Array.init width (fun i -> i + values.(i)) in
+        if
+          Array.for_all in_range target
+          && List.length (List.sort_uniq compare (Array.to_list target)) = width
+        then begin
+          let inv = Array.make width 0 in
+          Array.iteri (fun i ti -> inv.(ti) <- i) target;
+          Some (Array.init width (fun j -> inv.(j) - j))
+        end
+        else None
+      end
+      else begin
+        let src_idx = Array.init width (fun i -> i + values.(i)) in
+        if Array.for_all in_range src_idx then
+          Some (Array.init width (fun i -> values.(i)))
+        else None
+      end
+    in
+    match gather_offsets with
+    | None -> fail t Abort.Unknown_permutation
+    | Some offs -> (
+        match Perm.find_by_offsets offs with
+        | Some pattern -> slot.content <- Cv (Vinsn.Vperm { pattern; dst; src })
+        | None -> fail t Abort.Unknown_permutation)
+
+let record_tbl_pattern t pattern =
+  if not (List.exists (Perm.equal pattern) t.tbl_patterns) then
+    t.tbl_patterns <- t.tbl_patterns @ [ pattern ]
+
+(* A recovered pattern is baked into the microcode, so the offset stream
+   that produced it must be loop-invariant across region calls: guard
+   every observed element, exactly as constant folding does. An offset
+   stream that cannot be guarded is treated as genuinely data-dependent. *)
+let guard_offset_stream t ~trips ~lineage values =
+  let invariant =
+    match Hashtbl.find_opt t.load_bases lineage with
+    | Some base -> not (List.mem base t.store_bases)
+    | None -> false
+  in
+  match Hashtbl.find_opt t.fold_srcs lineage with
+  | Some src when invariant && src.f_sound && Vec.length src.f_addrs >= trips ->
+      for e = 0 to trips - 1 do
+        t.guards <-
+          {
+            Ucode.g_addr = Vec.get src.f_addrs e;
+            g_bytes = src.f_bytes;
+            g_signed = src.f_signed;
+            g_expect = values.(e);
+          }
+          :: t.guards
+      done;
+      true
+  | Some _ | None -> false
+
+(* Table lowering (VLA): the permutation executes as a predicated
+   table-lookup memory op, so the placeholder and its partner load or
+   store collapse into a single [Tbl]/[Tblst] uop whose index vector is
+   materialized at runtime from the actual vector length. The pattern is
+   matched at its own period — the hardware width need not divide, or
+   even reach, the period — and the offsets are matched element-wise
+   over the whole observed stream, so no per-width CAM image is
+   needed. *)
+let resolve_perm_table t ~trips idx slot ~dst ~src ~scatter ~lineage values =
+  if Array.length values < trips then fail t Abort.Non_periodic_offsets
+  else if Array.exists (fun v -> not (fits_signed_bits v 8)) values then
+    fail t Abort.Unrepresentable_value
+  else
+    match Perm.find_by_offset_stream values ~len:trips with
+    | None -> fail t Abort.Unknown_permutation
+    | Some pattern ->
+        if not (guard_offset_stream t ~trips ~lineage values) then
+          fail t Abort.Unportable_permutation
+        else if scatter then begin
+          (* The partner [Vst] was emitted immediately after this
+             placeholder by the store rule; the store-side offsets encode
+             the mapping directly (scalar iteration [e] wrote element
+             [e + off(e)]), so the matched pattern needs no inversion. *)
+          let pidx = idx + 1 in
+          if pidx >= Vec.length t.slots then
+            fail t (Abort.Illegal_insn "table-lookup store partner")
           else
-            let in_range i = i >= 0 && i < width in
-            let gather_offsets =
-              if scatter then begin
-                (* Scalar iterations scattered element [i] to position
-                   [i + off(i)]; the equivalent gather permutation is the
-                   inverse mapping. *)
-                let target = Array.init width (fun i -> i + values.(i)) in
-                if
-                  Array.for_all in_range target
-                  && List.length (List.sort_uniq compare (Array.to_list target))
-                     = width
-                then begin
-                  let inv = Array.make width 0 in
-                  Array.iteri (fun i ti -> inv.(ti) <- i) target;
-                  Some (Array.init width (fun j -> inv.(j) - j))
-                end
-                else None
-              end
-              else begin
-                let src_idx = Array.init width (fun i -> i + values.(i)) in
-                if Array.for_all in_range src_idx then
-                  Some (Array.init width (fun i -> values.(i)))
-                else None
-              end
-            in
-            (match gather_offsets with
-            | None -> fail t Abort.Unknown_permutation
-            | Some offs -> (
-                match Perm.find_by_offsets offs with
-                | Some pattern ->
-                    slot.content <- Cv (Vinsn.Vperm { pattern; dst; src })
-                | None -> fail t Abort.Unknown_permutation)))
-  | Cs _ | Cv _ | Cinc _ | Cb _ -> ()
+            let partner = Vec.get t.slots pidx in
+            match partner.content with
+            | Cv (Vinsn.Vst { esize; src = vsrc; base; index })
+              when partner.valid && Vreg.equal vsrc scratch_vreg ->
+                slot.content <-
+                  Cvla
+                    (Vla.Tblst
+                       { pred = Vla.p0; esize; src; base; counter = index; pattern });
+                invalidate t pidx;
+                record_tbl_pattern t pattern
+            | _ -> fail t (Abort.Illegal_insn "table-lookup store partner")
+        end
+        else begin
+          (* The partner [Vld] was emitted immediately before this
+             placeholder by the load rule. *)
+          let pidx = idx - 1 in
+          if pidx < 0 then fail t (Abort.Illegal_insn "table-lookup load partner")
+          else
+            let partner = Vec.get t.slots pidx in
+            match partner.content with
+            | Cv (Vinsn.Vld { esize; signed; dst = vdst; base; index })
+              when partner.valid && Vreg.equal vdst dst ->
+                slot.content <-
+                  Cvla
+                    (Vla.Tbl
+                       {
+                         pred = Vla.p0;
+                         esize;
+                         signed;
+                         dst;
+                         base;
+                         counter = index;
+                         pattern;
+                       });
+                invalidate t pidx;
+                record_tbl_pattern t pattern
+            | _ -> fail t (Abort.Illegal_insn "table-lookup load partner")
+        end
+
+let resolve_perm t ~width ~trips idx slot =
+  match slot.content with
+  | Cperm { dst; src; lineage; scatter } ->
+      t.perm_seen <- t.perm_seen + 1;
+      (match stream_values t lineage with
+      | None -> fail t (Abort.Illegal_insn "missing offset stream")
+      | Some values -> (
+          let module B = (val t.cfg.backend) in
+          match B.permutation with
+          | Backend.Perm_abort -> fail t Abort.Unportable_permutation
+          | Backend.Perm_native ->
+              resolve_perm_native t ~width ~trips slot ~dst ~src ~scatter values
+          | Backend.Perm_table ->
+              resolve_perm_table t ~trips idx slot ~dst ~src ~scatter ~lineage
+                values));
+      (* [resolve_perm] only runs on slots reached with no failure
+         recorded, so the tally is per-placeholder exact:
+         recovered + aborted = seen. *)
+      if t.failure = None then t.perm_recovered <- t.perm_recovered + 1
+      else t.perm_aborted <- t.perm_aborted + 1
+  | Cs _ | Cv _ | Cvla _ | Cinc _ | Cb _ -> ()
 
 let vreg_used_by content vr =
   match content with
   | Cv v -> List.exists (Vreg.equal vr) (Vinsn.uses_vector v)
   | Cperm { src; _ } -> Vreg.equal src vr
+  | Cvla p -> List.exists (Vreg.equal vr) (Vla.uses_vector p)
   | Cs _ | Cinc _ | Cb _ -> false
 
 let resolve_const_operand t ~width ~trips slot =
@@ -950,7 +1075,10 @@ let finish t =
         0
   in
   if t.failure = None then begin
-    Vec.iteri (fun _ s -> if s.valid then resolve_perm t ~width ~trips s) t.slots;
+    Vec.iteri
+      (fun i s ->
+        if s.valid && t.failure = None then resolve_perm t ~width ~trips i s)
+      t.slots;
     Vec.iteri
       (fun _ s -> if s.valid then resolve_const_operand t ~width ~trips s)
       t.slots
@@ -976,6 +1104,11 @@ let finish t =
           if s.valid then begin
             let in_body = s.pc >= t.loop_top_pc in
             if (not !target_found) && in_body then begin
+              (* Index-table materialization runs once per region call,
+                 before the loop header, outside the back-edge. *)
+              List.iter
+                (fun pattern -> Vec.push uops (Ucode.UP (Vla.Tblidx { pattern })))
+                t.tbl_patterns;
               List.iter (Vec.push uops) (B.loop_header ~induction ~bound);
               target := Vec.length uops;
               target_found := true
@@ -987,6 +1120,7 @@ let finish t =
               | Cs i -> Ucode.US i
               | Cv v when in_body -> B.body_vector v
               | Cv v -> Ucode.UV v
+              | Cvla p -> Ucode.UP p
               | Cinc r -> B.induction_step ~dst:r ~width
               | Cb cond -> Ucode.UB { cond; target = 0 }
               | Cperm _ -> assert false

@@ -47,6 +47,13 @@ val default_config : ?backend:Backend.t -> lanes:int -> unit -> config
 
 type result = Translated of Ucode.t | Aborted of Abort.t
 
+type perm_tally = { seen : int; recovered : int; aborted : int }
+(** Per-session permutation accounting: how many permutation
+    placeholders [finish] encountered, and how many it rewrote to a
+    native permute or table lookup ([recovered]) versus failed
+    ([aborted]). The resolve pass stops at the first failure, so
+    [recovered + aborted = seen] always holds. *)
+
 type t
 
 val create : config -> t
@@ -66,6 +73,10 @@ val inject : t -> Abort.t -> unit
 
 val finish : t -> result
 (** Close the session after the region's return has been fed. *)
+
+val perm_tally : t -> perm_tally
+(** Permutation accounting for this session; populated by [finish]
+    (all-zero before it runs). *)
 
 val observed : t -> int
 (** Dynamic instructions consumed so far. *)

@@ -45,8 +45,9 @@ type t = {
   source_insns : int;  (** static scalar instructions of the region *)
   observed_insns : int;  (** dynamic instructions the translator consumed *)
   guards : guard array;
-      (** live-invariance guards over folded constant sources; empty when
-          no operand was constant-folded *)
+      (** live-invariance guards over folded constant sources and
+          recovered permutation offset streams; empty when nothing was
+          baked from memory *)
 }
 
 val length : t -> int

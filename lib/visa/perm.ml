@@ -62,6 +62,22 @@ let find_by_offsets observed =
   in
   List.find_opt matches catalog
 
+let find_by_offset_stream values ~len =
+  if len < 1 || len > Array.length values then None
+  else
+    let matches p =
+      let b = period p in
+      len >= b
+      &&
+      let base = offsets p in
+      let ok = ref true in
+      for e = 0 to len - 1 do
+        if values.(e) <> base.(e mod b) then ok := false
+      done;
+      !ok
+    in
+    List.find_opt matches catalog
+
 let pp ppf = function
   | Reverse b -> Format.fprintf ppf "reverse.%d" b
   | Halfswap b -> Format.fprintf ppf "bfly.%d" b

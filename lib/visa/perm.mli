@@ -31,6 +31,13 @@ val period : t -> int
 val well_formed : t -> bool
 (** Period is a power of two in 2..16 and rotation amounts are in range. *)
 
+val src_index : t -> int -> int
+(** [src_index t i] is the element the pattern reads to produce element
+    [i]: the permutation acts blockwise, so
+    [src_index t i = (i / b * b) + perm (i mod b)] for period [b]. Total
+    over all [i >= 0] — this is what the VLA table-lookup ops evaluate
+    per active lane to reproduce the scalar access stream. *)
+
 val offsets : t -> int array
 (** Length {!period}; entry [i] is [src_index(i) - i]. *)
 
@@ -57,6 +64,16 @@ val find_by_offsets : int array -> t option
 (** CAM lookup: given the offsets observed for one full hardware vector
     (length = lane count), return the unique catalog pattern producing
     them, if any. *)
+
+val find_by_offset_stream : int array -> len:int -> t option
+(** Length-agnostic CAM lookup: match the first [len] entries of a raw
+    per-element offset stream (one offset per scalar iteration, in
+    execution order) against each catalog pattern tiled at its {e own}
+    period. Unlike {!find_by_offsets}, the stream length need not relate
+    to any lane count — this is the VLA translator's matcher, where the
+    hardware width may be smaller than the pattern's period. A pattern
+    matches only when [len >= period], so at least one full block was
+    observed. Returns [None] when [len < 1] or exceeds the stream. *)
 
 val equal : t -> t -> bool
 

@@ -14,37 +14,76 @@ type 'sym t =
   | Whilelt of { pred : preg; counter : Reg.t; bound : int }
   | Pred of { pred : preg; v : 'sym Vinsn.t }
   | Incvl of { dst : Reg.t }
+  | Tblidx of { pattern : Perm.t }
+  | Tbl of {
+      pred : preg;
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      base : 'sym Insn.base;
+      counter : Reg.t;
+      pattern : Perm.t;
+    }
+  | Tblst of {
+      pred : preg;
+      esize : Esize.t;
+      src : Vreg.t;
+      base : 'sym Insn.base;
+      counter : Reg.t;
+      pattern : Perm.t;
+    }
 
 type asm = string t
 type exec = int t
+
+let map_base f = function
+  | Insn.Sym s -> Insn.Sym (f s)
+  | Insn.Breg r -> Insn.Breg r
+
+let base_uses = function Insn.Sym _ -> [] | Insn.Breg r -> [ r ]
+
+let equal_base eq_sym a b =
+  match (a, b) with
+  | Insn.Sym x, Insn.Sym y -> eq_sym x y
+  | Insn.Breg x, Insn.Breg y -> Reg.equal x y
+  | (Insn.Sym _ | Insn.Breg _), (Insn.Sym _ | Insn.Breg _) -> false
+
+let pp_base pp_sym ppf = function
+  | Insn.Sym s -> pp_sym ppf s
+  | Insn.Breg r -> Reg.pp ppf r
 
 let map_sym f = function
   | Whilelt w -> Whilelt w
   | Pred { pred; v } -> Pred { pred; v = Vinsn.map_sym f v }
   | Incvl i -> Incvl i
+  | Tblidx t -> Tblidx t
+  | Tbl t -> Tbl { t with base = map_base f t.base }
+  | Tblst t -> Tblst { t with base = map_base f t.base }
 
 let is_vector = function
-  | Pred _ -> true
+  | Pred _ | Tblidx _ | Tbl _ | Tblst _ -> true
   | Whilelt _ | Incvl _ -> false
 
 let defs_pred = function
   | Whilelt { pred; _ } -> [ pred ]
-  | Pred _ | Incvl _ -> []
+  | Pred _ | Incvl _ | Tblidx _ | Tbl _ | Tblst _ -> []
 
 let uses_pred = function
-  | Pred { pred; _ } -> [ pred ]
-  | Whilelt _ | Incvl _ -> []
+  | Pred { pred; _ } | Tbl { pred; _ } | Tblst { pred; _ } -> [ pred ]
+  | Whilelt _ | Incvl _ | Tblidx _ -> []
 
 let defs_vector = function
   | Pred { v; _ } -> Vinsn.defs_vector v
-  | Whilelt _ | Incvl _ -> []
+  | Tbl { dst; _ } -> [ dst ]
+  | Whilelt _ | Incvl _ | Tblidx _ | Tblst _ -> []
 
 let uses_vector = function
   | Pred { v; _ } -> Vinsn.uses_vector v
-  | Whilelt _ | Incvl _ -> []
+  | Tblst { src; _ } -> [ src ]
+  | Whilelt _ | Incvl _ | Tblidx _ | Tbl _ -> []
 
 let defs_scalar = function
-  | Whilelt _ -> []
+  | Whilelt _ | Tblidx _ | Tbl _ | Tblst _ -> []
   | Pred { v; _ } -> Vinsn.defs_scalar v
   | Incvl { dst } -> [ dst ]
 
@@ -52,6 +91,9 @@ let uses_scalar = function
   | Whilelt { counter; _ } -> [ counter ]
   | Pred { v; _ } -> Vinsn.uses_scalar v
   | Incvl { dst } -> [ dst ]
+  | Tblidx _ -> []
+  | Tbl { counter; base; _ } | Tblst { counter; base; _ } ->
+      counter :: base_uses base
 
 let equal eq_sym a b =
   match (a, b) with
@@ -61,7 +103,22 @@ let equal eq_sym a b =
       && x.bound = y.bound
   | Pred x, Pred y -> preg_equal x.pred y.pred && Vinsn.equal eq_sym x.v y.v
   | Incvl x, Incvl y -> Reg.equal x.dst y.dst
-  | (Whilelt _ | Pred _ | Incvl _), (Whilelt _ | Pred _ | Incvl _) -> false
+  | Tblidx x, Tblidx y -> Perm.equal x.pattern y.pattern
+  | Tbl x, Tbl y ->
+      preg_equal x.pred y.pred && x.esize = y.esize && x.signed = y.signed
+      && Vreg.equal x.dst y.dst
+      && equal_base eq_sym x.base y.base
+      && Reg.equal x.counter y.counter
+      && Perm.equal x.pattern y.pattern
+  | Tblst x, Tblst y ->
+      preg_equal x.pred y.pred && x.esize = y.esize
+      && Vreg.equal x.src y.src
+      && equal_base eq_sym x.base y.base
+      && Reg.equal x.counter y.counter
+      && Perm.equal x.pattern y.pattern
+  | ( (Whilelt _ | Pred _ | Incvl _ | Tblidx _ | Tbl _ | Tblst _),
+      (Whilelt _ | Pred _ | Incvl _ | Tblidx _ | Tbl _ | Tblst _) ) ->
+      false
 
 let equal_exec a b = equal Int.equal a b
 
@@ -71,6 +128,16 @@ let pp ~pp_sym ppf = function
   | Pred { pred; v } ->
       Format.fprintf ppf "%a/z %a" pp_preg pred (Vinsn.pp ~pp_sym) v
   | Incvl { dst } -> Format.fprintf ppf "incvl %a" Reg.pp dst
+  | Tblidx { pattern } -> Format.fprintf ppf "tblidx %a" Perm.pp pattern
+  | Tbl { pred; esize; signed; dst; base; counter; pattern } ->
+      Format.fprintf ppf "%a/z tbl%s%s.%a %a, [%a + %a]" pp_preg pred
+        (Esize.suffix esize)
+        (if signed && esize <> Esize.Word then "s" else "")
+        Perm.pp pattern Vreg.pp dst (pp_base pp_sym) base Reg.pp counter
+  | Tblst { pred; esize; src; base; counter; pattern } ->
+      Format.fprintf ppf "%a/z tblst%s.%a [%a + %a], %a" pp_preg pred
+        (Esize.suffix esize) Perm.pp pattern (pp_base pp_sym) base Reg.pp
+        counter Vreg.pp src
 
 let pp_asm ppf t = pp ~pp_sym:Format.pp_print_string ppf t
 let pp_exec ppf t = pp ~pp_sym:(fun ppf a -> Format.fprintf ppf "0x%x" a) ppf t

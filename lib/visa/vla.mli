@@ -59,6 +59,46 @@ type 'sym t =
   | Incvl of { dst : Reg.t }
       (** [dst := dst + lanes] — advance the element counter by the
           hardware vector length, whatever it is. *)
+  | Tblidx of { pattern : Perm.t }
+      (** Materialize the table-lookup index vector for [pattern] from
+          the hardware's actual vector length — the runtime index build
+          that makes a fixed-geometry permutation length-agnostic (the
+          SVE [index]/[tbl] preamble idiom). Placed once in the region
+          prologue, before the loop header, so the build cost is paid
+          per region call rather than per iteration. Purely
+          register-state setup: no memory traffic, no flags. *)
+  | Tbl of {
+      pred : preg;
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      base : 'sym Insn.base;
+      counter : Reg.t;
+      pattern : Perm.t;
+    }
+      (** Predicated table-lookup gather: for each active lane [j] of
+          [pred], load element [Perm.src_index pattern (counter + j)] of
+          the array at [base] into [dst.(j)], zeroing inactive lanes.
+          Because the lookup indexes the {e memory} element stream
+          rather than the lanes of one register, it reproduces the
+          scalar loop's permuted access order exactly — at any hardware
+          width, including widths smaller than the pattern's period and
+          predicated final iterations. *)
+  | Tblst of {
+      pred : preg;
+      esize : Esize.t;
+      src : Vreg.t;
+      base : 'sym Insn.base;
+      counter : Reg.t;
+      pattern : Perm.t;
+    }
+      (** Predicated table-lookup scatter — the store-side dual of
+          {!Tbl}: for each active lane [j] of [pred], store [src.(j)] to
+          element [Perm.src_index pattern (counter + j)] of the array at
+          [base]. [pattern] is the {e store-side} pattern as observed in
+          the scalar offset stream (the inverse of the gather that would
+          reorder the register), so the written addresses match the
+          scalar loop's verbatim. *)
 
 type asm = string t
 (** Assembly form: data symbols are names. *)
@@ -70,27 +110,32 @@ val map_sym : ('a -> 'b) -> 'a t -> 'b t
 (** Rewrite the data-symbol representation of the wrapped instruction. *)
 
 val is_vector : 'a t -> bool
-(** [true] exactly for {!Pred} — the datapath operations; [Whilelt] and
-    [Incvl] are loop-control overhead and account as scalar work. *)
+(** [true] for {!Pred} and the table-lookup family ({!Tblidx}, {!Tbl},
+    {!Tblst}) — the datapath operations; [Whilelt] and [Incvl] are
+    loop-control overhead and account as scalar work. *)
 
 val defs_pred : 'a t -> preg list
 (** Predicate registers the instruction writes ([Whilelt]). *)
 
 val uses_pred : 'a t -> preg list
-(** Predicate registers the instruction reads ([Pred]). *)
+(** Predicate registers the instruction reads ([Pred], [Tbl],
+    [Tblst]). *)
 
 val defs_vector : 'a t -> Vreg.t list
-(** Vector registers written, delegating to the wrapped instruction. *)
+(** Vector registers written, delegating to the wrapped instruction;
+    [Tbl] writes its gather destination. *)
 
 val uses_vector : 'a t -> Vreg.t list
-(** Vector registers read, delegating to the wrapped instruction. *)
+(** Vector registers read, delegating to the wrapped instruction;
+    [Tblst] reads the register it scatters. *)
 
 val defs_scalar : 'a t -> Reg.t list
 (** Scalar registers written: the [Whilelt] flags side effect is not a
     register; [Incvl] writes its counter. *)
 
 val uses_scalar : 'a t -> Reg.t list
-(** Scalar registers read (counters, indices, accumulators). *)
+(** Scalar registers read (counters, indices, accumulators; the element
+    counter and any register base of [Tbl]/[Tblst]). *)
 
 val equal : ('s -> 's -> bool) -> 's t -> 's t -> bool
 (** Structural equality, parameterized by symbol equality. *)

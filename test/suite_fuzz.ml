@@ -63,6 +63,30 @@ let test_mini_campaign () =
   (* the report must pass its own schema *)
   ignore (Campaign.to_json r)
 
+(* Every permutation the generator emits is a fixed-geometry catalog
+   pattern read from a loop-invariant offset array — exactly the class
+   the VLA backend recovers as a table lookup. A seeded fault-free
+   campaign must therefore never abort a translation as
+   unportable-permutation, on either backend, at any width. *)
+let test_no_unportable_aborts () =
+  let cases = 30 in
+  let total = Hashtbl.create 8 in
+  for index = 0 to cases - 1 do
+    let p = Fuzz.Gen.generate ~seed:2026 ~index in
+    let o = Fuzz.Differ.run_case p in
+    check Alcotest.string
+      (Printf.sprintf "case %d runs clean" index)
+      ""
+      (sig_to_string (Fuzz.Differ.signature o));
+    List.iter
+      (fun (cls, n) ->
+        Hashtbl.replace total cls
+          (n + Option.value ~default:0 (Hashtbl.find_opt total cls)))
+      o.Fuzz.Differ.o_aborts
+  done;
+  check_int "zero unportable-permutation aborts" 0
+    (Option.value ~default:0 (Hashtbl.find_opt total "unportable-permutation"))
+
 let test_generator_deterministic () =
   let p1 = Fuzz.Gen.generate ~seed:7 ~index:42 in
   let p2 = Fuzz.Gen.generate ~seed:7 ~index:42 in
@@ -93,6 +117,8 @@ let tests =
   [
     Alcotest.test_case "corpus: replay clean" `Slow test_corpus_clean;
     Alcotest.test_case "campaign: fixed-seed mini-run" `Slow test_mini_campaign;
+    Alcotest.test_case "campaign: permutes recover, no unportable aborts"
+      `Slow test_no_unportable_aborts;
     Alcotest.test_case "gen: deterministic" `Quick test_generator_deterministic;
     Alcotest.test_case "shrink: sound under any predicate" `Quick
       test_shrinker_soundness;

@@ -93,17 +93,17 @@ let goldens =
     ("052.alvinn", "liquid-vla/8-wide", { g_cycles = 151742; g_scalar = 104644; g_vector = 9856; g_loads = 24080; g_stores = 1216; g_branches = 20429; g_mispredicts = 28; g_dhits = 25040; g_dmisses = 256; g_ihits = 100327; g_imisses = 5; g_region_calls = 24; g_ucode_hits = 22; g_installs = 2; g_fetches = 100332; g_uops = 14168; g_evictions = 0; g_tr_started = 2; g_tr_aborted = 0; g_regs_hash = 0xf89f0cdb2a5c3af; g_mem_hash = 0x3414aedbe1508ed1 });
     ("056.ear", "liquid-vla/8-wide", { g_cycles = 335364; g_scalar = 179505; g_vector = 50112; g_loads = 56552; g_stores = 3264; g_branches = 28260; g_mispredicts = 35; g_dhits = 59304; g_dmisses = 512; g_ihits = 174225; g_imisses = 15; g_region_calls = 30; g_ucode_hits = 27; g_installs = 3; g_fetches = 174240; g_uops = 55377; g_evictions = 0; g_tr_started = 3; g_tr_aborted = 0; g_regs_hash = 0x49246d2627a2fe14; g_mem_hash = 0x4aa6e5e2b11bed55 });
     ("093.nasa7", "liquid-vla/8-wide", { g_cycles = 553870; g_scalar = 154691; g_vector = 178464; g_loads = 103152; g_stores = 7296; g_branches = 7815; g_mispredicts = 169; g_dhits = 110192; g_dmisses = 256; g_ihits = 141543; g_imisses = 80; g_region_calls = 144; g_ucode_hits = 132; g_installs = 12; g_fetches = 141623; g_uops = 191532; g_evictions = 4; g_tr_started = 12; g_tr_aborted = 0; g_regs_hash = 0x11c14de492fea2c4; g_mem_hash = 0x15093959aff1d229 });
-    ("101.tomcatv", "liquid-vla/8-wide", { g_cycles = 145213; g_scalar = 75701; g_vector = 22032; g_loads = 26272; g_stores = 2912; g_branches = 8624; g_mispredicts = 58; g_dhits = 28992; g_dmisses = 192; g_ihits = 73379; g_imisses = 27; g_region_calls = 60; g_ucode_hits = 45; g_installs = 5; g_fetches = 73406; g_uops = 24327; g_evictions = 0; g_tr_started = 6; g_tr_aborted = 1; g_regs_hash = 0x73522b8bd4a33ef2; g_mem_hash = 0x4a090c03d9722f86 });
-    ("104.hydro2d", "liquid-vla/8-wide", { g_cycles = 521813; g_scalar = 188356; g_vector = 138688; g_loads = 96372; g_stores = 13408; g_branches = 14076; g_mispredicts = 241; g_dhits = 109396; g_dmisses = 384; g_ihits = 169768; g_imisses = 75; g_region_calls = 216; g_ucode_hits = 187; g_installs = 17; g_fetches = 169843; g_uops = 157201; g_evictions = 9; g_tr_started = 18; g_tr_aborted = 1; g_regs_hash = 0x65fe4c48ce59fea5; g_mem_hash = 0x2a80ca2f5e9cafdd });
-    ("171.swim", "liquid-vla/8-wide", { g_cycles = 415936; g_scalar = 184429; g_vector = 86592; g_loads = 81276; g_stores = 10400; g_branches = 11167; g_mispredicts = 103; g_dhits = 91356; g_dmisses = 320; g_ihits = 176759; g_imisses = 47; g_region_calls = 108; g_ucode_hits = 77; g_installs = 7; g_fetches = 176806; g_uops = 94215; g_evictions = 0; g_tr_started = 9; g_tr_aborted = 2; g_regs_hash = 0x342f2cc999a4d341; g_mem_hash = 0x4d6da78b5f247dda });
-    ("172.mgrid", "liquid-vla/8-wide", { g_cycles = 320240; g_scalar = 104954; g_vector = 91872; g_loads = 60576; g_stores = 5184; g_branches = 5303; g_mispredicts = 170; g_dhits = 65600; g_dmisses = 160; g_ihits = 98138; g_imisses = 84; g_region_calls = 156; g_ucode_hits = 132; g_installs = 12; g_fetches = 98222; g_uops = 98604; g_evictions = 4; g_tr_started = 13; g_tr_aborted = 1; g_regs_hash = 0x65d8444875735f59; g_mem_hash = 0x13512ebe969f78a2 });
-    ("179.art", "liquid-vla/8-wide", { g_cycles = 4700635; g_scalar = 856143; g_vector = 22528; g_loads = 204800; g_stores = 27648; g_branches = 131061; g_mispredicts = 22; g_dhits = 112128; g_dmisses = 120320; g_ihits = 843818; g_imisses = 11; g_region_calls = 15; g_ucode_hits = 8; g_installs = 4; g_fetches = 843829; g_uops = 34842; g_evictions = 0; g_tr_started = 5; g_tr_aborted = 1; g_regs_hash = 0x63d1ff8f95d9500d; g_mem_hash = 0x79642fbeb2290094 });
+    ("101.tomcatv", "liquid-vla/8-wide", { g_cycles = 124870; g_scalar = 56558; g_vector = 23490; g_loads = 22960; g_stores = 1904; g_branches = 7625; g_mispredicts = 84; g_dhits = 24672; g_dmisses = 192; g_ihits = 53777; g_imisses = 27; g_region_calls = 60; g_ucode_hits = 54; g_installs = 6; g_fetches = 53804; g_uops = 26244; g_evictions = 0; g_tr_started = 6; g_tr_aborted = 0; g_regs_hash = 0x5d6b4a00d344c83c; g_mem_hash = 0x4a090c03d9722f86 });
+    ("104.hydro2d", "liquid-vla/8-wide", { g_cycles = 471898; g_scalar = 141551; g_vector = 142230; g_loads = 88276; g_stores = 10944; g_branches = 11623; g_mispredicts = 253; g_dhits = 98836; g_dmisses = 384; g_ihits = 121874; g_imisses = 75; g_region_calls = 216; g_ucode_hits = 198; g_installs = 18; g_fetches = 121949; g_uops = 161832; g_evictions = 10; g_tr_started = 18; g_tr_aborted = 0; g_regs_hash = 0x65fe4c48ce59fea5; g_mem_hash = 0x2a80ca2f5e9cafdd });
+    ("171.swim", "liquid-vla/8-wide", { g_cycles = 316106; g_scalar = 90819; g_vector = 93676; g_loads = 65084; g_stores = 5472; g_branches = 6261; g_mispredicts = 127; g_dhits = 70236; g_dmisses = 320; g_ihits = 80971; g_imisses = 47; g_region_calls = 108; g_ucode_hits = 99; g_installs = 9; g_fetches = 81018; g_uops = 103477; g_evictions = 1; g_tr_started = 9; g_tr_aborted = 0; g_regs_hash = 0x342f2cc999a4d341; g_mem_hash = 0x4d6da78b5f247dda });
+    ("172.mgrid", "liquid-vla/8-wide", { g_cycles = 295317; g_scalar = 81557; g_vector = 93654; g_loads = 56528; g_stores = 3952; g_branches = 4082; g_mispredicts = 182; g_dhits = 60320; g_dmisses = 160; g_ihits = 74180; g_imisses = 84; g_region_calls = 156; g_ucode_hits = 143; g_installs = 13; g_fetches = 74264; g_uops = 100947; g_evictions = 5; g_tr_started = 13; g_tr_aborted = 0; g_regs_hash = 0x65d8444875735f59; g_mem_hash = 0x13512ebe969f78a2 });
+    ("179.art", "liquid-vla/8-wide", { g_cycles = 4493802; g_scalar = 719953; g_vector = 32772; g_loads = 181248; g_stores = 20480; g_branches = 123895; g_mispredicts = 25; g_dhits = 83456; g_dmisses = 118272; g_ihits = 704550; g_imisses = 11; g_region_calls = 15; g_ucode_hits = 10; g_installs = 5; g_fetches = 704561; g_uops = 48164; g_evictions = 0; g_tr_started = 5; g_tr_aborted = 0; g_regs_hash = 0x63d1ff8f95d9500d; g_mem_hash = 0x79642fbeb2290094 });
     ("MPEG2 Dec.", "liquid-vla/8-wide", { g_cycles = 19838; g_scalar = 14044; g_vector = 948; g_loads = 2761; g_stores = 174; g_branches = 2746; g_mispredicts = 5; g_dhits = 2872; g_dmisses = 63; g_ihits = 13090; g_imisses = 6; g_region_calls = 160; g_ucode_hits = 158; g_installs = 2; g_fetches = 13096; g_uops = 1896; g_evictions = 0; g_tr_started = 2; g_tr_aborted = 0; g_regs_hash = 0x1bcf0269b8440d7f; g_mem_hash = 0x26544ea03304d210 });
     ("MPEG2 Enc.", "liquid-vla/8-wide", { g_cycles = 30966; g_scalar = 17381; g_vector = 2362; g_loads = 4092; g_stores = 518; g_branches = 2910; g_mispredicts = 13; g_dhits = 4443; g_dmisses = 167; g_ihits = 15854; g_imisses = 10; g_region_calls = 185; g_ucode_hits = 181; g_installs = 4; g_fetches = 15864; g_uops = 3879; g_evictions = 0; g_tr_started = 4; g_tr_aborted = 0; g_regs_hash = 0x6a5115306df22006; g_mem_hash = 0x275f612760d7a748 });
     ("GSM Dec.", "liquid-vla/8-wide", { g_cycles = 6334; g_scalar = 4294; g_vector = 605; g_loads = 945; g_stores = 95; g_branches = 753; g_mispredicts = 15; g_dhits = 1031; g_dmisses = 9; g_ihits = 4091; g_imisses = 5; g_region_calls = 12; g_ucode_hits = 11; g_installs = 1; g_fetches = 4096; g_uops = 803; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x766a75295998790e; g_mem_hash = 0x56d5a25b100840b0 });
     ("GSM Enc.", "liquid-vla/8-wide", { g_cycles = 7396; g_scalar = 4522; g_vector = 825; g_loads = 1075; g_stores = 95; g_branches = 787; g_mispredicts = 28; g_dhits = 1154; g_dmisses = 16; g_ihits = 4087; g_imisses = 6; g_region_calls = 24; g_ucode_hits = 22; g_installs = 2; g_fetches = 4093; g_uops = 1254; g_evictions = 0; g_tr_started = 2; g_tr_aborted = 0; g_regs_hash = 0x64d2d3159d824ee7; g_mem_hash = 0x3ea5bae8a05b640b });
     ("LU", "liquid-vla/8-wide", { g_cycles = 119076; g_scalar = 78097; g_vector = 9600; g_loads = 18688; g_stores = 2944; g_branches = 15742; g_mispredicts = 19; g_dhits = 21376; g_dmisses = 256; g_ihits = 72289; g_imisses = 3; g_region_calls = 16; g_ucode_hits = 15; g_installs = 1; g_fetches = 72292; g_uops = 15405; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x5601294057161143; g_mem_hash = 0x3aed967999fc3d56 });
-    ("FFT", "liquid-vla/8-wide", { g_cycles = 42516; g_scalar = 28151; g_vector = 2376; g_loads = 10176; g_stores = 2056; g_branches = 2394; g_mispredicts = 15; g_dhits = 12152; g_dmisses = 80; g_ihits = 27896; g_imisses = 12; g_region_calls = 30; g_ucode_hits = 9; g_installs = 1; g_fetches = 27908; g_uops = 2619; g_evictions = 0; g_tr_started = 3; g_tr_aborted = 2; g_regs_hash = 0x42e83d001892b410; g_mem_hash = 0x719465a51335200 });
+    ("FFT", "liquid-vla/8-wide", { g_cycles = 23676; g_scalar = 10169; g_vector = 3690; g_loads = 5280; g_stores = 544; g_branches = 1404; g_mispredicts = 35; g_dhits = 5744; g_dmisses = 80; g_ihits = 9428; g_imisses = 12; g_region_calls = 30; g_ucode_hits = 27; g_installs = 3; g_fetches = 9440; g_uops = 4419; g_evictions = 0; g_tr_started = 3; g_tr_aborted = 0; g_regs_hash = 0x56cda5cd869430ab; g_mem_hash = 0x719465a51335200 });
     ("FIR", "liquid-vla/8-wide", { g_cycles = 227540; g_scalar = 68133; g_vector = 76032; g_loads = 31392; g_stores = 13696; g_branches = 17694; g_mispredicts = 103; g_dhits = 44704; g_dmisses = 384; g_ihits = 29817; g_imisses = 3; g_region_calls = 100; g_ucode_hits = 99; g_installs = 1; g_fetches = 29820; g_uops = 114345; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x6f0a169e11961692; g_mem_hash = 0x382cb893bfb2c94e });
   ]
 

@@ -41,14 +41,17 @@ let test_hwmodel_scaling_laws () =
 
 (* Pin the VLA translator row the way the 8-wide fixed row is pinned:
    the paper's 174,117 cells plus the modeled whilelt comparator,
-   predicate file and widened opcode generator, and one extra
-   critical-path gate for the governing-predicate mux. *)
+   predicate file, widened opcode generator and table-lookup permutation
+   unit, and one extra critical-path gate for the governing-predicate
+   mux (the table unit builds its index once per region call, off the
+   per-uop path, so it adds area but no gates). *)
 let test_hwmodel_vla_row () =
   let rep =
     Hwmodel.estimate { Hwmodel.default_params with Hwmodel.target = Hwmodel.Vla }
   in
-  check "total cells" 177_153 rep.Hwmodel.total_cells;
+  check "total cells" 180_153 rep.Hwmodel.total_cells;
   check "predication cells" 2_436 rep.Hwmodel.pred_cells;
+  check "table-lookup unit cells" 3_000 rep.Hwmodel.tbl_cells;
   check "critical path" 17 rep.Hwmodel.crit_path_gates;
   Alcotest.(check (float 0.001)) "delay" 1.604 rep.Hwmodel.crit_path_ns;
   check_bool "still under 0.2 mm^2" true (rep.Hwmodel.area_mm2 < 0.2);
@@ -60,7 +63,14 @@ let test_hwmodel_vla_row () =
   let r4 = at 4 and r8 = at 8 and r16 = at 16 in
   check "one log step per doubling"
     (r8.Hwmodel.pred_cells - r4.Hwmodel.pred_cells)
-    (r16.Hwmodel.pred_cells - r8.Hwmodel.pred_cells)
+    (r16.Hwmodel.pred_cells - r8.Hwmodel.pred_cells);
+  (* index adders scale linearly with the lane count; the fixed target
+     carries none of this *)
+  check "linear per-lane index adders"
+    (r8.Hwmodel.tbl_cells - r4.Hwmodel.tbl_cells)
+    ((r16.Hwmodel.tbl_cells - r8.Hwmodel.tbl_cells) / 2);
+  check "no table unit on the fixed target" 0
+    (Hwmodel.estimate Hwmodel.default_params).Hwmodel.tbl_cells
 
 let test_hwmodel_buffer_split () =
   (* "256 bytes of memory ... a little more than half of its cells" *)

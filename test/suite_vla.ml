@@ -1,12 +1,14 @@
 (* The vector-length-agnostic (SVE-style) backend.
 
-   Four layers are under test: the predicate semantics ([Sem.exec_vla]
+   Five layers are under test: the predicate semantics ([Sem.exec_vla]
    against a hand-built context), the translation structure (a whilelt
    loop with a predicated final iteration and nothing after the
    back-edge), the end-to-end claim of the backend (a trip count that is
    not a multiple of the lane width executes with zero scalar-epilogue
-   iterations, bit-identical to scalar), and the scalar-equivalence
-   oracle across all fifteen workloads at every paper width. *)
+   iterations, bit-identical to scalar), permutation recovery (fixed
+   cross-lane patterns lower to runtime-indexed table lookups instead of
+   aborting), and the scalar-equivalence oracle across all fifteen
+   workloads at every paper width. *)
 
 open Liquid_isa
 open Liquid_prog
@@ -271,60 +273,275 @@ let test_zero_scalar_epilogue () =
     fixed_run.Cpu.stats.Stats.vector_insns;
   check_memory_equal "fixed fallback still exact" fixed_run scalar
 
-(* --- permutations are not portable --- *)
+(* --- table-lookup semantics: Tblidx / Tbl / Tblst --- *)
 
-let test_unportable_permutation () =
+(* [Tbl] lane [j] reads absolute element [src_index pattern (counter+j)]
+   — exact at any width relative to the pattern period, mid-loop counter
+   values included. *)
+let test_tbl_exec () =
+  let c = vla_ctx ~lanes:4 in
+  for j = 0 to 7 do
+    Memory.write c.Sem.mem ~addr:(0x7000 + (4 * j)) ~bytes:4 (10 * j)
+  done;
+  c.Sem.regs.(0) <- 2;
+  c.Sem.preds.(0) <- 4;
+  let tbl dst =
+    Vla.Tbl
+      {
+        pred = Vla.p0;
+        esize = Esize.Word;
+        signed = true;
+        dst;
+        base = Insn.Sym 0x7000;
+        counter = r 0;
+        pattern = Perm.pairswap;
+      }
+  in
+  Sem.exec_vla c (tbl (v 1));
+  (* lane j reads element src_index pairswap (2+j) = 3, 2, 5, 4 *)
+  check "lane 0" 30 c.Sem.vregs.(1).(0);
+  check "lane 1" 20 c.Sem.vregs.(1).(1);
+  check "lane 2" 50 c.Sem.vregs.(1).(2);
+  check "lane 3" 40 c.Sem.vregs.(1).(3);
+  check "all-true fast path counted" 1 c.Sem.n_pred_fast;
+  (* Predicated tail: lanes past the predicate load nothing and zero. *)
+  Array.fill c.Sem.vregs.(2) 0 4 99;
+  c.Sem.preds.(0) <- 2;
+  Sem.exec_vla c (tbl (v 2));
+  check "tail lane 0" 30 c.Sem.vregs.(2).(0);
+  check "tail lane 1" 20 c.Sem.vregs.(2).(1);
+  check "inactive lane zeroed" 0 c.Sem.vregs.(2).(2);
+  check "inactive lane zeroed (last)" 0 c.Sem.vregs.(2).(3);
+  check "masked path counted" 1 c.Sem.n_pred_masked
+
+let test_tblst_exec () =
+  let c = vla_ctx ~lanes:4 in
+  for j = 0 to 3 do
+    Memory.write c.Sem.mem ~addr:(0x6100 + (4 * j)) ~bytes:4 (-1)
+  done;
+  Array.blit [| 7; 8; 9; 10 |] 0 c.Sem.vregs.(1) 0 4;
+  c.Sem.regs.(0) <- 0;
+  c.Sem.preds.(0) <- 3;
+  Sem.exec_vla c
+    (Vla.Tblst
+       {
+         pred = Vla.p0;
+         esize = Esize.Word;
+         src = v 1;
+         base = Insn.Sym 0x6100;
+         counter = r 0;
+         pattern = Perm.pairswap;
+       });
+  (* lane j writes element src_index pairswap j = 1, 0, 3; lane 3 is
+     inactive, so element 2 keeps its sentinel *)
+  let rd e = Memory.read c.Sem.mem ~addr:(0x6100 + (4 * e)) ~bytes:4 ~signed:true in
+  check "element 0" 8 (rd 0);
+  check "element 1" 7 (rd 1);
+  check "inactive element untouched" (-1) (rd 2);
+  check "element 3" 9 (rd 3)
+
+let test_tblidx () =
+  let c = vla_ctx ~lanes:8 in
+  check "no builds yet" 0 c.Sem.n_tbl_builds;
+  Sem.exec_vla c (Vla.Tblidx { pattern = Perm.Reverse 4 });
+  Sem.exec_vla c (Vla.Tblidx { pattern = Perm.pairswap });
+  check "each build counted" 2 c.Sem.n_tbl_builds;
+  let eff = Sem.last_effect c in
+  check "no memory traffic" 0 (List.length eff.Sem.accesses)
+
+(* --- permutations recover as table lookups --- *)
+
+(* The canonical Table-3 rule-3 idiom: an offset-array load the
+   fixed-width DFA recovers as [pairswap]. The VLA backend recognises
+   the same shape and lowers it to a predicated table-lookup gather with
+   a runtime-built index vector — no abort, no scalar fallback. *)
+let pairswap_data ~count =
+  let offs = Perm.offsets Perm.pairswap in
+  [
+    Data.make ~name:"off" ~esize:Esize.Word
+      (words count (fun e -> offs.(e mod Array.length offs)));
+    Data.make ~name:"a" ~esize:Esize.Word (words count (fun i -> 100 + i));
+    Data.make ~name:"c" ~esize:Esize.Word (words count (fun _ -> 0));
+  ]
+
+let pairswap_items ~count ~scatter =
   let open Build in
   let ind = Vloop.induction in
-  (* The canonical Table-3 rule-3 idiom: offset-array load that the
-     fixed-width DFA recovers as [pairswap]. The VLA backend recognises
-     it identically and then refuses it — a cross-lane pattern has no
-     length-agnostic encoding. *)
-  let offs = Perm.offsets Perm.pairswap in
-  let data =
-    [
-      Data.make ~name:"off" ~esize:Esize.Word
-        (words 16 (fun e -> offs.(e mod Array.length offs)));
-      Data.make ~name:"a" ~esize:Esize.Word (words 16 (fun i -> 100 + i));
-      Data.make ~name:"c" ~esize:Esize.Word (words 16 (fun _ -> 0));
-    ]
-  in
   let body =
-    [
-      ld (r 13) "off" (ri ind);
-      dp Opcode.Add (r 13) ind (ri (r 13));
-      ld (r 1) "a" (ri (r 13));
-      st (r 1) "c" (ri ind);
-    ]
+    if scatter then
+      [
+        ld (r 1) "a" (ri ind);
+        ld (r 13) "off" (ri ind);
+        dp Opcode.Add (r 13) ind (ri (r 13));
+        st (r 1) "c" (ri (r 13));
+      ]
+    else
+      [
+        ld (r 13) "off" (ri ind);
+        dp Opcode.Add (r 13) ind (ri (r 13));
+        ld (r 1) "a" (ri (r 13));
+        st (r 1) "c" (ri ind);
+      ]
   in
-  let items =
-    [ mov ind 0; label "f_top" ]
-    @ body
-    @ [ addi ind ind 1; cmp ind (i 16); b ~cond:Cond.Lt "f_top" ]
-  in
-  (* Sanity: the fixed-width backend accepts this exact loop... *)
+  [ mov ind 0; label "f_top" ]
+  @ body
+  @ [ addi ind ind 1; cmp ind (i count); b ~cond:Cond.Lt "f_top" ]
+
+let count_uops p (u : Ucode.t) =
+  Array.fold_left (fun n uop -> if p uop then n + 1 else n) 0 u.Ucode.uops
+
+let test_perm_recovery_structure () =
+  let data = pairswap_data ~count:16 in
+  let items = pairswap_items ~count:16 ~scatter:false in
+  (* Sanity: the fixed-width backend still takes the native path. *)
   (match translate_items ~lanes:4 ~backend:Backend.fixed ~data items with
-  | Liquid_translate.Translator.Translated _ -> ()
+  | Liquid_translate.Translator.Translated u ->
+      check "fixed path emits a register permute" 1
+        (count_uops (function Ucode.UV (Vinsn.Vperm _) -> true | _ -> false) u)
   | Liquid_translate.Translator.Aborted a ->
       Alcotest.failf "fixed backend should translate pairswap: %s"
         (Abort.to_string a));
-  (* ...so the VLA abort below is attributable to portability alone. *)
+  List.iter
+    (fun lanes ->
+      let u =
+        match translate_items ~lanes ~backend:Backend.vla ~data items with
+        | Liquid_translate.Translator.Translated u -> u
+        | Liquid_translate.Translator.Aborted a ->
+            Alcotest.failf "VLA aborted at %d lanes: %s" lanes
+              (Abort.to_string a)
+      in
+      check "one index-table build" 1
+        (count_uops (function Ucode.UP (Vla.Tblidx _) -> true | _ -> false) u);
+      check "one table-lookup gather" 1
+        (count_uops (function Ucode.UP (Vla.Tbl _) -> true | _ -> false) u);
+      check "no register permute" 0
+        (count_uops
+           (function
+             | Ucode.UV (Vinsn.Vperm _) | Ucode.UP (Vla.Pred { v = Vinsn.Vperm _; _ })
+               ->
+                 true
+             | _ -> false)
+           u);
+      (* Both the offset-array load and the partner data load collapse
+         into the table lookup — the alignment-network collapse. *)
+      check "no residual vector load" 0
+        (count_uops
+           (function Ucode.UP (Vla.Pred { v = Vinsn.Vld _; _ }) -> true | _ -> false)
+           u);
+      (* The index-table build runs once per call: it precedes the
+         header whilelt, and the back-edge re-enters after both. *)
+      let target =
+        match u.Ucode.uops.(Array.length u.Ucode.uops - 2) with
+        | Ucode.UB { cond = Cond.Lt; target } -> target
+        | _ -> Alcotest.fail "expected the loop back-edge right before ret"
+      in
+      (match u.Ucode.uops.(target - 1) with
+      | Ucode.UP (Vla.Whilelt _) -> ()
+      | _ -> Alcotest.fail "back-edge target not after the header whilelt");
+      (match u.Ucode.uops.(target - 2) with
+      | Ucode.UP (Vla.Tblidx _) -> ()
+      | _ -> Alcotest.fail "index-table build not before the header");
+      (* The baked pattern is protected by per-trip offset guards, so a
+         mutated offset array drops the microcode instead of replaying a
+         stale permutation. *)
+      check "per-trip offset guards" 16 (Array.length u.Ucode.guards))
+    [ 2; 4; 8; 16 ]
+
+let test_perm_scatter_recovery () =
+  let data = pairswap_data ~count:16 in
+  let items = pairswap_items ~count:16 ~scatter:true in
+  let u =
+    match translate_items ~lanes:4 ~backend:Backend.vla ~data items with
+    | Liquid_translate.Translator.Translated u -> u
+    | Liquid_translate.Translator.Aborted a ->
+        Alcotest.failf "VLA aborted on scatter: %s" (Abort.to_string a)
+  in
+  check "one table-lookup scatter" 1
+    (count_uops (function Ucode.UP (Vla.Tblst _) -> true | _ -> false) u);
+  check "no residual vector store" 0
+    (count_uops
+       (function Ucode.UP (Vla.Pred { v = Vinsn.Vst _; _ }) -> true | _ -> false)
+       u)
+
+(* End-to-end at a trip count no fixed width divides: the recovered
+   table lookup reproduces the scalar stream bit-exactly at every
+   hardware width, predicated tail included. *)
+let test_perm_recovery_executes () =
+  let count = 14 in
+  List.iter
+    (fun scatter ->
+      let prog =
+        let open Build in
+        Program.make ~name:"permrec"
+          ~text:
+            ((Program.Label "main" :: bl_region "f" :: [ halt ])
+            @ (Program.Label "f" :: pairswap_items ~count ~scatter)
+            @ [ ret ])
+          ~data:(pairswap_data ~count)
+      in
+      let scalar = run_image prog in
+      let expected = read_array scalar prog "c" in
+      List.iter
+        (fun lanes ->
+          let config =
+            {
+              (Cpu.liquid_config ~lanes) with
+              Cpu.backend = Backend.vla;
+              Cpu.oracle_translation = true;
+            }
+          in
+          let run = run_image ~config prog in
+          check_arrays
+            (Printf.sprintf "scatter=%b lanes=%d" scatter lanes)
+            expected (read_array run prog "c");
+          check "call served from microcode" run.Cpu.stats.Stats.region_calls
+            run.Cpu.stats.Stats.ucode_hits;
+          check "permutation seen" 1 run.Cpu.permutes_seen;
+          check "permutation recovered" 1 run.Cpu.permutes_recovered;
+          check "no permutation aborted" 0 run.Cpu.permutes_aborted;
+          check "one index table built per call" 1 run.Cpu.tbl_index_builds)
+        [ 2; 4; 8; 16 ])
+    [ false; true ]
+
+(* A genuinely data-dependent shuffle — the offset array is written
+   inside the loop, so no index vector baked at translation time can be
+   proven to stay correct — is the one shape that still aborts. *)
+let test_data_dependent_still_aborts () =
+  let open Build in
+  let ind = Vloop.induction in
+  let data = pairswap_data ~count:16 in
+  let items =
+    [ mov ind 0; label "f_top" ]
+    @ [
+        ld (r 13) "off" (ri ind);
+        dp Opcode.Add (r 13) ind (ri (r 13));
+        ld (r 1) "a" (ri (r 13));
+        st (r 1) "c" (ri ind);
+        st (r 1) "off" (ri ind);
+      ]
+    @ [ addi ind ind 1; cmp ind (i 16); b ~cond:Cond.Lt "f_top" ]
+  in
   expect_abort ~lanes:4 ~backend:Backend.vla ~data items
     (fun a -> a = Abort.Unportable_permutation)
-    "cross-lane pattern under VLA"
+    "data-dependent shuffle under VLA"
 
-(* The FFT workload leans on butterflies: under the VLA backend its
-   permuting regions must abort (portably — the scalar code still runs
-   and the final state still matches the oracle). *)
-let test_fft_degrades_safely () =
+(* The FFT workload leans on butterflies: under the VLA backend every
+   permuting region now recovers as a table lookup — no unportable
+   aborts, all regions vectorized, state still bit-identical to the
+   scalar oracle. *)
+let test_fft_recovers () =
   let w = Option.get (Workload.find "FFT") in
   let { Runner.run; program; _ } = Runner.run_cached w (Runner.Liquid_vla 8) in
   let image = Image.of_program program in
-  check_bool "some region aborts as unportable" true
-    (List.exists
+  check_bool "no region fails permanently" true
+    (List.for_all
        (fun (reg : Cpu.region_report) ->
-         reg.Cpu.outcome = Cpu.R_failed Abort.Unportable_permutation)
+         match reg.Cpu.outcome with Cpu.R_failed _ -> false | _ -> true)
        run.Cpu.regions);
+  check "no translation aborts" 0 run.Cpu.stats.Stats.translations_aborted;
+  check_bool "butterflies recovered" true (run.Cpu.permutes_recovered > 0);
+  check "no permutation aborted" 0 run.Cpu.permutes_aborted;
+  check_bool "index tables built" true (run.Cpu.tbl_index_builds > 0);
   check_bool "oracle equivalence" true (Oracle.equivalent w image run)
 
 (* --- scalar-equivalence oracle, all workloads x all widths --- *)
@@ -361,10 +578,19 @@ let tests =
       test_vla_translation_structure;
     Alcotest.test_case "zero scalar-epilogue iterations" `Quick
       test_zero_scalar_epilogue;
-    Alcotest.test_case "unportable permutation aborts" `Quick
-      test_unportable_permutation;
-    Alcotest.test_case "FFT degrades safely under VLA" `Quick
-      test_fft_degrades_safely;
+    Alcotest.test_case "tbl gather semantics" `Quick test_tbl_exec;
+    Alcotest.test_case "tblst scatter semantics" `Quick test_tblst_exec;
+    Alcotest.test_case "tblidx counts index builds" `Quick test_tblidx;
+    Alcotest.test_case "permutation recovers as table lookup" `Quick
+      test_perm_recovery_structure;
+    Alcotest.test_case "store-side permutation recovers" `Quick
+      test_perm_scatter_recovery;
+    Alcotest.test_case "recovered permutes execute bit-exactly" `Quick
+      test_perm_recovery_executes;
+    Alcotest.test_case "data-dependent shuffle still aborts" `Quick
+      test_data_dependent_still_aborts;
+    Alcotest.test_case "FFT recovers its butterflies under VLA" `Quick
+      test_fft_recovers;
   ]
   @ List.map
       (fun (w : Workload.t) ->
