@@ -7,14 +7,17 @@
    repo's perf work is judged on) regresses by more than 10%, or when
    the VLA simulation microbenchmark exceeds 1.2x its fixed-width
    counterpart (`core_simulate_vla` vs `core_simulate_liquid` in the
-   NEW file — the all-true predicate fast path's gate), or when a
+   NEW file — the all-true predicate fast path's gate), or when the
+   RVV simulation microbenchmark exceeds 1.35x the same fixed-width
+   counterpart (`core_simulate_rvv` vs `core_simulate_liquid` — the
+   full-grant fast path's and LMUL grouping's gate), or when a
    `core_simulate_*` row is slower than its `_nosuper` twin (the
    trace-superblock tier's gate), or when either
    file is missing, unparsable, or schema-invalid. Tests present in
    only one file are reported but never fail the comparison, so adding
    or renaming a benchmark does not break an older baseline.
 
-   --smoke relaxes both gates (regression 2.0x, VLA ratio 2.0x): the
+   --smoke relaxes all gates (regression 2.0x, VLA/RVV ratios 2.0x): the
    runtest-wired smoke run measures with a short Bechamel quota on a
    loaded CI machine, so it only catches order-of-magnitude breakage,
    not noise. *)
@@ -25,6 +28,11 @@ module Bench_report = Liquid_obs.Bench_report
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 let threshold = if smoke then 2.0 else 1.10
 let vla_ratio_limit = if smoke then 2.0 else 1.2
+(* The RVV bound is looser than the VLA one: every stripmine trip pays
+   the vsetvl grant (two per loop body: header and back-edge), which
+   measures ~1.2x the fixed-width replay on MPEG2 Dec.; 1.35 leaves
+   noise headroom while still catching a broken fast path. *)
+let rvv_ratio_limit = if smoke then 2.0 else 1.35
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
 
@@ -113,6 +121,27 @@ let () =
         ratio > vla_ratio_limit
     | _ ->
         Printf.printf "%-32s %12s %12s %8s\n" "vla/liquid ratio" "-" "-" "n/a";
+        false
+  in
+  (* RVV-vs-fixed gate, same shape: the vsetvl/LMUL backend's simulation
+     time must stay within [rvv_ratio_limit] of the fixed-width one.
+     Both rows simulate the same workload (MPEG2 Dec., 8 lanes), so the
+     ratio isolates the backend: full grants must keep taking the
+     unmasked fast path and LMUL grouping must not cost more than the
+     trips it saves. NEW file only; skipped when either row is absent. *)
+  let rvv_bad =
+    match
+      ( List.assoc_opt "core_simulate_rvv" new_tests,
+        List.assoc_opt "core_simulate_liquid" new_tests )
+    with
+    | Some rvv, Some liquid when liquid > 0.0 ->
+        let ratio = rvv /. liquid in
+        Printf.printf "%-32s %12s %12s %7.2fx%s\n" "rvv/liquid ratio" "-" "-"
+          ratio
+          (if ratio > rvv_ratio_limit then "  EXCEEDS LIMIT" else "");
+        ratio > rvv_ratio_limit
+    | _ ->
+        Printf.printf "%-32s %12s %12s %8s\n" "rvv/liquid ratio" "-" "-" "n/a";
         false
   in
   (* Service-throughput gate: jobs/s is a rate (higher is better), so
@@ -211,6 +240,11 @@ let () =
   if vla_bad then begin
     Printf.eprintf "core_simulate_vla exceeds %.1fx core_simulate_liquid\n"
       vla_ratio_limit;
+    exit 1
+  end;
+  if rvv_bad then begin
+    Printf.eprintf "core_simulate_rvv exceeds %.1fx core_simulate_liquid\n"
+      rvv_ratio_limit;
     exit 1
   end;
   if service_bad then begin

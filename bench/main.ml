@@ -135,6 +135,18 @@ let bench_translation_vla =
          Offline.translate_all ~backend:Liquid_translate.Backend.vla ~image
            ~lanes:8 ()))
 
+(* And through the RVV backend: the same permutation recovery plus the
+   per-region LMUL grading pass (live-value pressure scan, group-factor
+   selection, width re-derivation) and the vsetvl stripmine rewrite of
+   every loop header and back-edge. *)
+let bench_translation_rvv =
+  let w = find "FFT" in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  Test.make ~name:"sec5_translation_latency_rvv"
+    (Staged.stage (fun () ->
+         Offline.translate_all ~backend:Liquid_translate.Backend.rvv ~image
+           ~lanes:8 ()))
+
 (* Microbenchmarks of the individual pipeline stages. *)
 
 let bench_scalarize_fft =
@@ -248,6 +260,40 @@ let bench_simulate_vla_fft =
   Test.make ~name:"core_simulate_vla_fft"
     (Staged.stage (fun () -> Cpu.run ~config image))
 
+(* MPEG2 Dec. on the 8-lane RVV target: the same microcode-replay-bound
+   workload as core_simulate_liquid, but every trip passes through the
+   vsetvl grant (full grants take the unmasked Vl fast path; the final
+   trip of each loop replays under a shortened grant) and low-pressure
+   regions run LMUL-grouped at twice the hardware width. The
+   rvv/liquid ratio of this pair is gated by bench/compare.exe. *)
+let bench_simulate_rvv =
+  let w = find "MPEG2 Dec." in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  let config =
+    {
+      (Cpu.liquid_config ~lanes:8) with
+      Cpu.backend = Liquid_translate.Backend.rvv;
+    }
+  in
+  Test.make ~name:"core_simulate_rvv"
+    (Staged.stage (fun () -> Cpu.run ~config image))
+
+(* FFT on the 8-lane RVV target: permutation recovery (Tblidx/Tbl
+   replay) under vsetvl grants, with the register-hungry butterfly
+   regions staying at m1 while the rest group to m2 — the
+   mixed-grouping headline. *)
+let bench_simulate_rvv_fft =
+  let w = find "FFT" in
+  let image = Image.of_program (Codegen.liquid w.Workload.program) in
+  let config =
+    {
+      (Cpu.liquid_config ~lanes:8) with
+      Cpu.backend = Liquid_translate.Backend.rvv;
+    }
+  in
+  Test.make ~name:"core_simulate_rvv_fft"
+    (Staged.stage (fun () -> Cpu.run ~config image))
+
 let bench_hwmodel =
   Test.make ~name:"core_hwmodel_estimate"
     (Staged.stage (fun () -> Hwmodel.estimate Hwmodel.default_params))
@@ -262,6 +308,7 @@ let tests =
     bench_ucode_cache;
     bench_translation;
     bench_translation_vla;
+    bench_translation_rvv;
     bench_scalarize_fft;
     bench_encode;
     bench_simulate_scalar;
@@ -273,6 +320,8 @@ let tests =
     bench_simulate_vla;
     bench_simulate_vla_nosuper;
     bench_simulate_vla_fft;
+    bench_simulate_rvv;
+    bench_simulate_rvv_fft;
     bench_hwmodel;
   ]
 
@@ -288,6 +337,8 @@ let smoke_tests =
     bench_simulate_vla;
     bench_simulate_vla_nosuper;
     bench_simulate_vla_fft;
+    bench_simulate_rvv;
+    bench_simulate_rvv_fft;
   ]
 
 let run_benchmarks ~quota tests =
@@ -318,10 +369,10 @@ let run_benchmarks ~quota tests =
     tests;
   List.rev !estimates
 
-(* Simulated-cycle throughput: the given workloads under the three
+(* Simulated-cycle throughput: the given workloads under the four
    headline variants (scalar baseline, Liquid on the fixed 8-lane
-   target, Liquid on the 8-lane VLA target), fresh simulations (no memo
-   cache), cycles per wall second. Run with [blocks] on and off and
+   target, the 8-lane VLA target and the 8-lane RVV target), fresh
+   simulations (no memo cache), cycles per wall second. Run with [blocks] on and off and
    with the superblock tier on and off; the identical sweep under the
    three execution strategies is the block engine's (and the trace
    tier's) speedup measurement — and a bit-identity smoke check: the
@@ -337,7 +388,8 @@ let sim_throughput ~blocks ~superblocks workloads =
       (fun acc (w : Workload.t) ->
         acc + cycles_of w Runner.Baseline
         + cycles_of w (Runner.Liquid 8)
-        + cycles_of w (Runner.Liquid_vla 8))
+        + cycles_of w (Runner.Liquid_vla 8)
+        + cycles_of w (Runner.Liquid_rvv 8))
       0 workloads
   in
   let wall = Unix.gettimeofday () -. t0 in
@@ -356,7 +408,7 @@ let fault_campaign workloads =
   (report, wall)
 
 (* Sweep-service throughput: a fixed job script — every workload under
-   the three headline variants, each job submitted twice so the reply
+   the four headline variants, each job submitted twice so the reply
    dedup is part of what's measured — through the in-process entry
    point, jobs replied per wall second. Fresh runner cache so the
    number reflects real simulations plus the supervision envelope, not
@@ -373,9 +425,9 @@ let service_throughput workloads =
               (Printf.sprintf "{\"workload\": %S, \"variant\": %S}\n"
                  w.Workload.name v)
           done)
-        [ "baseline"; "liquid:8"; "vla:8" ])
+        [ "baseline"; "liquid:8"; "vla:8"; "rvv:8" ])
     workloads;
-  let jobs = 6 * List.length workloads in
+  let jobs = 8 * List.length workloads in
   let t0 = Unix.gettimeofday () in
   let replies = Liquid_service.Service.run_script (Buffer.contents buf) in
   let wall = Unix.gettimeofday () -. t0 in
@@ -392,7 +444,7 @@ let service_throughput workloads =
   float_of_int jobs /. wall
 
 (* Differential-fuzz throughput: a short fixed-seed campaign (every
-   case through the 37-cell oracle matrix, faults included), generated
+   case through the 53-cell oracle matrix, faults included), generated
    cases per wall second — so a slowdown in the generator, the oracle
    fan-out or the differ shows up next to the other rates. The run is
    also a correctness tripwire: any divergence fails the bench. *)

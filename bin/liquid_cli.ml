@@ -44,8 +44,9 @@ let variant_arg =
     & info [ "m"; "machine" ] ~docv:"VARIANT"
         ~doc:
           "Machine/binary flavour: $(b,baseline), $(b,liquid:scalar), \
-           $(b,liquid:WIDTH), $(b,vla:WIDTH), $(b,oracle:WIDTH), \
-           $(b,vla-oracle:WIDTH) or $(b,native:WIDTH).")
+           $(b,liquid:WIDTH), $(b,vla:WIDTH), $(b,rvv:WIDTH), \
+           $(b,oracle:WIDTH), $(b,vla-oracle:WIDTH), $(b,rvv-oracle:WIDTH) \
+           or $(b,native:WIDTH).")
 
 let no_blocks_arg =
   Arg.(
@@ -231,7 +232,7 @@ let translate_cmd =
         ( (fun s ->
             match Liquid_translate.Backend.of_string s with
             | Some b -> Ok b
-            | None -> Error (`Msg "expected fixed or vla")),
+            | None -> Error (`Msg "expected fixed, vla or rvv")),
           fun ppf b ->
             Format.pp_print_string ppf (Liquid_translate.Backend.name_of b) )
     in
@@ -241,8 +242,9 @@ let translate_cmd =
       & info [ "backend" ] ~docv:"BACKEND"
           ~doc:
             "Translation target: $(b,fixed) (Neon-like, width must divide \
-             the trip count) or $(b,vla) (length-agnostic with predicated \
-             final iteration).")
+             the trip count), $(b,vla) (length-agnostic with predicated \
+             final iteration) or $(b,rvv) (vsetvl-stripmined with LMUL \
+             register grouping).")
   in
   let run (w : Workload.t) lanes backend =
     let program = Liquid_scalarize.Codegen.liquid w.Workload.program in
@@ -529,7 +531,8 @@ let hwmodel_cmd =
         ( (function
             | "fixed" -> Ok H.Fixed_width
             | "vla" -> Ok H.Vla
-            | _ -> Error (`Msg "expected fixed or vla")),
+            | "rvv" -> Ok H.Rvv
+            | _ -> Error (`Msg "expected fixed, vla or rvv")),
           fun ppf t -> Format.pp_print_string ppf (H.target_name t) )
     in
     Arg.(
@@ -537,12 +540,22 @@ let hwmodel_cmd =
       & opt target_conv H.Fixed_width
       & info [ "target" ] ~docv:"TARGET"
           ~doc:
-            "Translation target the hardware emits for: $(b,fixed) or \
-             $(b,vla) (adds the whilelt comparator and predicate file).")
+            "Translation target the hardware emits for: $(b,fixed), \
+             $(b,vla) (adds the whilelt comparator and predicate file) or \
+             $(b,rvv) (adds the vsetvl grant unit and LMUL regroup muxes).")
   in
-  let run lanes registers buffer_entries target =
+  let lmul_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "lmul" ] ~docv:"M"
+          ~doc:
+            "Register-group factor provisioned for the $(b,rvv) target \
+             (sizes the previous-value state and regroup muxes); ignored \
+             for the other targets.")
+  in
+  let run lanes registers buffer_entries target lmul =
     let module H = Liquid_hwmodel.Hwmodel in
-    let rep = H.estimate { H.lanes; registers; buffer_entries; target } in
+    let rep = H.estimate { H.lanes; registers; buffer_entries; target; lmul } in
     Format.printf "%a@." H.pp_report rep;
     Format.printf
       "  decoder %d | legality %d | register state %d (%.0f%%) | opcode gen        %d | buffer %d cells@."
@@ -558,7 +571,7 @@ let hwmodel_cmd =
         rep.H.tbl_cells
   in
   Cmd.v (Cmd.info "hwmodel" ~doc)
-    Term.(const run $ lanes_arg $ regs_arg $ buffer_arg $ target_arg)
+    Term.(const run $ lanes_arg $ regs_arg $ buffer_arg $ target_arg $ lmul_arg)
 
 (* --- faults: seeded injection campaign with survival report --- *)
 
@@ -607,7 +620,7 @@ let faults_cmd =
         ( (fun s ->
             match Liquid_translate.Backend.of_string s with
             | Some b -> Ok b
-            | None -> Error (`Msg "expected fixed or vla")),
+            | None -> Error (`Msg "expected fixed, vla or rvv")),
           fun ppf b ->
             Format.pp_print_string ppf (Liquid_translate.Backend.name_of b) )
     in
@@ -615,7 +628,9 @@ let faults_cmd =
       value
       & opt backend_conv Liquid_translate.Backend.fixed
       & info [ "backend" ] ~docv:"BACKEND"
-          ~doc:"Translation target under attack: $(b,fixed) or $(b,vla).")
+          ~doc:
+            "Translation target under attack: $(b,fixed), $(b,vla) or \
+             $(b,rvv).")
   in
   let run seed widths workloads verbose backend =
     let module C = Liquid_faults.Campaign in
@@ -650,9 +665,9 @@ let fuzz_cmd =
          fission-inducing mid-loop ones — strided and gathered memory, \
          adversarial trip counts) and runs every case through the full \
          differential matrix: pure-scalar reference vs the inline-loop \
-         baseline binary, fixed-width and VLA translation at widths 2, \
-         4, 8 and 16 with the block engine and trace-superblock tier on \
-         and off, oracle translation, and seeded translation-path \
+         baseline binary, fixed-width, VLA and RVV translation at widths \
+         2, 4, 8 and 16 with the block engine and trace-superblock tier \
+         on and off, oracle translation, and seeded translation-path \
          faults. Prints the campaign report (abort-class and divergence \
          histograms); for each failing case, re-derives and prints a \
          shrunk minimal repro. Exits non-zero on any divergence.";

@@ -1,0 +1,114 @@
+(* The vsetvl stripmine: what the RVV-style backend buys over both the
+   fixed-width target and VLA predication.
+
+   The same 15-element FIR loop as examples/vla_epilogue.ml — 15 is not
+   a multiple of any hardware width (2, 4, 8, 16), so the fixed-width
+   translator must refuse it (Bad_trip_count) and the loop runs scalar
+   forever. The VLA backend masks the remainder: every body operation
+   carries a governing predicate and the final iteration runs under a
+   partial one. The RVV backend instead negotiates it: a vsetvl
+   request-grant pair sets the vector-length CSR each iteration, body
+   operations carry no mask at all, and the final trip simply receives
+   a shortened grant. It also grades its own width — this loop keeps
+   only two vector values live, so the translator grades an LMUL m2
+   register group and emits 16-wide microcode on the 8-lane machine:
+   all 15 elements in a single stripmine trip.
+
+   Run with: dune exec examples/rvv_stripmine.exe
+   (The printed output is pinned by examples/rvv_stripmine.expected.) *)
+
+open Liquid_prog
+open Liquid_scalarize
+open Liquid_translate
+open Liquid_pipeline
+module Kernels = Liquid_workloads.Kernels
+module Stats = Liquid_machine.Stats
+
+let count = 15
+let lanes = 8
+
+(* c.(i) <- 5*a.(i) + b.(i): a SAXPY-shaped FIR tap. *)
+let program =
+  let loop =
+    Kernels.saxpy ~name:"fir" ~count ~a:5 ~x:"a" ~y:"b" ~out:"c"
+  in
+  {
+    Vloop.name = "stripmine";
+    sections =
+      Kernels.counted ~reg:(Liquid_isa.Reg.make 15) ~label:"fr" ~count:4
+        [ Vloop.Loop loop ];
+    data =
+      [
+        Kernels.warray "a" count (fun i -> i + 1);
+        Kernels.warray "b" count (fun i -> 100 - i);
+        Kernels.wzeros "c" count;
+      ];
+  }
+
+let show_translation backend =
+  let liquid = Codegen.liquid program in
+  let image = Image.of_program liquid in
+  let entry =
+    match image.Image.region_entries with
+    | (e, _) :: _ -> e
+    | [] -> failwith "no region"
+  in
+  match Offline.translate_region_result ~backend ~image ~lanes ~entry () with
+  | Ok (Translator.Translated u) ->
+      Format.printf "  translated to %d uops:@." (Ucode.length u);
+      Ucode.pp Format.std_formatter u
+  | Ok (Translator.Aborted a) ->
+      Format.printf "  ABORTED: %s@." (Abort.to_string a)
+  | Error d -> Format.printf "  error: %s@." (Diag.to_string d)
+
+let run_with backend =
+  let liquid = Codegen.liquid program in
+  let image = Image.of_program liquid in
+  let config = { (Cpu.liquid_config ~lanes) with Cpu.backend } in
+  let run = Cpu.run ~config image in
+  let s = run.Cpu.stats in
+  Format.printf
+    "  vector insns %5d   region calls %d   served from microcode %d@."
+    s.Stats.vector_insns s.Stats.region_calls s.Stats.ucode_hits;
+  run
+
+let array_of (run : Cpu.run) name =
+  let liquid = Codegen.liquid program in
+  let img = Image.of_program liquid in
+  let addr = Image.array_addr img name in
+  Array.init count (fun i ->
+      Liquid_machine.Memory.read run.Cpu.memory
+        ~addr:(addr + (i * 4))
+        ~bytes:4 ~signed:true)
+
+let () =
+  Format.printf
+    "The same %d-element loop on an %d-lane accelerator, under all three \
+     backends.@.@."
+    count lanes;
+
+  Format.printf "[fixed-width backend]@.";
+  show_translation Backend.fixed;
+  let fixed = run_with Backend.fixed in
+
+  Format.printf "@.[vla backend]@.";
+  show_translation Backend.vla;
+  let vla = run_with Backend.vla in
+
+  Format.printf "@.[rvv backend]@.";
+  show_translation Backend.rvv;
+  let rvv = run_with Backend.rvv in
+
+  let expect = Array.init count (fun i -> (5 * (i + 1)) + (100 - i)) in
+  let ok which r = assert (array_of r "c" = expect) |> fun () -> which in
+  Format.printf
+    "@.Results identical and correct on all three machines: %s, %s, %s.@."
+    (ok "fixed" fixed) (ok "vla" vla) (ok "rvv" rvv);
+  Format.printf
+    "The fixed-width target aborted (always safe — the scalar loop ran \
+     instead).@.The VLA target ran ceil(%d/%d) = 2 predicated iterations per \
+     call. The RVV@.target graded an LMUL m2 group from the loop's two live \
+     vector values and ran@.all %d elements in ONE 16-wide stripmine trip — \
+     no masks on any body op; the@.single vsetvl grant of %d did the whole \
+     job. Same binary, three machines,@.bit-identical memory.@."
+    count lanes count count

@@ -80,7 +80,21 @@ let engine_label blocks superblocks =
   | false, _ -> "/noblocks"
 
 let fault_variants =
-  Runner.[ Liquid 2; Liquid 4; Liquid 8; Liquid 16; Liquid_vla 2; Liquid_vla 4; Liquid_vla 8; Liquid_vla 16 ]
+  Runner.
+    [
+      Liquid 2;
+      Liquid 4;
+      Liquid 8;
+      Liquid 16;
+      Liquid_vla 2;
+      Liquid_vla 4;
+      Liquid_vla 8;
+      Liquid_vla 16;
+      Liquid_rvv 2;
+      Liquid_rvv 4;
+      Liquid_rvv 8;
+      Liquid_rvv 16;
+    ]
 
 let draw_fault rng =
   match Fault.Rng.int rng 3 with
@@ -127,7 +141,7 @@ let run_case ?fault_seed (p : Vloop.program) =
             acc.divs <-
               { d_label = "baseline"; d_kind = K_crash (Printexc.to_string e) }
               :: acc.divs);
-         (* fixed and VLA at every width, engine tiers on/off *)
+         (* fixed, VLA and RVV at every width, engine tiers on/off *)
          List.iter
            (fun w ->
              List.iter
@@ -142,14 +156,14 @@ let run_case ?fault_seed (p : Vloop.program) =
                        ~label:(base_label ^ engine_label blocks superblocks)
                        image config)
                    [ (true, true); (true, false); (false, false) ])
-               Runner.[ Liquid w; Liquid_vla w ];
+               Runner.[ Liquid w; Liquid_vla w; Liquid_rvv w ];
              (* oracle translation (microcode ready at first call) *)
              List.iter
                (fun variant ->
                  check acc refc
                    ~label:(Runner.variant_to_string variant)
                    image (Runner.config_of variant))
-               Runner.[ Liquid_oracle w; Liquid_vla_oracle w ])
+               Runner.[ Liquid_oracle w; Liquid_vla_oracle w; Liquid_rvv_oracle w ])
            widths;
          (* seeded translation-path faults *)
          (match fault_seed with

@@ -1,11 +1,11 @@
 (** The cross-product differential oracle for one generated program.
 
-    One case fans out into ~38 simulations of the {e same} Liquid binary
-    — pure scalar (the reference), fixed-width and VLA accelerators at
-    widths 2/4/8/16, each with the block engine and trace-superblock
-    tier on and off, both oracle-translation flavours, and a handful of
-    seeded translation-path faults — plus the inline-loop baseline
-    binary. Every accelerated run must reproduce the reference's
+    One case fans out into ~53 simulations of the {e same} Liquid binary
+    — pure scalar (the reference), fixed-width, VLA and RVV accelerators
+    at widths 2/4/8/16, each with the block engine and trace-superblock
+    tier on and off, all three oracle-translation flavours, and a
+    handful of seeded translation-path faults — plus the inline-loop
+    baseline binary. Every accelerated run must reproduce the reference's
     architectural state: all of data memory byte-for-byte and every
     register outside the image's dead-scratch mask
     ({!Liquid_faults.Oracle.mask_of_image}). *)

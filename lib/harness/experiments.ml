@@ -12,10 +12,19 @@ let table2 () =
     (fun target ->
       List.map
         (fun lanes ->
+          (* RVV rows are provisioned at the group factor the translator
+             can actually reach at that base width: LMUL is bounded by
+             the 16-lane maximum vector length, so a narrow datapath
+             grades a high group factor and a 16-wide one none. *)
+          let lmul =
+            match target with
+            | Hwmodel.Rvv -> max 1 (16 / lanes)
+            | Hwmodel.Fixed_width | Hwmodel.Vla -> 1
+          in
           Hwmodel.estimate
-            { Hwmodel.default_params with Hwmodel.lanes; Hwmodel.target })
+            { Hwmodel.default_params with Hwmodel.lanes; Hwmodel.target; Hwmodel.lmul })
         [ 2; 4; 8; 16 ])
-    [ Hwmodel.Fixed_width; Hwmodel.Vla ]
+    [ Hwmodel.Fixed_width; Hwmodel.Vla; Hwmodel.Rvv ]
 
 let pp_table2 ppf reports =
   Format.fprintf ppf
@@ -29,7 +38,9 @@ let pp_table2 ppf reports =
         (Printf.sprintf "%d-wide %sTranslator" r.Hwmodel.params.Hwmodel.lanes
            (match r.Hwmodel.params.Hwmodel.target with
            | Hwmodel.Fixed_width -> ""
-           | Hwmodel.Vla -> "VLA "))
+           | Hwmodel.Vla -> "VLA "
+           | Hwmodel.Rvv ->
+               Printf.sprintf "RVV m%d " r.Hwmodel.params.Hwmodel.lmul))
         r.Hwmodel.crit_path_gates r.Hwmodel.crit_path_ns r.Hwmodel.freq_mhz
         r.Hwmodel.total_cells r.Hwmodel.area_mm2)
     reports;
@@ -135,6 +146,7 @@ type fig6_row = {
   f6_name : string;
   f6_speedups : (int * float) list;
   f6_vla_speedups : (int * float) list;
+  f6_rvv_speedups : (int * float) list;
   f6_native_delta : (int * float) list;
 }
 
@@ -161,6 +173,19 @@ let figure6 ?(widths = [ 2; 4; 8; 16 ]) () =
             (lanes, Runner.speedup ~baseline:base run))
           widths
       in
+      let rvv_speedups =
+        (* Same binary again, translator targeting the RVV-style
+           stripmining backend: the vsetvl grant absorbs the remainder
+           like VLA predication does, and LMUL register grouping may
+           multiply the effective width on low-pressure regions. *)
+        List.map
+          (fun lanes ->
+            let { Runner.run; _ } =
+              Runner.run_cached w (Runner.Liquid_rvv lanes)
+            in
+            (lanes, Runner.speedup ~baseline:base run))
+          widths
+      in
       let native_delta =
         (* The callout of Figure 6: re-run with translation removed from
            the picture (microcode present from the first call), i.e. a
@@ -178,6 +203,7 @@ let figure6 ?(widths = [ 2; 4; 8; 16 ]) () =
         f6_name = w.name;
         f6_speedups = speedups;
         f6_vla_speedups = vla_speedups;
+        f6_rvv_speedups = rvv_speedups;
         f6_native_delta = native_delta;
       })
     (Workload.all ())
@@ -185,20 +211,24 @@ let figure6 ?(widths = [ 2; 4; 8; 16 ]) () =
 let pp_figure6 ppf rows =
   Format.fprintf ppf
     "@[<v>Figure 6: speedup vs no-SIMD baseline (one Liquid binary per \
-     benchmark)@ %-12s | %6s %6s %6s %6s | %6s %6s %6s %6s | %s@ "
+     benchmark)@ %-12s | %6s %6s %6s %6s | %6s %6s %6s %6s | %6s %6s %6s %6s \
+     | %s@ "
     "Benchmark" "w=2" "w=4" "w=8" "w=16" "vla=2" "vla=4" "vla=8" "vla=16"
-    "max native-ISA delta";
+    "rvv=2" "rvv=4" "rvv=8" "rvv=16" "max native-ISA delta";
   List.iter
     (fun r ->
       let s w = try List.assoc w r.f6_speedups with Not_found -> nan in
       let v w = try List.assoc w r.f6_vla_speedups with Not_found -> nan in
+      let rv w = try List.assoc w r.f6_rvv_speedups with Not_found -> nan in
       let delta =
         List.fold_left (fun acc (_, d) -> Float.max acc (Float.abs d)) 0.0
           r.f6_native_delta
       in
       Format.fprintf ppf
-        "%-12s | %6.2f %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f %6.2f | %.4f@ "
-        r.f6_name (s 2) (s 4) (s 8) (s 16) (v 2) (v 4) (v 8) (v 16) delta)
+        "%-12s | %6.2f %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f %6.2f | %6.2f \
+         %6.2f %6.2f %6.2f | %.4f@ "
+        r.f6_name (s 2) (s 4) (s 8) (s 16) (v 2) (v 4) (v 8) (v 16) (rv 2)
+        (rv 4) (rv 8) (rv 16) delta)
     rows;
   Format.fprintf ppf "@]"
 
@@ -556,7 +586,8 @@ let csv_table6 rows =
 
 let csv_figure6 rows =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "benchmark,width,speedup,vla_speedup,native_delta\n";
+  Buffer.add_string buf
+    "benchmark,width,speedup,vla_speedup,rvv_speedup,native_delta\n";
   List.iter
     (fun r ->
       List.iter
@@ -566,13 +597,18 @@ let csv_figure6 rows =
             | Some v -> Printf.sprintf "%.4f" v
             | None -> ""
           in
+          let rvv =
+            match List.assoc_opt w r.f6_rvv_speedups with
+            | Some v -> Printf.sprintf "%.4f" v
+            | None -> ""
+          in
           let delta =
             match List.assoc_opt w r.f6_native_delta with
             | Some d -> Printf.sprintf "%.4f" d
             | None -> ""
           in
           Buffer.add_string buf
-            (Printf.sprintf "%s,%d,%.4f,%s,%s\n" r.f6_name w s vla delta))
+            (Printf.sprintf "%s,%d,%.4f,%s,%s,%s\n" r.f6_name w s vla rvv delta))
         r.f6_speedups)
     rows;
   Buffer.contents buf

@@ -50,6 +50,11 @@ type fig6_row = {
       (** same widths through the VLA backend
           ({!Runner.Liquid_vla}): predicated final iterations instead
           of divisibility aborts *)
+  f6_rvv_speedups : (int * float) list;
+      (** same widths through the RVV backend
+          ({!Runner.Liquid_rvv}): vsetvl-granted final iterations, with
+          LMUL register grouping multiplying the effective width on
+          low-pressure regions *)
   f6_native_delta : (int * float) list;
       (** (width, native speedup - liquid speedup): the callout's
           virtualization overhead, where a native binary exists *)

@@ -11,6 +11,8 @@ type variant =
   | Liquid_oracle of int
   | Liquid_vla of int
   | Liquid_vla_oracle of int
+  | Liquid_rvv of int
+  | Liquid_rvv_oracle of int
   | Native of int
 
 type result = { variant : variant; program : Program.t; run : Cpu.run }
@@ -22,6 +24,8 @@ let variant_name = function
   | Liquid_oracle w -> Printf.sprintf "liquid-oracle/%d-wide" w
   | Liquid_vla w -> Printf.sprintf "liquid-vla/%d-wide" w
   | Liquid_vla_oracle w -> Printf.sprintf "liquid-vla-oracle/%d-wide" w
+  | Liquid_rvv w -> Printf.sprintf "liquid-rvv/%d-wide" w
+  | Liquid_rvv_oracle w -> Printf.sprintf "liquid-rvv-oracle/%d-wide" w
   | Native w -> Printf.sprintf "native/%d-wide" w
 
 (* One parser for the CLI's and the sweep service's variant syntax, so
@@ -40,13 +44,16 @@ let variant_of_string s =
   | [ "vla"; w ] | [ "liquid-vla"; w ] -> width (fun w -> Liquid_vla w) w
   | [ "vla-oracle"; w ] | [ "liquid-vla-oracle"; w ] ->
       width (fun w -> Liquid_vla_oracle w) w
+  | [ "rvv"; w ] | [ "liquid-rvv"; w ] -> width (fun w -> Liquid_rvv w) w
+  | [ "rvv-oracle"; w ] | [ "liquid-rvv-oracle"; w ] ->
+      width (fun w -> Liquid_rvv_oracle w) w
   | [ "native"; w ] -> width (fun w -> Native w) w
   | _ ->
       Error
         (Printf.sprintf
            "unknown variant %S; expected baseline, liquid:scalar, \
-            liquid:<width>, vla:<width>, oracle:<width>, vla-oracle:<width> \
-            or native:<width>"
+            liquid:<width>, vla:<width>, rvv:<width>, oracle:<width>, \
+            vla-oracle:<width>, rvv-oracle:<width> or native:<width>"
            s)
 
 let variant_to_string = function
@@ -56,12 +63,14 @@ let variant_to_string = function
   | Liquid_oracle w -> Printf.sprintf "oracle:%d" w
   | Liquid_vla w -> Printf.sprintf "vla:%d" w
   | Liquid_vla_oracle w -> Printf.sprintf "vla-oracle:%d" w
+  | Liquid_rvv w -> Printf.sprintf "rvv:%d" w
+  | Liquid_rvv_oracle w -> Printf.sprintf "rvv-oracle:%d" w
   | Native w -> Printf.sprintf "native:%d" w
 
 let program_of (w : Workload.t) = function
   | Baseline -> Codegen.baseline w.program
   | Liquid_scalar | Liquid _ | Liquid_oracle _ | Liquid_vla _
-  | Liquid_vla_oracle _ ->
+  | Liquid_vla_oracle _ | Liquid_rvv _ | Liquid_rvv_oracle _ ->
       Codegen.liquid w.program
   | Native width -> Codegen.native ~width w.program
 
@@ -86,6 +95,19 @@ let config_of ?(translation_cpi = 1) = function
       {
         (Cpu.liquid_config ~lanes) with
         Cpu.backend = Backend.vla;
+        Cpu.oracle_translation = true;
+      }
+  | Liquid_rvv lanes ->
+      {
+        (Cpu.liquid_config ~lanes) with
+        Cpu.backend = Backend.rvv;
+        Cpu.translator =
+          Some { Cpu.cycles_per_insn = translation_cpi; Cpu.kind = Cpu.Hardware };
+      }
+  | Liquid_rvv_oracle lanes ->
+      {
+        (Cpu.liquid_config ~lanes) with
+        Cpu.backend = Backend.rvv;
         Cpu.oracle_translation = true;
       }
   | Native lanes -> Cpu.native_config ~lanes
@@ -137,9 +159,10 @@ let cache_key (w : Workload.t) variant ~translation_cpi ~fuel ~blocks
     ck_variant = variant;
     ck_cpi =
       (match variant with
-      | Liquid _ | Liquid_vla _ -> Option.value translation_cpi ~default:1
+      | Liquid _ | Liquid_vla _ | Liquid_rvv _ ->
+          Option.value translation_cpi ~default:1
       | Baseline | Liquid_scalar | Liquid_oracle _ | Liquid_vla_oracle _
-      | Native _ ->
+      | Liquid_rvv_oracle _ | Native _ ->
           1);
     ck_fuel = Option.value fuel ~default:Cpu.scalar_config.Cpu.fuel;
     ck_blocks = blocks;

@@ -1,16 +1,23 @@
-type target = Fixed_width | Vla
+type target = Fixed_width | Vla | Rvv
 
-let target_name = function Fixed_width -> "fixed" | Vla -> "vla"
+let target_name = function Fixed_width -> "fixed" | Vla -> "vla" | Rvv -> "rvv"
 
 type params = {
   lanes : int;
   registers : int;
   buffer_entries : int;
   target : target;
+  lmul : int;
 }
 
 let default_params =
-  { lanes = 8; registers = 16; buffer_entries = 64; target = Fixed_width }
+  {
+    lanes = 8;
+    registers = 16;
+    buffer_entries = 64;
+    target = Fixed_width;
+    lmul = 1;
+  }
 
 type report = {
   params : params;
@@ -68,22 +75,52 @@ let vla_pred_count = 8
 let vla_tbl_store_cells = 520
 let vla_tbl_adder_per_lane = 310
 
+(* RVV additions: a vsetvl grant unit (32-bit subtract + clamp against
+   the lane count, like the whilelt comparator, feeding a single vl CSR
+   instead of a predicate file), the widened opcode generator that
+   inserts the vl governance into every emitted vector operation, and —
+   when register grouping is configured — the LMUL regrouping muxes that
+   remap each vector-register specifier onto its [lmul]-register group.
+   The table-lookup permutation unit is shared with the VLA target,
+   sized at the grouped (effective) width. *)
+
+let rvv_vsetvl_cells = 860
+let rvv_opgen_extra = 700
+let rvv_group_mux_per_reg_per_log = 40
+
 let log2_ceil n =
   let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
   go 0 1
 
 let estimate params =
-  if params.lanes < 2 || params.registers < 1 || params.buffer_entries < 1 then
-    invalid_arg "Hwmodel.estimate: bad parameters";
+  if
+    params.lanes < 2 || params.registers < 1 || params.buffer_entries < 1
+    || params.lmul < 1
+  then invalid_arg "Hwmodel.estimate: bad parameters";
+  (* The RVV target's previous-value state and table-lookup datapath are
+     sized at the grouped (effective) width: LMUL multiplies the element
+     count one emitted operation covers. [lmul] is 1 for the other
+     targets. *)
+  let eff_lanes =
+    match params.target with
+    | Rvv -> params.lanes * params.lmul
+    | Fixed_width | Vla -> params.lanes
+  in
   let decoder_cells = decoder_cells_const in
   let legality_cells = legality_cells_const in
   let regstate_cells =
     params.registers
-    * (regstate_base_per_reg + (regstate_per_reg_per_lane * params.lanes))
+    * (regstate_base_per_reg + (regstate_per_reg_per_lane * eff_lanes))
   in
   let opgen_cells =
     opgen_cells_const
-    + (match params.target with Fixed_width -> 0 | Vla -> vla_opgen_extra)
+    + (match params.target with
+      | Fixed_width -> 0
+      | Vla -> vla_opgen_extra
+      | Rvv ->
+          rvv_opgen_extra
+          + params.registers * rvv_group_mux_per_reg_per_log
+            * log2_ceil params.lmul)
   in
   let buffer_cells =
     params.buffer_entries * (buffer_storage_per_entry + buffer_align_per_entry)
@@ -96,11 +133,13 @@ let estimate params =
         + vla_pred_count
           * (vla_predfile_base_per_preg
             + (vla_predfile_per_preg_per_log_lane * log2_ceil params.lanes))
+    | Rvv -> rvv_vsetvl_cells
   in
   let tbl_cells =
     match params.target with
     | Fixed_width -> 0
     | Vla -> vla_tbl_store_cells + (vla_tbl_adder_per_lane * params.lanes)
+    | Rvv -> vla_tbl_store_cells + (vla_tbl_adder_per_lane * eff_lanes)
   in
   let total_cells =
     decoder_cells + legality_cells + regstate_cells + opgen_cells
@@ -109,10 +148,15 @@ let estimate params =
   (* 5 gates of partial decode plus the register-state previous-value
      read/conditional-write path, whose mux tree deepens with log2 of
      the lane count. The VLA target adds one gate: the governing
-     predicate muxed into the emitted operation. *)
+     predicate muxed into the emitted operation. The RVV target adds
+     the same governance gate plus the LMUL specifier-regroup mux,
+     which deepens with log2 of the group factor. *)
   let crit_path_gates =
     5 + 8 + log2_ceil params.lanes
-    + (match params.target with Fixed_width -> 0 | Vla -> 1)
+    + (match params.target with
+      | Fixed_width -> 0
+      | Vla -> 1
+      | Rvv -> 1 + log2_ceil params.lmul)
   in
   let crit_path_ns = float_of_int crit_path_gates *. gate_delay_ns in
   {
@@ -136,5 +180,8 @@ let pp_report ppf r =
     "%d-wide %sTranslator | %d gates | %.2f ns (%.0f MHz) | %d cells | %.3f \
      mm^2"
     r.params.lanes
-    (match r.params.target with Fixed_width -> "" | Vla -> "VLA ")
+    (match r.params.target with
+    | Fixed_width -> ""
+    | Vla -> "VLA "
+    | Rvv -> Printf.sprintf "RVV m%d " r.params.lmul)
     r.crit_path_gates r.crit_path_ns r.freq_mhz r.total_cells r.area_mm2

@@ -31,20 +31,33 @@ type target =
           comparator, a predicate file, a wider opcode generator and the
           table-lookup permutation unit — costs not in the paper, scaled
           from the same cell library *)
+  | Rvv
+      (** the RVV-style stripmining target: adds a vsetvl grant unit
+          (comparator + clamp feeding a single [vl] CSR instead of a
+          predicate file), vl-governance in the opcode generator, the
+          LMUL specifier-regroup muxes when register grouping is
+          configured, and the shared table-lookup permutation unit sized
+          at the grouped width — costs not in the paper, scaled from the
+          same cell library *)
 
 val target_name : target -> string
-(** ["fixed"] or ["vla"] (the CLI spelling). *)
+(** ["fixed"], ["vla"] or ["rvv"] (the CLI spelling). *)
 
 type params = {
   lanes : int;  (** accelerator vector width *)
   registers : int;  (** architectural integer registers *)
   buffer_entries : int;  (** microcode buffer capacity (instructions) *)
   target : target;  (** translation target the hardware emits for *)
+  lmul : int;
+      (** register-group factor provisioned for the {!Rvv} target: the
+          previous-value state, table-lookup datapath and regroup muxes
+          are sized for operations covering [lanes * lmul] elements.
+          Ignored (keep 1) for the other targets *)
 }
 
 val default_params : params
-(** 8 lanes, 16 registers, 64 entries, fixed-width — the paper's
-    configuration. *)
+(** 8 lanes, 16 registers, 64 entries, fixed-width, LMUL 1 — the
+    paper's configuration. *)
 
 type report = {
   params : params;
@@ -54,12 +67,15 @@ type report = {
   opgen_cells : int;
   buffer_cells : int;
   pred_cells : int;
-      (** whilelt comparator + predicate file; 0 for {!Fixed_width} *)
+      (** remainder-mechanism state: whilelt comparator + predicate file
+          for {!Vla}, vsetvl grant unit + [vl] CSR for {!Rvv}; 0 for
+          {!Fixed_width} *)
   tbl_cells : int;
       (** table-lookup permutation unit — pattern store plus per-lane
-          index adders for recovered permutations; 0 for {!Fixed_width}.
-          Off the critical path: the index table is built once per
-          region call, not per emitted uop *)
+          index adders for recovered permutations; 0 for {!Fixed_width},
+          sized at the grouped width for {!Rvv}. Off the critical path:
+          the index table is built once per region call, not per
+          emitted uop *)
   total_cells : int;
   crit_path_gates : int;
   crit_path_ns : float;

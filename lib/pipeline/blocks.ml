@@ -112,6 +112,9 @@ type suop =
   | Svla of Vla.exec
       (** predicated / length-agnostic uop (microcode replay only: image
           code never contains them) *)
+  | Srvv of Rvv.exec
+      (** [vl]-governed stripmined uop (microcode replay only, like
+          [Svla]) *)
 
 type term =
   | T_fall of int  (** fallthrough into a step-handled pc or next block *)
@@ -607,6 +610,27 @@ let compile_thunk eng ~lanes u =
             f ();
             charge_scratch eng
       | Vla.Tblidx _ | Vla.Whilelt _ | Vla.Incvl _ -> f)
+  | Srvv r -> (
+      let f = Sem.compile_rvv ctx ~lanes r in
+      match r with
+      | Rvv.Vl { v } ->
+          (* same dispatch-layer counting as [Svla]: the grant-governed
+             body op lands in [vla_preds] so the obs conservation
+             invariant (fast + masked = dispatched) spans both remainder
+             mechanisms *)
+          if vinsn_accesses v then fun () ->
+            eng.vla_preds <- eng.vla_preds + 1;
+            f ();
+            charge_scratch eng
+          else fun () ->
+            eng.vla_preds <- eng.vla_preds + 1;
+            f ()
+      | Rvv.Tbl _ | Rvv.Tblst _ ->
+          fun () ->
+            eng.vla_preds <- eng.vla_preds + 1;
+            f ();
+            charge_scratch eng
+      | Rvv.Tblidx _ | Rvv.Vsetvl _ | Rvv.Addvl _ -> f)
 
 (* Bake the slot's icache line probe in front of its thunk, so the
    replay loop is a bare closure call per micro-op. *)
@@ -773,8 +797,8 @@ let[@inline] entry_stall eng pending b =
       | Some _ | None -> ())
   | None -> ()
 
-(* A micro-op raised mid-block (only [Svec]/[Svla] can: Sigill on an
-   unsupported permutation or mismatched constant width). Re-apply the
+(* A micro-op raised mid-block (only [Svec]/[Svla]/[Srvv] can: Sigill on
+   an unsupported permutation or mismatched constant width). Re-apply the
    per-step accounting [step] would have accumulated through the
    faulting slot, so the escaping diagnostics (pc, cycle, retired)
    match the step-by-step engine exactly. *)
@@ -1111,7 +1135,7 @@ let form_super eng latch ~head ~cond ~key ~fall =
          plain counters; the handler reads the index back instead of
          the loop maintaining a position ref per thunk call. *)
       let can_raise = function
-        | Spred _ | Svec _ | Svla _ -> true
+        | Spred _ | Svec _ | Svla _ | Srvv _ -> true
         | Smov_i _ | Smov_r _ | Sdp_i _ | Sdp_r _ | Scmp_i _ | Scmp_r _
         | Sld _ | Sst _ ->
             false
@@ -1411,6 +1435,20 @@ let compile_useg eng uc j =
           :: !charges;
         incr nu;
         incr i
+    | Ucode.UR r ->
+        acc := Srvv r :: !acc;
+        charges :=
+          (match r with
+          | Rvv.Vl { v } -> vector_charge eng ~lanes:width v
+          | Rvv.Tbl { esize; _ } | Rvv.Tblst { esize; _ } ->
+              1
+              + width
+                * ((Esize.bytes esize + eng.vec_bus_bytes - 1)
+                  / eng.vec_bus_bytes)
+          | Rvv.Tblidx _ | Rvv.Vsetvl _ | Rvv.Addvl _ -> 1)
+          :: !charges;
+        incr nu;
+        incr i
     | Ucode.UB { cond; target } -> term := Some (`B (cond, !i, target))
     | Ucode.URet -> term := Some `Ret
   done;
@@ -1430,6 +1468,7 @@ let compile_useg eng uc j =
             match u with
             | Svec _ -> a + 1
             | Svla p when Vla.is_vector p -> a + 1
+            | Srvv r when Rvv.is_vector r -> a + 1
             | _ -> a)
           0 us_uops
       in
@@ -1474,6 +1513,7 @@ let repair_useg eng seg k =
     (match seg.us_uops.(j) with
     | Svec _ -> incr vectors
     | Svla p when Vla.is_vector p -> incr vectors
+    | Srvv r when Rvv.is_vector r -> incr vectors
     | _ -> incr scalars);
     cyc := !cyc + seg.us_charge.(j)
   done;

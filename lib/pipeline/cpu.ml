@@ -492,6 +492,41 @@ let run_ucode st ~entry ~stamp (u : Ucode.t) =
         Sem.exec_vla st.ctx p;
         charge_accesses st;
         incr ui
+    | Ucode.UR r ->
+        fuel_check st;
+        (* The RVV grant plays the VLA predicate's role, so the charge
+           discipline is identical: [vsetvl]/counter management is
+           loop-control overhead accounted as scalar work; a
+           grant-governed datapath op is vector work with full-width
+           static charges — a shortened grant masks lanes, it does not
+           shorten the machine's bus or issue timing. *)
+        (match r with
+        | Rvv.Vl { v } ->
+            st.vla_preds <- st.vla_preds + 1;
+            st.stats.Stats.vector_insns <- st.stats.Stats.vector_insns + 1;
+            charge st 1;
+            (match v with
+            | Vinsn.Vdp { op = Opcode.Mul; _ } -> charge st st.cfg.mul_extra
+            | Vinsn.Vred _ -> charge st 1
+            | _ -> ());
+            charge_vector_mem st v
+        | Rvv.Tbl { esize; _ } | Rvv.Tblst { esize; _ } ->
+            st.vla_preds <- st.vla_preds + 1;
+            st.stats.Stats.vector_insns <- st.stats.Stats.vector_insns + 1;
+            charge st 1;
+            charge st
+              (st.ctx.Sem.lanes
+              * ((Esize.bytes esize + st.cfg.vec_bus_bytes - 1)
+                / st.cfg.vec_bus_bytes))
+        | Rvv.Tblidx _ ->
+            st.stats.Stats.vector_insns <- st.stats.Stats.vector_insns + 1;
+            charge st 1
+        | Rvv.Vsetvl _ | Rvv.Addvl _ ->
+            st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;
+            charge st 1);
+        Sem.exec_rvv st.ctx r;
+        charge_accesses st;
+        incr ui
     | Ucode.UB { cond; target } ->
         fuel_check st;
         st.stats.Stats.scalar_insns <- st.stats.Stats.scalar_insns + 1;

@@ -14,6 +14,10 @@ type ctx = {
   preds : int array;
       (* active-lane count per predicate register; [whilelt] only ever
          produces prefix predicates, so a count is a full representation *)
+  mutable vl : int;
+      (* RVV vector-length grant: the element count the last [vsetvl]
+         granted. One CSR governs every RVV body op, exactly like a
+         prefix predicate of [vl] active lanes *)
   mutable lanes : int;
   mem : Memory.t;
   (* Scratch effect of the most recent [exec_scalar]/[exec_vector]. A
@@ -44,6 +48,7 @@ let create_ctx mem =
     flags = Flags.initial;
     vregs = Array.init Vreg.count (fun _ -> Array.make max_lanes 0);
     preds = Array.make Vla.preg_count 0;
+    vl = 0;
     lanes = max_lanes;
     mem;
     e_value = no_value;
@@ -516,6 +521,75 @@ let exec_vla ctx (p : Vla.exec) =
         add_access ctx addr bytes true
       done
 
+(* RVV stripmined execution. The single [vl] grant plays the role a
+   prefix predicate plays under VLA: [Vsetvl] computes
+   [min(max(bound - counter, 0), lanes)] and every subsequent body op
+   processes exactly that many elements until the next grant. A full
+   grant takes the same all-true fast path as a full predicate, so the
+   two remainder mechanisms share the masked/fast accounting and the
+   masked execution kernels cannot drift apart. *)
+let exec_rvv ctx (r : Rvv.exec) =
+  match r with
+  | Rvv.Vsetvl { counter; bound } ->
+      clear_effect ctx;
+      let c = ctx.regs.(Reg.index counter) in
+      let k = bound - c in
+      let k = if k < 0 then 0 else if k > ctx.lanes then ctx.lanes else k in
+      ctx.vl <- k;
+      ctx.flags <- Flags.of_compare c bound
+  | Rvv.Addvl { dst } ->
+      clear_effect ctx;
+      let v = Word.add ctx.regs.(Reg.index dst) ctx.vl in
+      ctx.regs.(Reg.index dst) <- v;
+      ctx.e_value <- v
+  | Rvv.Vl { v } ->
+      let k = ctx.vl in
+      if k >= ctx.lanes then begin
+        ctx.n_pred_fast <- ctx.n_pred_fast + 1;
+        exec_vector ctx v
+      end
+      else begin
+        ctx.n_pred_masked <- ctx.n_pred_masked + 1;
+        clear_effect ctx;
+        exec_vector_masked ctx ~k v
+      end
+  | Rvv.Tblidx _ ->
+      clear_effect ctx;
+      ctx.n_tbl_builds <- ctx.n_tbl_builds + 1
+  | Rvv.Tbl { esize; signed; dst; base; counter; pattern } ->
+      let w = ctx.lanes in
+      let k = ctx.vl in
+      let k = if k > w then w else k in
+      if k >= w then ctx.n_pred_fast <- ctx.n_pred_fast + 1
+      else ctx.n_pred_masked <- ctx.n_pred_masked + 1;
+      clear_effect ctx;
+      let bytes = Esize.bytes esize in
+      let base_addr = base_value base ctx in
+      let c = ctx.regs.(Reg.index counter) in
+      let d = ctx.vregs.(Vreg.index dst) in
+      for j = 0 to k - 1 do
+        let addr = base_addr + (Perm.src_index pattern (c + j) * bytes) in
+        d.(j) <- Memory.read ctx.mem ~addr ~bytes ~signed;
+        add_access ctx addr bytes false
+      done;
+      Array.fill d k (w - k) 0
+  | Rvv.Tblst { esize; src; base; counter; pattern } ->
+      let w = ctx.lanes in
+      let k = ctx.vl in
+      let k = if k > w then w else k in
+      if k >= w then ctx.n_pred_fast <- ctx.n_pred_fast + 1
+      else ctx.n_pred_masked <- ctx.n_pred_masked + 1;
+      clear_effect ctx;
+      let bytes = Esize.bytes esize in
+      let base_addr = base_value base ctx in
+      let c = ctx.regs.(Reg.index counter) in
+      let s = ctx.vregs.(Vreg.index src) in
+      for j = 0 to k - 1 do
+        let addr = base_addr + (Perm.src_index pattern (c + j) * bytes) in
+        Memory.write ctx.mem ~addr ~bytes s.(j);
+        add_access ctx addr bytes true
+      done
+
 let step_vector ctx vinsn =
   exec_vector ctx vinsn;
   last_effect ctx
@@ -845,6 +919,83 @@ let compile_vla ctx ~lanes (p : Vla.exec) =
       let mask = Perm.period pattern - 1 in
       fun () ->
         let k = ctx.preds.(pi) in
+        let k = if k > lanes then lanes else k in
+        if k >= lanes then ctx.n_pred_fast <- ctx.n_pred_fast + 1
+        else ctx.n_pred_masked <- ctx.n_pred_masked + 1;
+        let base_addr = getb () in
+        let c = ctx.regs.(ci) in
+        for j = 0 to k - 1 do
+          let e = c + j in
+          let addr = base_addr + ((e + offs.(e land mask)) * bytes) in
+          Memory.write ctx.mem ~addr ~bytes s.(j);
+          set_access ctx j addr bytes true
+        done;
+        ctx.e_nacc <- k
+
+let compile_rvv ctx ~lanes (r : Rvv.exec) =
+  match r with
+  | Rvv.Vsetvl { counter; bound } ->
+      let ci = Reg.index counter in
+      fun () ->
+        let c = ctx.regs.(ci) in
+        let k = bound - c in
+        let k = if k < 0 then 0 else if k > lanes then lanes else k in
+        ctx.vl <- k;
+        ctx.flags <- Flags.of_compare c bound;
+        ctx.e_nacc <- 0
+  | Rvv.Addvl { dst } ->
+      let di = Reg.index dst in
+      fun () ->
+        ctx.regs.(di) <- Word.add ctx.regs.(di) ctx.vl;
+        ctx.e_nacc <- 0
+  | Rvv.Vl { v } ->
+      let full = compile_vector ctx ~lanes v in
+      fun () ->
+        let k = ctx.vl in
+        if k >= lanes then begin
+          ctx.n_pred_fast <- ctx.n_pred_fast + 1;
+          full ()
+        end
+        else begin
+          ctx.n_pred_masked <- ctx.n_pred_masked + 1;
+          clear_effect ctx;
+          exec_vector_masked ctx ~k v
+        end
+  | Rvv.Tblidx _ ->
+      fun () ->
+        ctx.n_tbl_builds <- ctx.n_tbl_builds + 1;
+        ctx.e_nacc <- 0
+  | Rvv.Tbl { esize; signed; dst; base; counter; pattern } ->
+      let bytes = Esize.bytes esize in
+      let ci = Reg.index counter in
+      let d = ctx.vregs.(Vreg.index dst) in
+      let getb = compile_base ctx base in
+      let offs = Perm.offsets pattern in
+      let mask = Perm.period pattern - 1 in
+      fun () ->
+        let k = ctx.vl in
+        let k = if k > lanes then lanes else k in
+        if k >= lanes then ctx.n_pred_fast <- ctx.n_pred_fast + 1
+        else ctx.n_pred_masked <- ctx.n_pred_masked + 1;
+        let base_addr = getb () in
+        let c = ctx.regs.(ci) in
+        for j = 0 to k - 1 do
+          let e = c + j in
+          let addr = base_addr + ((e + offs.(e land mask)) * bytes) in
+          d.(j) <- Memory.read ctx.mem ~addr ~bytes ~signed;
+          set_access ctx j addr bytes false
+        done;
+        ctx.e_nacc <- k;
+        if k < lanes then Array.fill d k (lanes - k) 0
+  | Rvv.Tblst { esize; src; base; counter; pattern } ->
+      let bytes = Esize.bytes esize in
+      let ci = Reg.index counter in
+      let s = ctx.vregs.(Vreg.index src) in
+      let getb = compile_base ctx base in
+      let offs = Perm.offsets pattern in
+      let mask = Perm.period pattern - 1 in
+      fun () ->
+        let k = ctx.vl in
         let k = if k > lanes then lanes else k in
         if k >= lanes then ctx.n_pred_fast <- ctx.n_pred_fast + 1
         else ctx.n_pred_masked <- ctx.n_pred_masked + 1;

@@ -24,6 +24,11 @@ type ctx = {
       (** predicate registers of the VLA target, each stored as its
           active-lane count — [whilelt] only ever produces prefix
           predicates, so the count is a complete representation *)
+  mutable vl : int;
+      (** vector-length grant of the RVV target: the element count the
+          last {!Rvv.Vsetvl} granted. A single CSR governs every RVV
+          body operation — semantically a prefix predicate of [vl]
+          active lanes, without a predicate file *)
   mutable lanes : int;  (** active vector width for vector instructions *)
   mem : Liquid_machine.Memory.t;
   mutable e_value : int;
@@ -98,6 +103,20 @@ val exec_vla : ctx -> Vla.exec -> unit
     length — they participate in the fast/masked predication tallies
     like [Pred]. Raises {!Sigill} on a predicated permutation. *)
 
+val exec_rvv : ctx -> Rvv.exec -> unit
+(** Executes one RVV stripmined operation. [Vsetvl] grants
+    [vl := min (max (bound - counter) 0) lanes] and sets the flags from
+    the signed comparison of counter and bound (so the loop back-edge
+    stays an ordinary conditional branch); [Addvl] advances its register
+    by the granted [vl]; [Vl] executes the wrapped vector instruction
+    under the grant — a full grant delegates to {!exec_vector} (counted
+    in [n_pred_fast]), a shortened one runs the masked path over the
+    first [vl] elements with zeroed tail lanes (counted in
+    [n_pred_masked]). The table-lookup family mirrors the VLA one with
+    [vl] in place of a predicate: [Tblidx] counts an index-vector build,
+    [Tbl]/[Tblst] gather (resp. scatter)
+    [Perm.src_index pattern (counter + j)] for each granted lane [j]. *)
+
 val last_effect : ctx -> effect
 (** Materializes the scratch effect of the most recent [exec_*] call as
     the immutable record (for traces and the translator's event feed). *)
@@ -156,4 +175,11 @@ val compile_vla : ctx -> lanes:int -> Vla.exec -> unit -> unit
     [Pred] keeps the fast/masked split of {!exec_vla}: full predicates
     run the pre-compiled unmasked closure (counted in [n_pred_fast]),
     partial ones fall back to the interpretive masked path (counted in
+    [n_pred_masked]). *)
+
+val compile_rvv : ctx -> lanes:int -> Rvv.exec -> unit -> unit
+(** Compile one RVV operation at vector length [lanes]. A compiled [Vl]
+    keeps the fast/masked split of {!exec_rvv}: full [vl] grants run the
+    pre-compiled unmasked closure (counted in [n_pred_fast]), shortened
+    grants fall back to the interpretive masked path (counted in
     [n_pred_masked]). *)

@@ -37,7 +37,10 @@ type t =
   | External_abort  (** context switch or interrupt (paper §4.1) *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable reason, as printed by the CLI's [translate -v]. *)
+
 val to_string : t -> string
+(** {!pp} rendered to a string. *)
 
 val all : t list
 (** One representative per constructor, in declaration order — the

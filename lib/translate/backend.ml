@@ -1,7 +1,7 @@
 open Liquid_isa
 open Liquid_visa
 
-type kind = Fixed | Vla
+type kind = Fixed | Vla | Rvv
 
 type perm_lowering = Perm_native | Perm_table | Perm_abort
 
@@ -9,14 +9,38 @@ module type S = sig
   val kind : kind
   val name : string
   val effective_width : lanes:int -> trips:int -> (int, Abort.t) result
+  val register_group : lanes:int -> pressure:int -> int
   val permutation : perm_lowering
   val loop_header : induction:Reg.t -> bound:int -> Ucode.uop list
   val body_vector : Vinsn.exec -> Ucode.uop
   val induction_step : dst:Reg.t -> width:int -> Ucode.uop
   val trip_compare : insn:Insn.exec -> induction:Reg.t -> bound:int -> Ucode.uop
+
+  val perm_index_build : pattern:Perm.t -> Ucode.uop
+
+  val perm_gather :
+    esize:Esize.t ->
+    signed:bool ->
+    dst:Vreg.t ->
+    base:int Insn.base ->
+    counter:Reg.t ->
+    pattern:Perm.t ->
+    Ucode.uop
+
+  val perm_scatter :
+    esize:Esize.t ->
+    src:Vreg.t ->
+    base:int Insn.base ->
+    counter:Reg.t ->
+    pattern:Perm.t ->
+    Ucode.uop
 end
 
 type t = (module S)
+
+let no_table_lowering name =
+  invalid_arg
+    (Printf.sprintf "Backend.%s: no table-lookup permutation lowering" name)
 
 module Fixed_width : S = struct
   let kind = Fixed
@@ -34,6 +58,7 @@ module Fixed_width : S = struct
     in
     go lanes
 
+  let register_group ~lanes:_ ~pressure:_ = 1
   let permutation = Perm_native
   let loop_header ~induction:_ ~bound:_ = []
   let body_vector v = Ucode.UV v
@@ -50,6 +75,11 @@ module Fixed_width : S = struct
          })
 
   let trip_compare ~insn ~induction:_ ~bound:_ = Ucode.US insn
+  let perm_index_build ~pattern:_ = no_table_lowering name
+  let perm_gather ~esize:_ ~signed:_ ~dst:_ ~base:_ ~counter:_ ~pattern:_ =
+    no_table_lowering name
+  let perm_scatter ~esize:_ ~src:_ ~base:_ ~counter:_ ~pattern:_ =
+    no_table_lowering name
 end
 
 module Vla_target : S = struct
@@ -62,6 +92,7 @@ module Vla_target : S = struct
   let effective_width ~lanes ~trips =
     if trips > 0 then Ok lanes else Error Abort.Bad_trip_count
 
+  let register_group ~lanes:_ ~pressure:_ = 1
   let permutation = Perm_table
 
   let loop_header ~induction ~bound =
@@ -72,11 +103,68 @@ module Vla_target : S = struct
 
   let trip_compare ~insn:_ ~induction ~bound =
     Ucode.UP (Vla.Whilelt { pred = Vla.p0; counter = induction; bound })
+
+  let perm_index_build ~pattern = Ucode.UP (Vla.Tblidx { pattern })
+
+  let perm_gather ~esize ~signed ~dst ~base ~counter ~pattern =
+    Ucode.UP
+      (Vla.Tbl { pred = Vla.p0; esize; signed; dst; base; counter; pattern })
+
+  let perm_scatter ~esize ~src ~base ~counter ~pattern =
+    Ucode.UP (Vla.Tblst { pred = Vla.p0; esize; src; base; counter; pattern })
+end
+
+module Rvv_target : S = struct
+  let kind = Rvv
+  let name = "rvv"
+
+  (* The vsetvl grant absorbs any remainder, exactly as VLA predication
+     does: ceil(trips / width) stripmined iterations, the last running
+     under a shortened grant, with no divisibility requirement. *)
+  let effective_width ~lanes ~trips =
+    if trips > 0 then Ok lanes else Error Abort.Bad_trip_count
+
+  (* LMUL register grouping: gang [m] architectural vector registers
+     into one logical operand, multiplying the datapath width the
+     translator emits for. The group factor is bounded by the machine's
+     maximum vector length (the simulator's lane arrays) and by this
+     region's vector-register pressure — each of the region's [pressure]
+     live vector values occupies [m] architectural registers, which must
+     all fit the 16-entry vector file. *)
+  let register_group ~lanes ~pressure =
+    let max_lanes = Width.lanes Width.max in
+    let pressure = max 1 pressure in
+    let rec go m =
+      if m <= 1 then 1
+      else if lanes * m <= max_lanes && pressure * m <= Vreg.count then m
+      else go (m / 2)
+    in
+    go 8
+
+  let permutation = Perm_table
+
+  let loop_header ~induction ~bound =
+    [ Ucode.UR (Rvv.Vsetvl { counter = induction; bound }) ]
+
+  let body_vector v = Ucode.UR (Rvv.Vl { v })
+  let induction_step ~dst ~width:_ = Ucode.UR (Rvv.Addvl { dst })
+
+  let trip_compare ~insn:_ ~induction ~bound =
+    Ucode.UR (Rvv.Vsetvl { counter = induction; bound })
+
+  let perm_index_build ~pattern = Ucode.UR (Rvv.Tblidx { pattern })
+
+  let perm_gather ~esize ~signed ~dst ~base ~counter ~pattern =
+    Ucode.UR (Rvv.Tbl { esize; signed; dst; base; counter; pattern })
+
+  let perm_scatter ~esize ~src ~base ~counter ~pattern =
+    Ucode.UR (Rvv.Tblst { esize; src; base; counter; pattern })
 end
 
 let fixed : t = (module Fixed_width)
 let vla : t = (module Vla_target)
-let all = [ fixed; vla ]
+let rvv : t = (module Rvv_target)
+let all = [ fixed; vla; rvv ]
 
 let kind_of (b : t) =
   let module B = (val b) in
@@ -89,6 +177,7 @@ let name_of (b : t) =
 let of_string = function
   | "fixed" -> Some fixed
   | "vla" -> Some vla
+  | "rvv" -> Some rvv
   | _ -> None
 
 let pp ppf b = Format.pp_print_string ppf (name_of b)

@@ -18,4 +18,8 @@ type t = {
 }
 
 val make : pc:int -> ?value:int -> Insn.exec -> t
+(** Build an event; omit [value] for instructions that write no
+    destination register. *)
+
 val pp : Format.formatter -> t -> unit
+(** One event as [pc: insn = value], for translator traces. *)

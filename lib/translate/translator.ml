@@ -12,13 +12,14 @@ type perm_tally = { seen : int; recovered : int; aborted : int }
 
 (* Microcode buffer slots. [Cinc] and [Cperm] are placeholders resolved at
    [finish]; [Cb] is the loop back-edge whose target is remapped after
-   compaction. [Cvla] holds a resolved VLA table-lookup op (a recovered
-   permutation), emitted verbatim as a predicated uop. *)
+   compaction. [Cuop] holds a backend-resolved table-lookup op (a
+   recovered permutation lowered through the backend's perm hooks),
+   emitted verbatim. *)
 type content =
   | Cs of Insn.exec
   | Cv of Vinsn.exec
   | Cperm of { dst : Vreg.t; src : Vreg.t; lineage : int; scatter : bool }
-  | Cvla of Vla.exec
+  | Cuop of Ucode.uop
   | Cinc of Reg.t
   | Cb of Cond.t
 
@@ -292,7 +293,7 @@ let resolve_pending t ~pc p =
                 Cv (Vinsn.Vsat { op = sat_op; esize; signed; dst; src1; src2 = s2 });
               true
           | None -> false)
-      | Cs _ | Cv _ | Cperm _ | Cvla _ | Cinc _ | Cb _ -> false
+      | Cs _ | Cv _ | Cperm _ | Cuop _ | Cinc _ | Cb _ -> false
     in
     if not saturated then
       (* Fall back to element-wise min/max: a one-sided clamp is exactly a
@@ -676,7 +677,7 @@ let scan_body_legality t ~top_pc ~branch_pc =
     (fun _ slot ->
       if slot.valid && slot.pc >= top_pc && slot.pc <= branch_pc then
         match slot.content with
-        | Cs (Insn.Cmp _) | Cv _ | Cperm _ | Cvla _ | Cinc _ | Cb _ -> ()
+        | Cs (Insn.Cmp _) | Cv _ | Cperm _ | Cuop _ | Cinc _ | Cb _ -> ()
         | Cs _ -> fail t (Abort.Illegal_insn "scalar instruction in loop body"))
     t.slots
 
@@ -897,15 +898,17 @@ let guard_offset_stream t ~trips ~lineage values =
       true
   | Some _ | None -> false
 
-(* Table lowering (VLA): the permutation executes as a predicated
+(* Table lowering (VLA / RVV): the permutation executes as a
    table-lookup memory op, so the placeholder and its partner load or
-   store collapse into a single [Tbl]/[Tblst] uop whose index vector is
-   materialized at runtime from the actual vector length. The pattern is
-   matched at its own period — the hardware width need not divide, or
-   even reach, the period — and the offsets are matched element-wise
-   over the whole observed stream, so no per-width CAM image is
-   needed. *)
+   store collapse into a single gather/scatter uop whose index vector is
+   materialized at runtime from the actual vector length. The concrete
+   encoding (predicated [Vla.Tbl] versus grant-governed [Rvv.Tbl]) comes
+   from the backend's perm hooks. The pattern is matched at its own
+   period — the hardware width need not divide, or even reach, the
+   period — and the offsets are matched element-wise over the whole
+   observed stream, so no per-width CAM image is needed. *)
 let resolve_perm_table t ~trips idx slot ~dst ~src ~scatter ~lineage values =
+  let module B = (val t.cfg.backend) in
   if Array.length values < trips then fail t Abort.Non_periodic_offsets
   else if Array.exists (fun v -> not (fits_signed_bits v 8)) values then
     fail t Abort.Unrepresentable_value
@@ -929,9 +932,8 @@ let resolve_perm_table t ~trips idx slot ~dst ~src ~scatter ~lineage values =
             | Cv (Vinsn.Vst { esize; src = vsrc; base; index })
               when partner.valid && Vreg.equal vsrc scratch_vreg ->
                 slot.content <-
-                  Cvla
-                    (Vla.Tblst
-                       { pred = Vla.p0; esize; src; base; counter = index; pattern });
+                  Cuop
+                    (B.perm_scatter ~esize ~src ~base ~counter:index ~pattern);
                 invalidate t pidx;
                 record_tbl_pattern t pattern
             | _ -> fail t (Abort.Illegal_insn "table-lookup store partner")
@@ -947,17 +949,9 @@ let resolve_perm_table t ~trips idx slot ~dst ~src ~scatter ~lineage values =
             | Cv (Vinsn.Vld { esize; signed; dst = vdst; base; index })
               when partner.valid && Vreg.equal vdst dst ->
                 slot.content <-
-                  Cvla
-                    (Vla.Tbl
-                       {
-                         pred = Vla.p0;
-                         esize;
-                         signed;
-                         dst;
-                         base;
-                         counter = index;
-                         pattern;
-                       });
+                  Cuop
+                    (B.perm_gather ~esize ~signed ~dst ~base ~counter:index
+                       ~pattern);
                 invalidate t pidx;
                 record_tbl_pattern t pattern
             | _ -> fail t (Abort.Illegal_insn "table-lookup load partner")
@@ -983,14 +977,53 @@ let resolve_perm t ~width ~trips idx slot =
          recovered + aborted = seen. *)
       if t.failure = None then t.perm_recovered <- t.perm_recovered + 1
       else t.perm_aborted <- t.perm_aborted + 1
-  | Cs _ | Cv _ | Cvla _ | Cinc _ | Cb _ -> ()
+  | Cs _ | Cv _ | Cuop _ | Cinc _ | Cb _ -> ()
+
+let uop_uses_vector u =
+  match u with
+  | Ucode.UV v -> Vinsn.uses_vector v
+  | Ucode.UP p -> Vla.uses_vector p
+  | Ucode.UR r -> Rvv.uses_vector r
+  | Ucode.US _ | Ucode.UB _ | Ucode.URet -> []
+
+let uop_defs_vector u =
+  match u with
+  | Ucode.UV v -> Vinsn.defs_vector v
+  | Ucode.UP p -> Vla.defs_vector p
+  | Ucode.UR r -> Rvv.defs_vector r
+  | Ucode.US _ | Ucode.UB _ | Ucode.URet -> []
 
 let vreg_used_by content vr =
   match content with
   | Cv v -> List.exists (Vreg.equal vr) (Vinsn.uses_vector v)
   | Cperm { src; _ } -> Vreg.equal src vr
-  | Cvla p -> List.exists (Vreg.equal vr) (Vla.uses_vector p)
+  | Cuop u -> List.exists (Vreg.equal vr) (uop_uses_vector u)
   | Cs _ | Cinc _ | Cb _ -> false
+
+(* Vector-register pressure of the translated region: the number of
+   distinct vector registers live in surviving slots. Feeds the RVV
+   backend's LMUL choice — each live value occupies [lmul] architectural
+   registers once grouped. *)
+let vreg_pressure t =
+  let seen = Array.make Vreg.count false in
+  Vec.iteri
+    (fun _ s ->
+      if s.valid then begin
+        let mark vr = seen.(Vreg.index vr) <- true in
+        match s.content with
+        | Cv v ->
+            List.iter mark (Vinsn.defs_vector v);
+            List.iter mark (Vinsn.uses_vector v)
+        | Cuop u ->
+            List.iter mark (uop_defs_vector u);
+            List.iter mark (uop_uses_vector u)
+        | Cperm { dst; src; _ } ->
+            mark dst;
+            mark src
+        | Cs _ | Cinc _ | Cb _ -> ()
+      end)
+    t.slots;
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen
 
 let resolve_const_operand t ~width ~trips slot =
   match (slot.const_candidate, slot.content) with
@@ -1067,22 +1100,33 @@ let finish t =
      match t.bound with
      | Some b when b = trips -> ()
      | Some _ | None -> fail t (Abort.Inconsistent_iteration "trip count"));
-  let width =
+  let base_width =
     match B.effective_width ~lanes:t.cfg.lanes ~trips with
     | Ok w -> w
     | Error reason ->
         if t.failure = None then fail t reason;
         0
   in
-  if t.failure = None then begin
+  if t.failure = None then
     Vec.iteri
       (fun i s ->
-        if s.valid && t.failure = None then resolve_perm t ~width ~trips i s)
+        if s.valid && t.failure = None then
+          resolve_perm t ~width:base_width ~trips i s)
       t.slots;
+  (* Register grouping (LMUL) is graded after permutation resolution, so
+     the pressure count sees the final slot contents: the backend picks
+     the group factor from how many vector registers the region keeps
+     live, and the effective translation width scales by it. *)
+  let lmul =
+    if t.failure = None then
+      B.register_group ~lanes:base_width ~pressure:(vreg_pressure t)
+    else 1
+  in
+  let width = base_width * lmul in
+  if t.failure = None then
     Vec.iteri
       (fun _ s -> if s.valid then resolve_const_operand t ~width ~trips s)
-      t.slots
-  end;
+      t.slots;
   match t.failure with
   | Some reason -> Aborted reason
   | None ->
@@ -1107,7 +1151,7 @@ let finish t =
               (* Index-table materialization runs once per region call,
                  before the loop header, outside the back-edge. *)
               List.iter
-                (fun pattern -> Vec.push uops (Ucode.UP (Vla.Tblidx { pattern })))
+                (fun pattern -> Vec.push uops (B.perm_index_build ~pattern))
                 t.tbl_patterns;
               List.iter (Vec.push uops) (B.loop_header ~induction ~bound);
               target := Vec.length uops;
@@ -1120,7 +1164,7 @@ let finish t =
               | Cs i -> Ucode.US i
               | Cv v when in_body -> B.body_vector v
               | Cv v -> Ucode.UV v
-              | Cvla p -> Ucode.UP p
+              | Cuop u -> u
               | Cinc r -> B.induction_step ~dst:r ~width
               | Cb cond -> Ucode.UB { cond; target = 0 }
               | Cperm _ -> assert false
@@ -1135,7 +1179,7 @@ let finish t =
           match u with
           | Ucode.UB { cond; target = _ } ->
               arr.(i) <- Ucode.UB { cond; target = !target }
-          | Ucode.US _ | Ucode.UV _ | Ucode.UP _ | Ucode.URet -> ())
+          | Ucode.US _ | Ucode.UV _ | Ucode.UP _ | Ucode.UR _ | Ucode.URet -> ())
         arr;
       if Array.length arr > t.cfg.max_uops then Aborted Abort.Buffer_overflow
       else
@@ -1144,6 +1188,8 @@ let finish t =
             Ucode.uops = arr;
             width;
             vla = (B.kind = Backend.Vla);
+            rvv = (B.kind = Backend.Rvv);
+            lmul;
             source_insns = Vec.length t.build_events;
             observed_insns = t.observed;
             guards = Array.of_list (List.rev t.guards);

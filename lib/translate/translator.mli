@@ -55,8 +55,12 @@ type perm_tally = { seen : int; recovered : int; aborted : int }
     [recovered + aborted = seen] always holds. *)
 
 type t
+(** A translation session: one in-flight attempt to recover SIMD
+    microcode from the retired stream of one region execution. *)
 
 val create : config -> t
+(** Fresh session in the Build phase, ready for the region's first
+    retired instruction. *)
 
 val feed : t -> Event.t -> unit
 (** Process one retired instruction. After an abort condition the session

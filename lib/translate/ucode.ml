@@ -5,6 +5,7 @@ type uop =
   | US of Insn.exec
   | UV of Vinsn.exec
   | UP of Vla.exec
+  | UR of Rvv.exec
   | UB of { cond : Cond.t; target : int }
   | URet
 
@@ -19,6 +20,8 @@ type t = {
   uops : uop array;
   width : int;
   vla : bool;
+  rvv : bool;
+  lmul : int;
   source_insns : int;
   observed_insns : int;
   guards : guard array;
@@ -36,6 +39,7 @@ let pp_uop ppf = function
   | US i -> Insn.pp_exec ppf i
   | UV v -> Vinsn.pp_exec ppf v
   | UP p -> Vla.pp_exec ppf p
+  | UR r -> Rvv.pp_exec ppf r
   | UB { cond; target } ->
       Format.fprintf ppf "b%s u%d"
         (match cond with Cond.Al -> "" | c -> Cond.suffix c)
@@ -44,7 +48,9 @@ let pp_uop ppf = function
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>; microcode (%d-wide%s, %d uops%s)@ " t.width
-    (if t.vla then " vla" else "")
+    (if t.vla then " vla"
+     else if t.rvv then Printf.sprintf " rvv m%d" t.lmul
+     else "")
     (Array.length t.uops)
     (match Array.length t.guards with
     | 0 -> ""

@@ -15,6 +15,9 @@ type uop =
   | UP of Vla.exec
       (** predicated / vector-length-agnostic operation — only emitted by
           the VLA backend *)
+  | UR of Rvv.exec
+      (** [vl]-governed stripmined operation — only emitted by the RVV
+          backend *)
   | UB of { cond : Cond.t; target : int }  (** intra-microcode branch *)
   | URet
 
@@ -36,12 +39,21 @@ type guard = {
 type t = {
   uops : uop array;
   width : int;
-      (** effective lane count the sequence was translated for; at most
-          the accelerator width. For the fixed-width backend it always
-          divides the loop's trip count; for the VLA backend it is the
-          full accelerator width and the final iteration may run under a
-          partial predicate *)
+      (** effective lane count the sequence was translated for. For the
+          fixed-width backend it is at most the accelerator width and
+          always divides the loop's trip count; for the VLA backend it
+          is the full accelerator width and the final iteration may run
+          under a partial predicate; for the RVV backend it is the
+          accelerator width times the [lmul] register-group factor and
+          the final iteration may run under a shortened [vl] grant *)
   vla : bool;  (** translated by the vector-length-agnostic backend *)
+  rvv : bool;  (** translated by the RVV-style stripmining backend *)
+  lmul : int;
+      (** register-group factor the translator chose from this region's
+          vector-register pressure: each logical vector value occupies
+          [lmul] architectural vector registers, multiplying the
+          effective width. Always 1 for the fixed-width and VLA
+          backends *)
   source_insns : int;  (** static scalar instructions of the region *)
   observed_insns : int;  (** dynamic instructions the translator consumed *)
   guards : guard array;
@@ -51,6 +63,8 @@ type t = {
 }
 
 val length : t -> int
+(** Number of micro-ops — the microcode-buffer occupancy this region
+    costs. *)
 
 val branch_key : entry:int -> max_uops:int -> index:int -> int
 (** Synthetic branch-predictor key for the intra-microcode branch at uop
@@ -63,4 +77,9 @@ val branch_key : entry:int -> max_uops:int -> index:int -> int
     bit-identical. *)
 
 val pp_uop : Format.formatter -> uop -> unit
+(** One micro-op in the assembly-like listing syntax. *)
+
 val pp : Format.formatter -> t -> unit
+(** Full listing: a header line naming the effective width, backend
+    flavour (and LMUL group when [rvv]), uop and guard counts, then one
+    numbered line per micro-op. *)

@@ -1,0 +1,117 @@
+open Liquid_isa
+
+type 'sym t =
+  | Vsetvl of { counter : Reg.t; bound : int }
+  | Vl of { v : 'sym Vinsn.t }
+  | Addvl of { dst : Reg.t }
+  | Tblidx of { pattern : Perm.t }
+  | Tbl of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      base : 'sym Insn.base;
+      counter : Reg.t;
+      pattern : Perm.t;
+    }
+  | Tblst of {
+      esize : Esize.t;
+      src : Vreg.t;
+      base : 'sym Insn.base;
+      counter : Reg.t;
+      pattern : Perm.t;
+    }
+
+type asm = string t
+type exec = int t
+
+let map_base f = function
+  | Insn.Sym s -> Insn.Sym (f s)
+  | Insn.Breg r -> Insn.Breg r
+
+let base_uses = function Insn.Sym _ -> [] | Insn.Breg r -> [ r ]
+
+let equal_base eq_sym a b =
+  match (a, b) with
+  | Insn.Sym x, Insn.Sym y -> eq_sym x y
+  | Insn.Breg x, Insn.Breg y -> Reg.equal x y
+  | (Insn.Sym _ | Insn.Breg _), (Insn.Sym _ | Insn.Breg _) -> false
+
+let pp_base pp_sym ppf = function
+  | Insn.Sym s -> pp_sym ppf s
+  | Insn.Breg r -> Reg.pp ppf r
+
+let map_sym f = function
+  | Vsetvl s -> Vsetvl s
+  | Vl { v } -> Vl { v = Vinsn.map_sym f v }
+  | Addvl a -> Addvl a
+  | Tblidx t -> Tblidx t
+  | Tbl t -> Tbl { t with base = map_base f t.base }
+  | Tblst t -> Tblst { t with base = map_base f t.base }
+
+let is_vector = function
+  | Vl _ | Tblidx _ | Tbl _ | Tblst _ -> true
+  | Vsetvl _ | Addvl _ -> false
+
+let defs_vector = function
+  | Vl { v } -> Vinsn.defs_vector v
+  | Tbl { dst; _ } -> [ dst ]
+  | Vsetvl _ | Addvl _ | Tblidx _ | Tblst _ -> []
+
+let uses_vector = function
+  | Vl { v } -> Vinsn.uses_vector v
+  | Tblst { src; _ } -> [ src ]
+  | Vsetvl _ | Addvl _ | Tblidx _ | Tbl _ -> []
+
+let defs_scalar = function
+  | Vsetvl _ | Tblidx _ | Tbl _ | Tblst _ -> []
+  | Vl { v } -> Vinsn.defs_scalar v
+  | Addvl { dst } -> [ dst ]
+
+let uses_scalar = function
+  | Vsetvl { counter; _ } -> [ counter ]
+  | Vl { v } -> Vinsn.uses_scalar v
+  | Addvl { dst } -> [ dst ]
+  | Tblidx _ -> []
+  | Tbl { counter; base; _ } | Tblst { counter; base; _ } ->
+      counter :: base_uses base
+
+let equal eq_sym a b =
+  match (a, b) with
+  | Vsetvl x, Vsetvl y -> Reg.equal x.counter y.counter && x.bound = y.bound
+  | Vl x, Vl y -> Vinsn.equal eq_sym x.v y.v
+  | Addvl x, Addvl y -> Reg.equal x.dst y.dst
+  | Tblidx x, Tblidx y -> Perm.equal x.pattern y.pattern
+  | Tbl x, Tbl y ->
+      x.esize = y.esize && x.signed = y.signed
+      && Vreg.equal x.dst y.dst
+      && equal_base eq_sym x.base y.base
+      && Reg.equal x.counter y.counter
+      && Perm.equal x.pattern y.pattern
+  | Tblst x, Tblst y ->
+      x.esize = y.esize
+      && Vreg.equal x.src y.src
+      && equal_base eq_sym x.base y.base
+      && Reg.equal x.counter y.counter
+      && Perm.equal x.pattern y.pattern
+  | ( (Vsetvl _ | Vl _ | Addvl _ | Tblidx _ | Tbl _ | Tblst _),
+      (Vsetvl _ | Vl _ | Addvl _ | Tblidx _ | Tbl _ | Tblst _) ) ->
+      false
+
+let equal_exec a b = equal Int.equal a b
+
+let pp ~pp_sym ppf = function
+  | Vsetvl { counter; bound } ->
+      Format.fprintf ppf "vsetvl vl, %a, #%d" Reg.pp counter bound
+  | Vl { v } -> Format.fprintf ppf "vl/%a" (Vinsn.pp ~pp_sym) v
+  | Addvl { dst } -> Format.fprintf ppf "add %a, %a, vl" Reg.pp dst Reg.pp dst
+  | Tblidx { pattern } -> Format.fprintf ppf "vidx %a" Perm.pp pattern
+  | Tbl { esize; signed; dst; base; counter; pattern } ->
+      Format.fprintf ppf "vl/vlux%s%s.%a %a, [%a + %a]" (Esize.suffix esize)
+        (if signed && esize <> Esize.Word then "s" else "")
+        Perm.pp pattern Vreg.pp dst (pp_base pp_sym) base Reg.pp counter
+  | Tblst { esize; src; base; counter; pattern } ->
+      Format.fprintf ppf "vl/vsux%s.%a [%a + %a], %a" (Esize.suffix esize)
+        Perm.pp pattern (pp_base pp_sym) base Reg.pp counter Vreg.pp src
+
+let pp_asm ppf t = pp ~pp_sym:Format.pp_print_string ppf t
+let pp_exec ppf t = pp ~pp_sym:(fun ppf a -> Format.fprintf ppf "0x%x" a) ppf t

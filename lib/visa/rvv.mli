@@ -1,0 +1,132 @@
+(** RVV-style stripmined accelerator instructions.
+
+    The third translation target, modelled on the RISC-V "V" vector
+    extension. Where the fixed-width target ({!Vinsn}) bakes the lane
+    count into the loop structure and the VLA target ({!Vla}) masks the
+    remainder with predicate registers, this target negotiates the
+    remainder through the {e vector-length CSR}: before each iteration a
+    [vsetvl] instruction {e requests} the remaining application vector
+    length ([bound - counter]) and the hardware {e grants}
+    [vl = min(remaining, lanes)]. Every body operation then processes
+    exactly [vl] elements — no per-operation mask, no scalar epilogue; a
+    trip count that does not divide the hardware width simply runs its
+    final iteration under a shortened grant. The induction counter
+    advances by the granted [vl], so the loop consumes exactly [bound]
+    elements in [ceil(bound / lanes)] trips (the NEON-to-RVV mapping
+    study in PAPERS.md catalogues this stripmining idiom as the
+    replacement for both fixed epilogues and predication).
+
+    There are no predicate registers: the single [vl] grant governs
+    every vector operation until the next [vsetvl]. The simulator stores
+    the grant as an element count in the execution context, exactly like
+    a VLA prefix predicate of [vl] active lanes. *)
+
+open Liquid_isa
+
+(** Like {!Vinsn.t}, the type is polymorphic in the data-symbol
+    representation: symbolic names in assembly form, absolute addresses
+    in executable form. *)
+type 'sym t =
+  | Vsetvl of { counter : Reg.t; bound : int }
+      (** Request-grant pair: [vl := min(max(bound - counter, 0), lanes)]
+          — the hardware grants at most its vector length, and the final
+          trip's request comes back shortened. Also sets the scalar
+          condition flags from the signed comparison of [counter] with
+          [bound], so the loop back-edge remains an ordinary [b.lt]
+          (structurally symmetric to {!Vla.Whilelt}). *)
+  | Vl of { v : 'sym Vinsn.t }
+      (** [v] executed under the current [vl] grant: lanes [0..vl-1]
+          compute, loads and stores touch only granted elements, and
+          tail lanes of the destination are zeroed (the RVV
+          tail-agnostic policy, pinned to zero here so replays are
+          bit-reproducible). A full grant ([vl = lanes]) runs the
+          unmasked fixed-width semantics verbatim. *)
+  | Addvl of { dst : Reg.t }
+      (** [dst := dst + vl] — advance the element counter by however
+          many elements the last grant covered. Under a full grant this
+          equals the hardware width; on the final trip it advances by
+          the shortened grant, landing the counter exactly on the
+          bound. *)
+  | Tblidx of { pattern : Perm.t }
+      (** Materialize the index vector for [pattern] from the runtime
+          vector length — the once-per-call preamble feeding the indexed
+          load/store pair below (the RVV [vid]/[vrgather] idiom). Placed
+          in the region prologue, outside the stripmine loop. Purely
+          register-state setup: no memory traffic, no flags. *)
+  | Tbl of {
+      esize : Esize.t;
+      signed : bool;
+      dst : Vreg.t;
+      base : 'sym Insn.base;
+      counter : Reg.t;
+      pattern : Perm.t;
+    }
+      (** Indexed table-lookup gather under the [vl] grant: for each
+          granted lane [j], load element
+          [Perm.src_index pattern (counter + j)] of the array at [base]
+          into [dst.(j)], zeroing tail lanes (the RVV [vluxei] analog of
+          {!Vla.Tbl}). Indexes the memory element stream rather than
+          register lanes, so the scalar loop's permuted access order is
+          reproduced exactly at any grant, including the shortened final
+          trip. *)
+  | Tblst of {
+      esize : Esize.t;
+      src : Vreg.t;
+      base : 'sym Insn.base;
+      counter : Reg.t;
+      pattern : Perm.t;
+    }
+      (** Indexed table-lookup scatter — the store-side dual of {!Tbl}
+          (the RVV [vsuxei] analog of {!Vla.Tblst}): for each granted
+          lane [j], store [src.(j)] to element
+          [Perm.src_index pattern (counter + j)] of the array at [base].
+          [pattern] is the store-side pattern as observed in the scalar
+          offset stream, so the written addresses match the scalar
+          loop's verbatim. *)
+
+type asm = string t
+(** Assembly form: data symbols are names. *)
+
+type exec = int t
+(** Executable form: data symbols are absolute addresses. *)
+
+val map_sym : ('a -> 'b) -> 'a t -> 'b t
+(** Rewrite the data-symbol representation of the wrapped instruction. *)
+
+val is_vector : 'a t -> bool
+(** [true] for {!Vl} and the table-lookup family ({!Tblidx}, {!Tbl},
+    {!Tblst}) — the datapath operations; [Vsetvl] and [Addvl] are
+    loop-control overhead and account as scalar work. *)
+
+val defs_vector : 'a t -> Vreg.t list
+(** Vector registers written, delegating to the wrapped instruction;
+    [Tbl] writes its gather destination. *)
+
+val uses_vector : 'a t -> Vreg.t list
+(** Vector registers read, delegating to the wrapped instruction;
+    [Tblst] reads the register it scatters. *)
+
+val defs_scalar : 'a t -> Reg.t list
+(** Scalar registers written: the [vl] CSR and the [Vsetvl] flags side
+    effect are not registers; [Addvl] writes its counter. *)
+
+val uses_scalar : 'a t -> Reg.t list
+(** Scalar registers read (counters, indices, accumulators; the element
+    counter and any register base of [Tbl]/[Tblst]). *)
+
+val equal : ('s -> 's -> bool) -> 's t -> 's t -> bool
+(** Structural equality, parameterized by symbol equality. *)
+
+val equal_exec : exec -> exec -> bool
+(** {!equal} over resolved addresses. *)
+
+val pp :
+  pp_sym:(Format.formatter -> 'sym -> unit) -> Format.formatter -> 'sym t -> unit
+(** Prints RVV-flavoured assembly, e.g.
+    [vsetvl vl, r0, #15] / [vl/vadd v1, v1, v2] / [add r0, r0, vl]. *)
+
+val pp_asm : Format.formatter -> asm -> unit
+(** {!pp} with symbolic names. *)
+
+val pp_exec : Format.formatter -> exec -> unit
+(** {!pp} with resolved addresses. *)

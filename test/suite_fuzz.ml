@@ -45,9 +45,11 @@ let test_mini_campaign () =
   | l ->
       Alcotest.failf "divergent cases: %s"
         (String.concat ", " (List.map (fun (i, _) -> string_of_int i) l)));
-  (* matrix accounting: 34 fault-free runs per case plus 3 seeded fault
-     runs, and the clean/divergent split partitions the cases *)
-  check_int "runs per case" (cases * 37) r.Campaign.r_runs;
+  (* matrix accounting: 50 fault-free runs per case (scalar reference,
+     baseline, and per width the three backends x three engine tiers
+     plus three oracles) plus 3 seeded fault runs, and the
+     clean/divergent split partitions the cases *)
+  check_int "runs per case" (cases * 53) r.Campaign.r_runs;
   check_int "clean + divergent = cases" cases
     (r.Campaign.r_clean + List.length r.Campaign.r_divergent);
   check_int "divergence histogram is empty" 0
@@ -65,9 +67,9 @@ let test_mini_campaign () =
 
 (* Every permutation the generator emits is a fixed-geometry catalog
    pattern read from a loop-invariant offset array — exactly the class
-   the VLA backend recovers as a table lookup. A seeded fault-free
-   campaign must therefore never abort a translation as
-   unportable-permutation, on either backend, at any width. *)
+   the VLA and RVV backends recover as a table lookup. A seeded
+   fault-free campaign must therefore never abort a translation as
+   unportable-permutation, on any backend, at any width. *)
 let test_no_unportable_aborts () =
   let cases = 30 in
   let total = Hashtbl.create 8 in

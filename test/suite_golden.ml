@@ -1,8 +1,10 @@
 (* Differential golden tests.
 
-   Every workload is simulated under the three headline variants
+   Every workload is simulated under the four headline variants
    (baseline scalar, Liquid at 8 fixed lanes, Liquid on the 8-lane
-   VLA target) and every observable of the run
+   VLA target, Liquid on the 8-lane RVV target — the latter often
+   installing LMUL-grouped 16-wide microcode) and every observable of
+   the run
    is pinned: the full [Stats.t] counter set plus FNV-1a hashes of the
    final register file and of every data array's bytes in memory. The
    pinned values were captured before the fast-path memory / zero-
@@ -105,12 +107,28 @@ let goldens =
     ("LU", "liquid-vla/8-wide", { g_cycles = 119076; g_scalar = 78097; g_vector = 9600; g_loads = 18688; g_stores = 2944; g_branches = 15742; g_mispredicts = 19; g_dhits = 21376; g_dmisses = 256; g_ihits = 72289; g_imisses = 3; g_region_calls = 16; g_ucode_hits = 15; g_installs = 1; g_fetches = 72292; g_uops = 15405; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x5601294057161143; g_mem_hash = 0x3aed967999fc3d56 });
     ("FFT", "liquid-vla/8-wide", { g_cycles = 23676; g_scalar = 10169; g_vector = 3690; g_loads = 5280; g_stores = 544; g_branches = 1404; g_mispredicts = 35; g_dhits = 5744; g_dmisses = 80; g_ihits = 9428; g_imisses = 12; g_region_calls = 30; g_ucode_hits = 27; g_installs = 3; g_fetches = 9440; g_uops = 4419; g_evictions = 0; g_tr_started = 3; g_tr_aborted = 0; g_regs_hash = 0x56cda5cd869430ab; g_mem_hash = 0x719465a51335200 });
     ("FIR", "liquid-vla/8-wide", { g_cycles = 227540; g_scalar = 68133; g_vector = 76032; g_loads = 31392; g_stores = 13696; g_branches = 17694; g_mispredicts = 103; g_dhits = 44704; g_dmisses = 384; g_ihits = 29817; g_imisses = 3; g_region_calls = 100; g_ucode_hits = 99; g_installs = 1; g_fetches = 29820; g_uops = 114345; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x6f0a169e11961692; g_mem_hash = 0x382cb893bfb2c94e });
+    ("052.alvinn", "liquid-rvv/8-wide", { g_cycles = 145054; g_scalar = 102532; g_vector = 4928; g_loads = 22320; g_stores = 864; g_branches = 19725; g_mispredicts = 28; g_dhits = 25040; g_dmisses = 256; g_ihits = 100327; g_imisses = 5; g_region_calls = 24; g_ucode_hits = 22; g_installs = 2; g_fetches = 100332; g_uops = 7128; g_evictions = 0; g_tr_started = 2; g_tr_aborted = 0; g_regs_hash = 0xf89f0cdb2a5c3af; g_mem_hash = 0x3414aedbe1508ed1 });
+    ("056.ear", "liquid-rvv/8-wide", { g_cycles = 308580; g_scalar = 176913; g_vector = 25056; g_loads = 48200; g_stores = 2400; g_branches = 27396; g_mispredicts = 35; g_dhits = 59304; g_dmisses = 512; g_ihits = 174225; g_imisses = 15; g_region_calls = 30; g_ucode_hits = 27; g_installs = 3; g_fetches = 174240; g_uops = 27729; g_evictions = 0; g_tr_started = 3; g_tr_aborted = 0; g_regs_hash = 0x49246d2627a2fe14; g_mem_hash = 0x4aa6e5e2b11bed55 });
+    ("093.nasa7", "liquid-rvv/8-wide", { g_cycles = 460414; g_scalar = 148355; g_vector = 89232; g_loads = 73408; g_stores = 5184; g_branches = 5703; g_mispredicts = 169; g_dhits = 110192; g_dmisses = 256; g_ihits = 141543; g_imisses = 80; g_region_calls = 144; g_ucode_hits = 132; g_installs = 12; g_fetches = 141623; g_uops = 95964; g_evictions = 4; g_tr_started = 12; g_tr_aborted = 0; g_regs_hash = 0x11c14de492fea2c4; g_mem_hash = 0x15093959aff1d229 });
+    ("101.tomcatv", "liquid-rvv/8-wide", { g_cycles = 112270; g_scalar = 55262; g_vector = 11754; g_loads = 19216; g_stores = 1400; g_branches = 7193; g_mispredicts = 84; g_dhits = 24672; g_dmisses = 192; g_ihits = 53777; g_imisses = 27; g_region_calls = 60; g_ucode_hits = 54; g_installs = 6; g_fetches = 53804; g_uops = 13212; g_evictions = 0; g_tr_started = 6; g_tr_aborted = 0; g_regs_hash = 0x5d6b4a00d344c83c; g_mem_hash = 0x4a090c03d9722f86 });
+    ("104.hydro2d", "liquid-rvv/8-wide", { g_cycles = 394634; g_scalar = 132047; g_vector = 71126; g_loads = 64868; g_stores = 7776; g_branches = 8455; g_mispredicts = 253; g_dhits = 98836; g_dmisses = 384; g_ihits = 121874; g_imisses = 75; g_region_calls = 216; g_ucode_hits = 198; g_installs = 18; g_fetches = 121949; g_uops = 81224; g_evictions = 10; g_tr_started = 18; g_tr_aborted = 0; g_regs_hash = 0x65fe4c48ce59fea5; g_mem_hash = 0x2a80ca2f5e9cafdd });
+    ("171.swim", "liquid-rvv/8-wide", { g_cycles = 265418; g_scalar = 86067; g_vector = 46860; g_loads = 50300; g_stores = 3888; g_branches = 4677; g_mispredicts = 127; g_dhits = 70236; g_dmisses = 320; g_ihits = 80971; g_imisses = 47; g_region_calls = 108; g_ucode_hits = 99; g_installs = 9; g_fetches = 81018; g_uops = 51909; g_evictions = 1; g_tr_started = 9; g_tr_aborted = 0; g_regs_hash = 0x342f2cc999a4d341; g_mem_hash = 0x4d6da78b5f247dda });
+    ("172.mgrid", "liquid-rvv/8-wide", { g_cycles = 246037; g_scalar = 78125; g_vector = 46838; g_loads = 41128; g_stores = 2808; g_branches = 2938; g_mispredicts = 182; g_dhits = 60320; g_dmisses = 160; g_ihits = 74180; g_imisses = 84; g_region_calls = 156; g_ucode_hits = 143; g_installs = 13; g_fetches = 74264; g_uops = 50699; g_evictions = 5; g_tr_started = 13; g_tr_aborted = 0; g_regs_hash = 0x65d8444875735f59; g_mem_hash = 0x13512ebe969f78a2 });
+    ("179.art", "liquid-rvv/8-wide", { g_cycles = 4472810; g_scalar = 712273; g_vector = 16388; g_loads = 176640; g_stores = 18432; g_branches = 121335; g_mispredicts = 25; g_dhits = 83456; g_dmisses = 118272; g_ihits = 704550; g_imisses = 11; g_region_calls = 15; g_ucode_hits = 10; g_installs = 5; g_fetches = 704561; g_uops = 24100; g_evictions = 0; g_tr_started = 5; g_tr_aborted = 0; g_regs_hash = 0x63d1ff8f95d9500d; g_mem_hash = 0x79642fbeb2290094 });
+    ("MPEG2 Dec.", "liquid-rvv/8-wide", { g_cycles = 20154; g_scalar = 14044; g_vector = 948; g_loads = 2761; g_stores = 174; g_branches = 2746; g_mispredicts = 5; g_dhits = 2872; g_dmisses = 63; g_ihits = 13090; g_imisses = 6; g_region_calls = 160; g_ucode_hits = 158; g_installs = 2; g_fetches = 13096; g_uops = 1896; g_evictions = 0; g_tr_started = 2; g_tr_aborted = 0; g_regs_hash = 0x1bcf0269b8440d7f; g_mem_hash = 0x26544ea03304d210 });
+    ("MPEG2 Enc.", "liquid-rvv/8-wide", { g_cycles = 30424; g_scalar = 17189; g_vector = 1594; g_loads = 3836; g_stores = 454; g_branches = 2846; g_mispredicts = 13; g_dhits = 4443; g_dmisses = 167; g_ihits = 15854; g_imisses = 10; g_region_calls = 185; g_ucode_hits = 181; g_installs = 4; g_fetches = 15864; g_uops = 2919; g_evictions = 0; g_tr_started = 4; g_tr_aborted = 0; g_regs_hash = 0x6a5115306df22006; g_mem_hash = 0x275f612760d7a748 });
+    ("GSM Dec.", "liquid-rvv/8-wide", { g_cycles = 6114; g_scalar = 4228; g_vector = 363; g_loads = 879; g_stores = 73; g_branches = 731; g_mispredicts = 15; g_dhits = 943; g_dmisses = 9; g_ihits = 4091; g_imisses = 5; g_region_calls = 12; g_ucode_hits = 11; g_installs = 1; g_fetches = 4096; g_uops = 495; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x766a75295998790e; g_mem_hash = 0x56d5a25b100840b0 });
+    ("GSM Enc.", "liquid-rvv/8-wide", { g_cycles = 6978; g_scalar = 4390; g_vector = 495; g_loads = 965; g_stores = 73; g_branches = 743; g_mispredicts = 28; g_dhits = 1022; g_dmisses = 16; g_ihits = 4087; g_imisses = 6; g_region_calls = 24; g_ucode_hits = 22; g_installs = 2; g_fetches = 4093; g_uops = 792; g_evictions = 0; g_tr_started = 2; g_tr_aborted = 0; g_regs_hash = 0x64d2d3159d824ee7; g_mem_hash = 0x3ea5bae8a05b640b });
+    ("LU", "liquid-rvv/8-wide", { g_cycles = 113316; g_scalar = 75217; g_vector = 4800; g_loads = 16768; g_stores = 1984; g_branches = 14782; g_mispredicts = 19; g_dhits = 21376; g_dmisses = 256; g_ihits = 72289; g_imisses = 3; g_region_calls = 16; g_ucode_hits = 15; g_installs = 1; g_fetches = 72292; g_uops = 7725; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x5601294057161143; g_mem_hash = 0x3aed967999fc3d56 });
+    ("FFT", "liquid-rvv/8-wide", { g_cycles = 22200; g_scalar = 9953; g_vector = 2322; g_loads = 4848; g_stores = 472; g_branches = 1332; g_mispredicts = 35; g_dhits = 5744; g_dmisses = 80; g_ihits = 9428; g_imisses = 12; g_region_calls = 30; g_ucode_hits = 27; g_installs = 3; g_fetches = 9440; g_uops = 2835; g_evictions = 0; g_tr_started = 3; g_tr_aborted = 0; g_regs_hash = 0x56cda5cd869430ab; g_mem_hash = 0x719465a51335200 });
+    ("FIR", "liquid-rvv/8-wide", { g_cycles = 176852; g_scalar = 49125; g_vector = 38016; g_loads = 18720; g_stores = 7360; g_branches = 11358; g_mispredicts = 103; g_dhits = 44704; g_dmisses = 384; g_ihits = 29817; g_imisses = 3; g_region_calls = 100; g_ucode_hits = 99; g_installs = 1; g_fetches = 29820; g_uops = 57321; g_evictions = 0; g_tr_started = 1; g_tr_aborted = 0; g_regs_hash = 0x6f0a169e11961692; g_mem_hash = 0x382cb893bfb2c94e });
   ]
 
 let variant_of_name = function
   | "baseline" -> Runner.Baseline
   | "liquid/8-wide" -> Runner.Liquid 8
   | "liquid-vla/8-wide" -> Runner.Liquid_vla 8
+  | "liquid-rvv/8-wide" -> Runner.Liquid_rvv 8
   | s -> invalid_arg ("variant_of_name: " ^ s)
 
 let check_row (wname, vname, g) () =

@@ -98,15 +98,14 @@ let test_table5_structure () =
 
 let test_table2_structure () =
   let rows = Experiments.table2 () in
-  check "four widths x two targets" 8 (List.length rows);
-  let fixed, vla =
-    List.partition
-      (fun (r : Hwmodel.report) ->
-        r.Hwmodel.params.Hwmodel.target = Hwmodel.Fixed_width)
-      rows
-  in
+  check "four widths x three targets" 12 (List.length rows);
+  let target t (r : Hwmodel.report) = r.Hwmodel.params.Hwmodel.target = t in
+  let fixed = List.filter (target Hwmodel.Fixed_width) rows in
+  let vla = List.filter (target Hwmodel.Vla) rows in
+  let rvv = List.filter (target Hwmodel.Rvv) rows in
   check "four fixed rows" 4 (List.length fixed);
   check "four vla rows" 4 (List.length vla);
+  check "four rvv rows" 4 (List.length rvv);
   let monotone rs =
     let cells = List.map (fun (r : Hwmodel.report) -> r.Hwmodel.total_cells) rs in
     List.sort compare cells = cells
@@ -119,7 +118,26 @@ let test_table2_structure () =
         v.Hwmodel.params.Hwmodel.lanes;
       check_bool "vla costs more cells" true
         (v.Hwmodel.total_cells > f.Hwmodel.total_cells))
-    fixed vla
+    fixed vla;
+  (* The RVV rows are provisioned at maximum grouping (lanes x lmul =
+     16 throughout), so register state and table datapath are sized at
+     effective width 16 on every row: area is near-constant (within 1%)
+     and always above the same-width fixed translator. *)
+  List.iter2
+    (fun (f : Hwmodel.report) (r : Hwmodel.report) ->
+      check "same width" f.Hwmodel.params.Hwmodel.lanes
+        r.Hwmodel.params.Hwmodel.lanes;
+      check "provisioned effective width 16" 16
+        (r.Hwmodel.params.Hwmodel.lanes * r.Hwmodel.params.Hwmodel.lmul);
+      check_bool "rvv costs more cells than fixed" true
+        (r.Hwmodel.total_cells > f.Hwmodel.total_cells))
+    fixed rvv;
+  let rvv_cells =
+    List.map (fun (r : Hwmodel.report) -> r.Hwmodel.total_cells) rvv
+  in
+  let lo = List.fold_left min max_int rvv_cells in
+  let hi = List.fold_left max 0 rvv_cells in
+  check_bool "near-constant provisioned area" true (hi - lo < hi / 100)
 
 let test_code_size_structure () =
   let rows = Experiments.code_size () in

@@ -14,6 +14,8 @@ let dummy_ucode n =
     Ucode.uops = Array.make n Ucode.URet;
     width = 4;
     vla = false;
+    rvv = false;
+    lmul = 1;
     source_insns = n;
     observed_insns = n;
     guards = [||];

@@ -20,6 +20,7 @@ let () =
       ("fidelity", Suite_fidelity.tests);
       ("golden", Suite_golden.tests);
       ("vla", Suite_vla.tests);
+      ("rvv", Suite_rvv.tests);
       ("blocks", Suite_blocks.tests);
       ("superblocks", Suite_superblocks.tests);
       ("obs", Suite_obs.tests);
